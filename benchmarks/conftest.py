@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+The experiment context (datasets + the shared pre-trained NTT) is
+session-scoped: pre-training dominates wall time and all three table
+benchmarks reuse it, exactly as the paper reuses one pre-trained model.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` (seconds),
+``small`` (default, minutes) or ``paper`` (hours).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import ExperimentContext, get_scale
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def context(scale):
+    return ExperimentContext(scale)
+
+
+def save_results(name: str, payload: dict) -> Path:
+    """Persist one benchmark's result rows as JSON for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    return path

@@ -1,0 +1,80 @@
+"""Figure 4 — the dataset-generation setup, regenerated as trace statistics.
+
+The paper's Fig. 4 is the topology diagram behind the three datasets;
+the executable equivalent is: build each scenario, run it, and report
+packet counts, delay distributions, drops and (for case 2) per-receiver
+delay separation.  The benchmark also measures raw simulation speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import save_results
+from repro.netsim.scenarios import ScenarioKind, build_scenario
+from repro.utils.stats import percentile_summary
+
+
+def _scenario_stats(scale, kind: str) -> dict:
+    handle = build_scenario(scale.scenario(kind))
+    trace = handle.run()
+    delays = trace.delay
+    summary = percentile_summary(delays * 1e3)
+    per_receiver = {
+        str(receiver): float(delays[trace.receiver_id == receiver].mean() * 1e3)
+        for receiver in sorted(set(trace.receiver_id.tolist()))
+    }
+    return {
+        "packets": len(trace),
+        "messages": int(trace.is_message_end.sum()),
+        "delay_mean_ms": summary.mean,
+        "delay_p50_ms": summary.p50,
+        "delay_p99_ms": summary.p99,
+        "delay_p999_ms": summary.p999,
+        "queue_drops": handle.network.total_drops(),
+        "per_receiver_mean_delay_ms": per_receiver,
+        "events_processed": handle.sim.events_processed,
+    }
+
+
+def test_fig4_trace_statistics(scale, benchmark):
+    """Regenerate all three Fig. 4 datasets and validate their shape."""
+
+    def run():
+        return {kind: _scenario_stats(scale, kind) for kind in ScenarioKind.ALL}
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_results("fig4_scenarios", {"scale": scale.name, "stats": stats})
+
+    pretrain = stats[ScenarioKind.PRETRAIN]
+    case1 = stats[ScenarioKind.CASE1]
+    case2 = stats[ScenarioKind.CASE2]
+    # The bottleneck must actually congest: delays spread over >2x.
+    assert pretrain["delay_p99_ms"] > 2 * pretrain["delay_p50_ms"]
+    # Cross-traffic (case 1) increases pressure on the shared queue.
+    assert case1["queue_drops"] >= pretrain["queue_drops"]
+    # Case 2 has several receivers with distinct mean path delays.
+    means = list(case2["per_receiver_mean_delay_ms"].values())
+    assert len(means) >= 2
+    assert max(means) > min(means)
+
+    print("\nFig. 4 scenario statistics:")
+    for kind, row in stats.items():
+        print(
+            f"  {kind:9s} packets={row['packets']:7d} messages={row['messages']:6d} "
+            f"delay p50/p99 = {row['delay_p50_ms']:.1f}/{row['delay_p99_ms']:.1f} ms "
+            f"drops={row['queue_drops']}"
+        )
+
+
+def test_simulator_event_throughput(scale, benchmark):
+    """Micro-benchmark: simulator events per second on the pre-training
+    scenario (ns-3 replacement cost)."""
+
+    def run():
+        handle = build_scenario(scale.scenario(ScenarioKind.PRETRAIN))
+        handle.run()
+        return handle.sim.events_processed
+
+    events = benchmark(run)
+    assert events > 1_000

@@ -1,0 +1,98 @@
+"""Micro-benchmarks: attention scaling, training step cost, windowing.
+
+These back the paper's §3 design argument: attention cost grows
+quadratically with sequence length, which is *why* the NTT aggregates
+1024 packets into 48 elements before the encoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_results
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.tensor import Tensor, no_grad
+
+
+@pytest.mark.parametrize("seq_len", [16, 48, 128, 256])
+def test_attention_cost_vs_sequence_length(benchmark, seq_len):
+    """Forward cost of one attention layer as the sequence grows."""
+    rng = np.random.default_rng(0)
+    mha = MultiHeadAttention(64, 4, rng)
+    mha.eval()
+    x = Tensor(rng.normal(size=(8, seq_len, 64)))
+
+    def run():
+        with no_grad():
+            return mha(x)
+
+    benchmark(run)
+
+
+def test_attention_quadratic_scaling():
+    """Measured attention time must grow super-linearly with seq_len —
+    the design motivation for aggregation (§3)."""
+    import time
+
+    rng = np.random.default_rng(0)
+    mha = MultiHeadAttention(64, 4, rng)
+    mha.eval()
+
+    def time_seq(seq_len: int) -> float:
+        x = Tensor(rng.normal(size=(8, seq_len, 64)))
+        with no_grad():
+            mha(x)  # warm up
+        start = time.perf_counter()
+        for _ in range(5):
+            with no_grad():
+                mha(x)
+        return (time.perf_counter() - start) / 5
+
+    short, long = time_seq(64), time_seq(512)
+    ratio = long / short
+    save_results("attention_scaling", {"t64_s": short, "t512_s": long, "ratio": ratio})
+    # 8x longer sequence: at least ~3x cost even with BLAS overheads
+    # hiding constants; strictly super-linear.
+    assert ratio > 3.0
+
+
+def test_training_step_cost(benchmark):
+    """One optimizer step of the scaled NTT on a realistic batch."""
+    from repro.core.model import NTTConfig, NTTForDelay
+    from repro.nn.losses import mse_loss
+    from repro.nn.optim import Adam
+
+    rng = np.random.default_rng(0)
+    config = NTTConfig.smoke()
+    model = NTTForDelay(config)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    window = config.aggregation.seq_len
+    features = rng.normal(size=(32, window, 3))
+    receiver = rng.integers(0, 4, size=(32, window))
+    target = Tensor(rng.normal(size=32))
+
+    def step():
+        optimizer.zero_grad()
+        loss = mse_loss(model(features, receiver), target)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    benchmark(step)
+
+
+def test_windowing_throughput(benchmark, scale):
+    """Packets-to-windows conversion speed."""
+    from repro.datasets.windows import WindowConfig, windows_from_trace
+    from repro.netsim.scenarios import ScenarioKind, build_scenario
+
+    trace = build_scenario(scale.scenario(ScenarioKind.PRETRAIN)).run()
+    index = {int(r): i for i, r in enumerate(sorted(set(trace.receiver_id.tolist())))}
+    config = WindowConfig(window_len=min(64, len(trace) // 2), stride=4)
+
+    def run():
+        return len(windows_from_trace(trace, config, index))
+
+    count = benchmark(run)
+    assert count > 0

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Case 2: generalizing to a larger topology (Table 3).
+
+The bottleneck now fans out to several receivers over paths with
+different propagation delays and different cross-traffic levels.  The
+example shows (i) the per-receiver delay structure in the raw traces,
+(ii) that fine-tuning a pre-trained NTT adapts to the new topology, and
+(iii) that receiver IDs are what lets it tell the paths apart.
+
+Run::
+
+    python examples/larger_topology.py
+    python examples/larger_topology.py --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+
+import numpy as np
+
+from repro.core.features import FeatureSpec
+from repro.core.finetune import FinetuneMode, finetune_delay
+from repro.core.pipeline import ExperimentContext, get_scale
+from repro.netsim.scenarios import ScenarioKind, build_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
+    args = parser.parse_args()
+
+    scale = get_scale(args.scale)
+    context = ExperimentContext(scale)
+
+    print("== Raw case-2 trace: per-receiver delay structure")
+    handle = build_scenario(scale.scenario(ScenarioKind.CASE2))
+    trace = handle.run()
+    for receiver in sorted(set(trace.receiver_id.tolist())):
+        delays = trace.delay[trace.receiver_id == receiver] * 1e3
+        print(
+            f"   receiver {receiver}: {delays.size:6d} packets, "
+            f"mean {delays.mean():6.2f} ms, p99 {np.percentile(delays, 99):6.2f} ms"
+        )
+
+    print("== Pre-training on the simple topology, fine-tuning on case 2")
+    pre = context.pretrained()
+    case2 = context.bundle(ScenarioKind.CASE2)
+    finetuned = finetune_delay(
+        copy.deepcopy(pre.model), pre.pipeline, case2,
+        settings=scale.finetune_settings, mode=FinetuneMode.FULL,
+    )
+    print(f"   fine-tuned delay MSE: {finetuned.test_mse_scaled:.4f} x1e-3 s^2")
+
+    print("== Ablation: the same pipeline without receiver IDs")
+    from repro.core.pretrain import pretrain
+
+    no_rx = pretrain(
+        scale.model_config(features=FeatureSpec.without_receiver()),
+        context.bundle(ScenarioKind.PRETRAIN),
+        settings=scale.pretrain_settings,
+    )
+    no_rx_finetuned = finetune_delay(
+        no_rx.model, no_rx.pipeline, case2,
+        settings=scale.finetune_settings, mode=FinetuneMode.FULL,
+    )
+    print(f"   without addressing:   {no_rx_finetuned.test_mse_scaled:.4f} x1e-3 s^2")
+    print(
+        "   -> receiver identity matters once paths differ "
+        "(paper: 2.8 vs 0.004 x1e-3)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Case 1: fine-tune a pre-trained NTT to unseen cross-traffic.
+
+Reproduces the story of Tables 1 and 2 on one topology: pre-train on
+clean traffic, then adapt to an environment with TCP cross-traffic using
+only a small fine-tuning dataset — comparing decoder-only fine-tuning
+against training a fresh model from scratch.
+
+Run::
+
+    python examples/pretrain_finetune.py
+    python examples/pretrain_finetune.py --scale small --fraction 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.finetune import FinetuneMode, finetune_delay, train_delay_from_scratch
+from repro.core.pipeline import ExperimentContext, get_scale
+from repro.netsim.scenarios import ScenarioKind
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
+    parser.add_argument(
+        "--fraction", type=float, default=0.1,
+        help="fraction of the fine-tuning data to use (paper: 0.1)",
+    )
+    args = parser.parse_args()
+
+    scale = get_scale(args.scale)
+    context = ExperimentContext(scale)
+
+    print("== Pre-training on the clean (no cross-traffic) environment")
+    pre = context.pretrained()
+    print(f"   pre-training delay MSE: {pre.test_mse_scaled:.4f} x1e-3 s^2")
+
+    print(f"== Building the case-1 dataset ({int(args.fraction * 100)}% sample)")
+    case1 = context.bundle(ScenarioKind.CASE1).small_fraction(args.fraction)
+    print(f"   {len(case1.train)} fine-tuning windows, {len(case1.test)} test windows")
+
+    print("== Fine-tuning the pre-trained model (decoder only)")
+    import copy
+
+    finetuned = finetune_delay(
+        copy.deepcopy(pre.model), pre.pipeline, case1,
+        settings=scale.finetune_settings, mode=FinetuneMode.DECODER_ONLY,
+    )
+    print(
+        f"   MSE {finetuned.test_mse_scaled:.4f} x1e-3 "
+        f"in {finetuned.training_time:.0f}s of training"
+    )
+
+    print("== Training the same architecture from scratch on the same data")
+    scratch = train_delay_from_scratch(
+        scale.model_config(), pre.pipeline, case1, settings=scale.finetune_settings
+    )
+    print(
+        f"   MSE {scratch.test_mse_scaled:.4f} x1e-3 "
+        f"in {scratch.training_time:.0f}s of training"
+    )
+
+    print("== Verdict")
+    ratio = scratch.test_mse / max(finetuned.test_mse, 1e-12)
+    speedup = scratch.training_time / max(finetuned.training_time, 1e-9)
+    print(
+        f"   pre-training gives {ratio:.2f}x lower error and "
+        f"{speedup:.1f}x faster adaptation on this run"
+    )
+
+
+if __name__ == "__main__":
+    main()

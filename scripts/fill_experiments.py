@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Fill EXPERIMENTS.md placeholders from bench_results/*.json.
+
+Run after ``REPRO_BENCH_SCALE=small pytest benchmarks/ --benchmark-only``:
+
+    python scripts/fill_experiments.py
+
+Idempotent only in the forward direction: placeholders are replaced
+once; re-running after a new benchmark run requires restoring the
+template (git) first.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "bench_results"
+
+
+def scaled(value: float | None, digits: int = 4) -> str:
+    """Format a raw MSE (s² or log²) in the paper's ×10⁻³ convention."""
+    if value is None:
+        return "—"
+    return f"{value * 1e3:.{digits}f}"
+
+
+def seconds(value: float | None) -> str:
+    return "—" if value is None else f"{value:.0f}"
+
+
+def main() -> int:
+    path = ROOT / "EXPERIMENTS.md"
+    text = path.read_text()
+
+    table1 = json.loads((RESULTS / "table1.json").read_text())["rows"]
+    table2 = json.loads((RESULTS / "table2.json").read_text())["rows"]
+    table3 = json.loads((RESULTS / "table3.json").read_text())["rows"]
+
+    t1 = {
+        "MEASURED_T1_PRE": scaled(table1["ntt_pretrained"]["pretrain_delay_mse"]),
+        "MEASURED_T1_PRE_FT": scaled(table1["ntt_pretrained"]["finetune_delay_mse"]),
+        "MEASURED_T1_PRE_MCT": scaled(table1["ntt_pretrained"]["finetune_mct_mse"], 0),
+        "MEASURED_T1_SCR_FT": scaled(table1["ntt_from_scratch"]["finetune_delay_mse"]),
+        "MEASURED_T1_SCR_MCT": scaled(table1["ntt_from_scratch"]["finetune_mct_mse"], 0),
+        "MEASURED_T1_LO_FT": scaled(table1["last_observed"]["finetune_delay_mse"]),
+        "MEASURED_T1_LO_MCT": scaled(table1["last_observed"]["finetune_mct_mse"], 0),
+        "MEASURED_T1_LO": scaled(table1["last_observed"]["pretrain_delay_mse"]),
+        "MEASURED_T1_EW_FT": scaled(table1["ewma"]["finetune_delay_mse"]),
+        "MEASURED_T1_EW_MCT": scaled(table1["ewma"]["finetune_mct_mse"], 0),
+        "MEASURED_T1_EW": scaled(table1["ewma"]["pretrain_delay_mse"]),
+        "MEASURED_T1_NA_FT": scaled(table1["no_aggregation"]["finetune_delay_mse"]),
+        "MEASURED_T1_NA_MCT": scaled(table1["no_aggregation"]["finetune_mct_mse"], 0),
+        "MEASURED_T1_NA": scaled(table1["no_aggregation"]["pretrain_delay_mse"]),
+        "MEASURED_T1_FA_FT": scaled(table1["fixed_aggregation"]["finetune_delay_mse"]),
+        "MEASURED_T1_FA_MCT": scaled(table1["fixed_aggregation"]["finetune_mct_mse"], 0),
+        "MEASURED_T1_FA": scaled(table1["fixed_aggregation"]["pretrain_delay_mse"]),
+        "MEASURED_T1_WS_FT": scaled(table1["without_packet_size"]["finetune_delay_mse"]),
+        "MEASURED_T1_WS_MCT": scaled(table1["without_packet_size"]["finetune_mct_mse"], 0),
+        "MEASURED_T1_WS": scaled(table1["without_packet_size"]["pretrain_delay_mse"]),
+        "MEASURED_T1_WD_FT": scaled(table1["without_delay"]["finetune_delay_mse"]),
+        "MEASURED_T1_WD_MCT": scaled(table1["without_delay"]["finetune_mct_mse"], 0),
+        "MEASURED_T1_WD": scaled(table1["without_delay"]["pretrain_delay_mse"]),
+    }
+    t2 = {
+        "MEASURED_T2_PF_T": seconds(table2["pretrained_full"]["training_time_s"]),
+        "MEASURED_T2_PF": scaled(table2["pretrained_full"]["delay_mse"]),
+        "MEASURED_T2_PS_T": seconds(table2["pretrained_10pct"]["training_time_s"]),
+        "MEASURED_T2_PS": scaled(table2["pretrained_10pct"]["delay_mse"]),
+        "MEASURED_T2_SF_T": seconds(table2["scratch_full"]["training_time_s"]),
+        "MEASURED_T2_SF": scaled(table2["scratch_full"]["delay_mse"]),
+        "MEASURED_T2_SS_T": seconds(table2["scratch_10pct"]["training_time_s"]),
+        "MEASURED_T2_SS": scaled(table2["scratch_10pct"]["delay_mse"]),
+    }
+    t3 = {
+        "MEASURED_T3_PF_T": seconds(table3["pretrained_full"]["training_time_s"]),
+        "MEASURED_T3_PF": scaled(table3["pretrained_full"]["delay_mse"]),
+        "MEASURED_T3_PS_T": seconds(table3["pretrained_10pct"]["training_time_s"]),
+        "MEASURED_T3_PS": scaled(table3["pretrained_10pct"]["delay_mse"]),
+        "MEASURED_T3_SF_T": seconds(table3["scratch_full"]["training_time_s"]),
+        "MEASURED_T3_SF": scaled(table3["scratch_full"]["delay_mse"]),
+        "MEASURED_T3_SS_T": seconds(table3["scratch_10pct"]["training_time_s"]),
+        "MEASURED_T3_SS": scaled(table3["scratch_10pct"]["delay_mse"]),
+        "MEASURED_T3_LO": scaled(table3["last_observed"]["delay_mse"]),
+        "MEASURED_T3_EW": scaled(table3["ewma"]["delay_mse"]),
+        "MEASURED_T3_NR": scaled(table3["without_receiver_id"]["delay_mse"]),
+    }
+    # Longer keys first so prefixes don't clobber (e.g. _PF before _PF_T
+    # would corrupt; sort descending by key length).
+    replacements = {**t1, **t2, **t3}
+    for key in sorted(replacements, key=len, reverse=True):
+        text = text.replace(key, replacements[key])
+
+    path.write_text(text)
+    print("EXPERIMENTS.md updated from bench_results/*.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

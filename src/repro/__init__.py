@@ -1,0 +1,23 @@
+"""Reproduction of *A New Hope for Network Model Generalization* (HotNets '22).
+
+The package provides three layers:
+
+* :mod:`repro.netsim` — a packet-level discrete-event network simulator
+  (the ns-3 substitute) used to generate the paper's datasets (Fig. 4).
+* :mod:`repro.nn` — a numpy-based autograd engine with the transformer
+  building blocks (the PyTorch substitute).
+* :mod:`repro.core` — the Network Traffic Transformer itself: feature
+  extraction, multi-timescale aggregation, pre-training on masked delay
+  prediction, fine-tuning, baselines and evaluation.
+
+Quickstart::
+
+    from repro.core.pipeline import ExperimentConfig, run_pretraining
+    config = ExperimentConfig.small()
+    result = run_pretraining(config)
+    print(result.test_mse)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

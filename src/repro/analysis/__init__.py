@@ -1,0 +1,12 @@
+"""Analysis and interpretability tooling.
+
+* :mod:`repro.analysis.attention` — inspect what the NTT's encoder
+  attends to across its multi-timescale history.
+* :mod:`repro.analysis.reports` — human-readable summaries of traces and
+  datasets (the sanity checks behind Fig. 4).
+"""
+
+from repro.analysis.attention import AttentionSummary, attention_summary
+from repro.analysis.reports import dataset_report, trace_report
+
+__all__ = ["AttentionSummary", "attention_summary", "trace_report", "dataset_report"]

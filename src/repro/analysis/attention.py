@@ -1,0 +1,88 @@
+"""Attention inspection for the NTT.
+
+Transformers generalize because outputs are *contextual* (§2); this
+module makes the learned context visible: given a batch of windows, it
+reports how much attention the final (masked) element pays to each
+aggregation level — recent raw packets vs. older aggregates.
+
+A well-trained NTT typically attends to recent packets for short-term
+queue state and to aggregated history for longer-term load level; the
+`no aggregation` ablation has no long-range levels to attend to at all,
+which is exactly why its MCT story differs in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import NTT
+from repro.nn.tensor import no_grad
+
+__all__ = ["AttentionSummary", "attention_summary"]
+
+
+@dataclass
+class AttentionSummary:
+    """Averaged attention of the last element onto each aggregation level.
+
+    Attributes:
+        level_labels: one label per aggregation level (oldest first).
+        level_attention: mean attention mass per level; sums to ~1.
+        per_element: full attention vector over encoder elements,
+            averaged over batch, heads and layers.
+    """
+
+    level_labels: list[str]
+    level_attention: np.ndarray
+    per_element: np.ndarray
+
+    def most_attended_level(self) -> str:
+        return self.level_labels[int(np.argmax(self.level_attention))]
+
+    def format(self) -> str:
+        """A small ASCII bar chart of the per-level attention."""
+        lines = ["attention of the masked element onto history levels:"]
+        for label, value in zip(self.level_labels, self.level_attention):
+            bar = "#" * max(1, int(round(value * 40)))
+            lines.append(f"  {label:24s} {value * 100:5.1f}% {bar}")
+        return "\n".join(lines)
+
+
+def attention_summary(model: NTT, features: np.ndarray, receiver: np.ndarray) -> AttentionSummary:
+    """Run a forward pass and summarise last-element attention.
+
+    Attention weights are collected from every encoder layer's
+    ``last_attention`` buffer, averaged over batch, heads and layers,
+    then integrated per aggregation level.
+    """
+    model.eval()
+    with no_grad():
+        model(features, receiver)
+    collected = []
+    for layer in model.encoder.layers:
+        weights = layer.attention.last_attention
+        if weights is None:
+            raise RuntimeError("no attention recorded; forward pass failed?")
+        # (batch, heads, query, key) → attention of the last query.
+        collected.append(weights[:, :, -1, :].mean(axis=(0, 1)))
+    per_element = np.mean(collected, axis=0)
+    per_element = per_element / max(per_element.sum(), 1e-12)
+
+    spec = model.config.aggregation
+    labels, masses = [], []
+    offset = 0
+    for level in spec.levels:
+        mass = float(per_element[offset : offset + level.count].sum())
+        if level.block == 1:
+            labels.append(f"recent {level.count} packets (raw)")
+        else:
+            labels.append(f"{level.count} x {level.block}-packet aggregates")
+        masses.append(mass)
+        offset += level.count
+    return AttentionSummary(
+        level_labels=labels,
+        level_attention=np.asarray(masses),
+        per_element=per_element,
+    )

@@ -1,0 +1,75 @@
+"""Human-readable reports on traces and datasets.
+
+These are the sanity checks behind dataset generation: does the
+bottleneck congest, do receivers differ, how heavy is the message-size
+tail?  The benchmark for Fig. 4 prints the same quantities; examples use
+these helpers for readable output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.generation import DatasetBundle
+from repro.netsim.trace import Trace
+from repro.utils.stats import percentile_summary
+
+__all__ = ["trace_report", "dataset_report"]
+
+
+def trace_report(trace: Trace, name: str = "trace") -> str:
+    """Multi-line summary of one packet trace."""
+    if len(trace) == 0:
+        return f"{name}: empty trace"
+    delays_ms = trace.delay * 1e3
+    summary = percentile_summary(delays_ms)
+    lines = [
+        f"{name}: {len(trace)} packets, {int(trace.is_message_end.sum())} completed messages",
+        (
+            f"  delays (ms): mean {summary.mean:.2f}  p50 {summary.p50:.2f}  "
+            f"p99 {summary.p99:.2f}  p99.9 {summary.p999:.2f}  max {summary.max:.2f}"
+        ),
+        (
+            f"  sizes (B): min {int(trace.size.min())}  median "
+            f"{int(np.median(trace.size))}  max {int(trace.size.max())}"
+        ),
+        f"  span: {trace.send_time.min():.2f}s .. {trace.send_time.max():.2f}s",
+    ]
+    receivers = sorted(set(trace.receiver_id.tolist()))
+    if len(receivers) > 1:
+        lines.append("  per-receiver mean delay (ms):")
+        for receiver in receivers:
+            mean = delays_ms[trace.receiver_id == receiver].mean()
+            lines.append(f"    receiver {receiver}: {mean:.2f}")
+    completed = trace.mct[np.isfinite(trace.mct) & trace.is_message_end]
+    if completed.size:
+        mct = percentile_summary(completed * 1e3)
+        lines.append(
+            f"  MCT (ms): mean {mct.mean:.1f}  p50 {mct.p50:.1f}  p99 {mct.p99:.1f}"
+        )
+    return "\n".join(lines)
+
+
+def dataset_report(bundle: DatasetBundle) -> str:
+    """Multi-line summary of a windowed dataset bundle."""
+    lines = [
+        f"dataset {bundle.name!r} ({bundle.scenario.kind} scenario)",
+        f"  {bundle.n_packets} packets -> {bundle.n_windows} windows of "
+        f"{bundle.window_config.window_len} packets (stride {bundle.window_config.stride})",
+        f"  splits: train {len(bundle.train)} / val {len(bundle.val)} / test {len(bundle.test)}",
+        f"  receivers: {len(bundle.receiver_index)} "
+        f"({sorted(bundle.receiver_index.keys())})",
+    ]
+    targets_ms = bundle.train.delay_target * 1e3
+    if targets_ms.size:
+        lines.append(
+            f"  train delay targets (ms): mean {targets_ms.mean():.2f}, "
+            f"std {targets_ms.std():.2f}"
+        )
+    valid_mct = bundle.train.mct_target[
+        np.isfinite(bundle.train.mct_target) & (bundle.train.mct_target > 0)
+    ]
+    lines.append(
+        f"  MCT labels available: {valid_mct.size}/{len(bundle.train)} train windows"
+    )
+    return "\n".join(lines)

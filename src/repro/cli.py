@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library workflow:
+
+* ``simulate`` — run a Fig. 4 scenario and print a trace report (or
+  save the trace as ``.npz``).
+* ``pretrain`` — generate the pre-training dataset, pre-train an NTT and
+  save a checkpoint.
+* ``evaluate`` — evaluate a checkpoint against the naive baselines on a
+  chosen scenario.
+* ``report`` — dataset statistics for any scenario/scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Network Traffic Transformer reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run a Fig. 4 scenario")
+    _add_common(simulate)
+    simulate.add_argument("--output", help="save the trace to this .npz path")
+    simulate.add_argument("--runs", type=int, default=1, help="number of runs")
+
+    pretrain = sub.add_parser("pretrain", help="pre-train an NTT and save a checkpoint")
+    _add_common(pretrain)
+    pretrain.add_argument("--output", default="ntt_checkpoint.npz", help="checkpoint path")
+    pretrain.add_argument("--epochs", type=int, default=None, help="override epochs")
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a checkpoint vs baselines")
+    _add_common(evaluate)
+    evaluate.add_argument("checkpoint", help="checkpoint produced by `repro pretrain`")
+
+    report = sub.add_parser("report", help="dataset statistics for a scenario")
+    _add_common(report)
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", default="pretrain", choices=["pretrain", "case1", "case2"]
+    )
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_simulate(args) -> int:
+    from repro.analysis.reports import trace_report
+    from repro.core.pipeline import get_scale
+    from repro.netsim.scenarios import generate_traces
+
+    scale = get_scale(args.scale)
+    traces = generate_traces(scale.scenario(args.scenario, seed=args.seed), n_runs=args.runs)
+    for index, trace in enumerate(traces):
+        print(trace_report(trace, name=f"{args.scenario} run {index}"))
+    if args.output:
+        traces[0].save(args.output)
+        print(f"saved first run to {args.output}")
+    return 0
+
+
+def _cmd_pretrain(args) -> int:
+    from dataclasses import replace
+
+    from repro.core.pipeline import ExperimentContext, get_scale
+    from repro.nn.serialize import save_checkpoint
+
+    scale = get_scale(args.scale)
+    if args.epochs is not None:
+        scale = replace(scale, pretrain_settings=scale.pretrain_settings.scaled(args.epochs))
+    context = ExperimentContext(scale)
+    result = context.pretrained()
+    print(
+        f"pre-trained in {result.history.wall_time:.0f}s; "
+        f"test delay MSE {result.test_mse_scaled:.4f} x1e-3 s^2"
+    )
+    save_checkpoint(
+        result.model,
+        args.output,
+        metadata={
+            "scale": scale.name,
+            "scaler": result.pipeline.feature_scaler.to_dict(),
+            "message_size_scaler": result.pipeline.message_size_scaler.to_dict(),
+            "test_mse_seconds2": result.test_mse_seconds2,
+        },
+    )
+    print(f"checkpoint written to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.core.baselines import evaluate_baselines
+    from repro.core.evaluation import evaluate_delay
+    from repro.core.features import FeaturePipeline
+    from repro.core.model import NTTForDelay
+    from repro.core.pipeline import ExperimentContext, get_scale
+    from repro.datasets.normalize import FeatureScaler
+    from repro.nn.serialize import load_state
+
+    scale = get_scale(args.scale)
+    context = ExperimentContext(scale)
+    bundle = context.bundle(args.scenario)
+
+    state, metadata = load_state(args.checkpoint)
+    model = NTTForDelay(scale.model_config())
+    model.load_state_dict(state)
+    pipeline = FeaturePipeline()
+    pipeline.feature_scaler = FeatureScaler.from_dict(metadata["scaler"])
+    pipeline.message_size_scaler = FeatureScaler.from_dict(metadata["message_size_scaler"])
+
+    mse = evaluate_delay(model, pipeline, bundle.test)
+    print(f"checkpoint delay MSE on {args.scenario}: {mse * 1e3:.4f} x1e-3 s^2")
+    for name, row in evaluate_baselines(bundle.test).items():
+        print(f"baseline {name:14s}: {row['delay_mse'] * 1e3:.4f} x1e-3 s^2")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.reports import dataset_report
+    from repro.core.pipeline import ExperimentContext, get_scale
+
+    scale = get_scale(args.scale)
+    context = ExperimentContext(scale)
+    print(dataset_report(context.bundle(args.scenario)))
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "pretrain": _cmd_pretrain,
+    "evaluate": _cmd_evaluate,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

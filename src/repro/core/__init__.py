@@ -1,0 +1,29 @@
+"""The Network Traffic Transformer (the paper's contribution, §3).
+
+Three stages — embedding, multi-timescale aggregation, transformer
+encoder — producing a context-rich encoded sequence consumed by small
+task-specific decoders (delay prediction for pre-training, message
+completion time for fine-tuning).
+"""
+
+from repro.core.features import FeatureSpec, FeaturePipeline
+from repro.core.aggregation import AggregationSpec, Aggregator
+from repro.core.model import NTT, NTTConfig, NTTForDelay, NTTForMCT
+from repro.core.decoders import DelayDecoder, MCTDecoder
+from repro.core.baselines import evaluate_baselines, ewma_predictions, last_observed_predictions
+
+__all__ = [
+    "FeatureSpec",
+    "FeaturePipeline",
+    "AggregationSpec",
+    "Aggregator",
+    "NTT",
+    "NTTConfig",
+    "NTTForDelay",
+    "NTTForMCT",
+    "DelayDecoder",
+    "MCTDecoder",
+    "evaluate_baselines",
+    "ewma_predictions",
+    "last_observed_predictions",
+]

@@ -1,0 +1,159 @@
+"""Multi-timescale packet aggregation (§3, "Learning packet aggregation").
+
+Attention cost grows quadratically with sequence length, so the NTT
+aggregates a long packet history into a short element sequence *before*
+the encoder: recent packets stay raw, older packets are aggregated once,
+the oldest twice.  Aggregation is **learned** — each level owns a linear
+projection over the concatenated embeddings of its block, like ViT's
+patch embedding.
+
+The paper aggregates 1024 packets → 48 elements but does not publish
+block sizes; :class:`AggregationSpec` is the general mechanism, with
+solved defaults documented in DESIGN.md:
+
+* paper scale: ``[(10, 81), (22, 9), (16, 1)]`` — 10·81 + 22·9 + 16·1
+  = 1024 packets → 48 elements (aggregation factor 9, applied twice for
+  the oldest level).
+* scaled default: ``[(8, 49), (14, 7), (22, 1)]`` — 8·49 + 14·7 + 22·1
+  = 512 packets → 44 elements (factor 7).
+
+Ablations from Table 1:
+
+* *no aggregation* — ``AggregationSpec.none(n)``: the last ``n`` packets,
+  each its own element (little history).
+* *fixed aggregation* — ``AggregationSpec.fixed(count, block)``: uniform
+  blocks (long history, no packet-level detail); the paper used 48
+  aggregates of 21 packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module, ModuleList
+from repro.nn.tensor import Tensor, concat
+
+__all__ = ["AggregationLevel", "AggregationSpec", "Aggregator"]
+
+
+@dataclass(frozen=True)
+class AggregationLevel:
+    """``count`` output elements, each aggregating ``block`` packets."""
+
+    count: int
+    block: int
+
+    def __post_init__(self):
+        if self.count <= 0 or self.block <= 0:
+            raise ValueError(f"count and block must be positive, got {self}")
+
+    @property
+    def packets(self) -> int:
+        return self.count * self.block
+
+
+@dataclass(frozen=True)
+class AggregationSpec:
+    """Ordered aggregation levels, **oldest first**."""
+
+    levels: tuple[AggregationLevel, ...]
+
+    def __post_init__(self):
+        if not self.levels:
+            raise ValueError("AggregationSpec needs at least one level")
+        blocks = [level.block for level in self.levels]
+        if blocks != sorted(blocks, reverse=True):
+            raise ValueError(
+                "levels must be ordered oldest (largest block) to newest "
+                f"(smallest block); got blocks {blocks}"
+            )
+
+    @property
+    def seq_len(self) -> int:
+        """Packets consumed from the end of each window."""
+        return sum(level.packets for level in self.levels)
+
+    @property
+    def out_len(self) -> int:
+        """Elements handed to the transformer encoder."""
+        return sum(level.count for level in self.levels)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, pairs) -> "AggregationSpec":
+        """Build from ``[(count, block), ...]`` oldest-first."""
+        return cls(tuple(AggregationLevel(count, block) for count, block in pairs))
+
+    @classmethod
+    def multi_timescale_512(cls) -> "AggregationSpec":
+        """Scaled default: 512 packets → 44 elements."""
+        return cls.from_pairs([(8, 49), (14, 7), (22, 1)])
+
+    @classmethod
+    def multi_timescale_paper(cls) -> "AggregationSpec":
+        """Paper scale: 1024 packets → 48 elements."""
+        return cls.from_pairs([(10, 81), (22, 9), (16, 1)])
+
+    @classmethod
+    def none(cls, n_packets: int = 44) -> "AggregationSpec":
+        """Table 1 "no aggregation": the last ``n_packets`` raw packets."""
+        return cls.from_pairs([(n_packets, 1)])
+
+    @classmethod
+    def fixed(cls, count: int = 42, block: int = 12) -> "AggregationSpec":
+        """Table 1 "fixed aggregation": uniform ``count`` x ``block``.
+
+        Defaults give 42·12 = 504 packets → 42 elements at the scaled
+        window; the paper used 48 aggregates of 21 packets (1008).
+        """
+        return cls.from_pairs([(count, block)])
+
+    @classmethod
+    def fixed_paper(cls) -> "AggregationSpec":
+        return cls.from_pairs([(48, 21)])
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{lv.count}x{lv.block}" for lv in self.levels)
+        return f"[{inner}] ({self.seq_len} pkts -> {self.out_len} elems)"
+
+
+class Aggregator(Module):
+    """Learned hierarchical aggregation.
+
+    Input: embedded packets ``(batch, seq_len, d_emb)`` where ``seq_len``
+    matches the spec.  Each level reshapes its slice into blocks and
+    projects the concatenated block embedding to ``d_model``.  Output:
+    ``(batch, out_len, d_model)``, oldest elements first.
+    """
+
+    def __init__(self, spec: AggregationSpec, d_emb: int, d_model: int, rng: np.random.Generator):
+        super().__init__()
+        self.spec = spec
+        self.d_emb = d_emb
+        self.d_model = d_model
+        self.projections = ModuleList(
+            Linear(level.block * d_emb, d_model, rng) for level in spec.levels
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 3 or x.shape[1] != self.spec.seq_len or x.shape[2] != self.d_emb:
+            raise ValueError(
+                f"Aggregator expected (batch, {self.spec.seq_len}, {self.d_emb}), "
+                f"got {x.shape}"
+            )
+        batch = x.shape[0]
+        outputs = []
+        offset = 0
+        for level, projection in zip(self.spec.levels, self.projections):
+            chunk = x[:, offset : offset + level.packets, :]
+            offset += level.packets
+            grouped = chunk.reshape(batch, level.count, level.block * self.d_emb)
+            outputs.append(projection(grouped))
+        return concat(outputs, axis=1)
+
+    def __repr__(self) -> str:
+        return f"Aggregator({self.spec.describe()}, d_model={self.d_model})"

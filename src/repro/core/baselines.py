@@ -1,0 +1,136 @@
+"""Naive baselines from Table 1.
+
+* **Last observed** — return the previous packet's value.
+* **EWMA** — exponentially weighted moving average with α = 0.01
+  (the paper's footnote 5).
+
+Both operate on raw (unnormalised) values and are evaluated with the
+same metric as the models: MSE in seconds² for delay, MSE in
+(log-seconds)² for message completion times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import DELAY_COLUMN
+from repro.datasets.windows import WindowDataset
+
+__all__ = [
+    "last_observed_predictions",
+    "ewma_predictions",
+    "evaluate_baselines",
+    "delay_mse",
+    "mct_log_mse",
+]
+
+#: The paper's EWMA smoothing factor.
+EWMA_ALPHA = 0.01
+
+
+def last_observed_predictions(dataset: WindowDataset, task: str = "delay") -> np.ndarray:
+    """Predict each window's target from the most recent observation.
+
+    ``task='delay'``: the delay of the second-to-last packet.
+    ``task='mct'``: the completion time of the most recently *completed*
+    message in the window (excluding the final packet itself).
+    """
+    if task == "delay":
+        return dataset.features[:, -2, DELAY_COLUMN].copy()
+    if task == "mct":
+        return _latest_completed_mct(dataset)
+    raise ValueError(f"unknown task {task!r}")
+
+
+def ewma_predictions(
+    dataset: WindowDataset, task: str = "delay", alpha: float = EWMA_ALPHA
+) -> np.ndarray:
+    """EWMA prediction over the window history (excluding the target)."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if task == "delay":
+        history = dataset.features[:, :-1, DELAY_COLUMN]
+        out = history[:, 0].copy()
+        for step in range(1, history.shape[1]):
+            out = alpha * history[:, step] + (1.0 - alpha) * out
+        return out
+    if task == "mct":
+        return _ewma_completed_mct(dataset, alpha)
+    raise ValueError(f"unknown task {task!r}")
+
+
+def _latest_completed_mct(dataset: WindowDataset) -> np.ndarray:
+    """Most recent completed-message MCT per window (excluding the last
+    packet); windows with none fall back to the dataset's median MCT."""
+    n, window_len = dataset.end_seq.shape
+    history_ends = dataset.end_seq[:, :-1] & np.isfinite(dataset.mct_seq[:, :-1])
+    predictions = np.full(n, np.nan)
+    for row in range(n):
+        ends = np.flatnonzero(history_ends[row])
+        if ends.size:
+            predictions[row] = dataset.mct_seq[row, ends[-1]]
+    fallback = _finite_median(dataset.mct_seq)
+    predictions[~np.isfinite(predictions)] = fallback
+    return predictions
+
+
+def _ewma_completed_mct(dataset: WindowDataset, alpha: float) -> np.ndarray:
+    """EWMA over the sequence of completed-message MCTs per window."""
+    n, window_len = dataset.end_seq.shape
+    predictions = np.full(n, np.nan)
+    for row in range(n):
+        mask = dataset.end_seq[row, :-1] & np.isfinite(dataset.mct_seq[row, :-1])
+        values = dataset.mct_seq[row, :-1][mask]
+        if values.size == 0:
+            continue
+        estimate = values[0]
+        for value in values[1:]:
+            estimate = alpha * value + (1.0 - alpha) * estimate
+        predictions[row] = estimate
+    fallback = _finite_median(dataset.mct_seq)
+    predictions[~np.isfinite(predictions)] = fallback
+    return predictions
+
+
+def _finite_median(values: np.ndarray) -> float:
+    finite = values[np.isfinite(values)]
+    return float(np.median(finite)) if finite.size else 0.0
+
+
+def delay_mse(predictions: np.ndarray, dataset: WindowDataset) -> float:
+    """MSE against the delay targets, in seconds²."""
+    return float(np.mean((predictions - dataset.delay_target) ** 2))
+
+
+def mct_log_mse(predictions: np.ndarray, dataset: WindowDataset) -> float:
+    """MSE against MCT targets on the natural-log scale.
+
+    Windows without a finite MCT label are skipped; non-positive
+    predictions are floored at 1 µs before the log.
+    """
+    valid = np.isfinite(dataset.mct_target) & (dataset.mct_target > 0)
+    if not np.any(valid):
+        raise ValueError("dataset has no valid MCT targets")
+    clipped = np.maximum(predictions[valid], 1e-6)
+    return float(np.mean((np.log(clipped) - np.log(dataset.mct_target[valid])) ** 2))
+
+
+def evaluate_baselines(dataset: WindowDataset, alpha: float = EWMA_ALPHA) -> dict:
+    """Table 1 baseline rows for one dataset.
+
+    Returns ``{"last_observed": {"delay_mse": ..., "mct_log_mse": ...},
+    "ewma": {...}}`` with delay in seconds² and MCT in log² units.
+    """
+    results = {}
+    for name, predictor in (("last_observed", last_observed_predictions), ("ewma", ewma_predictions)):
+        if name == "ewma":
+            delay_pred = predictor(dataset, "delay", alpha)
+            mct_pred = predictor(dataset, "mct", alpha)
+        else:
+            delay_pred = predictor(dataset, "delay")
+            mct_pred = predictor(dataset, "mct")
+        results[name] = {
+            "delay_mse": delay_mse(delay_pred, dataset),
+            "mct_log_mse": mct_log_mse(mct_pred, dataset),
+        }
+    return results

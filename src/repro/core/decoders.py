@@ -1,0 +1,67 @@
+"""Task-specific decoders ("MLP heads").
+
+BERT-style: the heavy encoder is shared, the decoder is small and
+replaceable (§2-§3).  Two heads reproduce the paper's tasks:
+
+* :class:`DelayDecoder` — predict the masked delay of the most recent
+  packet (pre-training and the delay fine-tuning task).
+* :class:`MCTDecoder` — predict (log) message completion time from "two
+  inputs: the NTT outputs for the past packets and the message size".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import GELU, Linear, Sequential
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat
+
+__all__ = ["DelayDecoder", "MCTDecoder"]
+
+
+class DelayDecoder(Module):
+    """MLP on the final element's encoding → scalar delay (normalised)."""
+
+    def __init__(self, d_model: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.mlp = Sequential(
+            Linear(d_model, hidden, rng),
+            GELU(),
+            Linear(hidden, 1, rng),
+        )
+
+    def forward(self, encoded: Tensor) -> Tensor:
+        """``encoded``: (batch, out_len, d_model) → (batch,) predictions.
+
+        The last element corresponds to the most recent (masked) packet.
+        """
+        last = encoded[:, -1, :]
+        return self.mlp(last).reshape(encoded.shape[0])
+
+
+class MCTDecoder(Module):
+    """MLP over pooled sequence context + message size → scalar log-MCT.
+
+    Mean-pooling summarises "the NTT outputs for the past packets";
+    concatenating the (normalised, log) message size gives the decoder
+    the second input the paper describes.
+    """
+
+    def __init__(self, d_model: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.mlp = Sequential(
+            Linear(d_model + 1, hidden, rng),
+            GELU(),
+            Linear(hidden, hidden, rng),
+            GELU(),
+            Linear(hidden, 1, rng),
+        )
+
+    def forward(self, encoded: Tensor, message_size: Tensor) -> Tensor:
+        """``encoded``: (batch, out_len, d_model); ``message_size``:
+        (batch,) normalised log sizes → (batch,) predictions."""
+        pooled = encoded.mean(axis=1)
+        size_column = Tensor.ensure(message_size).reshape(encoded.shape[0], 1)
+        joined = concat([pooled, size_column], axis=1)
+        return self.mlp(joined).reshape(encoded.shape[0])

@@ -1,0 +1,75 @@
+"""Model evaluation in the paper's units.
+
+Models train on normalised targets; these helpers convert predictions
+back to physical units so the reported numbers mean something:
+seconds² for delay, (natural-log seconds)² for message completion time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import DELAY_COLUMN, FeaturePipeline
+from repro.core.model import NTTForDelay, NTTForMCT
+from repro.datasets.windows import WindowDataset
+from repro.nn.tensor import no_grad
+
+__all__ = ["predict_delay", "predict_mct", "evaluate_delay", "evaluate_mct"]
+
+_EVAL_BATCH = 256
+
+
+def predict_delay(
+    model: NTTForDelay, pipeline: FeaturePipeline, dataset: WindowDataset
+) -> np.ndarray:
+    """Delay predictions in seconds."""
+    features = pipeline.transform_features(dataset)
+    outputs = []
+    model.eval()
+    with no_grad():
+        for start in range(0, len(dataset), _EVAL_BATCH):
+            stop = start + _EVAL_BATCH
+            prediction = model(features[start:stop], dataset.receiver[start:stop])
+            outputs.append(prediction.data)
+    normalised = np.concatenate(outputs) if outputs else np.zeros(0)
+    mean = pipeline.feature_scaler.mean[DELAY_COLUMN]
+    return normalised * pipeline.delay_std + mean
+
+
+def predict_mct(
+    model: NTTForMCT, pipeline: FeaturePipeline, dataset: WindowDataset
+) -> np.ndarray:
+    """MCT predictions in natural-log seconds."""
+    features = pipeline.transform_features(dataset)
+    sizes = pipeline.transform_message_size(dataset)
+    outputs = []
+    model.eval()
+    with no_grad():
+        for start in range(0, len(dataset), _EVAL_BATCH):
+            stop = start + _EVAL_BATCH
+            prediction = model(
+                features[start:stop], dataset.receiver[start:stop], sizes[start:stop]
+            )
+            outputs.append(prediction.data)
+    normalised = np.concatenate(outputs) if outputs else np.zeros(0)
+    return pipeline.mct_scaler.inverse_transform(normalised[:, None])[:, 0]
+
+
+def evaluate_delay(
+    model: NTTForDelay, pipeline: FeaturePipeline, dataset: WindowDataset
+) -> float:
+    """Delay MSE in seconds²."""
+    predictions = predict_delay(model, pipeline, dataset)
+    return float(np.mean((predictions - dataset.delay_target) ** 2))
+
+
+def evaluate_mct(
+    model: NTTForMCT, pipeline: FeaturePipeline, dataset: WindowDataset
+) -> float:
+    """MCT MSE in (natural-log seconds)²; skips unlabeled windows."""
+    valid = np.isfinite(dataset.mct_target) & (dataset.mct_target > 0)
+    subset = dataset.subset(valid)
+    if len(subset) == 0:
+        raise ValueError("dataset has no valid MCT targets")
+    predictions = predict_mct(model, pipeline, subset)
+    return float(np.mean((predictions - np.log(subset.mct_target)) ** 2))

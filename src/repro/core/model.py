@@ -1,0 +1,212 @@
+"""The Network Traffic Transformer (Fig. 3).
+
+Three stages:
+
+1. **Embedding** — every packet's continuous features pass through a
+   shared linear embedding; the receiver ID adds a learned embedding
+   vector ("an IP address proxy").  The delay of the most recent packet
+   is masked: its value is zeroed and a learned mask embedding marks the
+   position (BERT-style).
+2. **Aggregation** — the learned multi-timescale aggregation of
+   :mod:`repro.core.aggregation`.
+3. **Transformer encoder** — outputs the context-rich encoded sequence
+   consumed by a task decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.aggregation import AggregationSpec, Aggregator
+from repro.core.decoders import DelayDecoder, MCTDecoder
+from repro.core.features import FeatureSpec
+from repro.nn.layers import Embedding, Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.positional import SinusoidalPositionalEncoding
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import TransformerEncoder
+from repro.utils.rng import RngFactory
+
+__all__ = ["NTTConfig", "NTT", "NTTForDelay", "NTTForMCT"]
+
+
+@dataclass(frozen=True)
+class NTTConfig:
+    """Hyper-parameters of the NTT and its decoders."""
+
+    features: FeatureSpec = field(default_factory=FeatureSpec.full)
+    aggregation: AggregationSpec = field(
+        default_factory=AggregationSpec.multi_timescale_512
+    )
+    d_emb: int = 32
+    d_model: int = 64
+    n_heads: int = 4
+    n_layers: int = 2
+    d_ff: int = 128
+    dropout: float = 0.1
+    decoder_hidden: int = 64
+    n_receivers: int = 16
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"d_model={self.d_model} must be divisible by n_heads={self.n_heads}"
+            )
+
+    @classmethod
+    def small(cls, **overrides) -> "NTTConfig":
+        """The scaled default used by tests and benchmarks."""
+        return replace(cls(), **overrides) if overrides else cls()
+
+    @classmethod
+    def paper(cls, **overrides) -> "NTTConfig":
+        """Paper-scale model: 1024-packet windows, wider encoder."""
+        config = cls(
+            aggregation=AggregationSpec.multi_timescale_paper(),
+            d_emb=64,
+            d_model=128,
+            n_heads=8,
+            n_layers=4,
+            d_ff=512,
+            decoder_hidden=128,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    @classmethod
+    def smoke(cls, **overrides) -> "NTTConfig":
+        """Tiny model for fast unit tests (64-packet windows)."""
+        config = cls(
+            aggregation=AggregationSpec.from_pairs([(4, 9), (4, 4), (12, 1)]),
+            d_emb=12,
+            d_model=24,
+            n_heads=2,
+            n_layers=1,
+            d_ff=48,
+            decoder_hidden=24,
+            dropout=0.0,
+        )
+        return replace(config, **overrides) if overrides else config
+
+
+class NTT(Module):
+    """Embedding → aggregation → encoder (Fig. 3).
+
+    ``forward`` takes numpy arrays straight from the dataset pipeline:
+
+    * ``features`` — normalised continuous features, shape
+      ``(batch, window_len, 3)`` with the full raw column layout; the
+      model selects the columns its :class:`FeatureSpec` keeps and uses
+      only the last ``aggregation.seq_len`` packets.
+    * ``receiver`` — int ids, shape ``(batch, window_len)``.
+
+    Returns the encoded sequence ``(batch, out_len, d_model)``.
+    """
+
+    def __init__(self, config: NTTConfig):
+        super().__init__()
+        self.config = config
+        rng = RngFactory(config.seed).derive("ntt-init")
+        spec = config.features
+        self.embed_continuous = Linear(spec.n_continuous, config.d_emb, rng)
+        if spec.use_receiver:
+            self.embed_receiver = Embedding(config.n_receivers, config.d_emb, rng)
+        else:
+            self.embed_receiver = None
+        # Learned mask embedding flags the masked-delay position.
+        self.mask_embedding = Parameter(
+            rng.normal(0.0, 0.02, size=(config.d_emb,)), name="mask_embedding"
+        )
+        self.aggregator = Aggregator(config.aggregation, config.d_emb, config.d_model, rng)
+        self.positional = SinusoidalPositionalEncoding(
+            config.d_model, max_len=max(config.aggregation.out_len, 64)
+        )
+        self.encoder = TransformerEncoder(
+            config.n_layers,
+            config.d_model,
+            config.n_heads,
+            config.d_ff,
+            rng,
+            dropout=config.dropout,
+        )
+
+    @property
+    def seq_len(self) -> int:
+        return self.config.aggregation.seq_len
+
+    def forward(self, features: np.ndarray, receiver: np.ndarray) -> Tensor:
+        features = np.asarray(features, dtype=np.float64)
+        receiver = np.asarray(receiver, dtype=np.int64)
+        if features.ndim != 3:
+            raise ValueError(f"features must be 3-D, got shape {features.shape}")
+        window_len = features.shape[1]
+        seq_len = self.seq_len
+        if window_len < seq_len:
+            raise ValueError(
+                f"window of {window_len} packets is shorter than the model's "
+                f"sequence length {seq_len}"
+            )
+        spec = self.config.features
+        selected = features[:, window_len - seq_len :, list(spec.continuous_columns)]
+        selected = np.ascontiguousarray(selected)
+        # Mask the most recent packet's delay (the pre-training target).
+        delay_position = spec.delay_position
+        if delay_position is not None:
+            selected = selected.copy()
+            selected[:, -1, delay_position] = 0.0
+        embedded = self.embed_continuous(Tensor(selected))
+        if self.embed_receiver is not None:
+            embedded = embedded + self.embed_receiver(receiver[:, window_len - seq_len :])
+        # Flag the masked position with the learned mask embedding.
+        flag = np.zeros((seq_len, 1), dtype=np.float64)
+        flag[-1, 0] = 1.0
+        embedded = embedded + Tensor(flag) * self.mask_embedding
+        aggregated = self.aggregator(embedded)
+        return self.encoder(self.positional(aggregated))
+
+
+class NTTForDelay(Module):
+    """NTT + delay decoder: the pre-training model (and delay fine-tuning)."""
+
+    def __init__(self, config: NTTConfig, ntt: NTT | None = None):
+        super().__init__()
+        self.config = config
+        self.ntt = ntt if ntt is not None else NTT(config)
+        rng = RngFactory(config.seed).derive("delay-decoder-init")
+        self.decoder = DelayDecoder(config.d_model, config.decoder_hidden, rng)
+
+    def forward(self, features: np.ndarray, receiver: np.ndarray) -> Tensor:
+        return self.decoder(self.ntt(features, receiver))
+
+    def reset_decoder(self, seed: int | None = None) -> None:
+        """Fresh decoder weights (fine-tuning to a new environment)."""
+        rng = RngFactory(seed if seed is not None else self.config.seed).derive(
+            "delay-decoder-reset"
+        )
+        self.decoder = DelayDecoder(self.config.d_model, self.config.decoder_hidden, rng)
+
+
+class NTTForMCT(Module):
+    """NTT + MCT decoder: the new-task fine-tuning model.
+
+    Wraps an existing (typically pre-trained) NTT; the decoder is always
+    fresh because the task is new.
+    """
+
+    def __init__(self, config: NTTConfig, ntt: NTT, seed: int | None = None):
+        super().__init__()
+        self.config = config
+        self.ntt = ntt
+        rng = RngFactory(seed if seed is not None else config.seed).derive("mct-decoder-init")
+        self.decoder = MCTDecoder(config.d_model, config.decoder_hidden, rng)
+
+    def forward(
+        self,
+        features: np.ndarray,
+        receiver: np.ndarray,
+        message_size: np.ndarray,
+    ) -> Tensor:
+        encoded = self.ntt(features, receiver)
+        return self.decoder(encoded, Tensor.ensure(message_size))

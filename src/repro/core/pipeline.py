@@ -1,0 +1,382 @@
+"""End-to-end experiment pipeline: the paper's evaluation (§4) as code.
+
+:class:`ExperimentContext` owns datasets and the shared pre-trained
+model for one *scale* (``smoke`` / ``small`` / ``paper``); the
+``run_table1/2/3`` functions regenerate the corresponding tables.
+Benchmarks and examples are thin wrappers around this module.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.aggregation import AggregationSpec
+from repro.core.baselines import evaluate_baselines
+from repro.core.features import FeaturePipeline, FeatureSpec
+from repro.core.finetune import (
+    FinetuneMode,
+    finetune_delay,
+    finetune_mct,
+    train_delay_from_scratch,
+    train_mct_from_scratch,
+)
+from repro.core.model import NTTConfig
+from repro.core.pretrain import PretrainResult, TrainSettings, pretrain
+from repro.datasets.generation import DatasetBundle, generate_dataset
+from repro.datasets.windows import WindowConfig
+from repro.netsim.scenarios import ScenarioConfig, ScenarioKind
+
+__all__ = [
+    "ExperimentScale",
+    "ExperimentContext",
+    "get_scale",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "format_rows",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Everything that differs between smoke / small / paper runs."""
+
+    name: str
+    window: WindowConfig
+    n_runs: int
+    pretrain_settings: TrainSettings
+    finetune_settings: TrainSettings
+    fine_fraction: float = 0.1
+    #: aggregation variants for the Table 1 ablations, keyed by name.
+    aggregation_variants: dict = field(default_factory=dict)
+
+    def scenario(self, kind: str, seed: int = 0) -> ScenarioConfig:
+        if self.name == "paper":
+            return ScenarioConfig.paper(kind, seed=seed)
+        if self.name == "smoke":
+            return ScenarioConfig.smoke(kind, seed=seed)
+        return ScenarioConfig.small(kind, seed=seed)
+
+    def model_config(
+        self,
+        features: FeatureSpec | None = None,
+        aggregation: AggregationSpec | None = None,
+    ) -> NTTConfig:
+        if self.name == "paper":
+            base = NTTConfig.paper()
+        elif self.name == "smoke":
+            base = NTTConfig.smoke()
+        else:
+            base = NTTConfig.small()
+        from dataclasses import replace
+
+        overrides = {}
+        if features is not None:
+            overrides["features"] = features
+        if aggregation is not None:
+            overrides["aggregation"] = aggregation
+        return replace(base, **overrides) if overrides else base
+
+
+def _smoke_scale() -> ExperimentScale:
+    return ExperimentScale(
+        name="smoke",
+        window=WindowConfig(window_len=64, stride=4),
+        n_runs=1,
+        pretrain_settings=TrainSettings.smoke(),
+        finetune_settings=TrainSettings.smoke(),
+        aggregation_variants={
+            "multi": AggregationSpec.from_pairs([(4, 9), (4, 4), (12, 1)]),
+            "none": AggregationSpec.none(20),
+            "fixed": AggregationSpec.fixed(count=20, block=3),
+        },
+    )
+
+
+def _small_scale() -> ExperimentScale:
+    return ExperimentScale(
+        name="small",
+        window=WindowConfig(window_len=512, stride=8),
+        n_runs=2,
+        pretrain_settings=TrainSettings(epochs=15),
+        finetune_settings=TrainSettings(epochs=10),
+        aggregation_variants={
+            "multi": AggregationSpec.multi_timescale_512(),
+            "none": AggregationSpec.none(44),
+            "fixed": AggregationSpec.fixed(count=42, block=12),
+        },
+    )
+
+
+def _paper_scale() -> ExperimentScale:
+    return ExperimentScale(
+        name="paper",
+        window=WindowConfig(window_len=1024, stride=16),
+        n_runs=10,
+        pretrain_settings=TrainSettings(epochs=30),
+        finetune_settings=TrainSettings(epochs=20),
+        aggregation_variants={
+            "multi": AggregationSpec.multi_timescale_paper(),
+            "none": AggregationSpec.none(48),
+            "fixed": AggregationSpec.fixed_paper(),
+        },
+    )
+
+
+_SCALES = {"smoke": _smoke_scale, "small": _small_scale, "paper": _paper_scale}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve a scale by name, defaulting to ``$REPRO_BENCH_SCALE`` or
+    ``small``."""
+    if name is None:
+        name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    try:
+        return _SCALES[name]()
+    except KeyError:
+        raise ValueError(f"unknown scale {name!r}; choose from {sorted(_SCALES)}") from None
+
+
+class ExperimentContext:
+    """Caches datasets and the shared pre-trained model for one scale.
+
+    Dataset generation and pre-training dominate experiment wall time;
+    the three table runners share them through this context.
+    """
+
+    def __init__(self, scale: ExperimentScale):
+        self.scale = scale
+        self._bundles: dict[str, DatasetBundle] = {}
+        self._pretrained: PretrainResult | None = None
+
+    # -- datasets -----------------------------------------------------------------
+
+    def bundle(self, kind: str) -> DatasetBundle:
+        """The windowed dataset for one scenario kind (cached)."""
+        if kind not in self._bundles:
+            receiver_index = None
+            if kind != ScenarioKind.PRETRAIN:
+                # Receiver identities are shared with pre-training.
+                receiver_index = self.bundle(ScenarioKind.PRETRAIN).receiver_index
+            self._bundles[kind] = generate_dataset(
+                self.scale.scenario(kind),
+                window_config=self.scale.window,
+                n_runs=self.scale.n_runs,
+                name=kind,
+                receiver_index=receiver_index,
+            )
+        return self._bundles[kind]
+
+    # -- models --------------------------------------------------------------------
+
+    def pretrained(self) -> PretrainResult:
+        """The shared fully-featured pre-trained NTT (cached)."""
+        if self._pretrained is None:
+            self._pretrained = pretrain(
+                self.scale.model_config(),
+                self.bundle(ScenarioKind.PRETRAIN),
+                settings=self.scale.pretrain_settings,
+            )
+        return self._pretrained
+
+    def pretrain_variant(
+        self,
+        features: FeatureSpec | None = None,
+        aggregation: AggregationSpec | None = None,
+        pipeline: FeaturePipeline | None = None,
+    ) -> PretrainResult:
+        """Pre-train an ablated NTT variant (not cached: each Table 1 row
+        uses its own)."""
+        config = self.scale.model_config(features=features, aggregation=aggregation)
+        return pretrain(
+            config,
+            self.bundle(ScenarioKind.PRETRAIN),
+            settings=self.scale.pretrain_settings,
+            pipeline=pipeline,
+        )
+
+
+# -- table runners -------------------------------------------------------------------
+
+
+def run_table1(scale: ExperimentScale | None = None, context: ExperimentContext | None = None) -> dict:
+    """Table 1: MSE for all models and tasks (case 1, 10% fine-tuning).
+
+    Rows: pre-trained NTT, from-scratch NTT, the two naive baselines and
+    four ablated NTTs.  Columns: pre-training delay MSE, fine-tuned
+    delay MSE, fine-tuned log-MCT MSE (all in paper units ×10⁻³:
+    seconds² for delay, log² for MCT).
+    """
+    scale = scale if scale is not None else get_scale()
+    context = context if context is not None else ExperimentContext(scale)
+    case1 = context.bundle(ScenarioKind.CASE1).small_fraction(scale.fine_fraction)
+    rows: dict[str, dict] = {}
+
+    # NTT pre-trained (shared model; decoder-only fine-tuning).
+    pre = context.pretrained()
+    ft_delay = finetune_delay(
+        pre.model, pre.pipeline, case1, settings=scale.finetune_settings,
+        mode=FinetuneMode.DECODER_ONLY,
+    )
+    ft_mct = finetune_mct(
+        pre.model, pre.model.config, pre.pipeline, case1,
+        settings=scale.finetune_settings, mode=FinetuneMode.DECODER_ONLY,
+    )
+    rows["ntt_pretrained"] = {
+        "pretrain_delay_mse": pre.test_mse_seconds2,
+        "finetune_delay_mse": ft_delay.test_mse,
+        "finetune_mct_mse": ft_mct.test_mse,
+    }
+
+    # NTT from scratch (fine-tuning data only).
+    scratch_cfg = scale.model_config()
+    scratch_delay = train_delay_from_scratch(
+        scratch_cfg, pre.pipeline, case1, settings=scale.finetune_settings
+    )
+    scratch_mct = train_mct_from_scratch(
+        scratch_cfg, pre.pipeline, case1, settings=scale.finetune_settings
+    )
+    rows["ntt_from_scratch"] = {
+        "pretrain_delay_mse": None,
+        "finetune_delay_mse": scratch_delay.test_mse,
+        "finetune_mct_mse": scratch_mct.test_mse,
+    }
+
+    # Naive baselines, evaluated on both test sets.
+    pretrain_baselines = evaluate_baselines(context.bundle(ScenarioKind.PRETRAIN).test)
+    case1_baselines = evaluate_baselines(case1.test)
+    for name in ("last_observed", "ewma"):
+        rows[name] = {
+            "pretrain_delay_mse": pretrain_baselines[name]["delay_mse"],
+            "finetune_delay_mse": case1_baselines[name]["delay_mse"],
+            "finetune_mct_mse": case1_baselines[name]["mct_log_mse"],
+        }
+
+    # Ablations: aggregation and feature variants, pre-trained then
+    # fine-tuned exactly like the full model.
+    variants = {
+        "no_aggregation": dict(aggregation=scale.aggregation_variants["none"]),
+        "fixed_aggregation": dict(aggregation=scale.aggregation_variants["fixed"]),
+        "without_packet_size": dict(features=FeatureSpec.without_size()),
+        "without_delay": dict(features=FeatureSpec.without_delay()),
+    }
+    for name, overrides in variants.items():
+        variant_pre = context.pretrain_variant(**overrides)
+        variant_delay = finetune_delay(
+            variant_pre.model, variant_pre.pipeline, case1,
+            settings=scale.finetune_settings, mode=FinetuneMode.DECODER_ONLY,
+        )
+        variant_mct = finetune_mct(
+            variant_pre.model, variant_pre.model.config, variant_pre.pipeline, case1,
+            settings=scale.finetune_settings, mode=FinetuneMode.DECODER_ONLY,
+        )
+        rows[name] = {
+            "pretrain_delay_mse": variant_pre.test_mse_seconds2,
+            "finetune_delay_mse": variant_delay.test_mse,
+            "finetune_mct_mse": variant_mct.test_mse,
+        }
+    return rows
+
+
+def run_table2(scale: ExperimentScale | None = None, context: ExperimentContext | None = None) -> dict:
+    """Table 2: pre-training saves fine-tuning data and compute (case 1).
+
+    Rows: pre-trained + decoder-only on full/10% data vs. from-scratch +
+    full model on full/10% data; columns: delay MSE and wall-clock
+    training time of the fine-tuning stage.
+    """
+    scale = scale if scale is not None else get_scale()
+    context = context if context is not None else ExperimentContext(scale)
+    case1_full = context.bundle(ScenarioKind.CASE1)
+    case1_small = case1_full.small_fraction(scale.fine_fraction)
+    pre = context.pretrained()
+    rows: dict[str, dict] = {}
+
+    for label, bundle in (("full", case1_full), ("10pct", case1_small)):
+        result = finetune_delay(
+            pre.model, pre.pipeline, bundle,
+            settings=scale.finetune_settings, mode=FinetuneMode.DECODER_ONLY,
+        )
+        rows[f"pretrained_{label}"] = {
+            "layers_trained": "decoder_only",
+            "delay_mse": result.test_mse,
+            "training_time_s": result.training_time,
+        }
+    for label, bundle in (("full", case1_full), ("10pct", case1_small)):
+        result = train_delay_from_scratch(
+            scale.model_config(), pre.pipeline, bundle, settings=scale.finetune_settings
+        )
+        rows[f"scratch_{label}"] = {
+            "layers_trained": "full",
+            "delay_mse": result.test_mse,
+            "training_time_s": result.training_time,
+        }
+    return rows
+
+
+def run_table3(scale: ExperimentScale | None = None, context: ExperimentContext | None = None) -> dict:
+    """Table 3: the larger topology (case 2).
+
+    Pre-trained models fine-tune (full model — the new receivers need
+    their embeddings trained) on full/10% data; from-scratch fails; the
+    no-receiver-ID ablation cannot tell receivers apart; baselines for
+    reference.
+    """
+    scale = scale if scale is not None else get_scale()
+    context = context if context is not None else ExperimentContext(scale)
+    case2_full = context.bundle(ScenarioKind.CASE2)
+    case2_small = case2_full.small_fraction(scale.fine_fraction)
+    pre = context.pretrained()
+    rows: dict[str, dict] = {}
+
+    import copy
+
+    for label, bundle in (("full", case2_full), ("10pct", case2_small)):
+        # Fine-tune a copy so the 10% run starts from the same weights.
+        model = copy.deepcopy(pre.model)
+        result = finetune_delay(
+            model, pre.pipeline, bundle,
+            settings=scale.finetune_settings, mode=FinetuneMode.FULL,
+        )
+        rows[f"pretrained_{label}"] = {
+            "delay_mse": result.test_mse,
+            "training_time_s": result.training_time,
+        }
+    for label, bundle in (("full", case2_full), ("10pct", case2_small)):
+        result = train_delay_from_scratch(
+            scale.model_config(), pre.pipeline, bundle, settings=scale.finetune_settings
+        )
+        rows[f"scratch_{label}"] = {
+            "delay_mse": result.test_mse,
+            "training_time_s": result.training_time,
+        }
+
+    # Baselines (the §4 "not shown" reference numbers).
+    baselines = evaluate_baselines(case2_full.test)
+    rows["last_observed"] = {"delay_mse": baselines["last_observed"]["delay_mse"]}
+    rows["ewma"] = {"delay_mse": baselines["ewma"]["delay_mse"]}
+
+    # Without addressing information the receivers are indistinguishable.
+    no_rx_pre = context.pretrain_variant(features=FeatureSpec.without_receiver())
+    no_rx = finetune_delay(
+        no_rx_pre.model, no_rx_pre.pipeline, case2_full,
+        settings=scale.finetune_settings, mode=FinetuneMode.FULL,
+    )
+    rows["without_receiver_id"] = {"delay_mse": no_rx.test_mse}
+    return rows
+
+
+def format_rows(rows: dict, scale_factor: float = 1e3, unit: str = "x1e-3") -> str:
+    """Human-readable table of nested result dictionaries."""
+    lines = []
+    for row_name, columns in rows.items():
+        parts = []
+        for column, value in columns.items():
+            if isinstance(value, float):
+                parts.append(f"{column}={value * scale_factor:10.4f}{unit}"
+                             if "mse" in column else f"{column}={value:.2f}")
+            else:
+                parts.append(f"{column}={value}")
+        lines.append(f"{row_name:24s} " + "  ".join(parts))
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Pre-training: masked delay prediction (§3, "Learning network patterns").
+
+"To pre-train NTT, we mask the delay of the most recent packet in the
+sequence and use a decoder with linear layers to predict the actual
+delay."  The masking lives inside :class:`~repro.core.model.NTT`; this
+module wires datasets, the trainer and evaluation together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_delay
+from repro.core.features import FeaturePipeline
+from repro.core.model import NTTConfig, NTTForDelay
+from repro.datasets.generation import DatasetBundle
+from repro.datasets.windows import WindowDataset
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.schedule import warmup_cosine
+from repro.nn.trainer import Trainer, TrainingHistory
+from repro.utils.rng import RngFactory
+
+__all__ = ["TrainSettings", "PretrainResult", "pretrain", "make_delay_loaders"]
+
+
+@dataclass(frozen=True)
+class TrainSettings:
+    """Optimisation hyper-parameters shared by pre-training and fine-tuning."""
+
+    epochs: int = 15
+    batch_size: int = 64
+    lr: float = 3e-4
+    warmup_fraction: float = 0.1
+    grad_clip: float = 1.0
+    patience: int | None = 5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.epochs <= 0 or self.batch_size <= 0 or self.lr <= 0:
+            raise ValueError("epochs, batch_size and lr must be positive")
+
+    @classmethod
+    def smoke(cls) -> "TrainSettings":
+        return cls(epochs=3, batch_size=32, patience=None)
+
+    def scaled(self, epochs: int) -> "TrainSettings":
+        return replace(self, epochs=epochs)
+
+
+@dataclass
+class PretrainResult:
+    """Outcome of a pre-training run."""
+
+    model: NTTForDelay
+    pipeline: FeaturePipeline
+    history: TrainingHistory
+    test_mse_seconds2: float
+
+    @property
+    def test_mse_scaled(self) -> float:
+        """Delay MSE in the paper's "×10⁻³" display convention."""
+        return self.test_mse_seconds2 * 1e3
+
+
+def make_delay_loaders(
+    pipeline: FeaturePipeline,
+    train: WindowDataset,
+    val: WindowDataset,
+    settings: TrainSettings,
+) -> tuple[DataLoader, DataLoader]:
+    """Build (train, val) loaders of ``(features, receiver, target)``."""
+    rng = RngFactory(settings.seed).derive("delay-loader")
+    train_ds = ArrayDataset(
+        pipeline.transform_features(train),
+        train.receiver,
+        pipeline.transform_delay_target(train),
+    )
+    val_ds = ArrayDataset(
+        pipeline.transform_features(val),
+        val.receiver,
+        pipeline.transform_delay_target(val),
+    )
+    return (
+        DataLoader(train_ds, settings.batch_size, shuffle=True, rng=rng),
+        DataLoader(val_ds, max(settings.batch_size, 128)),
+    )
+
+
+def _delay_forward(model, batch):
+    features, receiver, target = batch
+    return model(features, receiver.astype(np.int64)), target
+
+
+def pretrain(
+    config: NTTConfig,
+    bundle: DatasetBundle,
+    settings: TrainSettings | None = None,
+    pipeline: FeaturePipeline | None = None,
+    verbose: bool = False,
+) -> PretrainResult:
+    """Pre-train an NTT on a (pre-training) dataset bundle.
+
+    A fresh :class:`FeaturePipeline` is fitted on the bundle's training
+    split unless one is supplied.  Returns the trained model together
+    with its pipeline — fine-tuning must reuse both.
+    """
+    settings = settings if settings is not None else TrainSettings()
+    if pipeline is None:
+        pipeline = FeaturePipeline().fit(bundle.train)
+    model = NTTForDelay(config)
+    train_loader, val_loader = make_delay_loaders(pipeline, bundle.train, bundle.val, settings)
+    total_steps = max(len(train_loader) * settings.epochs, 2)
+    trainer = Trainer(
+        model,
+        Adam(model.parameters(), lr=settings.lr),
+        mse_loss,
+        forward_fn=_delay_forward,
+        grad_clip=settings.grad_clip,
+        schedule=warmup_cosine(
+            max(1, int(total_steps * settings.warmup_fraction)), total_steps
+        ),
+    )
+    history = trainer.fit(
+        train_loader,
+        val_loader,
+        epochs=settings.epochs,
+        patience=settings.patience,
+        verbose=verbose,
+    )
+    test_mse = evaluate_delay(model, pipeline, bundle.test)
+    return PretrainResult(model, pipeline, history, test_mse)

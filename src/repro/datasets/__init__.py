@@ -1,0 +1,22 @@
+"""Dataset pipeline: simulator traces → windowed training arrays.
+
+The paper feeds the NTT sequences of 1024 packets with four raw features
+(timestamp, size, receiver ID, delay) and reserves a fraction of every
+dataset for testing (§4).  This package turns :class:`repro.netsim.trace.Trace`
+objects into exactly that.
+"""
+
+from repro.datasets.windows import WindowConfig, WindowDataset, windows_from_trace
+from repro.datasets.normalize import FeatureScaler
+from repro.datasets.generation import DatasetBundle, generate_dataset
+from repro.datasets.splits import temporal_split
+
+__all__ = [
+    "WindowConfig",
+    "WindowDataset",
+    "windows_from_trace",
+    "FeatureScaler",
+    "DatasetBundle",
+    "generate_dataset",
+    "temporal_split",
+]

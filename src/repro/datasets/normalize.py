@@ -1,0 +1,70 @@
+"""Feature normalisation.
+
+Continuous features are z-scored with statistics estimated on the
+*pre-training* split and reused everywhere (fine-tuning included): a
+fine-tuned model must consume inputs on the scale the encoder was
+pre-trained with, exactly like token vocabularies are frozen in NLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FeatureScaler"]
+
+
+class FeatureScaler:
+    """Per-column z-score scaler: ``scaled = (x - mean) / std``.
+
+    Columns with (near-)zero variance scale by 1 instead of exploding.
+    """
+
+    def __init__(self, mean: np.ndarray | None = None, std: np.ndarray | None = None):
+        self.mean = None if mean is None else np.asarray(mean, dtype=np.float64)
+        self.std = None if std is None else np.asarray(std, dtype=np.float64)
+
+    @property
+    def fitted(self) -> bool:
+        return self.mean is not None
+
+    def fit(self, values: np.ndarray) -> "FeatureScaler":
+        """Estimate statistics from ``values`` of shape ``(..., n_columns)``."""
+        values = np.asarray(values, dtype=np.float64)
+        flat = values.reshape(-1, values.shape[-1])
+        self.mean = flat.mean(axis=0)
+        std = flat.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.std = std
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Apply the fitted scaling."""
+        self._require_fitted()
+        return (np.asarray(values, dtype=np.float64) - self.mean) / self.std
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        """Undo the scaling."""
+        self._require_fitted()
+        return np.asarray(values, dtype=np.float64) * self.std + self.mean
+
+    def column(self, index: int) -> "FeatureScaler":
+        """A scaler for a single column (used for scalar targets)."""
+        self._require_fitted()
+        return FeatureScaler(mean=self.mean[index : index + 1], std=self.std[index : index + 1])
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError("FeatureScaler used before fit()")
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        self._require_fitted()
+        return {"mean": self.mean.tolist(), "std": self.std.tolist()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FeatureScaler":
+        return cls(mean=np.asarray(payload["mean"]), std=np.asarray(payload["std"]))

@@ -1,0 +1,209 @@
+"""Sliding windows over packet traces.
+
+Every training example is a window of ``window_len`` consecutive packets
+ending at a "current" packet whose delay the model predicts (the paper's
+pre-training task masks exactly that delay).  Windows never straddle
+simulation runs.
+
+Raw (unnormalised) feature columns, one row per packet:
+
+0. ``rel_time`` — send time of the packet minus the send time of the
+   window's last packet (non-positive; 0 for the last packet).  Using
+   relative time keeps features stationary across a run.
+1. ``size`` — packet size in bytes.
+2. ``delay`` — end-to-end delay in seconds (the masked feature).
+
+Receiver IDs ride in a parallel integer array; labels and message
+metadata are per-window scalars about the *last* packet.  Two auxiliary
+per-packet arrays (``mct_seq``, ``end_seq``) carry message-completion
+information for the in-window baselines of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.trace import Trace
+
+__all__ = ["WindowConfig", "WindowDataset", "windows_from_trace", "RAW_FEATURES"]
+
+#: Order of the continuous feature columns.
+RAW_FEATURES = ("rel_time", "size", "delay")
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Windowing parameters.
+
+    Args:
+        window_len: packets per window (the paper uses 1024; the scaled
+            default is 512).
+        stride: spacing between consecutive window ends.  A stride above
+            1 decorrelates examples and shrinks datasets to trainable
+            sizes.
+    """
+
+    window_len: int = 512
+    stride: int = 8
+
+    def __post_init__(self):
+        if self.window_len < 2:
+            raise ValueError(f"window_len must be at least 2, got {self.window_len}")
+        if self.stride < 1:
+            raise ValueError(f"stride must be positive, got {self.stride}")
+
+
+class WindowDataset:
+    """Array-backed windows.
+
+    Attributes:
+        features: float64 ``(n, window_len, 3)`` raw feature columns.
+        receiver: int64 ``(n, window_len)`` receiver ids (contiguous
+            indices into the model's embedding table).
+        delay_target: float64 ``(n,)`` true delay of each window's last
+            packet, seconds.
+        mct_target: float64 ``(n,)`` completion time of the last packet's
+            message, seconds (``nan`` when unknown).
+        message_size: float64 ``(n,)`` size of that message, bytes.
+        mct_seq: float64 ``(n, window_len)`` per-packet message completion
+            times (``nan`` when unknown).
+        end_seq: bool ``(n, window_len)`` True where a packet ends its
+            message.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        receiver: np.ndarray,
+        delay_target: np.ndarray,
+        mct_target: np.ndarray,
+        message_size: np.ndarray,
+        mct_seq: np.ndarray | None = None,
+        end_seq: np.ndarray | None = None,
+    ):
+        self.features = np.asarray(features, dtype=np.float64)
+        self.receiver = np.asarray(receiver, dtype=np.int64)
+        self.delay_target = np.asarray(delay_target, dtype=np.float64)
+        self.mct_target = np.asarray(mct_target, dtype=np.float64)
+        self.message_size = np.asarray(message_size, dtype=np.float64)
+        n, window_len = self.features.shape[0], self.features.shape[1] if self.features.ndim == 3 else 0
+        if mct_seq is None:
+            mct_seq = np.full((n, window_len), np.nan)
+        if end_seq is None:
+            end_seq = np.zeros((n, window_len), dtype=bool)
+        self.mct_seq = np.asarray(mct_seq, dtype=np.float64)
+        self.end_seq = np.asarray(end_seq, dtype=bool)
+        for name in ("receiver", "delay_target", "mct_target", "message_size", "mct_seq", "end_seq"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name} length mismatch")
+        if self.features.ndim != 3 or self.features.shape[2] != len(RAW_FEATURES):
+            raise ValueError(
+                f"features must be (n, window_len, {len(RAW_FEATURES)}), got {self.features.shape}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    @property
+    def window_len(self) -> int:
+        return self.features.shape[1]
+
+    def subset(self, indices) -> "WindowDataset":
+        """Select windows by integer index array or boolean mask."""
+        return WindowDataset(
+            self.features[indices],
+            self.receiver[indices],
+            self.delay_target[indices],
+            self.mct_target[indices],
+            self.message_size[indices],
+            self.mct_seq[indices],
+            self.end_seq[indices],
+        )
+
+    def sample_fraction(self, fraction: float, rng: np.random.Generator) -> "WindowDataset":
+        """Uniformly subsample a fraction of windows (the paper's "10%"
+        fine-tuning datasets)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        count = max(1, int(round(len(self) * fraction)))
+        indices = rng.choice(len(self), size=count, replace=False)
+        indices.sort()
+        return self.subset(indices)
+
+    @staticmethod
+    def concatenate(datasets: list["WindowDataset"]) -> "WindowDataset":
+        """Concatenate windows from several runs."""
+        if not datasets:
+            raise ValueError("need at least one dataset to concatenate")
+        return WindowDataset(
+            np.concatenate([d.features for d in datasets]),
+            np.concatenate([d.receiver for d in datasets]),
+            np.concatenate([d.delay_target for d in datasets]),
+            np.concatenate([d.mct_target for d in datasets]),
+            np.concatenate([d.message_size for d in datasets]),
+            np.concatenate([d.mct_seq for d in datasets]),
+            np.concatenate([d.end_seq for d in datasets]),
+        )
+
+    def with_completed_messages_only(self) -> "WindowDataset":
+        """Drop windows whose MCT label is unknown (message truncated by
+        the end of the simulation)."""
+        mask = np.isfinite(self.mct_target) & (self.mct_target > 0)
+        return self.subset(mask)
+
+
+def windows_from_trace(
+    trace: Trace,
+    config: WindowConfig,
+    receiver_index: dict[int, int],
+) -> WindowDataset:
+    """Slice one trace into windows.
+
+    ``receiver_index`` maps raw receiver node ids to contiguous embedding
+    indices; it must be shared across *all* traces of an experiment so a
+    given receiver keeps its identity between pre-training and
+    fine-tuning.
+    """
+    n_packets = len(trace)
+    window_len = config.window_len
+    if n_packets < window_len:
+        return WindowDataset(
+            np.zeros((0, window_len, len(RAW_FEATURES))),
+            np.zeros((0, window_len), dtype=np.int64),
+            np.zeros(0),
+            np.zeros(0),
+            np.zeros(0),
+            np.zeros((0, window_len)),
+            np.zeros((0, window_len), dtype=bool),
+        )
+    delays = trace.delay
+    receiver_mapped = np.array(
+        [receiver_index[int(r)] for r in trace.receiver_id], dtype=np.int64
+    )
+    ends = np.arange(window_len - 1, n_packets, config.stride)
+    n_windows = len(ends)
+    features = np.zeros((n_windows, window_len, len(RAW_FEATURES)), dtype=np.float64)
+    receiver = np.zeros((n_windows, window_len), dtype=np.int64)
+    delay_target = np.zeros(n_windows, dtype=np.float64)
+    mct_target = np.zeros(n_windows, dtype=np.float64)
+    message_size = np.zeros(n_windows, dtype=np.float64)
+    mct_seq = np.zeros((n_windows, window_len), dtype=np.float64)
+    end_seq = np.zeros((n_windows, window_len), dtype=bool)
+    for row, end in enumerate(ends):
+        start = end - window_len + 1
+        window_slice = slice(start, end + 1)
+        send = trace.send_time[window_slice]
+        features[row, :, 0] = send - send[-1]
+        features[row, :, 1] = trace.size[window_slice]
+        features[row, :, 2] = delays[window_slice]
+        receiver[row] = receiver_mapped[window_slice]
+        delay_target[row] = delays[end]
+        mct_target[row] = trace.mct[end]
+        message_size[row] = trace.message_size[end]
+        mct_seq[row] = trace.mct[window_slice]
+        end_seq[row] = trace.is_message_end[window_slice]
+    return WindowDataset(
+        features, receiver, delay_target, mct_target, message_size, mct_seq, end_seq
+    )

@@ -1,0 +1,13 @@
+"""Extensions implementing the paper's §5 research agenda.
+
+* :mod:`repro.extensions.federated` — "Collaborative pre-training":
+  combine NTTs pre-trained on private data shards by federated
+  averaging, so organisations share models instead of traces.
+* :mod:`repro.extensions.continual` — "Continual learning": decide when
+  a deployed (fine-tuned) NTT has gone stale and should be re-trained.
+"""
+
+from repro.extensions.federated import FederatedTrainer, federated_average
+from repro.extensions.continual import DriftMonitor, DriftReport
+
+__all__ = ["FederatedTrainer", "federated_average", "DriftMonitor", "DriftReport"]

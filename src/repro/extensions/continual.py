@@ -1,0 +1,122 @@
+"""Continual learning: when is a deployed NTT outdated? (§5)
+
+"At which point should we consider an NTT outdated? When and with what
+data should it be re-trained?"  This module provides the monitoring half
+of that loop: track a deployed model's squared error on fresh windows
+and raise a drift flag when the error distribution degrades
+significantly relative to the validation baseline.
+
+The detector is a Page-Hinkley test over the per-window squared error —
+a standard sequential change-point detector that accumulates deviations
+above the baseline mean and flags when the cumulative excess crosses a
+threshold, robust to isolated outliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluation import predict_delay
+from repro.core.features import FeaturePipeline
+from repro.core.model import NTTForDelay
+from repro.datasets.windows import WindowDataset
+
+__all__ = ["DriftMonitor", "DriftReport"]
+
+
+@dataclass
+class DriftReport:
+    """Outcome of feeding one batch of fresh windows to the monitor."""
+
+    windows_seen: int
+    mean_error: float
+    baseline_error: float
+    statistic: float
+    threshold: float
+    drifted: bool
+
+    @property
+    def degradation_ratio(self) -> float:
+        """Recent error relative to the deployment baseline."""
+        if self.baseline_error <= 0:
+            return float("inf") if self.mean_error > 0 else 1.0
+        return self.mean_error / self.baseline_error
+
+
+class DriftMonitor:
+    """Page-Hinkley drift detector over a deployed delay model.
+
+    Args:
+        model: the deployed (fine-tuned) model.
+        pipeline: its feature pipeline.
+        baseline: windows representative of the deployment-time
+            distribution; their mean squared error calibrates the test.
+        sensitivity: multiple of the baseline error used as the
+            Page-Hinkley threshold (higher = fewer false alarms).
+        tolerance: slack added to the baseline mean before deviations
+            count toward the statistic (absorbs benign noise).
+    """
+
+    def __init__(
+        self,
+        model: NTTForDelay,
+        pipeline: FeaturePipeline,
+        baseline: WindowDataset,
+        sensitivity: float = 50.0,
+        tolerance: float = 0.5,
+    ):
+        if sensitivity <= 0 or tolerance < 0:
+            raise ValueError("sensitivity must be positive and tolerance non-negative")
+        self.model = model
+        self.pipeline = pipeline
+        baseline_errors = self._squared_errors(baseline)
+        self.baseline_error = float(baseline_errors.mean())
+        if self.baseline_error <= 0:
+            raise ValueError("baseline error is zero; cannot calibrate drift detection")
+        self.sensitivity = float(sensitivity)
+        self.tolerance = float(tolerance)
+        self.threshold = self.sensitivity * self.baseline_error
+        self._statistic = 0.0
+        self._minimum = 0.0
+        self._windows_seen = 0
+        self._recent_errors: list[float] = []
+
+    def _squared_errors(self, dataset: WindowDataset) -> np.ndarray:
+        predictions = predict_delay(self.model, self.pipeline, dataset)
+        return (predictions - dataset.delay_target) ** 2
+
+    def observe(self, fresh: WindowDataset) -> DriftReport:
+        """Feed a batch of fresh windows; returns the updated verdict.
+
+        The Page-Hinkley statistic accumulates per-window error excess
+        over ``baseline * (1 + tolerance)`` and compares its rise above
+        the running minimum with the threshold.
+        """
+        if len(fresh) == 0:
+            raise ValueError("observe() needs at least one window")
+        errors = self._squared_errors(fresh)
+        allowed = self.baseline_error * (1.0 + self.tolerance)
+        for error in errors:
+            self._statistic += float(error) - allowed
+            self._minimum = min(self._minimum, self._statistic)
+        self._windows_seen += len(fresh)
+        self._recent_errors.extend(errors.tolist())
+        self._recent_errors = self._recent_errors[-1000:]
+        rise = self._statistic - self._minimum
+        return DriftReport(
+            windows_seen=self._windows_seen,
+            mean_error=float(np.mean(self._recent_errors)),
+            baseline_error=self.baseline_error,
+            statistic=rise,
+            threshold=self.threshold,
+            drifted=rise > self.threshold,
+        )
+
+    def reset(self) -> None:
+        """Clear the accumulated statistic (call after re-training)."""
+        self._statistic = 0.0
+        self._minimum = 0.0
+        self._windows_seen = 0
+        self._recent_errors.clear()

@@ -1,0 +1,146 @@
+"""Collaborative pre-training via federated averaging (§5).
+
+The paper argues that pre-training at scale will need data no single
+organisation can share: "Organizations could keep their data private and
+only share pre-trained models, which can be combined into a final
+collectively pre-trained model."  This module implements exactly that
+loop with FedAvg [McMahan et al. 2017]:
+
+1. every *client* holds a private dataset bundle (its own traces);
+2. each round, clients copy the global weights, train locally for a few
+   epochs, and return their updated weights;
+3. the server averages the weights (weighted by local dataset size) into
+   the next global model.
+
+Only state dicts cross the client boundary — never packets.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_delay
+from repro.core.features import FeaturePipeline
+from repro.core.model import NTTConfig, NTTForDelay
+from repro.core.pretrain import TrainSettings, make_delay_loaders, _delay_forward
+from repro.datasets.generation import DatasetBundle
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.trainer import Trainer
+
+__all__ = ["federated_average", "FederatedTrainer", "FederatedRound"]
+
+
+def federated_average(states: list[dict], weights: list[float] | None = None) -> dict:
+    """Weighted average of parameter state dicts (FedAvg's server step).
+
+    All states must share exactly the same keys and shapes; the weights
+    (typically local dataset sizes) are normalised internally.
+    """
+    if not states:
+        raise ValueError("need at least one state dict to average")
+    if weights is None:
+        weights = [1.0] * len(states)
+    if len(weights) != len(states):
+        raise ValueError(f"{len(states)} states but {len(weights)} weights")
+    if any(weight <= 0 for weight in weights):
+        raise ValueError("weights must be positive")
+    keys = set(states[0])
+    for state in states[1:]:
+        if set(state) != keys:
+            raise ValueError("state dicts have mismatched parameter names")
+    total = float(sum(weights))
+    averaged = {}
+    for key in keys:
+        stacked = [np.asarray(state[key], dtype=np.float64) for state in states]
+        shapes = {array.shape for array in stacked}
+        if len(shapes) != 1:
+            raise ValueError(f"parameter {key!r} has mismatched shapes {shapes}")
+        averaged[key] = sum(
+            (weight / total) * array for weight, array in zip(weights, stacked)
+        )
+    return averaged
+
+
+@dataclass
+class FederatedRound:
+    """Telemetry for one federated round."""
+
+    round_index: int
+    client_losses: list[float]
+    global_test_mse: float
+
+
+@dataclass
+class FederatedTrainer:
+    """Runs FedAvg pre-training over several private dataset bundles.
+
+    Args:
+        config: NTT configuration shared by all parties.
+        clients: one :class:`DatasetBundle` per organisation.
+        settings: local-training hyper-parameters; ``settings.epochs`` is
+            interpreted as *local epochs per round*.
+        pipeline: shared feature pipeline.  In a real deployment the
+            normalisation statistics would be agreed upon out-of-band;
+            here they are fitted on the first client's training split.
+    """
+
+    config: NTTConfig
+    clients: list[DatasetBundle]
+    settings: TrainSettings = field(default_factory=TrainSettings)
+    pipeline: FeaturePipeline | None = None
+
+    def __post_init__(self):
+        if not self.clients:
+            raise ValueError("federated training needs at least one client")
+        if self.pipeline is None:
+            self.pipeline = FeaturePipeline().fit(self.clients[0].train)
+        self.global_model = NTTForDelay(self.config)
+        self.rounds: list[FederatedRound] = []
+
+    def _train_client(self, bundle: DatasetBundle, state: dict) -> tuple[dict, float]:
+        """One client's local update: load global weights, train, return."""
+        model = NTTForDelay(self.config)
+        model.load_state_dict(state)
+        train_loader, val_loader = make_delay_loaders(
+            self.pipeline, bundle.train, bundle.val, self.settings
+        )
+        trainer = Trainer(
+            model,
+            Adam(model.parameters(), lr=self.settings.lr),
+            mse_loss,
+            forward_fn=_delay_forward,
+            grad_clip=self.settings.grad_clip,
+        )
+        history = trainer.fit(
+            train_loader, val_loader, epochs=self.settings.epochs, patience=None
+        )
+        return model.state_dict(), history.final_train_loss
+
+    def run_round(self, evaluation_bundle: DatasetBundle | None = None) -> FederatedRound:
+        """Execute one FedAvg round across all clients."""
+        global_state = self.global_model.state_dict()
+        client_states, client_losses, client_weights = [], [], []
+        for bundle in self.clients:
+            state, loss = self._train_client(bundle, copy.deepcopy(global_state))
+            client_states.append(state)
+            client_losses.append(loss)
+            client_weights.append(float(len(bundle.train)))
+        merged = federated_average(client_states, client_weights)
+        self.global_model.load_state_dict(merged)
+        test_bundle = evaluation_bundle if evaluation_bundle is not None else self.clients[0]
+        test_mse = evaluate_delay(self.global_model, self.pipeline, test_bundle.test)
+        outcome = FederatedRound(
+            round_index=len(self.rounds), client_losses=client_losses, global_test_mse=test_mse
+        )
+        self.rounds.append(outcome)
+        return outcome
+
+    def run(self, n_rounds: int, evaluation_bundle: DatasetBundle | None = None) -> list[FederatedRound]:
+        """Run several rounds; returns their telemetry."""
+        if n_rounds <= 0:
+            raise ValueError(f"n_rounds must be positive, got {n_rounds}")
+        return [self.run_round(evaluation_bundle) for _ in range(n_rounds)]

@@ -1,0 +1,32 @@
+"""Packet-level discrete-event network simulator (the ns-3 substitute).
+
+The simulator reproduces the dynamics the paper's datasets depend on:
+store-and-forward links with serialization and propagation delay,
+drop-tail queues at a shared bottleneck, message-based senders following
+a heavy-tailed workload, and TCP cross-traffic.
+
+Main entry points:
+
+* :class:`repro.netsim.core.Simulator` — the event loop.
+* :class:`repro.netsim.topology.Network` — nodes, links and routing.
+* :mod:`repro.netsim.scenarios` — the paper's Fig. 4 setups.
+"""
+
+from repro.netsim.core import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue, REDQueue
+from repro.netsim.shapers import PriorityQueue, TokenBucketShaper
+from repro.netsim.topology import Network
+from repro.netsim.trace import PacketRecord, Trace
+
+__all__ = [
+    "Simulator",
+    "Packet",
+    "Network",
+    "PacketRecord",
+    "Trace",
+    "DropTailQueue",
+    "REDQueue",
+    "PriorityQueue",
+    "TokenBucketShaper",
+]

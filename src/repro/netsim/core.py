@@ -1,0 +1,148 @@
+"""Discrete-event simulation core.
+
+A tiny but complete event loop: events are ``(time, priority, sequence)``
+ordered callbacks in a binary heap.  The sequence number makes the order
+of same-time events deterministic (FIFO in scheduling order), which keeps
+whole simulations bit-reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable
+
+__all__ = ["Simulator", "Event", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid interactions with the event loop."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Events can be cancelled (used by TCP retransmission timers); a
+    cancelled event stays in the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will not run."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.9f}, prio={self.priority}, {state})"
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "one second in")
+        sim.run(until=2.0)
+    """
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable, *args, priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``priority`` breaks ties among same-time events (lower runs first).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(self, time: float, callback: Callable, *args, priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(time, priority, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        When stopping at ``until``, the clock is advanced to ``until`` so
+        subsequent scheduling is relative to the stop time.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            executed = 0
+            while True:
+                if max_events is not None and executed >= max_events:
+                    return
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False

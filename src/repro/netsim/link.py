@@ -1,0 +1,139 @@
+"""Point-to-point links.
+
+A full-duplex link is a pair of :class:`Channel` objects.  Each channel
+owns an egress queue and a transmitter: the head-of-line packet occupies
+the transmitter for its serialization delay, then propagates for the
+channel's propagation delay before being delivered to the peer node.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.netsim.core import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.units import serialization_delay
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.netsim.node import Node
+
+__all__ = ["Channel", "Link"]
+
+
+class Channel:
+    """One direction of a link: queue + transmitter + propagation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dst_node: "Node",
+        rate_bps: float,
+        propagation_delay: float,
+        queue: DropTailQueue,
+        name: str = "",
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if propagation_delay < 0:
+            raise ValueError(f"propagation delay must be non-negative, got {propagation_delay}")
+        self.sim = sim
+        self.dst_node = dst_node
+        self.rate_bps = float(rate_bps)
+        self.propagation_delay = float(propagation_delay)
+        self.queue = queue
+        self.name = name
+        self.busy = False
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.busy_time = 0.0
+
+    def send(self, packet: Packet) -> bool:
+        """Hand ``packet`` to this channel.
+
+        If the transmitter is idle the packet starts serializing
+        immediately; otherwise it is enqueued (and possibly dropped).
+        Returns False when the packet was dropped at the queue.
+        """
+        if self.busy:
+            return self.queue.enqueue(packet)
+        self._start_transmission(packet)
+        return True
+
+    def _start_transmission(self, packet: Packet) -> None:
+        self.busy = True
+        tx_delay = serialization_delay(packet.size, self.rate_bps)
+        self.busy_time += tx_delay
+        self.sim.schedule(tx_delay, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        self.sim.schedule(self.propagation_delay, self.dst_node.receive, packet)
+        next_packet = self.queue.dequeue()
+        if next_packet is None:
+            self.busy = False
+        else:
+            self._start_transmission(next_packet)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds spent transmitting."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self) -> str:
+        return f"Channel({self.name or hex(id(self))}, rate={self.rate_bps:.3g}bps)"
+
+
+class Link:
+    """A full-duplex link between two nodes.
+
+    Queue capacity applies independently per direction, as in ns-3's
+    point-to-point net devices.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_a: "Node",
+        node_b: "Node",
+        rate_bps: float,
+        propagation_delay: float,
+        queue_packets: int,
+        queue_factory=None,
+    ):
+        make_queue = queue_factory if queue_factory is not None else DropTailQueue
+        self.node_a = node_a
+        self.node_b = node_b
+        self.forward = Channel(
+            sim,
+            node_b,
+            rate_bps,
+            propagation_delay,
+            make_queue(queue_packets),
+            name=f"{node_a.name}->{node_b.name}",
+        )
+        self.backward = Channel(
+            sim,
+            node_a,
+            rate_bps,
+            propagation_delay,
+            make_queue(queue_packets),
+            name=f"{node_b.name}->{node_a.name}",
+        )
+
+    def channel_from(self, node: "Node") -> Channel:
+        """The egress channel as seen from ``node``."""
+        if node is self.node_a:
+            return self.forward
+        if node is self.node_b:
+            return self.backward
+        raise ValueError(f"{node!r} is not an endpoint of this link")
+
+    def other_end(self, node: "Node") -> "Node":
+        if node is self.node_a:
+            return self.node_b
+        if node is self.node_b:
+            return self.node_a
+        raise ValueError(f"{node!r} is not an endpoint of this link")

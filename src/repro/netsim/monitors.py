@@ -1,0 +1,88 @@
+"""Telemetry monitors.
+
+The paper's future-work section (§5) discusses collecting telemetry such
+as buffer occupancy alongside traces.  These monitors sample simulator
+state periodically; they are used by tests, examples and the Fig. 4
+trace-statistics benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim.core import Simulator
+from repro.netsim.link import Channel
+
+__all__ = ["QueueMonitor", "ThroughputMonitor"]
+
+
+class QueueMonitor:
+    """Samples a channel's queue occupancy every ``interval`` seconds."""
+
+    def __init__(self, sim: Simulator, channel: Channel, interval: float = 0.01):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.channel = channel
+        self.interval = float(interval)
+        self.times: list[float] = []
+        self.occupancy: list[int] = []
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling (first sample taken immediately)."""
+        if self._running:
+            raise RuntimeError("QueueMonitor already started")
+        self._running = True
+        self._sample()
+
+    def _sample(self) -> None:
+        self.times.append(self.sim.now)
+        self.occupancy.append(self.channel.queue.occupancy)
+        self.sim.schedule(self.interval, self._sample)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, occupancy)`` as numpy arrays."""
+        return np.asarray(self.times), np.asarray(self.occupancy, dtype=np.int64)
+
+    @property
+    def mean_occupancy(self) -> float:
+        return float(np.mean(self.occupancy)) if self.occupancy else 0.0
+
+    @property
+    def max_occupancy(self) -> int:
+        return int(np.max(self.occupancy)) if self.occupancy else 0
+
+
+class ThroughputMonitor:
+    """Tracks bytes delivered through a channel per sampling window."""
+
+    def __init__(self, sim: Simulator, channel: Channel, interval: float = 0.1):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.channel = channel
+        self.interval = float(interval)
+        self.times: list[float] = []
+        self.throughput_bps: list[float] = []
+        self._last_bytes = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("ThroughputMonitor already started")
+        self._running = True
+        self._last_bytes = self.channel.bytes_sent
+        self.sim.schedule(self.interval, self._sample)
+
+    def _sample(self) -> None:
+        sent = self.channel.bytes_sent
+        delta = sent - self._last_bytes
+        self._last_bytes = sent
+        self.times.append(self.sim.now)
+        self.throughput_bps.append(delta * 8.0 / self.interval)
+        self.sim.schedule(self.interval, self._sample)
+
+    @property
+    def mean_throughput_bps(self) -> float:
+        return float(np.mean(self.throughput_bps)) if self.throughput_bps else 0.0

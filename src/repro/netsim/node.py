@@ -1,0 +1,99 @@
+"""Nodes: hosts and routers.
+
+A node receives packets and either delivers them locally (packets
+addressed to it) or forwards them along the next hop from its forwarding
+table.  Hosts additionally run applications (message senders, TCP
+endpoints, sinks) registered per flow id.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.netsim.core import Simulator
+from repro.netsim.link import Channel, Link
+from repro.netsim.packet import Packet
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A network node.
+
+    Attributes:
+        node_id: integer id, unique within a :class:`Network`.
+        name: human-readable label used in queue/link names.
+        forwarding: maps destination node id → egress :class:`Channel`.
+        flow_handlers: maps flow id → callable invoked with each locally
+            delivered packet of that flow.
+        default_handler: fallback for flows without a dedicated handler.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, name: str = ""):
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name or f"n{node_id}"
+        self.links: list[Link] = []
+        self.forwarding: dict[int, Channel] = {}
+        self.flow_handlers: dict[int, Callable[[Packet], None]] = {}
+        self.default_handler: Callable[[Packet], None] | None = None
+        self.packets_forwarded = 0
+        self.packets_delivered = 0
+        self.packets_dropped_no_route = 0
+
+    def attach_link(self, link: Link) -> None:
+        """Register ``link`` as incident to this node."""
+        self.links.append(link)
+
+    def set_route(self, dst_id: int, channel: Channel) -> None:
+        """Install a forwarding entry: packets to ``dst_id`` exit via ``channel``."""
+        self.forwarding[dst_id] = channel
+
+    def register_flow(self, flow_id: int, handler: Callable[[Packet], None]) -> None:
+        """Deliver local packets of ``flow_id`` to ``handler``."""
+        if flow_id in self.flow_handlers:
+            raise ValueError(f"flow {flow_id} already registered on {self.name}")
+        self.flow_handlers[flow_id] = handler
+
+    def receive(self, packet: Packet) -> None:
+        """Entry point for packets arriving from a channel (or locally)."""
+        packet.hops += 1
+        if packet.dst == self.node_id:
+            self._deliver(packet)
+        else:
+            self.forward(packet)
+
+    def send(self, packet: Packet) -> bool:
+        """Inject a locally generated packet into the network.
+
+        Sets the packet's ``send_time`` and forwards it.  Returns False
+        if the first hop dropped it.
+        """
+        packet.send_time = self.sim.now
+        if packet.dst == self.node_id:
+            # Loopback: deliver after the current event completes.
+            self.sim.schedule(0.0, self._deliver, packet)
+            return True
+        return self.forward(packet)
+
+    def forward(self, packet: Packet) -> bool:
+        """Forward ``packet`` toward its destination.
+
+        Packets without a forwarding entry are dropped (counted), which
+        turns routing bugs into visible statistics instead of crashes.
+        """
+        channel = self.forwarding.get(packet.dst)
+        if channel is None:
+            self.packets_dropped_no_route += 1
+            return False
+        self.packets_forwarded += 1
+        return channel.send(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.packets_delivered += 1
+        handler = self.flow_handlers.get(packet.flow_id, self.default_handler)
+        if handler is not None:
+            handler(packet)
+
+    def __repr__(self) -> str:
+        return f"Node({self.node_id}, {self.name!r})"

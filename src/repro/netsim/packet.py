@@ -1,0 +1,82 @@
+"""The packet: the unit of work moved around by the simulator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Packet", "PacketKind"]
+
+
+class PacketKind:
+    """Symbolic packet kinds (plain strings keep traces readable)."""
+
+    DATA = "data"
+    ACK = "ack"
+
+
+_packet_uid = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A network packet.
+
+    Attributes:
+        src: node id of the sender host.
+        dst: node id of the destination host.
+        size: wire size in bytes (headers included).
+        flow_id: id of the flow (application) that produced the packet.
+        message_id: id of the application message this packet belongs to,
+            or ``-1`` for packets outside the message abstraction (ACKs,
+            TCP cross-traffic segments).
+        seq: sequence number within the flow.  For TCP this is the byte
+            offset of the segment; for message senders it is the packet
+            index within the message.
+        kind: :class:`PacketKind` value.
+        send_time: timestamp at which the application handed the packet
+            to the network (set by the sender).
+        message_size: total size of the enclosing message in bytes.
+        is_message_end: True for the last packet of a message.
+        traced: whether the packet should appear in collected traces.
+            Cross-traffic packets set this to False: the paper's datasets
+            "do not contain the cross-traffic packets" (§4).
+        uid: globally unique packet id, assigned automatically.
+        ack_for: for ACK packets, the cumulative sequence acknowledged.
+        hops: number of store-and-forward hops traversed so far.
+    """
+
+    src: int
+    dst: int
+    size: int
+    flow_id: int = 0
+    message_id: int = -1
+    seq: int = 0
+    kind: str = PacketKind.DATA
+    send_time: float = 0.0
+    message_size: int = 0
+    is_message_end: bool = False
+    traced: bool = True
+    ack_for: int = -1
+    hops: int = 0
+    uid: int = field(default_factory=lambda: next(_packet_uid))
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    @property
+    def is_ack(self) -> bool:
+        return self.kind == PacketKind.ACK
+
+    def reply_template(self, size: int, kind: str = PacketKind.ACK) -> "Packet":
+        """Build a reply packet (ACK) travelling back to the sender."""
+        return Packet(
+            src=self.dst,
+            dst=self.src,
+            size=size,
+            flow_id=self.flow_id,
+            message_id=self.message_id,
+            kind=kind,
+            traced=False,
+        )

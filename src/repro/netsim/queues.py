@@ -1,0 +1,127 @@
+"""Egress queues.
+
+The paper's bottleneck uses a 1000-packet drop-tail queue; RED is
+provided as an extension so future-work experiments (queuing-discipline
+diversity, §5 of the paper) can be expressed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.netsim.packet import Packet
+
+__all__ = ["DropTailQueue", "REDQueue", "QueueStats"]
+
+
+class QueueStats:
+    """Counters shared by all queue implementations."""
+
+    def __init__(self):
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.bytes_enqueued = 0
+        self.bytes_dropped = 0
+        self.max_occupancy = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"QueueStats(enqueued={self.enqueued}, dequeued={self.dequeued}, "
+            f"dropped={self.dropped}, max_occupancy={self.max_occupancy})"
+        )
+
+
+class DropTailQueue:
+    """FIFO queue bounded in packets; arrivals beyond capacity are dropped.
+
+    This is the queueing discipline of the paper's Fig. 4 bottleneck
+    ("queue size of 1000 packets").
+    """
+
+    def __init__(self, capacity_packets: int):
+        if capacity_packets <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity_packets}")
+        self.capacity = int(capacity_packets)
+        self._items: deque[Packet] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of packets currently queued."""
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Append ``packet``; returns False (and counts a drop) when full."""
+        if len(self._items) >= self.capacity:
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += packet.size
+            return False
+        self._items.append(packet)
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += packet.size
+        self.stats.max_occupancy = max(self.stats.max_occupancy, len(self._items))
+        return True
+
+    def dequeue(self) -> Packet | None:
+        """Pop the oldest packet, or ``None`` when empty."""
+        if not self._items:
+            return None
+        self.stats.dequeued += 1
+        return self._items.popleft()
+
+
+class REDQueue(DropTailQueue):
+    """Random Early Detection on top of the drop-tail bound.
+
+    Classic RED [Floyd & Jacobson 1993]: an EWMA of the occupancy drives a
+    drop probability that ramps linearly between ``min_threshold`` and
+    ``max_threshold``; above ``max_threshold`` every arrival is dropped.
+    """
+
+    def __init__(
+        self,
+        capacity_packets: int,
+        min_threshold: int | None = None,
+        max_threshold: int | None = None,
+        max_drop_probability: float = 0.1,
+        weight: float = 0.002,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(capacity_packets)
+        self.min_threshold = min_threshold if min_threshold is not None else capacity_packets // 4
+        self.max_threshold = max_threshold if max_threshold is not None else capacity_packets // 2
+        if not 0 <= self.min_threshold < self.max_threshold <= capacity_packets:
+            raise ValueError(
+                f"need 0 <= min ({self.min_threshold}) < max ({self.max_threshold})"
+                f" <= capacity ({capacity_packets})"
+            )
+        if not 0.0 < max_drop_probability <= 1.0:
+            raise ValueError(f"max_drop_probability must be in (0, 1], got {max_drop_probability}")
+        self.max_drop_probability = max_drop_probability
+        self.weight = weight
+        self.average = 0.0
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def enqueue(self, packet: Packet) -> bool:
+        self.average = (1.0 - self.weight) * self.average + self.weight * len(self._items)
+        if self.average >= self.max_threshold:
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += packet.size
+            return False
+        if self.average > self.min_threshold:
+            ramp = (self.average - self.min_threshold) / (self.max_threshold - self.min_threshold)
+            if self._rng.random() < ramp * self.max_drop_probability:
+                self.stats.dropped += 1
+                self.stats.bytes_dropped += packet.size
+                return False
+        return super().enqueue(packet)

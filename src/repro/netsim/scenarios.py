@@ -1,0 +1,420 @@
+"""The paper's dataset-generation setups (Fig. 4).
+
+Three scenarios:
+
+* **pretrain** — N senders share one bottleneck toward a single receiver
+  (the paper: 60 senders x 1 Mbps of messages, 30 Mbps bottleneck,
+  1000-packet queue, 10 one-minute runs with randomized start times).
+* **case 1** — same topology plus TCP cross-traffic through the
+  bottleneck (paper: 20 Mbps of TCP flows).  Cross-traffic packets are
+  not traced.
+* **case 2** — larger topology: the bottleneck fans out to several
+  receivers over links with different propagation delays, each congested
+  by its own cross-traffic, so "packets toward different receivers
+  experience different path delays and different levels of congestion".
+
+Scaled-down presets (:meth:`ScenarioConfig.small`, ``smoke``) keep CPU
+runtimes sane; :meth:`ScenarioConfig.paper` restores the published
+parameters.
+
+A note on offered load: the paper's 60x1 Mbps over a 30 Mbps bottleneck
+is a 2x overload, which keeps the drop-tail queue pegged near its limit.
+The scaled presets default to ~0.9x load so the queue oscillates between
+empty and full — richer dynamics per simulated second, which matters
+when the trace budget is small.  ``load_factor`` exposes the knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace  # noqa: F401 (replace used by callers)
+
+import numpy as np
+
+from repro.netsim.apps import MessageSource, PacketSink
+from repro.netsim.core import Simulator
+from repro.netsim.node import Node
+from repro.netsim.tcp import install_tcp_flow
+from repro.netsim.topology import Network
+from repro.netsim.trace import Trace, TraceCollector
+from repro.netsim.units import mbps, milliseconds
+from repro.netsim.workloads import HomaLikeMessageSizes, MessageSizeDistribution
+from repro.utils.rng import RngFactory
+
+__all__ = ["ScenarioConfig", "ScenarioKind", "build_scenario", "run_scenario", "generate_traces"]
+
+#: Flow-id blocks (message flows and cross-traffic flows never collide).
+MESSAGE_FLOW_BASE = 1_000
+CROSS_FLOW_BASE = 2_000
+
+
+class ScenarioKind:
+    """The three Fig. 4 setups."""
+
+    PRETRAIN = "pretrain"
+    CASE1 = "case1"
+    CASE2 = "case2"
+
+    ALL = (PRETRAIN, CASE1, CASE2)
+
+
+@dataclass
+class ScenarioConfig:
+    """All knobs of a Fig. 4 scenario.
+
+    The defaults correspond to the ``small`` preset; classmethods build
+    the published and smoke-test variants.
+    """
+
+    kind: str = ScenarioKind.PRETRAIN
+    n_senders: int = 10
+    sender_load_bps: float = mbps(1.7)
+    bottleneck_rate_bps: float = mbps(20)
+    bottleneck_queue_packets: int = 200
+    bottleneck_delay: float = milliseconds(5)
+    access_rate_bps: float = mbps(25)
+    access_delay: float = milliseconds(1)
+    access_queue_packets: int = 4_000
+    duration: float = 8.0
+    seed: int = 0
+    mtu_bytes: int = 1_500
+    # Cross traffic (cases 1 and 2).
+    cross_traffic_bps: float = 0.0
+    n_cross_flows: int = 0
+    # Larger topology (case 2).
+    n_receivers: int = 1
+    receiver_delays: tuple = ()
+    receiver_rate_bps: float = mbps(20)
+    receiver_queue_packets: int = 100
+    per_receiver_cross_flows: int = 0
+    # Workload distribution; None selects the Homa-like default.
+    workload: MessageSizeDistribution | None = None
+    # Application start times are drawn from [0, start_jitter].
+    start_jitter: float = 0.5
+    # Bottleneck queueing discipline: "droptail" (the paper's setup) or
+    # "red" — §5 motivates testing the NTT across queueing disciplines.
+    bottleneck_discipline: str = "droptail"
+
+    def __post_init__(self):
+        if self.kind not in ScenarioKind.ALL:
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+        if self.n_senders <= 0:
+            raise ValueError("need at least one sender")
+        if self.kind == ScenarioKind.CASE2 and self.n_receivers < 2:
+            raise ValueError("case 2 requires several receivers")
+        if self.kind != ScenarioKind.CASE2 and self.n_receivers != 1:
+            raise ValueError(f"{self.kind} uses a single receiver")
+        if self.bottleneck_discipline not in ("droptail", "red"):
+            raise ValueError(
+                f"unknown bottleneck discipline {self.bottleneck_discipline!r};"
+                " choose 'droptail' or 'red'"
+            )
+
+    # -- presets -------------------------------------------------------------
+
+    @classmethod
+    def small(cls, kind: str = ScenarioKind.PRETRAIN, seed: int = 0) -> "ScenarioConfig":
+        """CPU-friendly preset used by tests and default benchmarks."""
+        if kind == ScenarioKind.CASE1:
+            return cls(kind=kind, seed=seed, cross_traffic_bps=mbps(8), n_cross_flows=2)
+        if kind == ScenarioKind.CASE2:
+            return cls(
+                kind=kind,
+                seed=seed,
+                cross_traffic_bps=mbps(8),
+                n_cross_flows=2,
+                n_receivers=3,
+                receiver_delays=(milliseconds(1), milliseconds(4), milliseconds(10)),
+                per_receiver_cross_flows=1,
+            )
+        return cls(kind=kind, seed=seed)
+
+    @classmethod
+    def smoke(cls, kind: str = ScenarioKind.PRETRAIN, seed: int = 0) -> "ScenarioConfig":
+        """Tiny preset for fast unit tests."""
+        base = cls.small(kind=kind, seed=seed)
+        return replace(base, n_senders=4, sender_load_bps=mbps(3.5), duration=1.5)
+
+    @classmethod
+    def paper(cls, kind: str = ScenarioKind.PRETRAIN, seed: int = 0) -> "ScenarioConfig":
+        """The published Fig. 4 parameters (expensive on CPU)."""
+        base = dict(
+            kind=kind,
+            n_senders=60,
+            sender_load_bps=mbps(1),
+            bottleneck_rate_bps=mbps(30),
+            bottleneck_queue_packets=1_000,
+            duration=60.0,
+            seed=seed,
+            start_jitter=1.0,
+        )
+        if kind == ScenarioKind.CASE1:
+            return cls(**base, cross_traffic_bps=mbps(20), n_cross_flows=4)
+        if kind == ScenarioKind.CASE2:
+            return cls(
+                **base,
+                cross_traffic_bps=mbps(20),
+                n_cross_flows=4,
+                n_receivers=4,
+                receiver_delays=(
+                    milliseconds(1),
+                    milliseconds(3),
+                    milliseconds(6),
+                    milliseconds(12),
+                ),
+                receiver_rate_bps=mbps(30),
+                receiver_queue_packets=500,
+                per_receiver_cross_flows=1,
+            )
+        return cls(**base)
+
+
+@dataclass
+class ScenarioHandle:
+    """Everything built for one scenario run."""
+
+    config: ScenarioConfig
+    sim: Simulator
+    network: Network
+    collector: TraceCollector
+    senders: list[MessageSource]
+    sinks: list[PacketSink]
+    receivers: list[Node]
+    bottleneck_channel: object
+    cross_senders: list = field(default_factory=list)
+
+    def run(self) -> Trace:
+        """Start all applications, run to the configured duration, and
+        return the finalized trace."""
+        for sender in self.senders:
+            sender.start()
+        for cross in self.cross_senders:
+            cross.start()
+        self.sim.run(until=self.config.duration)
+        return self.collector.finalize()
+
+
+def build_scenario(config: ScenarioConfig, run_index: int = 0) -> ScenarioHandle:
+    """Construct the network, applications and collectors for one run.
+
+    ``run_index`` seeds per-run randomness (application start times and
+    workload draws), reproducing the paper's "10 simulations ... with
+    randomized application start times".
+    """
+    rng_factory = RngFactory(config.seed)
+    sim = Simulator()
+    net = Network(sim)
+    collector = TraceCollector()
+
+    left_switch = net.add_node("switch-left")
+    right_switch = net.add_node("switch-right")
+    bottleneck = net.add_link(
+        left_switch,
+        right_switch,
+        rate_bps=config.bottleneck_rate_bps,
+        propagation_delay=config.bottleneck_delay,
+        queue_packets=config.bottleneck_queue_packets,
+        queue_factory=_bottleneck_queue_factory(config, rng_factory, run_index),
+    )
+
+    receivers = _build_receivers(net, right_switch, config)
+    sender_hosts = []
+    for index in range(config.n_senders):
+        host = net.add_node(f"sender-{index}")
+        net.add_link(
+            host,
+            left_switch,
+            rate_bps=config.access_rate_bps,
+            propagation_delay=config.access_delay,
+            queue_packets=config.access_queue_packets,
+        )
+        sender_hosts.append(host)
+
+    cross_hosts, cross_sinks = _build_cross_hosts(net, left_switch, right_switch, config)
+
+    net.compute_routes()
+
+    sinks = []
+    for receiver in receivers:
+        sink = PacketSink(sim, receiver, collector)
+        sink.install_default()
+        sinks.append(sink)
+
+    workload = config.workload if config.workload is not None else HomaLikeMessageSizes()
+    senders = []
+    for index, host in enumerate(sender_hosts):
+        rng = rng_factory.derive(f"run{run_index}-sender{index}")
+        start_time = float(rng.uniform(0.0, config.start_jitter))
+        source = MessageSource(
+            sim,
+            host,
+            destinations=receivers,
+            flow_id=MESSAGE_FLOW_BASE + index,
+            offered_load_bps=config.sender_load_bps,
+            size_distribution=workload,
+            rng=rng,
+            start_time=start_time,
+            stop_time=config.duration,
+            mtu_bytes=config.mtu_bytes,
+        )
+        senders.append(source)
+
+    cross_senders = _install_cross_traffic(
+        sim, cross_hosts, cross_sinks, receivers, rng_factory, run_index, config
+    )
+
+    return ScenarioHandle(
+        config=config,
+        sim=sim,
+        network=net,
+        collector=collector,
+        senders=senders,
+        sinks=sinks,
+        receivers=receivers,
+        bottleneck_channel=bottleneck.forward,
+        cross_senders=cross_senders,
+    )
+
+
+def _bottleneck_queue_factory(config: ScenarioConfig, rng_factory: RngFactory, run_index: int):
+    """Queue constructor for the bottleneck link, per the configured
+    discipline.  Returns None for plain drop-tail (the Link default)."""
+    if config.bottleneck_discipline == "droptail":
+        return None
+    from repro.netsim.queues import REDQueue
+
+    rng = rng_factory.derive(f"run{run_index}-red")
+
+    def make_queue(capacity: int) -> REDQueue:
+        return REDQueue(capacity, rng=rng)
+
+    return make_queue
+
+
+def _build_receivers(net: Network, right_switch: Node, config: ScenarioConfig) -> list[Node]:
+    """Attach receiver hosts behind the bottleneck.
+
+    The single-receiver cases hang one host off the right switch over a
+    fast link; case 2 uses one link per receiver with heterogeneous
+    propagation delays and tighter queues (secondary congestion points).
+    """
+    receivers = []
+    if config.kind == ScenarioKind.CASE2:
+        delays = config.receiver_delays or tuple(
+            milliseconds(1 + 3 * index) for index in range(config.n_receivers)
+        )
+        if len(delays) != config.n_receivers:
+            raise ValueError("receiver_delays length must match n_receivers")
+        for index in range(config.n_receivers):
+            receiver = net.add_node(f"receiver-{index}")
+            net.add_link(
+                receiver,
+                right_switch,
+                rate_bps=config.receiver_rate_bps,
+                propagation_delay=delays[index],
+                queue_packets=config.receiver_queue_packets,
+            )
+            receivers.append(receiver)
+    else:
+        receiver = net.add_node("receiver-0")
+        net.add_link(
+            receiver,
+            right_switch,
+            rate_bps=config.bottleneck_rate_bps * 4,
+            propagation_delay=config.access_delay,
+            queue_packets=config.access_queue_packets,
+        )
+        receivers.append(receiver)
+    return receivers
+
+
+def _build_cross_hosts(
+    net: Network, left_switch: Node, right_switch: Node, config: ScenarioConfig
+) -> tuple[list[Node], list[Node]]:
+    """Create cross-traffic source and sink hosts (cases 1 and 2)."""
+    cross_hosts: list[Node] = []
+    cross_sinks: list[Node] = []
+    if config.n_cross_flows <= 0:
+        return cross_hosts, cross_sinks
+    per_flow_rate = config.cross_traffic_bps / config.n_cross_flows
+    for index in range(config.n_cross_flows):
+        src = net.add_node(f"cross-src-{index}")
+        # The access link caps each flow's rate at its share of the
+        # configured aggregate, like the paper's "20 Mbps of TCP flows".
+        net.add_link(
+            src,
+            left_switch,
+            rate_bps=per_flow_rate,
+            propagation_delay=config.access_delay,
+            queue_packets=config.access_queue_packets,
+        )
+        sink = net.add_node(f"cross-dst-{index}")
+        net.add_link(
+            sink,
+            right_switch,
+            rate_bps=config.bottleneck_rate_bps * 4,
+            propagation_delay=config.access_delay,
+            queue_packets=config.access_queue_packets,
+        )
+        cross_hosts.append(src)
+        cross_sinks.append(sink)
+    return cross_hosts, cross_sinks
+
+
+def _install_cross_traffic(
+    sim: Simulator,
+    cross_hosts: list[Node],
+    cross_sinks: list[Node],
+    receivers: list[Node],
+    rng_factory: RngFactory,
+    run_index: int,
+    config: ScenarioConfig,
+) -> list:
+    """Start long-lived TCP flows: through the bottleneck, and (case 2)
+    additionally toward each receiver to congest its access link."""
+    cross_senders = []
+    flow_id = CROSS_FLOW_BASE
+    for src, sink in zip(cross_hosts, cross_sinks):
+        rng = rng_factory.derive(f"run{run_index}-cross{flow_id}")
+        sender, _receiver = install_tcp_flow(
+            sim,
+            src,
+            sink,
+            flow_id=flow_id,
+            mss_bytes=config.mtu_bytes,
+            start_time=float(rng.uniform(0.0, config.start_jitter)),
+        )
+        cross_senders.append(sender)
+        flow_id += 1
+    if config.kind == ScenarioKind.CASE2 and config.per_receiver_cross_flows > 0 and cross_hosts:
+        for receiver_index, receiver in enumerate(receivers):
+            for _ in range(config.per_receiver_cross_flows):
+                src = cross_hosts[receiver_index % len(cross_hosts)]
+                rng = rng_factory.derive(f"run{run_index}-rxcross{flow_id}")
+                sender, _receiver = install_tcp_flow(
+                    sim,
+                    src,
+                    receiver,
+                    flow_id=flow_id,
+                    mss_bytes=config.mtu_bytes,
+                    start_time=float(rng.uniform(0.0, config.start_jitter)),
+                )
+                cross_senders.append(sender)
+                flow_id += 1
+    return cross_senders
+
+
+def run_scenario(config: ScenarioConfig, run_index: int = 0) -> Trace:
+    """Build and run one scenario instance, returning its trace."""
+    return build_scenario(config, run_index).run()
+
+
+def generate_traces(config: ScenarioConfig, n_runs: int = 1) -> list[Trace]:
+    """Run ``n_runs`` independent simulations (the paper runs 10).
+
+    Each run derives fresh application start times and workload draws
+    from ``(config.seed, run_index)``; traces are kept separate so
+    training windows never straddle run boundaries.
+    """
+    if n_runs <= 0:
+        raise ValueError(f"n_runs must be positive, got {n_runs}")
+    return [run_scenario(config, run_index) for run_index in range(n_runs)]

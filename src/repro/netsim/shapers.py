@@ -1,0 +1,204 @@
+"""Additional queueing disciplines and traffic shaping.
+
+The paper's §5 asks how the NTT copes with environments where "many
+different applications, transport protocols, queuing disciplines, etc.
+coexist".  These components let scenario authors build such
+environments:
+
+* :class:`PriorityQueue` — strict-priority scheduling over N bands; a
+  drop-tail bound per band.  Plug it into any link via
+  ``queue_factory``.
+* :class:`TokenBucketShaper` — classic (rate, burst) shaping in front of
+  a node's egress; paces application bursts without changing the
+  application code.
+
+Both follow the ``enqueue``/``dequeue`` protocol of
+:class:`~repro.netsim.queues.DropTailQueue`, so links accept them
+unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.netsim.core import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.queues import QueueStats
+from repro.netsim.units import BYTE
+
+__all__ = ["PriorityQueue", "TokenBucketShaper", "flow_band_classifier"]
+
+#: Slack (in bytes) for token comparisons.  Refills computed from float
+#: timestamps can land infinitesimally below the required size; without
+#: the epsilon the shaper would reschedule zero-length releases forever.
+_TOKEN_EPSILON = 1e-6
+
+
+def flow_band_classifier(bands: dict[int, int], default_band: int = 0) -> Callable[[Packet], int]:
+    """Build a classifier mapping ``packet.flow_id`` to a priority band.
+
+    Band 0 is the highest priority.  Flows not listed fall into
+    ``default_band``.
+    """
+    mapping = dict(bands)
+
+    def classify(packet: Packet) -> int:
+        return mapping.get(packet.flow_id, default_band)
+
+    return classify
+
+
+class PriorityQueue:
+    """Strict-priority queue with per-band drop-tail bounds.
+
+    Dequeue always serves the lowest-numbered non-empty band; a band's
+    arrivals beyond its capacity are dropped.  With a single band this
+    degrades exactly to :class:`DropTailQueue`.
+
+    Args:
+        capacity_packets: per-band capacity.
+        n_bands: number of priority bands.
+        classifier: ``packet -> band``; defaults to everything in band 0.
+    """
+
+    def __init__(
+        self,
+        capacity_packets: int,
+        n_bands: int = 2,
+        classifier: Callable[[Packet], int] | None = None,
+    ):
+        if capacity_packets <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_packets}")
+        if n_bands <= 0:
+            raise ValueError(f"n_bands must be positive, got {n_bands}")
+        self.capacity = int(capacity_packets)
+        self.n_bands = int(n_bands)
+        self.classifier = classifier if classifier is not None else (lambda packet: 0)
+        self._bands: list[deque[Packet]] = [deque() for _ in range(n_bands)]
+        self.stats = QueueStats()
+        self.per_band_enqueued = [0] * n_bands
+        self.per_band_dropped = [0] * n_bands
+
+    def __len__(self) -> int:
+        return sum(len(band) for band in self._bands)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def band_of(self, packet: Packet) -> int:
+        """Clamped band index for ``packet``."""
+        band = self.classifier(packet)
+        return min(max(int(band), 0), self.n_bands - 1)
+
+    def enqueue(self, packet: Packet) -> bool:
+        band = self.band_of(packet)
+        queue = self._bands[band]
+        if len(queue) >= self.capacity:
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += packet.size
+            self.per_band_dropped[band] += 1
+            return False
+        queue.append(packet)
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += packet.size
+        self.per_band_enqueued[band] += 1
+        self.stats.max_occupancy = max(self.stats.max_occupancy, len(self))
+        return True
+
+    def dequeue(self) -> Packet | None:
+        for queue in self._bands:
+            if queue:
+                self.stats.dequeued += 1
+                return queue.popleft()
+        return None
+
+
+class TokenBucketShaper:
+    """A (rate, burst) token bucket in front of a channel.
+
+    Packets submitted via :meth:`send` are released to the underlying
+    ``forward`` callable as soon as enough tokens are available; the
+    bucket refills continuously at ``rate_bps``.  Conforming bursts up to
+    ``burst_bytes`` pass through immediately.
+
+    Args:
+        sim: the event loop (drives delayed releases).
+        rate_bps: long-term shaping rate.
+        burst_bytes: bucket depth.
+        forward: callable receiving released packets (typically
+            ``channel.send`` or ``node.forward``).
+        queue_packets: backlog bound; excess arrivals are dropped.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        burst_bytes: int,
+        forward: Callable[[Packet], bool],
+        queue_packets: int = 10_000,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if burst_bytes <= 0:
+            raise ValueError(f"burst must be positive, got {burst_bytes}")
+        self.sim = sim
+        self.rate_bps = float(rate_bps)
+        self.burst_bytes = int(burst_bytes)
+        self.forward = forward
+        self.queue_packets = int(queue_packets)
+        self._tokens = float(burst_bytes)
+        self._last_refill = sim.now
+        self._backlog: deque[Packet] = deque()
+        self._release_scheduled = False
+        self.packets_shaped = 0
+        self.packets_dropped = 0
+
+    @property
+    def backlog(self) -> int:
+        """Packets waiting for tokens."""
+        return len(self._backlog)
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_refill
+        self._last_refill = now
+        self._tokens = min(
+            self.burst_bytes, self._tokens + elapsed * self.rate_bps / BYTE
+        )
+
+    def send(self, packet: Packet) -> bool:
+        """Submit a packet; returns False if the backlog bound dropped it."""
+        if packet.size > self.burst_bytes:
+            raise ValueError(
+                f"packet of {packet.size} B exceeds bucket depth {self.burst_bytes} B"
+            )
+        if len(self._backlog) >= self.queue_packets:
+            self.packets_dropped += 1
+            return False
+        self._backlog.append(packet)
+        self._drain()
+        return True
+
+    def _drain(self) -> None:
+        self._refill()
+        while self._backlog and self._tokens + _TOKEN_EPSILON >= self._backlog[0].size:
+            packet = self._backlog.popleft()
+            self._tokens = max(0.0, self._tokens - packet.size)
+            self.packets_shaped += 1
+            self.forward(packet)
+        if self._backlog and not self._release_scheduled:
+            deficit = max(self._backlog[0].size - self._tokens, _TOKEN_EPSILON)
+            delay = deficit * BYTE / self.rate_bps
+            self._release_scheduled = True
+            self.sim.schedule(delay, self._on_release)
+
+    def _on_release(self) -> None:
+        self._release_scheduled = False
+        self._drain()

@@ -1,0 +1,294 @@
+"""Simplified TCP Reno, used for the paper's cross-traffic.
+
+The fine-tuning datasets add "20 Mbps of TCP flows" (§4) whose packets
+are *not* traced — they only perturb the queue.  What matters for the
+experiments is that cross-traffic reacts to congestion (sawtooth cwnd,
+loss-driven backoff), so we implement the classic Reno loop:
+
+* slow start and congestion avoidance (AIMD),
+* fast retransmit on three duplicate ACKs,
+* retransmission timeout with exponential backoff and Karn's rule,
+* RTT estimation per RFC 6298.
+
+Sequence numbers count segments, not bytes; every segment is MSS-sized.
+This halves the bookkeeping without changing the congestion dynamics.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.core import Event, Simulator
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet, PacketKind
+
+__all__ = ["TcpSender", "TcpReceiver", "install_tcp_flow"]
+
+#: Size of an ACK on the wire, bytes.
+ACK_BYTES = 40
+
+#: Initial retransmission timeout (RFC 6298 suggests 1 s; we use a tighter
+#: value because simulated RTTs are milliseconds).
+INITIAL_RTO = 0.2
+
+MIN_RTO = 0.05
+MAX_RTO = 10.0
+
+
+class TcpReceiver:
+    """Cumulative-ACK receiver with an out-of-order buffer."""
+
+    def __init__(self, sim: Simulator, node: Node, flow_id: int):
+        self.sim = sim
+        self.node = node
+        self.flow_id = flow_id
+        self.expected_seq = 0
+        self.out_of_order: set[int] = set()
+        self.packets_received = 0
+        node.register_flow(flow_id, self.on_packet)
+
+    def on_packet(self, packet: Packet) -> None:
+        """Handle a data segment: advance the cumulative ACK and reply."""
+        if packet.kind != PacketKind.DATA:
+            return
+        self.packets_received += 1
+        if packet.seq == self.expected_seq:
+            self.expected_seq += 1
+            while self.expected_seq in self.out_of_order:
+                self.out_of_order.discard(self.expected_seq)
+                self.expected_seq += 1
+        elif packet.seq > self.expected_seq:
+            self.out_of_order.add(packet.seq)
+        ack = Packet(
+            src=self.node.node_id,
+            dst=packet.src,
+            size=ACK_BYTES,
+            flow_id=self.flow_id,
+            kind=PacketKind.ACK,
+            ack_for=self.expected_seq,
+            traced=False,
+        )
+        self.node.send(ack)
+
+
+class TcpSender:
+    """Reno sender with an unbounded (or bounded) amount of data to ship.
+
+    Args:
+        sim: event loop.
+        node: sending host; the sender registers itself for ACK delivery.
+        dst: destination host (must run a :class:`TcpReceiver` for the
+            same flow id).
+        flow_id: flow identifier.
+        mss_bytes: segment size on the wire.
+        total_segments: stop after this many segments (None = unlimited,
+            i.e. a long-lived "elephant" cross-traffic flow).
+        start_time: when to begin transmitting.
+        initial_ssthresh: slow-start threshold in segments.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        dst: Node,
+        flow_id: int,
+        mss_bytes: int = 1500,
+        total_segments: int | None = None,
+        start_time: float = 0.0,
+        initial_ssthresh: float = 64.0,
+        max_cwnd: float = 1024.0,
+    ):
+        self.sim = sim
+        self.node = node
+        self.dst = dst
+        self.flow_id = flow_id
+        self.mss_bytes = int(mss_bytes)
+        self.total_segments = total_segments
+        self.start_time = float(start_time)
+        # Congestion state (in segments).
+        self.cwnd = 2.0
+        self.ssthresh = float(initial_ssthresh)
+        self.max_cwnd = float(max_cwnd)
+        # Sequence state.
+        self.next_seq = 0
+        self.unacked = 0  # oldest unacknowledged segment
+        self.dup_acks = 0
+        self.in_fast_recovery = False
+        self.recovery_point = 0
+        # RTT estimation (RFC 6298).
+        self.srtt: float | None = None
+        self.rttvar = 0.0
+        self.rto = INITIAL_RTO
+        self._send_times: dict[int, float] = {}
+        self._retransmitted: set[int] = set()
+        self._timer: Event | None = None
+        # Statistics.
+        self.segments_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        node.register_flow(flow_id, self.on_ack)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first transmission burst."""
+        self.sim.schedule_at(max(self.start_time, self.sim.now), self._try_send)
+
+    @property
+    def flight_size(self) -> int:
+        """Segments currently in flight."""
+        return self.next_seq - self.unacked
+
+    @property
+    def done(self) -> bool:
+        """True when a bounded transfer has been fully acknowledged."""
+        return self.total_segments is not None and self.unacked >= self.total_segments
+
+    # -- sending -----------------------------------------------------------
+
+    def _try_send(self) -> None:
+        """Send as many new segments as the window allows."""
+        while self.flight_size < int(self.cwnd):
+            if self.total_segments is not None and self.next_seq >= self.total_segments:
+                break
+            self._transmit(self.next_seq, is_retransmission=False)
+            self.next_seq += 1
+        self._arm_timer()
+
+    def _transmit(self, seq: int, is_retransmission: bool) -> None:
+        packet = Packet(
+            src=self.node.node_id,
+            dst=self.dst.node_id,
+            size=self.mss_bytes,
+            flow_id=self.flow_id,
+            seq=seq,
+            kind=PacketKind.DATA,
+            traced=False,
+        )
+        self.node.send(packet)
+        self.segments_sent += 1
+        if is_retransmission:
+            self.retransmissions += 1
+            self._retransmitted.add(seq)
+            self._send_times.pop(seq, None)  # Karn: no RTT sample from retransmits
+        else:
+            self._send_times[seq] = self.sim.now
+
+    # -- receiving ACKs ------------------------------------------------------
+
+    def on_ack(self, packet: Packet) -> None:
+        """Process a (possibly duplicate) cumulative ACK."""
+        if packet.kind != PacketKind.ACK:
+            return
+        ack = packet.ack_for
+        if ack > self.unacked:
+            self._on_new_ack(ack)
+        elif ack == self.unacked and self.flight_size > 0:
+            self._on_duplicate_ack()
+        self._try_send()
+
+    def _on_new_ack(self, ack: int) -> None:
+        newly_acked = ack - self.unacked
+        self._sample_rtt(ack)
+        for seq in range(self.unacked, ack):
+            self._send_times.pop(seq, None)
+            self._retransmitted.discard(seq)
+        self.unacked = ack
+        self.dup_acks = 0
+        if self.in_fast_recovery:
+            if ack >= self.recovery_point:
+                self.in_fast_recovery = False
+                self.cwnd = self.ssthresh
+        elif self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd + newly_acked, self.max_cwnd)  # slow start
+        else:
+            self.cwnd = min(self.cwnd + newly_acked / self.cwnd, self.max_cwnd)
+        self._arm_timer(reset=True)
+
+    def _on_duplicate_ack(self) -> None:
+        self.dup_acks += 1
+        if self.dup_acks == 3 and not self.in_fast_recovery:
+            # Fast retransmit + (simplified) fast recovery.
+            self.ssthresh = max(self.flight_size / 2.0, 2.0)
+            self.cwnd = self.ssthresh + 3.0
+            self.in_fast_recovery = True
+            self.recovery_point = self.next_seq
+            self._transmit(self.unacked, is_retransmission=True)
+        elif self.in_fast_recovery:
+            self.cwnd = min(self.cwnd + 1.0, self.max_cwnd)  # window inflation
+
+    def _sample_rtt(self, ack: int) -> None:
+        """RFC 6298 SRTT/RTTVAR update from the newest acked segment."""
+        sample = None
+        for seq in range(ack - 1, self.unacked - 1, -1):
+            if seq in self._send_times and seq not in self._retransmitted:
+                sample = self.sim.now - self._send_times[seq]
+                break
+        if sample is None:
+            return
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rto = min(max(self.srtt + 4.0 * self.rttvar, MIN_RTO), MAX_RTO)
+
+    # -- timers --------------------------------------------------------------
+
+    def _arm_timer(self, reset: bool = False) -> None:
+        if self.flight_size == 0:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            return
+        if self._timer is not None:
+            if not reset:
+                return
+            self._timer.cancel()
+        self._timer = self.sim.schedule(self.rto, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self.flight_size == 0:
+            return
+        self.timeouts += 1
+        self.ssthresh = max(self.flight_size / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.in_fast_recovery = False
+        self.dup_acks = 0
+        self.rto = min(self.rto * 2.0, MAX_RTO)
+        # Go-back-N: without SACK the sender cannot tell which of the
+        # outstanding segments survived, so it rewinds and resends the
+        # whole window as the (slow-started) cwnd allows.  Duplicate
+        # deliveries are absorbed by the receiver's cumulative ACK.
+        self.next_seq = self.unacked
+        for seq in list(self._send_times):
+            if seq >= self.unacked:
+                self._send_times.pop(seq)
+                self._retransmitted.add(seq)
+        self._transmit(self.unacked, is_retransmission=True)
+        self.next_seq = self.unacked + 1
+        self._arm_timer()
+
+
+def install_tcp_flow(
+    sim: Simulator,
+    src: Node,
+    dst: Node,
+    flow_id: int,
+    mss_bytes: int = 1500,
+    total_segments: int | None = None,
+    start_time: float = 0.0,
+) -> tuple[TcpSender, TcpReceiver]:
+    """Wire a sender/receiver pair for one TCP flow and return both."""
+    receiver = TcpReceiver(sim, dst, flow_id)
+    sender = TcpSender(
+        sim,
+        src,
+        dst,
+        flow_id,
+        mss_bytes=mss_bytes,
+        total_segments=total_segments,
+        start_time=start_time,
+    )
+    return sender, receiver

@@ -1,0 +1,120 @@
+"""Network construction and static routing.
+
+:class:`Network` owns the nodes and links, mirrors them into a
+:mod:`networkx` graph, and computes static shortest-path routes
+(Dijkstra on propagation delay) like ns-3's global routing.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.netsim.core import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A collection of nodes and links plus routing.
+
+    Example::
+
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add_node("a")
+        b = net.add_node("b")
+        net.add_link(a, b, rate_bps=mbps(30), propagation_delay=milliseconds(1),
+                     queue_packets=1000)
+        net.compute_routes()
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.nodes: list[Node] = []
+        self.links: list[Link] = []
+        self.graph = nx.Graph()
+
+    def add_node(self, name: str = "") -> Node:
+        """Create and register a new node."""
+        node = Node(self.sim, node_id=len(self.nodes), name=name)
+        self.nodes.append(node)
+        self.graph.add_node(node.node_id)
+        return node
+
+    def add_link(
+        self,
+        node_a: Node,
+        node_b: Node,
+        rate_bps: float,
+        propagation_delay: float,
+        queue_packets: int,
+        queue_factory=None,
+    ) -> Link:
+        """Create a full-duplex link between two registered nodes."""
+        if node_a is node_b:
+            raise ValueError("self-links are not supported")
+        if self.graph.has_edge(node_a.node_id, node_b.node_id):
+            raise ValueError(f"link {node_a.name}<->{node_b.name} already exists")
+        link = Link(
+            self.sim,
+            node_a,
+            node_b,
+            rate_bps=rate_bps,
+            propagation_delay=propagation_delay,
+            queue_packets=queue_packets,
+            queue_factory=queue_factory,
+        )
+        node_a.attach_link(link)
+        node_b.attach_link(link)
+        self.links.append(link)
+        self.graph.add_edge(
+            node_a.node_id,
+            node_b.node_id,
+            weight=propagation_delay,
+            link=link,
+        )
+        return link
+
+    def node_by_name(self, name: str) -> Node:
+        """Look a node up by its label."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
+
+    def compute_routes(self) -> None:
+        """Install static shortest-path forwarding on every node.
+
+        Shortest paths minimise total propagation delay (ties broken by
+        hop count through Dijkstra's deterministic behaviour on the
+        sorted adjacency of :mod:`networkx`).
+        """
+        if not nx.is_connected(self.graph):
+            raise ValueError("topology must be connected before computing routes")
+        paths = dict(nx.all_pairs_dijkstra_path(self.graph, weight="weight"))
+        for node in self.nodes:
+            node.forwarding.clear()
+            for dst in self.nodes:
+                if dst.node_id == node.node_id:
+                    continue
+                path = paths[node.node_id][dst.node_id]
+                next_hop_id = path[1]
+                link: Link = self.graph.edges[node.node_id, next_hop_id]["link"]
+                node.set_route(dst.node_id, link.channel_from(node))
+
+    def link_between(self, node_a: Node, node_b: Node) -> Link:
+        """Return the link connecting two nodes."""
+        data = self.graph.get_edge_data(node_a.node_id, node_b.node_id)
+        if data is None:
+            raise KeyError(f"no link between {node_a.name} and {node_b.name}")
+        return data["link"]
+
+    def total_drops(self) -> int:
+        """Sum of queue drops over every channel in the network."""
+        return sum(
+            channel.queue.stats.dropped
+            for link in self.links
+            for channel in (link.forward, link.backward)
+        )

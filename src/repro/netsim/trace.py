@@ -1,0 +1,198 @@
+"""Packet traces: what the simulator produces and the NTT consumes.
+
+A trace is the list of *delivered, traced* packets with the four raw
+features the paper uses (§3): timestamp, packet size, receiver ID and
+end-to-end delay — plus the message bookkeeping needed for the MCT
+fine-tuning task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.packet import Packet
+
+__all__ = ["PacketRecord", "TraceCollector", "Trace"]
+
+
+@dataclass
+class PacketRecord:
+    """One delivered packet, as seen by the dataset pipeline."""
+
+    send_time: float
+    recv_time: float
+    size: int
+    receiver_id: int
+    flow_id: int
+    message_id: int
+    message_size: int
+    is_message_end: bool
+
+    @property
+    def delay(self) -> float:
+        """End-to-end delay in seconds."""
+        return self.recv_time - self.send_time
+
+
+class TraceCollector:
+    """Accumulates :class:`PacketRecord` objects from sink applications."""
+
+    def __init__(self):
+        self.records: list[PacketRecord] = []
+
+    def record(self, packet: Packet, recv_time: float) -> None:
+        """Record a delivered packet (ignores packets marked untraced)."""
+        if not packet.traced:
+            return
+        self.records.append(
+            PacketRecord(
+                send_time=packet.send_time,
+                recv_time=recv_time,
+                size=packet.size,
+                receiver_id=packet.dst,
+                flow_id=packet.flow_id,
+                message_id=packet.message_id,
+                message_size=packet.message_size,
+                is_message_end=packet.is_message_end,
+            )
+        )
+
+    def finalize(self) -> "Trace":
+        """Sort by send time and build the array-backed :class:`Trace`."""
+        ordered = sorted(self.records, key=lambda r: (r.send_time, r.message_id))
+        return Trace.from_records(ordered)
+
+
+class Trace:
+    """Array-backed packet trace.
+
+    Columns (aligned numpy arrays of equal length):
+
+    * ``send_time`` / ``recv_time`` — seconds.
+    * ``size`` — bytes.
+    * ``receiver_id`` — destination node id (the paper's "receiver ID",
+      an IP-address proxy).
+    * ``flow_id`` / ``message_id`` / ``message_size`` / ``is_message_end``.
+    * ``mct`` — completion time of the packet's message (seconds),
+      ``nan`` for packets whose message never completed (tail drop).
+    """
+
+    def __init__(self, **columns: np.ndarray):
+        required = [
+            "send_time",
+            "recv_time",
+            "size",
+            "receiver_id",
+            "flow_id",
+            "message_id",
+            "message_size",
+            "is_message_end",
+        ]
+        lengths = set()
+        for name in required:
+            if name not in columns:
+                raise ValueError(f"missing trace column {name!r}")
+            lengths.add(len(columns[name]))
+        if len(lengths) > 1:
+            raise ValueError(f"trace columns have inconsistent lengths: {lengths}")
+        self.send_time = np.asarray(columns["send_time"], dtype=np.float64)
+        self.recv_time = np.asarray(columns["recv_time"], dtype=np.float64)
+        self.size = np.asarray(columns["size"], dtype=np.int64)
+        self.receiver_id = np.asarray(columns["receiver_id"], dtype=np.int64)
+        self.flow_id = np.asarray(columns["flow_id"], dtype=np.int64)
+        self.message_id = np.asarray(columns["message_id"], dtype=np.int64)
+        self.message_size = np.asarray(columns["message_size"], dtype=np.int64)
+        self.is_message_end = np.asarray(columns["is_message_end"], dtype=bool)
+        self.mct = columns.get("mct")
+        if self.mct is None:
+            self.mct = self._compute_mct()
+        else:
+            self.mct = np.asarray(self.mct, dtype=np.float64)
+
+    @classmethod
+    def from_records(cls, records: list[PacketRecord]) -> "Trace":
+        """Build a trace from a list of records (assumed pre-sorted)."""
+        return cls(
+            send_time=np.array([r.send_time for r in records], dtype=np.float64),
+            recv_time=np.array([r.recv_time for r in records], dtype=np.float64),
+            size=np.array([r.size for r in records], dtype=np.int64),
+            receiver_id=np.array([r.receiver_id for r in records], dtype=np.int64),
+            flow_id=np.array([r.flow_id for r in records], dtype=np.int64),
+            message_id=np.array([r.message_id for r in records], dtype=np.int64),
+            message_size=np.array([r.message_size for r in records], dtype=np.int64),
+            is_message_end=np.array([r.is_message_end for r in records], dtype=bool),
+        )
+
+    def __len__(self) -> int:
+        return int(self.send_time.size)
+
+    @property
+    def delay(self) -> np.ndarray:
+        """Per-packet end-to-end delay in seconds."""
+        return self.recv_time - self.send_time
+
+    def _compute_mct(self) -> np.ndarray:
+        """Message completion time per packet.
+
+        The MCT of a message is the time from its first packet's send to
+        its *last delivered* packet's receive — "the time until the final
+        packet of a message is delivered" (§4).  Messages whose final
+        packet was dropped get the completion time of their last
+        delivered packet; this mirrors measuring MCT on the receiver-side
+        trace.
+        """
+        if len(self) == 0:
+            return np.zeros(0, dtype=np.float64)
+        mct = np.zeros(len(self), dtype=np.float64)
+        starts: dict[int, float] = {}
+        ends: dict[int, float] = {}
+        ids = self.message_id
+        for index in range(len(self)):
+            message = int(ids[index])
+            send = float(self.send_time[index])
+            recv = float(self.recv_time[index])
+            if message not in starts or send < starts[message]:
+                starts[message] = send
+            if message not in ends or recv > ends[message]:
+                ends[message] = recv
+        for index in range(len(self)):
+            message = int(ids[index])
+            mct[index] = ends[message] - starts[message]
+        return mct
+
+    def subset(self, mask: np.ndarray) -> "Trace":
+        """Return a trace restricted to packets where ``mask`` is True."""
+        return Trace(
+            send_time=self.send_time[mask],
+            recv_time=self.recv_time[mask],
+            size=self.size[mask],
+            receiver_id=self.receiver_id[mask],
+            flow_id=self.flow_id[mask],
+            message_id=self.message_id[mask],
+            message_size=self.message_size[mask],
+            is_message_end=self.is_message_end[mask],
+            mct=self.mct[mask],
+        )
+
+    def save(self, path) -> None:
+        """Serialize to an ``.npz`` file."""
+        np.savez_compressed(
+            path,
+            send_time=self.send_time,
+            recv_time=self.recv_time,
+            size=self.size,
+            receiver_id=self.receiver_id,
+            flow_id=self.flow_id,
+            message_id=self.message_id,
+            message_size=self.message_size,
+            is_message_end=self.is_message_end,
+            mct=self.mct,
+        )
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Load a trace previously stored with :meth:`save`."""
+        with np.load(path) as data:
+            return cls(**{key: data[key] for key in data.files})

@@ -1,0 +1,63 @@
+"""Unit helpers.
+
+All simulator-internal quantities use SI base units: seconds, bits per
+second, bytes.  These helpers exist so scenario code can read like the
+paper ("30 Mbps bottleneck", "1000-packet queue") without magic numbers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "kbps",
+    "mbps",
+    "gbps",
+    "milliseconds",
+    "microseconds",
+    "BYTE",
+    "MTU_BYTES",
+    "serialization_delay",
+]
+
+#: Bits per byte.
+BYTE = 8
+
+#: Default maximum transmission unit used by the message senders, in bytes.
+MTU_BYTES = 1500
+
+
+def kbps(value: float) -> float:
+    """Kilobits per second → bits per second."""
+    return float(value) * 1e3
+
+
+def mbps(value: float) -> float:
+    """Megabits per second → bits per second."""
+    return float(value) * 1e6
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second → bits per second."""
+    return float(value) * 1e9
+
+
+def milliseconds(value: float) -> float:
+    """Milliseconds → seconds."""
+    return float(value) * 1e-3
+
+
+def microseconds(value: float) -> float:
+    """Microseconds → seconds."""
+    return float(value) * 1e-6
+
+
+def serialization_delay(size_bytes: int, rate_bps: float) -> float:
+    """Time to clock ``size_bytes`` onto a link of ``rate_bps``.
+
+    Raises :class:`ValueError` for non-positive rates because a zero-rate
+    link would silently stall the event loop.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps}")
+    if size_bytes < 0:
+        raise ValueError(f"packet size must be non-negative, got {size_bytes}")
+    return size_bytes * BYTE / rate_bps

@@ -1,0 +1,173 @@
+"""Message-size workloads.
+
+The paper's senders follow "real-world traffic distributions" from the
+Homa paper [Montazeri et al., SIGCOMM '18]: most messages are small, but
+a heavy tail of large messages carries most of the bytes.  We provide a
+log-normal body + Pareto tail mixture with that qualitative shape, plus
+the individual distributions for experimentation.
+
+All samplers return integral message sizes in bytes and take the RNG
+explicitly, keeping dataset generation reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "MessageSizeDistribution",
+    "FixedMessageSizes",
+    "UniformMessageSizes",
+    "LogNormalMessageSizes",
+    "ParetoMessageSizes",
+    "HomaLikeMessageSizes",
+    "PoissonArrivals",
+]
+
+
+class MessageSizeDistribution(ABC):
+    """Base class for message-size samplers."""
+
+    #: Smallest message we generate (one minimum-size payload).
+    min_bytes: int = 64
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one message size in bytes."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected message size in bytes (used to compute arrival rates)."""
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` message sizes."""
+        return np.array([self.sample(rng) for _ in range(count)], dtype=np.int64)
+
+
+class FixedMessageSizes(MessageSizeDistribution):
+    """Every message has the same size; useful for deterministic tests."""
+
+    def __init__(self, size_bytes: int):
+        if size_bytes < self.min_bytes:
+            raise ValueError(f"size must be >= {self.min_bytes}, got {size_bytes}")
+        self.size_bytes = int(size_bytes)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.size_bytes
+
+    def mean(self) -> float:
+        return float(self.size_bytes)
+
+
+class UniformMessageSizes(MessageSizeDistribution):
+    """Uniform sizes in ``[low, high]`` bytes."""
+
+    def __init__(self, low: int, high: int):
+        if not self.min_bytes <= low <= high:
+            raise ValueError(f"need {self.min_bytes} <= low <= high, got [{low}, {high}]")
+        self.low = int(low)
+        self.high = int(high)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class LogNormalMessageSizes(MessageSizeDistribution):
+    """Log-normal sizes, clipped to ``[min_bytes, max_bytes]``."""
+
+    def __init__(self, median_bytes: float = 2000.0, sigma: float = 1.0, max_bytes: int = 10_000_000):
+        if median_bytes <= 0 or sigma <= 0:
+            raise ValueError("median_bytes and sigma must be positive")
+        self.mu = math.log(median_bytes)
+        self.sigma = float(sigma)
+        self.max_bytes = int(max_bytes)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        value = rng.lognormal(self.mu, self.sigma)
+        return int(min(max(value, self.min_bytes), self.max_bytes))
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+
+class ParetoMessageSizes(MessageSizeDistribution):
+    """Pareto (power-law) sizes: ``P(X > x) = (scale / x) ** alpha``."""
+
+    def __init__(self, scale_bytes: float = 1000.0, alpha: float = 1.5, max_bytes: int = 10_000_000):
+        if alpha <= 1.0:
+            raise ValueError(f"alpha must exceed 1 for a finite mean, got {alpha}")
+        if scale_bytes < self.min_bytes:
+            raise ValueError(f"scale must be >= {self.min_bytes}, got {scale_bytes}")
+        self.scale = float(scale_bytes)
+        self.alpha = float(alpha)
+        self.max_bytes = int(max_bytes)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        value = self.scale * (1.0 + rng.pareto(self.alpha))
+        return int(min(value, self.max_bytes))
+
+    def mean(self) -> float:
+        # Mean of the (untruncated) shifted Pareto; truncation bias is
+        # negligible for the defaults (max_bytes >> scale).
+        return self.scale * self.alpha / (self.alpha - 1.0)
+
+
+class HomaLikeMessageSizes(MessageSizeDistribution):
+    """Mixture approximating the Homa workloads the paper cites.
+
+    With probability ``1 - tail_fraction`` a small log-normal message
+    (RPC-style), otherwise a heavy Pareto message.  The default
+    parameters give a mean around 6 KB with >50% of bytes in the tail,
+    producing the bursty queue dynamics the pre-training task relies on.
+    """
+
+    def __init__(
+        self,
+        body_median_bytes: float = 1200.0,
+        body_sigma: float = 0.8,
+        tail_fraction: float = 0.07,
+        tail_scale_bytes: float = 20_000.0,
+        tail_alpha: float = 1.6,
+        max_bytes: int = 2_000_000,
+    ):
+        if not 0.0 <= tail_fraction <= 1.0:
+            raise ValueError(f"tail_fraction must be in [0, 1], got {tail_fraction}")
+        self.body = LogNormalMessageSizes(body_median_bytes, body_sigma, max_bytes)
+        self.tail = ParetoMessageSizes(tail_scale_bytes, tail_alpha, max_bytes)
+        self.tail_fraction = float(tail_fraction)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if rng.random() < self.tail_fraction:
+            return self.tail.sample(rng)
+        return self.body.sample(rng)
+
+    def mean(self) -> float:
+        return (
+            self.tail_fraction * self.tail.mean()
+            + (1.0 - self.tail_fraction) * self.body.mean()
+        )
+
+
+class PoissonArrivals:
+    """Poisson message arrival process matching a target offered load.
+
+    The arrival rate is ``load_bps / (8 * mean_message_bytes)`` messages
+    per second, so the long-run offered load equals ``load_bps``.
+    """
+
+    def __init__(self, load_bps: float, size_distribution: MessageSizeDistribution):
+        if load_bps <= 0:
+            raise ValueError(f"offered load must be positive, got {load_bps}")
+        self.load_bps = float(load_bps)
+        self.size_distribution = size_distribution
+        self.rate_per_second = load_bps / (8.0 * size_distribution.mean())
+
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        """Draw the time until the next message arrival."""
+        return float(rng.exponential(1.0 / self.rate_per_second))

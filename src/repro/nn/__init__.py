@@ -1,0 +1,56 @@
+"""A numpy-based neural-network engine (the PyTorch substitute).
+
+Define-by-run autograd (:mod:`repro.nn.tensor`) plus the layers needed
+by the Network Traffic Transformer: linear, layer norm, dropout,
+embeddings, multi-head attention and transformer encoders, along with
+optimizers, LR schedules, data loading and a training loop.
+
+The engine favours clarity and testability over raw speed; every
+operator's gradient is validated against finite differences in the test
+suite.
+"""
+
+from repro.nn.tensor import Tensor, concat, no_grad
+from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.layers import Dropout, Embedding, GELU, Linear, ReLU, Sequential, Tanh
+from repro.nn.norm import LayerNorm
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.transformer import TransformerEncoder, TransformerEncoderLayer
+from repro.nn.positional import LearnedPositionalEncoding, SinusoidalPositionalEncoding
+from repro.nn.losses import huber_loss, l1_loss, mse_loss
+from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Linear",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Dropout",
+    "Embedding",
+    "Sequential",
+    "LayerNorm",
+    "MultiHeadAttention",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "SinusoidalPositionalEncoding",
+    "LearnedPositionalEncoding",
+    "mse_loss",
+    "l1_loss",
+    "huber_loss",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "ArrayDataset",
+    "DataLoader",
+    "Trainer",
+    "TrainingHistory",
+]

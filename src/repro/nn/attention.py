@@ -1,0 +1,94 @@
+"""Multi-head scaled dot-product attention.
+
+The mechanism behind Transformers (§2 of the paper): every output
+position encodes its own information *and* its context, computed as a
+weighted sum over all positions.  Cost is quadratic in sequence length —
+the very reason the NTT aggregates packets before the encoder (§3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultiHeadAttention", "scaled_dot_product_attention"]
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    mask: np.ndarray | None = None,
+) -> tuple[Tensor, Tensor]:
+    """Attention(Q, K, V) = softmax(QKᵀ/√d) V.
+
+    Args:
+        query/key/value: tensors of shape ``(..., seq, d_head)``.
+        mask: optional boolean array broadcastable to the attention
+            matrix ``(..., seq_q, seq_k)``; True marks positions to hide.
+
+    Returns:
+        ``(output, weights)`` where weights are the attention
+        probabilities (useful for inspection and tests).
+    """
+    d_head = query.shape[-1]
+    scores = (query @ key.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_head))
+    if mask is not None:
+        scores = scores.masked_fill(mask, -1e9)
+    weights = scores.softmax(axis=-1)
+    return weights @ value, weights
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head attention with learned Q/K/V/output projections."""
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError(f"d_model={d_model} must be divisible by n_heads={n_heads}")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.w_query = Linear(d_model, d_model, rng)
+        self.w_key = Linear(d_model, d_model, rng)
+        self.w_value = Linear(d_model, d_model, rng)
+        self.w_out = Linear(d_model, d_model, rng)
+        self.dropout = Dropout(dropout, rng)
+        #: Attention weights of the latest forward pass (numpy copy), for
+        #: interpretability tooling; not part of the autograd graph.
+        self.last_attention: np.ndarray | None = None
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        """(batch, seq, d_model) → (batch, heads, seq, d_head)."""
+        return x.reshape(batch, seq, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Self-attention over ``x`` of shape ``(batch, seq, d_model)``.
+
+        ``mask`` is a boolean array broadcastable to
+        ``(batch, heads, seq, seq)``; True hides a key position.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, seq, d_model), got shape {x.shape}")
+        batch, seq, _ = x.shape
+        query = self._split_heads(self.w_query(x), batch, seq)
+        key = self._split_heads(self.w_key(x), batch, seq)
+        value = self._split_heads(self.w_value(x), batch, seq)
+        context, weights = scaled_dot_product_attention(query, key, value, mask)
+        self.last_attention = weights.data.copy()
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+        return self.dropout(self.w_out(context))
+
+    def __repr__(self) -> str:
+        return f"MultiHeadAttention(d_model={self.d_model}, n_heads={self.n_heads})"

@@ -1,0 +1,94 @@
+"""Datasets and mini-batch loading."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader"]
+
+
+class ArrayDataset:
+    """A dataset backed by aligned numpy arrays.
+
+    ``dataset[i]`` returns a tuple with the ``i``-th row of every array.
+    Arrays may have arbitrary trailing dimensions but must share their
+    first (sample) dimension.
+    """
+
+    def __init__(self, *arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("ArrayDataset needs at least one array")
+        lengths = {len(array) for array in arrays}
+        if len(lengths) != 1:
+            raise ValueError(f"arrays have inconsistent lengths: {lengths}")
+        self.arrays = tuple(np.asarray(array) for array in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index):
+        return tuple(array[index] for array in self.arrays)
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """A new dataset containing only ``indices`` (fancy indexing)."""
+        return ArrayDataset(*(array[indices] for array in self.arrays))
+
+    def split(self, fraction: float, rng: np.random.Generator | None = None):
+        """Split into ``(first, second)`` with ``fraction`` of samples first.
+
+        Shuffles when an RNG is provided; otherwise splits by position
+        (useful for temporal splits where test data must come later).
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        count = len(self)
+        cut = int(round(count * fraction))
+        cut = min(max(cut, 1), count - 1)
+        indices = np.arange(count)
+        if rng is not None:
+            rng.shuffle(indices)
+        return self.subset(indices[:cut]), self.subset(indices[cut:])
+
+
+class DataLoader:
+    """Iterate over mini-batches of an :class:`ArrayDataset`.
+
+    Shuffling uses the provided RNG so epochs are reproducible.  The
+    last short batch is kept (dropping data would bias small datasets).
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = False,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if shuffle and rng is None:
+            raise ValueError("shuffle=True requires an explicit rng for reproducibility")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        count = len(self.dataset)
+        if self.drop_last:
+            return count // self.batch_size
+        return (count + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                return
+            yield self.dataset[batch]

@@ -1,0 +1,59 @@
+"""Weight initialisers.
+
+Each function *returns* a freshly initialised array; layers wrap them in
+:class:`~repro.nn.module.Parameter`.  RNGs are passed explicitly so model
+construction is reproducible end-to-end.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "normal", "zeros", "ones"]
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out)).
+
+    The default initialiser for attention and feed-forward projections.
+    """
+    fan_in, fan_out = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He uniform, appropriate before ReLU nonlinearities."""
+    fan_in, _ = _fans(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape: tuple, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Truncated-free normal initialiser (BERT-style embeddings)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)
+
+
+def _fans(shape: tuple) -> tuple[int, int]:
+    """Fan-in/fan-out for a weight of shape ``(in_features, out_features)``.
+
+    The whole library stores linear weights in that orientation (so the
+    forward pass is ``x @ W``), hence fan_in is the first axis.
+    """
+    if len(shape) < 1:
+        raise ValueError("initialisers need at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = shape[-1]
+    return fan_in, fan_out

@@ -1,0 +1,151 @@
+"""Basic layers: Linear, activations, Dropout, Embedding, Sequential."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["Linear", "ReLU", "GELU", "Tanh", "Dropout", "Embedding", "Sequential", "Identity"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b``.
+
+    Weights have shape ``(in_features, out_features)`` and apply to the
+    last axis of the input, so the layer works for both ``(batch, d)``
+    and ``(batch, seq, d)`` inputs.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"features must be positive, got ({in_features}, {out_features})"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((in_features, out_features), rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.ensure(x)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dim {self.in_features}, got {x.shape[-1]}"
+            )
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features} -> {self.out_features})"
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return Tensor.ensure(x).relu()
+
+
+class GELU(Module):
+    """Gaussian Error Linear Unit (the transformer default)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return Tensor.ensure(x).gelu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return Tensor.ensure(x).tanh()
+
+
+class Identity(Module):
+    """Pass-through layer (placeholder in ablations)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        return x.dropout(self.rate, self._rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    Used by the NTT for receiver IDs — "an IP address proxy, as we do
+    not want to learn IP address parsing (yet)" (§3 footnote).
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: np.random.Generator):
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("num_embeddings and embedding_dim must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            init.normal((num_embeddings, embedding_dim), rng, std=0.02), name="weight"
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding indices out of range [0, {self.num_embeddings}): "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        return self.weight.take_rows(indices)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+
+
+class Sequential(Module):
+    """Feed input through a fixed chain of layers."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layers = list(layers)
+        for index, layer in enumerate(layers):
+            self._modules[str(index)] = layer
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]

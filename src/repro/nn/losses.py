@@ -1,0 +1,53 @@
+"""Regression losses.
+
+The paper reports mean squared error for both tasks (§4); the others are
+provided for robustness experiments.
+"""
+
+from __future__ import annotations
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["mse_loss", "l1_loss", "huber_loss"]
+
+
+def _check_shapes(prediction: Tensor, target: Tensor) -> None:
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"prediction shape {prediction.shape} != target shape {target.shape};"
+            " implicit broadcasting in a loss usually hides a bug"
+        )
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    target = Tensor.ensure(target)
+    _check_shapes(prediction, target)
+    difference = prediction - target
+    return (difference * difference).mean()
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    target = Tensor.ensure(target)
+    _check_shapes(prediction, target)
+    return (prediction - target).abs().mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear in the tails.
+
+    Implemented with differentiable primitives:
+    ``0.5 * e^2`` for ``|e| <= delta`` else ``delta * (|e| - 0.5 * delta)``.
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    target = Tensor.ensure(target)
+    _check_shapes(prediction, target)
+    error = prediction - target
+    abs_error = error.abs()
+    quadratic = 0.5 * error * error
+    linear = delta * abs_error - 0.5 * delta * delta
+    is_small = (abs_error.data <= delta).astype(float)
+    mask = Tensor(is_small)
+    return (quadratic * mask + linear * (1.0 - mask)).mean()

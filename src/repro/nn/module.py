@@ -1,0 +1,171 @@
+"""Module system: parameter registration, state dicts, train/eval mode.
+
+Mirrors the familiar torch.nn semantics at a fraction of the surface:
+assigning a :class:`Parameter`, :class:`Module` or :class:`ModuleList`
+to an attribute registers it automatically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module", "ModuleList", "freeze_parameters"]
+
+
+class Parameter(Tensor):
+    """A tensor that is trainable by construction."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network components."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- registration ----------------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, parameter: Parameter) -> None:
+        """Explicit registration (used for dynamically named parameters)."""
+        self._parameters[name] = parameter
+        object.__setattr__(self, name, parameter)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters in this module and its children."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(parameter.size for parameter in self.parameters())
+
+    # -- training state -------------------------------------------------------------
+
+    def train(self) -> "Module":
+        """Enable training mode (dropout active) recursively."""
+        for module in self.modules():
+            object.__setattr__(module, "training", True)
+        return self
+
+    def eval(self) -> "Module":
+        """Enable inference mode (dropout disabled) recursively."""
+        for module in self.modules():
+            object.__setattr__(module, "training", False)
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # -- state dict -------------------------------------------------------------------
+
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy of every parameter's data, keyed by dotted name."""
+        return OrderedDict(
+            (name, parameter.data.copy()) for name, parameter in self.named_parameters()
+        )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load parameter values saved by :meth:`state_dict`.
+
+        Raises ``KeyError`` on missing entries and ``ValueError`` on
+        shape mismatches — silent partial loads hide real bugs.
+        """
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"checkpoint {value.shape} vs model {parameter.data.shape}"
+                )
+            parameter.data = value.copy()
+
+    # -- forward ----------------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+@contextlib.contextmanager
+def freeze_parameters(module: "Module"):
+    """Temporarily set ``requires_grad=False`` on every parameter.
+
+    Freezing does more than excluding parameters from the optimizer: the
+    autograd graph stops extending through the frozen stage entirely, so
+    backward passes skip it.  This is what makes the paper's
+    "decoder-only" fine-tuning cheap (Table 2).
+    """
+    parameters = module.parameters()
+    saved = [parameter.requires_grad for parameter in parameters]
+    for parameter in parameters:
+        parameter.requires_grad = False
+    try:
+        yield module
+    finally:
+        for parameter, state in zip(parameters, saved):
+            parameter.requires_grad = state
+
+
+class ModuleList(Module):
+    """A list of sub-modules, registered under their indices."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        self._modules[str(len(self._items))] = module
+        self._items.append(module)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container; call its items instead")

@@ -1,0 +1,42 @@
+"""Layer normalisation."""
+
+from __future__ import annotations
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Normalise the last axis to zero mean / unit variance, then scale
+    and shift with learned ``gamma`` / ``beta``.
+
+    Built from differentiable primitives, so its gradient is exercised
+    by the same finite-difference checks as every other op.
+    """
+
+    def __init__(self, normalized_dim: int, eps: float = 1e-5):
+        super().__init__()
+        if normalized_dim <= 0:
+            raise ValueError(f"normalized_dim must be positive, got {normalized_dim}")
+        self.normalized_dim = normalized_dim
+        self.eps = float(eps)
+        self.gamma = Parameter(init.ones((normalized_dim,)), name="gamma")
+        self.beta = Parameter(init.zeros((normalized_dim,)), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor.ensure(x)
+        if x.shape[-1] != self.normalized_dim:
+            raise ValueError(
+                f"LayerNorm expected last dim {self.normalized_dim}, got {x.shape[-1]}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / (variance + self.eps).sqrt()
+        return normalised * self.gamma + self.beta
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_dim}, eps={self.eps})"

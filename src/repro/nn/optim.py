@@ -1,0 +1,142 @@
+"""Optimizers: SGD (+momentum), Adam and AdamW, plus gradient clipping."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base class; holds the parameter list and the shared step counter."""
+
+    def __init__(self, parameters: list[Parameter], lr: float):
+        parameters = list(parameters)
+        if not parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = parameters
+        self.lr = float(lr)
+        self.steps = 0
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored."""
+        self.steps += 1
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            self._update(index, parameter)
+
+    def _update(self, index: int, parameter: Parameter) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, parameter: Parameter) -> None:
+        grad = parameter.grad
+        if self.momentum > 0.0:
+            velocity = self._velocity.get(index)
+            if velocity is None:
+                velocity = np.zeros_like(parameter.data)
+            velocity = self.momentum * velocity + grad
+            self._velocity[index] = velocity
+            grad = velocity
+        parameter.data = parameter.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, parameter: Parameter) -> None:
+        grad = parameter.grad
+        m = self._m.get(index)
+        v = self._v.get(index)
+        if m is None:
+            m = np.zeros_like(parameter.data)
+            v = np.zeros_like(parameter.data)
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+        self._m[index] = m
+        self._v[index] = v
+        m_hat = m / (1.0 - self.beta1**self.steps)
+        v_hat = v / (1.0 - self.beta2**self.steps)
+        parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter 2019)."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ):
+        super().__init__(parameters, lr=lr, betas=betas, eps=eps)
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.weight_decay = weight_decay
+
+    def _update(self, index: int, parameter: Parameter) -> None:
+        if self.weight_decay:
+            parameter.data = parameter.data * (1.0 - self.lr * self.weight_decay)
+        super()._update(index, parameter)
+
+
+def clip_grad_norm(parameters, max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.  Short transformer training runs on
+    heavy-tailed targets occasionally produce gradient spikes; clipping
+    keeps Adam's second-moment estimates sane.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = math.sqrt(sum(float((g * g).sum()) for g in grads))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for parameter in parameters:
+            if parameter.grad is not None:
+                parameter.grad = parameter.grad * scale
+    return total

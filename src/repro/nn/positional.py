@@ -1,0 +1,59 @@
+"""Positional encodings for the transformer encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["SinusoidalPositionalEncoding", "LearnedPositionalEncoding"]
+
+
+class SinusoidalPositionalEncoding(Module):
+    """The fixed sin/cos encoding of Vaswani et al. (2017).
+
+    Added to the embedded sequence; no learned state.
+    """
+
+    def __init__(self, d_model: int, max_len: int = 4096):
+        super().__init__()
+        if d_model % 2 != 0:
+            raise ValueError(f"d_model must be even for sinusoidal PE, got {d_model}")
+        position = np.arange(max_len)[:, None].astype(np.float64)
+        div = np.exp(np.arange(0, d_model, 2) * (-np.log(10000.0) / d_model))
+        table = np.zeros((max_len, d_model), dtype=np.float64)
+        table[:, 0::2] = np.sin(position * div)
+        table[:, 1::2] = np.cos(position * div)
+        self.d_model = d_model
+        self.max_len = max_len
+        self._table = table  # constant, not a Parameter
+
+    def forward(self, x: Tensor) -> Tensor:
+        seq_len = x.shape[-2]
+        if seq_len > self.max_len:
+            raise ValueError(f"sequence length {seq_len} exceeds max_len {self.max_len}")
+        return x + Tensor(self._table[:seq_len])
+
+    def __repr__(self) -> str:
+        return f"SinusoidalPositionalEncoding(d_model={self.d_model})"
+
+
+class LearnedPositionalEncoding(Module):
+    """BERT-style learned position embeddings (one vector per position)."""
+
+    def __init__(self, d_model: int, max_len: int, rng: np.random.Generator):
+        super().__init__()
+        self.d_model = d_model
+        self.max_len = max_len
+        self.weight = Parameter(init.normal((max_len, d_model), rng, std=0.02), name="weight")
+
+    def forward(self, x: Tensor) -> Tensor:
+        seq_len = x.shape[-2]
+        if seq_len > self.max_len:
+            raise ValueError(f"sequence length {seq_len} exceeds max_len {self.max_len}")
+        return x + self.weight[:seq_len]
+
+    def __repr__(self) -> str:
+        return f"LearnedPositionalEncoding(d_model={self.d_model}, max_len={self.max_len})"

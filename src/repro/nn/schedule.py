@@ -1,0 +1,74 @@
+"""Learning-rate schedules.
+
+A schedule is a callable ``step -> multiplier`` applied to the
+optimizer's base learning rate by the :class:`~repro.nn.trainer.Trainer`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["constant", "warmup_cosine", "warmup_linear", "step_decay", "apply_schedule"]
+
+
+def constant():
+    """No schedule: multiplier 1 forever."""
+
+    def schedule(step: int) -> float:
+        return 1.0
+
+    return schedule
+
+
+def warmup_cosine(warmup_steps: int, total_steps: int, floor: float = 0.0):
+    """Linear warmup followed by cosine decay to ``floor``.
+
+    The standard recipe for short transformer pre-training runs.
+    """
+    if warmup_steps < 0 or total_steps <= 0:
+        raise ValueError("warmup_steps must be >= 0 and total_steps > 0")
+    if warmup_steps >= total_steps:
+        raise ValueError(f"warmup ({warmup_steps}) must end before total ({total_steps})")
+
+    def schedule(step: int) -> float:
+        if step < warmup_steps:
+            return (step + 1) / max(warmup_steps, 1)
+        progress = (step - warmup_steps) / (total_steps - warmup_steps)
+        progress = min(progress, 1.0)
+        return floor + (1.0 - floor) * 0.5 * (1.0 + math.cos(math.pi * progress))
+
+    return schedule
+
+
+def warmup_linear(warmup_steps: int, total_steps: int, floor: float = 0.0):
+    """Linear warmup then linear decay to ``floor``."""
+    if warmup_steps < 0 or total_steps <= 0:
+        raise ValueError("warmup_steps must be >= 0 and total_steps > 0")
+
+    def schedule(step: int) -> float:
+        if step < warmup_steps:
+            return (step + 1) / max(warmup_steps, 1)
+        progress = (step - warmup_steps) / max(total_steps - warmup_steps, 1)
+        return max(floor, 1.0 - progress)
+
+    return schedule
+
+
+def step_decay(decay_every: int, factor: float = 0.5):
+    """Multiply the LR by ``factor`` every ``decay_every`` steps."""
+    if decay_every <= 0:
+        raise ValueError(f"decay_every must be positive, got {decay_every}")
+    if not 0.0 < factor <= 1.0:
+        raise ValueError(f"factor must be in (0, 1], got {factor}")
+
+    def schedule(step: int) -> float:
+        return factor ** (step // decay_every)
+
+    return schedule
+
+
+def apply_schedule(optimizer, base_lr: float, schedule, step: int) -> float:
+    """Set ``optimizer.lr`` from the schedule; returns the applied LR."""
+    lr = base_lr * schedule(step)
+    optimizer.lr = lr
+    return lr

@@ -1,0 +1,56 @@
+"""Checkpointing: save and load module state dicts as ``.npz`` files.
+
+Sharing a pre-trained model instead of the underlying data is a core
+part of the paper's vision (§5, "Collaborative pre-training") — these
+helpers are the minimal version of that story.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "load_state"]
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(module: Module, path, metadata: dict | None = None) -> None:
+    """Write ``module.state_dict()`` (plus JSON metadata) to ``path``.
+
+    Metadata must be JSON-serialisable; it typically records the model
+    configuration so checkpoints are self-describing.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name collides with metadata key {_META_KEY!r}")
+    payload = dict(state)
+    meta_json = json.dumps(metadata if metadata is not None else {})
+    payload[_META_KEY] = np.frombuffer(meta_json.encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def load_state(path) -> tuple[dict, dict]:
+    """Read ``(state_dict, metadata)`` from a checkpoint file."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    with np.load(path) as data:
+        state = {key: data[key] for key in data.files if key != _META_KEY}
+        metadata = {}
+        if _META_KEY in data.files:
+            metadata = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+    return state, metadata
+
+
+def load_checkpoint(module: Module, path) -> dict:
+    """Load parameters into ``module``; returns the stored metadata."""
+    state, metadata = load_state(path)
+    module.load_state_dict(state)
+    return metadata

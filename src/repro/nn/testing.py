@@ -1,0 +1,71 @@
+"""Gradient checking utilities used by the test suite.
+
+:func:`gradcheck` compares autograd gradients with central finite
+differences.  Because the whole engine runs in float64, agreement to
+~1e-6 relative error is expected for smooth ops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(
+    fn: Callable[[list[Tensor]], Tensor],
+    inputs: list[np.ndarray],
+    index: int,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``fn`` w.r.t. ``inputs[index]``.
+
+    ``fn`` receives the inputs wrapped as constant Tensors and must
+    return a scalar Tensor.
+    """
+    base = [np.array(array, dtype=np.float64) for array in inputs]
+    grad = np.zeros_like(base[index])
+    flat = grad.reshape(-1)
+    target = base[index].reshape(-1)
+    for position in range(target.size):
+        original = target[position]
+        target[position] = original + epsilon
+        plus = fn([Tensor(a) for a in base]).item()
+        target[position] = original - epsilon
+        minus = fn([Tensor(a) for a in base]).item()
+        target[position] = original
+        flat[position] = (plus - minus) / (2.0 * epsilon)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[[list[Tensor]], Tensor],
+    inputs: list[np.ndarray],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    epsilon: float = 1e-6,
+) -> bool:
+    """Assert autograd and numerical gradients agree for every input.
+
+    Returns True on success; raises ``AssertionError`` with a readable
+    message otherwise.
+    """
+    tensors = [Tensor(np.array(array, dtype=np.float64), requires_grad=True) for array in inputs]
+    output = fn(tensors)
+    if output.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    output.backward()
+    for index, tensor in enumerate(tensors):
+        numeric = numerical_gradient(fn, inputs, index, epsilon=epsilon)
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(numeric)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {index}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

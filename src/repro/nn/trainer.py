@@ -1,0 +1,164 @@
+"""A compact training loop with history, validation and early stopping."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.data import DataLoader
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer, clip_grad_norm
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = ["Trainer", "TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records produced by :meth:`Trainer.fit`."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    lr: list[float] = field(default_factory=list)
+    wall_time: float = 0.0
+    epochs_run: int = 0
+    stopped_early: bool = False
+
+    @property
+    def best_val_loss(self) -> float:
+        return min(self.val_loss) if self.val_loss else float("nan")
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.train_loss[-1] if self.train_loss else float("nan")
+
+
+class Trainer:
+    """Drives training of a model whose forward returns predictions.
+
+    Args:
+        model: the module to train.
+        optimizer: optimizer over (a subset of) the model's parameters —
+            pass only the decoder's parameters to get the paper's
+            "decoder only" fine-tuning mode.
+        loss_fn: ``loss_fn(prediction, target_tensor) -> scalar Tensor``.
+        forward_fn: adapter ``(model, batch) -> (prediction, target)``;
+            defaults to ``model(batch[0]), batch[-1]``.  This decouples
+            the trainer from each task's input layout.
+        grad_clip: optional global-norm gradient clip.
+        schedule: optional LR schedule ``step -> multiplier``.
+        on_epoch_start: optional hook run after ``model.train()`` at the
+            top of every training epoch.  Decoder-only fine-tuning uses
+            it to put the frozen encoder back into eval mode so its
+            dropout stays off.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss_fn: Callable,
+        forward_fn: Callable | None = None,
+        grad_clip: float | None = 1.0,
+        schedule: Callable | None = None,
+        on_epoch_start: Callable | None = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.forward_fn = forward_fn if forward_fn is not None else self._default_forward
+        self.grad_clip = grad_clip
+        self.schedule = schedule
+        self.on_epoch_start = on_epoch_start
+        self._base_lr = optimizer.lr
+        self._global_step = 0
+
+    @staticmethod
+    def _default_forward(model: Module, batch: tuple):
+        *inputs, target = batch
+        prediction = model(*inputs)
+        return prediction, target
+
+    def train_epoch(self, loader: DataLoader) -> float:
+        """One pass over the training data; returns the mean batch loss."""
+        self.model.train()
+        if self.on_epoch_start is not None:
+            self.on_epoch_start()
+        losses = []
+        for batch in loader:
+            if self.schedule is not None:
+                self.optimizer.lr = self._base_lr * self.schedule(self._global_step)
+            prediction, target = self.forward_fn(self.model, batch)
+            loss = self.loss_fn(prediction, Tensor.ensure(target))
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.grad_clip is not None:
+                clip_grad_norm(self.optimizer.parameters, self.grad_clip)
+            self.optimizer.step()
+            self._global_step += 1
+            losses.append(loss.item())
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def evaluate(self, loader: DataLoader) -> float:
+        """Mean loss over a dataset without touching gradients.
+
+        Weighted by batch size so short final batches don't skew the
+        estimate.
+        """
+        self.model.eval()
+        total = 0.0
+        count = 0
+        with no_grad():
+            for batch in loader:
+                prediction, target = self.forward_fn(self.model, batch)
+                loss = self.loss_fn(prediction, Tensor.ensure(target))
+                batch_count = len(batch[0])
+                total += loss.item() * batch_count
+                count += batch_count
+        return total / count if count else float("nan")
+
+    def fit(
+        self,
+        train_loader: DataLoader,
+        val_loader: DataLoader | None = None,
+        epochs: int = 10,
+        patience: int | None = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` epochs with optional early stopping.
+
+        ``patience`` counts epochs without validation improvement before
+        stopping (requires ``val_loader``).
+        """
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        if patience is not None and val_loader is None:
+            raise ValueError("early stopping requires a validation loader")
+        history = TrainingHistory()
+        best_val = float("inf")
+        bad_epochs = 0
+        start = time.perf_counter()
+        for epoch in range(epochs):
+            train_loss = self.train_epoch(train_loader)
+            history.train_loss.append(train_loss)
+            history.lr.append(self.optimizer.lr)
+            if val_loader is not None:
+                val_loss = self.evaluate(val_loader)
+                history.val_loss.append(val_loss)
+                if val_loss < best_val - 1e-12:
+                    best_val = val_loss
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+            if verbose:
+                val_text = f" val={history.val_loss[-1]:.6f}" if val_loader else ""
+                print(f"epoch {epoch + 1}/{epochs} train={train_loss:.6f}{val_text}")
+            history.epochs_run = epoch + 1
+            if patience is not None and bad_epochs > patience:
+                history.stopped_early = True
+                break
+        history.wall_time = time.perf_counter() - start
+        return history

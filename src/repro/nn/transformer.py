@@ -1,0 +1,81 @@
+"""Transformer encoder blocks.
+
+Pre-LayerNorm residual blocks (GPT-2/ViT style): normalisation inside
+the residual branch keeps gradients well-behaved without the LR warmup
+gymnastics the original post-LN transformer needs — important here
+because training runs are short.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Dropout, GELU, Linear, Sequential
+from repro.nn.module import Module, ModuleList
+from repro.nn.norm import LayerNorm
+from repro.nn.tensor import Tensor
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder"]
+
+
+class TransformerEncoderLayer(Module):
+    """One encoder block: self-attention + position-wise feed-forward,
+    each wrapped in a pre-LN residual connection."""
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        d_ff: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        self.norm_attention = LayerNorm(d_model)
+        self.attention = MultiHeadAttention(d_model, n_heads, rng, dropout=dropout)
+        self.norm_ff = LayerNorm(d_model)
+        self.feed_forward = Sequential(
+            Linear(d_model, d_ff, rng),
+            GELU(),
+            Linear(d_ff, d_model, rng),
+        )
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.attention(self.norm_attention(x), mask=mask)
+        x = x + self.dropout(self.feed_forward(self.norm_ff(x)))
+        return x
+
+
+class TransformerEncoder(Module):
+    """A stack of encoder layers with a final LayerNorm."""
+
+    def __init__(
+        self,
+        n_layers: int,
+        d_model: int,
+        n_heads: int,
+        d_ff: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        if n_layers <= 0:
+            raise ValueError(f"n_layers must be positive, got {n_layers}")
+        self.layers = ModuleList(
+            TransformerEncoderLayer(d_model, n_heads, d_ff, rng, dropout=dropout)
+            for _ in range(n_layers)
+        )
+        self.final_norm = LayerNorm(d_model)
+        self.d_model = d_model
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return self.final_norm(x)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransformerEncoder(layers={len(self.layers)}, d_model={self.d_model})"
+        )

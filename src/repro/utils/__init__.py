@@ -1,0 +1,6 @@
+"""Shared utilities: seeded RNG management, running statistics, logging."""
+
+from repro.utils.rng import RngFactory, new_rng
+from repro.utils.stats import OnlineStats, ewma, percentile_summary
+
+__all__ = ["RngFactory", "new_rng", "OnlineStats", "ewma", "percentile_summary"]

@@ -1,0 +1,124 @@
+"""Small statistics helpers used across the simulator and evaluation code."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["OnlineStats", "ewma", "percentile_summary"]
+
+
+class OnlineStats:
+    """Numerically stable online mean/variance (Welford's algorithm).
+
+    Used by simulator monitors to summarise queue occupancy and delays
+    without storing every sample.
+    """
+
+    def __init__(self):
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Incorporate one observation."""
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values) -> None:
+        """Incorporate an iterable of observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        return self._m2 / self._count if self._count else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineStats(count={self.count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g}, min={self.min:.6g}, max={self.max:.6g})"
+        )
+
+
+def ewma(values, alpha: float) -> np.ndarray:
+    """Exponentially weighted moving average of a 1-D sequence.
+
+    ``out[0] = values[0]`` and
+    ``out[t] = alpha * values[t] + (1 - alpha) * out[t-1]``.
+
+    This is the baseline predictor used in Table 1 of the paper
+    (with ``alpha = 0.01``).
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError("ewma expects a 1-D sequence")
+    out = np.empty_like(array)
+    if array.size == 0:
+        return out
+    out[0] = array[0]
+    for index in range(1, array.size):
+        out[index] = alpha * array[index] + (1.0 - alpha) * out[index - 1]
+    return out
+
+
+@dataclass
+class PercentileSummary:
+    """Container for a distribution summary."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+    max: float
+    extras: dict = field(default_factory=dict)
+
+
+def percentile_summary(values) -> PercentileSummary:
+    """Summarise a sample with the percentiles the paper reports (§4 fn. 6)."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return PercentileSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return PercentileSummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        p50=float(np.percentile(array, 50)),
+        p90=float(np.percentile(array, 90)),
+        p99=float(np.percentile(array, 99)),
+        p999=float(np.percentile(array, 99.9)),
+        max=float(array.max()),
+    )

@@ -1,0 +1,64 @@
+"""Shared fixtures.
+
+Heavy artefacts (simulated traces, smoke datasets) are session-scoped:
+they are deterministic, so sharing them across tests is safe and keeps
+the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generation import generate_dataset
+from repro.datasets.windows import WindowConfig
+from repro.netsim.scenarios import ScenarioConfig, ScenarioKind, run_scenario
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def smoke_trace():
+    """One small pre-training trace shared across the suite."""
+    return run_scenario(ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=7))
+
+
+@pytest.fixture(scope="session")
+def smoke_case2_trace():
+    return run_scenario(ScenarioConfig.smoke(ScenarioKind.CASE2, seed=7))
+
+
+@pytest.fixture(scope="session")
+def smoke_bundle():
+    """A windowed smoke-scale pre-training dataset."""
+    return generate_dataset(
+        ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=7),
+        window_config=WindowConfig(window_len=64, stride=4),
+        n_runs=1,
+        name="pretrain-smoke",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_case1_bundle(smoke_bundle):
+    return generate_dataset(
+        ScenarioConfig.smoke(ScenarioKind.CASE1, seed=7),
+        window_config=WindowConfig(window_len=64, stride=4),
+        n_runs=1,
+        name="case1-smoke",
+        receiver_index=smoke_bundle.receiver_index,
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_case2_bundle(smoke_bundle):
+    return generate_dataset(
+        ScenarioConfig.smoke(ScenarioKind.CASE2, seed=7),
+        window_config=WindowConfig(window_len=64, stride=4),
+        n_runs=1,
+        name="case2-smoke",
+        receiver_index=smoke_bundle.receiver_index,
+    )

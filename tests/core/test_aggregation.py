@@ -1,0 +1,112 @@
+"""Tests for multi-timescale aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.aggregation import AggregationLevel, AggregationSpec, Aggregator
+from repro.nn.tensor import Tensor
+
+
+class TestSpec:
+    def test_scaled_default_partitions_512(self):
+        spec = AggregationSpec.multi_timescale_512()
+        assert spec.seq_len == 512
+        assert spec.out_len == 44
+
+    def test_paper_spec_partitions_1024_into_48(self):
+        spec = AggregationSpec.multi_timescale_paper()
+        assert spec.seq_len == 1024
+        assert spec.out_len == 48
+
+    def test_none_spec(self):
+        spec = AggregationSpec.none(48)
+        assert spec.seq_len == 48
+        assert spec.out_len == 48
+
+    def test_fixed_paper_spec(self):
+        spec = AggregationSpec.fixed_paper()
+        assert spec.seq_len == 48 * 21 == 1008
+        assert spec.out_len == 48
+
+    def test_levels_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            AggregationSpec.from_pairs([(4, 1), (4, 8)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AggregationSpec(())
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            AggregationLevel(0, 4)
+
+    def test_describe(self):
+        text = AggregationSpec.from_pairs([(2, 4), (4, 1)]).describe()
+        assert "2x4" in text and "12 pkts" in text and "6 elems" in text
+
+    @given(st.lists(st.tuples(st.integers(1, 6), st.integers(1, 6)), min_size=1, max_size=4))
+    def test_property_lengths_consistent(self, pairs):
+        # Sort blocks descending to satisfy the ordering constraint.
+        pairs = sorted(pairs, key=lambda p: -p[1])
+        spec = AggregationSpec.from_pairs(pairs)
+        assert spec.seq_len == sum(c * b for c, b in pairs)
+        assert spec.out_len == sum(c for c, __ in pairs)
+
+
+class TestAggregator:
+    def test_output_shape(self, rng):
+        spec = AggregationSpec.from_pairs([(2, 8), (4, 2), (8, 1)])
+        agg = Aggregator(spec, d_emb=6, d_model=10, rng=rng)
+        out = agg(Tensor(rng.normal(size=(3, spec.seq_len, 6))))
+        assert out.shape == (3, spec.out_len, 10)
+
+    def test_wrong_input_shape_rejected(self, rng):
+        spec = AggregationSpec.none(8)
+        agg = Aggregator(spec, d_emb=4, d_model=6, rng=rng)
+        with pytest.raises(ValueError):
+            agg(Tensor(np.zeros((2, 9, 4))))
+        with pytest.raises(ValueError):
+            agg(Tensor(np.zeros((2, 8, 5))))
+
+    def test_blocks_partition_input(self, rng):
+        """Each output element depends only on its own packet block."""
+        spec = AggregationSpec.from_pairs([(2, 4), (4, 1)])
+        agg = Aggregator(spec, d_emb=3, d_model=5, rng=rng)
+        x = rng.normal(size=(1, spec.seq_len, 3))
+        base = agg(Tensor(x)).data
+        # Perturb packets of the first block (packets 0..3): only output
+        # element 0 may change.
+        perturbed = x.copy()
+        perturbed[0, :4, :] += 1.0
+        out = agg(Tensor(perturbed)).data
+        changed = ~np.isclose(out, base).all(axis=-1)[0]
+        assert changed[0]
+        assert not changed[1:].any()
+
+    def test_last_element_is_most_recent_packet(self, rng):
+        spec = AggregationSpec.from_pairs([(2, 4), (4, 1)])
+        agg = Aggregator(spec, d_emb=3, d_model=5, rng=rng)
+        x = rng.normal(size=(1, spec.seq_len, 3))
+        base = agg(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[0, -1, :] += 1.0  # newest packet
+        out = agg(Tensor(perturbed)).data
+        changed = ~np.isclose(out, base).all(axis=-1)[0]
+        assert changed[-1]
+        assert changed.sum() == 1
+
+    def test_gradients_flow(self, rng):
+        spec = AggregationSpec.from_pairs([(2, 2), (2, 1)])
+        agg = Aggregator(spec, d_emb=3, d_model=4, rng=rng)
+        x = Tensor(rng.normal(size=(2, spec.seq_len, 3)), requires_grad=True)
+        agg(x).sum().backward()
+        assert x.grad is not None
+        for parameter in agg.parameters():
+            assert parameter.grad is not None
+
+    def test_per_level_projection_sizes(self, rng):
+        spec = AggregationSpec.from_pairs([(2, 8), (4, 1)])
+        agg = Aggregator(spec, d_emb=6, d_model=10, rng=rng)
+        assert agg.projections[0].in_features == 8 * 6
+        assert agg.projections[1].in_features == 6

@@ -1,0 +1,95 @@
+"""Tests for feature specs and the normalisation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import DELAY_COLUMN, FeaturePipeline, FeatureSpec
+
+
+class TestFeatureSpec:
+    def test_full_keeps_everything(self):
+        spec = FeatureSpec.full()
+        assert spec.continuous_columns == (0, 1, 2)
+        assert spec.n_continuous == 3
+        assert spec.use_receiver
+
+    def test_without_size(self):
+        spec = FeatureSpec.without_size()
+        assert spec.continuous_columns == (0, 2)
+        assert spec.delay_position == 1
+
+    def test_without_delay(self):
+        spec = FeatureSpec.without_delay()
+        assert DELAY_COLUMN not in spec.continuous_columns
+        assert spec.delay_position is None
+
+    def test_without_receiver(self):
+        spec = FeatureSpec.without_receiver()
+        assert not spec.use_receiver
+        assert spec.n_continuous == 3
+
+    def test_delay_position_full(self):
+        assert FeatureSpec.full().delay_position == 2
+
+    def test_empty_spec_rejected(self):
+        spec = FeatureSpec(use_time=False, use_size=False, use_delay=False)
+        with pytest.raises(ValueError):
+            __ = spec.continuous_columns
+
+
+class TestPipeline:
+    @pytest.fixture
+    def pipeline(self, smoke_bundle):
+        return FeaturePipeline().fit(smoke_bundle.train)
+
+    def test_features_normalised(self, pipeline, smoke_bundle):
+        scaled = pipeline.transform_features(smoke_bundle.train)
+        flat = scaled.reshape(-1, 3)
+        assert np.allclose(flat.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(flat.std(axis=0), 1.0, atol=1e-6)
+
+    def test_delay_target_consistent_with_features(self, pipeline, smoke_bundle):
+        scaled = pipeline.transform_features(smoke_bundle.train)
+        targets = pipeline.transform_delay_target(smoke_bundle.train)
+        # The target is the last packet's delay feature.
+        assert np.allclose(scaled[:, -1, DELAY_COLUMN], targets)
+
+    def test_delay_std_positive(self, pipeline):
+        assert pipeline.delay_std > 0
+
+    def test_delay_mse_conversion(self, pipeline):
+        assert pipeline.delay_mse_to_seconds2(1.0) == pytest.approx(pipeline.delay_std**2)
+
+    def test_mct_requires_fit(self, pipeline, smoke_bundle):
+        complete = smoke_bundle.train.with_completed_messages_only()
+        with pytest.raises(RuntimeError):
+            pipeline.transform_mct_target(complete)
+
+    def test_mct_transform_after_fit(self, pipeline, smoke_bundle):
+        complete = smoke_bundle.train.with_completed_messages_only()
+        pipeline.fit_mct(complete)
+        targets = pipeline.transform_mct_target(complete)
+        assert np.all(np.isfinite(targets))
+        assert abs(targets.mean()) < 0.2
+
+    def test_mct_transform_rejects_incomplete(self, pipeline, smoke_bundle):
+        pipeline.fit_mct(smoke_bundle.train.with_completed_messages_only())
+        bad = smoke_bundle.train
+        if np.all(np.isfinite(bad.mct_target) & (bad.mct_target > 0)):
+            bad = bad.subset(np.arange(len(bad)))
+            bad.mct_target[0] = np.nan
+        with pytest.raises(ValueError):
+            pipeline.transform_mct_target(bad)
+
+    def test_message_size_transform_finite(self, pipeline, smoke_bundle):
+        sizes = pipeline.transform_message_size(smoke_bundle.train)
+        assert np.all(np.isfinite(sizes))
+
+    def test_same_pipeline_for_finetuning(self, pipeline, smoke_bundle, smoke_case1_bundle):
+        """Statistics come from pre-training, not the fine-tuning data."""
+        a = pipeline.transform_features(smoke_case1_bundle.train)
+        assert a.shape[2] == 3
+        # The case-1 data is scaled with *pre-training* statistics, so its
+        # columns are not exactly standard-normal.
+        flat = a.reshape(-1, 3)
+        assert not np.allclose(flat.mean(axis=0), 0.0, atol=1e-12)

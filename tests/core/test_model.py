@@ -1,0 +1,183 @@
+"""Tests for the NTT model and task heads."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import AggregationSpec
+from repro.core.features import FeatureSpec
+from repro.core.model import NTT, NTTConfig, NTTForDelay, NTTForMCT
+
+
+@pytest.fixture
+def config():
+    return NTTConfig.smoke()
+
+
+@pytest.fixture
+def batch(rng, config):
+    window_len = config.aggregation.seq_len + 8  # windows may be longer
+    features = rng.normal(size=(4, window_len, 3))
+    receiver = rng.integers(0, 4, size=(4, window_len))
+    return features, receiver
+
+
+class TestConfig:
+    def test_heads_divide_d_model(self):
+        with pytest.raises(ValueError):
+            NTTConfig(d_model=10, n_heads=3)
+
+    def test_presets_construct(self):
+        for preset in (NTTConfig.small, NTTConfig.paper, NTTConfig.smoke):
+            config = preset()
+            assert config.aggregation.seq_len > 0
+
+    def test_preset_overrides(self):
+        config = NTTConfig.small(d_model=32, n_heads=2)
+        assert config.d_model == 32
+
+
+class TestNTTForward:
+    def test_output_shape(self, config, batch):
+        model = NTT(config)
+        out = model(*batch)
+        assert out.shape == (4, config.aggregation.out_len, config.d_model)
+
+    def test_uses_last_seq_len_packets(self, config, batch, rng):
+        """Packets before the model's sequence window must not matter."""
+        model = NTT(config)
+        model.eval()
+        features, receiver = batch
+        out = model(features, receiver).data
+        perturbed = features.copy()
+        perturbed[:, : features.shape[1] - config.aggregation.seq_len, :] += 100.0
+        assert np.allclose(model(perturbed, receiver).data, out)
+
+    def test_window_too_short_rejected(self, config, rng):
+        model = NTT(config)
+        short = rng.normal(size=(2, config.aggregation.seq_len - 1, 3))
+        with pytest.raises(ValueError):
+            model(short, np.zeros((2, config.aggregation.seq_len - 1), dtype=int))
+
+    def test_requires_3d_features(self, config):
+        with pytest.raises(ValueError):
+            NTT(config)(np.zeros((4, 3)), np.zeros((4,), dtype=int))
+
+    def test_masked_delay_invisible(self, config, batch):
+        """The model's output must not depend on the masked delay value
+        (otherwise the pre-training task leaks its label)."""
+        model = NTT(config)
+        model.eval()
+        features, receiver = batch
+        out = model(features, receiver).data
+        leaked = features.copy()
+        leaked[:, -1, 2] = 1e6  # the delay that should be masked
+        assert np.allclose(model(leaked, receiver).data, out)
+
+    def test_previous_delays_visible(self, config, batch):
+        model = NTT(config)
+        model.eval()
+        features, receiver = batch
+        out = model(features, receiver).data
+        changed = features.copy()
+        changed[:, -2, 2] += 5.0  # an unmasked delay
+        assert not np.allclose(model(changed, receiver).data, out)
+
+    def test_receiver_ids_matter(self, config, batch):
+        model = NTT(config)
+        model.eval()
+        features, receiver = batch
+        out = model(features, receiver).data
+        other = (receiver + 1) % 4
+        assert not np.allclose(model(features, other).data, out)
+
+    def test_without_receiver_spec_ignores_ids(self, batch):
+        config = NTTConfig.smoke(features=FeatureSpec.without_receiver())
+        model = NTT(config)
+        model.eval()
+        features, receiver = batch
+        out = model(features, receiver).data
+        assert np.allclose(model(features, (receiver + 1) % 4).data, out)
+
+    def test_without_delay_spec_ignores_delays(self, batch):
+        config = NTTConfig.smoke(features=FeatureSpec.without_delay())
+        model = NTT(config)
+        model.eval()
+        features, receiver = batch
+        out = model(features, receiver).data
+        changed = features.copy()
+        changed[:, :, 2] += 3.0
+        assert np.allclose(model(changed, receiver).data, out)
+
+    def test_without_size_spec_ignores_sizes(self, batch):
+        config = NTTConfig.smoke(features=FeatureSpec.without_size())
+        model = NTT(config)
+        model.eval()
+        features, receiver = batch
+        out = model(features, receiver).data
+        changed = features.copy()
+        changed[:, :, 1] += 3.0
+        assert np.allclose(model(changed, receiver).data, out)
+
+    def test_deterministic_same_seed(self, batch):
+        a = NTT(NTTConfig.smoke())
+        b = NTT(NTTConfig.smoke())
+        a.eval(), b.eval()
+        features, receiver = batch
+        assert np.allclose(a(features, receiver).data, b(features, receiver).data)
+
+    def test_different_seed_differs(self, batch):
+        from dataclasses import replace
+
+        a = NTT(NTTConfig.smoke())
+        b = NTT(replace(NTTConfig.smoke(), seed=1))
+        a.eval(), b.eval()
+        features, receiver = batch
+        assert not np.allclose(a(features, receiver).data, b(features, receiver).data)
+
+
+class TestTaskHeads:
+    def test_delay_head_shape(self, config, batch):
+        model = NTTForDelay(config)
+        out = model(*batch)
+        assert out.shape == (4,)
+
+    def test_delay_head_trainable(self, config, batch):
+        model = NTTForDelay(config)
+        model(*batch).sum().backward()
+        assert all(p.grad is not None for p in model.decoder.parameters())
+
+    def test_reset_decoder_changes_weights(self, config):
+        model = NTTForDelay(config)
+        before = model.decoder.mlp[0].weight.data.copy()
+        model.reset_decoder(seed=99)
+        assert not np.allclose(model.decoder.mlp[0].weight.data, before)
+
+    def test_mct_head_shape(self, config, batch, rng):
+        model = NTTForMCT(config, NTT(config))
+        sizes = rng.normal(size=4)
+        out = model(*batch, sizes)
+        assert out.shape == (4,)
+
+    def test_mct_head_uses_message_size(self, config, batch, rng):
+        model = NTTForMCT(config, NTT(config))
+        model.eval()
+        features, receiver = batch
+        a = model(features, receiver, np.zeros(4)).data
+        b = model(features, receiver, np.ones(4)).data
+        assert not np.allclose(a, b)
+
+    def test_mct_shares_encoder(self, config, batch, rng):
+        delay_model = NTTForDelay(config)
+        mct_model = NTTForMCT(config, delay_model.ntt)
+        assert mct_model.ntt is delay_model.ntt
+        # Training the MCT decoder must not touch the shared encoder.
+        encoder_state = {
+            name: value.copy() for name, value in delay_model.ntt.state_dict().items()
+        }
+        features, receiver = batch
+        out = mct_model(features, receiver, rng.normal(size=4))
+        out.sum().backward()
+        # Gradients exist on the encoder but decoder-only optimizers
+        # would ignore them; state unchanged without an optimizer step.
+        for name, value in delay_model.ntt.state_dict().items():
+            assert np.array_equal(value, encoder_state[name])

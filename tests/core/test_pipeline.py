@@ -1,0 +1,91 @@
+"""Tests for the experiment pipeline (scales, context, table runners).
+
+The table runners themselves are exercised end-to-end by the benchmark
+suite; here we verify structure and caching on the smoke scale.
+"""
+
+import pytest
+
+from repro.core.pipeline import (
+    ExperimentContext,
+    format_rows,
+    get_scale,
+    run_table2,
+)
+from repro.netsim.scenarios import ScenarioKind
+
+
+class TestScales:
+    def test_known_scales(self):
+        for name in ("smoke", "small", "paper"):
+            scale = get_scale(name)
+            assert scale.name == name
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("enormous")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+
+    def test_scenario_presets_per_scale(self):
+        assert get_scale("paper").scenario(ScenarioKind.PRETRAIN).n_senders == 60
+        assert get_scale("smoke").scenario(ScenarioKind.PRETRAIN).n_senders == 4
+
+    def test_model_config_fits_window(self):
+        for name in ("smoke", "small", "paper"):
+            scale = get_scale(name)
+            config = scale.model_config()
+            assert config.aggregation.seq_len <= scale.window.window_len
+
+    def test_aggregation_variants_fit_window(self):
+        for name in ("smoke", "small", "paper"):
+            scale = get_scale(name)
+            for variant in scale.aggregation_variants.values():
+                assert variant.seq_len <= scale.window.window_len, (name, variant)
+
+
+class TestContext:
+    def test_bundles_cached(self):
+        context = ExperimentContext(get_scale("smoke"))
+        first = context.bundle(ScenarioKind.PRETRAIN)
+        second = context.bundle(ScenarioKind.PRETRAIN)
+        assert first is second
+
+    def test_case_bundles_share_receiver_index(self):
+        context = ExperimentContext(get_scale("smoke"))
+        pre = context.bundle(ScenarioKind.PRETRAIN)
+        case1 = context.bundle(ScenarioKind.CASE1)
+        for key, value in pre.receiver_index.items():
+            assert case1.receiver_index[key] == value
+
+    def test_pretrained_cached(self):
+        context = ExperimentContext(get_scale("smoke"))
+        assert context.pretrained() is context.pretrained()
+
+
+class TestRunners:
+    def test_table2_structure(self):
+        scale = get_scale("smoke")
+        context = ExperimentContext(scale)
+        rows = run_table2(scale, context)
+        assert set(rows) == {
+            "pretrained_full",
+            "pretrained_10pct",
+            "scratch_full",
+            "scratch_10pct",
+        }
+        for row in rows.values():
+            assert row["delay_mse"] > 0
+            assert row["training_time_s"] > 0
+        # Decoder-only fine-tuning must be faster than full training on
+        # the same data.
+        assert (
+            rows["pretrained_full"]["training_time_s"]
+            < rows["scratch_full"]["training_time_s"]
+        )
+
+    def test_format_rows_readable(self):
+        text = format_rows({"row": {"delay_mse": 0.001, "note": "x"}})
+        assert "row" in text and "delay_mse" in text

@@ -1,0 +1,151 @@
+"""Tests for pre-training, fine-tuning and evaluation wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import evaluate_delay, evaluate_mct, predict_delay
+from repro.core.features import FeaturePipeline
+from repro.core.finetune import (
+    FinetuneMode,
+    finetune_delay,
+    finetune_mct,
+    train_delay_from_scratch,
+    train_mct_from_scratch,
+)
+from repro.core.model import NTTConfig
+from repro.core.pretrain import TrainSettings, pretrain
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return TrainSettings(epochs=2, batch_size=32, lr=1e-3, patience=None, seed=0)
+
+
+@pytest.fixture(scope="module")
+def pretrained(smoke_bundle, settings):
+    return pretrain(NTTConfig.smoke(), smoke_bundle, settings=settings)
+
+
+class TestPretrain:
+    def test_returns_result(self, pretrained):
+        assert pretrained.test_mse_seconds2 > 0
+        assert pretrained.history.epochs_run == 2
+        assert pretrained.test_mse_scaled == pytest.approx(
+            pretrained.test_mse_seconds2 * 1e3
+        )
+
+    def test_loss_improves(self, smoke_bundle):
+        settings = TrainSettings(epochs=6, batch_size=32, lr=3e-3, patience=None)
+        result = pretrain(NTTConfig.smoke(), smoke_bundle, settings=settings)
+        assert result.history.final_train_loss < result.history.train_loss[0]
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            TrainSettings(epochs=0)
+
+    def test_pipeline_reused_if_given(self, smoke_bundle, settings):
+        pipeline = FeaturePipeline().fit(smoke_bundle.train)
+        result = pretrain(
+            NTTConfig.smoke(), smoke_bundle, settings=settings, pipeline=pipeline
+        )
+        assert result.pipeline is pipeline
+
+
+class TestFinetuneDelay:
+    def test_decoder_only_freezes_encoder(self, pretrained, smoke_case1_bundle, settings):
+        import copy
+
+        model = copy.deepcopy(pretrained.model)
+        encoder_before = {
+            name: value.copy() for name, value in model.ntt.state_dict().items()
+        }
+        decoder_before = {
+            name: value.copy() for name, value in model.decoder.state_dict().items()
+        }
+        result = finetune_delay(
+            model, pretrained.pipeline, smoke_case1_bundle,
+            settings=settings, mode=FinetuneMode.DECODER_ONLY,
+        )
+        for name, value in model.ntt.state_dict().items():
+            assert np.array_equal(value, encoder_before[name]), name
+        changed = any(
+            not np.array_equal(value, decoder_before[name])
+            for name, value in model.decoder.state_dict().items()
+        )
+        assert changed
+        assert result.mode == FinetuneMode.DECODER_ONLY
+        assert result.task == "delay"
+        assert result.training_time > 0
+
+    def test_full_mode_updates_encoder(self, pretrained, smoke_case1_bundle, settings):
+        import copy
+
+        model = copy.deepcopy(pretrained.model)
+        encoder_before = {
+            name: value.copy() for name, value in model.ntt.state_dict().items()
+        }
+        finetune_delay(
+            model, pretrained.pipeline, smoke_case1_bundle,
+            settings=settings, mode=FinetuneMode.FULL,
+        )
+        changed = any(
+            not np.array_equal(value, encoder_before[name])
+            for name, value in model.ntt.state_dict().items()
+        )
+        assert changed
+
+    def test_invalid_mode_rejected(self, pretrained, smoke_case1_bundle, settings):
+        with pytest.raises(ValueError):
+            finetune_delay(
+                pretrained.model, pretrained.pipeline, smoke_case1_bundle,
+                settings=settings, mode="partial",
+            )
+
+    def test_from_scratch_trains_everything(self, pretrained, smoke_case1_bundle, settings):
+        result = train_delay_from_scratch(
+            NTTConfig.smoke(), pretrained.pipeline, smoke_case1_bundle, settings=settings
+        )
+        assert result.mode == FinetuneMode.FULL
+        assert result.test_mse > 0
+
+
+class TestFinetuneMCT:
+    def test_new_task_head(self, pretrained, smoke_case1_bundle, settings):
+        result = finetune_mct(
+            pretrained.model, pretrained.model.config, pretrained.pipeline,
+            smoke_case1_bundle, settings=settings, mode=FinetuneMode.DECODER_ONLY,
+        )
+        assert result.task == "mct"
+        assert result.test_mse > 0
+        # The MCT model shares the pre-trained encoder object.
+        assert result.model.ntt is pretrained.model.ntt
+
+    def test_from_scratch(self, pretrained, smoke_case1_bundle, settings):
+        result = train_mct_from_scratch(
+            NTTConfig.smoke(), pretrained.pipeline, smoke_case1_bundle, settings=settings
+        )
+        assert result.test_mse > 0
+
+
+class TestEvaluation:
+    def test_predict_delay_units(self, pretrained, smoke_bundle):
+        predictions = predict_delay(pretrained.model, pretrained.pipeline, smoke_bundle.test)
+        assert predictions.shape == (len(smoke_bundle.test),)
+        # Predictions are physical delays: same order of magnitude as targets.
+        assert predictions.mean() == pytest.approx(
+            smoke_bundle.test.delay_target.mean(), rel=2.0, abs=0.5
+        )
+
+    def test_evaluate_delay_matches_manual(self, pretrained, smoke_bundle):
+        mse = evaluate_delay(pretrained.model, pretrained.pipeline, smoke_bundle.test)
+        predictions = predict_delay(pretrained.model, pretrained.pipeline, smoke_bundle.test)
+        manual = float(np.mean((predictions - smoke_bundle.test.delay_target) ** 2))
+        assert mse == pytest.approx(manual)
+
+    def test_evaluate_mct(self, pretrained, smoke_case1_bundle, settings):
+        result = finetune_mct(
+            pretrained.model, pretrained.model.config, pretrained.pipeline,
+            smoke_case1_bundle, settings=settings,
+        )
+        mse = evaluate_mct(result.model, pretrained.pipeline, smoke_case1_bundle.test)
+        assert np.isfinite(mse) and mse > 0

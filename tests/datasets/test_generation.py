@@ -1,0 +1,65 @@
+"""Tests for end-to-end dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generation import build_receiver_index, generate_dataset
+from repro.datasets.windows import WindowConfig
+from repro.netsim.scenarios import ScenarioConfig, ScenarioKind
+
+
+def test_bundle_structure(smoke_bundle):
+    assert smoke_bundle.name == "pretrain-smoke"
+    assert len(smoke_bundle.train) > len(smoke_bundle.val)
+    assert len(smoke_bundle.test) > 0
+    assert smoke_bundle.n_packets > 0
+    assert smoke_bundle.n_windows == (
+        len(smoke_bundle.train) + len(smoke_bundle.val) + len(smoke_bundle.test)
+    )
+
+
+def test_windows_have_configured_length(smoke_bundle):
+    assert smoke_bundle.train.window_len == 64
+
+
+def test_small_fraction_shrinks_train_keeps_test(smoke_bundle):
+    small = smoke_bundle.small_fraction(0.1)
+    assert len(small.train) == max(1, round(0.1 * len(smoke_bundle.train)))
+    assert len(small.test) == len(smoke_bundle.test)
+    assert "10pct" in small.name
+
+
+def test_receiver_index_shared_between_bundles(smoke_bundle, smoke_case1_bundle):
+    for key, value in smoke_bundle.receiver_index.items():
+        assert smoke_case1_bundle.receiver_index[key] == value
+
+
+def test_case2_bundle_adds_receivers(smoke_bundle, smoke_case2_bundle):
+    assert len(smoke_case2_bundle.receiver_index) > len(smoke_bundle.receiver_index)
+    assert len(set(np.unique(smoke_case2_bundle.train.receiver).tolist())) >= 2
+
+
+def test_build_receiver_index_extends(smoke_trace, smoke_case2_trace):
+    base = build_receiver_index([smoke_trace])
+    extended = build_receiver_index([smoke_case2_trace], existing=base)
+    for key, value in base.items():
+        assert extended[key] == value
+    assert len(extended) >= len(base)
+
+
+def test_generate_dataset_too_short_raises():
+    config = ScenarioConfig.smoke(ScenarioKind.PRETRAIN)
+    with pytest.raises(ValueError):
+        generate_dataset(
+            config,
+            window_config=WindowConfig(window_len=10_000),
+            n_runs=1,
+        )
+
+
+def test_multi_run_produces_more_windows():
+    config = ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=5)
+    window = WindowConfig(window_len=64, stride=8)
+    one = generate_dataset(config, window_config=window, n_runs=1)
+    two = generate_dataset(config, window_config=window, n_runs=2)
+    assert two.n_windows > one.n_windows

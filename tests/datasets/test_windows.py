@@ -1,0 +1,134 @@
+"""Tests for trace windowing."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.windows import WindowConfig, WindowDataset, windows_from_trace
+
+
+def receiver_index_for(trace):
+    return {int(r): i for i, r in enumerate(sorted(set(trace.receiver_id.tolist())))}
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowConfig(window_len=1)
+        with pytest.raises(ValueError):
+            WindowConfig(stride=0)
+
+
+class TestWindowing:
+    def test_shapes(self, smoke_trace):
+        config = WindowConfig(window_len=32, stride=4)
+        ds = windows_from_trace(smoke_trace, config, receiver_index_for(smoke_trace))
+        expected = (len(smoke_trace) - 32) // 4 + 1
+        assert len(ds) == expected
+        assert ds.features.shape == (expected, 32, 3)
+        assert ds.receiver.shape == (expected, 32)
+        assert ds.window_len == 32
+
+    def test_rel_time_last_packet_zero(self, smoke_trace):
+        config = WindowConfig(window_len=16, stride=8)
+        ds = windows_from_trace(smoke_trace, config, receiver_index_for(smoke_trace))
+        assert np.allclose(ds.features[:, -1, 0], 0.0)
+        assert np.all(ds.features[:, :, 0] <= 0.0)
+
+    def test_rel_time_monotone(self, smoke_trace):
+        ds = windows_from_trace(
+            smoke_trace, WindowConfig(16, 16), receiver_index_for(smoke_trace)
+        )
+        assert np.all(np.diff(ds.features[:, :, 0], axis=1) >= 0)
+
+    def test_delay_target_matches_last_packet(self, smoke_trace):
+        config = WindowConfig(window_len=16, stride=1)
+        ds = windows_from_trace(smoke_trace, config, receiver_index_for(smoke_trace))
+        delays = smoke_trace.delay
+        assert np.allclose(ds.delay_target, delays[15:])
+        assert np.allclose(ds.features[:, -1, 2], ds.delay_target)
+
+    def test_stride_spacing(self, smoke_trace):
+        one = windows_from_trace(
+            smoke_trace, WindowConfig(16, 1), receiver_index_for(smoke_trace)
+        )
+        four = windows_from_trace(
+            smoke_trace, WindowConfig(16, 4), receiver_index_for(smoke_trace)
+        )
+        assert np.allclose(four.delay_target, one.delay_target[::4])
+
+    def test_short_trace_yields_empty(self, smoke_trace):
+        tiny = smoke_trace.subset(np.arange(5))
+        ds = windows_from_trace(tiny, WindowConfig(window_len=64), receiver_index_for(smoke_trace))
+        assert len(ds) == 0
+        assert ds.features.shape == (0, 64, 3)
+
+    def test_receiver_ids_remapped(self, smoke_case2_trace):
+        index = receiver_index_for(smoke_case2_trace)
+        ds = windows_from_trace(smoke_case2_trace, WindowConfig(16, 8), index)
+        assert set(np.unique(ds.receiver).tolist()) <= set(index.values())
+
+    def test_mct_seq_aligned(self, smoke_trace):
+        ds = windows_from_trace(
+            smoke_trace, WindowConfig(16, 4), receiver_index_for(smoke_trace)
+        )
+        assert np.allclose(ds.mct_seq[:, -1], ds.mct_target)
+
+    def test_message_size_positive(self, smoke_trace):
+        ds = windows_from_trace(
+            smoke_trace, WindowConfig(16, 4), receiver_index_for(smoke_trace)
+        )
+        assert np.all(ds.message_size > 0)
+
+
+class TestDatasetOps:
+    @pytest.fixture
+    def dataset(self, smoke_trace):
+        return windows_from_trace(
+            smoke_trace, WindowConfig(16, 2), receiver_index_for(smoke_trace)
+        )
+
+    def test_subset_boolean(self, dataset):
+        mask = dataset.delay_target > np.median(dataset.delay_target)
+        sub = dataset.subset(mask)
+        assert len(sub) == int(mask.sum())
+
+    def test_sample_fraction(self, dataset, rng):
+        sub = dataset.sample_fraction(0.1, rng)
+        assert len(sub) == max(1, round(0.1 * len(dataset)))
+
+    def test_sample_fraction_invalid(self, dataset, rng):
+        with pytest.raises(ValueError):
+            dataset.sample_fraction(0.0, rng)
+
+    def test_concatenate(self, dataset):
+        merged = WindowDataset.concatenate([dataset, dataset])
+        assert len(merged) == 2 * len(dataset)
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WindowDataset.concatenate([])
+
+    def test_completed_messages_filter(self, dataset):
+        filtered = dataset.with_completed_messages_only()
+        assert np.all(np.isfinite(filtered.mct_target))
+        assert np.all(filtered.mct_target > 0)
+
+    def test_column_validation(self):
+        with pytest.raises(ValueError):
+            WindowDataset(
+                np.zeros((3, 8, 3)),
+                np.zeros((2, 8)),  # mismatched
+                np.zeros(3),
+                np.zeros(3),
+                np.zeros(3),
+            )
+
+    def test_feature_column_count_validated(self):
+        with pytest.raises(ValueError):
+            WindowDataset(
+                np.zeros((3, 8, 5)),
+                np.zeros((3, 8)),
+                np.zeros(3),
+                np.zeros(3),
+                np.zeros(3),
+            )

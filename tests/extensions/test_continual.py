@@ -1,0 +1,71 @@
+"""Tests for drift detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import NTTConfig
+from repro.core.pretrain import TrainSettings, pretrain
+from repro.extensions.continual import DriftMonitor
+
+
+@pytest.fixture(scope="module")
+def deployed(smoke_bundle):
+    settings = TrainSettings(epochs=2, batch_size=32, patience=None)
+    return pretrain(NTTConfig.smoke(), smoke_bundle, settings=settings)
+
+
+class TestDriftMonitor:
+    def test_calibrates_on_baseline(self, deployed, smoke_bundle):
+        monitor = DriftMonitor(
+            deployed.model, deployed.pipeline, baseline=smoke_bundle.val
+        )
+        assert monitor.baseline_error > 0
+        assert monitor.threshold == pytest.approx(50.0 * monitor.baseline_error)
+
+    def test_no_drift_in_distribution(self, deployed, smoke_bundle):
+        monitor = DriftMonitor(
+            deployed.model, deployed.pipeline, baseline=smoke_bundle.val,
+            sensitivity=100.0, tolerance=1.0,
+        )
+        report = monitor.observe(smoke_bundle.test)
+        assert not report.drifted
+        assert report.windows_seen == len(smoke_bundle.test)
+        assert report.degradation_ratio < 5.0
+
+    def test_drift_detected_on_corrupted_targets(self, deployed, smoke_bundle):
+        """Shifting true delays far from predictions must trip the test."""
+        monitor = DriftMonitor(
+            deployed.model, deployed.pipeline, baseline=smoke_bundle.val,
+            sensitivity=10.0, tolerance=0.1,
+        )
+        shifted = smoke_bundle.test.subset(np.arange(len(smoke_bundle.test)))
+        shifted.delay_target = shifted.delay_target + 1.0  # +1 s shift
+        report = monitor.observe(shifted)
+        assert report.drifted
+        assert report.degradation_ratio > 10.0
+
+    def test_reset_clears_state(self, deployed, smoke_bundle):
+        monitor = DriftMonitor(
+            deployed.model, deployed.pipeline, baseline=smoke_bundle.val,
+            sensitivity=10.0, tolerance=0.1,
+        )
+        shifted = smoke_bundle.test.subset(np.arange(len(smoke_bundle.test)))
+        shifted.delay_target = shifted.delay_target + 1.0
+        assert monitor.observe(shifted).drifted
+        monitor.reset()
+        report = monitor.observe(smoke_bundle.test)
+        assert report.windows_seen == len(smoke_bundle.test)
+
+    def test_empty_observation_rejected(self, deployed, smoke_bundle):
+        monitor = DriftMonitor(
+            deployed.model, deployed.pipeline, baseline=smoke_bundle.val
+        )
+        with pytest.raises(ValueError):
+            monitor.observe(smoke_bundle.test.subset(np.zeros(0, dtype=int)))
+
+    def test_invalid_parameters(self, deployed, smoke_bundle):
+        with pytest.raises(ValueError):
+            DriftMonitor(
+                deployed.model, deployed.pipeline, baseline=smoke_bundle.val,
+                sensitivity=0.0,
+            )

@@ -1,0 +1,106 @@
+"""Tests for federated averaging and the FedAvg loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import NTTConfig, NTTForDelay
+from repro.core.pretrain import TrainSettings
+from repro.extensions.federated import FederatedTrainer, federated_average
+
+
+class TestFederatedAverage:
+    def test_single_state_identity(self, rng):
+        state = {"w": rng.normal(size=(3, 3)), "b": rng.normal(size=3)}
+        merged = federated_average([state])
+        assert np.allclose(merged["w"], state["w"])
+
+    def test_uniform_average(self):
+        a = {"w": np.zeros(4)}
+        b = {"w": np.full(4, 2.0)}
+        merged = federated_average([a, b])
+        assert np.allclose(merged["w"], 1.0)
+
+    def test_weighted_average(self):
+        a = {"w": np.zeros(4)}
+        b = {"w": np.full(4, 4.0)}
+        merged = federated_average([a, b], weights=[3.0, 1.0])
+        assert np.allclose(merged["w"], 1.0)
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError):
+            federated_average([{"w": np.zeros(2)}, {"v": np.zeros(2)}])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            federated_average([{"w": np.zeros(2)}, {"w": np.zeros(3)}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            federated_average([])
+
+    def test_invalid_weights(self):
+        states = [{"w": np.zeros(2)}, {"w": np.zeros(2)}]
+        with pytest.raises(ValueError):
+            federated_average(states, weights=[1.0])
+        with pytest.raises(ValueError):
+            federated_average(states, weights=[1.0, -1.0])
+
+    def test_average_of_model_states_loads_back(self):
+        model_a = NTTForDelay(NTTConfig.smoke())
+        from dataclasses import replace
+
+        model_b = NTTForDelay(replace(NTTConfig.smoke(), seed=1))
+        merged = federated_average([model_a.state_dict(), model_b.state_dict()])
+        target = NTTForDelay(NTTConfig.smoke())
+        target.load_state_dict(merged)  # shapes must line up
+        sample = next(iter(merged))
+        expected = 0.5 * (model_a.state_dict()[sample] + model_b.state_dict()[sample])
+        assert np.allclose(merged[sample], expected)
+
+
+class TestFederatedTrainer:
+    @pytest.fixture(scope="class")
+    def shards(self, smoke_bundle):
+        """Split one bundle's windows into two pseudo-organisations."""
+        from dataclasses import replace as dc_replace
+
+        half = len(smoke_bundle.train) // 2
+        first = dc_replace(
+            smoke_bundle,
+            name="org-0",
+            train=smoke_bundle.train.subset(np.arange(half)),
+        )
+        second = dc_replace(
+            smoke_bundle,
+            name="org-1",
+            train=smoke_bundle.train.subset(np.arange(half, len(smoke_bundle.train))),
+        )
+        return [first, second]
+
+    def test_no_clients_rejected(self):
+        with pytest.raises(ValueError):
+            FederatedTrainer(NTTConfig.smoke(), [])
+
+    def test_round_updates_global_model(self, shards):
+        settings = TrainSettings(epochs=1, batch_size=32, patience=None)
+        trainer = FederatedTrainer(NTTConfig.smoke(), shards, settings=settings)
+        before = {k: v.copy() for k, v in trainer.global_model.state_dict().items()}
+        outcome = trainer.run_round()
+        after = trainer.global_model.state_dict()
+        assert any(not np.array_equal(after[k], before[k]) for k in before)
+        assert len(outcome.client_losses) == 2
+        assert outcome.global_test_mse > 0
+
+    def test_run_collects_rounds(self, shards):
+        settings = TrainSettings(epochs=1, batch_size=32, patience=None)
+        trainer = FederatedTrainer(NTTConfig.smoke(), shards, settings=settings)
+        rounds = trainer.run(2)
+        assert [r.round_index for r in rounds] == [0, 1]
+        assert trainer.rounds == rounds
+
+    def test_invalid_round_count(self, shards):
+        trainer = FederatedTrainer(
+            NTTConfig.smoke(), shards, settings=TrainSettings(epochs=1, patience=None)
+        )
+        with pytest.raises(ValueError):
+            trainer.run(0)

@@ -1,0 +1,160 @@
+"""Tests for message sources and sinks."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.apps import MessageSource, PacketSink, reset_message_ids
+from repro.netsim.core import Simulator
+from repro.netsim.topology import Network
+from repro.netsim.trace import TraceCollector
+from repro.netsim.units import mbps, milliseconds
+from repro.netsim.workloads import FixedMessageSizes
+
+
+@pytest.fixture(autouse=True)
+def fresh_message_ids():
+    reset_message_ids()
+
+
+def two_hosts():
+    sim = Simulator()
+    net = Network(sim)
+    a, b = net.add_node("a"), net.add_node("b")
+    net.add_link(a, b, mbps(100), milliseconds(1), queue_packets=10_000)
+    net.compute_routes()
+    return sim, net, a, b
+
+
+def test_message_split_into_mtu_packets():
+    sim, net, a, b = two_hosts()
+    collector = TraceCollector()
+    sink = PacketSink(sim, b, collector)
+    sink.install_default()
+    source = MessageSource(
+        sim, a, [b], flow_id=1, offered_load_bps=mbps(1),
+        size_distribution=FixedMessageSizes(4000), rng=np.random.default_rng(0),
+        stop_time=0.5, mtu_bytes=1500,
+    )
+    source.start()
+    sim.run(until=2.0)
+    trace = collector.finalize()
+    # 4000-byte messages → 1500 + 1500 + 1000.
+    assert source.messages_sent >= 1
+    first_message = trace.subset(trace.message_id == trace.message_id[0])
+    assert list(first_message.size) == [1500, 1500, 1000]
+    assert first_message.is_message_end.tolist() == [False, False, True]
+
+
+def test_offered_load_approximates_target():
+    sim, net, a, b = two_hosts()
+    sink = PacketSink(sim, b)
+    sink.install_default()
+    load = mbps(4)
+    source = MessageSource(
+        sim, a, [b], flow_id=1, offered_load_bps=load,
+        size_distribution=FixedMessageSizes(10_000), rng=np.random.default_rng(1),
+        stop_time=10.0,
+    )
+    source.start()
+    sim.run(until=10.0)
+    achieved = source.bytes_sent * 8 / 10.0
+    assert achieved == pytest.approx(load, rel=0.25)
+
+
+def test_message_metadata_consistent():
+    sim, net, a, b = two_hosts()
+    collector = TraceCollector()
+    sink = PacketSink(sim, b, collector)
+    sink.install_default()
+    source = MessageSource(
+        sim, a, [b], flow_id=5, offered_load_bps=mbps(2),
+        size_distribution=FixedMessageSizes(3000), rng=np.random.default_rng(2),
+        stop_time=2.0,
+    )
+    source.start()
+    sim.run(until=3.0)
+    trace = collector.finalize()
+    assert len(trace) > 0
+    assert set(trace.flow_id.tolist()) == {5}
+    assert np.all(trace.message_size == 3000)
+    for message in set(trace.message_id.tolist()):
+        packets = trace.subset(trace.message_id == message)
+        assert int(packets.size.sum()) == 3000
+        assert packets.is_message_end.sum() == 1
+
+
+def test_destination_choice_uniform():
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_node("a")
+    hub = net.add_node("hub")
+    receivers = [net.add_node(f"r{i}") for i in range(3)]
+    net.add_link(a, hub, mbps(100), milliseconds(1), 1000)
+    for receiver in receivers:
+        net.add_link(hub, receiver, mbps(100), milliseconds(1), 1000)
+    net.compute_routes()
+    collector = TraceCollector()
+    for receiver in receivers:
+        PacketSink(sim, receiver, collector).install_default()
+    source = MessageSource(
+        sim, a, receivers, flow_id=1, offered_load_bps=mbps(20),
+        size_distribution=FixedMessageSizes(1500), rng=np.random.default_rng(3),
+        stop_time=5.0,
+    )
+    source.start()
+    sim.run(until=6.0)
+    trace = collector.finalize()
+    seen = set(trace.receiver_id.tolist())
+    assert seen == {r.node_id for r in receivers}
+
+
+def test_start_twice_rejected():
+    sim, net, a, b = two_hosts()
+    source = MessageSource(
+        sim, a, [b], flow_id=1, offered_load_bps=mbps(1),
+        size_distribution=FixedMessageSizes(1500), rng=np.random.default_rng(0),
+    )
+    source.start()
+    with pytest.raises(RuntimeError):
+        source.start()
+
+
+def test_no_destinations_rejected():
+    sim, net, a, b = two_hosts()
+    with pytest.raises(ValueError):
+        MessageSource(
+            sim, a, [], flow_id=1, offered_load_bps=mbps(1),
+            size_distribution=FixedMessageSizes(1500), rng=np.random.default_rng(0),
+        )
+
+
+def test_stop_time_respected():
+    sim, net, a, b = two_hosts()
+    sink = PacketSink(sim, b)
+    sink.install_default()
+    source = MessageSource(
+        sim, a, [b], flow_id=1, offered_load_bps=mbps(10),
+        size_distribution=FixedMessageSizes(1500), rng=np.random.default_rng(4),
+        stop_time=1.0,
+    )
+    source.start()
+    sim.run(until=1.0)
+    sent_by_stop = source.messages_sent
+    sim.run(until=5.0)
+    assert source.messages_sent == sent_by_stop
+
+
+def test_sink_counts():
+    sim, net, a, b = two_hosts()
+    sink = PacketSink(sim, b)
+    sink.install_default()
+    source = MessageSource(
+        sim, a, [b], flow_id=1, offered_load_bps=mbps(5),
+        size_distribution=FixedMessageSizes(4500), rng=np.random.default_rng(5),
+        stop_time=2.0,
+    )
+    source.start()
+    sim.run(until=3.0)
+    assert sink.packets_received == source.packets_sent  # lossless link
+    assert sink.messages_completed == source.messages_sent
+    assert sink.bytes_received == source.bytes_sent

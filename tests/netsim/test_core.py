@@ -1,0 +1,177 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.core import SimulationError, Simulator
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+    assert sim.events_processed == 0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, seen.append, "late")
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(3.0, seen.append, "last")
+    sim.run()
+    assert seen == ["early", "late", "last"]
+
+
+def test_same_time_fifo_order():
+    sim = Simulator()
+    seen = []
+    for label in range(5):
+        sim.schedule(1.0, seen.append, label)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_priority_breaks_ties():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "low", priority=1)
+    sim.schedule(1.0, seen.append, "high", priority=0)
+    sim.run()
+    assert seen == ["high", "low"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(0.5, lambda: times.append(sim.now))
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [0.5, 1.5]
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "in")
+    sim.schedule(5.0, seen.append, "out")
+    sim.run(until=2.0)
+    assert seen == ["in"]
+    assert sim.now == 2.0
+    assert sim.pending == 1
+
+
+def test_run_until_then_resume():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, 1)
+    sim.schedule(3.0, seen.append, 3)
+    sim.run(until=2.0)
+    sim.run()
+    assert seen == [1, 3]
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_cancelled_event_skipped():
+    sim = Simulator()
+    seen = []
+    event = sim.schedule(1.0, seen.append, "cancelled")
+    sim.schedule(2.0, seen.append, "kept")
+    event.cancel()
+    sim.run()
+    assert seen == ["kept"]
+
+
+def test_cancel_from_within_event():
+    sim = Simulator()
+    seen = []
+    late = sim.schedule(2.0, seen.append, "late")
+    sim.schedule(1.0, late.cancel)
+    sim.run()
+    assert seen == []
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_nonfinite_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("inf"), lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    seen = []
+    for index in range(10):
+        sim.schedule(float(index), seen.append, index)
+    sim.run(max_events=4)
+    assert seen == [0, 1, 2, 3]
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for index in range(3):
+        sim.schedule(float(index), lambda: None)
+    sim.run()
+    assert sim.events_processed == 3
+
+
+@given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=60))
+def test_property_execution_order_is_sorted(delays):
+    sim = Simulator()
+    executed = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: executed.append(d))
+    sim.run()
+    assert executed == sorted(executed)
+    assert len(executed) == len(delays)
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def inner():
+        sim.run()
+
+    sim.schedule(1.0, inner)
+    with pytest.raises(SimulationError):
+        sim.run()

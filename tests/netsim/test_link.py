@@ -1,0 +1,104 @@
+"""Tests for channel/link timing behaviour."""
+
+import pytest
+
+from repro.netsim.core import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.netsim.units import mbps
+
+
+def build_pair(rate=mbps(12), delay=0.001, queue=10):
+    sim = Simulator()
+    a = Node(sim, 0, "a")
+    b = Node(sim, 1, "b")
+    link = Link(sim, a, b, rate_bps=rate, propagation_delay=delay, queue_packets=queue)
+    return sim, a, b, link
+
+
+def test_delivery_time_is_serialization_plus_propagation():
+    sim, a, b, link = build_pair()
+    arrivals = []
+    b.default_handler = lambda packet: arrivals.append(sim.now)
+    packet = Packet(src=0, dst=1, size=1500)
+    link.forward.send(packet)
+    sim.run()
+    # 1500 B over 12 Mbps = 1 ms serialization, + 1 ms propagation.
+    assert arrivals == [pytest.approx(0.002)]
+
+
+def test_back_to_back_packets_queue_behind_transmitter():
+    sim, a, b, link = build_pair()
+    arrivals = []
+    b.default_handler = lambda packet: arrivals.append(sim.now)
+    for seq in range(3):
+        link.forward.send(Packet(src=0, dst=1, size=1500, seq=seq))
+    sim.run()
+    assert arrivals == [pytest.approx(0.002), pytest.approx(0.003), pytest.approx(0.004)]
+
+
+def test_queue_overflow_drops():
+    sim, a, b, link = build_pair(queue=2)
+    # One transmitting + 2 queued fit; the rest drop.
+    for seq in range(6):
+        link.forward.send(Packet(src=0, dst=1, size=1500, seq=seq))
+    assert link.forward.queue.stats.dropped == 3
+    sim.run()
+    assert link.forward.packets_sent == 3
+
+
+def test_channel_statistics():
+    sim, a, b, link = build_pair()
+    link.forward.send(Packet(src=0, dst=1, size=1500))
+    sim.run()
+    assert link.forward.bytes_sent == 1500
+    assert link.forward.packets_sent == 1
+    assert link.forward.utilization(elapsed=0.001) == pytest.approx(1.0)
+
+
+def test_backward_channel_independent():
+    sim, a, b, link = build_pair()
+    forward_arrivals = []
+    backward_arrivals = []
+    b.default_handler = lambda packet: forward_arrivals.append(packet.seq)
+    a.default_handler = lambda packet: backward_arrivals.append(packet.seq)
+    link.forward.send(Packet(src=0, dst=1, size=100, seq=1))
+    link.backward.send(Packet(src=1, dst=0, size=100, seq=2))
+    sim.run()
+    assert forward_arrivals == [1]
+    assert backward_arrivals == [2]
+
+
+def test_channel_from_and_other_end():
+    sim, a, b, link = build_pair()
+    assert link.channel_from(a) is link.forward
+    assert link.channel_from(b) is link.backward
+    assert link.other_end(a) is b
+    stranger = Node(sim, 9, "stranger")
+    with pytest.raises(ValueError):
+        link.channel_from(stranger)
+    with pytest.raises(ValueError):
+        link.other_end(stranger)
+
+
+def test_invalid_channel_parameters():
+    sim = Simulator()
+    a = Node(sim, 0)
+    b = Node(sim, 1)
+    with pytest.raises(ValueError):
+        Link(sim, a, b, rate_bps=0, propagation_delay=0.001, queue_packets=5)
+    with pytest.raises(ValueError):
+        Link(sim, a, b, rate_bps=mbps(1), propagation_delay=-0.1, queue_packets=5)
+
+
+def test_work_conserving_transmitter():
+    """The transmitter never idles while packets wait."""
+    sim, a, b, link = build_pair(rate=mbps(12), delay=0.0)
+    arrivals = []
+    b.default_handler = lambda packet: arrivals.append(sim.now)
+    for seq in range(5):
+        link.forward.send(Packet(src=0, dst=1, size=1500, seq=seq))
+    sim.run()
+    gaps = [arrivals[i + 1] - arrivals[i] for i in range(len(arrivals) - 1)]
+    assert all(gap == pytest.approx(0.001) for gap in gaps)

@@ -1,0 +1,75 @@
+"""Tests for queue and throughput monitors."""
+
+import pytest
+
+from repro.netsim.core import Simulator
+from repro.netsim.link import Link
+from repro.netsim.monitors import QueueMonitor, ThroughputMonitor
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.netsim.units import mbps
+
+
+def busy_channel():
+    sim = Simulator()
+    a, b = Node(sim, 0, "a"), Node(sim, 1, "b")
+    link = Link(sim, a, b, rate_bps=mbps(12), propagation_delay=0.0, queue_packets=100)
+    for seq in range(50):
+        link.forward.send(Packet(src=0, dst=1, size=1500, seq=seq))
+    return sim, link.forward
+
+
+def test_queue_monitor_samples():
+    sim, channel = busy_channel()
+    monitor = QueueMonitor(sim, channel, interval=0.001)
+    monitor.start()
+    sim.run(until=0.02)
+    times, occupancy = monitor.as_arrays()
+    assert len(times) >= 20
+    assert occupancy.max() > 0
+    assert monitor.max_occupancy == occupancy.max()
+    assert monitor.mean_occupancy == pytest.approx(occupancy.mean())
+
+
+def test_queue_monitor_drains_over_time():
+    sim, channel = busy_channel()
+    monitor = QueueMonitor(sim, channel, interval=0.005)
+    monitor.start()
+    sim.run(until=0.1)
+    __, occupancy = monitor.as_arrays()
+    assert occupancy[-1] < occupancy[0]
+
+
+def test_queue_monitor_double_start_rejected():
+    sim, channel = busy_channel()
+    monitor = QueueMonitor(sim, channel)
+    monitor.start()
+    with pytest.raises(RuntimeError):
+        monitor.start()
+
+
+def test_invalid_interval():
+    sim, channel = busy_channel()
+    with pytest.raises(ValueError):
+        QueueMonitor(sim, channel, interval=0.0)
+    with pytest.raises(ValueError):
+        ThroughputMonitor(sim, channel, interval=-1.0)
+
+
+def test_throughput_monitor_measures_line_rate():
+    sim, channel = busy_channel()
+    monitor = ThroughputMonitor(sim, channel, interval=0.01)
+    monitor.start()
+    sim.run(until=0.05)
+    # Channel is saturated: measured throughput ≈ 12 Mbps.
+    assert monitor.mean_throughput_bps == pytest.approx(mbps(12), rel=0.15)
+
+
+def test_throughput_monitor_idle_channel_zero():
+    sim = Simulator()
+    a, b = Node(sim, 0), Node(sim, 1)
+    link = Link(sim, a, b, rate_bps=mbps(10), propagation_delay=0.0, queue_packets=10)
+    monitor = ThroughputMonitor(sim, link.forward, interval=0.01)
+    monitor.start()
+    sim.run(until=0.05)
+    assert monitor.mean_throughput_bps == 0.0

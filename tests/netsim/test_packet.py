@@ -1,0 +1,39 @@
+"""Tests for the Packet dataclass."""
+
+import pytest
+
+from repro.netsim.packet import Packet, PacketKind
+
+
+def test_defaults():
+    packet = Packet(src=0, dst=1, size=1500)
+    assert packet.kind == PacketKind.DATA
+    assert not packet.is_ack
+    assert packet.traced
+    assert packet.hops == 0
+
+
+def test_uids_unique():
+    uids = {Packet(src=0, dst=1, size=100).uid for _ in range(100)}
+    assert len(uids) == 100
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        Packet(src=0, dst=1, size=0)
+    with pytest.raises(ValueError):
+        Packet(src=0, dst=1, size=-10)
+
+
+def test_reply_template_swaps_endpoints():
+    packet = Packet(src=3, dst=9, size=1500, flow_id=42, message_id=7)
+    reply = packet.reply_template(size=40)
+    assert reply.src == 9 and reply.dst == 3
+    assert reply.flow_id == 42
+    assert reply.is_ack
+    assert not reply.traced
+
+
+def test_is_ack_flag():
+    ack = Packet(src=0, dst=1, size=40, kind=PacketKind.ACK)
+    assert ack.is_ack

@@ -1,0 +1,116 @@
+"""Tests for drop-tail and RED queues."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue, REDQueue
+
+
+def make_packet(seq: int = 0, size: int = 1500) -> Packet:
+    return Packet(src=0, dst=1, size=size, seq=seq)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        queue = DropTailQueue(10)
+        packets = [make_packet(seq) for seq in range(5)]
+        for packet in packets:
+            assert queue.enqueue(packet)
+        popped = [queue.dequeue().seq for _ in range(5)]
+        assert popped == [0, 1, 2, 3, 4]
+
+    def test_capacity_enforced(self):
+        queue = DropTailQueue(3)
+        assert all(queue.enqueue(make_packet(i)) for i in range(3))
+        assert not queue.enqueue(make_packet(3))
+        assert queue.stats.dropped == 1
+        assert queue.occupancy == 3
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue(1).dequeue() is None
+
+    def test_stats_counters(self):
+        queue = DropTailQueue(2)
+        queue.enqueue(make_packet(0, size=100))
+        queue.enqueue(make_packet(1, size=200))
+        queue.enqueue(make_packet(2, size=300))  # dropped
+        queue.dequeue()
+        stats = queue.stats
+        assert stats.enqueued == 2
+        assert stats.dequeued == 1
+        assert stats.dropped == 1
+        assert stats.bytes_enqueued == 300
+        assert stats.bytes_dropped == 300
+        assert stats.max_occupancy == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+    def test_drop_then_space_allows_enqueue(self):
+        queue = DropTailQueue(1)
+        queue.enqueue(make_packet(0))
+        assert not queue.enqueue(make_packet(1))
+        queue.dequeue()
+        assert queue.enqueue(make_packet(2))
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), min_size=1, max_size=200))
+    def test_property_conservation(self, operations):
+        """enqueued == dequeued + still-queued, always."""
+        queue = DropTailQueue(8)
+        seq = 0
+        for op in operations:
+            if op == "push":
+                queue.enqueue(make_packet(seq))
+                seq += 1
+            else:
+                queue.dequeue()
+        assert queue.stats.enqueued == queue.stats.dequeued + queue.occupancy
+        assert queue.occupancy <= 8
+
+    @given(st.integers(1, 50))
+    def test_property_never_exceeds_capacity(self, capacity):
+        queue = DropTailQueue(capacity)
+        for seq in range(capacity * 2):
+            queue.enqueue(make_packet(seq))
+        assert queue.occupancy == capacity
+        assert queue.stats.dropped == capacity
+
+
+class TestRed:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            REDQueue(10, min_threshold=8, max_threshold=4)
+        with pytest.raises(ValueError):
+            REDQueue(10, max_drop_probability=0.0)
+
+    def test_empty_queue_accepts(self):
+        queue = REDQueue(100, rng=np.random.default_rng(0))
+        assert queue.enqueue(make_packet(0))
+
+    def test_drops_under_sustained_load(self):
+        queue = REDQueue(
+            100, min_threshold=5, max_threshold=20, rng=np.random.default_rng(0)
+        )
+        for seq in range(4000):
+            queue.enqueue(make_packet(seq))
+            if seq % 3 == 0:  # drain slower than arrivals
+                queue.dequeue()
+        assert queue.stats.dropped > 0
+
+    def test_average_tracks_occupancy(self):
+        queue = REDQueue(100, rng=np.random.default_rng(0))
+        for seq in range(50):
+            queue.enqueue(make_packet(seq))
+        assert queue.average > 0.0
+
+    def test_red_respects_hard_capacity(self):
+        queue = REDQueue(
+            10, min_threshold=8, max_threshold=10, max_drop_probability=0.01,
+            rng=np.random.default_rng(0),
+        )
+        for seq in range(100):
+            queue.enqueue(make_packet(seq))
+        assert queue.occupancy <= 10

@@ -1,0 +1,63 @@
+"""Tests for the configurable bottleneck queueing discipline (§5)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.netsim.queues import DropTailQueue, REDQueue
+from repro.netsim.scenarios import ScenarioConfig, ScenarioKind, build_scenario
+
+
+def test_unknown_discipline_rejected():
+    with pytest.raises(ValueError):
+        ScenarioConfig(bottleneck_discipline="codel")
+
+
+def test_default_is_droptail():
+    handle = build_scenario(ScenarioConfig.smoke())
+    assert type(handle.bottleneck_channel.queue) is DropTailQueue
+
+
+def test_red_discipline_installs_red_queue():
+    config = replace(ScenarioConfig.smoke(), bottleneck_discipline="red")
+    handle = build_scenario(config)
+    assert isinstance(handle.bottleneck_channel.queue, REDQueue)
+
+
+def test_red_scenario_runs_and_traces():
+    config = replace(
+        ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=13),
+        bottleneck_discipline="red",
+    )
+    trace = build_scenario(config).run()
+    assert len(trace) > 100
+    assert np.all(trace.delay > 0)
+
+
+def test_red_drops_earlier_than_droptail():
+    """RED marks congestion before the hard limit, so it drops at least
+    as much as drop-tail under the same overloaded workload."""
+    droptail = build_scenario(ScenarioConfig.smoke(seed=17))
+    droptail.run()
+    red = build_scenario(
+        replace(ScenarioConfig.smoke(seed=17), bottleneck_discipline="red")
+    )
+    red.run()
+    assert (
+        red.bottleneck_channel.queue.stats.dropped
+        >= droptail.bottleneck_channel.queue.stats.dropped
+    )
+
+
+def test_red_keeps_queue_shorter():
+    droptail = build_scenario(ScenarioConfig.smoke(seed=19))
+    droptail.run()
+    red = build_scenario(
+        replace(ScenarioConfig.smoke(seed=19), bottleneck_discipline="red")
+    )
+    red.run()
+    assert (
+        red.bottleneck_channel.queue.stats.max_occupancy
+        <= droptail.bottleneck_channel.queue.stats.max_occupancy
+    )

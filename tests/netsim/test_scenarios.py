@@ -1,0 +1,122 @@
+"""Tests for the Fig. 4 scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.scenarios import (
+    ScenarioConfig,
+    ScenarioKind,
+    build_scenario,
+    generate_traces,
+    run_scenario,
+)
+from repro.netsim.units import mbps
+
+
+class TestConfig:
+    def test_presets_exist_for_all_kinds(self):
+        for kind in ScenarioKind.ALL:
+            for preset in (ScenarioConfig.smoke, ScenarioConfig.small, ScenarioConfig.paper):
+                config = preset(kind)
+                assert config.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(kind="nonsense")
+
+    def test_case2_requires_receivers(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(kind=ScenarioKind.CASE2, n_receivers=1)
+
+    def test_single_receiver_kinds_reject_multiple(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(kind=ScenarioKind.PRETRAIN, n_receivers=3)
+
+    def test_paper_preset_matches_published_parameters(self):
+        config = ScenarioConfig.paper(ScenarioKind.PRETRAIN)
+        assert config.n_senders == 60
+        assert config.sender_load_bps == mbps(1)
+        assert config.bottleneck_rate_bps == mbps(30)
+        assert config.bottleneck_queue_packets == 1000
+        assert config.duration == 60.0
+
+    def test_paper_case1_has_20mbps_cross_traffic(self):
+        config = ScenarioConfig.paper(ScenarioKind.CASE1)
+        assert config.cross_traffic_bps == mbps(20)
+        assert config.n_cross_flows > 0
+
+
+class TestBuild:
+    def test_pretrain_structure(self):
+        handle = build_scenario(ScenarioConfig.smoke(ScenarioKind.PRETRAIN))
+        assert len(handle.senders) == 4
+        assert len(handle.receivers) == 1
+        assert not handle.cross_senders
+
+    def test_case1_has_cross_traffic(self):
+        handle = build_scenario(ScenarioConfig.smoke(ScenarioKind.CASE1))
+        assert len(handle.cross_senders) >= 1
+
+    def test_case2_has_multiple_receivers(self):
+        handle = build_scenario(ScenarioConfig.smoke(ScenarioKind.CASE2))
+        assert len(handle.receivers) == 3
+
+
+class TestRun:
+    def test_pretrain_trace_properties(self, smoke_trace):
+        trace = smoke_trace
+        assert len(trace) > 200
+        assert np.all(trace.delay > 0)
+        assert np.all(np.diff(trace.send_time) >= 0)
+        assert len(set(trace.receiver_id.tolist())) == 1
+
+    def test_cross_traffic_not_traced(self):
+        config = ScenarioConfig.smoke(ScenarioKind.CASE1, seed=3)
+        handle = build_scenario(config)
+        trace = handle.run()
+        from repro.netsim.scenarios import CROSS_FLOW_BASE, MESSAGE_FLOW_BASE
+
+        assert np.all(trace.flow_id >= MESSAGE_FLOW_BASE)
+        assert np.all(trace.flow_id < CROSS_FLOW_BASE)
+
+    def test_case2_receivers_have_distinct_delays(self, smoke_case2_trace):
+        trace = smoke_case2_trace
+        receivers = sorted(set(trace.receiver_id.tolist()))
+        assert len(receivers) == 3
+        means = [trace.delay[trace.receiver_id == r].mean() for r in receivers]
+        # Heterogeneous propagation delays must be visible end-to-end.
+        assert max(means) > min(means) * 1.1
+
+    def test_same_seed_reproducible(self):
+        config = ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=5)
+        a = run_scenario(config)
+        b = run_scenario(config)
+        assert len(a) == len(b)
+        assert np.allclose(a.send_time, b.send_time)
+        assert np.allclose(a.delay, b.delay)
+
+    def test_different_runs_differ(self):
+        config = ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=5)
+        traces = generate_traces(config, n_runs=2)
+        assert len(traces) == 2
+        # Randomized app start times → different traces.
+        min_len = min(len(traces[0]), len(traces[1]))
+        assert not np.allclose(
+            traces[0].send_time[:min_len], traces[1].send_time[:min_len]
+        )
+
+    def test_congestion_present(self, smoke_trace):
+        """Delays must vary (queueing), otherwise the learning task is trivial."""
+        delays = smoke_trace.delay
+        assert delays.std() > 0.1 * delays.mean()
+
+    def test_cross_traffic_increases_drops(self):
+        base = build_scenario(ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=11))
+        base.run()
+        cross = build_scenario(ScenarioConfig.smoke(ScenarioKind.CASE1, seed=11))
+        cross.run()
+        assert cross.network.total_drops() >= base.network.total_drops()
+
+    def test_generate_traces_validates_n_runs(self):
+        with pytest.raises(ValueError):
+            generate_traces(ScenarioConfig.smoke(), n_runs=0)

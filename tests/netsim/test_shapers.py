@@ -1,0 +1,160 @@
+"""Tests for priority queuing and token-bucket shaping."""
+
+import pytest
+
+from repro.netsim.core import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.netsim.shapers import PriorityQueue, TokenBucketShaper, flow_band_classifier
+from repro.netsim.units import mbps
+
+
+def make_packet(flow=0, seq=0, size=1500):
+    return Packet(src=0, dst=1, size=size, flow_id=flow, seq=seq)
+
+
+class TestClassifier:
+    def test_mapping_and_default(self):
+        classify = flow_band_classifier({7: 1, 9: 0}, default_band=1)
+        assert classify(make_packet(flow=9)) == 0
+        assert classify(make_packet(flow=7)) == 1
+        assert classify(make_packet(flow=123)) == 1
+
+
+class TestPriorityQueue:
+    def test_high_priority_served_first(self):
+        queue = PriorityQueue(10, n_bands=2, classifier=lambda p: 0 if p.flow_id == 1 else 1)
+        queue.enqueue(make_packet(flow=2, seq=0))  # low priority
+        queue.enqueue(make_packet(flow=1, seq=1))  # high priority
+        queue.enqueue(make_packet(flow=2, seq=2))
+        served = [queue.dequeue().seq for _ in range(3)]
+        assert served == [1, 0, 2]
+
+    def test_fifo_within_band(self):
+        queue = PriorityQueue(10, n_bands=1)
+        for seq in range(4):
+            queue.enqueue(make_packet(seq=seq))
+        assert [queue.dequeue().seq for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_per_band_capacity(self):
+        queue = PriorityQueue(2, n_bands=2, classifier=lambda p: p.flow_id)
+        assert queue.enqueue(make_packet(flow=0, seq=0))
+        assert queue.enqueue(make_packet(flow=0, seq=1))
+        assert not queue.enqueue(make_packet(flow=0, seq=2))  # band 0 full
+        assert queue.enqueue(make_packet(flow=1, seq=3))  # band 1 has room
+        assert queue.per_band_dropped == [1, 0]
+
+    def test_band_clamping(self):
+        queue = PriorityQueue(4, n_bands=2, classifier=lambda p: 99)
+        queue.enqueue(make_packet())
+        assert queue.band_of(make_packet()) == 1
+
+    def test_empty_dequeue(self):
+        assert PriorityQueue(4).dequeue() is None
+
+    def test_occupancy_and_stats(self):
+        queue = PriorityQueue(4, n_bands=2, classifier=lambda p: p.flow_id % 2)
+        for seq in range(4):
+            queue.enqueue(make_packet(flow=seq, seq=seq))
+        assert queue.occupancy == 4
+        assert queue.stats.enqueued == 4
+        queue.dequeue()
+        assert queue.stats.dequeued == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriorityQueue(0)
+        with pytest.raises(ValueError):
+            PriorityQueue(4, n_bands=0)
+
+    def test_works_as_link_queue(self):
+        """PriorityQueue plugs into a Link via queue_factory."""
+        sim = Simulator()
+        a, b = Node(sim, 0, "a"), Node(sim, 1, "b")
+        classify = flow_band_classifier({1: 0}, default_band=1)
+        link = Link(
+            sim, a, b, rate_bps=mbps(12), propagation_delay=0.0, queue_packets=100,
+            queue_factory=lambda capacity: PriorityQueue(capacity, 2, classify),
+        )
+        arrivals = []
+        b.default_handler = lambda packet: arrivals.append(packet.flow_id)
+        # Fill the transmitter, then queue one low- and one high-priority.
+        link.forward.send(make_packet(flow=2, seq=0))
+        link.forward.send(make_packet(flow=2, seq=1))
+        link.forward.send(make_packet(flow=1, seq=2))
+        sim.run()
+        # The high-priority packet overtakes the queued low-priority one.
+        assert arrivals == [2, 1, 2]
+
+
+class TestTokenBucket:
+    def test_burst_passes_immediately(self):
+        sim = Simulator()
+        released = []
+        shaper = TokenBucketShaper(sim, mbps(1), burst_bytes=4500, forward=released.append)
+        for seq in range(3):
+            shaper.send(make_packet(seq=seq))
+        assert len(released) == 3  # 3 x 1500 = bucket depth
+        assert shaper.backlog == 0
+
+    def test_excess_paced_at_rate(self):
+        sim = Simulator()
+        released_times = []
+        shaper = TokenBucketShaper(
+            sim, mbps(12), burst_bytes=1500, forward=lambda p: released_times.append(sim.now)
+        )
+        for seq in range(3):
+            shaper.send(make_packet(seq=seq))
+        sim.run()
+        # First conforms; the others wait 1 ms each (1500 B at 12 Mbps).
+        assert released_times[0] == pytest.approx(0.0)
+        assert released_times[1] == pytest.approx(0.001)
+        assert released_times[2] == pytest.approx(0.002)
+
+    def test_long_term_rate_respected(self):
+        sim = Simulator()
+        released = []
+        shaper = TokenBucketShaper(
+            sim, mbps(6), burst_bytes=3000, forward=lambda p: released.append(sim.now)
+        )
+        for seq in range(50):
+            shaper.send(make_packet(seq=seq))
+        sim.run()
+        duration = released[-1] - released[0]
+        achieved_bps = (len(released) - 2) * 1500 * 8 / duration  # minus the burst
+        assert achieved_bps == pytest.approx(mbps(6), rel=0.1)
+
+    def test_tokens_refill_while_idle(self):
+        sim = Simulator()
+        released = []
+        shaper = TokenBucketShaper(sim, mbps(12), burst_bytes=3000, forward=released.append)
+        shaper.send(make_packet(seq=0))
+        shaper.send(make_packet(seq=1))
+        sim.run()
+        # Bucket empty now; wait for a refill window and burst again.
+        sim.schedule(0.01, lambda: [shaper.send(make_packet(seq=2))])
+        sim.run()
+        assert len(released) == 3
+
+    def test_backlog_bound_drops(self):
+        sim = Simulator()
+        shaper = TokenBucketShaper(
+            sim, mbps(1), burst_bytes=1500, forward=lambda p: None, queue_packets=2
+        )
+        results = [shaper.send(make_packet(seq=seq)) for seq in range(5)]
+        assert results.count(False) >= 1
+        assert shaper.packets_dropped >= 1
+
+    def test_oversized_packet_rejected(self):
+        sim = Simulator()
+        shaper = TokenBucketShaper(sim, mbps(1), burst_bytes=1000, forward=lambda p: None)
+        with pytest.raises(ValueError):
+            shaper.send(make_packet(size=1500))
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TokenBucketShaper(sim, 0.0, 1000, forward=lambda p: None)
+        with pytest.raises(ValueError):
+            TokenBucketShaper(sim, mbps(1), 0, forward=lambda p: None)

@@ -1,0 +1,152 @@
+"""Tests for network construction, routing and forwarding."""
+
+import pytest
+
+from repro.netsim.core import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.topology import Network
+from repro.netsim.units import mbps, milliseconds
+
+
+def line_network(n_nodes=4):
+    sim = Simulator()
+    net = Network(sim)
+    nodes = [net.add_node(f"n{i}") for i in range(n_nodes)]
+    for left, right in zip(nodes, nodes[1:]):
+        net.add_link(left, right, mbps(100), milliseconds(1), queue_packets=100)
+    net.compute_routes()
+    return sim, net, nodes
+
+
+def test_add_node_assigns_ids():
+    net = Network(Simulator())
+    a = net.add_node("a")
+    b = net.add_node("b")
+    assert (a.node_id, b.node_id) == (0, 1)
+
+
+def test_self_link_rejected():
+    net = Network(Simulator())
+    a = net.add_node()
+    with pytest.raises(ValueError):
+        net.add_link(a, a, mbps(1), 0.001, 10)
+
+
+def test_duplicate_link_rejected():
+    net = Network(Simulator())
+    a, b = net.add_node(), net.add_node()
+    net.add_link(a, b, mbps(1), 0.001, 10)
+    with pytest.raises(ValueError):
+        net.add_link(a, b, mbps(1), 0.001, 10)
+
+
+def test_disconnected_routing_rejected():
+    net = Network(Simulator())
+    net.add_node()
+    net.add_node()
+    with pytest.raises(ValueError):
+        net.compute_routes()
+
+
+def test_multihop_delivery():
+    sim, net, nodes = line_network(4)
+    delivered = []
+    nodes[3].default_handler = lambda packet: delivered.append(packet)
+    packet = Packet(src=0, dst=3, size=1000)
+    nodes[0].send(packet)
+    sim.run()
+    assert len(delivered) == 1
+    assert delivered[0].hops == 3
+
+
+def test_end_to_end_delay_accumulates_hops():
+    sim, net, nodes = line_network(3)
+    times = []
+    nodes[2].default_handler = lambda packet: times.append(sim.now)
+    nodes[0].send(Packet(src=0, dst=2, size=1000))
+    sim.run()
+    # Two hops: 2 * (serialization 80 µs + propagation 1 ms).
+    expected = 2 * (1000 * 8 / mbps(100) + milliseconds(1))
+    assert times[0] == pytest.approx(expected)
+
+
+def test_shortest_path_prefers_low_delay():
+    sim = Simulator()
+    net = Network(sim)
+    a, b, c = net.add_node("a"), net.add_node("b"), net.add_node("c")
+    net.add_link(a, c, mbps(100), milliseconds(50), 100)  # slow direct
+    net.add_link(a, b, mbps(100), milliseconds(1), 100)
+    net.add_link(b, c, mbps(100), milliseconds(1), 100)
+    net.compute_routes()
+    delivered = []
+    c.default_handler = lambda packet: delivered.append(packet)
+    a.send(Packet(src=0, dst=2, size=100))
+    sim.run()
+    assert delivered[0].hops == 2  # went via b
+
+
+def test_no_route_counts_drop():
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_node()
+    net.add_node()
+    packet = Packet(src=0, dst=1, size=100)
+    assert a.forward(packet) is False
+    assert a.packets_dropped_no_route == 1
+
+
+def test_node_by_name():
+    net = Network(Simulator())
+    net.add_node("alpha")
+    assert net.node_by_name("alpha").name == "alpha"
+    with pytest.raises(KeyError):
+        net.node_by_name("missing")
+
+
+def test_link_between():
+    net = Network(Simulator())
+    a, b, c = net.add_node(), net.add_node(), net.add_node()
+    link = net.add_link(a, b, mbps(1), 0.001, 10)
+    net.add_link(b, c, mbps(1), 0.001, 10)
+    assert net.link_between(a, b) is link
+    with pytest.raises(KeyError):
+        net.link_between(a, c)
+
+
+def test_total_drops_aggregates():
+    sim = Simulator()
+    net = Network(sim)
+    a, b = net.add_node(), net.add_node()
+    net.add_link(a, b, mbps(1), 0.001, queue_packets=1)
+    net.compute_routes()
+    for seq in range(10):
+        a.send(Packet(src=0, dst=1, size=1500, seq=seq))
+    assert net.total_drops() == 8  # 1 transmitting + 1 queued
+
+
+def test_flow_handler_takes_precedence_over_default():
+    sim, net, nodes = line_network(2)
+    default_hits, flow_hits = [], []
+    nodes[1].default_handler = lambda packet: default_hits.append(packet)
+    nodes[1].register_flow(7, lambda packet: flow_hits.append(packet))
+    nodes[0].send(Packet(src=0, dst=1, size=100, flow_id=7))
+    nodes[0].send(Packet(src=0, dst=1, size=100, flow_id=8))
+    sim.run()
+    assert len(flow_hits) == 1
+    assert len(default_hits) == 1
+
+
+def test_duplicate_flow_registration_rejected():
+    sim, net, nodes = line_network(2)
+    nodes[1].register_flow(7, lambda packet: None)
+    with pytest.raises(ValueError):
+        nodes[1].register_flow(7, lambda packet: None)
+
+
+def test_loopback_send_delivers_locally():
+    sim, net, nodes = line_network(2)
+    delivered = []
+    nodes[0].default_handler = lambda packet: delivered.append(packet)
+    nodes[0].send(Packet(src=0, dst=0, size=100))
+    sim.run()
+    assert len(delivered) == 1

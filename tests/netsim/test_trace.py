@@ -1,0 +1,114 @@
+"""Tests for trace collection and message-completion bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.packet import Packet
+from repro.netsim.trace import Trace, TraceCollector
+
+
+def record(collector, *, send, recv, size=1500, dst=1, flow=1, message=0,
+           message_size=1500, end=False, traced=True):
+    packet = Packet(
+        src=0, dst=dst, size=size, flow_id=flow, message_id=message,
+        message_size=message_size, is_message_end=end, traced=traced,
+    )
+    packet.send_time = send
+    collector.record(packet, recv)
+
+
+def test_untraced_packets_skipped():
+    collector = TraceCollector()
+    record(collector, send=0.0, recv=0.1, traced=False)
+    assert collector.finalize().send_time.size == 0
+
+
+def test_trace_sorted_by_send_time():
+    collector = TraceCollector()
+    record(collector, send=2.0, recv=2.1, message=1)
+    record(collector, send=1.0, recv=1.1, message=0)
+    trace = collector.finalize()
+    assert list(trace.send_time) == [1.0, 2.0]
+
+
+def test_delay_computation():
+    collector = TraceCollector()
+    record(collector, send=1.0, recv=1.25)
+    trace = collector.finalize()
+    assert trace.delay[0] == pytest.approx(0.25)
+
+
+def test_mct_single_packet_message():
+    collector = TraceCollector()
+    record(collector, send=1.0, recv=1.5, message=3, end=True)
+    trace = collector.finalize()
+    assert trace.mct[0] == pytest.approx(0.5)
+
+
+def test_mct_spans_whole_message():
+    collector = TraceCollector()
+    record(collector, send=1.0, recv=1.2, message=9)
+    record(collector, send=1.1, recv=1.6, message=9)
+    record(collector, send=1.2, recv=1.9, message=9, end=True)
+    trace = collector.finalize()
+    # From first send (1.0) to last delivery (1.9).
+    assert np.allclose(trace.mct, 0.9)
+
+
+def test_mct_independent_per_message():
+    collector = TraceCollector()
+    record(collector, send=0.0, recv=0.1, message=1, end=True)
+    record(collector, send=5.0, recv=5.4, message=2, end=True)
+    trace = collector.finalize()
+    assert trace.mct[0] == pytest.approx(0.1)
+    assert trace.mct[1] == pytest.approx(0.4)
+
+
+def test_subset_preserves_alignment():
+    collector = TraceCollector()
+    for index in range(10):
+        record(collector, send=float(index), recv=index + 0.5, message=index,
+               size=100 * (index + 1))
+    trace = collector.finalize()
+    subset = trace.subset(trace.size > 500)
+    assert len(subset) == 5
+    assert np.all(subset.size > 500)
+    assert np.allclose(subset.delay, 0.5)
+
+
+def test_save_load_roundtrip(tmp_path):
+    collector = TraceCollector()
+    for index in range(5):
+        record(collector, send=float(index), recv=index + 0.3, message=index, end=True)
+    trace = collector.finalize()
+    path = tmp_path / "trace.npz"
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert np.array_equal(loaded.send_time, trace.send_time)
+    assert np.array_equal(loaded.mct, trace.mct)
+    assert np.array_equal(loaded.is_message_end, trace.is_message_end)
+
+
+def test_column_length_validation():
+    with pytest.raises(ValueError):
+        Trace(
+            send_time=np.zeros(3),
+            recv_time=np.zeros(2),  # mismatched
+            size=np.zeros(3),
+            receiver_id=np.zeros(3),
+            flow_id=np.zeros(3),
+            message_id=np.zeros(3),
+            message_size=np.zeros(3),
+            is_message_end=np.zeros(3, dtype=bool),
+        )
+
+
+def test_missing_column_rejected():
+    with pytest.raises(ValueError):
+        Trace(send_time=np.zeros(3))
+
+
+def test_empty_trace():
+    trace = TraceCollector().finalize()
+    assert len(trace) == 0
+    assert trace.mct.size == 0

@@ -1,0 +1,51 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.netsim.units import (
+    gbps,
+    kbps,
+    mbps,
+    microseconds,
+    milliseconds,
+    serialization_delay,
+)
+
+
+def test_rate_conversions():
+    assert kbps(1) == 1e3
+    assert mbps(1) == 1e6
+    assert gbps(1) == 1e9
+    assert mbps(30) == 30e6
+
+
+def test_time_conversions():
+    assert milliseconds(5) == pytest.approx(0.005)
+    assert microseconds(250) == pytest.approx(0.00025)
+
+
+def test_serialization_delay_basic():
+    # 1500 bytes over 12 Mbps = 1 ms.
+    assert serialization_delay(1500, mbps(12)) == pytest.approx(0.001)
+
+
+def test_serialization_delay_scales_linearly():
+    one = serialization_delay(1000, mbps(10))
+    two = serialization_delay(2000, mbps(10))
+    assert two == pytest.approx(2 * one)
+
+
+def test_serialization_delay_zero_size():
+    assert serialization_delay(0, mbps(10)) == 0.0
+
+
+def test_serialization_delay_invalid_rate():
+    with pytest.raises(ValueError):
+        serialization_delay(1500, 0.0)
+    with pytest.raises(ValueError):
+        serialization_delay(1500, -5.0)
+
+
+def test_serialization_delay_negative_size():
+    with pytest.raises(ValueError):
+        serialization_delay(-1, mbps(1))

@@ -1,0 +1,118 @@
+"""Tests for message-size workloads and arrivals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.workloads import (
+    FixedMessageSizes,
+    HomaLikeMessageSizes,
+    LogNormalMessageSizes,
+    ParetoMessageSizes,
+    PoissonArrivals,
+    UniformMessageSizes,
+)
+
+
+@pytest.fixture
+def workload_rng():
+    return np.random.default_rng(99)
+
+
+class TestFixed:
+    def test_constant(self, workload_rng):
+        dist = FixedMessageSizes(5000)
+        assert dist.sample(workload_rng) == 5000
+        assert dist.mean() == 5000.0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            FixedMessageSizes(10)
+
+
+class TestUniform:
+    def test_bounds(self, workload_rng):
+        dist = UniformMessageSizes(100, 200)
+        samples = dist.sample_many(workload_rng, 500)
+        assert samples.min() >= 100 and samples.max() <= 200
+
+    def test_mean(self):
+        assert UniformMessageSizes(100, 200).mean() == 150.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformMessageSizes(200, 100)
+
+
+class TestLogNormal:
+    def test_positive_and_clipped(self, workload_rng):
+        dist = LogNormalMessageSizes(median_bytes=2000, sigma=1.5, max_bytes=100_000)
+        samples = dist.sample_many(workload_rng, 2000)
+        assert samples.min() >= dist.min_bytes
+        assert samples.max() <= 100_000
+
+    def test_empirical_mean_close_to_analytic(self, workload_rng):
+        dist = LogNormalMessageSizes(median_bytes=2000, sigma=0.5)
+        samples = dist.sample_many(workload_rng, 20_000)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LogNormalMessageSizes(median_bytes=-1)
+
+
+class TestPareto:
+    def test_heavy_tail_exists(self, workload_rng):
+        dist = ParetoMessageSizes(scale_bytes=1000, alpha=1.5)
+        samples = dist.sample_many(workload_rng, 20_000)
+        assert samples.max() > 20 * np.median(samples)
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            ParetoMessageSizes(alpha=1.0)
+
+    def test_samples_at_least_scale(self, workload_rng):
+        dist = ParetoMessageSizes(scale_bytes=1000, alpha=2.0)
+        samples = dist.sample_many(workload_rng, 1000)
+        assert samples.min() >= 1000
+
+
+class TestHomaLike:
+    def test_mixture_mean(self, workload_rng):
+        dist = HomaLikeMessageSizes()
+        samples = dist.sample_many(workload_rng, 50_000)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.25)
+
+    def test_mostly_small_messages(self, workload_rng):
+        dist = HomaLikeMessageSizes()
+        samples = dist.sample_many(workload_rng, 10_000)
+        assert np.median(samples) < dist.mean()
+
+    def test_tail_fraction_validation(self):
+        with pytest.raises(ValueError):
+            HomaLikeMessageSizes(tail_fraction=1.5)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_samples_always_valid(self, seed):
+        dist = HomaLikeMessageSizes()
+        rng = np.random.default_rng(seed)
+        size = dist.sample(rng)
+        assert dist.min_bytes <= size <= 2_000_000
+
+
+class TestPoissonArrivals:
+    def test_rate_matches_load(self):
+        dist = FixedMessageSizes(10_000)
+        arrivals = PoissonArrivals(load_bps=8e6, size_distribution=dist)
+        # 8 Mbps / (8 * 10 kB) = 100 messages/s.
+        assert arrivals.rate_per_second == pytest.approx(100.0)
+
+    def test_empirical_interarrival_mean(self, workload_rng):
+        arrivals = PoissonArrivals(load_bps=8e6, size_distribution=FixedMessageSizes(10_000))
+        gaps = [arrivals.next_interarrival(workload_rng) for _ in range(5000)]
+        assert np.mean(gaps) == pytest.approx(0.01, rel=0.1)
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0, FixedMessageSizes(1000))

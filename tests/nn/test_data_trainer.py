@@ -1,0 +1,209 @@
+"""Tests for datasets, data loading, the trainer and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.layers import GELU, Linear, Sequential
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam, SGD
+from repro.nn.serialize import load_checkpoint, load_state, save_checkpoint
+from repro.nn.trainer import Trainer
+
+
+class TestArrayDataset:
+    def test_length_and_indexing(self):
+        ds = ArrayDataset(np.arange(10), np.arange(10) * 2)
+        assert len(ds) == 10
+        x, y = ds[3]
+        assert (x, y) == (3, 6)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.arange(10), np.arange(5))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDataset()
+
+    def test_subset(self):
+        ds = ArrayDataset(np.arange(10))
+        sub = ds.subset(np.array([1, 3, 5]))
+        assert len(sub) == 3
+        assert sub[1][0] == 3
+
+    def test_split_positional(self):
+        first, second = ArrayDataset(np.arange(10)).split(0.7)
+        assert len(first) == 7 and len(second) == 3
+        assert list(first.arrays[0]) == list(range(7))
+
+    def test_split_shuffled(self, rng):
+        first, second = ArrayDataset(np.arange(100)).split(0.5, rng=rng)
+        assert sorted(np.concatenate([first.arrays[0], second.arrays[0]]).tolist()) == list(range(100))
+        assert list(first.arrays[0]) != list(range(50))
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.arange(4)).split(1.5)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        ds = ArrayDataset(np.zeros((10, 3)), np.zeros(10))
+        loader = DataLoader(ds, batch_size=4)
+        batches = list(loader)
+        assert [len(b[0]) for b in batches] == [4, 4, 2]
+        assert len(loader) == 3
+
+    def test_drop_last(self):
+        ds = ArrayDataset(np.zeros(10))
+        loader = DataLoader(ds, batch_size=4, drop_last=True)
+        assert [len(b[0]) for b in loader] == [4, 4]
+        assert len(loader) == 2
+
+    def test_shuffle_requires_rng(self):
+        ds = ArrayDataset(np.zeros(4))
+        with pytest.raises(ValueError):
+            DataLoader(ds, 2, shuffle=True)
+
+    def test_shuffle_covers_all_samples(self, rng):
+        ds = ArrayDataset(np.arange(20))
+        loader = DataLoader(ds, 6, shuffle=True, rng=rng)
+        seen = np.concatenate([batch[0] for batch in loader])
+        assert sorted(seen.tolist()) == list(range(20))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(ArrayDataset(np.zeros(4)), 0)
+
+
+def make_regression(rng, n=256):
+    x = rng.normal(size=(n, 6))
+    y = x @ rng.normal(size=(6, 1)) + 0.1
+    return ArrayDataset(x, y)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, rng):
+        ds = make_regression(rng)
+        model = Sequential(Linear(6, 16, rng), GELU(), Linear(16, 1, rng))
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-2), mse_loss)
+        history = trainer.fit(DataLoader(ds, 32, shuffle=True, rng=rng), epochs=20)
+        assert history.final_train_loss < 0.2 * history.train_loss[0]
+        assert history.epochs_run == 20
+        assert history.wall_time > 0
+
+    def test_validation_tracked(self, rng):
+        ds = make_regression(rng)
+        train, val = ds.split(0.8, rng=rng)
+        model = Sequential(Linear(6, 8, rng), Linear(8, 1, rng))
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-2), mse_loss)
+        history = trainer.fit(
+            DataLoader(train, 32, shuffle=True, rng=rng),
+            DataLoader(val, 64),
+            epochs=5,
+        )
+        assert len(history.val_loss) == 5
+        assert history.best_val_loss <= history.val_loss[0]
+
+    def test_early_stopping(self, rng):
+        ds = make_regression(rng, n=64)
+        train, val = ds.split(0.8, rng=rng)
+        model = Sequential(Linear(6, 4, rng), Linear(4, 1, rng))
+        # Vanishing LR: validation can never improve past epoch 1.
+        trainer = Trainer(model, SGD(model.parameters(), lr=1e-30), mse_loss)
+        history = trainer.fit(
+            DataLoader(train, 16, shuffle=True, rng=rng),
+            DataLoader(val, 16),
+            epochs=50,
+            patience=2,
+        )
+        assert history.stopped_early
+        assert history.epochs_run < 50
+
+    def test_patience_without_val_rejected(self, rng):
+        ds = make_regression(rng, n=32)
+        model = Linear(6, 1, rng)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1), mse_loss)
+        with pytest.raises(ValueError):
+            trainer.fit(DataLoader(ds, 8), epochs=2, patience=1)
+
+    def test_invalid_epochs(self, rng):
+        ds = make_regression(rng, n=32)
+        model = Linear(6, 1, rng)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1), mse_loss)
+        with pytest.raises(ValueError):
+            trainer.fit(DataLoader(ds, 8), epochs=0)
+
+    def test_schedule_changes_lr(self, rng):
+        ds = make_regression(rng, n=64)
+        model = Linear(6, 1, rng)
+        optimizer = Adam(model.parameters(), lr=1.0)
+        trainer = Trainer(
+            model, optimizer, mse_loss, schedule=lambda step: 0.5
+        )
+        trainer.fit(DataLoader(ds, 32), epochs=1)
+        assert optimizer.lr == pytest.approx(0.5)
+
+    def test_on_epoch_start_hook_runs(self, rng):
+        ds = make_regression(rng, n=32)
+        model = Linear(6, 1, rng)
+        calls = []
+        trainer = Trainer(
+            model, SGD(model.parameters(), lr=0.01), mse_loss,
+            on_epoch_start=lambda: calls.append(1),
+        )
+        trainer.fit(DataLoader(ds, 8), epochs=3)
+        assert len(calls) == 3
+
+    def test_partial_optimizer_freezes_rest(self, rng):
+        """Training only the head must leave the body untouched."""
+        body = Linear(6, 6, rng)
+        head = Linear(6, 1, rng)
+        model = Sequential(body, head)
+        ds = make_regression(rng, n=64)
+        before = body.weight.data.copy()
+        trainer = Trainer(model, Adam(head.parameters(), lr=1e-2), mse_loss)
+        trainer.fit(DataLoader(ds, 16, shuffle=True, rng=rng), epochs=3)
+        assert np.array_equal(body.weight.data, before)
+        assert not np.array_equal(head.weight.data, np.zeros_like(head.weight.data))
+
+    def test_evaluate_weighted_by_batch(self, rng):
+        ds = make_regression(rng, n=10)
+        model = Linear(6, 1, rng)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1), mse_loss)
+        # One big batch vs uneven batches must agree.
+        single = trainer.evaluate(DataLoader(ds, 10))
+        uneven = trainer.evaluate(DataLoader(ds, 3))
+        assert single == pytest.approx(uneven, rel=1e-9)
+
+
+class TestSerialize:
+    def test_checkpoint_roundtrip(self, rng, tmp_path):
+        model_a = Sequential(Linear(4, 8, rng), Linear(8, 2, rng))
+        model_b = Sequential(
+            Linear(4, 8, np.random.default_rng(1)), Linear(8, 2, np.random.default_rng(2))
+        )
+        path = tmp_path / "model.npz"
+        save_checkpoint(model_a, path, metadata={"d": 4})
+        metadata = load_checkpoint(model_b, path)
+        assert metadata == {"d": 4}
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(model_a(x).data, model_b(x).data)
+
+    def test_load_state_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(tmp_path / "missing.npz")
+
+    def test_metadata_optional(self, rng, tmp_path):
+        model = Linear(2, 2, rng)
+        path = tmp_path / "m.npz"
+        save_checkpoint(model, path)
+        __, metadata = load_state(path)
+        assert metadata == {}
+
+    def test_creates_parent_dirs(self, rng, tmp_path):
+        model = Linear(2, 2, rng)
+        path = tmp_path / "deep" / "nested" / "m.npz"
+        save_checkpoint(model, path)
+        assert path.exists()

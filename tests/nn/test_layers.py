@@ -1,0 +1,148 @@
+"""Tests for Linear, activations, Dropout, Embedding, Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    GELU,
+    Identity,
+    Linear,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from repro.nn.tensor import Tensor
+from repro.nn.testing import gradcheck
+
+
+class TestLinear:
+    def test_output_shape_2d(self, rng):
+        layer = Linear(4, 7, rng)
+        assert layer(Tensor(np.ones((3, 4)))).shape == (3, 7)
+
+    def test_output_shape_3d(self, rng):
+        layer = Linear(4, 7, rng)
+        assert layer(Tensor(np.ones((2, 5, 4)))).shape == (2, 5, 7)
+
+    def test_affine_correctness(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_wrong_input_dim_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Linear(3, 2, rng)(Tensor(np.ones((2, 4))))
+
+    def test_invalid_features_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 2, rng)
+
+    def test_gradcheck_through_layer(self, rng):
+        layer = Linear(3, 2, rng)
+
+        def fn(tensors):
+            out = tensors[0] @ layer.weight + layer.bias
+            return out.sum()
+
+        gradcheck(fn, [rng.normal(size=(2, 3))])
+
+    def test_accepts_ndarray_input(self, rng):
+        out = Linear(3, 2, rng)(np.ones((2, 3)))
+        assert isinstance(out, Tensor)
+
+
+class TestActivations:
+    def test_relu_values(self, rng):
+        out = ReLU()(Tensor(np.array([-1.0, 0.0, 2.0])))
+        assert np.allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_gelu_close_to_relu_for_large_positive(self):
+        out = GELU()(Tensor(np.array([10.0])))
+        assert out.data[0] == pytest.approx(10.0, abs=1e-3)
+
+    def test_gelu_negative_saturation(self):
+        out = GELU()(Tensor(np.array([-10.0])))
+        assert out.data[0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_tanh_module(self):
+        out = Tanh()(Tensor(np.array([0.0])))
+        assert out.data[0] == 0.0
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+
+class TestDropout:
+    def test_eval_mode_passthrough(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.eval()
+        x = Tensor(np.ones(100))
+        assert layer(x) is x
+
+    def test_train_mode_zeroes_some(self, rng):
+        layer = Dropout(0.5, rng)
+        out = layer(Tensor(np.ones(1000)))
+        zero_fraction = np.mean(out.data == 0)
+        assert 0.3 < zero_fraction < 0.7
+
+    def test_expected_value_preserved(self, rng):
+        layer = Dropout(0.3, rng)
+        out = layer(Tensor(np.ones(20_000)))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        table = Embedding(10, 4, rng)
+        out = table(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_lookup_values(self, rng):
+        table = Embedding(10, 4, rng)
+        out = table(np.array([3]))
+        assert np.allclose(out.data[0], table.weight.data[3])
+
+    def test_gradient_accumulates_on_repeats(self, rng):
+        table = Embedding(5, 2, rng)
+        out = table(np.array([1, 1, 1]))
+        out.sum().backward()
+        assert np.allclose(table.weight.grad[1], 3.0)
+
+    def test_out_of_range_rejected(self, rng):
+        table = Embedding(5, 2, rng)
+        with pytest.raises(IndexError):
+            table(np.array([5]))
+        with pytest.raises(IndexError):
+            table(np.array([-1]))
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            Embedding(0, 4, rng)
+
+
+class TestSequential:
+    def test_chains_layers(self, rng):
+        model = Sequential(Linear(3, 5, rng), ReLU(), Linear(5, 2, rng))
+        assert model(Tensor(np.ones((4, 3)))).shape == (4, 2)
+
+    def test_len_and_getitem(self, rng):
+        model = Sequential(Linear(3, 5, rng), ReLU())
+        assert len(model) == 2
+        assert isinstance(model[0], Linear)
+
+    def test_registers_all_parameters(self, rng):
+        model = Sequential(Linear(3, 5, rng), ReLU(), Linear(5, 2, rng))
+        assert len(model.parameters()) == 4

@@ -1,0 +1,185 @@
+"""Tests for losses, optimizers, schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import huber_loss, l1_loss, mse_loss
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.nn.schedule import constant, step_decay, warmup_cosine, warmup_linear
+from repro.nn.tensor import Tensor
+from repro.nn.testing import gradcheck
+
+
+class TestLosses:
+    def test_mse_zero_for_equal(self):
+        x = Tensor(np.ones((3, 2)))
+        assert mse_loss(x, Tensor(np.ones((3, 2)))).item() == 0.0
+
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 3.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        assert mse_loss(pred, target).item() == pytest.approx(5.0)
+
+    def test_mse_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse_loss(Tensor(np.ones((3, 1))), Tensor(np.ones(3)))
+
+    def test_l1_value(self):
+        pred = Tensor(np.array([2.0, -2.0]))
+        target = Tensor(np.zeros(2))
+        assert l1_loss(pred, target).item() == pytest.approx(2.0)
+
+    def test_huber_quadratic_region(self):
+        pred = Tensor(np.array([0.5]))
+        target = Tensor(np.array([0.0]))
+        assert huber_loss(pred, target, delta=1.0).item() == pytest.approx(0.125)
+
+    def test_huber_linear_region(self):
+        pred = Tensor(np.array([3.0]))
+        target = Tensor(np.array([0.0]))
+        assert huber_loss(pred, target, delta=1.0).item() == pytest.approx(2.5)
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError):
+            huber_loss(Tensor(np.ones(2)), Tensor(np.ones(2)), delta=0.0)
+
+    def test_mse_gradcheck(self, rng):
+        target = rng.normal(size=(4, 2))
+        gradcheck(lambda t: mse_loss(t[0], Tensor(target)), [rng.normal(size=(4, 2))])
+
+    def test_huber_gradcheck(self, rng):
+        target = np.zeros((3,))
+        # Stay away from the |e| = delta kink.
+        pred = np.array([0.2, 2.5, -3.0])
+        gradcheck(lambda t: huber_loss(t[0], Tensor(target)), [pred])
+
+
+def quadratic_problem(optimizer_factory, steps=200):
+    """Minimise ||x - 3||²; returns the final parameter value."""
+    x = Parameter(np.zeros(4))
+    optimizer = optimizer_factory([x])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = ((x - 3.0) * (x - 3.0)).sum()
+        loss.backward()
+        optimizer.step()
+    return x.data
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        final = quadratic_problem(lambda p: SGD(p, lr=0.1))
+        assert np.allclose(final, 3.0, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        final = quadratic_problem(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        assert np.allclose(final, 3.0, atol=1e-2)
+
+    def test_adam_converges(self):
+        final = quadratic_problem(lambda p: Adam(p, lr=0.1), steps=400)
+        assert np.allclose(final, 3.0, atol=1e-2)
+
+    def test_adamw_decays_weights(self):
+        x = Parameter(np.full(3, 10.0))
+        optimizer = AdamW([x], lr=0.01, weight_decay=0.5)
+        x.grad = np.zeros(3)
+        optimizer.steps = 0
+        optimizer.step()
+        assert np.all(np.abs(x.data) < 10.0)
+
+    def test_skip_parameters_without_grad(self):
+        x = Parameter(np.ones(2))
+        optimizer = SGD([x], lr=0.1)
+        optimizer.step()  # no grad: no change, no crash
+        assert np.allclose(x.data, 1.0)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], betas=(1.0, 0.9))
+
+    def test_adam_first_step_bias_correction(self):
+        """After one step with unit gradient, Adam moves by ~lr exactly."""
+        x = Parameter(np.zeros(1))
+        optimizer = Adam([x], lr=0.5)
+        x.grad = np.ones(1)
+        optimizer.step()
+        assert x.data[0] == pytest.approx(-0.5, rel=1e-6)
+
+    def test_zero_grad_via_optimizer(self):
+        x = Parameter(np.ones(2))
+        x.grad = np.ones(2)
+        SGD([x], lr=0.1).zero_grad()
+        assert x.grad is None
+
+
+class TestClipGradNorm:
+    def test_no_clipping_below_threshold(self):
+        x = Parameter(np.ones(4))
+        x.grad = np.full(4, 0.1)
+        norm = clip_grad_norm([x], max_norm=10.0)
+        assert norm == pytest.approx(0.2)
+        assert np.allclose(x.grad, 0.1)
+
+    def test_clipping_scales_to_max(self):
+        x = Parameter(np.ones(4))
+        x.grad = np.full(4, 10.0)
+        clip_grad_norm([x], max_norm=1.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_empty_grads(self):
+        assert clip_grad_norm([Parameter(np.ones(2))], max_norm=1.0) == 0.0
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = constant()
+        assert schedule(0) == schedule(1000) == 1.0
+
+    def test_warmup_cosine_shape(self):
+        schedule = warmup_cosine(10, 100)
+        assert schedule(0) < schedule(9)
+        assert schedule(9) == pytest.approx(1.0)
+        assert schedule(99) < 0.01
+        assert schedule(500) >= 0.0  # beyond total: clamped
+
+    def test_warmup_cosine_floor(self):
+        schedule = warmup_cosine(5, 50, floor=0.1)
+        assert schedule(49) >= 0.1
+
+    def test_warmup_cosine_validation(self):
+        with pytest.raises(ValueError):
+            warmup_cosine(100, 50)
+
+    def test_warmup_linear(self):
+        schedule = warmup_linear(10, 110)
+        assert schedule(10) == pytest.approx(1.0, abs=0.1)
+        assert schedule(110) == pytest.approx(0.0, abs=1e-9)
+
+    def test_step_decay(self):
+        schedule = step_decay(10, factor=0.5)
+        assert schedule(5) == 1.0
+        assert schedule(10) == 0.5
+        assert schedule(25) == 0.25
+
+    def test_step_decay_validation(self):
+        with pytest.raises(ValueError):
+            step_decay(0)
+        with pytest.raises(ValueError):
+            step_decay(10, factor=0.0)

@@ -1,0 +1,119 @@
+"""Tests for the module/parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Sequential
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Toy(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.linear = Linear(3, 2, rng)
+        self.scale = Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.linear(x) * self.scale
+
+
+def test_parameter_requires_grad():
+    assert Parameter(np.ones(3)).requires_grad
+
+
+def test_named_parameters_are_dotted(rng):
+    toy = Toy(rng)
+    names = [name for name, _ in toy.named_parameters()]
+    assert "linear.weight" in names
+    assert "linear.bias" in names
+    assert "scale" in names
+
+
+def test_parameters_traverses_children(rng):
+    toy = Toy(rng)
+    assert len(toy.parameters()) == 3
+
+
+def test_num_parameters(rng):
+    toy = Toy(rng)
+    assert toy.num_parameters() == 3 * 2 + 2 + 2
+
+
+def test_zero_grad_clears_all(rng):
+    toy = Toy(rng)
+    out = toy(Tensor(np.ones((4, 3))))
+    out.sum().backward()
+    assert all(p.grad is not None for p in toy.parameters())
+    toy.zero_grad()
+    assert all(p.grad is None for p in toy.parameters())
+
+
+def test_train_eval_recursive(rng):
+    model = Sequential(Linear(3, 3, rng), Linear(3, 3, rng))
+    model.eval()
+    assert all(not module.training for module in model.modules())
+    model.train()
+    assert all(module.training for module in model.modules())
+
+
+def test_state_dict_roundtrip(rng):
+    toy_a = Toy(rng)
+    toy_b = Toy(np.random.default_rng(777))
+    x = np.ones((2, 3))
+    assert not np.allclose(toy_a(Tensor(x)).data, toy_b(Tensor(x)).data)
+    toy_b.load_state_dict(toy_a.state_dict())
+    assert np.allclose(toy_a(Tensor(x)).data, toy_b(Tensor(x)).data)
+
+
+def test_state_dict_is_a_copy(rng):
+    toy = Toy(rng)
+    state = toy.state_dict()
+    state["scale"][:] = 99.0
+    assert not np.allclose(toy.scale.data, 99.0)
+
+
+def test_load_missing_key_rejected(rng):
+    toy = Toy(rng)
+    state = toy.state_dict()
+    del state["scale"]
+    with pytest.raises(KeyError):
+        toy.load_state_dict(state)
+
+
+def test_load_shape_mismatch_rejected(rng):
+    toy = Toy(rng)
+    state = toy.state_dict()
+    state["scale"] = np.ones(5)
+    with pytest.raises(ValueError):
+        toy.load_state_dict(state)
+
+
+def test_register_parameter_explicit(rng):
+    module = Module()
+    module.register_parameter("w", Parameter(np.zeros(3)))
+    assert [name for name, _ in module.named_parameters()] == ["w"]
+
+
+def test_module_list_registration(rng):
+    layers = ModuleList(Linear(2, 2, rng) for _ in range(3))
+    assert len(layers) == 3
+    assert len(list(layers)) == 3
+    parent = Module()
+    parent.stack = layers
+    assert len(parent.parameters()) == 6
+
+
+def test_module_list_getitem(rng):
+    layers = ModuleList([Linear(2, 2, rng)])
+    assert isinstance(layers[0], Linear)
+
+
+def test_module_list_forward_rejected(rng):
+    with pytest.raises(RuntimeError):
+        ModuleList([Linear(2, 2, rng)])(None)
+
+
+def test_forward_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Module()(1)

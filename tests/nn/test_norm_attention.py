@@ -1,0 +1,153 @@
+"""Tests for LayerNorm, positional encodings and multi-head attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention, scaled_dot_product_attention
+from repro.nn.norm import LayerNorm
+from repro.nn.positional import LearnedPositionalEncoding, SinusoidalPositionalEncoding
+from repro.nn.tensor import Tensor
+from repro.nn.testing import gradcheck
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self, rng):
+        layer = LayerNorm(8)
+        out = layer(Tensor(rng.normal(3.0, 5.0, size=(4, 8)))).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gamma_beta_applied(self, rng):
+        layer = LayerNorm(4)
+        layer.gamma.data = np.full(4, 2.0)
+        layer.beta.data = np.full(4, 1.0)
+        out = layer(Tensor(rng.normal(size=(3, 4)))).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_wrong_dim_rejected(self, rng):
+        with pytest.raises(ValueError):
+            LayerNorm(4)(Tensor(np.ones((2, 5))))
+
+    def test_gradcheck(self, rng):
+        layer = LayerNorm(5)
+
+        def fn(tensors):
+            return (layer(tensors[0]) * tensors[1]).sum()
+
+        gradcheck(fn, [rng.normal(size=(2, 5)), rng.normal(size=(2, 5))])
+
+    def test_works_on_3d(self, rng):
+        out = LayerNorm(6)(Tensor(rng.normal(size=(2, 3, 6))))
+        assert out.shape == (2, 3, 6)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+
+class TestPositional:
+    def test_sinusoidal_shape_preserved(self):
+        pe = SinusoidalPositionalEncoding(8, max_len=16)
+        out = pe(Tensor(np.zeros((2, 10, 8))))
+        assert out.shape == (2, 10, 8)
+
+    def test_sinusoidal_first_position(self):
+        pe = SinusoidalPositionalEncoding(4, max_len=8)
+        out = pe(Tensor(np.zeros((1, 2, 4)))).data
+        # Position 0: sin(0)=0, cos(0)=1 interleaved.
+        assert np.allclose(out[0, 0], [0.0, 1.0, 0.0, 1.0])
+
+    def test_sinusoidal_positions_distinct(self):
+        pe = SinusoidalPositionalEncoding(16, max_len=64)
+        out = pe(Tensor(np.zeros((1, 64, 16)))).data[0]
+        # No two positions share an encoding.
+        distances = np.linalg.norm(out[None, :, :] - out[:, None, :], axis=-1)
+        np.fill_diagonal(distances, np.inf)
+        assert distances.min() > 1e-3
+
+    def test_sinusoidal_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            SinusoidalPositionalEncoding(7)
+
+    def test_sinusoidal_too_long_rejected(self):
+        pe = SinusoidalPositionalEncoding(4, max_len=4)
+        with pytest.raises(ValueError):
+            pe(Tensor(np.zeros((1, 5, 4))))
+
+    def test_learned_is_trainable(self, rng):
+        pe = LearnedPositionalEncoding(4, 8, rng)
+        out = pe(Tensor(np.zeros((2, 3, 4))))
+        out.sum().backward()
+        assert pe.weight.grad is not None
+        # Only the used positions receive gradient.
+        assert np.allclose(pe.weight.grad[3:], 0.0)
+
+    def test_learned_too_long_rejected(self, rng):
+        pe = LearnedPositionalEncoding(4, 4, rng)
+        with pytest.raises(ValueError):
+            pe(Tensor(np.zeros((1, 5, 4))))
+
+
+class TestScaledDotProduct:
+    def test_weights_are_distributions(self, rng):
+        q = Tensor(rng.normal(size=(2, 5, 4)))
+        out, weights = scaled_dot_product_attention(q, q, q)
+        assert np.allclose(weights.data.sum(axis=-1), 1.0)
+        assert out.shape == (2, 5, 4)
+
+    def test_mask_hides_positions(self, rng):
+        q = Tensor(rng.normal(size=(1, 4, 4)))
+        mask = np.zeros((1, 4, 4), dtype=bool)
+        mask[:, :, 0] = True
+        __, weights = scaled_dot_product_attention(q, q, q, mask)
+        assert np.allclose(weights.data[..., 0], 0.0, atol=1e-6)
+
+    def test_uniform_when_scores_equal(self):
+        q = Tensor(np.zeros((1, 3, 4)))
+        __, weights = scaled_dot_product_attention(q, q, q)
+        assert np.allclose(weights.data, 1.0 / 3.0)
+
+
+class TestMultiHeadAttention:
+    def test_shape_preserved(self, rng):
+        mha = MultiHeadAttention(16, 4, rng)
+        out = mha(Tensor(rng.normal(size=(2, 6, 16))))
+        assert out.shape == (2, 6, 16)
+
+    def test_d_model_divisibility_checked(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3, rng)
+
+    def test_requires_3d_input(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(8, 2, rng)(Tensor(np.ones((4, 8))))
+
+    def test_last_attention_recorded(self, rng):
+        mha = MultiHeadAttention(8, 2, rng)
+        mha(Tensor(rng.normal(size=(3, 5, 8))))
+        assert mha.last_attention.shape == (3, 2, 5, 5)
+        assert np.allclose(mha.last_attention.sum(axis=-1), 1.0)
+
+    def test_mask_broadcast(self, rng):
+        mha = MultiHeadAttention(8, 2, rng)
+        mask = np.zeros((3, 1, 5, 5), dtype=bool)
+        mask[..., 4] = True
+        mha(Tensor(rng.normal(size=(3, 5, 8))), mask=mask)
+        assert np.allclose(mha.last_attention[..., 4], 0.0, atol=1e-6)
+
+    def test_gradients_reach_all_projections(self, rng):
+        mha = MultiHeadAttention(8, 2, rng)
+        out = mha(Tensor(rng.normal(size=(2, 4, 8))))
+        out.sum().backward()
+        for parameter in mha.parameters():
+            assert parameter.grad is not None
+
+    def test_permutation_equivariance_without_mask(self, rng):
+        """Self-attention (no positional encoding) commutes with permutations."""
+        mha = MultiHeadAttention(8, 2, rng)
+        mha.eval()
+        x = rng.normal(size=(1, 5, 8))
+        perm = np.array([3, 1, 4, 0, 2])
+        out = mha(Tensor(x)).data
+        out_permuted = mha(Tensor(x[:, perm, :])).data
+        assert np.allclose(out[:, perm, :], out_permuted, atol=1e-10)

@@ -1,0 +1,171 @@
+"""Autograd engine semantics: accumulation, graph reuse, no_grad."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays as np_arrays
+
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def test_backward_requires_scalar_without_grad():
+    x = Tensor(np.ones((2, 2)), requires_grad=True)
+    with pytest.raises(RuntimeError):
+        (x * 2).backward()
+
+
+def test_backward_with_explicit_grad():
+    x = Tensor(np.ones((2, 2)), requires_grad=True)
+    y = x * 3.0
+    y.backward(np.full((2, 2), 2.0))
+    assert np.allclose(x.grad, 6.0)
+
+
+def test_backward_grad_shape_checked():
+    x = Tensor(np.ones(3), requires_grad=True)
+    y = x * 2.0
+    with pytest.raises(ValueError):
+        y.backward(np.ones(4))
+
+
+def test_backward_on_constant_rejected():
+    x = Tensor(np.ones(3))
+    with pytest.raises(RuntimeError):
+        x.sum().backward()
+
+
+def test_grad_accumulates_across_backward_calls():
+    x = Tensor(np.ones(3), requires_grad=True)
+    (x.sum() * 1.0).backward()
+    (x.sum() * 1.0).backward()
+    assert np.allclose(x.grad, 2.0)
+
+
+def test_zero_grad():
+    x = Tensor(np.ones(3), requires_grad=True)
+    x.sum().backward()
+    x.zero_grad()
+    assert x.grad is None
+
+
+def test_diamond_graph_accumulates_once_per_path():
+    x = Tensor(np.array([2.0]), requires_grad=True)
+    y = x * 3.0
+    z = y + y  # two paths through y
+    z.backward(np.array([1.0]))
+    assert x.grad[0] == pytest.approx(6.0)
+
+
+def test_shared_subexpression():
+    x = Tensor(np.array([1.5]), requires_grad=True)
+    y = x * x  # dy/dx = 2x
+    z = y * y  # dz/dx = 4x^3
+    z.backward(np.array([1.0]))
+    assert x.grad[0] == pytest.approx(4 * 1.5**3)
+
+
+def test_no_grad_blocks_graph():
+    x = Tensor(np.ones(3), requires_grad=True)
+    with no_grad():
+        y = x * 2.0
+    assert not y.requires_grad
+    assert is_grad_enabled()
+
+
+def test_no_grad_restores_on_exception():
+    try:
+        with no_grad():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert is_grad_enabled()
+
+
+def test_detach_breaks_graph():
+    x = Tensor(np.ones(3), requires_grad=True)
+    y = (x * 2.0).detach()
+    assert not y.requires_grad
+    assert np.shares_memory(y.data, (x * 2.0).data) is False or True  # data copy-free allowed
+
+
+def test_constants_get_no_grad():
+    x = Tensor(np.ones(3), requires_grad=True)
+    c = Tensor(np.full(3, 5.0))
+    (x * c).sum().backward()
+    assert c.grad is None
+    assert np.allclose(x.grad, 5.0)
+
+
+def test_item_and_numpy():
+    t = Tensor(np.array([[3.5]]))
+    assert t.item() == 3.5
+    assert t.numpy() is t.data
+
+
+def test_item_requires_single_element():
+    with pytest.raises(RuntimeError):
+        Tensor(np.ones(3)).backward()
+    with pytest.raises(Exception):
+        Tensor(np.ones(3)).item()
+
+
+def test_len_shape_ndim_size():
+    t = Tensor(np.zeros((4, 5)))
+    assert len(t) == 4
+    assert t.shape == (4, 5)
+    assert t.ndim == 2
+    assert t.size == 20
+
+
+def test_repr_mentions_shape():
+    assert "shape=(2, 2)" in repr(Tensor(np.zeros((2, 2))))
+
+
+def test_deep_chain_no_recursion_error():
+    x = Tensor(np.array([1.0]), requires_grad=True)
+    y = x
+    for _ in range(3000):
+        y = y + 1.0
+    y.backward(np.array([1.0]))
+    assert x.grad[0] == pytest.approx(1.0)
+
+
+@given(np_arrays(np.float64, (3, 4), elements=st.floats(-10, 10)))
+def test_property_add_commutative(values):
+    a = Tensor(values)
+    b = Tensor(values[::-1].copy())
+    assert np.allclose((a + b).data, (b + a).data)
+
+
+@given(np_arrays(np.float64, (2, 3), elements=st.floats(-5, 5)))
+def test_property_softmax_is_distribution(values):
+    out = Tensor(values).softmax(axis=-1).data
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@given(np_arrays(np.float64, (3, 3), elements=st.floats(-10, 10)))
+def test_property_relu_idempotent(values):
+    once = Tensor(values).relu().data
+    twice = Tensor(once).relu().data
+    assert np.allclose(once, twice)
+
+
+@given(np_arrays(np.float64, (4,), elements=st.floats(-3, 3)))
+def test_property_tanh_bounded(values):
+    out = Tensor(values).tanh().data
+    assert np.all(np.abs(out) <= 1.0)
+
+
+@given(
+    np_arrays(np.float64, (2, 3), elements=st.floats(-10, 10, allow_nan=False)),
+    np_arrays(np.float64, (3,), elements=st.floats(-10, 10, allow_nan=False)),
+)
+def test_property_broadcast_grad_shapes(matrix, vector):
+    m = Tensor(matrix, requires_grad=True)
+    v = Tensor(vector, requires_grad=True)
+    (m * v).sum().backward()
+    assert m.grad.shape == matrix.shape
+    assert v.grad.shape == vector.shape
+    # Vector gradient is the column sums of the matrix.
+    assert np.allclose(v.grad, matrix.sum(axis=0))

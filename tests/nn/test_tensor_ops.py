@@ -1,0 +1,243 @@
+"""Finite-difference gradient checks for every autograd operator."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concat, stack
+from repro.nn.testing import gradcheck
+
+
+@pytest.fixture
+def arrays(rng):
+    return {
+        "a": rng.normal(size=(3, 4)),
+        "b": rng.normal(size=(3, 4)),
+        "v": rng.normal(size=(4,)),
+        "m": rng.normal(size=(4, 5)),
+        "pos": np.abs(rng.normal(size=(3, 4))) + 0.5,
+        "batched": rng.normal(size=(2, 3, 4)),
+    }
+
+
+class TestArithmetic:
+    def test_add(self, arrays):
+        gradcheck(lambda t: (t[0] + t[1]).sum(), [arrays["a"], arrays["b"]])
+
+    def test_add_broadcast_row(self, arrays):
+        gradcheck(lambda t: (t[0] + t[1]).sum(), [arrays["a"], arrays["v"]])
+
+    def test_add_broadcast_scalar(self, arrays):
+        gradcheck(lambda t: (t[0] + t[1]).sum(), [arrays["a"], np.array(2.0)])
+
+    def test_sub(self, arrays):
+        gradcheck(lambda t: (t[0] - t[1]).sum(), [arrays["a"], arrays["b"]])
+
+    def test_rsub(self, arrays):
+        gradcheck(lambda t: (3.0 - t[0]).sum(), [arrays["a"]])
+
+    def test_mul(self, arrays):
+        gradcheck(lambda t: (t[0] * t[1]).sum(), [arrays["a"], arrays["b"]])
+
+    def test_mul_broadcast(self, arrays):
+        gradcheck(lambda t: (t[0] * t[1]).sum(), [arrays["batched"], arrays["v"]])
+
+    def test_div(self, arrays):
+        gradcheck(lambda t: (t[0] / t[1]).sum(), [arrays["a"], arrays["pos"]])
+
+    def test_rdiv(self, arrays):
+        gradcheck(lambda t: (1.0 / t[0]).sum(), [arrays["pos"]])
+
+    def test_neg(self, arrays):
+        gradcheck(lambda t: (-t[0]).sum(), [arrays["a"]])
+
+    def test_pow(self, arrays):
+        gradcheck(lambda t: (t[0] ** 3).sum(), [arrays["a"]])
+
+    def test_pow_fractional(self, arrays):
+        gradcheck(lambda t: (t[0] ** 0.5).sum(), [arrays["pos"]])
+
+    def test_pow_non_scalar_rejected(self, arrays):
+        with pytest.raises(TypeError):
+            Tensor(arrays["a"]) ** Tensor(arrays["b"])
+
+
+class TestMatmul:
+    def test_2d(self, arrays):
+        gradcheck(lambda t: (t[0] @ t[1]).sum(), [arrays["a"], arrays["m"]])
+
+    def test_batched_times_2d(self, arrays):
+        gradcheck(lambda t: (t[0] @ t[1]).sum(), [arrays["batched"], arrays["m"]])
+
+    def test_batched_times_batched(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(2, 4, 5))
+        gradcheck(lambda t: (t[0] @ t[1]).sum(), [a, b])
+
+    def test_broadcast_leading_dims(self, rng):
+        a = rng.normal(size=(2, 2, 3, 4))
+        b = rng.normal(size=(4, 5))
+        gradcheck(lambda t: (t[0] @ t[1]).sum(), [a, b])
+
+    def test_vector_vector(self, rng):
+        a, b = rng.normal(size=4), rng.normal(size=4)
+        gradcheck(lambda t: t[0] @ t[1], [a, b])
+
+    def test_matrix_vector(self, rng):
+        a = rng.normal(size=(3, 4))
+        v = rng.normal(size=4)
+        gradcheck(lambda t: (t[0] @ t[1]).sum(), [a, v])
+
+    def test_rmatmul_ndarray(self, rng):
+        w = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        x = rng.normal(size=(3, 4))
+        out = x @ w
+        assert isinstance(out, Tensor)
+        out.sum().backward()
+        assert w.grad is not None
+
+
+class TestReductions:
+    def test_sum_all(self, arrays):
+        gradcheck(lambda t: t[0].sum(), [arrays["a"]])
+
+    def test_sum_axis(self, arrays):
+        gradcheck(lambda t: t[0].sum(axis=0).sum(), [arrays["a"]])
+
+    def test_sum_axis_keepdims(self, arrays):
+        gradcheck(lambda t: t[0].sum(axis=1, keepdims=True).sum(), [arrays["a"]])
+
+    def test_sum_multiple_axes(self, arrays):
+        gradcheck(lambda t: t[0].sum(axis=(0, 2)).sum(), [arrays["batched"]])
+
+    def test_mean_all(self, arrays):
+        gradcheck(lambda t: t[0].mean(), [arrays["a"]])
+
+    def test_mean_axis(self, arrays):
+        gradcheck(lambda t: t[0].mean(axis=-1).sum(), [arrays["batched"]])
+
+    def test_var(self, arrays):
+        gradcheck(lambda t: t[0].var(axis=-1).sum(), [arrays["a"]])
+
+    def test_max_all(self, rng):
+        # Unique values keep max differentiable.
+        values = rng.permutation(12).astype(float).reshape(3, 4)
+        gradcheck(lambda t: t[0].max(), [values])
+
+    def test_max_axis(self, rng):
+        values = rng.permutation(12).astype(float).reshape(3, 4)
+        gradcheck(lambda t: t[0].max(axis=1).sum(), [values])
+
+
+class TestShape:
+    def test_reshape(self, arrays):
+        gradcheck(lambda t: t[0].reshape(4, 3).sum(axis=0).max(), [arrays["a"]])
+
+    def test_reshape_tuple_argument(self, arrays):
+        gradcheck(lambda t: t[0].reshape((12,)).sum(), [arrays["a"]])
+
+    def test_transpose_default(self, arrays):
+        gradcheck(lambda t: (t[0].transpose() * t[0].transpose()).sum(), [arrays["a"]])
+
+    def test_transpose_axes(self, arrays):
+        gradcheck(lambda t: t[0].transpose(1, 0, 2).sum(axis=0).max(), [arrays["batched"]])
+
+    def test_swapaxes(self, arrays):
+        gradcheck(lambda t: t[0].swapaxes(-1, -2).sum(axis=0).max(), [arrays["batched"]])
+
+    def test_getitem_slice(self, arrays):
+        gradcheck(lambda t: t[0][:, 1:3].sum(), [arrays["a"]])
+
+    def test_getitem_int(self, arrays):
+        gradcheck(lambda t: t[0][1].sum(), [arrays["a"]])
+
+    def test_getitem_repeated_rows_accumulate(self, rng):
+        table = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        out = table.take_rows(np.array([0, 0, 2]))
+        out.sum().backward()
+        assert table.grad[0, 0] == pytest.approx(2.0)
+        assert table.grad[2, 0] == pytest.approx(1.0)
+        assert table.grad[1, 0] == pytest.approx(0.0)
+
+    def test_take_rows_gradcheck(self, rng):
+        indices = np.array([[0, 1], [2, 0]])
+        gradcheck(lambda t: t[0].take_rows(indices).sum(axis=(0, 1)).max(), [rng.normal(size=(3, 4))])
+
+    def test_take_rows_requires_2d(self, arrays):
+        with pytest.raises(ValueError):
+            Tensor(arrays["batched"]).take_rows(np.array([0]))
+
+    def test_concat(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+        gradcheck(lambda t: concat([t[0], t[1]], axis=0).sum(axis=1).max(), [a, b])
+
+    def test_concat_axis1(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 5))
+        gradcheck(lambda t: concat([t[0], t[1]], axis=1).sum(), [a, b])
+
+    def test_stack(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        gradcheck(lambda t: stack([t[0], t[1]], axis=0).sum(axis=(1, 2)).max(), [a, b])
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat([])
+
+
+class TestNonlinearities:
+    def test_exp(self, arrays):
+        gradcheck(lambda t: t[0].exp().sum(), [arrays["a"]])
+
+    def test_log(self, arrays):
+        gradcheck(lambda t: t[0].log().sum(), [arrays["pos"]])
+
+    def test_sqrt(self, arrays):
+        gradcheck(lambda t: t[0].sqrt().sum(), [arrays["pos"]])
+
+    def test_tanh(self, arrays):
+        gradcheck(lambda t: t[0].tanh().sum(), [arrays["a"]])
+
+    def test_sigmoid(self, arrays):
+        gradcheck(lambda t: t[0].sigmoid().sum(), [arrays["a"]])
+
+    def test_relu(self, arrays):
+        # Shift away from the kink for numerical stability.
+        gradcheck(lambda t: (t[0] + 0.1).relu().sum(), [arrays["pos"]])
+
+    def test_gelu(self, arrays):
+        gradcheck(lambda t: t[0].gelu().sum(), [arrays["a"]], atol=1e-5)
+
+    def test_abs(self, arrays):
+        gradcheck(lambda t: t[0].abs().sum(), [arrays["pos"]])
+
+    def test_softmax(self, arrays):
+        gradcheck(lambda t: (t[0].softmax(axis=-1) * t[1]).sum(), [arrays["a"], arrays["b"]])
+
+    def test_softmax_rows_sum_to_one(self, arrays):
+        out = Tensor(arrays["a"]).softmax(axis=-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_masked_fill(self, arrays):
+        mask = arrays["a"] > 0
+        gradcheck(lambda t: t[0].masked_fill(mask, -5.0).sum(), [arrays["a"]])
+
+    def test_masked_fill_values(self, arrays):
+        mask = np.ones_like(arrays["a"], dtype=bool)
+        out = Tensor(arrays["a"]).masked_fill(mask, 7.0)
+        assert np.all(out.data == 7.0)
+
+    def test_dropout_train_scaling(self, rng):
+        x = Tensor(np.ones((1000,)), requires_grad=True)
+        out = x.dropout(0.5, rng)
+        kept = out.data != 0
+        assert np.allclose(out.data[kept], 2.0)  # inverted dropout
+        out.sum().backward()
+        assert np.allclose(x.grad[kept], 2.0)
+        assert np.allclose(x.grad[~kept], 0.0)
+
+    def test_dropout_zero_rate_identity(self, rng):
+        x = Tensor(np.ones(10))
+        assert x.dropout(0.0, rng) is x
+
+    def test_dropout_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(4)).dropout(1.0, rng)

@@ -1,0 +1,78 @@
+"""Tests for transformer encoder blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import TransformerEncoder, TransformerEncoderLayer
+
+
+def test_layer_preserves_shape(rng):
+    layer = TransformerEncoderLayer(16, 4, 32, rng)
+    out = layer(Tensor(rng.normal(size=(2, 7, 16))))
+    assert out.shape == (2, 7, 16)
+
+
+def test_encoder_preserves_shape(rng):
+    encoder = TransformerEncoder(3, 16, 4, 32, rng)
+    out = encoder(Tensor(rng.normal(size=(2, 7, 16))))
+    assert out.shape == (2, 7, 16)
+
+
+def test_residual_path_exists(rng):
+    """With zeroed branch outputs the block must be the identity."""
+    layer = TransformerEncoderLayer(8, 2, 16, rng, dropout=0.0)
+    layer.eval()
+    # Zero the output projections of both branches.
+    layer.attention.w_out.weight.data[:] = 0.0
+    layer.attention.w_out.bias.data[:] = 0.0
+    layer.feed_forward[2].weight.data[:] = 0.0
+    layer.feed_forward[2].bias.data[:] = 0.0
+    x = rng.normal(size=(1, 4, 8))
+    out = layer(Tensor(x)).data
+    assert np.allclose(out, x)
+
+
+def test_gradients_flow_to_input_and_parameters(rng):
+    encoder = TransformerEncoder(2, 8, 2, 16, rng)
+    x = Tensor(rng.normal(size=(2, 5, 8)), requires_grad=True)
+    encoder(x).sum().backward()
+    assert x.grad is not None
+    missing = [n for n, p in encoder.named_parameters() if p.grad is None]
+    assert not missing
+
+
+def test_dropout_only_in_training(rng):
+    encoder = TransformerEncoder(1, 8, 2, 16, rng, dropout=0.5)
+    x = Tensor(rng.normal(size=(1, 4, 8)))
+    encoder.eval()
+    a = encoder(x).data
+    b = encoder(x).data
+    assert np.allclose(a, b)  # deterministic in eval
+    encoder.train()
+    c = encoder(x).data
+    d = encoder(x).data
+    assert not np.allclose(c, d)  # stochastic in train
+
+
+def test_invalid_layer_count(rng):
+    with pytest.raises(ValueError):
+        TransformerEncoder(0, 8, 2, 16, rng)
+
+
+def test_mask_propagates_to_all_layers(rng):
+    encoder = TransformerEncoder(2, 8, 2, 16, rng)
+    encoder.eval()
+    x = rng.normal(size=(1, 6, 8))
+    mask = np.zeros((1, 1, 6, 6), dtype=bool)
+    mask[..., 5] = True
+    encoder(Tensor(x), mask=mask)
+    for layer in encoder.layers:
+        assert np.allclose(layer.attention.last_attention[..., 5], 0.0, atol=1e-6)
+
+
+def test_parameter_count_scales_with_layers(rng):
+    one = TransformerEncoder(1, 8, 2, 16, rng).num_parameters()
+    two = TransformerEncoder(2, 8, 2, 16, rng).num_parameters()
+    final_norm = 2 * 8
+    assert two - final_norm == 2 * (one - final_norm)

@@ -1,0 +1,71 @@
+"""Tests for attention inspection and report helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.attention import attention_summary
+from repro.analysis.reports import dataset_report, trace_report
+from repro.core.model import NTT, NTTConfig
+
+
+class TestAttentionSummary:
+    @pytest.fixture
+    def model_and_batch(self, rng):
+        config = NTTConfig.smoke()
+        model = NTT(config)
+        window = config.aggregation.seq_len
+        features = rng.normal(size=(4, window, 3))
+        receiver = rng.integers(0, 4, size=(4, window))
+        return model, features, receiver
+
+    def test_levels_match_spec(self, model_and_batch):
+        model, features, receiver = model_and_batch
+        summary = attention_summary(model, features, receiver)
+        assert len(summary.level_labels) == len(model.config.aggregation.levels)
+        assert summary.level_attention.shape == (len(summary.level_labels),)
+
+    def test_attention_mass_normalised(self, model_and_batch):
+        model, features, receiver = model_and_batch
+        summary = attention_summary(model, features, receiver)
+        assert summary.level_attention.sum() == pytest.approx(1.0, abs=1e-6)
+        assert summary.per_element.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(summary.per_element >= 0)
+
+    def test_per_element_length(self, model_and_batch):
+        model, features, receiver = model_and_batch
+        summary = attention_summary(model, features, receiver)
+        assert summary.per_element.shape == (model.config.aggregation.out_len,)
+
+    def test_most_attended_level(self, model_and_batch):
+        model, features, receiver = model_and_batch
+        summary = attention_summary(model, features, receiver)
+        assert summary.most_attended_level() in summary.level_labels
+
+    def test_format_is_readable(self, model_and_batch):
+        model, features, receiver = model_and_batch
+        text = attention_summary(model, features, receiver).format()
+        assert "attention" in text
+        assert "%" in text
+
+
+class TestReports:
+    def test_trace_report_content(self, smoke_trace):
+        text = trace_report(smoke_trace, name="pretrain")
+        assert "pretrain" in text
+        assert "delays (ms)" in text
+        assert "MCT (ms)" in text
+
+    def test_trace_report_multiple_receivers(self, smoke_case2_trace):
+        text = trace_report(smoke_case2_trace)
+        assert "per-receiver mean delay" in text
+
+    def test_trace_report_empty(self):
+        from repro.netsim.trace import TraceCollector
+
+        assert "empty" in trace_report(TraceCollector().finalize())
+
+    def test_dataset_report_content(self, smoke_bundle):
+        text = dataset_report(smoke_bundle)
+        assert "pretrain-smoke" in text
+        assert "windows" in text
+        assert "splits" in text

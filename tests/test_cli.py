@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scenario == "pretrain"
+        assert args.scale == "smoke"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scenario", "bogus"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args(["--version"])
+        assert exit_info.value.code == 0
+
+
+class TestCommands:
+    def test_simulate_prints_report(self, capsys):
+        assert main(["simulate", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "delays (ms)" in out
+
+    def test_simulate_saves_trace(self, tmp_path, capsys):
+        output = tmp_path / "trace.npz"
+        assert main(["simulate", "--scale", "smoke", "--output", str(output)]) == 0
+        assert output.exists()
+        from repro.netsim.trace import Trace
+
+        assert len(Trace.load(output)) > 0
+
+    def test_report_prints_dataset(self, capsys):
+        assert main(["report", "--scale", "smoke"]) == 0
+        assert "windows" in capsys.readouterr().out
+
+    def test_pretrain_then_evaluate_roundtrip(self, tmp_path, capsys):
+        checkpoint = tmp_path / "model.npz"
+        assert main([
+            "pretrain", "--scale", "smoke", "--epochs", "1", "--output", str(checkpoint),
+        ]) == 0
+        assert checkpoint.exists()
+        assert main([
+            "evaluate", str(checkpoint), "--scale", "smoke", "--scenario", "case1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint delay MSE" in out
+        assert "baseline last_observed" in out

@@ -1,0 +1,85 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Examples default to the ``smoke`` scale so these stay fast; each test
+asserts on the script's stdout to ensure it produced its story, not just
+an exit code.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "pretrain_finetune.py",
+        "mct_prediction.py",
+        "larger_topology.py",
+        "ablation_study.py",
+        "federated_pretraining.py",
+        "continual_monitoring.py",
+    } <= names
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Pre-training the NTT" in out
+    assert "NTT (pre-trained)" in out
+    assert "predicted" in out
+
+
+def test_pretrain_finetune():
+    out = run_example("pretrain_finetune.py")
+    assert "Fine-tuning the pre-trained model" in out
+    assert "from scratch" in out
+    assert "Verdict" in out
+
+
+def test_mct_prediction():
+    out = run_example("mct_prediction.py")
+    assert "NEW task" in out
+    assert "log-MSE" in out
+    assert "actual" in out
+
+
+def test_larger_topology():
+    out = run_example("larger_topology.py")
+    assert "per-receiver delay structure" in out
+    assert "without addressing" in out
+
+
+def test_ablation_study():
+    out = run_example("ablation_study.py")
+    assert "without delay" in out
+    assert "full NTT" in out
+
+
+def test_federated_pretraining():
+    out = run_example("federated_pretraining.py", "--rounds", "1", "--clients", "2")
+    assert "FedAvg" in out
+    assert "global test MSE" in out
+
+
+def test_continual_monitoring():
+    out = run_example("continual_monitoring.py")
+    assert "drifted=" in out
+    assert "attention" in out

@@ -1,0 +1,111 @@
+"""Cross-module integration and invariant tests.
+
+These exercise whole paths through the stack: simulator physics,
+deterministic dataset generation, and the end-to-end training loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generation import generate_dataset
+from repro.datasets.windows import WindowConfig
+from repro.netsim.core import Simulator
+from repro.netsim.scenarios import ScenarioConfig, ScenarioKind
+from repro.netsim.topology import Network
+from repro.netsim.units import mbps, milliseconds, serialization_delay
+from repro.netsim.packet import Packet
+
+
+class TestDelayDecomposition:
+    """End-to-end delay must equal serialization + propagation (+ queueing)."""
+
+    def test_uncongested_path_delay_exact(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b, c = net.add_node(), net.add_node(), net.add_node()
+        net.add_link(a, b, mbps(10), milliseconds(2), 100)
+        net.add_link(b, c, mbps(20), milliseconds(3), 100)
+        net.compute_routes()
+        received = []
+        c.default_handler = lambda packet: received.append(sim.now - packet.send_time)
+        a.send(Packet(src=0, dst=2, size=1200))
+        sim.run()
+        expected = (
+            serialization_delay(1200, mbps(10))
+            + milliseconds(2)
+            + serialization_delay(1200, mbps(20))
+            + milliseconds(3)
+        )
+        assert received[0] == pytest.approx(expected, rel=1e-12)
+
+    def test_queueing_adds_exactly_service_times(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = net.add_node(), net.add_node()
+        net.add_link(a, b, mbps(12), milliseconds(1), 100)
+        net.compute_routes()
+        received = []
+        b.default_handler = lambda packet: received.append(sim.now - packet.send_time)
+        for __ in range(4):
+            a.send(Packet(src=0, dst=1, size=1500))
+        sim.run()
+        service = serialization_delay(1500, mbps(12))
+        for position, delay in enumerate(received):
+            expected = (position + 1) * service + milliseconds(1)
+            assert delay == pytest.approx(expected, rel=1e-12)
+
+
+class TestDeterminism:
+    def test_dataset_generation_bitwise_reproducible(self):
+        config = ScenarioConfig.smoke(ScenarioKind.CASE1, seed=21)
+        window = WindowConfig(window_len=64, stride=8)
+        a = generate_dataset(config, window_config=window, n_runs=1)
+        b = generate_dataset(config, window_config=window, n_runs=1)
+        assert np.array_equal(a.train.features, b.train.features)
+        assert np.array_equal(a.train.delay_target, b.train.delay_target)
+        assert np.array_equal(a.test.mct_target, b.test.mct_target, equal_nan=True)
+
+    def test_model_training_reproducible(self, smoke_bundle):
+        from repro.core.model import NTTConfig
+        from repro.core.pretrain import TrainSettings, pretrain
+
+        settings = TrainSettings(epochs=1, batch_size=32, patience=None, seed=3)
+        a = pretrain(NTTConfig.smoke(), smoke_bundle, settings=settings)
+        b = pretrain(NTTConfig.smoke(), smoke_bundle, settings=settings)
+        assert a.test_mse_seconds2 == pytest.approx(b.test_mse_seconds2, rel=1e-12)
+        for (name_a, val_a), (name_b, val_b) in zip(
+            a.model.state_dict().items(), b.model.state_dict().items()
+        ):
+            assert name_a == name_b
+            assert np.allclose(val_a, val_b)
+
+
+class TestEndToEndLearning:
+    def test_pretraining_beats_predicting_the_mean(self, smoke_bundle):
+        """Even a briefly trained NTT must beat the trivial mean
+        predictor, i.e. achieve MSE below the target variance."""
+        from repro.core.model import NTTConfig
+        from repro.core.pretrain import TrainSettings, pretrain
+
+        settings = TrainSettings(epochs=6, batch_size=32, lr=1e-3, patience=None)
+        result = pretrain(NTTConfig.smoke(), smoke_bundle, settings=settings)
+        target_variance = float(np.var(smoke_bundle.test.delay_target))
+        assert result.test_mse_seconds2 < target_variance
+
+    def test_checkpoint_roundtrip_preserves_predictions(self, smoke_bundle, tmp_path):
+        from repro.core.evaluation import predict_delay
+        from repro.core.model import NTTConfig, NTTForDelay
+        from repro.core.pretrain import TrainSettings, pretrain
+        from repro.nn.serialize import load_checkpoint, save_checkpoint
+
+        settings = TrainSettings(epochs=1, batch_size=32, patience=None)
+        result = pretrain(NTTConfig.smoke(), smoke_bundle, settings=settings)
+        path = tmp_path / "ntt.npz"
+        save_checkpoint(result.model, path, metadata={"scale": "smoke"})
+        clone = NTTForDelay(NTTConfig.smoke())
+        metadata = load_checkpoint(clone, path)
+        assert metadata["scale"] == "smoke"
+        sample = smoke_bundle.test.subset(np.arange(min(32, len(smoke_bundle.test))))
+        original = predict_delay(result.model, result.pipeline, sample)
+        restored = predict_delay(clone, result.pipeline, sample)
+        assert np.allclose(original, restored)

@@ -1,0 +1,99 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import OnlineStats, ewma, percentile_summary
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        stats = OnlineStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.std == 0.0
+
+    def test_single_value(self):
+        stats = OnlineStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.min == 5.0 and stats.max == 5.0
+
+    def test_matches_numpy(self, rng):
+        values = rng.normal(10.0, 3.0, size=500)
+        stats = OnlineStats()
+        stats.extend(values)
+        assert stats.count == 500
+        assert stats.mean == pytest.approx(values.mean(), rel=1e-12)
+        assert stats.variance == pytest.approx(values.var(), rel=1e-9)
+        assert stats.min == values.min()
+        assert stats.max == values.max()
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60))
+    def test_property_mean_within_bounds(self, values):
+        stats = OnlineStats()
+        stats.extend(values)
+        assert stats.min - 1e-9 <= stats.mean <= stats.max + 1e-9
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=50))
+    def test_property_variance_non_negative(self, values):
+        stats = OnlineStats()
+        stats.extend(values)
+        assert stats.variance >= -1e-12
+
+    def test_repr_contains_fields(self):
+        stats = OnlineStats()
+        stats.add(1.0)
+        assert "count=1" in repr(stats)
+
+
+class TestEwma:
+    def test_first_value_passthrough(self):
+        out = ewma([3.0, 4.0, 5.0], alpha=0.5)
+        assert out[0] == 3.0
+
+    def test_alpha_one_copies_input(self):
+        values = np.array([1.0, 7.0, -2.0])
+        assert np.array_equal(ewma(values, alpha=1.0), values)
+
+    def test_recurrence(self):
+        out = ewma([1.0, 2.0, 3.0], alpha=0.1)
+        assert out[1] == pytest.approx(0.1 * 2.0 + 0.9 * 1.0)
+        assert out[2] == pytest.approx(0.1 * 3.0 + 0.9 * out[1])
+
+    def test_constant_input_is_fixed_point(self):
+        out = ewma(np.full(100, 4.2), alpha=0.01)
+        assert np.allclose(out, 4.2)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ewma([1.0], alpha=0.0)
+        with pytest.raises(ValueError):
+            ewma([1.0], alpha=1.5)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            ewma(np.zeros((2, 2)), alpha=0.5)
+
+    def test_empty_input(self):
+        assert ewma([], alpha=0.5).size == 0
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=40),
+           st.floats(0.01, 1.0))
+    def test_property_stays_within_range(self, values, alpha):
+        out = ewma(values, alpha)
+        assert out.min() >= min(values) - 1e-9
+        assert out.max() <= max(values) + 1e-9
+
+
+class TestPercentileSummary:
+    def test_empty(self):
+        summary = percentile_summary([])
+        assert summary.count == 0
+
+    def test_ordering(self, rng):
+        summary = percentile_summary(rng.exponential(1.0, size=2000))
+        assert summary.p50 <= summary.p90 <= summary.p99 <= summary.p999 <= summary.max
+        assert summary.count == 2000
