@@ -1,33 +1,48 @@
 """Shared benchmark fixtures.
 
 The experiment context (datasets + the shared pre-trained NTT) is
-session-scoped: pre-training dominates wall time and all three table
-benchmarks reuse it, exactly as the paper reuses one pre-trained model.
+session-scoped and store-backed through ``repro.api``: pre-training
+dominates wall time, all three table benchmarks reuse it, and repeated
+benchmark sessions are served from the on-disk artifact store exactly as
+the paper reuses one pre-trained model.
 
-Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` (seconds),
-``small`` (default, minutes) or ``paper`` (hours).
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` (seconds; the
+default, so the full suite completes in CI), ``small`` (minutes) or
+``paper`` (hours).  Set ``REPRO_CACHE_DIR`` to relocate the artifact
+store.  Note the store makes repeat sessions measure cache loads, not
+training — set ``REPRO_BENCH_NO_CACHE=1`` when the training-time
+columns themselves are the experiment.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
-from repro.core.pipeline import ExperimentContext, get_scale
+from repro.api import Experiment, ExperimentSpec, get_scale
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
 
 
 @pytest.fixture(scope="session")
 def scale():
-    return get_scale()
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "smoke"))
 
 
 @pytest.fixture(scope="session")
-def context(scale):
-    return ExperimentContext(scale)
+def experiment(scale):
+    spec = ExperimentSpec(scenario="pretrain", scale=scale.name)
+    if os.environ.get("REPRO_BENCH_NO_CACHE"):
+        return Experiment.uncached(spec)
+    return Experiment(spec)
+
+
+@pytest.fixture(scope="session")
+def context(experiment):
+    return experiment.context
 
 
 def save_results(name: str, payload: dict) -> Path:

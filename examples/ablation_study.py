@@ -3,7 +3,9 @@
 
 Pre-trains the ablated variants of §4 — no aggregation, fixed
 aggregation, no packet sizes, no delays — and compares their
-pre-training delay MSE against the full model.
+pre-training delay MSE against the full model.  Each variant's
+checkpoint is content-addressed in the artifact store, so a second run
+of this script costs seconds instead of minutes.
 
 Run::
 
@@ -15,10 +17,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core.features import FeatureSpec
-from repro.core.pipeline import ExperimentContext, get_scale
-from repro.core.pretrain import pretrain
-from repro.netsim.scenarios import ScenarioKind
+from repro.api import Experiment, ExperimentSpec, FeatureSpec
 
 
 def main() -> None:
@@ -26,9 +25,8 @@ def main() -> None:
     parser.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
     args = parser.parse_args()
 
-    scale = get_scale(args.scale)
-    context = ExperimentContext(scale)
-    bundle = context.bundle(ScenarioKind.PRETRAIN)
+    exp = Experiment(ExperimentSpec(scenario="pretrain", scale=args.scale))
+    scale = exp.scale
 
     variants = {
         "full NTT": {},
@@ -42,8 +40,10 @@ def main() -> None:
     print(f"{'variant':22s} {'agg spec':28s} {'params':>8s} {'MSE x1e-3':>10s} {'wall':>6s}")
     results = {}
     for name, overrides in variants.items():
-        config = scale.model_config(**overrides)
-        outcome = pretrain(config, bundle, settings=scale.pretrain_settings)
+        outcome = (
+            exp.pretrained() if not overrides else exp.pretrain_variant(**overrides)
+        )
+        config = outcome.model.config
         results[name] = outcome
         print(
             f"{name:22s} {config.aggregation.describe():28s} "

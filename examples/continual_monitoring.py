@@ -5,7 +5,8 @@ Deploys a pre-trained delay model, monitors it on fresh traffic from the
 same environment (no drift expected), then switches the environment to
 case-1 cross-traffic (drift expected) and watches the Page-Hinkley
 detector fire.  Also demonstrates attention inspection on the deployed
-model.
+model.  Everything flows through the ``repro.api`` facade, so the
+deployment artifacts come from the cache when available.
 
 Run::
 
@@ -19,10 +20,7 @@ import argparse
 
 import numpy as np
 
-from repro.analysis.attention import attention_summary
-from repro.core.pipeline import ExperimentContext, get_scale
-from repro.extensions.continual import DriftMonitor
-from repro.netsim.scenarios import ScenarioKind
+from repro.api import DriftMonitor, Experiment, ExperimentSpec, attention_summary
 
 
 def main() -> None:
@@ -30,12 +28,11 @@ def main() -> None:
     parser.add_argument("--scale", default="smoke", choices=["smoke", "small"])
     args = parser.parse_args()
 
-    scale = get_scale(args.scale)
-    context = ExperimentContext(scale)
+    exp = Experiment(ExperimentSpec(scenario="pretrain", scale=args.scale))
 
     print("== Deploying a pre-trained NTT")
-    pre = context.pretrained()
-    pretrain_bundle = context.bundle(ScenarioKind.PRETRAIN)
+    pre = exp.pretrained()
+    pretrain_bundle = exp.bundle("pretrain")
 
     print("== What does the deployed model attend to?")
     sample = pretrain_bundle.test.subset(np.arange(min(16, len(pretrain_bundle.test))))
@@ -56,7 +53,7 @@ def main() -> None:
     )
 
     print("== Environment changes: cross-traffic appears (case 1)")
-    case1 = context.bundle(ScenarioKind.CASE1)
+    case1 = exp.bundle("case1")
     report = monitor.observe(case1.test)
     print(
         f"   {report.windows_seen} windows, degradation "

@@ -17,12 +17,15 @@ from __future__ import annotations
 import argparse
 from dataclasses import replace
 
-from repro.core.evaluation import evaluate_delay
-from repro.core.features import FeaturePipeline
-from repro.core.pipeline import get_scale
-from repro.datasets.generation import generate_dataset
-from repro.extensions.federated import FederatedTrainer
-from repro.netsim.scenarios import ScenarioKind
+from repro.api import (
+    Experiment,
+    ExperimentSpec,
+    FeaturePipeline,
+    FederatedTrainer,
+    evaluate_delay,
+    generate_dataset,
+    pretrain,
+)
 
 
 def main() -> None:
@@ -32,12 +35,13 @@ def main() -> None:
     parser.add_argument("--rounds", type=int, default=2)
     args = parser.parse_args()
 
-    scale = get_scale(args.scale)
+    exp = Experiment(ExperimentSpec(scenario="pretrain", scale=args.scale))
+    scale = exp.scale
 
     print(f"== Simulating {args.clients} private datasets (never shared)")
     clients = []
     for index in range(args.clients):
-        scenario = replace(scale.scenario(ScenarioKind.PRETRAIN), seed=100 + index)
+        scenario = replace(exp.spec.scenario_config(), seed=100 + index)
         bundle = generate_dataset(
             scenario, window_config=scale.window, n_runs=1, name=f"org-{index}"
         )
@@ -57,15 +61,13 @@ def main() -> None:
 
     print("== Comparing the collective model against a single-org model")
     solo_pipeline = FeaturePipeline().fit(clients[0].train)
-    from repro.core.pretrain import pretrain
-
     solo = pretrain(
         scale.model_config(), clients[0],
         settings=scale.pretrain_settings, pipeline=solo_pipeline,
     )
     # Evaluate both on a fresh, unseen organisation's traffic.
     held_out = generate_dataset(
-        replace(scale.scenario(ScenarioKind.PRETRAIN), seed=999),
+        replace(exp.spec.scenario_config(), seed=999),
         window_config=scale.window, n_runs=1, name="held-out-org",
     )
     federated_mse = evaluate_delay(trainer.global_model, trainer.pipeline, held_out.test)

@@ -16,14 +16,16 @@ Run::
 from __future__ import annotations
 
 import argparse
-import copy
 
 import numpy as np
 
-from repro.core.features import FeatureSpec
-from repro.core.finetune import FinetuneMode, finetune_delay
-from repro.core.pipeline import ExperimentContext, get_scale
-from repro.netsim.scenarios import ScenarioKind, build_scenario
+from repro.api import (
+    Experiment,
+    ExperimentSpec,
+    FeatureSpec,
+    FinetuneMode,
+    finetune_delay,
+)
 
 
 def main() -> None:
@@ -31,12 +33,11 @@ def main() -> None:
     parser.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
     args = parser.parse_args()
 
-    scale = get_scale(args.scale)
-    context = ExperimentContext(scale)
+    exp = Experiment(ExperimentSpec(scenario="case2", scale=args.scale))
+    scale = exp.scale
 
     print("== Raw case-2 trace: per-receiver delay structure")
-    handle = build_scenario(scale.scenario(ScenarioKind.CASE2))
-    trace = handle.run()
+    trace = exp.traces()[0]
     for receiver in sorted(set(trace.receiver_id.tolist())):
         delays = trace.delay[trace.receiver_id == receiver] * 1e3
         print(
@@ -45,22 +46,12 @@ def main() -> None:
         )
 
     print("== Pre-training on the simple topology, fine-tuning on case 2")
-    pre = context.pretrained()
-    case2 = context.bundle(ScenarioKind.CASE2)
-    finetuned = finetune_delay(
-        copy.deepcopy(pre.model), pre.pipeline, case2,
-        settings=scale.finetune_settings, mode=FinetuneMode.FULL,
-    )
+    finetuned = exp.finetuned(task="delay", mode=FinetuneMode.FULL)
     print(f"   fine-tuned delay MSE: {finetuned.test_mse_scaled:.4f} x1e-3 s^2")
 
     print("== Ablation: the same pipeline without receiver IDs")
-    from repro.core.pretrain import pretrain
-
-    no_rx = pretrain(
-        scale.model_config(features=FeatureSpec.without_receiver()),
-        context.bundle(ScenarioKind.PRETRAIN),
-        settings=scale.pretrain_settings,
-    )
+    case2 = exp.bundle()
+    no_rx = exp.pretrain_variant(features=FeatureSpec.without_receiver())
     no_rx_finetuned = finetune_delay(
         no_rx.model, no_rx.pipeline, case2,
         settings=scale.finetune_settings, mode=FinetuneMode.FULL,

@@ -1,10 +1,12 @@
 #!/usr/bin/env python
 """New-task fine-tuning: message completion time (MCT) prediction.
 
-The paper's second task (§4): swap the delay decoder for an MCT decoder
-that consumes the encoded packet history *plus the message size*, and
-fine-tune on the case-1 environment.  The pre-trained encoder transfers
-to the new task; naive baselines do not.
+The paper's second task (§4), through ``repro.api``: swap the delay
+decoder for an MCT decoder that consumes the encoded packet history
+*plus the message size*, and fine-tune on the case-1 environment.  The
+pre-trained encoder transfers to the new task; naive baselines do not.
+The fine-tuned model is then served through the batched
+:class:`Predictor`.
 
 Run::
 
@@ -18,11 +20,13 @@ import argparse
 
 import numpy as np
 
-from repro.core.baselines import evaluate_baselines
-from repro.core.evaluation import predict_mct
-from repro.core.finetune import FinetuneMode, finetune_mct, train_mct_from_scratch
-from repro.core.pipeline import ExperimentContext, get_scale
-from repro.netsim.scenarios import ScenarioKind
+from repro.api import (
+    Experiment,
+    ExperimentSpec,
+    FinetuneMode,
+    evaluate_baselines,
+    train_mct_from_scratch,
+)
 
 
 def main() -> None:
@@ -30,17 +34,16 @@ def main() -> None:
     parser.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
     args = parser.parse_args()
 
-    scale = get_scale(args.scale)
-    context = ExperimentContext(scale)
+    exp = Experiment(ExperimentSpec(scenario="case1", scale=args.scale))
+    scale = exp.scale
 
     print("== Pre-training (delay task) and preparing the case-1 dataset")
-    pre = context.pretrained()
-    case1 = context.bundle(ScenarioKind.CASE1).small_fraction(scale.fine_fraction)
+    pre = exp.pretrained()
+    case1 = exp.bundle().small_fraction(scale.fine_fraction)
 
     print("== Fine-tuning to the NEW task: message completion times")
-    finetuned = finetune_mct(
-        pre.model, pre.model.config, pre.pipeline, case1,
-        settings=scale.finetune_settings, mode=FinetuneMode.DECODER_ONLY,
+    finetuned = exp.finetuned(
+        task="mct", mode=FinetuneMode.DECODER_ONLY, fraction=scale.fine_fraction
     )
     print(f"   pre-trained encoder + new MCT decoder: log-MSE {finetuned.test_mse:.4f}")
 
@@ -55,10 +58,11 @@ def main() -> None:
     for name, row in baselines.items():
         print(f"   {name:14s}: log-MSE {row['mct_log_mse']:.4f}")
 
-    print("== Sample predictions (milliseconds)")
+    print("== Sample predictions via the batched Predictor (milliseconds)")
+    predictor = exp.predictor(task="mct", fraction=scale.fine_fraction)
     test = case1.test.with_completed_messages_only()
     sample = test.subset(np.arange(min(5, len(test))))
-    log_predictions = predict_mct(finetuned.model, pre.pipeline, sample)
+    log_predictions = predictor.predict_dataset(sample)
     for log_prediction, actual, size in zip(
         log_predictions, sample.mct_target, sample.message_size
     ):

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Case 1: fine-tune a pre-trained NTT to unseen cross-traffic.
 
-Reproduces the story of Tables 1 and 2 on one topology: pre-train on
-clean traffic, then adapt to an environment with TCP cross-traffic using
-only a small fine-tuning dataset — comparing decoder-only fine-tuning
-against training a fresh model from scratch.
+Reproduces the story of Tables 1 and 2 on one topology via the
+``repro.api`` facade: pre-train on clean traffic (cached in the artifact
+store), then adapt to an environment with TCP cross-traffic using only a
+small fine-tuning dataset — comparing decoder-only fine-tuning against
+training a fresh model from scratch.
 
 Run::
 
@@ -16,9 +17,12 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core.finetune import FinetuneMode, finetune_delay, train_delay_from_scratch
-from repro.core.pipeline import ExperimentContext, get_scale
-from repro.netsim.scenarios import ScenarioKind
+from repro.api import (
+    Experiment,
+    ExperimentSpec,
+    FinetuneMode,
+    train_delay_from_scratch,
+)
 
 
 def main() -> None:
@@ -30,23 +34,20 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    scale = get_scale(args.scale)
-    context = ExperimentContext(scale)
+    exp = Experiment(ExperimentSpec(scenario="case1", scale=args.scale))
+    scale = exp.scale
 
     print("== Pre-training on the clean (no cross-traffic) environment")
-    pre = context.pretrained()
+    pre = exp.pretrained()
     print(f"   pre-training delay MSE: {pre.test_mse_scaled:.4f} x1e-3 s^2")
 
     print(f"== Building the case-1 dataset ({int(args.fraction * 100)}% sample)")
-    case1 = context.bundle(ScenarioKind.CASE1).small_fraction(args.fraction)
+    case1 = exp.bundle().small_fraction(args.fraction)
     print(f"   {len(case1.train)} fine-tuning windows, {len(case1.test)} test windows")
 
     print("== Fine-tuning the pre-trained model (decoder only)")
-    import copy
-
-    finetuned = finetune_delay(
-        copy.deepcopy(pre.model), pre.pipeline, case1,
-        settings=scale.finetune_settings, mode=FinetuneMode.DECODER_ONLY,
+    finetuned = exp.finetuned(
+        task="delay", mode=FinetuneMode.DECODER_ONLY, fraction=args.fraction
     )
     print(
         f"   MSE {finetuned.test_mse_scaled:.4f} x1e-3 "

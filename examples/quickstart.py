@@ -1,14 +1,15 @@
 #!/usr/bin/env python
 """Quickstart: simulate traffic, pre-train an NTT, predict packet delays.
 
-This is the 5-minute tour of the library:
+This is the 5-minute tour of the ``repro.api`` facade:
 
-1. simulate the paper's pre-training scenario (Fig. 4) with the built-in
-   discrete-event simulator;
-2. window the packet trace into training examples;
+1. describe the experiment declaratively with an :class:`ExperimentSpec`;
+2. let the :class:`Experiment` simulate + window the pre-training
+   scenario (served from the artifact cache on repeated runs);
 3. pre-train a small Network Traffic Transformer on masked delay
    prediction;
-4. compare its delay predictions against the naive baselines of Table 1.
+4. serve batched delay predictions through the :class:`Predictor` and
+   compare against the naive baselines of Table 1.
 
 Run::
 
@@ -22,22 +23,22 @@ import argparse
 
 import numpy as np
 
-from repro.core.baselines import evaluate_baselines
-from repro.core.evaluation import predict_delay
-from repro.core.pipeline import ExperimentContext, get_scale
-from repro.netsim.scenarios import ScenarioKind
+from repro.api import Experiment, ExperimentSpec, evaluate_baselines
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
+    parser.add_argument("--no-cache", action="store_true", help="bypass the artifact store")
     args = parser.parse_args()
 
-    scale = get_scale(args.scale)
-    context = ExperimentContext(scale)
+    spec = ExperimentSpec(scenario="pretrain", scale=args.scale)
+    exp = Experiment.uncached(spec) if args.no_cache else Experiment(spec)
+    if exp.store is not None:
+        print(f"(artifact store: {exp.store.root} — spec {exp.spec_hash})")
 
-    print(f"== 1. Simulating the Fig. 4 pre-training scenario ({scale.name} scale)")
-    bundle = context.bundle(ScenarioKind.PRETRAIN)
+    print(f"== 1. Simulating the Fig. 4 pre-training scenario ({args.scale} scale)")
+    bundle = exp.bundle()
     print(
         f"   {bundle.n_packets} packets -> {bundle.n_windows} windows "
         f"of {bundle.window_config.window_len} packets "
@@ -45,7 +46,7 @@ def main() -> None:
     )
 
     print("== 2. Pre-training the NTT on masked delay prediction")
-    result = context.pretrained()
+    result = exp.pretrained()
     config = result.model.config
     print(
         f"   model: {config.aggregation.describe()}, d_model={config.d_model}, "
@@ -64,9 +65,10 @@ def main() -> None:
     for name, row in baselines.items():
         print(f"   {name:17s}: {row['delay_mse'] * 1e3:10.4f}")
 
-    print("== 4. A few sample predictions (milliseconds)")
+    print("== 4. A few sample predictions, served by the batched Predictor (ms)")
+    predictor = exp.predictor()
     sample = bundle.test.subset(np.arange(min(5, len(bundle.test))))
-    predictions = predict_delay(result.model, result.pipeline, sample)
+    predictions = predictor.predict(sample.features, sample.receiver)
     for predicted, actual in zip(predictions, sample.delay_target):
         print(f"   predicted {predicted * 1e3:7.2f} ms   actual {actual * 1e3:7.2f} ms")
 

@@ -1,6 +1,6 @@
 """Reproduction of *A New Hope for Network Model Generalization* (HotNets '22).
 
-The package provides three layers:
+The package provides three layers plus one public facade:
 
 * :mod:`repro.netsim` — a packet-level discrete-event network simulator
   (the ns-3 substitute) used to generate the paper's datasets (Fig. 4).
@@ -9,13 +9,22 @@ The package provides three layers:
 * :mod:`repro.core` — the Network Traffic Transformer itself: feature
   extraction, multi-timescale aggregation, pre-training on masked delay
   prediction, fine-tuning, baselines and evaluation.
+* :mod:`repro.api` — the single public surface: declarative
+  :class:`~repro.api.ExperimentSpec`\\ s, the pluggable scenario
+  registry, the content-addressed artifact store and the batched
+  :class:`~repro.api.Predictor`.
 
 Quickstart::
 
-    from repro.core.pipeline import ExperimentConfig, run_pretraining
-    config = ExperimentConfig.small()
-    result = run_pretraining(config)
-    print(result.test_mse)
+    from repro.api import Experiment, ExperimentSpec
+
+    exp = Experiment(ExperimentSpec(scenario="pretrain", scale="smoke"))
+    result = exp.pretrained()          # cached in the artifact store
+    print(result.test_mse_seconds2)
+
+    predictor = exp.predictor()        # batched serving facade
+    test = exp.bundle().test
+    delays = predictor.predict(test.features, test.receiver)
 """
 
 from repro.version import __version__

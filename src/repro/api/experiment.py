@@ -1,0 +1,227 @@
+"""The experiment facade: one object from spec to results.
+
+:class:`Experiment` ties a declarative
+:class:`~repro.api.spec.ExperimentSpec` to an
+:class:`~repro.api.store.ArtifactStore` and exposes the whole workflow —
+traces, dataset bundles, the shared pre-trained NTT, fine-tuned models,
+a serving :class:`~repro.api.predictor.Predictor` and the paper's table
+runners — behind a handful of methods.  Every expensive step is
+content-addressed, so re-running the same spec is served from disk.
+
+    >>> from repro.api import Experiment, ExperimentSpec
+    >>> exp = Experiment(ExperimentSpec(scenario="case1", scale="smoke"))
+    >>> pre = exp.pretrained()          # trains once, then cache hits
+    >>> predictor = exp.predictor()     # batched serving facade
+"""
+
+from __future__ import annotations
+
+from repro.core.finetune import (
+    FinetuneMode,
+    FinetuneResult,
+    finetune_delay,
+    finetune_mct,
+)
+from repro.core.pipeline import (
+    ExperimentContext,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.core.pretrain import PretrainResult
+from repro.datasets.generation import DatasetBundle
+from repro.netsim.scenarios import ScenarioKind, generate_traces
+from repro.netsim.trace import Trace
+
+from repro.api.predictor import Predictor
+from repro.api.spec import ExperimentSpec
+from repro.api.store import ArtifactStore, finetuned_key, pretrained_key, traces_key
+
+__all__ = ["Experiment"]
+
+_TABLE_RUNNERS = {1: run_table1, 2: run_table2, 3: run_table3}
+
+#: Sentinel: "no store argument given" (``None`` means "no store").
+_DEFAULT_STORE = object()
+
+
+class Experiment:
+    """Spec-driven, store-backed experiment runner.
+
+    Args:
+        spec: the declarative experiment description; keyword arguments
+            are accepted as a shorthand (``Experiment(scale="smoke")``).
+        store: artifact store; when omitted the shared on-disk store
+            (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) is used.  Pass
+            ``store=None`` to disable persistence entirely.
+    """
+
+    def __init__(self, spec: ExperimentSpec | None = None, store=_DEFAULT_STORE, **spec_kwargs):
+        if spec is None:
+            spec = ExperimentSpec(**spec_kwargs)
+        elif spec_kwargs:
+            raise TypeError("pass either a spec or keyword fields, not both")
+        self.spec = spec
+        self.scale = spec.to_scale()
+        self.store = ArtifactStore.from_env() if store is _DEFAULT_STORE else store
+        self.context = ExperimentContext(self.scale, store=self.store, seed=spec.seed)
+
+    @classmethod
+    def uncached(cls, spec: ExperimentSpec | None = None, **spec_kwargs) -> "Experiment":
+        """An experiment that never touches the on-disk store."""
+        return cls(spec, store=None, **spec_kwargs)
+
+    @property
+    def spec_hash(self) -> str:
+        return self.spec.spec_hash
+
+    def __repr__(self) -> str:
+        return (
+            f"Experiment(scenario={self.spec.scenario!r}, scale={self.spec.scale!r}, "
+            f"seed={self.spec.seed}, hash={self.spec_hash})"
+        )
+
+    # -- simulation ---------------------------------------------------------------
+
+    def traces(self, scenario: str | None = None) -> list[Trace]:
+        """Raw simulation traces for a scenario (store-backed)."""
+        config = self.spec.scenario_config(scenario)
+        n_runs = self.scale.n_runs
+        if self.store is not None:
+            key = traces_key(config, n_runs)
+            cached = self.store.get_traces(key, n_runs)
+            if cached is not None:
+                return cached
+        traces = generate_traces(config, n_runs=n_runs)
+        if self.store is not None:
+            self.store.put_traces(key, traces)
+        return traces
+
+    # -- datasets -----------------------------------------------------------------
+
+    def bundle(self, scenario: str | None = None) -> DatasetBundle:
+        """The windowed dataset for this spec's (or a named) scenario."""
+        return self.context.bundle(scenario or self.spec.scenario)
+
+    # -- models -------------------------------------------------------------------
+
+    def pretrained(self) -> PretrainResult:
+        """The shared pre-trained NTT (store-backed)."""
+        return self.context.pretrained()
+
+    def pretrain_variant(self, **overrides) -> PretrainResult:
+        """An ablated pre-training variant (see
+        :meth:`ExperimentContext.pretrain_variant`)."""
+        return self.context.pretrain_variant(**overrides)
+
+    def finetuned(
+        self,
+        scenario: str | None = None,
+        task: str = "delay",
+        mode: str = FinetuneMode.DECODER_ONLY,
+        fraction: float | None = None,
+    ) -> FinetuneResult:
+        """Fine-tune the shared pre-trained model (store-backed).
+
+        Args:
+            scenario: target environment (default: the spec's scenario).
+            task: ``delay`` or ``mct``.
+            mode: which parameters train (``decoder_only`` / ``full``).
+            fraction: subsample the fine-tuning data (the paper's 10%
+                datasets); ``None`` uses the full bundle.
+        """
+        result, _pipeline = self._finetuned_with_pipeline(scenario, task, mode, fraction)
+        return result
+
+    def _finetuned_with_pipeline(self, scenario, task, mode, fraction):
+        """Fine-tune (or restore) a model plus the pipeline that feeds it."""
+        if task not in ("delay", "mct"):
+            raise ValueError(f"unknown task {task!r}; choose 'delay' or 'mct'")
+        scenario = scenario or self.spec.scenario
+        settings = self.scale.finetune_settings
+        key = None
+        if self.store is not None:
+            base_key = pretrained_key(
+                self.spec.scenario_config(ScenarioKind.PRETRAIN),
+                self.scale.window,
+                self.scale.n_runs,
+                self.scale.model_config(),
+                self.scale.pretrain_settings,
+            )
+            key = finetuned_key(
+                base_key, self.spec.scenario_config(scenario), task, mode, fraction, settings
+            )
+            cached = self.store.get_finetuned(key)
+            if cached is not None:
+                return cached
+        pre = self.pretrained()
+        bundle = self.bundle(scenario)
+        if fraction is not None:
+            bundle = bundle.small_fraction(fraction)
+        import copy
+
+        if task == "delay":
+            pipeline = pre.pipeline
+            result = finetune_delay(
+                copy.deepcopy(pre.model), pipeline, bundle, settings=settings, mode=mode
+            )
+        else:
+            # A fresh MCT scaler per fine-tune: finetune_mct fits it on
+            # the first dataset it sees, so reusing the shared pipeline
+            # would make the stored artifact depend on in-process call
+            # order rather than on the cache key alone.
+            from repro.core.features import FeaturePipeline
+
+            pipeline = FeaturePipeline()
+            pipeline.feature_scaler = pre.pipeline.feature_scaler
+            pipeline.message_size_scaler = pre.pipeline.message_size_scaler
+            result = finetune_mct(
+                copy.deepcopy(pre.model), pre.model.config, pipeline, bundle,
+                settings=settings, mode=mode,
+            )
+        if self.store is not None:
+            self.store.put_finetuned(key, result, pipeline)
+        return result, pipeline
+
+    # -- serving ------------------------------------------------------------------
+
+    def predictor(
+        self,
+        scenario: str | None = None,
+        task: str = "delay",
+        mode: str = FinetuneMode.DECODER_ONLY,
+        fraction: float | None = None,
+        batch_size: int = 256,
+    ) -> Predictor:
+        """A batched :class:`Predictor` over the fine-tuned model for
+        this spec's scenario.
+
+        When the scenario *is* the pre-training environment and the
+        fine-tune options are left at their defaults, the pre-trained
+        model is served directly; passing ``mode`` or ``fraction``
+        always triggers a real fine-tune.
+        """
+        scenario = scenario or self.spec.scenario
+        is_default_finetune = mode == FinetuneMode.DECODER_ONLY and fraction is None
+        if scenario == ScenarioKind.PRETRAIN and task == "delay" and is_default_finetune:
+            pre = self.pretrained()
+            return Predictor(pre.model, pre.pipeline, task="delay", batch_size=batch_size)
+        result, pipeline = self._finetuned_with_pipeline(scenario, task, mode, fraction)
+        return Predictor(result.model, pipeline, task=task, batch_size=batch_size)
+
+    def save_checkpoint(self, path, task: str = "delay", **finetune_kwargs) -> None:
+        """Export a self-describing checkpoint loadable by
+        :meth:`Predictor.from_checkpoint` (and ``repro predict``)."""
+        self.predictor(task=task, **finetune_kwargs).save(path)
+
+    # -- the paper's evaluation ---------------------------------------------------
+
+    def run_table(self, table: int) -> dict:
+        """Run one of the paper's tables (1, 2 or 3) on this context."""
+        try:
+            runner = _TABLE_RUNNERS[int(table)]
+        except (KeyError, ValueError):
+            raise ValueError(
+                f"unknown table {table!r}; choose from {sorted(_TABLE_RUNNERS)}"
+            ) from None
+        return runner(self.scale, self.context)

@@ -1,0 +1,76 @@
+"""Stable content hashing for experiment artifacts.
+
+Artifact keys must be identical across processes and machines for the
+:class:`~repro.api.store.ArtifactStore` to hit disk instead of
+re-simulating, so hashing goes through a canonical JSON form rather than
+``hash()`` (randomised per process) or ``repr`` (contains object ids).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+
+from repro.version import __version__
+
+__all__ = ["to_jsonable", "canonical_json", "stable_hash"]
+
+#: Bump when the on-disk artifact layout changes; stale cache entries
+#: are then simply never looked up again.  The package version is also
+#: folded into every hash, so released code changes invalidate caches;
+#: between releases, ``repro cache clear`` is the dev-workflow escape
+#: hatch after editing simulator/model code.
+SCHEMA_VERSION = 1
+
+
+def to_jsonable(obj):
+    """Recursively convert ``obj`` into deterministic JSON-able data.
+
+    Dataclasses and plain objects are tagged with their class name so
+    two configs of different types never collide; numpy scalars become
+    Python numbers; tuples become lists.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly; json.dumps uses it too.
+        return obj
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        payload = {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+        payload["__class__"] = type(obj).__name__
+        return payload
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(item) for item in obj]
+    if hasattr(obj, "__dict__"):
+        payload = {key: to_jsonable(value) for key, value in vars(obj).items()}
+        payload["__class__"] = type(obj).__name__
+        return payload
+    raise TypeError(f"cannot canonicalise {type(obj).__name__} for hashing")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON text (sorted keys, no whitespace)."""
+    return json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(obj, length: int = 16) -> str:
+    """Hex digest of the canonical JSON form, prefixed with the schema
+    version so layout changes invalidate old cache entries."""
+    payload = canonical_json(
+        {"schema": SCHEMA_VERSION, "version": __version__, "value": obj}
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:length]

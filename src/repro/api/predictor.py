@@ -1,0 +1,180 @@
+"""Batched serving facade over trained NTT checkpoints.
+
+The first step toward the serving story: a :class:`Predictor` wraps a
+trained model plus its feature pipeline and answers delay / MCT queries
+over plain numpy batches of raw (unnormalised) window features.  Inputs
+of any size are chunked into fixed-size batches internally, so callers
+can throw arbitrarily large arrays at it without blowing up memory.
+
+Checkpoints written by :meth:`Predictor.save` (or
+``Experiment.save_checkpoint`` / ``repro pretrain``) are self-describing
+— the model config and scaler statistics ride along as metadata — so
+:meth:`Predictor.from_checkpoint` needs nothing but the file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import DELAY_COLUMN, FeaturePipeline
+from repro.core.model import NTT, NTTForDelay, NTTForMCT
+from repro.datasets.windows import WindowDataset
+from repro.nn.serialize import load_state, save_checkpoint
+from repro.nn.tensor import no_grad
+
+from repro.api.spec import ntt_config_from_dict, ntt_config_to_dict
+
+__all__ = ["Predictor"]
+
+
+class Predictor:
+    """Serves batched delay or MCT predictions in physical units.
+
+    Args:
+        model: a trained :class:`NTTForDelay` or :class:`NTTForMCT`.
+        pipeline: the fitted feature pipeline the model was trained
+            with (fine-tuned models reuse the pre-training pipeline).
+        task: ``delay`` (seconds) or ``mct`` (natural-log seconds).
+        batch_size: internal chunk size for the forward passes.
+    """
+
+    def __init__(
+        self,
+        model,
+        pipeline: FeaturePipeline,
+        task: str = "delay",
+        batch_size: int = 256,
+    ):
+        if task not in ("delay", "mct"):
+            raise ValueError(f"unknown task {task!r}; choose 'delay' or 'mct'")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.model = model
+        self.pipeline = pipeline
+        self.task = task
+        self.batch_size = batch_size
+        self.model.eval()
+
+    def __repr__(self) -> str:
+        return (
+            f"Predictor(task={self.task!r}, batch_size={self.batch_size}, "
+            f"window={self.model.config.aggregation.seq_len}+ packets)"
+        )
+
+    # -- serving ------------------------------------------------------------------
+
+    def predict(
+        self,
+        features: np.ndarray,
+        receiver: np.ndarray,
+        message_size: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Predictions for raw feature windows.
+
+        Args:
+            features: raw (unnormalised) windows, shape
+                ``(n, window_len, 3)`` with the
+                :data:`~repro.datasets.windows.RAW_FEATURES` layout.
+            receiver: receiver ids, shape ``(n, window_len)``.
+            message_size: message sizes in bytes, shape ``(n,)`` —
+                required for the MCT task.
+
+        Returns:
+            Delay predictions in seconds, or MCT predictions in
+            natural-log seconds, shape ``(n,)``.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        receiver = np.asarray(receiver, dtype=np.int64)
+        if features.ndim != 3:
+            raise ValueError(f"features must be 3-D, got shape {features.shape}")
+        if len(features) != len(receiver):
+            raise ValueError("features and receiver batch sizes differ")
+        normalised = self.pipeline.feature_scaler.transform(features)
+        if self.task == "mct":
+            if message_size is None:
+                raise ValueError("the MCT task needs message_size per window")
+            sizes = np.maximum(np.asarray(message_size, dtype=np.float64), 1.0)
+            sizes = self.pipeline.message_size_scaler.transform(np.log(sizes)[:, None])[:, 0]
+        outputs = []
+        with no_grad():
+            for start in range(0, len(features), self.batch_size):
+                stop = start + self.batch_size
+                if self.task == "delay":
+                    prediction = self.model(normalised[start:stop], receiver[start:stop])
+                else:
+                    prediction = self.model(
+                        normalised[start:stop], receiver[start:stop], sizes[start:stop]
+                    )
+                outputs.append(prediction.data)
+        raw = np.concatenate(outputs) if outputs else np.zeros(0)
+        return self._to_physical(raw)
+
+    __call__ = predict
+
+    def predict_dataset(self, dataset: WindowDataset) -> np.ndarray:
+        """Predictions for every window of a dataset."""
+        message_size = dataset.message_size if self.task == "mct" else None
+        return self.predict(dataset.features, dataset.receiver, message_size)
+
+    def _to_physical(self, normalised: np.ndarray) -> np.ndarray:
+        if self.task == "delay":
+            mean = self.pipeline.feature_scaler.mean[DELAY_COLUMN]
+            return normalised * self.pipeline.delay_std + mean
+        return self.pipeline.mct_scaler.inverse_transform(normalised[:, None])[:, 0]
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write a self-describing checkpoint for this predictor."""
+        scalers = {
+            "feature_scaler": self.pipeline.feature_scaler.to_dict(),
+            "message_size_scaler": (
+                self.pipeline.message_size_scaler.to_dict()
+                if self.pipeline.message_size_scaler.fitted
+                else None
+            ),
+            "mct_scaler": (
+                self.pipeline.mct_scaler.to_dict()
+                if self.pipeline.mct_scaler.fitted
+                else None
+            ),
+        }
+        save_checkpoint(
+            self.model,
+            path,
+            metadata={
+                "role": "predictor",
+                "task": self.task,
+                "config": ntt_config_to_dict(self.model.config),
+                "pipeline": scalers,
+            },
+        )
+
+    @classmethod
+    def from_checkpoint(cls, path, batch_size: int = 256) -> "Predictor":
+        """Rebuild a predictor from a checkpoint written by :meth:`save`."""
+        state, metadata = load_state(path)
+        if "config" not in metadata:
+            raise ValueError(
+                f"checkpoint {path} has no model config metadata; "
+                "write it with Predictor.save or `repro pretrain`"
+            )
+        config = ntt_config_from_dict(metadata["config"])
+        task = metadata.get("task", "delay")
+        if task == "mct":
+            model = NTTForMCT(config, NTT(config))
+        else:
+            model = NTTForDelay(config)
+        model.load_state_dict(state)
+        pipeline = FeaturePipeline()
+        stored = metadata["pipeline"]
+        from repro.datasets.normalize import FeatureScaler
+
+        pipeline.feature_scaler = FeatureScaler.from_dict(stored["feature_scaler"])
+        if stored.get("message_size_scaler"):
+            pipeline.message_size_scaler = FeatureScaler.from_dict(
+                stored["message_size_scaler"]
+            )
+        if stored.get("mct_scaler"):
+            pipeline.mct_scaler = FeatureScaler.from_dict(stored["mct_scaler"])
+        return cls(model, pipeline, task=task, batch_size=batch_size)

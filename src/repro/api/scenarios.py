@@ -1,0 +1,78 @@
+"""Extra scenarios registered through the public extension point.
+
+These two workloads go beyond the paper's Fig. 4 setups and exist to
+prove that new environments plug in via :func:`@register_scenario
+<repro.api.registry.register_scenario>` without touching
+:mod:`repro.netsim.scenarios`:
+
+* **bursty_cross** — case-1 topology whose TCP cross-traffic arrives as
+  many clustered flows with widely jittered start times, so congestion
+  comes and goes in bursts instead of a steady background load.
+* **asymmetric_bottleneck** — case-2 topology where the receiver access
+  links are much slower than the shared bottleneck, moving the dominant
+  congestion point behind the fan-out and making per-receiver delays
+  strongly asymmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.api.registry import register_scenario
+from repro.netsim.scenarios import ScenarioConfig, ScenarioKind
+from repro.netsim.units import mbps, milliseconds
+
+__all__ = ["build_bursty_cross", "build_asymmetric_bottleneck"]
+
+
+@register_scenario(
+    "bursty_cross",
+    description="case-1 topology with clustered, heavily jittered TCP cross-traffic bursts",
+)
+def build_bursty_cross(scale: str, seed: int) -> ScenarioConfig:
+    if scale == "paper":
+        base = ScenarioConfig.paper(ScenarioKind.CASE1, seed=seed)
+        return replace(
+            base,
+            n_cross_flows=base.n_cross_flows * 3,
+            cross_traffic_bps=base.cross_traffic_bps * 1.5,
+            start_jitter=base.duration * 0.5,
+        )
+    base = (
+        ScenarioConfig.smoke(ScenarioKind.CASE1, seed=seed)
+        if scale == "smoke"
+        else ScenarioConfig.small(ScenarioKind.CASE1, seed=seed)
+    )
+    return replace(
+        base,
+        n_cross_flows=base.n_cross_flows * 3,
+        cross_traffic_bps=base.cross_traffic_bps * 1.5,
+        # Flows keep starting throughout the first half of the run, so
+        # the bottleneck alternates between calm and overloaded phases.
+        start_jitter=base.duration * 0.5,
+    )
+
+
+@register_scenario(
+    "asymmetric_bottleneck",
+    description="case-2 fan-out whose slow receiver links dominate the shared bottleneck",
+)
+def build_asymmetric_bottleneck(scale: str, seed: int) -> ScenarioConfig:
+    if scale == "paper":
+        base = ScenarioConfig.paper(ScenarioKind.CASE2, seed=seed)
+    elif scale == "smoke":
+        base = ScenarioConfig.smoke(ScenarioKind.CASE2, seed=seed)
+    else:
+        base = ScenarioConfig.small(ScenarioKind.CASE2, seed=seed)
+    delays = tuple(
+        milliseconds(1 + 6 * index) for index in range(base.n_receivers)
+    )
+    return replace(
+        base,
+        # Receiver links run well below the bottleneck rate: the shared
+        # queue drains easily but the per-receiver queues saturate at
+        # very different levels.
+        receiver_rate_bps=max(base.bottleneck_rate_bps * 0.4, mbps(2)),
+        receiver_queue_packets=max(base.receiver_queue_packets // 2, 20),
+        receiver_delays=delays,
+    )

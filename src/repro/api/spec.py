@@ -1,0 +1,267 @@
+"""Declarative experiment specifications.
+
+:class:`ExperimentSpec` is the single value object describing an
+experiment: which registered scenario, at which scale, with which seed,
+plus optional overrides for the window, model and training settings.
+It is frozen (hashable, usable as a dict key) and has a *stable content
+hash* — two specs that resolve to the same configuration share the same
+:attr:`~ExperimentSpec.spec_hash` and therefore the same cached
+artifacts in the :class:`~repro.api.store.ArtifactStore`.
+
+The module also owns the config ↔ dict converters used to make
+checkpoints self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.api.hashing import stable_hash
+from repro.api.registry import SCENARIOS
+from repro.core.aggregation import AggregationSpec
+from repro.core.features import FeatureSpec
+from repro.core.model import NTTConfig
+from repro.core.pipeline import ExperimentScale, get_scale
+from repro.core.pretrain import TrainSettings
+from repro.datasets.windows import WindowConfig
+from repro.netsim.scenarios import ScenarioConfig
+
+__all__ = [
+    "ExperimentSpec",
+    "window_config_to_dict",
+    "window_config_from_dict",
+    "train_settings_to_dict",
+    "train_settings_from_dict",
+    "ntt_config_to_dict",
+    "ntt_config_from_dict",
+    "scenario_config_to_dict",
+    "scenario_config_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything that identifies one experiment, declaratively.
+
+    ``None`` fields resolve to the chosen scale's defaults, so
+    ``ExperimentSpec(scale="smoke")`` and the fully spelled-out
+    equivalent hash identically.
+
+    Args:
+        scenario: name of a registered scenario (see
+            :data:`repro.api.registry.SCENARIOS`).
+        scale: ``smoke`` / ``small`` / ``paper``.
+        seed: base seed for simulation and training randomness.
+        n_runs: simulation runs per dataset (default: scale preset).
+        window: windowing override.
+        model: NTT architecture override.
+        pretrain: pre-training settings override.
+        finetune: fine-tuning settings override.
+        fine_fraction: the paper's "smaller dataset" fraction.
+    """
+
+    scenario: str = "pretrain"
+    scale: str = "small"
+    seed: int = 0
+    n_runs: int | None = None
+    window: WindowConfig | None = None
+    model: NTTConfig | None = None
+    pretrain: TrainSettings | None = None
+    finetune: TrainSettings | None = None
+    fine_fraction: float | None = None
+
+    def __post_init__(self):
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; choose from {SCENARIOS.names()}"
+            )
+        # Validates the scale name eagerly (raises with the choices).
+        get_scale(self.scale)
+
+    # -- resolution ---------------------------------------------------------------
+
+    def to_scale(self) -> ExperimentScale:
+        """The :class:`ExperimentScale` this spec resolves to, with all
+        overrides applied."""
+        base = get_scale(self.scale)
+        overrides = {}
+        if self.n_runs is not None:
+            overrides["n_runs"] = self.n_runs
+        if self.window is not None:
+            overrides["window"] = self.window
+        if self.model is not None:
+            overrides["model"] = self.model
+        if self.pretrain is not None:
+            overrides["pretrain_settings"] = self.pretrain
+        if self.finetune is not None:
+            overrides["finetune_settings"] = self.finetune
+        if self.fine_fraction is not None:
+            overrides["fine_fraction"] = self.fine_fraction
+        return replace(base, **overrides) if overrides else base
+
+    def scenario_config(self, name: str | None = None) -> ScenarioConfig:
+        """Build the (named or spec-default) scenario at this spec's
+        scale and seed."""
+        return SCENARIOS.build(name or self.scenario, scale=self.scale, seed=self.seed)
+
+    # -- identity -----------------------------------------------------------------
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable content hash over the *resolved* configuration."""
+        scale = self.to_scale()
+        return stable_hash(
+            {
+                "scenario": self.scenario,
+                "scenario_config": self.scenario_config(),
+                "seed": self.seed,
+                "n_runs": scale.n_runs,
+                "window": scale.window,
+                "model": scale.model_config(),
+                "pretrain": scale.pretrain_settings,
+                "finetune": scale.finetune_settings,
+                "fine_fraction": scale.fine_fraction,
+            }
+        )
+
+    def with_overrides(self, **changes) -> "ExperimentSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload = {
+            "scenario": self.scenario,
+            "scale": self.scale,
+            "seed": self.seed,
+        }
+        if self.n_runs is not None:
+            payload["n_runs"] = self.n_runs
+        if self.window is not None:
+            payload["window"] = window_config_to_dict(self.window)
+        if self.model is not None:
+            payload["model"] = ntt_config_to_dict(self.model)
+        if self.pretrain is not None:
+            payload["pretrain"] = train_settings_to_dict(self.pretrain)
+        if self.finetune is not None:
+            payload["finetune"] = train_settings_to_dict(self.finetune)
+        if self.fine_fraction is not None:
+            payload["fine_fraction"] = self.fine_fraction
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        kwargs = dict(payload)
+        if "window" in kwargs:
+            kwargs["window"] = window_config_from_dict(kwargs["window"])
+        if "model" in kwargs:
+            kwargs["model"] = ntt_config_from_dict(kwargs["model"])
+        if "pretrain" in kwargs:
+            kwargs["pretrain"] = train_settings_from_dict(kwargs["pretrain"])
+        if "finetune" in kwargs:
+            kwargs["finetune"] = train_settings_from_dict(kwargs["finetune"])
+        return cls(**kwargs)
+
+
+# -- config converters -----------------------------------------------------------
+#
+# Checkpoint metadata must be JSON, so every config involved in restoring
+# a model round-trips through plain dicts here.
+
+
+def window_config_to_dict(window: WindowConfig) -> dict:
+    return {"window_len": window.window_len, "stride": window.stride}
+
+
+def window_config_from_dict(payload: dict) -> WindowConfig:
+    return WindowConfig(**payload)
+
+
+def train_settings_to_dict(settings: TrainSettings) -> dict:
+    return {
+        "epochs": settings.epochs,
+        "batch_size": settings.batch_size,
+        "lr": settings.lr,
+        "warmup_fraction": settings.warmup_fraction,
+        "grad_clip": settings.grad_clip,
+        "patience": settings.patience,
+        "seed": settings.seed,
+    }
+
+
+def train_settings_from_dict(payload: dict) -> TrainSettings:
+    return TrainSettings(**payload)
+
+
+def ntt_config_to_dict(config: NTTConfig) -> dict:
+    features = config.features
+    return {
+        "features": {
+            "use_time": features.use_time,
+            "use_size": features.use_size,
+            "use_delay": features.use_delay,
+            "use_receiver": features.use_receiver,
+        },
+        "aggregation": [
+            [level.count, level.block] for level in config.aggregation.levels
+        ],
+        "d_emb": config.d_emb,
+        "d_model": config.d_model,
+        "n_heads": config.n_heads,
+        "n_layers": config.n_layers,
+        "d_ff": config.d_ff,
+        "dropout": config.dropout,
+        "decoder_hidden": config.decoder_hidden,
+        "n_receivers": config.n_receivers,
+        "seed": config.seed,
+    }
+
+
+def ntt_config_from_dict(payload: dict) -> NTTConfig:
+    kwargs = dict(payload)
+    kwargs["features"] = FeatureSpec(**kwargs["features"])
+    kwargs["aggregation"] = AggregationSpec.from_pairs(kwargs["aggregation"])
+    return NTTConfig(**kwargs)
+
+
+def scenario_config_to_dict(config: ScenarioConfig) -> dict:
+    """JSON provenance for a scenario config.
+
+    ``workload`` objects are recorded by class name only — they cannot be
+    reconstructed, but the hash (which covers their parameters) already
+    keys the cache.
+    """
+    payload = {
+        "kind": config.kind,
+        "n_senders": config.n_senders,
+        "sender_load_bps": config.sender_load_bps,
+        "bottleneck_rate_bps": config.bottleneck_rate_bps,
+        "bottleneck_queue_packets": config.bottleneck_queue_packets,
+        "bottleneck_delay": config.bottleneck_delay,
+        "access_rate_bps": config.access_rate_bps,
+        "access_delay": config.access_delay,
+        "access_queue_packets": config.access_queue_packets,
+        "duration": config.duration,
+        "seed": config.seed,
+        "mtu_bytes": config.mtu_bytes,
+        "cross_traffic_bps": config.cross_traffic_bps,
+        "n_cross_flows": config.n_cross_flows,
+        "n_receivers": config.n_receivers,
+        "receiver_delays": list(config.receiver_delays),
+        "receiver_rate_bps": config.receiver_rate_bps,
+        "receiver_queue_packets": config.receiver_queue_packets,
+        "per_receiver_cross_flows": config.per_receiver_cross_flows,
+        "start_jitter": config.start_jitter,
+        "bottleneck_discipline": config.bottleneck_discipline,
+    }
+    if config.workload is not None:
+        payload["workload_class"] = type(config.workload).__name__
+    return payload
+
+
+def scenario_config_from_dict(payload: dict) -> ScenarioConfig:
+    kwargs = dict(payload)
+    kwargs.pop("workload_class", None)
+    kwargs["receiver_delays"] = tuple(kwargs.get("receiver_delays", ()))
+    return ScenarioConfig(**kwargs)

@@ -1,0 +1,405 @@
+"""Content-addressed on-disk artifact store.
+
+Simulation and pre-training dominate experiment wall time.  The store
+keys every expensive artifact — raw traces, windowed
+:class:`~repro.datasets.generation.DatasetBundle`\\ s and trained
+checkpoints — by a stable content hash of everything that produced it,
+so a repeated run hits disk instead of re-simulating or re-training.
+
+Layout (one ``.npz`` per artifact)::
+
+    <root>/traces/<key>-run<i>.npz
+    <root>/bundles/<key>.npz
+    <root>/checkpoints/<key>.npz
+
+The root defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; writes
+go through a temp file + rename so concurrent readers never observe a
+partial artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.hashing import stable_hash
+from repro.api.spec import (
+    ntt_config_from_dict,
+    ntt_config_to_dict,
+    scenario_config_from_dict,
+    scenario_config_to_dict,
+    window_config_from_dict,
+    window_config_to_dict,
+)
+from repro.core.features import FeaturePipeline
+from repro.core.finetune import FinetuneResult
+from repro.core.model import NTT, NTTForDelay, NTTForMCT
+from repro.core.pretrain import PretrainResult
+from repro.datasets.generation import DatasetBundle
+from repro.datasets.normalize import FeatureScaler
+from repro.datasets.windows import WindowDataset
+from repro.netsim.trace import Trace
+from repro.nn.serialize import load_state, save_checkpoint
+from repro.nn.trainer import TrainingHistory
+
+__all__ = [
+    "ArtifactStore",
+    "traces_key",
+    "bundle_key",
+    "pretrained_key",
+    "finetuned_key",
+]
+
+#: Environment variable selecting the store root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+KINDS = ("traces", "bundles", "checkpoints")
+
+_META_KEY = "__meta__"
+_SPLITS = ("train", "val", "test")
+_SPLIT_ARRAYS = (
+    "features",
+    "receiver",
+    "delay_target",
+    "mct_target",
+    "message_size",
+    "mct_seq",
+    "end_seq",
+)
+
+
+# -- cache keys -------------------------------------------------------------------
+
+
+def traces_key(scenario, n_runs: int) -> str:
+    """Key for the raw traces of one scenario."""
+    return stable_hash({"artifact": "traces", "scenario": scenario, "n_runs": n_runs})
+
+
+def bundle_key(scenario, window, n_runs: int, receiver_index: dict | None = None) -> str:
+    """Key for a windowed dataset bundle.
+
+    ``receiver_index`` covers the cross-bundle coupling: fine-tuning
+    bundles inherit the pre-training receiver identities, so a different
+    pre-training setup must produce a different fine-tuning bundle.
+    """
+    return stable_hash(
+        {
+            "artifact": "bundle",
+            "scenario": scenario,
+            "window": window,
+            "n_runs": n_runs,
+            "receiver_index": receiver_index,
+        }
+    )
+
+
+def pretrained_key(scenario, window, n_runs: int, model_config, settings) -> str:
+    """Key for a pre-trained checkpoint."""
+    return stable_hash(
+        {
+            "artifact": "pretrained",
+            "scenario": scenario,
+            "window": window,
+            "n_runs": n_runs,
+            "model": model_config,
+            "settings": settings,
+        }
+    )
+
+
+def finetuned_key(
+    base_key: str, scenario, task: str, mode: str, fraction, settings
+) -> str:
+    """Key for a fine-tuned checkpoint derived from ``base_key``."""
+    return stable_hash(
+        {
+            "artifact": "finetuned",
+            "base": base_key,
+            "scenario": scenario,
+            "task": task,
+            "mode": mode,
+            "fraction": fraction,
+            "settings": settings,
+        }
+    )
+
+
+# -- (de)hydration helpers --------------------------------------------------------
+
+
+def _scaler_to_dict(scaler: FeatureScaler) -> dict | None:
+    return scaler.to_dict() if scaler.fitted else None
+
+
+def _pipeline_to_dict(pipeline: FeaturePipeline) -> dict:
+    return {
+        "feature_scaler": _scaler_to_dict(pipeline.feature_scaler),
+        "message_size_scaler": _scaler_to_dict(pipeline.message_size_scaler),
+        "mct_scaler": _scaler_to_dict(pipeline.mct_scaler),
+    }
+
+
+def _pipeline_from_dict(payload: dict) -> FeaturePipeline:
+    pipeline = FeaturePipeline()
+    for name in ("feature_scaler", "message_size_scaler", "mct_scaler"):
+        stored = payload.get(name)
+        if stored is not None:
+            setattr(pipeline, name, FeatureScaler.from_dict(stored))
+    return pipeline
+
+
+def _history_to_dict(history: TrainingHistory) -> dict:
+    return {
+        "train_loss": history.train_loss,
+        "val_loss": history.val_loss,
+        "lr": history.lr,
+        "wall_time": history.wall_time,
+        "epochs_run": history.epochs_run,
+        "stopped_early": history.stopped_early,
+    }
+
+
+def _history_from_dict(payload: dict) -> TrainingHistory:
+    return TrainingHistory(**payload)
+
+
+class ArtifactStore:
+    """Content-addressed cache of traces, bundles and checkpoints."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV)
+        if root is None:
+            root = Path.home() / ".cache" / "repro"
+        self.root = Path(root)
+
+    @classmethod
+    def from_env(cls) -> "ArtifactStore":
+        """The default store (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``)."""
+        return cls()
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r})"
+
+    # -- generic access ----------------------------------------------------------
+
+    def path(self, kind: str, key: str) -> Path:
+        """Where an artifact of this kind/key lives (existing or not)."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}; choose from {KINDS}")
+        return self.root / kind / f"{key}.npz"
+
+    def has(self, kind: str, key: str) -> bool:
+        return self.path(kind, key).exists()
+
+    def get(self, kind: str, key: str) -> Path | None:
+        """The artifact's path if present, else ``None``."""
+        path = self.path(kind, key)
+        return path if path.exists() else None
+
+    def keys(self, kind: str) -> list[str]:
+        directory = self.root / kind
+        if kind not in KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}; choose from {KINDS}")
+        if not directory.is_dir():
+            return []
+        return sorted(path.stem for path in directory.glob("*.npz"))
+
+    def summary(self) -> dict:
+        """Per-kind entry counts and byte totals (for ``repro cache``)."""
+        report = {}
+        for kind in KINDS:
+            directory = self.root / kind
+            files = list(directory.glob("*.npz")) if directory.is_dir() else []
+            report[kind] = {
+                "count": len(files),
+                "bytes": sum(path.stat().st_size for path in files),
+            }
+        return report
+
+    def clear(self, kind: str | None = None) -> int:
+        """Delete artifacts (of one kind, or all); returns files removed."""
+        kinds = KINDS if kind is None else (kind,)
+        removed = 0
+        for name in kinds:
+            if name not in KINDS:
+                raise ValueError(f"unknown artifact kind {name!r}; choose from {KINDS}")
+            directory = self.root / name
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.npz"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    @staticmethod
+    def _temp_path(path: Path) -> Path:
+        # Keeps the .npz suffix: np.savez appends one otherwise.
+        return path.with_name(f".tmp-{os.getpid()}-{path.name}")
+
+    def _write_npz(self, path: Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self._temp_path(path)
+        try:
+            with open(temp, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            os.replace(temp, path)
+        finally:
+            if temp.exists():
+                temp.unlink()
+
+    # -- traces ------------------------------------------------------------------
+
+    def trace_paths(self, key: str, n_runs: int) -> list[Path]:
+        return [self.root / "traces" / f"{key}-run{i}.npz" for i in range(n_runs)]
+
+    def get_traces(self, key: str, n_runs: int) -> list[Trace] | None:
+        paths = self.trace_paths(key, n_runs)
+        if not all(path.exists() for path in paths):
+            return None
+        return [Trace.load(path) for path in paths]
+
+    def put_traces(self, key: str, traces: list[Trace]) -> None:
+        paths = self.trace_paths(key, len(traces))
+        for trace, path in zip(traces, paths):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp = self._temp_path(path)
+            try:
+                trace.save(temp)
+                os.replace(temp, path)
+            finally:
+                if temp.exists():
+                    temp.unlink()
+
+    # -- dataset bundles ---------------------------------------------------------
+
+    def put_bundle(self, key: str, bundle: DatasetBundle) -> Path:
+        payload = {}
+        for split in _SPLITS:
+            dataset = getattr(bundle, split)
+            for name in _SPLIT_ARRAYS:
+                payload[f"{split}__{name}"] = getattr(dataset, name)
+        meta = {
+            "name": bundle.name,
+            "receiver_index": {str(k): v for k, v in bundle.receiver_index.items()},
+            "scenario": scenario_config_to_dict(bundle.scenario),
+            "window": window_config_to_dict(bundle.window_config),
+            "n_packets": bundle.n_packets,
+        }
+        payload[_META_KEY] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        path = self.path("bundles", key)
+        self._write_npz(path, payload)
+        return path
+
+    def get_bundle(self, key: str) -> DatasetBundle | None:
+        path = self.get("bundles", key)
+        if path is None:
+            return None
+        with np.load(path) as data:
+            meta = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+            splits = {}
+            for split in _SPLITS:
+                arrays = {name: data[f"{split}__{name}"] for name in _SPLIT_ARRAYS}
+                splits[split] = WindowDataset(**arrays)
+        return DatasetBundle(
+            name=meta["name"],
+            train=splits["train"],
+            val=splits["val"],
+            test=splits["test"],
+            receiver_index={int(k): v for k, v in meta["receiver_index"].items()},
+            scenario=scenario_config_from_dict(meta["scenario"]),
+            window_config=window_config_from_dict(meta["window"]),
+            n_packets=meta["n_packets"],
+        )
+
+    # -- pre-trained checkpoints -------------------------------------------------
+
+    def put_pretrained(self, key: str, result: PretrainResult) -> Path:
+        path = self.path("checkpoints", key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self._temp_path(path)
+        try:
+            save_checkpoint(
+                result.model,
+                temp,
+                metadata={
+                    "role": "pretrained",
+                    "config": ntt_config_to_dict(result.model.config),
+                    "pipeline": _pipeline_to_dict(result.pipeline),
+                    "history": _history_to_dict(result.history),
+                    "test_mse_seconds2": result.test_mse_seconds2,
+                },
+            )
+            os.replace(temp, path)
+        finally:
+            if temp.exists():
+                temp.unlink()
+        return path
+
+    def get_pretrained(self, key: str) -> PretrainResult | None:
+        path = self.get("checkpoints", key)
+        if path is None:
+            return None
+        state, metadata = load_state(path)
+        model = NTTForDelay(ntt_config_from_dict(metadata["config"]))
+        model.load_state_dict(state)
+        return PretrainResult(
+            model=model,
+            pipeline=_pipeline_from_dict(metadata["pipeline"]),
+            history=_history_from_dict(metadata["history"]),
+            test_mse_seconds2=metadata["test_mse_seconds2"],
+        )
+
+    # -- fine-tuned checkpoints --------------------------------------------------
+
+    def put_finetuned(
+        self, key: str, result: FinetuneResult, pipeline: FeaturePipeline
+    ) -> Path:
+        path = self.path("checkpoints", key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self._temp_path(path)
+        try:
+            save_checkpoint(
+                result.model,
+                temp,
+                metadata={
+                    "role": "finetuned",
+                    "task": result.task,
+                    "mode": result.mode,
+                    "config": ntt_config_to_dict(result.model.config),
+                    "pipeline": _pipeline_to_dict(pipeline),
+                    "history": _history_to_dict(result.history),
+                    "test_mse": result.test_mse,
+                },
+            )
+            os.replace(temp, path)
+        finally:
+            if temp.exists():
+                temp.unlink()
+        return path
+
+    def get_finetuned(self, key: str) -> tuple[FinetuneResult, FeaturePipeline] | None:
+        path = self.get("checkpoints", key)
+        if path is None:
+            return None
+        state, metadata = load_state(path)
+        config = ntt_config_from_dict(metadata["config"])
+        if metadata["task"] == "mct":
+            model = NTTForMCT(config, NTT(config))
+        else:
+            model = NTTForDelay(config)
+        model.load_state_dict(state)
+        result = FinetuneResult(
+            model=model,
+            history=_history_from_dict(metadata["history"]),
+            test_mse=metadata["test_mse"],
+            mode=metadata["mode"],
+            task=metadata["task"],
+        )
+        return result, _pipeline_from_dict(metadata["pipeline"])

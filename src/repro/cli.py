@@ -1,14 +1,22 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands mirror the library workflow:
+Commands mirror the ``repro.api`` workflow:
 
-* ``simulate`` — run a Fig. 4 scenario and print a trace report (or
-  save the trace as ``.npz``).
-* ``pretrain`` — generate the pre-training dataset, pre-train an NTT and
-  save a checkpoint.
-* ``evaluate`` — evaluate a checkpoint against the naive baselines on a
-  chosen scenario.
+* ``run`` — run the paper's evaluation tables through the cached
+  experiment facade.
+* ``predict`` — serve batched predictions from a checkpoint (or the
+  cached pre-trained/fine-tuned model).
+* ``cache`` — inspect or clear the on-disk artifact store.
+* ``scenarios`` — list every registered scenario.
+* ``simulate`` — run one scenario and print a trace report (or save
+  the trace as ``.npz``).
+* ``pretrain`` — pre-train an NTT and save a self-describing checkpoint.
+* ``evaluate`` — evaluate a checkpoint against the naive baselines.
 * ``report`` — dataset statistics for any scenario/scale.
+
+Unknown scales or scenario names exit with code 2 and a message listing
+the valid choices (instead of a ``ValueError`` traceback from deep in
+the call stack).
 """
 
 from __future__ import annotations
@@ -18,7 +26,28 @@ import sys
 
 from repro.version import __version__
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CLIError"]
+
+_SCALES = ["smoke", "small", "paper"]
+
+
+class CLIError(Exception):
+    """A user-facing CLI error: printed cleanly, exit code 2."""
+
+
+def _scenario_arg(value: str) -> str:
+    """Parse-time scenario validation.
+
+    A ``type`` callable instead of argparse ``choices`` keeps the heavy
+    ``repro.api`` import off the startup path (``--help``/``--version``
+    and commands using the default never pay it)."""
+    from repro.api.registry import SCENARIOS
+
+    if value not in SCENARIOS:
+        raise argparse.ArgumentTypeError(
+            f"unknown scenario {value!r}; choose from {SCENARIOS.names()}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,7 +58,37 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    simulate = sub.add_parser("simulate", help="run a Fig. 4 scenario")
+    run = sub.add_parser("run", help="run the paper's tables (cached via repro.api)")
+    # No --scenario: the table runners prescribe their own scenarios.
+    _add_common(run, scenario=False)
+    run.add_argument(
+        "--table", default="2", choices=["1", "2", "3", "all"],
+        help="which evaluation table to reproduce",
+    )
+    run.add_argument("--epochs", type=int, default=None, help="override training epochs")
+    _add_cache_options(run)
+
+    predict = sub.add_parser("predict", help="serve batched predictions")
+    _add_common(predict)
+    predict.add_argument(
+        "--checkpoint", default=None,
+        help="predictor checkpoint; defaults to the cached experiment model",
+    )
+    predict.add_argument("--task", default="delay", choices=["delay", "mct"])
+    predict.add_argument("--limit", type=int, default=5, help="sample rows to print")
+    _add_cache_options(predict)
+
+    cache = sub.add_parser("cache", help="inspect or clear the artifact store")
+    cache.add_argument("action", nargs="?", default="list", choices=["list", "clear"])
+    cache.add_argument(
+        "--kind", default=None, choices=["traces", "bundles", "checkpoints"],
+        help="restrict `clear` to one artifact kind",
+    )
+    cache.add_argument("--cache-dir", default=None, help="artifact store root")
+
+    sub.add_parser("scenarios", help="list registered scenarios")
+
+    simulate = sub.add_parser("simulate", help="run a scenario simulation")
     _add_common(simulate)
     simulate.add_argument("--output", help="save the trace to this .npz path")
     simulate.add_argument("--runs", type=int, default=1, help="number of runs")
@@ -38,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(pretrain)
     pretrain.add_argument("--output", default="ntt_checkpoint.npz", help="checkpoint path")
     pretrain.add_argument("--epochs", type=int, default=None, help="override epochs")
+    _add_cache_options(pretrain)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a checkpoint vs baselines")
     _add_common(evaluate)
@@ -48,20 +108,153 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--scenario", default="pretrain", choices=["pretrain", "case1", "case2"]
-    )
-    parser.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
+def _add_common(parser: argparse.ArgumentParser, scenario: bool = True) -> None:
+    if scenario:
+        parser.add_argument(
+            "--scenario", default="pretrain", type=_scenario_arg,
+            help="a registered scenario (see `repro scenarios`)",
+        )
+    parser.add_argument("--scale", default="smoke", choices=_SCALES)
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact store root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the artifact store"
+    )
+
+
+def _resolve_scale(name: str):
+    from repro.core.pipeline import get_scale
+
+    try:
+        return get_scale(name)
+    except ValueError as error:
+        raise CLIError(str(error)) from None
+
+
+def _load_predictor(path):
+    from repro.api import Predictor
+
+    try:
+        return Predictor.from_checkpoint(path)
+    except (FileNotFoundError, ValueError) as error:
+        raise CLIError(str(error)) from None
+
+
+def _build_experiment(args, scenario: str | None = None, cached: bool = True):
+    """An :class:`Experiment` honouring the shared CLI options.
+
+    ``cached=False`` (read-only commands like ``report``) skips the
+    artifact store entirely.
+    """
+    from repro.api import ArtifactStore, Experiment, ExperimentSpec
+
+    scale = _resolve_scale(args.scale)
+    overrides = {}
+    epochs = getattr(args, "epochs", None)
+    if epochs is not None:
+        overrides["pretrain"] = scale.pretrain_settings.scaled(epochs)
+        overrides["finetune"] = scale.finetune_settings.scaled(epochs)
+    try:
+        spec = ExperimentSpec(
+            scenario=scenario if scenario is not None else getattr(args, "scenario", "pretrain"),
+            scale=scale.name,
+            seed=args.seed,
+            **overrides,
+        )
+    except ValueError as error:
+        raise CLIError(str(error)) from None
+    if not cached or getattr(args, "no_cache", False):
+        store = None
+    else:
+        store = ArtifactStore(getattr(args, "cache_dir", None))
+    return Experiment(spec, store=store)
+
+
+# -- commands ---------------------------------------------------------------------
+
+
+def _cmd_run(args) -> int:
+    from repro.core.pipeline import format_rows
+
+    experiment = _build_experiment(args)
+    if experiment.store is not None:
+        print(f"artifact store: {experiment.store.root}")
+    tables = [1, 2, 3] if args.table == "all" else [int(args.table)]
+    for table in tables:
+        rows = experiment.run_table(table)
+        print(f"\n== Table {table} ({experiment.spec.scale} scale)")
+        print(format_rows(rows))
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    import numpy as np
+
+    experiment = _build_experiment(args)
+    if args.checkpoint is not None:
+        predictor = _load_predictor(args.checkpoint)
+        if predictor.task != args.task:
+            raise CLIError(
+                f"checkpoint serves task {predictor.task!r}, requested {args.task!r}"
+            )
+    else:
+        predictor = experiment.predictor(task=args.task)
+    test = experiment.bundle().test
+    if args.task == "mct":
+        test = test.with_completed_messages_only()
+    if len(test) == 0:
+        raise CLIError(f"scenario {args.scenario!r} produced no test windows")
+    predictions = predictor.predict_dataset(test)
+    actual = np.log(test.mct_target) if args.task == "mct" else test.delay_target
+    mse = float(np.mean((predictions - actual) ** 2))
+    unit = "log-s" if args.task == "mct" else "s"
+    print(f"{predictor!r} on {args.scenario} ({len(test)} windows)")
+    for index in range(min(args.limit, len(test))):
+        print(
+            f"  window {index}: predicted {predictions[index]:.6f} {unit}, "
+            f"actual {actual[index]:.6f} {unit}"
+        )
+    print(f"test MSE: {mse:.6e} {unit}^2")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.api import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear(args.kind)
+        print(f"removed {removed} artifact(s) from {store.root}")
+        return 0
+    summary = store.summary()
+    print(f"artifact store: {store.root}")
+    total = 0
+    for kind, row in summary.items():
+        total += row["bytes"]
+        print(f"  {kind:12s} {row['count']:5d} file(s)  {row['bytes'] / 1e6:8.2f} MB")
+    print(f"  {'total':12s} {'':5s}         {total / 1e6:8.2f} MB")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.api.registry import SCENARIOS
+
+    for entry in SCENARIOS.entries():
+        print(f"{entry.name:24s} {entry.description}")
+    return 0
 
 
 def _cmd_simulate(args) -> int:
     from repro.analysis.reports import trace_report
-    from repro.core.pipeline import get_scale
     from repro.netsim.scenarios import generate_traces
 
-    scale = get_scale(args.scale)
+    scale = _resolve_scale(args.scale)
     traces = generate_traces(scale.scenario(args.scenario, seed=args.seed), n_runs=args.runs)
     for index, trace in enumerate(traces):
         print(trace_report(trace, name=f"{args.scenario} run {index}"))
@@ -72,55 +265,30 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_pretrain(args) -> int:
-    from dataclasses import replace
-
-    from repro.core.pipeline import ExperimentContext, get_scale
-    from repro.nn.serialize import save_checkpoint
-
-    scale = get_scale(args.scale)
-    if args.epochs is not None:
-        scale = replace(scale, pretrain_settings=scale.pretrain_settings.scaled(args.epochs))
-    context = ExperimentContext(scale)
-    result = context.pretrained()
+    experiment = _build_experiment(args, scenario="pretrain")
+    result = experiment.pretrained()
     print(
         f"pre-trained in {result.history.wall_time:.0f}s; "
         f"test delay MSE {result.test_mse_scaled:.4f} x1e-3 s^2"
     )
-    save_checkpoint(
-        result.model,
-        args.output,
-        metadata={
-            "scale": scale.name,
-            "scaler": result.pipeline.feature_scaler.to_dict(),
-            "message_size_scaler": result.pipeline.message_size_scaler.to_dict(),
-            "test_mse_seconds2": result.test_mse_seconds2,
-        },
-    )
+    from repro.api import Predictor
+
+    Predictor(result.model, result.pipeline).save(args.output)
     print(f"checkpoint written to {args.output}")
     return 0
 
 
 def _cmd_evaluate(args) -> int:
+    import numpy as np
+
     from repro.core.baselines import evaluate_baselines
-    from repro.core.evaluation import evaluate_delay
-    from repro.core.features import FeaturePipeline
-    from repro.core.model import NTTForDelay
-    from repro.core.pipeline import ExperimentContext, get_scale
-    from repro.datasets.normalize import FeatureScaler
-    from repro.nn.serialize import load_state
 
-    scale = get_scale(args.scale)
-    context = ExperimentContext(scale)
-    bundle = context.bundle(args.scenario)
+    experiment = _build_experiment(args, cached=False)
+    bundle = experiment.bundle()
 
-    state, metadata = load_state(args.checkpoint)
-    model = NTTForDelay(scale.model_config())
-    model.load_state_dict(state)
-    pipeline = FeaturePipeline()
-    pipeline.feature_scaler = FeatureScaler.from_dict(metadata["scaler"])
-    pipeline.message_size_scaler = FeatureScaler.from_dict(metadata["message_size_scaler"])
-
-    mse = evaluate_delay(model, pipeline, bundle.test)
+    predictor = _load_predictor(args.checkpoint)
+    predictions = predictor.predict_dataset(bundle.test)
+    mse = float(np.mean((predictions - bundle.test.delay_target) ** 2))
     print(f"checkpoint delay MSE on {args.scenario}: {mse * 1e3:.4f} x1e-3 s^2")
     for name, row in evaluate_baselines(bundle.test).items():
         print(f"baseline {name:14s}: {row['delay_mse'] * 1e3:.4f} x1e-3 s^2")
@@ -129,15 +297,17 @@ def _cmd_evaluate(args) -> int:
 
 def _cmd_report(args) -> int:
     from repro.analysis.reports import dataset_report
-    from repro.core.pipeline import ExperimentContext, get_scale
 
-    scale = get_scale(args.scale)
-    context = ExperimentContext(scale)
-    print(dataset_report(context.bundle(args.scenario)))
+    experiment = _build_experiment(args, cached=False)
+    print(dataset_report(experiment.bundle()))
     return 0
 
 
 _COMMANDS = {
+    "run": _cmd_run,
+    "predict": _cmd_predict,
+    "cache": _cmd_cache,
+    "scenarios": _cmd_scenarios,
     "simulate": _cmd_simulate,
     "pretrain": _cmd_pretrain,
     "evaluate": _cmd_evaluate,
@@ -148,7 +318,12 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except CLIError as error:
+        # User-facing errors only — genuine bugs keep their traceback.
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests

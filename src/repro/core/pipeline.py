@@ -50,20 +50,29 @@ class ExperimentScale:
     fine_fraction: float = 0.1
     #: aggregation variants for the Table 1 ablations, keyed by name.
     aggregation_variants: dict = field(default_factory=dict)
+    #: optional architecture override (set by :mod:`repro.api` specs);
+    #: ``None`` selects the per-scale default config.
+    model: NTTConfig | None = None
 
     def scenario(self, kind: str, seed: int = 0) -> ScenarioConfig:
-        if self.name == "paper":
-            return ScenarioConfig.paper(kind, seed=seed)
-        if self.name == "smoke":
-            return ScenarioConfig.smoke(kind, seed=seed)
-        return ScenarioConfig.small(kind, seed=seed)
+        """Build any *registered* scenario at this scale.
+
+        ``kind`` is a name in :data:`repro.api.registry.SCENARIOS` —
+        the three Fig. 4 setups plus every plugin registered through
+        ``@register_scenario``.
+        """
+        from repro.api.registry import SCENARIOS
+
+        return SCENARIOS.build(kind, scale=self.name, seed=seed)
 
     def model_config(
         self,
         features: FeatureSpec | None = None,
         aggregation: AggregationSpec | None = None,
     ) -> NTTConfig:
-        if self.name == "paper":
+        if self.model is not None:
+            base = self.model
+        elif self.name == "paper":
             base = NTTConfig.paper()
         elif self.name == "smoke":
             base = NTTConfig.smoke()
@@ -142,41 +151,89 @@ class ExperimentContext:
     """Caches datasets and the shared pre-trained model for one scale.
 
     Dataset generation and pre-training dominate experiment wall time;
-    the three table runners share them through this context.
+    the three table runners share them through this context.  Two layers
+    of caching apply:
+
+    * in-memory — repeated calls on one context return the same object;
+    * on-disk — when constructed with an
+      :class:`~repro.api.store.ArtifactStore`, bundles and checkpoints
+      are content-addressed by everything that produced them, so a fresh
+      context (even in a new process) with the same spec is served from
+      disk instead of re-simulating / re-training.
     """
 
-    def __init__(self, scale: ExperimentScale):
+    def __init__(self, scale: ExperimentScale, store=None, seed: int = 0):
         self.scale = scale
+        self.store = store
+        self.seed = seed
         self._bundles: dict[str, DatasetBundle] = {}
         self._pretrained: PretrainResult | None = None
+
+    def scenario_config(self, kind: str) -> "ScenarioConfig":
+        """The resolved scenario config for a registered scenario name."""
+        return self.scale.scenario(kind, seed=self.seed)
 
     # -- datasets -----------------------------------------------------------------
 
     def bundle(self, kind: str) -> DatasetBundle:
-        """The windowed dataset for one scenario kind (cached)."""
+        """The windowed dataset for one scenario (cached; store-backed)."""
         if kind not in self._bundles:
             receiver_index = None
             if kind != ScenarioKind.PRETRAIN:
                 # Receiver identities are shared with pre-training.
                 receiver_index = self.bundle(ScenarioKind.PRETRAIN).receiver_index
-            self._bundles[kind] = generate_dataset(
-                self.scale.scenario(kind),
+            scenario = self.scenario_config(kind)
+            key = None
+            if self.store is not None:
+                from repro.api.store import bundle_key
+
+                key = bundle_key(
+                    scenario, self.scale.window, self.scale.n_runs, receiver_index
+                )
+                cached = self.store.get_bundle(key)
+                if cached is not None:
+                    self._bundles[kind] = cached
+                    return cached
+            bundle = generate_dataset(
+                scenario,
                 window_config=self.scale.window,
                 n_runs=self.scale.n_runs,
                 name=kind,
                 receiver_index=receiver_index,
             )
+            if self.store is not None:
+                self.store.put_bundle(key, bundle)
+            self._bundles[kind] = bundle
         return self._bundles[kind]
 
     # -- models --------------------------------------------------------------------
 
+    def _pretrain_cached(self, config: NTTConfig, settings: TrainSettings) -> PretrainResult:
+        """Pre-train one configuration, store-backed when possible."""
+        key = None
+        if self.store is not None:
+            from repro.api.store import pretrained_key
+
+            key = pretrained_key(
+                self.scenario_config(ScenarioKind.PRETRAIN),
+                self.scale.window,
+                self.scale.n_runs,
+                config,
+                settings,
+            )
+            cached = self.store.get_pretrained(key)
+            if cached is not None:
+                return cached
+        result = pretrain(config, self.bundle(ScenarioKind.PRETRAIN), settings=settings)
+        if self.store is not None:
+            self.store.put_pretrained(key, result)
+        return result
+
     def pretrained(self) -> PretrainResult:
         """The shared fully-featured pre-trained NTT (cached)."""
         if self._pretrained is None:
-            self._pretrained = pretrain(
-                self.scale.model_config(),
-                self.bundle(ScenarioKind.PRETRAIN),
-                settings=self.scale.pretrain_settings,
+            self._pretrained = self._pretrain_cached(
+                self.scale.model_config(), self.scale.pretrain_settings
             )
         return self._pretrained
 
@@ -186,9 +243,15 @@ class ExperimentContext:
         aggregation: AggregationSpec | None = None,
         pipeline: FeaturePipeline | None = None,
     ) -> PretrainResult:
-        """Pre-train an ablated NTT variant (not cached: each Table 1 row
-        uses its own)."""
+        """Pre-train an ablated NTT variant.
+
+        Store-backed like :meth:`pretrained` (each Table 1 row keys its
+        own checkpoint) unless a custom ``pipeline`` is supplied, whose
+        fitted statistics the cache key cannot see.
+        """
         config = self.scale.model_config(features=features, aggregation=aggregation)
+        if pipeline is None:
+            return self._pretrain_cached(config, self.scale.pretrain_settings)
         return pretrain(
             config,
             self.bundle(ScenarioKind.PRETRAIN),

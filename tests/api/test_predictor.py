@@ -1,0 +1,104 @@
+"""Tests for the batched Predictor facade."""
+
+import numpy as np
+import pytest
+
+from repro.api import Predictor
+from repro.core.evaluation import predict_delay
+from repro.core.model import NTTConfig
+from repro.core.pretrain import TrainSettings, pretrain
+
+FAST = TrainSettings(epochs=1, batch_size=32, patience=None)
+
+
+@pytest.fixture(scope="module")
+def trained(smoke_bundle):
+    return pretrain(NTTConfig.smoke(), smoke_bundle, settings=FAST)
+
+
+class TestBatching:
+    def test_matches_unbatched_evaluation(self, trained, smoke_bundle):
+        test = smoke_bundle.test
+        expected = predict_delay(trained.model, trained.pipeline, test)
+        predictor = Predictor(trained.model, trained.pipeline, batch_size=7)
+        assert np.allclose(predictor.predict_dataset(test), expected)
+
+    def test_same_batch_size_is_deterministic(self, trained, smoke_bundle):
+        test = smoke_bundle.test
+        predictor = Predictor(trained.model, trained.pipeline, batch_size=16)
+        assert np.array_equal(
+            predictor.predict_dataset(test), predictor.predict_dataset(test)
+        )
+
+    def test_batch_size_changes_results_only_at_ulp_level(self, trained, smoke_bundle):
+        # Different BLAS batch groupings may differ in the last float
+        # ulps, but nothing more.
+        test = smoke_bundle.test
+        small = Predictor(trained.model, trained.pipeline, batch_size=3)
+        large = Predictor(trained.model, trained.pipeline, batch_size=1024)
+        np.testing.assert_allclose(
+            small.predict_dataset(test), large.predict_dataset(test), rtol=1e-12
+        )
+
+    def test_raw_numpy_batches(self, trained, smoke_bundle):
+        test = smoke_bundle.test
+        predictor = Predictor(trained.model, trained.pipeline)
+        out = predictor.predict(test.features[:10], test.receiver[:10])
+        assert out.shape == (10,)
+        # Physical units: delays are positive and well under a second.
+        assert np.all(out < 1.0)
+
+    def test_empty_batch(self, trained):
+        predictor = Predictor(trained.model, trained.pipeline)
+        window = trained.model.config.aggregation.seq_len
+        out = predictor.predict(
+            np.zeros((0, window, 3)), np.zeros((0, window), dtype=np.int64)
+        )
+        assert out.shape == (0,)
+
+
+class TestValidation:
+    def test_unknown_task_rejected(self, trained):
+        with pytest.raises(ValueError, match="task"):
+            Predictor(trained.model, trained.pipeline, task="jitter")
+
+    def test_bad_batch_size_rejected(self, trained):
+        with pytest.raises(ValueError, match="batch_size"):
+            Predictor(trained.model, trained.pipeline, batch_size=0)
+
+    def test_shape_mismatch_rejected(self, trained, smoke_bundle):
+        predictor = Predictor(trained.model, trained.pipeline)
+        test = smoke_bundle.test
+        with pytest.raises(ValueError, match="batch sizes"):
+            predictor.predict(test.features[:4], test.receiver[:2])
+
+    def test_mct_requires_message_size(self, trained, smoke_bundle):
+        trained.pipeline.fit_mct(smoke_bundle.train.with_completed_messages_only())
+        from repro.core.model import NTT, NTTForMCT
+
+        config = trained.model.config
+        mct_model = NTTForMCT(config, NTT(config))
+        predictor = Predictor(mct_model, trained.pipeline, task="mct")
+        test = smoke_bundle.test
+        with pytest.raises(ValueError, match="message_size"):
+            predictor.predict(test.features[:4], test.receiver[:4])
+
+
+class TestCheckpointRoundTrip:
+    def test_save_load_bit_for_bit(self, trained, smoke_bundle, tmp_path):
+        path = tmp_path / "predictor.npz"
+        original = Predictor(trained.model, trained.pipeline)
+        original.save(path)
+        restored = Predictor.from_checkpoint(path)
+        test = smoke_bundle.test
+        assert np.array_equal(
+            original.predict_dataset(test), restored.predict_dataset(test)
+        )
+
+    def test_legacy_checkpoint_without_config_rejected(self, trained, tmp_path):
+        from repro.nn.serialize import save_checkpoint
+
+        path = tmp_path / "legacy.npz"
+        save_checkpoint(trained.model, path, metadata={"scale": "smoke"})
+        with pytest.raises(ValueError, match="config"):
+            Predictor.from_checkpoint(path)

@@ -1,0 +1,91 @@
+"""Tests for the pluggable scenario registry."""
+
+import pytest
+
+from repro.api import SCENARIOS, ScenarioRegistry
+from repro.core.pipeline import get_scale
+from repro.netsim.scenarios import ScenarioConfig, ScenarioKind
+
+
+class TestDefaultRegistry:
+    def test_lists_at_least_six_scenarios(self):
+        assert len(SCENARIOS) >= 6
+
+    def test_builtin_kinds_migrated(self):
+        for name in (*ScenarioKind.ALL, "pretrain_red"):
+            assert name in SCENARIOS
+
+    def test_extension_scenarios_registered(self):
+        assert "bursty_cross" in SCENARIOS
+        assert "asymmetric_bottleneck" in SCENARIOS
+
+    @pytest.mark.parametrize("scale", ["smoke", "small", "paper"])
+    def test_every_scenario_builds_at_every_scale(self, scale):
+        for name in SCENARIOS:
+            config = SCENARIOS.build(name, scale=scale, seed=3)
+            assert isinstance(config, ScenarioConfig)
+            assert config.seed == 3
+
+    def test_builtins_match_legacy_presets(self):
+        assert SCENARIOS.build("pretrain", scale="paper") == ScenarioConfig.paper("pretrain")
+        assert SCENARIOS.build("case1", scale="smoke") == ScenarioConfig.smoke("case1")
+
+    def test_red_variant_changes_discipline_only_knob(self):
+        config = SCENARIOS.build("pretrain_red", scale="smoke")
+        assert config.bottleneck_discipline == "red"
+
+    def test_bursty_cross_has_heavier_cross_traffic(self):
+        base = SCENARIOS.build("case1", scale="smoke")
+        bursty = SCENARIOS.build("bursty_cross", scale="smoke")
+        assert bursty.n_cross_flows > base.n_cross_flows
+        assert bursty.cross_traffic_bps > base.cross_traffic_bps
+
+    def test_asymmetric_bottleneck_slows_receiver_links(self):
+        config = SCENARIOS.build("asymmetric_bottleneck", scale="smoke")
+        assert config.receiver_rate_bps < config.bottleneck_rate_bps
+
+    def test_unknown_scenario_lists_choices(self):
+        with pytest.raises(ValueError, match="pretrain"):
+            SCENARIOS.build("bogus")
+
+    def test_unknown_scale_lists_choices(self):
+        with pytest.raises(ValueError, match="smoke"):
+            SCENARIOS.build("pretrain", scale="enormous")
+
+
+class TestRegistration:
+    def test_decorator_registers_and_builds(self):
+        registry = ScenarioRegistry()
+
+        @registry.register("custom", description="a test scenario")
+        def build_custom(scale: str, seed: int) -> ScenarioConfig:
+            return ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=seed)
+
+        assert "custom" in registry
+        assert registry.build("custom", scale="smoke", seed=5).seed == 5
+        assert registry.get("custom").description == "a test scenario"
+
+    def test_duplicate_registration_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register("name")(lambda scale, seed: ScenarioConfig.smoke())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("name")(lambda scale, seed: ScenarioConfig.smoke())
+
+    def test_explicit_replacement_allowed(self):
+        registry = ScenarioRegistry()
+        registry.register("name")(lambda scale, seed: ScenarioConfig.smoke())
+        registry.register("name", replace_existing=True)(
+            lambda scale, seed: ScenarioConfig.smoke(seed=1)
+        )
+        assert registry.build("name", scale="smoke").seed == 1
+
+
+class TestScaleIntegration:
+    def test_experiment_scale_routes_through_registry(self):
+        scale = get_scale("smoke")
+        config = scale.scenario("bursty_cross", seed=2)
+        assert config.seed == 2
+        assert config.n_cross_flows > 2
+
+    def test_legacy_kind_lookup_still_works(self):
+        assert get_scale("paper").scenario(ScenarioKind.PRETRAIN).n_senders == 60

@@ -1,0 +1,109 @@
+"""Tests for declarative experiment specs and their content hashes."""
+
+import pytest
+
+from repro.api import ExperimentSpec, WindowConfig
+from repro.api.hashing import stable_hash, to_jsonable
+from repro.api.spec import (
+    ntt_config_from_dict,
+    ntt_config_to_dict,
+    scenario_config_from_dict,
+    scenario_config_to_dict,
+)
+from repro.core.model import NTTConfig
+from repro.netsim.scenarios import ScenarioConfig
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        payload = {"b": 2, "a": [1.5, "x", None], "c": (True, False)}
+        assert stable_hash(payload) == stable_hash(payload)
+
+    def test_key_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_dataclasses_tagged_by_type(self):
+        # Two different config types with identical fields must differ.
+        assert stable_hash(WindowConfig(64, 4)) != stable_hash({"window_len": 64, "stride": 4})
+
+    def test_plain_objects_canonicalised_without_ids(self):
+        from repro.netsim.workloads import FixedMessageSizes
+
+        first = to_jsonable(FixedMessageSizes(100))
+        second = to_jsonable(FixedMessageSizes(100))
+        assert first == second
+        assert first["__class__"] == "FixedMessageSizes"
+
+
+class TestExperimentSpec:
+    def test_defaults_hash_like_explicit_equivalents(self):
+        implicit = ExperimentSpec(scale="smoke")
+        explicit = ExperimentSpec(scale="smoke", n_runs=1)  # smoke default
+        assert implicit.spec_hash == explicit.spec_hash
+
+    def test_hash_stable_across_instances(self):
+        assert (
+            ExperimentSpec(scenario="case1", scale="smoke").spec_hash
+            == ExperimentSpec(scenario="case1", scale="smoke").spec_hash
+        )
+
+    def test_seed_changes_hash(self):
+        assert (
+            ExperimentSpec(scale="smoke").spec_hash
+            != ExperimentSpec(scale="smoke", seed=1).spec_hash
+        )
+
+    def test_window_changes_hash(self):
+        assert (
+            ExperimentSpec(scale="smoke").spec_hash
+            != ExperimentSpec(scale="smoke", window=WindowConfig(64, 2)).spec_hash
+        )
+
+    def test_spec_usable_as_dict_key(self):
+        table = {ExperimentSpec(scale="smoke"): "value"}
+        assert table[ExperimentSpec(scale="smoke")] == "value"
+
+    def test_unknown_scenario_rejected_with_choices(self):
+        with pytest.raises(ValueError, match="pretrain"):
+            ExperimentSpec(scenario="bogus", scale="smoke")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="smoke"):
+            ExperimentSpec(scale="enormous")
+
+    def test_to_scale_applies_overrides(self):
+        spec = ExperimentSpec(
+            scale="smoke", n_runs=3, window=WindowConfig(64, 2), fine_fraction=0.5
+        )
+        scale = spec.to_scale()
+        assert scale.n_runs == 3
+        assert scale.window.stride == 2
+        assert scale.fine_fraction == 0.5
+
+    def test_model_override_resolves(self):
+        config = NTTConfig.smoke(n_layers=3)
+        spec = ExperimentSpec(scale="smoke", model=config)
+        assert spec.to_scale().model_config().n_layers == 3
+        assert spec.spec_hash != ExperimentSpec(scale="smoke").spec_hash
+
+    def test_dict_roundtrip(self):
+        spec = ExperimentSpec(
+            scenario="case2",
+            scale="smoke",
+            seed=7,
+            window=WindowConfig(64, 2),
+            model=NTTConfig.smoke(),
+            fine_fraction=0.2,
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestConfigConverters:
+    def test_ntt_config_roundtrip(self):
+        config = NTTConfig.paper()
+        assert ntt_config_from_dict(ntt_config_to_dict(config)) == config
+
+    def test_scenario_config_roundtrip(self):
+        config = ScenarioConfig.small("case2", seed=3)
+        restored = scenario_config_from_dict(scenario_config_to_dict(config))
+        assert restored == config

@@ -1,0 +1,235 @@
+"""Tests for the content-addressed artifact store.
+
+Covers the ISSUE's acceptance criteria: checkpoint round-trips are
+bit-for-bit, same-spec lookups hit, changed seed/window lookups miss,
+and a second context with the same spec never re-simulates or
+re-trains.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.pipeline as pipeline_module
+from repro.api import ArtifactStore, Predictor
+from repro.api.store import bundle_key, finetuned_key, pretrained_key, traces_key
+from repro.core.model import NTTConfig, NTTForDelay
+from repro.core.pipeline import ExperimentContext, get_scale
+from repro.core.pretrain import TrainSettings, pretrain
+from repro.netsim.scenarios import ScenarioConfig, ScenarioKind, generate_traces
+from repro.nn.serialize import load_checkpoint, save_checkpoint
+
+FAST = TrainSettings(epochs=1, batch_size=32, patience=None)
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "cache")
+
+
+@pytest.fixture(scope="module")
+def smoke_pretrain(smoke_bundle):
+    """One tiny pre-training run shared by the round-trip tests."""
+    return pretrain(NTTConfig.smoke(), smoke_bundle, settings=FAST)
+
+
+class TestGenericAccess:
+    def test_unknown_kind_rejected(self, store):
+        with pytest.raises(ValueError, match="bundles"):
+            store.path("models", "abc")
+
+    def test_get_missing_returns_none(self, store):
+        assert store.get("bundles", "missing") is None
+
+    def test_summary_counts_files(self, store, smoke_bundle):
+        store.put_bundle("k1", smoke_bundle)
+        summary = store.summary()
+        assert summary["bundles"]["count"] == 1
+        assert summary["bundles"]["bytes"] > 0
+
+    def test_clear(self, store, smoke_bundle):
+        store.put_bundle("k1", smoke_bundle)
+        assert store.clear() == 1
+        assert store.keys("bundles") == []
+
+
+class TestBundleRoundTrip:
+    def test_arrays_and_metadata_survive(self, store, smoke_bundle):
+        store.put_bundle("key", smoke_bundle)
+        restored = store.get_bundle("key")
+        for split in ("train", "val", "test"):
+            original = getattr(smoke_bundle, split)
+            loaded = getattr(restored, split)
+            assert np.array_equal(original.features, loaded.features)
+            assert np.array_equal(original.receiver, loaded.receiver)
+            assert np.array_equal(original.delay_target, loaded.delay_target)
+            assert np.array_equal(
+                original.mct_target, loaded.mct_target, equal_nan=True
+            )
+            assert np.array_equal(original.message_size, loaded.message_size)
+            assert np.array_equal(original.mct_seq, loaded.mct_seq, equal_nan=True)
+            assert np.array_equal(original.end_seq, loaded.end_seq)
+        assert restored.receiver_index == smoke_bundle.receiver_index
+        assert restored.scenario == smoke_bundle.scenario
+        assert restored.window_config == smoke_bundle.window_config
+        assert restored.n_packets == smoke_bundle.n_packets
+        assert restored.name == smoke_bundle.name
+
+
+class TestCheckpointRoundTrip:
+    def test_save_get_load_is_bit_for_bit(self, store, smoke_bundle, smoke_pretrain):
+        """save_checkpoint -> ArtifactStore.get -> load_checkpoint must
+        reproduce identical predictions."""
+        key = "roundtrip"
+        save_checkpoint(
+            smoke_pretrain.model, store.path("checkpoints", key), metadata={"x": 1}
+        )
+        path = store.get("checkpoints", key)
+        assert path is not None
+
+        fresh = NTTForDelay(NTTConfig.smoke())
+        metadata = load_checkpoint(fresh, path)
+        assert metadata == {"x": 1}
+
+        test = smoke_bundle.test
+        original = Predictor(smoke_pretrain.model, smoke_pretrain.pipeline)
+        restored = Predictor(fresh, smoke_pretrain.pipeline)
+        assert np.array_equal(
+            original.predict_dataset(test), restored.predict_dataset(test)
+        )
+
+    def test_pretrained_result_roundtrip(self, store, smoke_bundle, smoke_pretrain):
+        store.put_pretrained("key", smoke_pretrain)
+        restored = store.get_pretrained("key")
+        assert restored.test_mse_seconds2 == smoke_pretrain.test_mse_seconds2
+        assert restored.history.epochs_run == smoke_pretrain.history.epochs_run
+        test = smoke_bundle.test
+        assert np.array_equal(
+            Predictor(smoke_pretrain.model, smoke_pretrain.pipeline).predict_dataset(test),
+            Predictor(restored.model, restored.pipeline).predict_dataset(test),
+        )
+
+
+class TestCacheKeys:
+    def test_same_inputs_hit(self):
+        scenario = ScenarioConfig.smoke(ScenarioKind.PRETRAIN)
+        scale = get_scale("smoke")
+        assert bundle_key(scenario, scale.window, 1) == bundle_key(
+            ScenarioConfig.smoke(ScenarioKind.PRETRAIN), scale.window, 1
+        )
+        assert pretrained_key(
+            scenario, scale.window, 1, NTTConfig.smoke(), FAST
+        ) == pretrained_key(scenario, scale.window, 1, NTTConfig.smoke(), FAST)
+
+    def test_changed_seed_misses(self):
+        scale = get_scale("smoke")
+        assert bundle_key(
+            ScenarioConfig.smoke(seed=0), scale.window, 1
+        ) != bundle_key(ScenarioConfig.smoke(seed=1), scale.window, 1)
+
+    def test_changed_window_misses(self):
+        scenario = ScenarioConfig.smoke()
+        scale = get_scale("smoke")
+        from repro.datasets.windows import WindowConfig
+
+        assert bundle_key(scenario, scale.window, 1) != bundle_key(
+            scenario, WindowConfig(window_len=32, stride=4), 1
+        )
+
+    def test_model_and_settings_key_checkpoints(self):
+        scenario = ScenarioConfig.smoke()
+        scale = get_scale("smoke")
+        base = pretrained_key(scenario, scale.window, 1, NTTConfig.smoke(), FAST)
+        assert base != pretrained_key(
+            scenario, scale.window, 1, NTTConfig.smoke(n_layers=2), FAST
+        )
+        assert base != pretrained_key(
+            scenario, scale.window, 1, NTTConfig.smoke(), FAST.scaled(2)
+        )
+
+    def test_artifact_kinds_never_collide(self):
+        scenario = ScenarioConfig.smoke()
+        scale = get_scale("smoke")
+        assert traces_key(scenario, 1) != bundle_key(scenario, scale.window, 1)
+
+    def test_finetuned_key_depends_on_task_and_fraction(self):
+        scenario = ScenarioConfig.smoke(ScenarioKind.CASE1)
+        base = finetuned_key("abc", scenario, "delay", "decoder_only", None, FAST)
+        assert base != finetuned_key("abc", scenario, "mct", "decoder_only", None, FAST)
+        assert base != finetuned_key("abc", scenario, "delay", "decoder_only", 0.1, FAST)
+
+
+class TestStoreBackedContext:
+    """The acceptance criterion: a second context with the same spec is
+    served from the store — no second simulation or training run."""
+
+    @pytest.fixture
+    def fast_scale(self):
+        from dataclasses import replace
+
+        scale = get_scale("smoke")
+        return replace(scale, pretrain_settings=FAST, finetune_settings=FAST)
+
+    @pytest.fixture
+    def counters(self, monkeypatch):
+        counts = {"generate_dataset": 0, "pretrain": 0}
+        real_generate = pipeline_module.generate_dataset
+        real_pretrain = pipeline_module.pretrain
+
+        def counting_generate(*args, **kwargs):
+            counts["generate_dataset"] += 1
+            return real_generate(*args, **kwargs)
+
+        def counting_pretrain(*args, **kwargs):
+            counts["pretrain"] += 1
+            return real_pretrain(*args, **kwargs)
+
+        monkeypatch.setattr(pipeline_module, "generate_dataset", counting_generate)
+        monkeypatch.setattr(pipeline_module, "pretrain", counting_pretrain)
+        return counts
+
+    def test_second_context_never_recomputes(self, fast_scale, store, counters):
+        first = ExperimentContext(fast_scale, store=store)
+        first.bundle(ScenarioKind.PRETRAIN)
+        first.pretrained()
+        assert counters == {"generate_dataset": 1, "pretrain": 1}
+
+        second = ExperimentContext(fast_scale, store=store)
+        bundle = second.bundle(ScenarioKind.PRETRAIN)
+        result = second.pretrained()
+        assert counters == {"generate_dataset": 1, "pretrain": 1}
+        assert len(bundle.train) == len(first.bundle(ScenarioKind.PRETRAIN).train)
+        assert result.test_mse_seconds2 == first.pretrained().test_mse_seconds2
+
+    def test_changed_seed_recomputes(self, fast_scale, store, counters):
+        ExperimentContext(fast_scale, store=store, seed=0).bundle(ScenarioKind.PRETRAIN)
+        ExperimentContext(fast_scale, store=store, seed=1).bundle(ScenarioKind.PRETRAIN)
+        assert counters["generate_dataset"] == 2
+
+    def test_changed_window_recomputes(self, fast_scale, store, counters):
+        from dataclasses import replace
+
+        from repro.datasets.windows import WindowConfig
+
+        ExperimentContext(fast_scale, store=store).bundle(ScenarioKind.PRETRAIN)
+        narrow = replace(fast_scale, window=WindowConfig(window_len=32, stride=4))
+        ExperimentContext(narrow, store=store).bundle(ScenarioKind.PRETRAIN)
+        assert counters["generate_dataset"] == 2
+
+    def test_storeless_context_still_works(self, fast_scale, counters):
+        ExperimentContext(fast_scale).bundle(ScenarioKind.PRETRAIN)
+        ExperimentContext(fast_scale).bundle(ScenarioKind.PRETRAIN)
+        assert counters["generate_dataset"] == 2
+
+
+class TestTraces:
+    def test_trace_roundtrip(self, store):
+        config = ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=7)
+        traces = generate_traces(config, n_runs=2)
+        key = traces_key(config, 2)
+        assert store.get_traces(key, 2) is None
+        store.put_traces(key, traces)
+        restored = store.get_traces(key, 2)
+        assert len(restored) == 2
+        for original, loaded in zip(traces, restored):
+            assert np.array_equal(original.send_time, loaded.send_time)
+            assert np.array_equal(original.delay, loaded.delay)

@@ -25,6 +25,88 @@ class TestParser:
         assert exit_info.value.code == 0
 
 
+class TestNewParser:
+    def test_registered_scenarios_accepted(self):
+        args = build_parser().parse_args(["simulate", "--scenario", "bursty_cross"])
+        assert args.scenario == "bursty_cross"
+
+    def test_unknown_scale_exits_with_code_2(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args(["simulate", "--scale", "enormous"])
+        assert exit_info.value.code == 2
+        # argparse lists the valid choices in the error message.
+        assert "smoke" in capsys.readouterr().err
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.table == "2"
+        assert not args.no_cache
+
+
+class TestApiCommands:
+    def test_run_table2_cached_roundtrip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "run", "--table", "2", "--scale", "smoke", "--epochs", "1",
+            "--cache-dir", cache,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "pretrained_full" in out
+        # The second invocation is served from the artifact store.
+        assert main(argv) == 0
+        assert "Table 2" in capsys.readouterr().out
+        from repro.api import ArtifactStore
+
+        summary = ArtifactStore(cache).summary()
+        assert summary["bundles"]["count"] >= 1
+        assert summary["checkpoints"]["count"] >= 1
+
+    def test_predict_serves_batches(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main([
+            "predict", "--scale", "smoke", "--scenario", "pretrain",
+            "--cache-dir", cache, "--limit", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out
+        assert "test MSE" in out
+
+    def test_predict_from_checkpoint(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        checkpoint = tmp_path / "model.npz"
+        assert main([
+            "pretrain", "--scale", "smoke", "--epochs", "1",
+            "--cache-dir", cache, "--output", str(checkpoint),
+        ]) == 0
+        assert main([
+            "predict", "--scale", "smoke", "--scenario", "pretrain",
+            "--checkpoint", str(checkpoint), "--cache-dir", cache,
+        ]) == 0
+        assert "test MSE" in capsys.readouterr().out
+
+    def test_predict_missing_checkpoint_is_clean_error(self, tmp_path, capsys):
+        assert main([
+            "predict", "--scale", "smoke", "--checkpoint",
+            str(tmp_path / "nope.npz"), "--no-cache",
+        ]) == 2
+        assert "repro: error" in capsys.readouterr().err
+
+    def test_cache_list_and_clear(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["cache", "--cache-dir", cache]) == 0
+        assert "artifact store" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_scenarios_lists_registry(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pretrain", "case1", "case2", "bursty_cross"):
+            assert name in out
+
+
 class TestCommands:
     def test_simulate_prints_report(self, capsys):
         assert main(["simulate", "--scale", "smoke"]) == 0
