@@ -27,9 +27,15 @@ from repro.api import Experiment, ExperimentSpec, get_scale
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
 
 
+def _session_scale():
+    """The benchmark session's scale — the single source of truth for
+    both the fixtures and result-artifact stamping/routing."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "smoke"))
+
+
 @pytest.fixture(scope="session")
 def scale():
-    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "smoke"))
+    return _session_scale()
 
 
 @pytest.fixture(scope="session")
@@ -46,9 +52,18 @@ def context(experiment):
 
 
 def save_results(name: str, payload: dict) -> Path:
-    """Persist one benchmark's result rows as JSON for EXPERIMENTS.md."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.json"
+    """Persist one benchmark's result rows as JSON for EXPERIMENTS.md.
+
+    Every payload is stamped with the session scale so artifacts are
+    self-describing.  Smoke-scale runs (the tier-1 default) land in the
+    gitignored ``bench_results/smoke/`` so they never overwrite the
+    committed small/paper-scale artifacts.
+    """
+    scale_name = _session_scale().name
+    payload = {**payload, "scale": scale_name}
+    out_dir = RESULTS_DIR / "smoke" if scale_name == "smoke" else RESULTS_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}.json"
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, default=str)
     return path

@@ -37,7 +37,7 @@ def test_aggregation_granularity_sweep(scale, context, benchmark):
         return results
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    save_results("ablation_aggregation", {"scale": scale.name, "rows": results})
+    save_results("ablation_aggregation", {"rows": results})
     print("\nAggregation sweep (delay MSE s^2 x1e-3):")
     for name, row in results.items():
         print(
@@ -67,7 +67,7 @@ def test_encoder_depth_ablation(scale, context, benchmark):
         return results
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    save_results("ablation_depth", {"scale": scale.name, "rows": results})
+    save_results("ablation_depth", {"rows": results})
     print("\nEncoder depth sweep:")
     for name, row in results.items():
         print(

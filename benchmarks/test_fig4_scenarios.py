@@ -44,7 +44,7 @@ def test_fig4_trace_statistics(scale, benchmark):
         return {kind: _scenario_stats(scale, kind) for kind in ScenarioKind.ALL}
 
     stats = benchmark.pedantic(run, rounds=1, iterations=1)
-    save_results("fig4_scenarios", {"scale": scale.name, "stats": stats})
+    save_results("fig4_scenarios", {"stats": stats})
 
     pretrain = stats[ScenarioKind.PRETRAIN]
     case1 = stats[ScenarioKind.CASE1]

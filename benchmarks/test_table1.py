@@ -27,7 +27,7 @@ def test_table1_all_models_and_tasks(scale, context, benchmark):
     rows = benchmark.pedantic(
         lambda: run_table1(scale, context), rounds=1, iterations=1
     )
-    save_results("table1", {"scale": scale.name, "rows": rows})
+    save_results("table1", {"rows": rows})
     print("\nTable 1 (MSE; delay in s^2 x1e-3, MCT in log^2 x1e-3):")
     print(format_rows(rows))
 

@@ -22,7 +22,7 @@ def test_table2_training_resource_savings(scale, context, benchmark):
     rows = benchmark.pedantic(
         lambda: run_table2(scale, context), rounds=1, iterations=1
     )
-    save_results("table2", {"scale": scale.name, "rows": rows})
+    save_results("table2", {"rows": rows})
     print("\nTable 2 (delay MSE s^2 x1e-3, fine-tuning wall time s):")
     print(format_rows(rows))
 

@@ -33,11 +33,39 @@ def seconds(value: float | None) -> str:
 
 def main() -> int:
     path = ROOT / "EXPERIMENTS.md"
-    text = path.read_text()
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        print(
+            f"error: {path} not found; restore the placeholder template "
+            "(git) before filling it",
+            file=sys.stderr,
+        )
+        return 1
 
-    table1 = json.loads((RESULTS / "table1.json").read_text())["rows"]
-    table2 = json.loads((RESULTS / "table2.json").read_text())["rows"]
-    table3 = json.loads((RESULTS / "table3.json").read_text())["rows"]
+    tables = {}
+    for name in ("table1", "table2", "table3"):
+        try:
+            data = json.loads((RESULTS / f"{name}.json").read_text())
+        except FileNotFoundError:
+            print(
+                f"error: {RESULTS / f'{name}.json'} not found; generate it "
+                "with REPRO_BENCH_SCALE=small (or paper) "
+                "pytest benchmarks/ first (smoke runs land in "
+                "bench_results/smoke/ and don't count)",
+                file=sys.stderr,
+            )
+            return 1
+        if data.get("scale") not in ("small", "paper"):
+            print(
+                f"error: {name}.json is scale={data.get('scale')!r}, not "
+                "small/paper; regenerate with REPRO_BENCH_SCALE=small "
+                "(or paper) before filling EXPERIMENTS.md",
+                file=sys.stderr,
+            )
+            return 1
+        tables[name] = data["rows"]
+    table1, table2, table3 = tables["table1"], tables["table2"], tables["table3"]
 
     t1 = {
         "MEASURED_T1_PRE": scaled(table1["ntt_pretrained"]["pretrain_delay_mse"]),

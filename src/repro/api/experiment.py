@@ -189,7 +189,7 @@ class Experiment:
         self,
         scenario: str | None = None,
         task: str = "delay",
-        mode: str = FinetuneMode.DECODER_ONLY,
+        mode: str | None = None,
         fraction: float | None = None,
         batch_size: int = 256,
     ) -> Predictor:
@@ -198,11 +198,13 @@ class Experiment:
 
         When the scenario *is* the pre-training environment and the
         fine-tune options are left at their defaults, the pre-trained
-        model is served directly; passing ``mode`` or ``fraction``
-        always triggers a real fine-tune.
+        model is served directly; passing ``mode`` (even the
+        ``decoder_only`` default) or ``fraction`` explicitly always
+        triggers a real fine-tune.
         """
         scenario = scenario or self.spec.scenario
-        is_default_finetune = mode == FinetuneMode.DECODER_ONLY and fraction is None
+        is_default_finetune = mode is None and fraction is None
+        mode = FinetuneMode.DECODER_ONLY if mode is None else mode
         if scenario == ScenarioKind.PRETRAIN and task == "delay" and is_default_finetune:
             pre = self.pretrained()
             return Predictor(pre.model, pre.pipeline, task="delay", batch_size=batch_size)

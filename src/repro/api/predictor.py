@@ -93,7 +93,10 @@ class Predictor:
         if self.task == "mct":
             if message_size is None:
                 raise ValueError("the MCT task needs message_size per window")
-            sizes = np.maximum(np.asarray(message_size, dtype=np.float64), 1.0)
+            sizes = np.atleast_1d(np.asarray(message_size, dtype=np.float64))
+            if sizes.shape != (len(features),):
+                raise ValueError("features and message_size batch sizes differ")
+            sizes = np.maximum(sizes, 1.0)
             sizes = self.pipeline.message_size_scaler.transform(np.log(sizes)[:, None])[:, 0]
         outputs = []
         with no_grad():

@@ -25,6 +25,7 @@ __all__ = [
     "ScenarioEntry",
     "ScenarioRegistry",
     "SCENARIOS",
+    "base_config",
     "register_scenario",
 ]
 
@@ -125,9 +126,17 @@ _PRESETS = {
 }
 
 
+def base_config(kind: str, scale: str, seed: int = 0) -> ScenarioConfig:
+    """The built-in preset for ``kind`` at ``scale`` — the starting
+    point for scenario builders that tweak a known topology."""
+    if scale not in SCALE_NAMES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALE_NAMES)}")
+    return _PRESETS[scale](kind, seed=seed)
+
+
 def _builtin(kind: str):
     def build(scale: str, seed: int) -> ScenarioConfig:
-        return _PRESETS[scale](kind, seed=seed)
+        return base_config(kind, scale, seed)
 
     return build
 
@@ -153,5 +162,5 @@ SCENARIOS.register(
     description="pre-training topology with a RED bottleneck queue (§5 disciplines)",
 )
 def _build_pretrain_red(scale: str, seed: int) -> ScenarioConfig:
-    base = _PRESETS[scale](ScenarioKind.PRETRAIN, seed=seed)
+    base = base_config(ScenarioKind.PRETRAIN, scale, seed)
     return replace(base, bottleneck_discipline="red")

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.api.registry import register_scenario
+from repro.api.registry import base_config, register_scenario
 from repro.netsim.scenarios import ScenarioConfig, ScenarioKind
 from repro.netsim.units import mbps, milliseconds
 
@@ -30,19 +30,7 @@ __all__ = ["build_bursty_cross", "build_asymmetric_bottleneck"]
     description="case-1 topology with clustered, heavily jittered TCP cross-traffic bursts",
 )
 def build_bursty_cross(scale: str, seed: int) -> ScenarioConfig:
-    if scale == "paper":
-        base = ScenarioConfig.paper(ScenarioKind.CASE1, seed=seed)
-        return replace(
-            base,
-            n_cross_flows=base.n_cross_flows * 3,
-            cross_traffic_bps=base.cross_traffic_bps * 1.5,
-            start_jitter=base.duration * 0.5,
-        )
-    base = (
-        ScenarioConfig.smoke(ScenarioKind.CASE1, seed=seed)
-        if scale == "smoke"
-        else ScenarioConfig.small(ScenarioKind.CASE1, seed=seed)
-    )
+    base = base_config(ScenarioKind.CASE1, scale, seed)
     return replace(
         base,
         n_cross_flows=base.n_cross_flows * 3,
@@ -58,12 +46,7 @@ def build_bursty_cross(scale: str, seed: int) -> ScenarioConfig:
     description="case-2 fan-out whose slow receiver links dominate the shared bottleneck",
 )
 def build_asymmetric_bottleneck(scale: str, seed: int) -> ScenarioConfig:
-    if scale == "paper":
-        base = ScenarioConfig.paper(ScenarioKind.CASE2, seed=seed)
-    elif scale == "smoke":
-        base = ScenarioConfig.smoke(ScenarioKind.CASE2, seed=seed)
-    else:
-        base = ScenarioConfig.small(ScenarioKind.CASE2, seed=seed)
+    base = base_config(ScenarioKind.CASE2, scale, seed)
     delays = tuple(
         milliseconds(1 + 6 * index) for index in range(base.n_receivers)
     )

@@ -83,6 +83,17 @@ class TestValidation:
         with pytest.raises(ValueError, match="message_size"):
             predictor.predict(test.features[:4], test.receiver[:4])
 
+    def test_mct_message_size_length_mismatch_rejected(self, trained, smoke_bundle):
+        trained.pipeline.fit_mct(smoke_bundle.train.with_completed_messages_only())
+        from repro.core.model import NTT, NTTForMCT
+
+        config = trained.model.config
+        mct_model = NTTForMCT(config, NTT(config))
+        predictor = Predictor(mct_model, trained.pipeline, task="mct")
+        test = smoke_bundle.test
+        with pytest.raises(ValueError, match="message_size batch sizes"):
+            predictor.predict(test.features[:4], test.receiver[:4], test.message_size[:2])
+
 
 class TestCheckpointRoundTrip:
     def test_save_load_bit_for_bit(self, trained, smoke_bundle, tmp_path):
