@@ -4,44 +4,44 @@ The paper's Fig. 4 is the topology diagram behind the three datasets;
 the executable equivalent is: build each scenario, run it, and report
 packet counts, delay distributions, drops and (for case 2) per-receiver
 delay separation.  The benchmark also measures raw simulation speed.
+
+The per-scenario fan-out goes through the ``repro.runtime`` campaign
+engine (one uncached ``trace_stats`` task per scenario), so the
+benchmark exercises the same stage code as ``repro sweep``; set
+``REPRO_SWEEP_WORKERS`` to fan the scenarios out over a worker pool.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from benchmarks.conftest import save_results
 from repro.netsim.scenarios import ScenarioKind, build_scenario
-from repro.utils.stats import percentile_summary
+from repro.runtime import CampaignEngine, expand_grid, plan_campaign
 
 
-def _scenario_stats(scale, kind: str) -> dict:
-    handle = build_scenario(scale.scenario(kind))
-    trace = handle.run()
-    delays = trace.delay
-    summary = percentile_summary(delays * 1e3)
-    per_receiver = {
-        str(receiver): float(delays[trace.receiver_id == receiver].mean() * 1e3)
-        for receiver in sorted(set(trace.receiver_id.tolist()))
-    }
-    return {
-        "packets": len(trace),
-        "messages": int(trace.is_message_end.sum()),
-        "delay_mean_ms": summary.mean,
-        "delay_p50_ms": summary.p50,
-        "delay_p99_ms": summary.p99,
-        "delay_p999_ms": summary.p999,
-        "queue_drops": handle.network.total_drops(),
-        "per_receiver_mean_delay_ms": per_receiver,
-        "events_processed": handle.sim.events_processed,
-    }
+def _stats_for_scenarios(scale, kinds) -> dict:
+    """Fan the per-scenario statistics out through the campaign engine."""
+    workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+    specs = expand_grid(scenarios=kinds, scales=[scale.name], seeds=[0])
+    plan = plan_campaign(specs, stages=("trace_stats",))
+    engine = CampaignEngine(store=None, workers=workers)
+    result = engine.run(plan)
+    failures = result.failed_tasks()
+    assert not failures, failures
+    by_scenario = {}
+    for task in plan.ordered():
+        by_scenario[task.params["scenario"]] = result[task.id]
+    return by_scenario
 
 
 def test_fig4_trace_statistics(scale, benchmark):
     """Regenerate all three Fig. 4 datasets and validate their shape."""
 
     def run():
-        return {kind: _scenario_stats(scale, kind) for kind in ScenarioKind.ALL}
+        return _stats_for_scenarios(scale, ScenarioKind.ALL)
 
     stats = benchmark.pedantic(run, rounds=1, iterations=1)
     save_results("fig4_scenarios", {"stats": stats})

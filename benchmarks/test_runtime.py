@@ -1,0 +1,77 @@
+"""Benchmark the campaign engine: serial vs. worker-pool execution.
+
+A 4-spec smoke campaign (2 scenarios × 2 seeds; the shared pre-training
+stages deduplicate to one task per seed) runs once in-process and once
+on a 2-worker pool, each against its own cold artifact store, then once
+more warm.  Recorded per mode: wall-clock, task counts and cache
+hit/miss totals — the engine's value proposition is that the warm run
+does no training at all.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import save_results
+from repro.api import ArtifactStore
+from repro.runtime import CampaignEngine, expand_grid, plan_campaign
+
+SCENARIOS = ("pretrain", "case1")
+SEEDS = (0, 1)
+
+
+def _run_campaign(scale, store, workers: int):
+    specs = expand_grid(scenarios=SCENARIOS, scales=[scale.name], seeds=SEEDS)
+    plan = plan_campaign(specs)
+    engine = CampaignEngine(store=store, workers=workers)
+    start = time.perf_counter()
+    result = engine.run(plan)
+    elapsed = time.perf_counter() - start
+    assert not result.failed_tasks(), result.failed_tasks()
+    return result, elapsed
+
+
+def test_campaign_serial_vs_pool(scale, tmp_path, benchmark):
+    """Cold serial vs. cold 2-worker vs. warm re-run of one campaign."""
+    rows = {}
+
+    def cold_serial():
+        return _run_campaign(scale, ArtifactStore(tmp_path / "serial"), workers=1)
+
+    result, elapsed = benchmark.pedantic(cold_serial, rounds=1, iterations=1)
+    rows["serial_cold"] = {
+        "workers": 1,
+        "wall_time_s": elapsed,
+        "tasks": result.summary["total"],
+        "cache_hits": result.cache_hits,
+    }
+
+    result2, elapsed2 = _run_campaign(scale, ArtifactStore(tmp_path / "pool"), workers=2)
+    rows["pool2_cold"] = {
+        "workers": 2,
+        "wall_time_s": elapsed2,
+        "tasks": result2.summary["total"],
+        "cache_hits": result2.cache_hits,
+    }
+
+    warm, warm_elapsed = _run_campaign(scale, ArtifactStore(tmp_path / "pool"), workers=2)
+    rows["pool2_warm"] = {
+        "workers": 2,
+        "wall_time_s": warm_elapsed,
+        "tasks": warm.summary["total"],
+        "cache_hits": warm.cache_hits,
+    }
+    save_results("runtime_campaign", {"rows": rows})
+
+    # Both cold runs execute every task; the warm run executes none.
+    assert result.summary["executed"] == result.summary["total"]
+    assert result2.summary["executed"] == result2.summary["total"]
+    assert warm.cache_hits == warm.summary["total"]
+    assert warm.summary["executed"] == 0
+
+    print("\nCampaign engine (4 smoke specs -> deduplicated task graph):")
+    for name, row in rows.items():
+        print(
+            f"  {name:12s} workers={row['workers']} tasks={row['tasks']:3d} "
+            f"hits={row['cache_hits']:3d} wall={row['wall_time_s']:.2f}s"
+        )

@@ -30,12 +30,12 @@ from repro.core.pipeline import (
 )
 from repro.core.pretrain import PretrainResult
 from repro.datasets.generation import DatasetBundle
-from repro.netsim.scenarios import ScenarioKind, generate_traces
+from repro.netsim.scenarios import ScenarioKind
 from repro.netsim.trace import Trace
 
 from repro.api.predictor import Predictor
 from repro.api.spec import ExperimentSpec
-from repro.api.store import ArtifactStore, finetuned_key, pretrained_key, traces_key
+from repro.api.store import ArtifactStore, finetuned_key, pretrained_key
 
 __all__ = ["Experiment"]
 
@@ -56,15 +56,27 @@ class Experiment:
             ``store=None`` to disable persistence entirely.
     """
 
-    def __init__(self, spec: ExperimentSpec | None = None, store=_DEFAULT_STORE, **spec_kwargs):
+    def __init__(
+        self,
+        spec: ExperimentSpec | None = None,
+        store=_DEFAULT_STORE,
+        context: ExperimentContext | None = None,
+        **spec_kwargs,
+    ):
         if spec is None:
             spec = ExperimentSpec(**spec_kwargs)
         elif spec_kwargs:
             raise TypeError("pass either a spec or keyword fields, not both")
         self.spec = spec
         self.scale = spec.to_scale()
-        self.store = ArtifactStore.from_env() if store is _DEFAULT_STORE else store
-        self.context = ExperimentContext(self.scale, store=self.store, seed=spec.seed)
+        if context is not None:
+            # Bind to an existing context (the campaign engine's serial
+            # path shares one context's in-memory caches across tasks).
+            self.store = context.store if store is _DEFAULT_STORE else store
+            self.context = context
+        else:
+            self.store = ArtifactStore.from_env() if store is _DEFAULT_STORE else store
+            self.context = ExperimentContext(self.scale, store=self.store, seed=spec.seed)
 
     @classmethod
     def uncached(cls, spec: ExperimentSpec | None = None, **spec_kwargs) -> "Experiment":
@@ -85,17 +97,7 @@ class Experiment:
 
     def traces(self, scenario: str | None = None) -> list[Trace]:
         """Raw simulation traces for a scenario (store-backed)."""
-        config = self.spec.scenario_config(scenario)
-        n_runs = self.scale.n_runs
-        if self.store is not None:
-            key = traces_key(config, n_runs)
-            cached = self.store.get_traces(key, n_runs)
-            if cached is not None:
-                return cached
-        traces = generate_traces(config, n_runs=n_runs)
-        if self.store is not None:
-            self.store.put_traces(key, traces)
-        return traces
+        return self.context.traces(scenario or self.spec.scenario)
 
     # -- datasets -----------------------------------------------------------------
 
@@ -120,6 +122,8 @@ class Experiment:
         task: str = "delay",
         mode: str = FinetuneMode.DECODER_ONLY,
         fraction: float | None = None,
+        features=None,
+        aggregation=None,
     ) -> FinetuneResult:
         """Fine-tune the shared pre-trained model (store-backed).
 
@@ -129,23 +133,31 @@ class Experiment:
             mode: which parameters train (``decoder_only`` / ``full``).
             fraction: subsample the fine-tuning data (the paper's 10%
                 datasets); ``None`` uses the full bundle.
+            features: :class:`FeatureSpec` ablation override — the base
+                model becomes the corresponding pre-training variant.
+            aggregation: :class:`AggregationSpec` ablation override.
         """
-        result, _pipeline = self._finetuned_with_pipeline(scenario, task, mode, fraction)
+        result, _pipeline = self._finetuned_with_pipeline(
+            scenario, task, mode, fraction, features=features, aggregation=aggregation
+        )
         return result
 
-    def _finetuned_with_pipeline(self, scenario, task, mode, fraction):
+    def _finetuned_with_pipeline(
+        self, scenario, task, mode, fraction, features=None, aggregation=None
+    ):
         """Fine-tune (or restore) a model plus the pipeline that feeds it."""
         if task not in ("delay", "mct"):
             raise ValueError(f"unknown task {task!r}; choose 'delay' or 'mct'")
         scenario = scenario or self.spec.scenario
         settings = self.scale.finetune_settings
+        base_config = self.scale.model_config(features=features, aggregation=aggregation)
         key = None
         if self.store is not None:
             base_key = pretrained_key(
                 self.spec.scenario_config(ScenarioKind.PRETRAIN),
                 self.scale.window,
                 self.scale.n_runs,
-                self.scale.model_config(),
+                base_config,
                 self.scale.pretrain_settings,
             )
             key = finetuned_key(
@@ -154,7 +166,10 @@ class Experiment:
             cached = self.store.get_finetuned(key)
             if cached is not None:
                 return cached
-        pre = self.pretrained()
+        if features is None and aggregation is None:
+            pre = self.pretrained()
+        else:
+            pre = self.pretrain_variant(features=features, aggregation=aggregation)
         bundle = self.bundle(scenario)
         if fraction is not None:
             bundle = bundle.small_fraction(fraction)

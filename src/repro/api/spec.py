@@ -128,6 +128,35 @@ class ExperimentSpec:
         """A copy with the given fields replaced."""
         return replace(self, **changes)
 
+    # -- expansion ----------------------------------------------------------------
+
+    @classmethod
+    def grid(
+        cls,
+        scenarios=("pretrain",),
+        scales=("small",),
+        seeds=(0,),
+        **common,
+    ) -> list["ExperimentSpec"]:
+        """Expand a scenario × scale × seed grid into specs.
+
+        ``common`` fields apply to every spec.  The expansion is
+        deterministic (scenario-major order) and deduplicated by
+        :attr:`spec_hash`, so overlapping axes never plan duplicate
+        work.  This is the building block under ``repro sweep`` and
+        :func:`repro.runtime.expand_grid`.
+        """
+        specs: list[ExperimentSpec] = []
+        seen: set[str] = set()
+        for scenario in scenarios:
+            for scale in scales:
+                for seed in seeds:
+                    spec = cls(scenario=scenario, scale=scale, seed=int(seed), **common)
+                    if spec.spec_hash not in seen:
+                        seen.add(spec.spec_hash)
+                        specs.append(spec)
+        return specs
+
     # -- persistence --------------------------------------------------------------
 
     def to_dict(self) -> dict:

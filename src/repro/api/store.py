@@ -6,15 +6,24 @@ keys every expensive artifact — raw traces, windowed
 checkpoints — by a stable content hash of everything that produced it,
 so a repeated run hits disk instead of re-simulating or re-training.
 
-Layout (one ``.npz`` per artifact)::
+Layout (one ``.npz`` per artifact, one ``.json`` per record)::
 
-    <root>/traces/<key>-run<i>.npz
+    <root>/traces/<key>-run<i>.npz   (+ <key>.meta.json sidecar)
     <root>/bundles/<key>.npz
     <root>/checkpoints/<key>.npz
+    <root>/evaluations/<key>.json
+    <root>/manifests/<name>.json
 
-The root defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; writes
-go through a temp file + rename so concurrent readers never observe a
-partial artifact.
+The root defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.  Writes
+go through a temp file + atomic rename so concurrent readers never
+observe a partial artifact, and a lost publish race against another
+worker writing the same key counts as success — content-addressed
+artifacts with the same key are interchangeable.
+
+Every payload is stamped with :data:`ARTIFACT_SCHEMA_VERSION`; a stored
+artifact whose stamp does not match the running code is treated as a
+cache miss, so stale artifacts written by older code are never silently
+served (cache *keys* cover configs, not code).
 """
 
 from __future__ import annotations
@@ -47,18 +56,31 @@ from repro.nn.trainer import TrainingHistory
 
 __all__ = [
     "ArtifactStore",
+    "ARTIFACT_SCHEMA_VERSION",
     "traces_key",
     "bundle_key",
     "pretrained_key",
     "finetuned_key",
+    "scratch_key",
+    "evaluation_key",
 ]
 
 #: Environment variable selecting the store root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Version of the on-disk artifact *payloads*.  Bump whenever the code
+#: that produces artifacts changes behaviour (simulator streams, model
+#: layout, serialisation) so that artifacts written by older code become
+#: cache misses instead of being silently served.
+ARTIFACT_SCHEMA_VERSION = 2
+
 KINDS = ("traces", "bundles", "checkpoints")
 
+#: Artifact kinds stored as JSON documents rather than ``.npz`` arrays.
+JSON_KINDS = ("evaluations", "manifests")
+
 _META_KEY = "__meta__"
+_SCHEMA_KEY = "__schema_version__"
 _SPLITS = ("train", "val", "test")
 _SPLIT_ARRAYS = (
     "features",
@@ -128,6 +150,37 @@ def finetuned_key(
     )
 
 
+def scratch_key(base_key: str, scenario, task: str, fraction, model_config, settings) -> str:
+    """Key for a from-scratch model (no pre-training, full training).
+
+    ``base_key`` identifies the pre-training run whose fitted feature
+    pipeline normalises the from-scratch model's inputs.
+    """
+    return stable_hash(
+        {
+            "artifact": "scratch",
+            "base": base_key,
+            "scenario": scenario,
+            "task": task,
+            "fraction": fraction,
+            "model": model_config,
+            "settings": settings,
+        }
+    )
+
+
+def evaluation_key(model_key: str, scenario, task: str) -> str:
+    """Key for a cached evaluation of one model on one scenario."""
+    return stable_hash(
+        {
+            "artifact": "evaluation",
+            "model": model_key,
+            "scenario": scenario,
+            "task": task,
+        }
+    )
+
+
 # -- (de)hydration helpers --------------------------------------------------------
 
 
@@ -189,12 +242,56 @@ class ArtifactStore:
 
     def path(self, kind: str, key: str) -> Path:
         """Where an artifact of this kind/key lives (existing or not)."""
+        if kind in JSON_KINDS:
+            return self.root / kind / f"{key}.json"
         if kind not in KINDS:
-            raise ValueError(f"unknown artifact kind {kind!r}; choose from {KINDS}")
+            raise ValueError(
+                f"unknown artifact kind {kind!r}; choose from {KINDS + JSON_KINDS}"
+            )
         return self.root / kind / f"{key}.npz"
 
     def has(self, kind: str, key: str) -> bool:
         return self.path(kind, key).exists()
+
+    def is_current(self, kind: str, key: str) -> bool:
+        """Whether a *servable* artifact is stored: present **and**
+        stamped with the current schema version.
+
+        Cheaper than the ``get_*`` loaders (only the stamp is read), so
+        campaign workers use it for cache-hit accounting — an artifact
+        from older code must count as a miss, exactly as the loaders
+        treat it.  For ``traces`` the sidecar's own run count is used;
+        :meth:`has_traces` additionally pins an expected ``n_runs``.
+        """
+        if kind == "traces":
+            # Trace sets live as <key>-run<i>.npz + sidecar, not <key>.npz.
+            try:
+                with open(self._trace_meta_path(key), "r", encoding="utf-8") as handle:
+                    meta = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                return False
+            return (
+                meta.get("schema_version") == ARTIFACT_SCHEMA_VERSION
+                and isinstance(meta.get("n_runs"), int)
+                and all(path.exists() for path in self.trace_paths(key, meta["n_runs"]))
+            )
+        path = self.get(kind, key)
+        if path is None:
+            return False
+        if kind in JSON_KINDS:
+            return self.get_json(kind, key) is not None
+        try:
+            with np.load(path) as data:
+                if kind == "checkpoints":
+                    # Checkpoints carry the stamp inside their JSON
+                    # metadata member (save_checkpoint owns the layout).
+                    if _META_KEY not in data.files:
+                        return False
+                    metadata = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+                    return metadata.get("schema_version") == ARTIFACT_SCHEMA_VERSION
+                return self._schema_matches(data)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return False
 
     def get(self, kind: str, key: str) -> Path | None:
         """The artifact's path if present, else ``None``."""
@@ -202,19 +299,19 @@ class ArtifactStore:
         return path if path.exists() else None
 
     def keys(self, kind: str) -> list[str]:
-        directory = self.root / kind
-        if kind not in KINDS:
-            raise ValueError(f"unknown artifact kind {kind!r}; choose from {KINDS}")
+        path = self.path(kind, "probe")  # validates the kind
+        directory = path.parent
         if not directory.is_dir():
             return []
-        return sorted(path.stem for path in directory.glob("*.npz"))
+        return sorted(entry.stem for entry in directory.glob(f"*{path.suffix}"))
 
     def summary(self) -> dict:
         """Per-kind entry counts and byte totals (for ``repro cache``)."""
         report = {}
-        for kind in KINDS:
+        for kind in KINDS + JSON_KINDS:
             directory = self.root / kind
-            files = list(directory.glob("*.npz")) if directory.is_dir() else []
+            suffix = "json" if kind in JSON_KINDS else "npz"
+            files = list(directory.glob(f"*.{suffix}")) if directory.is_dir() else []
             report[kind] = {
                 "count": len(files),
                 "bytes": sum(path.stat().st_size for path in files),
@@ -223,45 +320,130 @@ class ArtifactStore:
 
     def clear(self, kind: str | None = None) -> int:
         """Delete artifacts (of one kind, or all); returns files removed."""
-        kinds = KINDS if kind is None else (kind,)
+        kinds = KINDS + JSON_KINDS if kind is None else (kind,)
         removed = 0
         for name in kinds:
-            if name not in KINDS:
-                raise ValueError(f"unknown artifact kind {name!r}; choose from {KINDS}")
+            if name not in KINDS + JSON_KINDS:
+                raise ValueError(
+                    f"unknown artifact kind {name!r}; choose from {KINDS + JSON_KINDS}"
+                )
             directory = self.root / name
             if not directory.is_dir():
                 continue
             for path in directory.glob("*.npz"):
                 path.unlink()
                 removed += 1
+            for path in directory.glob("*.json"):
+                path.unlink()
+                removed += 1
         return removed
 
     @staticmethod
     def _temp_path(path: Path) -> Path:
-        # Keeps the .npz suffix: np.savez appends one otherwise.
+        # Keeps the .npz suffix: np.savez appends one otherwise.  The
+        # pid makes concurrent workers' temp files distinct.
         return path.with_name(f".tmp-{os.getpid()}-{path.name}")
+
+    @staticmethod
+    def _publish(temp: Path, path: Path) -> None:
+        """Atomically move ``temp`` into place.
+
+        Losing a rename race against another worker publishing the same
+        key is fine: both wrote equivalent content-addressed payloads.
+        """
+        try:
+            os.replace(temp, path)
+        except FileExistsError:
+            # Non-POSIX semantics; the other writer's artifact serves.
+            temp.unlink(missing_ok=True)
 
     def _write_npz(self, path: Path, payload: dict) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {**payload, _SCHEMA_KEY: np.int64(ARTIFACT_SCHEMA_VERSION)}
         temp = self._temp_path(path)
         try:
             with open(temp, "wb") as handle:
                 np.savez_compressed(handle, **payload)
-            os.replace(temp, path)
+            self._publish(temp, path)
         finally:
-            if temp.exists():
-                temp.unlink()
+            temp.unlink(missing_ok=True)
+
+    @staticmethod
+    def _schema_matches(data) -> bool:
+        """Whether a loaded npz was written by the current schema."""
+        if _SCHEMA_KEY not in getattr(data, "files", data):
+            return False
+        return int(data[_SCHEMA_KEY]) == ARTIFACT_SCHEMA_VERSION
+
+    # -- JSON records (evaluations, campaign manifests) --------------------------
+
+    def put_json(self, kind: str, key: str, payload: dict) -> Path:
+        """Store a JSON record (``evaluations`` / ``manifests``)."""
+        if kind not in JSON_KINDS:
+            raise ValueError(f"unknown JSON kind {kind!r}; choose from {JSON_KINDS}")
+        path = self.path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"schema_version": ARTIFACT_SCHEMA_VERSION, **payload}
+        temp = self._temp_path(path)
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True, default=str)
+            self._publish(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
+        return path
+
+    def get_json(self, kind: str, key: str) -> dict | None:
+        """Load a JSON record; schema mismatches read as cache misses."""
+        path = self.get(kind, key)
+        if path is None:
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if document.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+            return None
+        document.pop("schema_version", None)
+        return document
+
+    def put_manifest(self, name: str, manifest: dict) -> Path:
+        """Persist a campaign manifest (see :mod:`repro.runtime`)."""
+        return self.put_json("manifests", name, manifest)
+
+    def get_manifest(self, name: str) -> dict | None:
+        return self.get_json("manifests", name)
 
     # -- traces ------------------------------------------------------------------
 
     def trace_paths(self, key: str, n_runs: int) -> list[Path]:
         return [self.root / "traces" / f"{key}-run{i}.npz" for i in range(n_runs)]
 
+    def _trace_meta_path(self, key: str) -> Path:
+        # Trace files are written by Trace.save, so the schema stamp
+        # lives in a per-key sidecar covering the whole run set.
+        return self.root / "traces" / f"{key}.meta.json"
+
+    def has_traces(self, key: str, n_runs: int) -> bool:
+        """Whether a complete, current-schema run set is stored (without
+        loading the traces)."""
+        meta_path = self._trace_meta_path(key)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return False
+        return (
+            meta.get("schema_version") == ARTIFACT_SCHEMA_VERSION
+            and meta.get("n_runs") == n_runs
+            and all(path.exists() for path in self.trace_paths(key, n_runs))
+        )
+
     def get_traces(self, key: str, n_runs: int) -> list[Trace] | None:
-        paths = self.trace_paths(key, n_runs)
-        if not all(path.exists() for path in paths):
+        if not self.has_traces(key, n_runs):
             return None
-        return [Trace.load(path) for path in paths]
+        return [Trace.load(path) for path in self.trace_paths(key, n_runs)]
 
     def put_traces(self, key: str, traces: list[Trace]) -> None:
         paths = self.trace_paths(key, len(traces))
@@ -270,10 +452,24 @@ class ArtifactStore:
             temp = self._temp_path(path)
             try:
                 trace.save(temp)
-                os.replace(temp, path)
+                self._publish(temp, path)
             finally:
-                if temp.exists():
-                    temp.unlink()
+                temp.unlink(missing_ok=True)
+        # The sidecar lands last: readers only trust a complete run set.
+        meta_path = self._trace_meta_path(key)
+        temp = self._temp_path(meta_path)
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "schema_version": ARTIFACT_SCHEMA_VERSION,
+                        "n_runs": len(traces),
+                    },
+                    handle,
+                )
+            self._publish(temp, meta_path)
+        finally:
+            temp.unlink(missing_ok=True)
 
     # -- dataset bundles ---------------------------------------------------------
 
@@ -302,6 +498,8 @@ class ArtifactStore:
         if path is None:
             return None
         with np.load(path) as data:
+            if not self._schema_matches(data):
+                return None
             meta = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
             splits = {}
             for split in _SPLITS:
@@ -330,16 +528,16 @@ class ArtifactStore:
                 temp,
                 metadata={
                     "role": "pretrained",
+                    "schema_version": ARTIFACT_SCHEMA_VERSION,
                     "config": ntt_config_to_dict(result.model.config),
                     "pipeline": _pipeline_to_dict(result.pipeline),
                     "history": _history_to_dict(result.history),
                     "test_mse_seconds2": result.test_mse_seconds2,
                 },
             )
-            os.replace(temp, path)
+            self._publish(temp, path)
         finally:
-            if temp.exists():
-                temp.unlink()
+            temp.unlink(missing_ok=True)
         return path
 
     def get_pretrained(self, key: str) -> PretrainResult | None:
@@ -347,6 +545,8 @@ class ArtifactStore:
         if path is None:
             return None
         state, metadata = load_state(path)
+        if metadata.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+            return None
         model = NTTForDelay(ntt_config_from_dict(metadata["config"]))
         model.load_state_dict(state)
         return PretrainResult(
@@ -370,6 +570,7 @@ class ArtifactStore:
                 temp,
                 metadata={
                     "role": "finetuned",
+                    "schema_version": ARTIFACT_SCHEMA_VERSION,
                     "task": result.task,
                     "mode": result.mode,
                     "config": ntt_config_to_dict(result.model.config),
@@ -378,10 +579,9 @@ class ArtifactStore:
                     "test_mse": result.test_mse,
                 },
             )
-            os.replace(temp, path)
+            self._publish(temp, path)
         finally:
-            if temp.exists():
-                temp.unlink()
+            temp.unlink(missing_ok=True)
         return path
 
     def get_finetuned(self, key: str) -> tuple[FinetuneResult, FeaturePipeline] | None:
@@ -389,6 +589,8 @@ class ArtifactStore:
         if path is None:
             return None
         state, metadata = load_state(path)
+        if metadata.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+            return None
         config = ntt_config_from_dict(metadata["config"])
         if metadata["task"] == "mct":
             model = NTTForMCT(config, NTT(config))

@@ -4,6 +4,10 @@ Commands mirror the ``repro.api`` workflow:
 
 * ``run`` — run the paper's evaluation tables through the cached
   experiment facade.
+* ``sweep`` — run a campaign of specs (a scenario × scale × seed grid,
+  or a JSON sweep file) through the ``repro.runtime`` engine, optionally
+  on a worker pool (``--workers N``); ``--dry-run`` prints the planned,
+  deduplicated task graph.
 * ``predict`` — serve batched predictions from a checkpoint (or the
   cached pre-trained/fine-tuned model).
 * ``cache`` — inspect or clear the on-disk artifact store.
@@ -22,6 +26,7 @@ the call stack).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.version import __version__
@@ -67,6 +72,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--epochs", type=int, default=None, help="override training epochs")
     _add_cache_options(run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a spec campaign through the repro.runtime engine"
+    )
+    sweep.add_argument(
+        "--scenarios", default="pretrain",
+        help="comma-separated registered scenarios (see `repro scenarios`)",
+    )
+    sweep.add_argument(
+        "--scales", default="smoke", help="comma-separated scales (smoke/small/paper)"
+    )
+    sweep.add_argument("--seeds", default="0", help="comma-separated base seeds")
+    sweep.add_argument(
+        "--spec-file", default=None,
+        help="JSON sweep file with a grid and/or an explicit 'specs' list "
+             "(replaces the grid flags)",
+    )
+    sweep.add_argument(
+        "--stages", default=None,
+        help="comma-separated stage subset (default: traces,bundle,pretrain,"
+             "finetune,evaluate)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=1, help="re-attempts per failed task"
+    )
+    sweep.add_argument("--epochs", type=int, default=None, help="override training epochs")
+    sweep.add_argument(
+        "--dry-run", action="store_true",
+        help="print the planned task graph and exit without executing",
+    )
+    _add_cache_options(sweep)
 
     predict = sub.add_parser("predict", help="serve batched predictions")
     _add_common(predict)
@@ -193,6 +232,64 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _sweep_specs(args):
+    """The sweep's spec list from the flags or the spec file."""
+    from repro.runtime import expand_grid, specs_from_file
+
+    try:
+        if args.spec_file is not None:
+            return specs_from_file(args.spec_file)
+        specs = expand_grid(
+            scenarios=[name.strip() for name in args.scenarios.split(",") if name.strip()],
+            scales=[name.strip() for name in args.scales.split(",") if name.strip()],
+            seeds=[int(seed) for seed in args.seeds.split(",") if seed.strip()],
+        )
+    except (ValueError, OSError, json.JSONDecodeError) as error:
+        raise CLIError(str(error)) from None
+    if not specs:
+        raise CLIError("the sweep grid is empty; provide scenarios, scales and seeds")
+    return specs
+
+
+def _cmd_sweep(args) -> int:
+    from repro.api import ArtifactStore
+    from repro.runtime import DEFAULT_STAGES, CampaignEngine, plan_campaign
+
+    specs = _sweep_specs(args)
+    if args.epochs is not None:
+        specs = [
+            spec.with_overrides(
+                pretrain=spec.to_scale().pretrain_settings.scaled(args.epochs),
+                finetune=spec.to_scale().finetune_settings.scaled(args.epochs),
+            )
+            for spec in specs
+        ]
+    stages = tuple(DEFAULT_STAGES)
+    if args.stages is not None:
+        stages = tuple(name.strip() for name in args.stages.split(",") if name.strip())
+    if args.no_cache:
+        if args.workers > 1:
+            raise CLIError(
+                "parallel sweeps need the artifact store; drop --no-cache or use --workers 1"
+            )
+        store = None
+    else:
+        store = ArtifactStore(args.cache_dir)
+    try:
+        plan = plan_campaign(specs, stages=stages)
+    except ValueError as error:
+        raise CLIError(str(error)) from None
+    if args.dry_run:
+        print(plan.describe(store))
+        return 0
+    if store is not None:
+        print(f"artifact store: {store.root}")
+    engine = CampaignEngine(store=store, workers=args.workers, retries=args.retries)
+    result = engine.run(plan)
+    print(result.format_summary())
+    return 0 if result.ok else 1
+
+
 def _cmd_predict(args) -> int:
     import numpy as np
 
@@ -305,6 +402,7 @@ def _cmd_report(args) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "sweep": _cmd_sweep,
     "predict": _cmd_predict,
     "cache": _cmd_cache,
     "scenarios": _cmd_scenarios,

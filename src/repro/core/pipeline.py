@@ -12,15 +12,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.core.aggregation import AggregationSpec
-from repro.core.baselines import evaluate_baselines
 from repro.core.features import FeaturePipeline, FeatureSpec
-from repro.core.finetune import (
-    FinetuneMode,
-    finetune_delay,
-    finetune_mct,
-    train_delay_from_scratch,
-    train_mct_from_scratch,
-)
 from repro.core.model import NTTConfig
 from repro.core.pretrain import PretrainResult, TrainSettings, pretrain
 from repro.datasets.generation import DatasetBundle, generate_dataset
@@ -168,10 +160,35 @@ class ExperimentContext:
         self.seed = seed
         self._bundles: dict[str, DatasetBundle] = {}
         self._pretrained: PretrainResult | None = None
+        self._pretrain_variants: dict[str, PretrainResult] = {}
 
     def scenario_config(self, kind: str) -> "ScenarioConfig":
         """The resolved scenario config for a registered scenario name."""
         return self.scale.scenario(kind, seed=self.seed)
+
+    # -- simulation ---------------------------------------------------------------
+
+    def traces(self, kind: str):
+        """Raw simulation traces for one scenario (store-backed).
+
+        Bundles are windowed from these, so two window configurations
+        over the same scenario share one simulation run set.
+        """
+        from repro.netsim.scenarios import generate_traces
+
+        scenario = self.scenario_config(kind)
+        key = None
+        if self.store is not None:
+            from repro.api.store import traces_key
+
+            key = traces_key(scenario, self.scale.n_runs)
+            cached = self.store.get_traces(key, self.scale.n_runs)
+            if cached is not None:
+                return cached
+        traces = generate_traces(scenario, n_runs=self.scale.n_runs)
+        if self.store is not None:
+            self.store.put_traces(key, traces)
+        return traces
 
     # -- datasets -----------------------------------------------------------------
 
@@ -200,6 +217,7 @@ class ExperimentContext:
                 n_runs=self.scale.n_runs,
                 name=kind,
                 receiver_index=receiver_index,
+                traces=self.traces(kind) if self.store is not None else None,
             )
             if self.store is not None:
                 self.store.put_bundle(key, bundle)
@@ -209,7 +227,16 @@ class ExperimentContext:
     # -- models --------------------------------------------------------------------
 
     def _pretrain_cached(self, config: NTTConfig, settings: TrainSettings) -> PretrainResult:
-        """Pre-train one configuration, store-backed when possible."""
+        """Pre-train one configuration, store-backed when possible.
+
+        Results are also memoised in-process, so ablation variants are
+        trained once per context even without an artifact store.
+        """
+        from repro.api.hashing import stable_hash
+
+        memo_key = stable_hash({"config": config, "settings": settings})
+        if memo_key in self._pretrain_variants:
+            return self._pretrain_variants[memo_key]
         key = None
         if self.store is not None:
             from repro.api.store import pretrained_key
@@ -223,10 +250,12 @@ class ExperimentContext:
             )
             cached = self.store.get_pretrained(key)
             if cached is not None:
+                self._pretrain_variants[memo_key] = cached
                 return cached
         result = pretrain(config, self.bundle(ScenarioKind.PRETRAIN), settings=settings)
         if self.store is not None:
             self.store.put_pretrained(key, result)
+        self._pretrain_variants[memo_key] = result
         return result
 
     def pretrained(self) -> PretrainResult:
@@ -261,9 +290,41 @@ class ExperimentContext:
 
 
 # -- table runners -------------------------------------------------------------------
+#
+# Since the `repro.runtime` campaign engine, each table declares its
+# independent training units as a task plan and submits them through a
+# CampaignEngine, so the exact same stage code serves interactive runs,
+# `repro sweep` campaigns and the benchmarks — and `workers=N` fans a
+# table's independent units out over a process pool.
 
 
-def run_table1(scale: ExperimentScale | None = None, context: ExperimentContext | None = None) -> dict:
+def _run_table_campaign(table: int, scale, context, engine, workers):
+    """Plan one table for this context and execute it on an engine."""
+    from repro.runtime.engine import CampaignEngine
+    from repro.runtime.plan import plan_table, spec_for_scale
+
+    scale = scale if scale is not None else get_scale()
+    context = context if context is not None else ExperimentContext(scale)
+    if engine is None:
+        engine = CampaignEngine(store=context.store, workers=workers)
+    spec = spec_for_scale(scale, seed=context.seed)
+    plan, layout = plan_table(table, spec)
+    outcome = engine.run(plan, context=context)
+    failures = outcome.failed_tasks()
+    if failures:
+        raise RuntimeError(
+            f"table {table} campaign failed at {failures[0]['id']}:\n"
+            + failures[0]["error"]
+        )
+    return outcome, layout
+
+
+def run_table1(
+    scale: ExperimentScale | None = None,
+    context: ExperimentContext | None = None,
+    engine=None,
+    workers: int = 1,
+) -> dict:
     """Table 1: MSE for all models and tasks (case 1, 10% fine-tuning).
 
     Rows: pre-trained NTT, from-scratch NTT, the two naive baselines and
@@ -271,114 +332,72 @@ def run_table1(scale: ExperimentScale | None = None, context: ExperimentContext 
     delay MSE, fine-tuned log-MCT MSE (all in paper units ×10⁻³:
     seconds² for delay, log² for MCT).
     """
-    scale = scale if scale is not None else get_scale()
-    context = context if context is not None else ExperimentContext(scale)
-    case1 = context.bundle(ScenarioKind.CASE1).small_fraction(scale.fine_fraction)
+    outcome, layout = _run_table_campaign(1, scale, context, engine, workers)
     rows: dict[str, dict] = {}
-
-    # NTT pre-trained (shared model; decoder-only fine-tuning).
-    pre = context.pretrained()
-    ft_delay = finetune_delay(
-        pre.model, pre.pipeline, case1, settings=scale.finetune_settings,
-        mode=FinetuneMode.DECODER_ONLY,
-    )
-    ft_mct = finetune_mct(
-        pre.model, pre.model.config, pre.pipeline, case1,
-        settings=scale.finetune_settings, mode=FinetuneMode.DECODER_ONLY,
-    )
     rows["ntt_pretrained"] = {
-        "pretrain_delay_mse": pre.test_mse_seconds2,
-        "finetune_delay_mse": ft_delay.test_mse,
-        "finetune_mct_mse": ft_mct.test_mse,
+        "pretrain_delay_mse": outcome[layout["pretrain"]]["test_mse_seconds2"],
+        "finetune_delay_mse": outcome[layout["ft_delay"]]["test_mse"],
+        "finetune_mct_mse": outcome[layout["ft_mct"]]["test_mse"],
     }
-
-    # NTT from scratch (fine-tuning data only).
-    scratch_cfg = scale.model_config()
-    scratch_delay = train_delay_from_scratch(
-        scratch_cfg, pre.pipeline, case1, settings=scale.finetune_settings
-    )
-    scratch_mct = train_mct_from_scratch(
-        scratch_cfg, pre.pipeline, case1, settings=scale.finetune_settings
-    )
     rows["ntt_from_scratch"] = {
         "pretrain_delay_mse": None,
-        "finetune_delay_mse": scratch_delay.test_mse,
-        "finetune_mct_mse": scratch_mct.test_mse,
+        "finetune_delay_mse": outcome[layout["scratch_delay"]]["test_mse"],
+        "finetune_mct_mse": outcome[layout["scratch_mct"]]["test_mse"],
     }
-
-    # Naive baselines, evaluated on both test sets.
-    pretrain_baselines = evaluate_baselines(context.bundle(ScenarioKind.PRETRAIN).test)
-    case1_baselines = evaluate_baselines(case1.test)
+    # Naive baselines, evaluated on both test sets (the fine-tuning
+    # fraction keeps the full test split, so case-1 numbers compare).
+    pretrain_baselines = outcome[layout["baselines_pretrain"]]["rows"]
+    case1_baselines = outcome[layout["baselines_case1"]]["rows"]
     for name in ("last_observed", "ewma"):
         rows[name] = {
             "pretrain_delay_mse": pretrain_baselines[name]["delay_mse"],
             "finetune_delay_mse": case1_baselines[name]["delay_mse"],
             "finetune_mct_mse": case1_baselines[name]["mct_log_mse"],
         }
-
-    # Ablations: aggregation and feature variants, pre-trained then
-    # fine-tuned exactly like the full model.
-    variants = {
-        "no_aggregation": dict(aggregation=scale.aggregation_variants["none"]),
-        "fixed_aggregation": dict(aggregation=scale.aggregation_variants["fixed"]),
-        "without_packet_size": dict(features=FeatureSpec.without_size()),
-        "without_delay": dict(features=FeatureSpec.without_delay()),
-    }
-    for name, overrides in variants.items():
-        variant_pre = context.pretrain_variant(**overrides)
-        variant_delay = finetune_delay(
-            variant_pre.model, variant_pre.pipeline, case1,
-            settings=scale.finetune_settings, mode=FinetuneMode.DECODER_ONLY,
-        )
-        variant_mct = finetune_mct(
-            variant_pre.model, variant_pre.model.config, variant_pre.pipeline, case1,
-            settings=scale.finetune_settings, mode=FinetuneMode.DECODER_ONLY,
-        )
+    for name, units in layout["variants"].items():
         rows[name] = {
-            "pretrain_delay_mse": variant_pre.test_mse_seconds2,
-            "finetune_delay_mse": variant_delay.test_mse,
-            "finetune_mct_mse": variant_mct.test_mse,
+            "pretrain_delay_mse": outcome[units["pretrain"]]["test_mse_seconds2"],
+            "finetune_delay_mse": outcome[units["ft_delay"]]["test_mse"],
+            "finetune_mct_mse": outcome[units["ft_mct"]]["test_mse"],
         }
     return rows
 
 
-def run_table2(scale: ExperimentScale | None = None, context: ExperimentContext | None = None) -> dict:
+def run_table2(
+    scale: ExperimentScale | None = None,
+    context: ExperimentContext | None = None,
+    engine=None,
+    workers: int = 1,
+) -> dict:
     """Table 2: pre-training saves fine-tuning data and compute (case 1).
 
     Rows: pre-trained + decoder-only on full/10% data vs. from-scratch +
     full model on full/10% data; columns: delay MSE and wall-clock
     training time of the fine-tuning stage.
     """
-    scale = scale if scale is not None else get_scale()
-    context = context if context is not None else ExperimentContext(scale)
-    case1_full = context.bundle(ScenarioKind.CASE1)
-    case1_small = case1_full.small_fraction(scale.fine_fraction)
-    pre = context.pretrained()
+    outcome, layout = _run_table_campaign(2, scale, context, engine, workers)
     rows: dict[str, dict] = {}
-
-    for label, bundle in (("full", case1_full), ("10pct", case1_small)):
-        result = finetune_delay(
-            pre.model, pre.pipeline, bundle,
-            settings=scale.finetune_settings, mode=FinetuneMode.DECODER_ONLY,
-        )
+    for label in ("full", "10pct"):
         rows[f"pretrained_{label}"] = {
             "layers_trained": "decoder_only",
-            "delay_mse": result.test_mse,
-            "training_time_s": result.training_time,
+            "delay_mse": outcome[layout[f"pretrained_{label}"]]["test_mse"],
+            "training_time_s": outcome[layout[f"pretrained_{label}"]]["training_time_s"],
         }
-    for label, bundle in (("full", case1_full), ("10pct", case1_small)):
-        result = train_delay_from_scratch(
-            scale.model_config(), pre.pipeline, bundle, settings=scale.finetune_settings
-        )
+    for label in ("full", "10pct"):
         rows[f"scratch_{label}"] = {
             "layers_trained": "full",
-            "delay_mse": result.test_mse,
-            "training_time_s": result.training_time,
+            "delay_mse": outcome[layout[f"scratch_{label}"]]["test_mse"],
+            "training_time_s": outcome[layout[f"scratch_{label}"]]["training_time_s"],
         }
     return rows
 
 
-def run_table3(scale: ExperimentScale | None = None, context: ExperimentContext | None = None) -> dict:
+def run_table3(
+    scale: ExperimentScale | None = None,
+    context: ExperimentContext | None = None,
+    engine=None,
+    workers: int = 1,
+) -> dict:
     """Table 3: the larger topology (case 2).
 
     Pre-trained models fine-tune (full model — the new receivers need
@@ -386,47 +405,26 @@ def run_table3(scale: ExperimentScale | None = None, context: ExperimentContext 
     no-receiver-ID ablation cannot tell receivers apart; baselines for
     reference.
     """
-    scale = scale if scale is not None else get_scale()
-    context = context if context is not None else ExperimentContext(scale)
-    case2_full = context.bundle(ScenarioKind.CASE2)
-    case2_small = case2_full.small_fraction(scale.fine_fraction)
-    pre = context.pretrained()
+    outcome, layout = _run_table_campaign(3, scale, context, engine, workers)
     rows: dict[str, dict] = {}
-
-    import copy
-
-    for label, bundle in (("full", case2_full), ("10pct", case2_small)):
-        # Fine-tune a copy so the 10% run starts from the same weights.
-        model = copy.deepcopy(pre.model)
-        result = finetune_delay(
-            model, pre.pipeline, bundle,
-            settings=scale.finetune_settings, mode=FinetuneMode.FULL,
-        )
+    for label in ("full", "10pct"):
         rows[f"pretrained_{label}"] = {
-            "delay_mse": result.test_mse,
-            "training_time_s": result.training_time,
+            "delay_mse": outcome[layout[f"pretrained_{label}"]]["test_mse"],
+            "training_time_s": outcome[layout[f"pretrained_{label}"]]["training_time_s"],
         }
-    for label, bundle in (("full", case2_full), ("10pct", case2_small)):
-        result = train_delay_from_scratch(
-            scale.model_config(), pre.pipeline, bundle, settings=scale.finetune_settings
-        )
+    for label in ("full", "10pct"):
         rows[f"scratch_{label}"] = {
-            "delay_mse": result.test_mse,
-            "training_time_s": result.training_time,
+            "delay_mse": outcome[layout[f"scratch_{label}"]]["test_mse"],
+            "training_time_s": outcome[layout[f"scratch_{label}"]]["training_time_s"],
         }
-
     # Baselines (the §4 "not shown" reference numbers).
-    baselines = evaluate_baselines(case2_full.test)
+    baselines = outcome[layout["baselines_case2"]]["rows"]
     rows["last_observed"] = {"delay_mse": baselines["last_observed"]["delay_mse"]}
     rows["ewma"] = {"delay_mse": baselines["ewma"]["delay_mse"]}
-
     # Without addressing information the receivers are indistinguishable.
-    no_rx_pre = context.pretrain_variant(features=FeatureSpec.without_receiver())
-    no_rx = finetune_delay(
-        no_rx_pre.model, no_rx_pre.pipeline, case2_full,
-        settings=scale.finetune_settings, mode=FinetuneMode.FULL,
-    )
-    rows["without_receiver_id"] = {"delay_mse": no_rx.test_mse}
+    rows["without_receiver_id"] = {
+        "delay_mse": outcome[layout["without_receiver_id"]]["test_mse"]
+    }
     return rows
 
 

@@ -77,15 +77,23 @@ def generate_dataset(
     receiver_index: dict[int, int] | None = None,
     train_fraction: float = 0.8,
     val_fraction: float = 0.1,
+    traces: list[Trace] | None = None,
 ) -> DatasetBundle:
     """Simulate ``n_runs`` runs of ``scenario`` and window the traces.
 
     Each run is windowed independently (windows never cross runs) and
     split temporally; the per-run splits are then concatenated so every
     run contributes to train, val and test alike.
+
+    ``traces`` short-circuits the simulation with pre-generated runs
+    (e.g. served from the artifact store); they must come from the same
+    scenario config, which stays the bundle's recorded provenance.
     """
     window_config = window_config if window_config is not None else WindowConfig()
-    traces = generate_traces(scenario, n_runs=n_runs)
+    if traces is None:
+        traces = generate_traces(scenario, n_runs=n_runs)
+    elif len(traces) != n_runs:
+        raise ValueError(f"expected {n_runs} traces, got {len(traces)}")
     index = build_receiver_index(traces, existing=receiver_index)
     trains, vals, tests = [], [], []
     n_packets = 0

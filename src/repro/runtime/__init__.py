@@ -1,0 +1,52 @@
+"""``repro.runtime`` — the parallel campaign engine.
+
+The layer between the :mod:`repro.api` facade and the training
+pipeline: it takes *many* experiment specs, plans them as one
+deduplicated task graph (traces → bundle → pretrain → finetune →
+evaluate, collapsed by artifact-store key so shared stages run once),
+and executes the graph either in-process or on a worker pool, with
+retries, per-task spawned seed sequences and a JSON campaign manifest.
+
+Quickstart::
+
+    from repro.runtime import expand_grid, run_campaign
+
+    specs = expand_grid(scenarios=["pretrain", "case1"], seeds=[0, 1],
+                        scales=["smoke"])
+    result = run_campaign(specs, workers=2)
+    print(result.format_summary())          # statuses, timings, hits
+    print(result.manifest_path)             # the JSON manifest
+
+The same engine backs ``repro sweep``, the paper's table runners and
+the benchmark fan-outs.
+"""
+
+from repro.runtime.engine import CampaignEngine, CampaignResult, run_campaign
+from repro.runtime.plan import (
+    DEFAULT_STAGES,
+    STAGES,
+    CampaignPlan,
+    StageTask,
+    plan_campaign,
+    plan_table,
+    spec_for_scale,
+)
+from repro.runtime.sweep import expand_grid, specs_from_file
+from repro.runtime.worker import execute_stage, run_task
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignResult",
+    "run_campaign",
+    "CampaignPlan",
+    "StageTask",
+    "plan_campaign",
+    "plan_table",
+    "spec_for_scale",
+    "expand_grid",
+    "specs_from_file",
+    "execute_stage",
+    "run_task",
+    "DEFAULT_STAGES",
+    "STAGES",
+]

@@ -1,0 +1,374 @@
+"""The campaign engine: execute a task graph serially or on a pool.
+
+:class:`CampaignEngine` takes a :class:`~repro.runtime.plan.CampaignPlan`
+and runs its tasks in dependency order — in-process when ``workers <= 1``
+(or when there is no artifact store to share artifacts through), on a
+``ProcessPoolExecutor`` otherwise.  Both paths execute the *same* stage
+implementations (:mod:`repro.runtime.worker`), so interactive runs,
+sweeps and benchmarks cannot drift apart.
+
+Failed tasks are retried (with a small jittered backoff drawn from the
+task's own spawned seed sequence, so campaign behaviour is reproducible)
+and their dependents are skipped once retries are exhausted.  Every run
+produces a JSON campaign manifest — per-task status, timings and cache
+hit/miss — written through the store under ``manifests/<campaign_id>``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.api.store import ArtifactStore
+from repro.runtime.plan import CampaignPlan, StageTask, plan_campaign
+from repro.runtime.worker import run_task
+
+__all__ = ["CampaignEngine", "CampaignResult", "run_campaign"]
+
+#: Sentinel: "no store argument given" (``None`` means "no store").
+_DEFAULT_STORE = object()
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one engine run."""
+
+    manifest: dict
+    results: dict = field(default_factory=dict)
+    manifest_path: Path | None = None
+
+    @property
+    def summary(self) -> dict:
+        return self.manifest["summary"]
+
+    @property
+    def ok(self) -> bool:
+        return self.summary["failed"] == 0 and self.summary["skipped"] == 0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.summary["cache_hits"]
+
+    def failed_tasks(self) -> list[dict]:
+        return [task for task in self.manifest["tasks"] if task["status"] == "error"]
+
+    def __getitem__(self, task_id: str) -> dict:
+        """Result payload of one completed task."""
+        return self.results[task_id]
+
+    def format_summary(self) -> str:
+        summary = self.summary
+        lines = [
+            f"campaign {self.manifest['campaign_id']}: "
+            f"{summary['done']}/{summary['total']} task(s) done, "
+            f"{summary['cache_hits']} cache hit(s), "
+            f"{summary['failed']} failed, {summary['skipped']} skipped "
+            f"in {self.manifest['wall_time_s']:.1f}s "
+            f"({self.manifest['workers']} worker(s))"
+        ]
+        for task in self.failed_tasks():
+            last_line = task["error"].strip().splitlines()[-1]
+            lines.append(f"  FAILED {task['id']}: {last_line}")
+        if self.manifest_path is not None:
+            lines.append(f"manifest: {self.manifest_path}")
+        return "\n".join(lines)
+
+
+class CampaignEngine:
+    """Plans' executor: worker pool, retries, manifest.
+
+    Args:
+        store: artifact store shared by all tasks; defaults to the
+            environment store.  ``store=None`` disables persistence and
+            forces in-process execution (separate processes could not
+            exchange artifacts).
+        workers: worker processes; ``<= 1`` runs in-process.
+        retries: how many times a failed task is re-attempted.
+    """
+
+    def __init__(self, store=_DEFAULT_STORE, workers: int = 1, retries: int = 1):
+        self.store = ArtifactStore.from_env() if store is _DEFAULT_STORE else store
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.retries = retries
+
+    def effective_workers(self, tasks: list[StageTask]) -> int:
+        """The worker count this plan can actually use.
+
+        Without a store, processes have no way to exchange artifacts, so
+        any plan with dependencies or cacheable stages runs in-process;
+        an embarrassingly parallel, uncacheable plan (e.g. a
+        ``trace_stats`` fan-out) may still use the pool.
+        """
+        if self.store is None and any(task.deps or task.kind for task in tasks):
+            return 1
+        return max(1, min(self.workers, len(tasks)))
+
+    def run(self, plan: CampaignPlan, context=None) -> CampaignResult:
+        """Execute every task; returns results plus the manifest.
+
+        ``context`` (serial path only) shares one
+        :class:`~repro.core.pipeline.ExperimentContext`'s in-memory
+        caches across tasks — the table runners pass theirs so
+        interactive runs keep working without a store.  A context binds
+        a single seed/scale, so it is only accepted for single-spec
+        plans whose spec agrees with it.
+        """
+        if context is not None:
+            hashes = {spec.spec_hash for spec in plan.specs}
+            if len(hashes) > 1:
+                raise ValueError(
+                    "a shared context binds one seed/scale; multi-spec plans "
+                    "must run without `context` (each task builds its own)"
+                )
+            if plan.specs and plan.specs[0].seed != context.seed:
+                raise ValueError(
+                    f"context seed {context.seed} does not match the plan's "
+                    f"spec seed {plan.specs[0].seed}"
+                )
+            if plan.specs and not _scales_agree(plan.specs[0].to_scale(), context.scale):
+                raise ValueError(
+                    f"context scale {context.scale.name!r} does not resolve to the "
+                    f"plan's spec scale {plan.specs[0].scale!r}; a mismatch would "
+                    "store artifacts under the wrong cache keys"
+                )
+        started = time.time()
+        clock = time.perf_counter()
+        tasks = plan.ordered()
+        workers = self.effective_workers(tasks)
+        store_root = None if self.store is None else str(self.store.root)
+        if workers <= 1:
+            records = self._run_serial(plan, tasks, store_root, context)
+        else:
+            records = self._run_pool(plan, tasks, store_root, workers)
+        ordered_records = [records[task.id] for task in tasks]
+        manifest = self._manifest(plan, ordered_records, workers, started)
+        manifest["wall_time_s"] = time.perf_counter() - clock
+        path = None
+        if self.store is not None:
+            path = self.store.put_manifest(plan.campaign_id, manifest)
+        results = {
+            record["id"]: record["result"]
+            for record in ordered_records
+            if record["status"] == "done"
+        }
+        return CampaignResult(manifest=manifest, results=results, manifest_path=path)
+
+    # -- execution paths ----------------------------------------------------------
+
+    def _attempts(self) -> int:
+        return self.retries + 1
+
+    def _execute_with_retry(self, plan, task, store_root, experiment) -> dict:
+        record = None
+        for attempt in range(self._attempts()):
+            record = run_task(task.payload(store_root, plan.seed, attempt), experiment=experiment)
+            record["attempts"] = attempt + 1
+            if record["status"] == "done":
+                break
+        return record
+
+    def _run_serial(self, plan, tasks, store_root, context) -> dict:
+        experiments: dict[str, object] = {}
+        records: dict[str, dict] = {}
+        for task in self._topological(tasks):
+            blocker = self._blocking_dep(task, records)
+            if blocker is not None:
+                records[task.id] = _skip_record(task, blocker)
+                continue
+            spec_hash = task.spec.spec_hash
+            if spec_hash not in experiments:
+                from repro.api.experiment import Experiment
+
+                if context is not None:
+                    experiments[spec_hash] = Experiment(task.spec, context=context)
+                else:
+                    experiments[spec_hash] = Experiment(task.spec, store=self.store)
+            records[task.id] = self._execute_with_retry(
+                plan, task, store_root, experiments[spec_hash]
+            )
+        return records
+
+    def _run_pool(self, plan, tasks, store_root, workers) -> dict:
+        records: dict[str, dict] = {}
+        attempts: dict[str, int] = {}
+        waiting = {task.id: set(task.deps) for task in tasks}
+        by_id = {task.id: task for task in tasks}
+        dependents: dict[str, list[str]] = {task.id: [] for task in tasks}
+        for task in tasks:
+            for dep in task.deps:
+                dependents[dep].append(task.id)
+
+        ready = [task.id for task in tasks if not waiting[task.id]]
+        in_flight = {}
+
+        def resolve(task_id: str, record: dict) -> list[str]:
+            """Record a final status; returns newly ready tasks."""
+            records[task_id] = record
+            newly_ready = []
+            for child in dependents[task_id]:
+                if record["status"] == "done":
+                    waiting[child].discard(task_id)
+                    if not waiting[child] and child not in records:
+                        newly_ready.append(child)
+                elif child not in records:
+                    # Cascade the skip through the whole subtree.
+                    newly_ready.extend(resolve(child, _skip_record(by_id[child], task_id)))
+            return newly_ready
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            while ready or in_flight:
+                for task_id in ready:
+                    if task_id in records:
+                        continue
+                    attempt = attempts.get(task_id, 0)
+                    attempts[task_id] = attempt + 1
+                    future = pool.submit(
+                        run_task, by_id[task_id].payload(store_root, plan.seed, attempt)
+                    )
+                    in_flight[future] = task_id
+                ready = []
+                if not in_flight:
+                    continue
+                done, _pending = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task_id = in_flight.pop(future)
+                    record = future.result()
+                    record["attempts"] = attempts[task_id]
+                    if record["status"] == "done":
+                        ready.extend(resolve(task_id, record))
+                    elif attempts[task_id] <= self.retries:
+                        ready.append(task_id)  # retry
+                    else:
+                        ready.extend(resolve(task_id, record))
+        return records
+
+    @staticmethod
+    def _topological(tasks: list[StageTask]) -> list[StageTask]:
+        """Dependency-respecting order (plan order is already close)."""
+        placed: set[str] = set()
+        remaining = list(tasks)
+        ordered = []
+        while remaining:
+            progressed = False
+            deferred = []
+            for task in remaining:
+                if all(dep in placed for dep in task.deps):
+                    ordered.append(task)
+                    placed.add(task.id)
+                    progressed = True
+                else:
+                    deferred.append(task)
+            if not progressed:
+                cycle = ", ".join(task.id for task in deferred)
+                raise ValueError(f"dependency cycle in campaign plan: {cycle}")
+            remaining = deferred
+        return ordered
+
+    @staticmethod
+    def _blocking_dep(task: StageTask, records: dict) -> str | None:
+        for dep in task.deps:
+            record = records.get(dep)
+            if record is not None and record["status"] != "done":
+                return dep
+        return None
+
+    # -- manifest -----------------------------------------------------------------
+
+    def _manifest(self, plan, records, workers, started) -> dict:
+        done = sum(1 for record in records if record["status"] == "done")
+        failed = sum(1 for record in records if record["status"] == "error")
+        skipped = sum(1 for record in records if record["status"] == "skipped")
+        hits = sum(1 for record in records if record.get("cache_hit"))
+        task_rows = []
+        by_id = {task.id: task for task in plan.ordered()}
+        for record in records:
+            task = by_id[record["id"]]
+            row = {
+                "id": record["id"],
+                "stage": record["stage"],
+                "key": task.key,
+                "kind": task.kind,
+                "specs": list(task.spec_hashes),
+                "status": record["status"],
+                "attempts": record.get("attempts", 0),
+                "cache_hit": bool(record.get("cache_hit")),
+                "wall_time_s": record.get("wall_time_s", 0.0),
+            }
+            if record["status"] == "done":
+                row["result"] = record["result"]
+            elif record["status"] == "error":
+                row["error"] = record["error"]
+            else:
+                row["skipped_because"] = record["skipped_because"]
+            task_rows.append(row)
+        return {
+            "campaign_id": plan.campaign_id,
+            "created_unix": started,
+            "workers": workers,
+            "retries": self.retries,
+            "seed": plan.seed,
+            "specs": [
+                {"hash": spec.spec_hash, "spec": spec.to_dict()} for spec in plan.specs
+            ],
+            "tasks": task_rows,
+            "summary": {
+                "total": len(records),
+                "done": done,
+                "failed": failed,
+                "skipped": skipped,
+                "cache_hits": hits,
+                "executed": done - hits,
+            },
+        }
+
+
+def _scales_agree(spec_scale, context_scale) -> bool:
+    """Whether two scales produce the same cache keys.
+
+    Compares exactly the fields the artifact-store keys depend on, so a
+    context trained at one scale can never persist artifacts under
+    another scale's keys.
+    """
+    return (
+        spec_scale.window == context_scale.window
+        and spec_scale.n_runs == context_scale.n_runs
+        and spec_scale.model_config() == context_scale.model_config()
+        and spec_scale.pretrain_settings == context_scale.pretrain_settings
+        and spec_scale.finetune_settings == context_scale.finetune_settings
+        and spec_scale.fine_fraction == context_scale.fine_fraction
+    )
+
+
+def _skip_record(task: StageTask, blocker: str) -> dict:
+    return {
+        "id": task.id,
+        "stage": task.stage,
+        "status": "skipped",
+        "skipped_because": blocker,
+        "cache_hit": False,
+        "attempts": 0,
+        "wall_time_s": 0.0,
+    }
+
+
+def run_campaign(
+    specs,
+    stages=None,
+    store=_DEFAULT_STORE,
+    workers: int = 1,
+    retries: int = 1,
+    seed: int = 0,
+    context=None,
+) -> CampaignResult:
+    """Plan and run the standard pipeline over ``specs`` in one call."""
+    from repro.runtime.plan import DEFAULT_STAGES
+
+    plan = plan_campaign(specs, stages=tuple(stages or DEFAULT_STAGES), seed=seed)
+    engine = CampaignEngine(store=store, workers=workers, retries=retries)
+    return engine.run(plan, context=context)

@@ -1,0 +1,575 @@
+"""Campaign planning: specs → a deduplicated stage-task graph.
+
+A campaign turns a set of :class:`~repro.api.spec.ExperimentSpec`\\ s
+into :class:`StageTask`\\ s along the experiment pipeline::
+
+    traces → bundle → pretrain → finetune → evaluate
+
+Tasks are deduplicated by the same content-addressed keys the
+:class:`~repro.api.store.ArtifactStore` uses, so two specs sharing a
+pre-training environment plan *one* pretrain task, not two.  The plan
+is purely declarative — executing it (serially or on a worker pool) is
+the :class:`~repro.runtime.engine.CampaignEngine`'s job, and the actual
+caching still happens inside the store, so a slightly conservative plan
+can never cause recomputation.
+
+Every task is assigned an independent :class:`numpy.random.SeedSequence`
+via ``spawn`` at planning time (deterministic in the plan, independent
+of execution order), covering engine-level randomness such as retry
+backoff.  Stage-level randomness always comes from the spec itself —
+that is what keys the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.hashing import stable_hash
+from repro.api.spec import ExperimentSpec
+from repro.api.store import (
+    evaluation_key,
+    finetuned_key,
+    pretrained_key,
+    scratch_key,
+    traces_key,
+)
+from repro.core.features import FeatureSpec
+from repro.core.finetune import FinetuneMode
+from repro.netsim.scenarios import ScenarioKind
+
+__all__ = [
+    "StageTask",
+    "CampaignPlan",
+    "plan_campaign",
+    "plan_table",
+    "spec_for_scale",
+    "resolve_variant",
+    "DEFAULT_STAGES",
+    "SWEEP_STAGES",
+    "STAGES",
+]
+
+#: The sweep pipeline, in dependency order.
+DEFAULT_STAGES = ("traces", "bundle", "pretrain", "finetune", "evaluate")
+
+#: Stages :func:`plan_campaign` can plan directly (`scratch` and
+#: `baselines` are planned by the table planners only).
+SWEEP_STAGES = DEFAULT_STAGES + ("trace_stats",)
+
+#: Every stage the worker knows how to execute.
+STAGES = DEFAULT_STAGES + ("scratch", "baselines", "trace_stats")
+
+#: Feature-ablation tokens (kept symbolic so task parameters stay JSON).
+_FEATURE_VARIANTS = {
+    "without_size": FeatureSpec.without_size,
+    "without_delay": FeatureSpec.without_delay,
+    "without_receiver": FeatureSpec.without_receiver,
+}
+
+
+def resolve_variant(scale, features: str | None, aggregation: str | None):
+    """Symbolic ablation tokens → the concrete config objects.
+
+    ``features`` names a :class:`FeatureSpec` ablation constructor;
+    ``aggregation`` names an entry of ``scale.aggregation_variants``.
+    """
+    feature_spec = None
+    if features is not None:
+        try:
+            feature_spec = _FEATURE_VARIANTS[features]()
+        except KeyError:
+            raise ValueError(
+                f"unknown feature variant {features!r}; "
+                f"choose from {sorted(_FEATURE_VARIANTS)}"
+            ) from None
+    aggregation_spec = None
+    if aggregation is not None:
+        try:
+            aggregation_spec = scale.aggregation_variants[aggregation]
+        except KeyError:
+            raise ValueError(
+                f"unknown aggregation variant {aggregation!r}; "
+                f"choose from {sorted(scale.aggregation_variants)}"
+            ) from None
+    return feature_spec, aggregation_spec
+
+
+def spec_for_scale(scale, seed: int = 0, scenario: str = "pretrain") -> ExperimentSpec:
+    """A fully spelled-out spec equivalent to an :class:`ExperimentScale`.
+
+    The table runners receive ``(scale, context)``; campaign planning
+    needs a spec, so the scale's resolved settings become explicit
+    overrides (hashing identically to the short form when the scale is
+    an unmodified preset).
+    """
+    return ExperimentSpec(
+        scenario=scenario,
+        scale=scale.name,
+        seed=seed,
+        n_runs=scale.n_runs,
+        window=scale.window,
+        model=scale.model,
+        pretrain=scale.pretrain_settings,
+        finetune=scale.finetune_settings,
+        fine_fraction=scale.fine_fraction,
+    )
+
+
+@dataclass
+class StageTask:
+    """One schedulable unit of campaign work."""
+
+    id: str
+    stage: str
+    spec: ExperimentSpec
+    params: dict = field(default_factory=dict)
+    #: store kind + key backing this task (``None`` → not cacheable).
+    kind: str | None = None
+    key: str | None = None
+    deps: tuple[str, ...] = ()
+    #: hashes of every spec that contributed this task (dedup record).
+    spec_hashes: tuple[str, ...] = ()
+    #: ``SeedSequence`` spawn key assigned at planning time.
+    spawn_key: tuple[int, ...] = ()
+
+    def payload(self, store_root: str | None, seed: int, attempt: int = 0) -> dict:
+        """The picklable/JSON form handed to workers.
+
+        ``attempt`` counts prior failures; workers apply a jittered
+        backoff (derived from the task's spawned seed sequence, so it is
+        reproducible) before a retry executes.
+        """
+        return {
+            "id": self.id,
+            "stage": self.stage,
+            "spec": self.spec.to_dict(),
+            "params": self.params,
+            "key": self.key,
+            "kind": self.kind,
+            "store_root": store_root,
+            "seed_entropy": seed,
+            "spawn_key": list(self.spawn_key),
+            "attempt": attempt,
+        }
+
+
+class CampaignPlan:
+    """An ordered, deduplicated task graph for one campaign."""
+
+    def __init__(self, specs: list[ExperimentSpec], seed: int = 0):
+        self.specs = list(specs)
+        self.seed = seed
+        self.tasks: dict[str, StageTask] = {}
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self.tasks
+
+    @property
+    def campaign_id(self) -> str:
+        """Content hash of the whole plan (used to key the manifest)."""
+        return stable_hash({"campaign": sorted(self.tasks)})
+
+    def add(
+        self,
+        stage: str,
+        spec: ExperimentSpec,
+        params: dict | None = None,
+        kind: str | None = None,
+        key: str | None = None,
+        deps: tuple[str, ...] = (),
+    ) -> str:
+        """Add (or merge into) a task; returns its id.
+
+        Tasks are identified by ``stage`` + cache key — the same key
+        planned from two specs collapses into one task whose
+        ``spec_hashes`` records both.
+        """
+        if stage not in STAGES:
+            raise ValueError(f"unknown stage {stage!r}; choose from {STAGES}")
+        params = dict(params or {})
+        digest = key if key is not None else stable_hash(
+            {"spec": spec.spec_hash, "params": params}
+        )
+        task_id = f"{stage}:{digest[:12]}"
+        spec_hash = spec.spec_hash
+        existing = self.tasks.get(task_id)
+        if existing is not None:
+            if spec_hash not in existing.spec_hashes:
+                existing.spec_hashes += (spec_hash,)
+            existing.deps = tuple(dict.fromkeys(existing.deps + tuple(deps)))
+            return task_id
+        params["key"] = key
+        self.tasks[task_id] = StageTask(
+            id=task_id,
+            stage=stage,
+            spec=spec,
+            params=params,
+            kind=kind,
+            key=key,
+            deps=tuple(dict.fromkeys(deps)),
+            spec_hashes=(spec_hash,),
+        )
+        return task_id
+
+    def finalise(self) -> "CampaignPlan":
+        """Assign each task an independent spawned seed sequence."""
+        children = np.random.SeedSequence(self.seed).spawn(len(self.tasks))
+        for task, child in zip(self.tasks.values(), children):
+            task.spawn_key = tuple(int(part) for part in child.spawn_key)
+        return self
+
+    def ordered(self) -> list[StageTask]:
+        """Tasks in execution order (insertion order is topological:
+        dependencies are always added before their dependents)."""
+        return list(self.tasks.values())
+
+    def describe(self, store=None) -> str:
+        """Human-readable plan listing (the ``--dry-run`` output)."""
+        lines = [
+            f"campaign {self.campaign_id}: "
+            f"{len(self.specs)} spec(s) -> {len(self.tasks)} task(s)"
+        ]
+        for task in self.ordered():
+            cached = ""
+            # Bundles are deduplicated on a planning surrogate (the real
+            # key embeds the data-dependent receiver index), so their
+            # cache state is only knowable at execution time.
+            if (
+                store is not None
+                and task.kind is not None
+                and task.key is not None
+                and task.kind != "bundles"
+            ):
+                cached = "  [cached]" if store.is_current(task.kind, task.key) else ""
+            shared = f"  (shared by {len(task.spec_hashes)} specs)" if len(task.spec_hashes) > 1 else ""
+            deps = f"  <- {', '.join(task.deps)}" if task.deps else ""
+            lines.append(f"  {task.id:26s}{deps}{shared}{cached}")
+        return "\n".join(lines)
+
+
+# -- sweep planning ---------------------------------------------------------------
+
+
+def plan_campaign(
+    specs: list[ExperimentSpec],
+    stages: tuple[str, ...] = DEFAULT_STAGES,
+    seed: int = 0,
+) -> CampaignPlan:
+    """Plan the standard pipeline for every spec, deduplicated by key.
+
+    ``stages`` restricts the pipeline (e.g. ``("traces",)`` plans a
+    simulation-only sweep, ``("trace_stats",)`` a statistics fan-out).
+    """
+    unknown = set(stages) - set(SWEEP_STAGES)
+    if unknown:
+        raise ValueError(f"unknown stages {sorted(unknown)}; choose from {SWEEP_STAGES}")
+    plan = CampaignPlan(specs, seed=seed)
+    for spec in specs:
+        before = len(plan.tasks)
+        _plan_spec(plan, spec, set(stages))
+        shared = any(
+            spec.spec_hash in task.spec_hashes for task in plan.tasks.values()
+        )
+        if len(plan.tasks) == before and not shared:
+            # e.g. stages=("evaluate",) without the model stages: refuse
+            # to "succeed" with an empty campaign.
+            raise ValueError(
+                f"stages {tuple(stages)} plan no work for spec "
+                f"{spec.scenario!r}; downstream stages need their "
+                f"upstream stages (try the default {DEFAULT_STAGES})"
+            )
+    return plan.finalise()
+
+
+def _plan_traces(plan: CampaignPlan, spec: ExperimentSpec, scenario: str) -> str:
+    scale = spec.to_scale()
+    return plan.add(
+        "traces",
+        spec,
+        {"scenario": scenario},
+        kind="traces",
+        key=traces_key(spec.scenario_config(scenario), scale.n_runs),
+    )
+
+
+def _plan_bundle(
+    plan: CampaignPlan, spec: ExperimentSpec, scenario: str, stages: set
+) -> str:
+    """Plan a bundle task (plus its traces and, for fine-tuning
+    scenarios, the pre-training bundle that donates receiver ids).
+
+    The real bundle key depends on the pre-training receiver index — a
+    value only known once traces exist — so planning dedups on a
+    surrogate key over the same inputs; the store still content-addresses
+    the artifact exactly.
+    """
+    scale = spec.to_scale()
+    deps = []
+    if "traces" in stages:
+        deps.append(_plan_traces(plan, spec, scenario))
+    if scenario != ScenarioKind.PRETRAIN:
+        deps.append(_plan_bundle(plan, spec, ScenarioKind.PRETRAIN, stages))
+    surrogate = stable_hash(
+        {
+            "plan": "bundle",
+            "scenario": spec.scenario_config(scenario),
+            "window": scale.window,
+            "n_runs": scale.n_runs,
+            "pretrain": None
+            if scenario == ScenarioKind.PRETRAIN
+            else spec.scenario_config(ScenarioKind.PRETRAIN),
+        }
+    )
+    return plan.add(
+        "bundle",
+        spec,
+        {"scenario": scenario},
+        kind="bundles",
+        key=surrogate,
+        deps=tuple(deps),
+    )
+
+
+def _base_pretrained_key(spec: ExperimentSpec, features=None, aggregation=None) -> str:
+    scale = spec.to_scale()
+    feature_spec, aggregation_spec = resolve_variant(scale, features, aggregation)
+    return pretrained_key(
+        spec.scenario_config(ScenarioKind.PRETRAIN),
+        scale.window,
+        scale.n_runs,
+        scale.model_config(features=feature_spec, aggregation=aggregation_spec),
+        scale.pretrain_settings,
+    )
+
+
+def _plan_pretrain(
+    plan: CampaignPlan,
+    spec: ExperimentSpec,
+    stages: set,
+    features: str | None = None,
+    aggregation: str | None = None,
+) -> str:
+    deps = []
+    if "bundle" in stages:
+        deps.append(_plan_bundle(plan, spec, ScenarioKind.PRETRAIN, stages))
+    return plan.add(
+        "pretrain",
+        spec,
+        {"features": features, "aggregation": aggregation},
+        kind="checkpoints",
+        key=_base_pretrained_key(spec, features, aggregation),
+        deps=tuple(deps),
+    )
+
+
+def _plan_finetune(
+    plan: CampaignPlan,
+    spec: ExperimentSpec,
+    scenario: str,
+    stages: set,
+    task: str = "delay",
+    mode: str = FinetuneMode.DECODER_ONLY,
+    fraction: float | None = None,
+    features: str | None = None,
+    aggregation: str | None = None,
+) -> str:
+    scale = spec.to_scale()
+    deps = [_plan_pretrain(plan, spec, stages, features, aggregation)]
+    if "bundle" in stages:
+        deps.append(_plan_bundle(plan, spec, scenario, stages))
+    key = finetuned_key(
+        _base_pretrained_key(spec, features, aggregation),
+        spec.scenario_config(scenario),
+        task,
+        mode,
+        fraction,
+        scale.finetune_settings,
+    )
+    return plan.add(
+        "finetune",
+        spec,
+        {
+            "scenario": scenario,
+            "task": task,
+            "mode": mode,
+            "fraction": fraction,
+            "features": features,
+            "aggregation": aggregation,
+        },
+        kind="checkpoints",
+        key=key,
+        deps=tuple(deps),
+    )
+
+
+def _plan_spec(plan: CampaignPlan, spec: ExperimentSpec, stages: set) -> None:
+    """The standard per-spec chain, honouring the stage filter."""
+    scenario = spec.scenario
+    if "trace_stats" in stages:
+        plan.add("trace_stats", spec, {"scenario": scenario})
+    model_task = None
+    if "pretrain" in stages:
+        model_task = _plan_pretrain(plan, spec, stages)
+    elif "bundle" in stages:
+        _plan_bundle(plan, spec, scenario, stages)
+    elif "traces" in stages:
+        _plan_traces(plan, spec, scenario)
+    if (
+        "finetune" in stages
+        and model_task is not None
+        and scenario != ScenarioKind.PRETRAIN
+    ):
+        model_task = _plan_finetune(plan, spec, scenario, stages)
+    if "evaluate" in stages and model_task is not None:
+        model_key = plan.tasks[model_task].key
+        plan.add(
+            "evaluate",
+            spec,
+            {"scenario": scenario, "task": "delay"},
+            kind="evaluations",
+            key=evaluation_key(model_key, spec.scenario_config(scenario), "delay"),
+            deps=(model_task,),
+        )
+
+
+# -- table planning ---------------------------------------------------------------
+
+
+def plan_table(table: int, spec: ExperimentSpec, seed: int = 0):
+    """Plan one of the paper's tables as a campaign.
+
+    Returns ``(plan, layout)`` where ``layout`` maps logical unit names
+    (used by the table assemblers in :mod:`repro.core.pipeline`) to task
+    ids.
+    """
+    planners = {1: _plan_table1, 2: _plan_table2, 3: _plan_table3}
+    try:
+        planner = planners[int(table)]
+    except (KeyError, ValueError):
+        raise ValueError(f"unknown table {table!r}; choose from {sorted(planners)}") from None
+    plan = CampaignPlan([spec], seed=seed)
+    layout = planner(plan, spec)
+    return plan.finalise(), layout
+
+
+def _plan_scratch(
+    plan: CampaignPlan,
+    spec: ExperimentSpec,
+    scenario: str,
+    task: str,
+    fraction: float | None,
+    stages: set,
+) -> str:
+    scale = spec.to_scale()
+    deps = [_plan_pretrain(plan, spec, stages)]  # donates the fitted pipeline
+    deps.append(_plan_bundle(plan, spec, scenario, stages))
+    key = scratch_key(
+        _base_pretrained_key(spec),
+        spec.scenario_config(scenario),
+        task,
+        fraction,
+        scale.model_config(),
+        scale.finetune_settings,
+    )
+    return plan.add(
+        "scratch",
+        spec,
+        {"scenario": scenario, "task": task, "fraction": fraction},
+        kind="checkpoints",
+        key=key,
+        deps=tuple(deps),
+    )
+
+
+def _plan_baselines(plan: CampaignPlan, spec: ExperimentSpec, scenario: str, stages: set) -> str:
+    scale = spec.to_scale()
+    deps = (_plan_bundle(plan, spec, scenario, stages),)
+    key = evaluation_key(
+        "baselines",
+        {
+            "scenario": spec.scenario_config(scenario),
+            "window": scale.window,
+            "n_runs": scale.n_runs,
+        },
+        "baselines",
+    )
+    return plan.add(
+        "baselines",
+        spec,
+        {"scenario": scenario},
+        kind="evaluations",
+        key=key,
+        deps=deps,
+    )
+
+
+#: Table 1's ablation rows → symbolic variant tokens.
+TABLE1_VARIANTS = {
+    "no_aggregation": {"aggregation": "none"},
+    "fixed_aggregation": {"aggregation": "fixed"},
+    "without_packet_size": {"features": "without_size"},
+    "without_delay": {"features": "without_delay"},
+}
+
+
+def _plan_table1(plan: CampaignPlan, spec: ExperimentSpec) -> dict:
+    stages = set(DEFAULT_STAGES)
+    fraction = spec.to_scale().fine_fraction
+    case1 = ScenarioKind.CASE1
+    layout = {
+        "pretrain": _plan_pretrain(plan, spec, stages),
+        "ft_delay": _plan_finetune(plan, spec, case1, stages, task="delay", fraction=fraction),
+        "ft_mct": _plan_finetune(plan, spec, case1, stages, task="mct", fraction=fraction),
+        "scratch_delay": _plan_scratch(plan, spec, case1, "delay", fraction, stages),
+        "scratch_mct": _plan_scratch(plan, spec, case1, "mct", fraction, stages),
+        "baselines_pretrain": _plan_baselines(plan, spec, ScenarioKind.PRETRAIN, stages),
+        "baselines_case1": _plan_baselines(plan, spec, case1, stages),
+        "variants": {},
+    }
+    for name, tokens in TABLE1_VARIANTS.items():
+        layout["variants"][name] = {
+            "pretrain": _plan_pretrain(plan, spec, stages, **tokens),
+            "ft_delay": _plan_finetune(
+                plan, spec, case1, stages, task="delay", fraction=fraction, **tokens
+            ),
+            "ft_mct": _plan_finetune(
+                plan, spec, case1, stages, task="mct", fraction=fraction, **tokens
+            ),
+        }
+    return layout
+
+
+def _plan_table2(plan: CampaignPlan, spec: ExperimentSpec) -> dict:
+    stages = set(DEFAULT_STAGES)
+    fraction = spec.to_scale().fine_fraction
+    case1 = ScenarioKind.CASE1
+    return {
+        "pretrain": _plan_pretrain(plan, spec, stages),
+        "pretrained_full": _plan_finetune(plan, spec, case1, stages, fraction=None),
+        "pretrained_10pct": _plan_finetune(plan, spec, case1, stages, fraction=fraction),
+        "scratch_full": _plan_scratch(plan, spec, case1, "delay", None, stages),
+        "scratch_10pct": _plan_scratch(plan, spec, case1, "delay", fraction, stages),
+    }
+
+
+def _plan_table3(plan: CampaignPlan, spec: ExperimentSpec) -> dict:
+    stages = set(DEFAULT_STAGES)
+    fraction = spec.to_scale().fine_fraction
+    case2 = ScenarioKind.CASE2
+    full = FinetuneMode.FULL
+    return {
+        "pretrain": _plan_pretrain(plan, spec, stages),
+        "pretrained_full": _plan_finetune(plan, spec, case2, stages, mode=full, fraction=None),
+        "pretrained_10pct": _plan_finetune(plan, spec, case2, stages, mode=full, fraction=fraction),
+        "scratch_full": _plan_scratch(plan, spec, case2, "delay", None, stages),
+        "scratch_10pct": _plan_scratch(plan, spec, case2, "delay", fraction, stages),
+        "baselines_case2": _plan_baselines(plan, spec, case2, stages),
+        "without_receiver_id": _plan_finetune(
+            plan, spec, case2, stages, mode=full, fraction=None, features="without_receiver"
+        ),
+    }

@@ -1,0 +1,112 @@
+"""Sweep expansion: grids and spec files → lists of specs.
+
+The campaign engine consumes explicit spec lists; this module produces
+them, either from a scenario × scale × seed grid (optionally crossed
+with per-spec override dictionaries) or from a JSON sweep file::
+
+    {"scenarios": ["pretrain", "case1"], "scales": ["smoke"], "seeds": [0, 1]}
+
+or, fully explicit::
+
+    {"specs": [{"scenario": "case1", "scale": "smoke", "seed": 3}, ...]}
+
+A file may carry both forms; the grid expands first, explicit specs
+append after, and the combined list is deduplicated by spec hash.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.api.spec import ExperimentSpec
+
+__all__ = ["expand_grid", "specs_from_file"]
+
+
+def expand_grid(
+    scenarios=("pretrain",),
+    scales=("smoke",),
+    seeds=(0,),
+    overrides=None,
+    **common,
+) -> list[ExperimentSpec]:
+    """Expand scenario × scale × seed (× overrides) into specs.
+
+    ``overrides`` is an optional sequence of spec-field dictionaries
+    crossed into the grid — e.g. two window configs over three scenarios
+    expand to six specs.  ``common`` fields apply everywhere.
+    """
+    variants = list(overrides) if overrides else [{}]
+    specs: list[ExperimentSpec] = []
+    seen: set[str] = set()
+    for variant in variants:
+        for spec in ExperimentSpec.grid(
+            scenarios=scenarios, scales=scales, seeds=seeds, **{**common, **variant}
+        ):
+            if spec.spec_hash not in seen:
+                seen.add(spec.spec_hash)
+                specs.append(spec)
+    return specs
+
+
+def specs_from_file(path) -> list[ExperimentSpec]:
+    """Load sweep specs from a JSON file (grid and/or explicit form)."""
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: expected a JSON object at the top level")
+    known = {"scenarios", "scales", "seeds", "overrides", "specs"}
+    unknown = set(document) - known
+    if unknown:
+        raise ValueError(f"{path}: unknown keys {sorted(unknown)}; expected {sorted(known)}")
+    specs: list[ExperimentSpec] = []
+    if any(key in document for key in ("scenarios", "scales", "seeds", "overrides")):
+        specs.extend(
+            expand_grid(
+                scenarios=document.get("scenarios", ("pretrain",)),
+                scales=document.get("scales", ("smoke",)),
+                seeds=document.get("seeds", (0,)),
+                overrides=[
+                    _decode_overrides(entry) for entry in document.get("overrides", [])
+                ],
+            )
+        )
+    for entry in document.get("specs", []):
+        specs.append(ExperimentSpec.from_dict(entry))
+    if not specs:
+        raise ValueError(f"{path}: no specs — provide a grid and/or a 'specs' list")
+    deduplicated: list[ExperimentSpec] = []
+    seen: set[str] = set()
+    for spec in specs:
+        if spec.spec_hash not in seen:
+            seen.add(spec.spec_hash)
+            deduplicated.append(spec)
+    return deduplicated
+
+
+_OVERRIDE_FIELDS = ("n_runs", "window", "model", "pretrain", "finetune", "fine_fraction")
+
+
+def _decode_overrides(entry: dict) -> dict:
+    """Decode one override dictionary's nested config payloads.
+
+    Overrides cross *into* the grid, so grid axes (scenario/scale/seed)
+    are rejected here instead of being silently dropped — put them in
+    the grid lists, or use the explicit ``specs`` form.
+    """
+    unknown = set(entry) - set(_OVERRIDE_FIELDS)
+    if unknown:
+        raise ValueError(
+            f"override keys {sorted(unknown)} are not overridable; "
+            f"choose from {sorted(_OVERRIDE_FIELDS)} (scenario/scale/seed "
+            "belong in the grid lists or an explicit 'specs' entry)"
+        )
+    decoded = ExperimentSpec.from_dict({"scenario": "pretrain", "scale": "smoke", **entry})
+    fields = {}
+    for name in _OVERRIDE_FIELDS:
+        value = getattr(decoded, name)
+        if value is not None:
+            fields[name] = value
+    return fields

@@ -45,14 +45,14 @@ class RngFactory:
     def derive(self, name: str) -> np.random.Generator:
         """Return a generator for the stream called ``name``.
 
-        The stream depends only on ``(seed, name)``.
+        The stream depends only on ``(seed, name)``: the name becomes a
+        ``SeedSequence`` spawn key — the same mechanism
+        ``SeedSequence.spawn`` uses for independent child streams, with
+        the child index replaced by a stable hash of the name.
         """
-        child = np.random.SeedSequence(self._seed).spawn(1)[0]
-        # Mix the name into the entropy deterministically.
-        digest = np.frombuffer(name.encode("utf-8"), dtype=np.uint8)
-        entropy = (int(digest.sum()) * 1_000_003 + len(name) * 7919 + self._seed) % (2**63)
-        mixed = np.random.SeedSequence([self._seed, entropy, _stable_hash(name)])
-        del child
+        mixed = np.random.SeedSequence(
+            entropy=self._seed, spawn_key=(_stable_hash(name),)
+        )
         return np.random.default_rng(mixed)
 
     def derive_seed(self, name: str) -> int:

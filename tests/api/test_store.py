@@ -233,3 +233,163 @@ class TestTraces:
         for original, loaded in zip(traces, restored):
             assert np.array_equal(original.send_time, loaded.send_time)
             assert np.array_equal(original.delay, loaded.delay)
+
+    def test_has_traces_requires_complete_run_set(self, store):
+        config = ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=7)
+        traces = generate_traces(config, n_runs=2)
+        key = traces_key(config, 2)
+        store.put_traces(key, traces)
+        assert store.has_traces(key, 2)
+        assert not store.has_traces(key, 3)
+        assert store.is_current("traces", key)  # run count from the sidecar
+        store.trace_paths(key, 2)[1].unlink()
+        assert not store.has_traces(key, 2)
+        assert not store.is_current("traces", key)
+        assert store.get_traces(key, 2) is None
+
+
+class TestSchemaVersioning:
+    """Artifacts stamped by older code must read as cache misses."""
+
+    def test_bundle_stamp_roundtrip(self, store, smoke_bundle):
+        from repro.api.store import ARTIFACT_SCHEMA_VERSION, _SCHEMA_KEY
+
+        path = store.put_bundle("key", smoke_bundle)
+        with np.load(path) as data:
+            assert int(data[_SCHEMA_KEY]) == ARTIFACT_SCHEMA_VERSION
+
+    def test_stale_bundle_misses(self, store, smoke_bundle, monkeypatch):
+        import repro.api.store as store_module
+
+        path = store.put_bundle("key", smoke_bundle)
+        assert store.get_bundle("key") is not None
+        monkeypatch.setattr(store_module, "ARTIFACT_SCHEMA_VERSION", 999)
+        assert store.get_bundle("key") is None
+        assert path.exists()  # still on disk, just never served
+
+    def test_unstamped_bundle_misses(self, store, smoke_bundle):
+        # Simulate a pre-schema artifact: same arrays, no stamp.
+        path = store.put_bundle("key", smoke_bundle)
+        with np.load(path) as data:
+            payload = {name: data[name] for name in data.files if not name.startswith("__schema")}
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        assert store.get_bundle("key") is None
+
+    def test_stale_checkpoint_misses(self, store, smoke_pretrain, monkeypatch):
+        import repro.api.store as store_module
+
+        store.put_pretrained("key", smoke_pretrain)
+        assert store.get_pretrained("key") is not None
+        monkeypatch.setattr(store_module, "ARTIFACT_SCHEMA_VERSION", 999)
+        assert store.get_pretrained("key") is None
+
+    def test_stale_traces_miss(self, store, monkeypatch):
+        import repro.api.store as store_module
+
+        config = ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=7)
+        key = traces_key(config, 1)
+        store.put_traces(key, generate_traces(config, n_runs=1))
+        assert store.get_traces(key, 1) is not None
+        monkeypatch.setattr(store_module, "ARTIFACT_SCHEMA_VERSION", 999)
+        assert store.get_traces(key, 1) is None
+
+    def test_is_current_sees_through_stale_files(self, store, smoke_bundle, smoke_pretrain, monkeypatch):
+        import repro.api.store as store_module
+
+        store.put_bundle("b", smoke_bundle)
+        store.put_pretrained("c", smoke_pretrain)
+        store.put_json("evaluations", "e", {"x": 1})
+        for kind, key in (("bundles", "b"), ("checkpoints", "c"), ("evaluations", "e")):
+            assert store.is_current(kind, key), kind
+        monkeypatch.setattr(store_module, "ARTIFACT_SCHEMA_VERSION", 999)
+        for kind, key in (("bundles", "b"), ("checkpoints", "c"), ("evaluations", "e")):
+            assert store.has(kind, key), kind  # the file is still there...
+            assert not store.is_current(kind, key), kind  # ...but never serves
+
+    def test_stale_json_misses(self, store, monkeypatch):
+        import repro.api.store as store_module
+
+        store.put_json("evaluations", "key", {"model_mse": 1.0})
+        assert store.get_json("evaluations", "key") == {"model_mse": 1.0}
+        monkeypatch.setattr(store_module, "ARTIFACT_SCHEMA_VERSION", 999)
+        assert store.get_json("evaluations", "key") is None
+
+
+class TestJsonRecords:
+    def test_manifest_roundtrip(self, store):
+        manifest = {"campaign_id": "abc", "summary": {"total": 3}}
+        path = store.put_manifest("abc", manifest)
+        assert path.suffix == ".json"
+        assert store.get_manifest("abc") == manifest
+
+    def test_unknown_json_kind_rejected(self, store):
+        with pytest.raises(ValueError, match="JSON kind"):
+            store.put_json("bundles", "key", {})
+
+    def test_summary_and_clear_cover_json_kinds(self, store):
+        store.put_json("evaluations", "e1", {"x": 1})
+        store.put_manifest("m1", {"y": 2})
+        summary = store.summary()
+        assert summary["evaluations"]["count"] == 1
+        assert summary["manifests"]["count"] == 1
+        assert store.clear() == 2
+        assert store.get_json("evaluations", "e1") is None
+
+
+def _write_bundle_process(root, key: str, seed: int) -> str:
+    """Top-level helper (picklable) for the concurrency test."""
+    from repro.api import ArtifactStore
+    from repro.datasets.generation import generate_dataset
+    from repro.datasets.windows import WindowConfig
+
+    bundle = generate_dataset(
+        ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=7),
+        window_config=WindowConfig(window_len=64, stride=4),
+        n_runs=1,
+        name="concurrent",
+    )
+    ArtifactStore(root).put_bundle(key, bundle)
+    return key
+
+
+class TestConcurrentWrites:
+    """Worker-pool safety: same-key writers never corrupt the store."""
+
+    def test_two_processes_same_key(self, store):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(_write_bundle_process, str(store.root), "shared", seed)
+                for seed in (0, 1)
+            ]
+            for future in futures:
+                assert future.result() == "shared"
+        # Exactly one artifact, no leftover temp files, loadable content.
+        directory = store.root / "bundles"
+        assert sorted(path.name for path in directory.iterdir()) == ["shared.npz"]
+        restored = store.get_bundle("shared")
+        assert restored is not None
+        assert restored.name == "concurrent"
+
+    def test_publish_tolerates_lost_race(self, store, tmp_path):
+        # Simulate FileExistsError semantics (non-POSIX os.replace).
+        target = tmp_path / "artifact.npz"
+        target.write_bytes(b"winner")
+        temp = tmp_path / "temp.npz"
+        temp.write_bytes(b"loser")
+        import os
+
+        real_replace = os.replace
+
+        def raising_replace(src, dst):
+            raise FileExistsError(dst)
+
+        os.replace = raising_replace
+        try:
+            store._publish(temp, target)
+        finally:
+            os.replace = real_replace
+        assert target.read_bytes() == b"winner"
+        assert not temp.exists()

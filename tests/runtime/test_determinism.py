@@ -1,0 +1,64 @@
+"""Determinism: a 2-worker sweep is bit-identical to the serial run.
+
+Stage randomness derives only from the specs (never from worker
+identity or execution order), so the artifacts a pool produces must
+match the serial ones array-for-array, and the evaluation metrics must
+match float-for-float.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ArtifactStore, TrainSettings
+from repro.nn.serialize import load_state
+from repro.runtime import CampaignEngine, expand_grid, plan_campaign
+
+FAST = TrainSettings(epochs=1, batch_size=32, patience=None)
+
+
+@pytest.fixture(scope="module")
+def campaign_pair(tmp_path_factory):
+    """One campaign, run serially and on a 2-worker pool, fresh stores."""
+    specs = expand_grid(
+        scenarios=["pretrain", "case1"], scales=["smoke"], seeds=[0],
+        pretrain=FAST, finetune=FAST,
+    )
+    outcomes = {}
+    for label, workers in (("serial", 1), ("pool", 2)):
+        store = ArtifactStore(tmp_path_factory.mktemp(label) / "cache")
+        plan = plan_campaign(specs)
+        result = CampaignEngine(store=store, workers=workers).run(plan)
+        assert not result.failed_tasks(), result.failed_tasks()
+        outcomes[label] = (store, result)
+    return outcomes
+
+
+def test_same_artifacts_written(campaign_pair):
+    serial_store, _ = campaign_pair["serial"]
+    pool_store, _ = campaign_pair["pool"]
+    for kind in ("traces", "bundles", "checkpoints", "evaluations"):
+        assert serial_store.keys(kind) == pool_store.keys(kind), kind
+    assert len(serial_store.keys("checkpoints")) >= 2  # pretrain + finetune
+
+
+def test_checkpoints_bit_identical(campaign_pair):
+    serial_store, _ = campaign_pair["serial"]
+    pool_store, _ = campaign_pair["pool"]
+    for key in serial_store.keys("checkpoints"):
+        serial_state, serial_meta = load_state(serial_store.path("checkpoints", key))
+        pool_state, pool_meta = load_state(pool_store.path("checkpoints", key))
+        assert serial_state.keys() == pool_state.keys()
+        for name, array in serial_state.items():
+            assert np.array_equal(array, pool_state[name]), (key, name)
+        assert serial_meta["history"]["train_loss"] == pool_meta["history"]["train_loss"]
+
+
+def test_metrics_bit_identical(campaign_pair):
+    _, serial_result = campaign_pair["serial"]
+    _, pool_result = campaign_pair["pool"]
+    assert serial_result.results.keys() == pool_result.results.keys()
+    for task_id, payload in serial_result.results.items():
+        other = pool_result.results[task_id]
+        for column in ("model_mse", "test_mse", "test_mse_seconds2"):
+            if column in payload:
+                assert payload[column] == other[column], (task_id, column)

@@ -1,0 +1,111 @@
+"""Tests for sweep expansion (grids and spec files)."""
+
+import json
+
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.runtime import expand_grid, specs_from_file
+
+
+class TestExpandGrid:
+    def test_scenario_major_order(self):
+        specs = expand_grid(scenarios=["pretrain", "case1"], seeds=[0, 1])
+        assert [(s.scenario, s.seed) for s in specs] == [
+            ("pretrain", 0),
+            ("pretrain", 1),
+            ("case1", 0),
+            ("case1", 1),
+        ]
+        assert all(spec.scale == "smoke" for spec in specs)
+
+    def test_deduplicates_by_hash(self):
+        specs = expand_grid(scenarios=["pretrain", "pretrain"], seeds=[0, 0])
+        assert len(specs) == 1
+
+    def test_common_fields_apply(self):
+        specs = expand_grid(scenarios=["case1"], fine_fraction=0.5)
+        assert specs[0].fine_fraction == 0.5
+
+    def test_overrides_cross_the_grid(self):
+        specs = expand_grid(
+            scenarios=["case1"], seeds=[0],
+            overrides=[{"fine_fraction": 0.2}, {"fine_fraction": 0.4}],
+        )
+        assert [spec.fine_fraction for spec in specs] == [0.2, 0.4]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            expand_grid(scenarios=["bogus"])
+
+    def test_spec_grid_classmethod(self):
+        specs = ExperimentSpec.grid(scenarios=["case1"], scales=["smoke"], seeds=[3])
+        assert specs == [ExperimentSpec(scenario="case1", scale="smoke", seed=3)]
+
+
+class TestSpecsFromFile:
+    def write(self, tmp_path, document):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_grid_form(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {"scenarios": ["pretrain", "case1"], "scales": ["smoke"], "seeds": [0, 1]},
+        )
+        assert len(specs_from_file(path)) == 4
+
+    def test_explicit_specs(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {"specs": [{"scenario": "case1", "scale": "smoke", "seed": 7}]},
+        )
+        (spec,) = specs_from_file(path)
+        assert (spec.scenario, spec.scale, spec.seed) == ("case1", "smoke", 7)
+
+    def test_nested_settings_decode(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {
+                "specs": [
+                    {
+                        "scenario": "pretrain",
+                        "scale": "smoke",
+                        "pretrain": {"epochs": 1, "batch_size": 32},
+                    }
+                ]
+            },
+        )
+        (spec,) = specs_from_file(path)
+        assert spec.pretrain.epochs == 1
+
+    def test_combined_forms_deduplicate(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {
+                "scenarios": ["pretrain"],
+                "seeds": [0],
+                "specs": [{"scenario": "pretrain", "scale": "smoke", "seed": 0}],
+            },
+        )
+        assert len(specs_from_file(path)) == 1
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = self.write(tmp_path, {"scenario": ["typo"]})
+        with pytest.raises(ValueError, match="unknown keys"):
+            specs_from_file(path)
+
+    def test_grid_axes_in_overrides_rejected(self, tmp_path):
+        # seed/scenario/scale belong in the grid lists; dropping them
+        # silently would run the wrong campaign.
+        path = self.write(
+            tmp_path, {"scenarios": ["pretrain"], "overrides": [{"seed": 7}]}
+        )
+        with pytest.raises(ValueError, match="not overridable"):
+            specs_from_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = self.write(tmp_path, {})
+        with pytest.raises(ValueError, match="no specs"):
+            specs_from_file(path)

@@ -107,6 +107,69 @@ class TestApiCommands:
             assert name in out
 
 
+class TestSweep:
+    def test_dry_run_prints_deduplicated_plan(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--scenarios", "pretrain,case1", "--seeds", "0",
+            "--cache-dir", str(tmp_path / "cache"), "--dry-run",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 spec(s)" in out
+        # The shared pre-training environment plans exactly one task.
+        pretrain_tasks = [
+            line for line in out.splitlines() if line.strip().startswith("pretrain:")
+        ]
+        assert len(pretrain_tasks) == 1
+        assert "finetune:" in out
+
+    def test_sweep_runs_and_rerun_hits_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "sweep", "--scenarios", "pretrain,case1", "--seeds", "0",
+            "--epochs", "1", "--cache-dir", cache,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 failed" in first
+        assert "manifest:" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # Every task of the re-run is served from the artifact store.
+        assert "8/8 task(s) done, 8 cache hit(s)" in second
+
+    def test_sweep_spec_file(self, tmp_path, capsys):
+        import json as json_module
+
+        spec_file = tmp_path / "sweep.json"
+        spec_file.write_text(json_module.dumps({
+            "specs": [{
+                "scenario": "pretrain", "scale": "smoke",
+                "pretrain": {"epochs": 1, "batch_size": 32, "patience": None},
+            }],
+        }))
+        assert main([
+            "sweep", "--spec-file", str(spec_file), "--stages", "traces,bundle",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        assert "2/2 task(s) done" in capsys.readouterr().out
+
+    def test_sweep_unknown_scenario_is_clean_error(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--scenarios", "bogus", "--cache-dir", str(tmp_path / "cache"),
+        ]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_sweep_unknown_stage_is_clean_error(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--stages", "simulate", "--cache-dir", str(tmp_path / "cache"),
+        ]) == 2
+        assert "unknown stages" in capsys.readouterr().err
+
+    def test_parallel_no_cache_rejected(self, capsys):
+        assert main(["sweep", "--no-cache", "--workers", "2"]) == 2
+        assert "artifact store" in capsys.readouterr().err
+
+
 class TestCommands:
     def test_simulate_prints_report(self, capsys):
         assert main(["simulate", "--scale", "smoke"]) == 0

@@ -37,6 +37,7 @@ def test_examples_directory_complete():
         "ablation_study.py",
         "federated_pretraining.py",
         "continual_monitoring.py",
+        "scenario_sweep.py",
     } <= names
 
 
@@ -83,3 +84,13 @@ def test_continual_monitoring():
     out = run_example("continual_monitoring.py")
     assert "drifted=" in out
     assert "attention" in out
+
+
+def test_scenario_sweep(tmp_path):
+    out = run_example(
+        "scenario_sweep.py", "--workers", "2", "--cache-dir", str(tmp_path / "cache")
+    )
+    assert "deduplicated tasks" in out
+    assert "0 failed" in out
+    assert "no retraining" in out
+    assert "Manifest at" in out
