@@ -427,7 +427,17 @@ class ArtifactStore:
 
     def has_traces(self, key: str, n_runs: int) -> bool:
         """Whether a complete, current-schema run set is stored (without
-        loading the traces)."""
+        loading the traces).
+
+        Besides the schema stamp, the sidecar must carry
+        ``message_id_scope: "simulation"``: older run sets drew message
+        ids from a process-global counter, so their ``message_id``
+        column depended on in-process run order.  The relabeling is
+        semantically inert downstream (bundles carry no message ids,
+        only relabel-invariant MCT values), so rejecting just the trace
+        sidecar re-simulates cheaply without invalidating bundles or
+        checkpoints.
+        """
         meta_path = self._trace_meta_path(key)
         try:
             with open(meta_path, "r", encoding="utf-8") as handle:
@@ -436,6 +446,7 @@ class ArtifactStore:
             return False
         return (
             meta.get("schema_version") == ARTIFACT_SCHEMA_VERSION
+            and meta.get("message_id_scope") == "simulation"
             and meta.get("n_runs") == n_runs
             and all(path.exists() for path in self.trace_paths(key, n_runs))
         )
@@ -445,31 +456,63 @@ class ArtifactStore:
             return None
         return [Trace.load(path) for path in self.trace_paths(key, n_runs)]
 
-    def put_traces(self, key: str, traces: list[Trace]) -> None:
-        paths = self.trace_paths(key, len(traces))
-        for trace, path in zip(traces, paths):
-            path.parent.mkdir(parents=True, exist_ok=True)
-            temp = self._temp_path(path)
-            try:
-                trace.save(temp)
-                self._publish(temp, path)
-            finally:
-                temp.unlink(missing_ok=True)
-        # The sidecar lands last: readers only trust a complete run set.
+    def put_trace_run(self, key: str, run_index: int, trace: Trace) -> Path:
+        """Stream one simulation run's columns into the store.
+
+        Used by the trace stage to write each run as soon as it is
+        generated instead of materialising the whole run set in memory;
+        the run set only becomes visible to readers once
+        :meth:`finalize_trace_runs` publishes the sidecar.
+        """
+        path = self.trace_paths(key, run_index + 1)[run_index]
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self._temp_path(path)
+        try:
+            trace.save(temp)
+            self._publish(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
+        return path
+
+    def finalize_trace_runs(
+        self, key: str, n_runs: int, total_packets: int | None = None
+    ) -> None:
+        """Publish the sidecar marking a streamed run set complete.
+
+        The sidecar lands last: readers only trust a complete run set.
+        ``total_packets`` is recorded so cache-hit bookkeeping can
+        report run-set statistics without loading any npz.
+        """
+        meta = {
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "message_id_scope": "simulation",
+            "n_runs": n_runs,
+        }
+        if total_packets is not None:
+            meta["total_packets"] = int(total_packets)
         meta_path = self._trace_meta_path(key)
         temp = self._temp_path(meta_path)
         try:
             with open(temp, "w", encoding="utf-8") as handle:
-                json.dump(
-                    {
-                        "schema_version": ARTIFACT_SCHEMA_VERSION,
-                        "n_runs": len(traces),
-                    },
-                    handle,
-                )
+                json.dump(meta, handle)
             self._publish(temp, meta_path)
         finally:
             temp.unlink(missing_ok=True)
+
+    def trace_run_meta(self, key: str) -> dict | None:
+        """The sidecar of a stored run set, or ``None`` when absent."""
+        try:
+            with open(self._trace_meta_path(key), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put_traces(self, key: str, traces: list[Trace]) -> None:
+        for run_index, trace in enumerate(traces):
+            self.put_trace_run(key, run_index, trace)
+        self.finalize_trace_runs(
+            key, len(traces), total_packets=sum(len(trace) for trace in traces)
+        )
 
     # -- dataset bundles ---------------------------------------------------------
 

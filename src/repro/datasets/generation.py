@@ -63,7 +63,9 @@ def build_receiver_index(traces: list[Trace], existing: dict[int, int] | None = 
     """
     index = dict(existing) if existing else {}
     for trace in traces:
-        for receiver in sorted({int(r) for r in trace.receiver_id}):
+        # np.unique is both the sort and the dedup — no per-packet
+        # Python loop over the receiver column.
+        for receiver in np.unique(trace.receiver_id).tolist():
             if receiver not in index:
                 index[receiver] = len(index)
     return index

@@ -7,26 +7,35 @@ a heavy-tailed workload, and TCP cross-traffic.
 
 Main entry points:
 
-* :class:`repro.netsim.core.Simulator` — the event loop.
+* :class:`repro.netsim.core.Simulator` — the event loop (slotted
+  two-tier calendar; see the module docstring for which scheduling
+  patterns hit the O(1) fast path).
 * :class:`repro.netsim.topology.Network` — nodes, links and routing.
 * :mod:`repro.netsim.scenarios` — the paper's Fig. 4 setups.
+* :mod:`repro.netsim.reference` — the pre-optimisation stack, kept for
+  golden-equivalence tests and benchmark baselines
+  (``with legacy_path(): run_scenario(config)``).
 """
 
-from repro.netsim.core import Simulator
+from repro.netsim.core import SimStats, Simulator
 from repro.netsim.packet import Packet
 from repro.netsim.queues import DropTailQueue, REDQueue
+from repro.netsim.reference import legacy_path
 from repro.netsim.shapers import PriorityQueue, TokenBucketShaper
 from repro.netsim.topology import Network
-from repro.netsim.trace import PacketRecord, Trace
+from repro.netsim.trace import PacketRecord, Trace, TraceCollector
 
 __all__ = [
     "Simulator",
+    "SimStats",
     "Packet",
     "Network",
     "PacketRecord",
     "Trace",
+    "TraceCollector",
     "DropTailQueue",
     "REDQueue",
     "PriorityQueue",
     "TokenBucketShaper",
+    "legacy_path",
 ]

@@ -6,11 +6,15 @@ message sizes from a workload distribution, arrivals from a Poisson
 process matched to the offered load, splits each message into MTU-sized
 packets, and paces them onto the access link.  :class:`PacketSink`
 records delivered packets into a :class:`~repro.netsim.trace.TraceCollector`.
+
+Message ids are drawn from the *simulation* (``sim.next_message_id()``),
+not from a process-global counter: a trace's ``message_id`` column must
+depend only on the scenario being simulated, never on what else ran
+earlier in the same process (a global counter leaked in-process run
+order into cached traces).
 """
 
 from __future__ import annotations
-
-import itertools
 
 import numpy as np
 
@@ -18,23 +22,10 @@ from repro.netsim.core import Simulator
 from repro.netsim.node import Node
 from repro.netsim.packet import Packet, PacketKind
 from repro.netsim.trace import TraceCollector
-from repro.netsim.units import MTU_BYTES, serialization_delay
+from repro.netsim.units import MTU_BYTES
 from repro.netsim.workloads import MessageSizeDistribution, PoissonArrivals
 
-__all__ = ["MessageSource", "PacketSink", "next_message_id", "reset_message_ids"]
-
-_message_ids = itertools.count()
-
-
-def next_message_id() -> int:
-    """Globally unique message id (unique across all sources in a process)."""
-    return next(_message_ids)
-
-
-def reset_message_ids() -> None:
-    """Reset the message id counter (test isolation helper)."""
-    global _message_ids
-    _message_ids = itertools.count()
+__all__ = ["MessageSource", "PacketSink"]
 
 
 class PacketSink:
@@ -43,6 +34,8 @@ class PacketSink:
     One sink can serve many flows: register it as the node's default
     handler or per flow id.
     """
+
+    __slots__ = ("sim", "node", "collector", "packets_received", "bytes_received", "messages_completed")
 
     def __init__(self, sim: Simulator, node: Node, collector: TraceCollector | None = None):
         self.sim = sim
@@ -67,7 +60,7 @@ class PacketSink:
         if packet.is_message_end:
             self.messages_completed += 1
         if self.collector is not None:
-            self.collector.record(packet, self.sim.now)
+            self.collector.record(packet, self.sim._now)
 
 
 class MessageSource:
@@ -93,6 +86,23 @@ class MessageSource:
         stop_time: last instant at which new messages may be generated.
         mtu_bytes: maximum packet payload size.
     """
+
+    __slots__ = (
+        "sim",
+        "node",
+        "destinations",
+        "flow_id",
+        "arrivals",
+        "size_distribution",
+        "rng",
+        "start_time",
+        "stop_time",
+        "mtu_bytes",
+        "messages_sent",
+        "packets_sent",
+        "bytes_sent",
+        "_started",
+    )
 
     def __init__(
         self,
@@ -138,31 +148,70 @@ class MessageSource:
         if self.stop_time is not None and self.sim.now > self.stop_time:
             return
         self._send_message()
-        self.sim.schedule(self.arrivals.next_interarrival(self.rng), self._on_arrival)
+        self.sim.post(self.arrivals.next_interarrival(self.rng), self._on_arrival)
 
     def _send_message(self) -> None:
         message_size = self.size_distribution.sample(self.rng)
         destination = self.destinations[int(self.rng.integers(len(self.destinations)))]
-        message_id = next_message_id()
+        message_id = self.sim.next_message_id()
         self.messages_sent += 1
         remaining = message_size
         seq = 0
+        node = self.node
+        src_id = node.node_id
+        dst_id = destination.node_id
+        flow_id = self.flow_id
+        mtu = self.mtu_bytes
+        # Hoist the first-hop resolution out of the packet loop: every
+        # packet of a message leaves through the same egress channel.
+        channel = node.forwarding.get(dst_id)
+        now = self.sim._now
+        if message_size <= mtu and channel is not None:
+            # Single-packet message (the workload's common case): skip
+            # the burst machinery entirely.
+            channel.send(
+                Packet(
+                    src=src_id,
+                    dst=dst_id,
+                    size=message_size,
+                    flow_id=flow_id,
+                    message_id=message_id,
+                    kind=PacketKind.DATA,
+                    send_time=now,
+                    message_size=message_size,
+                    is_message_end=True,
+                    traced=True,
+                )
+            )
+            node.packets_forwarded += 1
+            self.packets_sent += 1
+            self.bytes_sent += message_size
+            return
+        burst = []
+        append = burst.append
         while remaining > 0:
-            payload = min(remaining, self.mtu_bytes)
+            payload = min(remaining, mtu)
             remaining -= payload
             packet = Packet(
-                src=self.node.node_id,
-                dst=destination.node_id,
+                src=src_id,
+                dst=dst_id,
                 size=payload,
-                flow_id=self.flow_id,
+                flow_id=flow_id,
                 message_id=message_id,
                 seq=seq,
                 kind=PacketKind.DATA,
+                send_time=now,
                 message_size=message_size,
                 is_message_end=(remaining == 0),
                 traced=True,
             )
-            self.node.send(packet)
-            self.packets_sent += 1
-            self.bytes_sent += payload
+            append(packet)
             seq += 1
+        if channel is not None:
+            channel.send_burst(burst)
+            node.packets_forwarded += seq
+        else:
+            for packet in burst:
+                node.send(packet)
+        self.packets_sent += seq
+        self.bytes_sent += message_size

@@ -1,9 +1,43 @@
 """Discrete-event simulation core.
 
-A tiny but complete event loop: events are ``(time, priority, sequence)``
-ordered callbacks in a binary heap.  The sequence number makes the order
-of same-time events deterministic (FIFO in scheduling order), which keeps
-whole simulations bit-reproducible for a fixed seed.
+Events are ``(time, priority, sequence)``-ordered callbacks.  The
+sequence number makes the order of same-time events deterministic (FIFO
+in scheduling order), which keeps whole simulations bit-reproducible for
+a fixed seed.
+
+The calendar is *slotted*: instead of a single heap of comparable
+``Event`` objects (the pre-PR design, preserved verbatim in
+:mod:`repro.netsim.reference` for golden-equivalence testing), pending
+events live in plain tuples ``(time, priority, alloc, seq, callback,
+args, token)`` split across two structures (``alloc`` is the instant
+the reference stack would have scheduled the event, so exact-time ties
+resolve in reference order even for entries the fast path creates
+early):
+
+* a binary heap, where ordering is decided by C-level tuple comparison
+  on the leading ``(time, priority, seq)`` fields (``seq`` is unique, so
+  comparisons never reach the callback), and
+* a *monotone tail*: a deque holding a non-decreasing run of keys.
+  Scheduling an event at or after the tail's last key appends in O(1),
+  and one before the tail's first key prepends in O(1) (the
+  "next-to-run" case) — no heap churn at all in either direction.
+
+Popping merges both structures (the smaller front wins), so execution
+order is exactly the single-heap order.  Which patterns hit the O(1)
+fast path?  Any scheduling sequence whose keys never decrease relative
+to the last tail entry — in this simulator that is the
+*enqueue-next-departure* pattern of a busy link (each departure books
+the next one strictly later), periodic monitor samples, and message
+sources arming their next Poisson arrival.  Cross-channel interleavings
+with shorter delays fall back to the heap, which still beats the
+pre-PR design because comparisons stay in C instead of calling
+``Event.__lt__``.
+
+:meth:`Simulator.post` / :meth:`Simulator.post_at` are the
+fire-and-forget variants of :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_at`: they skip the cancellation token for
+callers that never cancel (links, sinks, monitors), avoiding one object
+allocation per event on the hot path.
 """
 
 from __future__ import annotations
@@ -11,20 +45,46 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import sys
+from collections import deque
 from typing import Callable
 
-__all__ = ["Simulator", "Event", "SimulationError"]
+__all__ = ["Simulator", "Event", "SimStats", "SimulationError"]
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid interactions with the event loop."""
 
 
+class SimStats:
+    """Cheap per-simulation aggregate counters.
+
+    One instance is owned by the :class:`Simulator` and threaded through
+    links and queues at construction time, so simulation-wide drop
+    telemetry is available as plain counters without installing
+    per-packet monitor callbacks or walking the topology.  Only the
+    *rare* path (drops) updates these; per-packet transmit counts stay
+    on each channel, where monitors sample them pull-based.
+    """
+
+    __slots__ = ("packets_dropped", "bytes_dropped")
+
+    def __init__(self):
+        self.packets_dropped = 0
+        self.bytes_dropped = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SimStats(packets_dropped={self.packets_dropped}, "
+            f"bytes_dropped={self.bytes_dropped})"
+        )
+
+
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
 
     Events can be cancelled (used by TCP retransmission timers); a
-    cancelled event stays in the heap but is skipped when popped.
+    cancelled event stays in the calendar but is skipped when popped.
     """
 
     __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
@@ -59,12 +119,25 @@ class Simulator:
         sim.run(until=2.0)
     """
 
+    __slots__ = ("_heap", "_tail", "_seq", "_now", "_processed", "_running", "stats", "_message_ids")
+
     def __init__(self):
-        self._heap: list[Event] = []
+        # Calendar entries are (time, priority, alloc, seq, callback,
+        # args, token) tuples; `token` is an Event for cancellable
+        # entries, else None.  `alloc` is the simulation instant at
+        # which the reference stack would have *scheduled* the event —
+        # ``now`` for ordinary scheduling, the serialization-finish
+        # time for pre-booked link deliveries — so ties at exactly
+        # equal (time, priority) resolve in the reference's order even
+        # though the fast path creates some entries earlier.
+        self._heap: list[tuple] = []
+        self._tail: deque[tuple] = deque()
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
         self._running = False
+        self.stats = SimStats()
+        self._message_ids = itertools.count()
 
     @property
     def now(self) -> float:
@@ -78,8 +151,19 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
-        return len(self._heap)
+        """Number of events still in the calendar (including cancelled ones)."""
+        return len(self._heap) + len(self._tail)
+
+    def next_message_id(self) -> int:
+        """Message id unique within this simulation.
+
+        Owned by the simulator (not a process-global counter) so the
+        ``message_id`` column of a trace depends only on the scenario,
+        never on what else ran earlier in the process.
+        """
+        return next(self._message_ids)
+
+    # -- scheduling ---------------------------------------------------------------
 
     def schedule(self, delay: float, callback: Callable, *args, priority: int = 0) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
@@ -98,30 +182,88 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        event = Event(time, priority, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, priority, seq, callback, args)
+        entry = (time, priority, self._now, seq, callback, args, event)
+        tail = self._tail
+        if not tail or entry > tail[-1]:
+            tail.append(entry)
+        elif entry < tail[0]:
+            tail.appendleft(entry)
+        else:
+            heapq.heappush(self._heap, entry)
         return event
+
+    def post(self, delay: float, callback: Callable, args: tuple = (), priority: int = 0) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellation handle.
+
+        The fast path for trusted internal callers (links, apps,
+        monitors) that never cancel: skips the per-event ``Event``
+        allocation and the delay validation.  ``delay`` must be
+        non-negative and finite.
+        """
+        now = self._now
+        entry = (now + delay, priority, now, next(self._seq), callback, args, None)
+        tail = self._tail
+        if not tail or entry > tail[-1]:
+            tail.append(entry)
+        elif entry < tail[0]:
+            tail.appendleft(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+
+    def post_at(self, time: float, callback: Callable, args: tuple = (), priority: int = 0) -> None:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`post`).
+
+        ``time`` is used exactly as given, so callers controlling float
+        arithmetic (e.g. a link fusing serialization + propagation) get
+        bit-identical timestamps to the equivalent chained schedules.
+        """
+        entry = (time, priority, self._now, next(self._seq), callback, args, None)
+        tail = self._tail
+        if not tail or entry > tail[-1]:
+            tail.append(entry)
+        elif entry < tail[0]:
+            tail.appendleft(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+
+    # -- execution ----------------------------------------------------------------
 
     def peek_time(self) -> float | None:
         """Time of the next pending (non-cancelled) event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap, tail = self._heap, self._tail
+        while heap and heap[0][6] is not None and heap[0][6].cancelled:
+            heapq.heappop(heap)
+        while tail and tail[0][6] is not None and tail[0][6].cancelled:
+            tail.popleft()
+        if heap:
+            if tail and tail[0] < heap[0]:
+                return tail[0][0]
+            return heap[0][0]
+        if tail:
+            return tail[0][0]
+        return None
 
     def step(self) -> bool:
-        """Run the next event.  Returns False when the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        """Run the next event.  Returns False when the calendar is empty."""
+        heap, tail = self._heap, self._tail
+        while heap or tail:
+            if heap and not (tail and tail[0] < heap[0]):
+                entry = heapq.heappop(heap)
+            else:
+                entry = tail.popleft()
+            token = entry[6]
+            if token is not None and token.cancelled:
                 continue
-            self._now = event.time
+            self._now = entry[0]
             self._processed += 1
-            event.callback(*event.args)
+            entry[4](*entry[5])
             return True
         return False
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        """Run events until the heap drains, ``until`` is reached, or
+        """Run events until the calendar drains, ``until`` is reached, or
         ``max_events`` have executed.
 
         When stopping at ``until``, the clock is advanced to ``until`` so
@@ -131,17 +273,38 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         try:
-            executed = 0
+            heap, tail = self._heap, self._tail
+            heappop, heappush = heapq.heappop, heapq.heappush
+            # Hoist the stop conditions out of the per-event branch work:
+            # an open-ended run compares against +inf / maxsize instead
+            # of re-testing ``is not None`` forty-thousand times.  The
+            # live counter is updated in place so callbacks reading
+            # ``events_processed`` (or driving ``step()`` themselves)
+            # observe the same values as on the reference loop.
+            horizon = math.inf if until is None else until
+            budget = sys.maxsize if max_events is None else self._processed + max_events
             while True:
-                if max_events is not None and executed >= max_events:
+                if self._processed >= budget:
                     return
-                next_time = self.peek_time()
-                if next_time is None:
+                if heap:
+                    if tail and tail[0] < heap[0]:
+                        entry = tail.popleft()
+                    else:
+                        entry = heappop(heap)
+                elif tail:
+                    entry = tail.popleft()
+                else:
                     break
-                if until is not None and next_time > until:
+                token = entry[6]
+                if token is not None and token.cancelled:
+                    continue
+                time = entry[0]
+                if time > horizon:
+                    heappush(heap, entry)
                     break
-                self.step()
-                executed += 1
+                self._now = time
+                self._processed += 1
+                entry[4](*entry[5])
             if until is not None and until > self._now:
                 self._now = until
         finally:

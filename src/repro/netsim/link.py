@@ -4,16 +4,49 @@ A full-duplex link is a pair of :class:`Channel` objects.  Each channel
 owns an egress queue and a transmitter: the head-of-line packet occupies
 the transmitter for its serialization delay, then propagates for the
 channel's propagation delay before being delivered to the peer node.
+
+On the fast path the transmitter *pre-books* departures: FIFO service
+(drop-tail, RED) makes every accepted packet's transmission slot known
+at arrival time, so the channel books ``start = busy_until``,
+``finish = start + tx`` and schedules the single delivery event at
+``finish + propagation`` immediately — one event per packet instead of
+the reference stack's per-packet "serialization finished" plus
+"propagation finished" pair.  Queue occupancy is kept honest by lazily
+retiring bookings whose transmission has started (on every send, and
+via :meth:`Channel.sync_queue` for samplers).  All timestamps use the
+exact float expressions the chained events produced, so traces are
+bit-identical.  Delivery events carry their serialization-finish
+instant as the calendar's allocation field, so deliveries tied at
+exactly equal float timestamps across channels still execute in the
+reference stack's order (finish order).
+
+**Exact-tie boundary.**  When any *other* event (an application
+callback, a TCP timer, a monitor sample, a lazy queue retirement)
+coincides with a serialization-finish instant at exactly the same
+float, its order relative to that finish may differ from the reference
+stack: the reference resolves such ties through sequence numbers
+allocated inside the very per-packet events this fast path eliminates,
+so they cannot be reproduced without reintroducing those events.  The
+divergence is only reachable with hand-picked rational rates/delays
+whose float sums collide exactly — every registered scenario draws
+start times and arrivals from continuous distributions and is
+golden-tested bit-identical (`tests/netsim/test_golden_equivalence.py`).
+Non-FIFO disciplines (e.g. strict priority) cannot be pre-booked —
+their departure order depends on future arrivals — and transparently
+fall back to the eventful reference transmitter.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING
 
+from repro.netsim import reference
 from repro.netsim.core import Simulator
 from repro.netsim.packet import Packet
 from repro.netsim.queues import DropTailQueue
-from repro.netsim.units import serialization_delay
+from repro.netsim.units import BYTE, serialization_delay
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
     from repro.netsim.node import Node
@@ -23,6 +56,25 @@ __all__ = ["Channel", "Link"]
 
 class Channel:
     """One direction of a link: queue + transmitter + propagation."""
+
+    __slots__ = (
+        "sim",
+        "dst_node",
+        "rate_bps",
+        "propagation_delay",
+        "queue",
+        "name",
+        "bytes_sent",
+        "packets_sent",
+        "busy_time",
+        "busy_until",
+        "_fused",
+        "_plain",
+        "_starts",
+        "_tx_size",
+        "_dst_receive",
+        "_legacy_busy",
+    )
 
     def __init__(
         self,
@@ -43,10 +95,87 @@ class Channel:
         self.propagation_delay = float(propagation_delay)
         self.queue = queue
         self.name = name
-        self.busy = False
         self.bytes_sent = 0
         self.packets_sent = 0
         self.busy_time = 0.0
+        self.busy_until = 0.0
+        # Pre-booking requires FIFO service order and the known
+        # drop-tail queue layout (for lazy retirement and in-flight
+        # accounting), plus the fast-path simulator; anything else —
+        # strict priority, shapers, custom disciplines — keeps the
+        # reference per-packet event pattern.
+        self._fused = (
+            reference.fast_path_enabled()
+            and isinstance(queue, DropTailQueue)
+            and getattr(queue, "fifo_service", False)
+            and isinstance(sim, Simulator)
+        )
+        # Exactly a plain drop-tail queue (not RED or another subclass):
+        # its enqueue/dequeue bookkeeping is inlined on the fast path.
+        self._plain = self._fused and type(queue) is DropTailQueue
+        # Cached bound method: the delivery callback of every packet on
+        # this channel, bound once instead of per packet.
+        self._dst_receive = dst_node.receive
+        #: Booked transmission start times of packets still in the queue.
+        self._starts = deque()
+        #: Size of the transmission in progress (valid while
+        #: ``now < busy_until``), for completed-bytes accounting.
+        self._tx_size = 0
+        self._legacy_busy = False
+        # Thread the simulation-wide counters into the queue so drops
+        # aggregate without any per-packet monitor callback.
+        queue.sim_stats = sim.stats
+
+    @property
+    def busy(self) -> bool:
+        """Whether the transmitter currently holds a packet."""
+        if self._fused:
+            return self.sim.now < self.busy_until
+        return self._legacy_busy
+
+    def sync_queue(self) -> None:
+        """Retire booked departures whose transmission has started.
+
+        The fast path dequeues lazily; samplers reading
+        ``channel.queue.occupancy`` directly should call this first so
+        occupancy reflects the current simulation time.
+        """
+        starts = self._starts
+        if starts and starts[0] <= self.sim.now:
+            now = self.sim.now
+            queue = self.queue
+            popleft = starts.popleft
+            dequeue = queue.dequeue
+            while starts and starts[0] <= now:
+                popleft()
+                packet = dequeue()
+                if packet is not None:
+                    self._tx_size = packet.size
+
+    def completed_bytes_now(self) -> int:
+        """Bytes whose transmission has *finished* by the current time.
+
+        This matches the instant the reference stack increments
+        ``bytes_sent`` (its serialization-finished event), so samplers
+        like :class:`~repro.netsim.monitors.ThroughputMonitor` observe
+        the same windows on either stack — up to the module-level
+        exact-tie boundary: a sample landing on exactly a
+        serialization-finish float counts that packet as finished here,
+        while the reference's ordering at such a tie depends on event
+        sequence numbers.  ``bytes_sent`` itself counts *bookings*,
+        which run ahead of the wire by up to one queue's worth; the
+        in-flight remainder is reconstructed from the queue contents,
+        costing O(occupancy) per sample and nothing per packet.
+        """
+        if not self._fused:
+            return self.bytes_sent
+        self.sync_queue()
+        pending = 0
+        for packet in self.queue._items:  # fused implies DropTailQueue
+            pending += packet.size
+        if self.sim.now < self.busy_until:
+            pending += self._tx_size
+        return self.bytes_sent - pending
 
     def send(self, packet: Packet) -> bool:
         """Hand ``packet`` to this channel.
@@ -55,15 +184,172 @@ class Channel:
         immediately; otherwise it is enqueued (and possibly dropped).
         Returns False when the packet was dropped at the queue.
         """
-        if self.busy:
-            return self.queue.enqueue(packet)
-        self._start_transmission(packet)
+        if not self._fused:
+            if self._legacy_busy:
+                return self.queue.enqueue(packet)
+            self._start_transmission(packet)
+            return True
+        sim = self.sim
+        now = sim._now
+        queue = self.queue
+        starts = self._starts
+        # Retire bookings whose transmission has started, so the
+        # occupancy seen by the drop policy matches the reference.
+        if self._plain:
+            items = queue._items
+            queue_stats = queue.stats
+            while starts and starts[0] <= now:
+                starts.popleft()
+                queue_stats.dequeued += 1
+                self._tx_size = items.popleft().size
+        else:
+            while starts and starts[0] <= now:
+                starts.popleft()
+                started = queue.dequeue()
+                if started is not None:
+                    self._tx_size = started.size
+        size = packet.size
+        tx_delay = size * BYTE / self.rate_bps
+        busy_until = self.busy_until
+        if starts or now < busy_until:
+            # Transmitter busy: the packet waits (or drops), and its
+            # departure is booked right behind the last one.
+            if self._plain:
+                # Inlined DropTailQueue.enqueue — once per queued packet.
+                items = queue._items
+                occupancy = len(items) + 1
+                if occupancy > queue.capacity:
+                    queue._count_drop(packet)
+                    return False
+                items.append(packet)
+                queue_stats = queue.stats
+                queue_stats.enqueued += 1
+                queue_stats.bytes_enqueued += size
+                if occupancy > queue_stats.max_occupancy:
+                    queue_stats.max_occupancy = occupancy
+            elif not queue.enqueue(packet):
+                return False
+            finish = busy_until + tx_delay
+            starts.append(busy_until)
+        else:
+            finish = now + tx_delay
+            self._tx_size = size
+        self.busy_until = finish
+        self.busy_time += tx_delay
+        self.bytes_sent += size
+        self.packets_sent += 1
+        # Inlined sim.post_at(finish + prop, dst.receive, (packet,)):
+        # this runs once per packet per hop, so the delivery event is
+        # built and placed into the calendar without a method call.
+        # The allocation instant is `finish` — where the reference
+        # stack's serialization-finished event would have scheduled the
+        # delivery — so exact-time delivery ties across channels keep
+        # the reference order.
+        entry = (
+            finish + self.propagation_delay,
+            0,
+            finish,
+            next(sim._seq),
+            self._dst_receive,
+            (packet,),
+            None,
+        )
+        tail = sim._tail
+        if not tail or entry > tail[-1]:
+            tail.append(entry)
+        elif entry < tail[0]:
+            tail.appendleft(entry)
+        else:
+            heappush(sim._heap, entry)
         return True
 
+    def send_burst(self, packets) -> int:
+        """Send an ordered burst of packets; returns how many were accepted.
+
+        Semantically identical to calling :meth:`send` per packet (same
+        booking order, same drop decisions, same delivery timestamps) —
+        the burst variant exists so message sources pay the hot-path
+        setup once per message instead of once per MTU packet.
+        """
+        if not self._fused:
+            accepted = 0
+            for packet in packets:
+                if self.send(packet):
+                    accepted += 1
+            return accepted
+        sim = self.sim
+        now = sim._now
+        queue = self.queue
+        starts = self._starts
+        plain = self._plain
+        items = queue._items if plain else None
+        queue_stats = queue.stats
+        if plain:
+            while starts and starts[0] <= now:
+                starts.popleft()
+                queue_stats.dequeued += 1
+                self._tx_size = items.popleft().size
+        else:
+            while starts and starts[0] <= now:
+                starts.popleft()
+                started = queue.dequeue()
+                if started is not None:
+                    self._tx_size = started.size
+        rate_bps = self.rate_bps
+        prop = self.propagation_delay
+        receive = self._dst_receive
+        seq_counter = sim._seq
+        tail = sim._tail
+        heap = sim._heap
+        busy_until = self.busy_until
+        busy_time = 0.0
+        bytes_accepted = 0
+        accepted = 0
+        for packet in packets:
+            size = packet.size
+            tx_delay = size * BYTE / rate_bps
+            if starts or now < busy_until:
+                if plain:
+                    occupancy = len(items) + 1
+                    if occupancy > queue.capacity:
+                        queue._count_drop(packet)
+                        continue
+                    items.append(packet)
+                    queue_stats.enqueued += 1
+                    queue_stats.bytes_enqueued += size
+                    if occupancy > queue_stats.max_occupancy:
+                        queue_stats.max_occupancy = occupancy
+                elif not queue.enqueue(packet):
+                    continue
+                finish = busy_until + tx_delay
+                starts.append(busy_until)
+            else:
+                finish = now + tx_delay
+                self._tx_size = size
+            busy_until = finish
+            busy_time += tx_delay
+            bytes_accepted += size
+            accepted += 1
+            entry = (finish + prop, 0, finish, next(seq_counter), receive, (packet,), None)
+            if not tail or entry > tail[-1]:
+                tail.append(entry)
+            elif entry < tail[0]:
+                tail.appendleft(entry)
+            else:
+                heappush(heap, entry)
+        self.busy_until = busy_until
+        self.busy_time += busy_time
+        self.bytes_sent += bytes_accepted
+        self.packets_sent += accepted
+        return accepted
+
+    # -- reference (unfused) transmitter: legacy_path() and non-FIFO queues ------
+
     def _start_transmission(self, packet: Packet) -> None:
-        self.busy = True
+        self._legacy_busy = True
         tx_delay = serialization_delay(packet.size, self.rate_bps)
         self.busy_time += tx_delay
+        self.busy_until = self.sim.now + tx_delay
         self.sim.schedule(tx_delay, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
@@ -72,15 +358,27 @@ class Channel:
         self.sim.schedule(self.propagation_delay, self.dst_node.receive, packet)
         next_packet = self.queue.dequeue()
         if next_packet is None:
-            self.busy = False
+            self._legacy_busy = False
         else:
             self._start_transmission(next_packet)
 
     def utilization(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` seconds spent transmitting."""
+        """Fraction of ``elapsed`` seconds spent transmitting.
+
+        Matches the reference accounting (serialization time counted
+        when a transmission *starts*): on the fast path ``busy_time``
+        accrues at booking, so the still-queued packets' serialization
+        time is backed out before reporting.
+        """
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.busy_time / elapsed)
+        busy_time = self.busy_time
+        if self._fused:
+            self.sync_queue()
+            rate_bps = self.rate_bps
+            for packet in self.queue._items:  # fused implies DropTailQueue
+                busy_time -= packet.size * BYTE / rate_bps
+        return min(1.0, busy_time / elapsed)
 
     def __repr__(self) -> str:
         return f"Channel({self.name or hex(id(self))}, rate={self.rate_bps:.3g}bps)"
@@ -92,6 +390,8 @@ class Link:
     Queue capacity applies independently per direction, as in ns-3's
     point-to-point net devices.
     """
+
+    __slots__ = ("node_a", "node_b", "forward", "backward")
 
     def __init__(
         self,

@@ -4,6 +4,14 @@ The paper's future-work section (§5) discusses collecting telemetry such
 as buffer occupancy alongside traces.  These monitors sample simulator
 state periodically; they are used by tests, examples and the Fig. 4
 trace-statistics benchmark.
+
+Monitors are pull-based by design: links and queues maintain their own
+slotted counters (plus the simulation-wide
+:class:`~repro.netsim.core.SimStats` threaded through them), so a
+simulation with no monitor installed pays zero per-packet telemetry
+cost, and an installed monitor costs one event per sampling interval —
+scheduled through the simulator's fire-and-forget fast path — rather
+than a callback per packet.
 """
 
 from __future__ import annotations
@@ -37,9 +45,12 @@ class QueueMonitor:
         self._sample()
 
     def _sample(self) -> None:
+        # The fast-path channel dequeues lazily; sync so the sampled
+        # occupancy reflects the current simulation time.
+        self.channel.sync_queue()
         self.times.append(self.sim.now)
         self.occupancy.append(self.channel.queue.occupancy)
-        self.sim.schedule(self.interval, self._sample)
+        self.sim.post(self.interval, self._sample)
 
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(times, occupancy)`` as numpy arrays."""
@@ -72,16 +83,16 @@ class ThroughputMonitor:
         if self._running:
             raise RuntimeError("ThroughputMonitor already started")
         self._running = True
-        self._last_bytes = self.channel.bytes_sent
-        self.sim.schedule(self.interval, self._sample)
+        self._last_bytes = self.channel.completed_bytes_now()
+        self.sim.post(self.interval, self._sample)
 
     def _sample(self) -> None:
-        sent = self.channel.bytes_sent
+        sent = self.channel.completed_bytes_now()
         delta = sent - self._last_bytes
         self._last_bytes = sent
         self.times.append(self.sim.now)
         self.throughput_bps.append(delta * 8.0 / self.interval)
-        self.sim.schedule(self.interval, self._sample)
+        self.sim.post(self.interval, self._sample)
 
     @property
     def mean_throughput_bps(self) -> float:

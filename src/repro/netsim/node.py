@@ -29,6 +29,20 @@ class Node:
         default_handler: fallback for flows without a dedicated handler.
     """
 
+    __slots__ = (
+        "sim",
+        "node_id",
+        "name",
+        "links",
+        "forwarding",
+        "flow_handlers",
+        "default_handler",
+        "packets_forwarded",
+        "packets_delivered",
+        "packets_dropped_no_route",
+        "_fh_get",
+    )
+
     def __init__(self, sim: Simulator, node_id: int, name: str = ""):
         self.sim = sim
         self.node_id = node_id
@@ -36,6 +50,7 @@ class Node:
         self.links: list[Link] = []
         self.forwarding: dict[int, Channel] = {}
         self.flow_handlers: dict[int, Callable[[Packet], None]] = {}
+        self._fh_get = self.flow_handlers.get
         self.default_handler: Callable[[Packet], None] | None = None
         self.packets_forwarded = 0
         self.packets_delivered = 0
@@ -56,12 +71,27 @@ class Node:
         self.flow_handlers[flow_id] = handler
 
     def receive(self, packet: Packet) -> None:
-        """Entry point for packets arriving from a channel (or locally)."""
+        """Entry point for packets arriving from a channel (or locally).
+
+        Runs once per store-and-forward hop, so local delivery and
+        forwarding are inlined rather than dispatched through
+        :meth:`forward` / ``_deliver``.
+        """
         packet.hops += 1
-        if packet.dst == self.node_id:
-            self._deliver(packet)
-        else:
-            self.forward(packet)
+        dst = packet.dst
+        if dst == self.node_id:
+            self.packets_delivered += 1
+            handler = self._fh_get(packet.flow_id, self.default_handler)
+            if handler is not None:
+                handler(packet)
+            return
+        try:
+            channel = self.forwarding[dst]
+        except KeyError:
+            self.packets_dropped_no_route += 1
+            return
+        self.packets_forwarded += 1
+        channel.send(packet)
 
     def send(self, packet: Packet) -> bool:
         """Inject a locally generated packet into the network.
@@ -69,12 +99,19 @@ class Node:
         Sets the packet's ``send_time`` and forwards it.  Returns False
         if the first hop dropped it.
         """
-        packet.send_time = self.sim.now
-        if packet.dst == self.node_id:
+        packet.send_time = self.sim._now
+        dst = packet.dst
+        if dst == self.node_id:
             # Loopback: deliver after the current event completes.
-            self.sim.schedule(0.0, self._deliver, packet)
+            self.sim.post(0.0, self._deliver, (packet,))
             return True
-        return self.forward(packet)
+        try:
+            channel = self.forwarding[dst]
+        except KeyError:
+            self.packets_dropped_no_route += 1
+            return False
+        self.packets_forwarded += 1
+        return channel.send(packet)
 
     def forward(self, packet: Packet) -> bool:
         """Forward ``packet`` toward its destination.
@@ -82,8 +119,9 @@ class Node:
         Packets without a forwarding entry are dropped (counted), which
         turns routing bugs into visible statistics instead of crashes.
         """
-        channel = self.forwarding.get(packet.dst)
-        if channel is None:
+        try:
+            channel = self.forwarding[packet.dst]
+        except KeyError:
             self.packets_dropped_no_route += 1
             return False
         self.packets_forwarded += 1

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 
 __all__ = ["Packet", "PacketKind"]
 
@@ -18,9 +17,12 @@ class PacketKind:
 _packet_uid = itertools.count()
 
 
-@dataclass
 class Packet:
     """A network packet.
+
+    Slotted and hand-rolled (not a dataclass): packets are the
+    highest-volume allocation in a simulation, so construction stays a
+    single flat ``__init__`` with inline validation.
 
     Attributes:
         src: node id of the sender host.
@@ -46,24 +48,61 @@ class Packet:
         hops: number of store-and-forward hops traversed so far.
     """
 
-    src: int
-    dst: int
-    size: int
-    flow_id: int = 0
-    message_id: int = -1
-    seq: int = 0
-    kind: str = PacketKind.DATA
-    send_time: float = 0.0
-    message_size: int = 0
-    is_message_end: bool = False
-    traced: bool = True
-    ack_for: int = -1
-    hops: int = 0
-    uid: int = field(default_factory=lambda: next(_packet_uid))
+    __slots__ = (
+        "src",
+        "dst",
+        "size",
+        "flow_id",
+        "message_id",
+        "seq",
+        "kind",
+        "send_time",
+        "message_size",
+        "is_message_end",
+        "traced",
+        "ack_for",
+        "hops",
+        "uid",
+    )
 
-    def __post_init__(self):
-        if self.size <= 0:
-            raise ValueError(f"packet size must be positive, got {self.size}")
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        flow_id: int = 0,
+        message_id: int = -1,
+        seq: int = 0,
+        kind: str = PacketKind.DATA,
+        send_time: float = 0.0,
+        message_size: int = 0,
+        is_message_end: bool = False,
+        traced: bool = True,
+        ack_for: int = -1,
+        hops: int = 0,
+    ):
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.flow_id = flow_id
+        self.message_id = message_id
+        self.seq = seq
+        self.kind = kind
+        self.send_time = send_time
+        self.message_size = message_size
+        self.is_message_end = is_message_end
+        self.traced = traced
+        self.ack_for = ack_for
+        self.hops = hops
+        self.uid = next(_packet_uid)
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(uid={self.uid}, {self.kind}, src={self.src}, dst={self.dst}, "
+            f"size={self.size}, flow={self.flow_id}, msg={self.message_id}, seq={self.seq})"
+        )
 
     @property
     def is_ack(self) -> bool:

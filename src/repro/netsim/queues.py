@@ -3,6 +3,12 @@
 The paper's bottleneck uses a 1000-packet drop-tail queue; RED is
 provided as an extension so future-work experiments (queuing-discipline
 diversity, §5 of the paper) can be expressed.
+
+Queues sit on the simulator's per-packet fast path, so the bookkeeping
+is deliberately flat: slotted counter objects, plain attribute
+increments, and an optional :class:`~repro.netsim.core.SimStats`
+reference (threaded in by the owning channel) that aggregates drops
+simulation-wide without any monitor callback.
 """
 
 from __future__ import annotations
@@ -18,6 +24,15 @@ __all__ = ["DropTailQueue", "REDQueue", "QueueStats"]
 
 class QueueStats:
     """Counters shared by all queue implementations."""
+
+    __slots__ = (
+        "enqueued",
+        "dequeued",
+        "dropped",
+        "bytes_enqueued",
+        "bytes_dropped",
+        "max_occupancy",
+    )
 
     def __init__(self):
         self.enqueued = 0
@@ -41,12 +56,20 @@ class DropTailQueue:
     ("queue size of 1000 packets").
     """
 
+    __slots__ = ("capacity", "_items", "stats", "sim_stats")
+
+    #: FIFO service order: accepted packets depart in arrival order, so
+    #: channels may pre-book departures (see :mod:`repro.netsim.link`).
+    fifo_service = True
+
     def __init__(self, capacity_packets: int):
         if capacity_packets <= 0:
             raise ValueError(f"queue capacity must be positive, got {capacity_packets}")
         self.capacity = int(capacity_packets)
         self._items: deque[Packet] = deque()
         self.stats = QueueStats()
+        #: Simulation-wide counters, set by the owning channel.
+        self.sim_stats = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -62,22 +85,35 @@ class DropTailQueue:
 
     def enqueue(self, packet: Packet) -> bool:
         """Append ``packet``; returns False (and counts a drop) when full."""
-        if len(self._items) >= self.capacity:
-            self.stats.dropped += 1
-            self.stats.bytes_dropped += packet.size
+        items = self._items
+        occupancy = len(items) + 1
+        if occupancy > self.capacity:
+            self._count_drop(packet)
             return False
-        self._items.append(packet)
-        self.stats.enqueued += 1
-        self.stats.bytes_enqueued += packet.size
-        self.stats.max_occupancy = max(self.stats.max_occupancy, len(self._items))
+        items.append(packet)
+        stats = self.stats
+        stats.enqueued += 1
+        stats.bytes_enqueued += packet.size
+        if occupancy > stats.max_occupancy:
+            stats.max_occupancy = occupancy
         return True
+
+    def _count_drop(self, packet: Packet) -> None:
+        stats = self.stats
+        stats.dropped += 1
+        stats.bytes_dropped += packet.size
+        sim_stats = self.sim_stats
+        if sim_stats is not None:
+            sim_stats.packets_dropped += 1
+            sim_stats.bytes_dropped += packet.size
 
     def dequeue(self) -> Packet | None:
         """Pop the oldest packet, or ``None`` when empty."""
-        if not self._items:
+        items = self._items
+        if not items:
             return None
         self.stats.dequeued += 1
-        return self._items.popleft()
+        return items.popleft()
 
 
 class REDQueue(DropTailQueue):
@@ -87,6 +123,8 @@ class REDQueue(DropTailQueue):
     drop probability that ramps linearly between ``min_threshold`` and
     ``max_threshold``; above ``max_threshold`` every arrival is dropped.
     """
+
+    __slots__ = ("min_threshold", "max_threshold", "max_drop_probability", "weight", "average", "_rng")
 
     def __init__(
         self,
@@ -115,13 +153,11 @@ class REDQueue(DropTailQueue):
     def enqueue(self, packet: Packet) -> bool:
         self.average = (1.0 - self.weight) * self.average + self.weight * len(self._items)
         if self.average >= self.max_threshold:
-            self.stats.dropped += 1
-            self.stats.bytes_dropped += packet.size
+            self._count_drop(packet)
             return False
         if self.average > self.min_threshold:
             ramp = (self.average - self.min_threshold) / (self.max_threshold - self.min_threshold)
             if self._rng.random() < ramp * self.max_drop_probability:
-                self.stats.dropped += 1
-                self.stats.bytes_dropped += packet.size
+                self._count_drop(packet)
                 return False
         return super().enqueue(packet)

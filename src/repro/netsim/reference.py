@@ -1,0 +1,209 @@
+"""The pre-fast-path simulator stack, preserved as a golden reference.
+
+The netsim fast path (slotted event calendar, fused link departures,
+columnar trace collection) is a pure optimisation: it must not change a
+single emitted byte.  This module keeps the original implementations —
+the ``Event``-object binary heap scheduler and the
+``list[PacketRecord]`` collector — so that
+
+* golden tests can run every registered scenario down both stacks and
+  assert the traces are bit-identical, and
+* the throughput benchmark can report an honest speedup against the
+  pre-optimisation baseline in the same process.
+
+Switch a scenario build onto this stack with :func:`legacy_path`::
+
+    with legacy_path():
+        baseline = run_scenario(config)   # pre-PR event loop + collector
+
+The flag is consulted at *construction* time (``build_scenario``,
+``Channel.__init__``), so handles built inside the context keep their
+mode after it exits.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from contextlib import contextmanager
+from typing import Callable
+
+from repro.netsim.core import Event, SimStats, SimulationError
+from repro.netsim.trace import PacketRecord, Trace
+
+__all__ = [
+    "ReferenceSimulator",
+    "ReferenceTraceCollector",
+    "fast_path_enabled",
+    "legacy_path",
+]
+
+_fast_path = True
+
+
+def fast_path_enabled() -> bool:
+    """Whether scenario builds use the optimised simulator stack."""
+    return _fast_path
+
+
+@contextmanager
+def legacy_path():
+    """Build scenarios on the pre-PR reference stack inside the block."""
+    global _fast_path
+    previous = _fast_path
+    _fast_path = False
+    try:
+        yield
+    finally:
+        _fast_path = previous
+
+
+class ReferenceSimulator:
+    """The pre-PR event loop: one binary heap of comparable ``Event``s.
+
+    Kept verbatim (plus the per-simulation message-id counter shared
+    with :class:`~repro.netsim.core.Simulator`) so ordering semantics
+    have a living specification to compare against.
+    """
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._running = False
+        self.stats = SimStats()
+        self._message_ids = itertools.count()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def next_message_id(self) -> int:
+        return next(self._message_ids)
+
+    def schedule(self, delay: float, callback: Callable, *args, priority: int = 0) -> Event:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(self, time: float, callback: Callable, *args, priority: int = 0) -> Event:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(time, priority, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def post(self, delay: float, callback: Callable, args: tuple = (), priority: int = 0) -> None:
+        # The reference stack has no fire-and-forget fast path; shared
+        # components calling post() pay the pre-PR cost here.
+        self.schedule(delay, callback, *args, priority=priority)
+
+    def post_at(self, time: float, callback: Callable, args: tuple = (), priority: int = 0) -> None:
+        self.schedule_at(time, callback, *args, priority=priority)
+
+    def peek_time(self) -> float | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            executed = 0
+            while True:
+                if max_events is not None and executed >= max_events:
+                    return
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+
+class ReferenceTraceCollector:
+    """The pre-PR collector: a list of :class:`PacketRecord` objects."""
+
+    def __init__(self):
+        self.records: list[PacketRecord] = []
+
+    def record(self, packet, recv_time: float) -> None:
+        if not packet.traced:
+            return
+        self.records.append(
+            PacketRecord(
+                send_time=packet.send_time,
+                recv_time=recv_time,
+                size=packet.size,
+                receiver_id=packet.dst,
+                flow_id=packet.flow_id,
+                message_id=packet.message_id,
+                message_size=packet.message_size,
+                is_message_end=packet.is_message_end,
+            )
+        )
+
+    def finalize(self) -> Trace:
+        ordered = sorted(self.records, key=lambda r: (r.send_time, r.message_id))
+        trace = Trace.from_records(ordered)
+        # Recompute MCT with the pre-PR per-packet loop: the baseline
+        # pays its original cost, and golden tests cross-check the
+        # vectorised implementation against it bit-for-bit.
+        trace.mct = _reference_mct(trace)
+        return trace
+
+
+def _reference_mct(trace: Trace):
+    """The pre-vectorisation MCT computation, kept verbatim."""
+    import numpy as np
+
+    if len(trace) == 0:
+        return np.zeros(0, dtype=np.float64)
+    mct = np.zeros(len(trace), dtype=np.float64)
+    starts: dict[int, float] = {}
+    ends: dict[int, float] = {}
+    ids = trace.message_id
+    for index in range(len(trace)):
+        message = int(ids[index])
+        send = float(trace.send_time[index])
+        recv = float(trace.recv_time[index])
+        if message not in starts or send < starts[message]:
+            starts[message] = send
+        if message not in ends or recv > ends[message]:
+            ends[message] = recv
+    for index in range(len(trace)):
+        message = int(ids[index])
+        mct[index] = ends[message] - starts[message]
+    return mct

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace  # noqa: F401 (replace used by
 
 import numpy as np
 
+from repro.netsim import reference
 from repro.netsim.apps import MessageSource, PacketSink
 from repro.netsim.core import Simulator
 from repro.netsim.node import Node
@@ -201,9 +202,14 @@ def build_scenario(config: ScenarioConfig, run_index: int = 0) -> ScenarioHandle
     randomized application start times".
     """
     rng_factory = RngFactory(config.seed)
-    sim = Simulator()
+    if reference.fast_path_enabled():
+        sim = Simulator()
+        collector = TraceCollector()
+    else:
+        # Golden-test / benchmark baseline: the pre-PR stack.
+        sim = reference.ReferenceSimulator()
+        collector = reference.ReferenceTraceCollector()
     net = Network(sim)
-    collector = TraceCollector()
 
     left_switch = net.add_node("switch-left")
     right_switch = net.add_node("switch-right")

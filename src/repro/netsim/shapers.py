@@ -74,9 +74,14 @@ class PriorityQueue:
             raise ValueError(f"n_bands must be positive, got {n_bands}")
         self.capacity = int(capacity_packets)
         self.n_bands = int(n_bands)
+        # Not FIFO: a high-band arrival overtakes queued low-band
+        # packets, so channels must not pre-book departures.
+        self.fifo_service = False
         self.classifier = classifier if classifier is not None else (lambda packet: 0)
         self._bands: list[deque[Packet]] = [deque() for _ in range(n_bands)]
         self.stats = QueueStats()
+        #: Simulation-wide counters, set by the owning channel.
+        self.sim_stats = None
         self.per_band_enqueued = [0] * n_bands
         self.per_band_dropped = [0] * n_bands
 
@@ -103,6 +108,9 @@ class PriorityQueue:
             self.stats.dropped += 1
             self.stats.bytes_dropped += packet.size
             self.per_band_dropped[band] += 1
+            if self.sim_stats is not None:
+                self.sim_stats.packets_dropped += 1
+                self.sim_stats.bytes_dropped += packet.size
             return False
         queue.append(packet)
         self.stats.enqueued += 1

@@ -4,6 +4,14 @@ A trace is the list of *delivered, traced* packets with the four raw
 features the paper uses (§3): timestamp, packet size, receiver ID and
 end-to-end delay — plus the message bookkeeping needed for the MCT
 fine-tuning task.
+
+Collection is columnar: :class:`TraceCollector` writes each delivered
+packet straight into preallocated, geometrically-grown numpy column
+buffers, so finalizing a trace is a trim + one stable ``lexsort``
+instead of materialising (and later re-walking) a Python object per
+packet.  The pre-columnar collector survives as
+:class:`repro.netsim.reference.ReferenceTraceCollector` for golden
+equivalence tests.
 """
 
 from __future__ import annotations
@@ -16,8 +24,11 @@ from repro.netsim.packet import Packet
 
 __all__ = ["PacketRecord", "TraceCollector", "Trace"]
 
+#: Initial per-column capacity of a collector (doubles when full).
+_INITIAL_CAPACITY = 1024
 
-@dataclass
+
+@dataclass(slots=True)
 class PacketRecord:
     """One delivered packet, as seen by the dataset pipeline."""
 
@@ -37,32 +48,93 @@ class PacketRecord:
 
 
 class TraceCollector:
-    """Accumulates :class:`PacketRecord` objects from sink applications."""
+    """Accumulates delivered packets into columnar numpy buffers."""
+
+    __slots__ = (
+        "_n",
+        "_capacity",
+        "_send_time",
+        "_recv_time",
+        "_size",
+        "_receiver_id",
+        "_flow_id",
+        "_message_id",
+        "_message_size",
+        "_is_message_end",
+    )
 
     def __init__(self):
-        self.records: list[PacketRecord] = []
+        self._n = 0
+        self._capacity = _INITIAL_CAPACITY
+        self._send_time = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._recv_time = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._size = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._receiver_id = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._flow_id = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._message_id = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._message_size = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._is_message_end = np.empty(_INITIAL_CAPACITY, dtype=bool)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow(self) -> None:
+        capacity = self._capacity * 2
+        for name in (
+            "_send_time",
+            "_recv_time",
+            "_size",
+            "_receiver_id",
+            "_flow_id",
+            "_message_id",
+            "_message_size",
+            "_is_message_end",
+        ):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[: self._n] = old
+            setattr(self, name, grown)
+        self._capacity = capacity
 
     def record(self, packet: Packet, recv_time: float) -> None:
         """Record a delivered packet (ignores packets marked untraced)."""
         if not packet.traced:
             return
-        self.records.append(
-            PacketRecord(
-                send_time=packet.send_time,
-                recv_time=recv_time,
-                size=packet.size,
-                receiver_id=packet.dst,
-                flow_id=packet.flow_id,
-                message_id=packet.message_id,
-                message_size=packet.message_size,
-                is_message_end=packet.is_message_end,
-            )
-        )
+        index = self._n
+        if index == self._capacity:
+            self._grow()
+        self._send_time[index] = packet.send_time
+        self._recv_time[index] = recv_time
+        self._size[index] = packet.size
+        self._receiver_id[index] = packet.dst
+        self._flow_id[index] = packet.flow_id
+        self._message_id[index] = packet.message_id
+        self._message_size[index] = packet.message_size
+        self._is_message_end[index] = packet.is_message_end
+        self._n = index + 1
 
     def finalize(self) -> "Trace":
-        """Sort by send time and build the array-backed :class:`Trace`."""
-        ordered = sorted(self.records, key=lambda r: (r.send_time, r.message_id))
-        return Trace.from_records(ordered)
+        """Sort by ``(send_time, message_id)`` and build the
+        array-backed :class:`Trace` from trimmed column views.
+
+        ``np.lexsort`` is stable, so ties beyond the sort key keep
+        arrival order — the same total order the reference collector's
+        ``sorted(records, key=...)`` produces.
+        """
+        n = self._n
+        send_time = self._send_time[:n]
+        message_id = self._message_id[:n]
+        order = np.lexsort((message_id, send_time))
+        return Trace(
+            send_time=send_time[order],
+            recv_time=self._recv_time[:n][order],
+            size=self._size[:n][order],
+            receiver_id=self._receiver_id[:n][order],
+            flow_id=self._flow_id[:n][order],
+            message_id=message_id[order],
+            message_size=self._message_size[:n][order],
+            is_message_end=self._is_message_end[:n][order],
+        )
 
 
 class Trace:
@@ -142,25 +214,20 @@ class Trace:
         packet was dropped get the completion time of their last
         delivered packet; this mirrors measuring MCT on the receiver-side
         trace.
+
+        Vectorised: group by message id, reduce with exact float
+        min/max, broadcast back — identical results to the per-packet
+        loop it replaced (min/max introduce no rounding).
         """
         if len(self) == 0:
             return np.zeros(0, dtype=np.float64)
-        mct = np.zeros(len(self), dtype=np.float64)
-        starts: dict[int, float] = {}
-        ends: dict[int, float] = {}
-        ids = self.message_id
-        for index in range(len(self)):
-            message = int(ids[index])
-            send = float(self.send_time[index])
-            recv = float(self.recv_time[index])
-            if message not in starts or send < starts[message]:
-                starts[message] = send
-            if message not in ends or recv > ends[message]:
-                ends[message] = recv
-        for index in range(len(self)):
-            message = int(ids[index])
-            mct[index] = ends[message] - starts[message]
-        return mct
+        _, inverse = np.unique(self.message_id, return_inverse=True)
+        n_messages = int(inverse.max()) + 1
+        starts = np.full(n_messages, np.inf, dtype=np.float64)
+        ends = np.full(n_messages, -np.inf, dtype=np.float64)
+        np.minimum.at(starts, inverse, self.send_time)
+        np.maximum.at(ends, inverse, self.recv_time)
+        return ends[inverse] - starts[inverse]
 
     def subset(self, mask: np.ndarray) -> "Trace":
         """Return a trace restricted to packets where ``mask`` is True."""

@@ -17,6 +17,7 @@ hit/miss — written through the store under ``manifests/<campaign_id>``.
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -141,6 +142,19 @@ class CampaignEngine:
         clock = time.perf_counter()
         tasks = plan.ordered()
         workers = self.effective_workers(tasks)
+        # Derived from the actual decision (not a restatement of the
+        # effective_workers policy): serial despite a multi-task plan
+        # that a pool could otherwise have used.
+        downgraded = workers == 1 and self.workers > 1 and len(tasks) > 1
+        if downgraded:
+            warnings.warn(
+                f"campaign requested {self.workers} workers but runs serially: "
+                "without an artifact store, processes cannot exchange artifacts "
+                "for plans with dependencies or cacheable stages; pass a store "
+                "(or ArtifactStore.from_env()) to parallelise",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         store_root = None if self.store is None else str(self.store.root)
         if workers <= 1:
             records = self._run_serial(plan, tasks, store_root, context)
@@ -148,6 +162,7 @@ class CampaignEngine:
             records = self._run_pool(plan, tasks, store_root, workers)
         ordered_records = [records[task.id] for task in tasks]
         manifest = self._manifest(plan, ordered_records, workers, started)
+        manifest["downgraded_to_serial"] = downgraded
         manifest["wall_time_s"] = time.perf_counter() - clock
         path = None
         if self.store is not None:

@@ -23,7 +23,7 @@ from repro.api.store import ArtifactStore, bundle_key
 from repro.core.baselines import evaluate_baselines
 from repro.core.features import FeaturePipeline
 from repro.core.finetune import train_delay_from_scratch, train_mct_from_scratch
-from repro.netsim.scenarios import ScenarioKind, build_scenario
+from repro.netsim.scenarios import ScenarioKind, build_scenario, run_scenario
 from repro.runtime.plan import resolve_variant
 from repro.utils.stats import percentile_summary
 
@@ -39,12 +39,39 @@ __all__ = ["run_task", "execute_stage"]
 
 def _stage_traces(experiment: Experiment, params: dict):
     store, key = experiment.store, params["key"]
-    hit = store is not None and store.has_traces(key, experiment.scale.n_runs)
-    traces = experiment.traces(params["scenario"])
-    return hit, {
-        "n_runs": len(traces),
-        "total_packets": int(sum(len(trace) for trace in traces)),
-    }
+    n_runs = experiment.scale.n_runs
+    if store is not None and store.has_traces(key, n_runs):
+        # Cache hit: report run-set statistics straight from the
+        # sidecar — no npz is loaded just for manifest bookkeeping.
+        meta = store.trace_run_meta(key) or {}
+        if "total_packets" in meta:
+            return True, {
+                "n_runs": n_runs,
+                "total_packets": int(meta["total_packets"]),
+            }
+        traces = store.get_traces(key, n_runs)
+        return True, {
+            "n_runs": len(traces),
+            "total_packets": int(sum(len(trace) for trace in traces)),
+        }
+    if store is None:
+        traces = experiment.traces(params["scenario"])
+        return False, {
+            "n_runs": len(traces),
+            "total_packets": int(sum(len(trace) for trace in traces)),
+        }
+    # Cache miss with a store: stream each run's columns straight to
+    # disk as it is generated, instead of materialising the whole run
+    # set in memory first.  The sidecar published last keeps partial
+    # writes invisible to readers.
+    config = experiment.spec.scenario_config(params["scenario"])
+    total_packets = 0
+    for run_index in range(n_runs):
+        trace = run_scenario(config, run_index)
+        store.put_trace_run(key, run_index, trace)
+        total_packets += len(trace)
+    store.finalize_trace_runs(key, n_runs, total_packets=total_packets)
+    return False, {"n_runs": n_runs, "total_packets": total_packets}
 
 
 def _stage_bundle(experiment: Experiment, params: dict):
@@ -210,7 +237,9 @@ def _stage_trace_stats(experiment: Experiment, params: dict):
         "delay_p50_ms": summary.p50,
         "delay_p99_ms": summary.p99,
         "delay_p999_ms": summary.p999,
-        "queue_drops": handle.network.total_drops(),
+        # SimStats aggregates drops as they happen (threaded through
+        # every queue), so no topology walk is needed here.
+        "queue_drops": handle.sim.stats.packets_dropped,
         "per_receiver_mean_delay_ms": per_receiver,
         "events_processed": handle.sim.events_processed,
     }

@@ -294,6 +294,23 @@ class TestSchemaVersioning:
         monkeypatch.setattr(store_module, "ARTIFACT_SCHEMA_VERSION", 999)
         assert store.get_traces(key, 1) is None
 
+    def test_traces_with_global_message_ids_miss(self, store):
+        """Run sets written before message ids moved onto the simulator
+        (no ``message_id_scope`` in the sidecar) must re-simulate: their
+        ``message_id`` column depended on in-process run order."""
+        import json
+
+        config = ScenarioConfig.smoke(ScenarioKind.PRETRAIN, seed=7)
+        key = traces_key(config, 1)
+        store.put_traces(key, generate_traces(config, n_runs=1))
+        meta_path = store._trace_meta_path(key)
+        meta = json.loads(meta_path.read_text())
+        assert meta["message_id_scope"] == "simulation"
+        del meta["message_id_scope"]
+        meta_path.write_text(json.dumps(meta))
+        assert not store.has_traces(key, 1)
+        assert store.get_traces(key, 1) is None
+
     def test_is_current_sees_through_stale_files(self, store, smoke_bundle, smoke_pretrain, monkeypatch):
         import repro.api.store as store_module
 

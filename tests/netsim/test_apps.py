@@ -3,17 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.netsim.apps import MessageSource, PacketSink, reset_message_ids
+from repro.netsim.apps import MessageSource, PacketSink
 from repro.netsim.core import Simulator
 from repro.netsim.topology import Network
 from repro.netsim.trace import TraceCollector
 from repro.netsim.units import mbps, milliseconds
 from repro.netsim.workloads import FixedMessageSizes
-
-
-@pytest.fixture(autouse=True)
-def fresh_message_ids():
-    reset_message_ids()
 
 
 def two_hosts():
@@ -142,6 +137,27 @@ def test_stop_time_respected():
     sent_by_stop = source.messages_sent
     sim.run(until=5.0)
     assert source.messages_sent == sent_by_stop
+
+
+def test_message_ids_are_per_simulation():
+    """Two identical simulations assign identical message ids: the
+    counter lives on the Simulator, not in a process-global."""
+    traces = []
+    for _ in range(2):
+        sim, net, a, b = two_hosts()
+        collector = TraceCollector()
+        PacketSink(sim, b, collector).install_default()
+        source = MessageSource(
+            sim, a, [b], flow_id=1, offered_load_bps=mbps(2),
+            size_distribution=FixedMessageSizes(3000), rng=np.random.default_rng(2),
+            stop_time=2.0,
+        )
+        source.start()
+        sim.run(until=3.0)
+        traces.append(collector.finalize())
+    first, second = traces
+    assert first.message_id.tolist() == second.message_id.tolist()
+    assert first.message_id.min() == 0
 
 
 def test_sink_counts():

@@ -44,6 +44,9 @@ def test_queue_overflow_drops():
     for seq in range(6):
         link.forward.send(Packet(src=0, dst=1, size=1500, seq=seq))
     assert link.forward.queue.stats.dropped == 3
+    # Drops also aggregate simulation-wide through the threaded SimStats.
+    assert sim.stats.packets_dropped == 3
+    assert sim.stats.bytes_dropped == 3 * 1500
     sim.run()
     assert link.forward.packets_sent == 3
 
@@ -55,6 +58,17 @@ def test_channel_statistics():
     assert link.forward.bytes_sent == 1500
     assert link.forward.packets_sent == 1
     assert link.forward.utilization(elapsed=0.001) == pytest.approx(1.0)
+
+
+def test_utilization_counts_only_started_transmissions():
+    """A truncated run must not count still-queued packets as busy
+    time (the fast path books serialization time at arrival)."""
+    sim, a, b, link = build_pair(rate=mbps(12), delay=0.0)
+    for seq in range(5):  # 1 ms serialization each
+        link.forward.send(Packet(src=0, dst=1, size=1500, seq=seq))
+    sim.run(until=0.0025)
+    # Transmissions started by t=2.5 ms: at 0, 1 and 2 ms — 3 ms total.
+    assert link.forward.utilization(elapsed=0.004) == pytest.approx(0.75)
 
 
 def test_backward_channel_independent():

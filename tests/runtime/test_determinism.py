@@ -53,6 +53,25 @@ def test_checkpoints_bit_identical(campaign_pair):
         assert serial_meta["history"]["train_loss"] == pool_meta["history"]["train_loss"]
 
 
+def test_traces_bit_identical(campaign_pair):
+    """The netsim fast path stays bit-identical under --workers 2: every
+    stored trace column matches the serial run array-for-array."""
+    serial_store, _ = campaign_pair["serial"]
+    pool_store, _ = campaign_pair["pool"]
+    serial_dir = serial_store.root / "traces"
+    run_files = sorted(path.name for path in serial_dir.glob("*-run*.npz"))
+    assert run_files, "campaign stored no traces"
+    for name in run_files:
+        with np.load(serial_dir / name) as serial_data:
+            with np.load(pool_store.root / "traces" / name) as pool_data:
+                assert sorted(serial_data.files) == sorted(pool_data.files), name
+                for column in serial_data.files:
+                    assert np.array_equal(serial_data[column], pool_data[column]), (
+                        name,
+                        column,
+                    )
+
+
 def test_metrics_bit_identical(campaign_pair):
     _, serial_result = campaign_pair["serial"]
     _, pool_result = campaign_pair["pool"]

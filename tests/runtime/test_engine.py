@@ -137,6 +137,27 @@ class TestEngineConfiguration:
         plan = plan_campaign(fast_specs(["case1"]))
         assert engine.effective_workers(plan.ordered()) == 1
 
+    def test_storeless_downgrade_warns_and_lands_in_manifest(self):
+        engine = CampaignEngine(store=None, workers=4)
+        plan = plan_campaign(fast_specs(["case1"]))
+        with pytest.warns(RuntimeWarning, match="runs serially"):
+            result = engine.run(plan)
+        assert result.ok
+        assert result.manifest["downgraded_to_serial"] is True
+        assert result.manifest["workers"] == 1
+
+    def test_no_downgrade_flag_when_store_present(self, store):
+        result = run_campaign(fast_specs(), store=store)
+        assert result.manifest["downgraded_to_serial"] is False
+
+    def test_storeless_trace_stats_pool_does_not_warn(self, recwarn):
+        engine = CampaignEngine(store=None, workers=2)
+        plan = plan_campaign(fast_specs(["pretrain", "case1"]), stages=("trace_stats",))
+        result = engine.run(plan)
+        assert result.ok
+        assert result.manifest["downgraded_to_serial"] is False
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
+
     def test_storeless_independent_tasks_keep_pool(self):
         engine = CampaignEngine(store=None, workers=2)
         plan = plan_campaign(fast_specs(["pretrain", "case1"]), stages=("trace_stats",))

@@ -37,3 +37,14 @@ def test_payload_stamped_with_scale(results_dir, monkeypatch):
     path = bench_conftest.save_results("attention_scaling", {"ratio": 1.0})
     data = json.loads(path.read_text())
     assert data == {"scale": "smoke", "ratio": 1.0}
+
+
+def test_throughput_smoke_results_never_overwrite_committed(results_dir, monkeypatch):
+    """CI's smoke-scale netsim throughput runs must not clobber the
+    committed small-scale numbers."""
+    committed = results_dir / "netsim_throughput.json"
+    committed.write_text(json.dumps({"scale": "small", "speedup": 3.0}))
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    path = bench_conftest.save_results("netsim_throughput", {"speedup": 2.5})
+    assert path == results_dir / "smoke" / "netsim_throughput.json"
+    assert json.loads(committed.read_text())["speedup"] == 3.0
