@@ -1,17 +1,21 @@
 #!/usr/bin/env python
 """Continual learning: detecting when a deployed NTT goes stale (§5).
 
-Deploys a pre-trained delay model, monitors it on fresh traffic from the
-same environment (no drift expected), then switches the environment to
-case-1 cross-traffic (drift expected) and watches the Page-Hinkley
-detector fire.  Also demonstrates attention inspection on the deployed
-model.  Everything flows through the ``repro.api`` facade, so the
-deployment artifacts come from the cache when available.
+Deploys a pre-trained delay model and monitors it with the Page-Hinkley
+drift detector — first on fresh traffic from the pre-training
+environment, then on case-1 cross-traffic.  Since the stage API, the
+whole loop is the registered ``drift_monitor`` pipeline stage: each
+scenario is one spec submitted through the campaign engine, the
+``pretrain`` dependency is planned (and therefore cached) like any other
+stage, both verdicts land in a JSON campaign manifest, and re-running is
+served from the artifact store.  The deployed checkpoint is then
+restored from the same store for attention inspection.
 
 Run::
 
     python examples/continual_monitoring.py
-    python examples/continual_monitoring.py --scale small
+    python examples/continual_monitoring.py --scale small --sensitivity 10
+    repro sweep --scenarios case1 --stages drift_monitor     # same stage
 """
 
 from __future__ import annotations
@@ -20,50 +24,61 @@ import argparse
 
 import numpy as np
 
-from repro.api import DriftMonitor, Experiment, ExperimentSpec, attention_summary
+from repro.api import ArtifactStore, Experiment, ExperimentSpec, attention_summary
+from repro.runtime import run_campaign
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="smoke", choices=["smoke", "small"])
+    parser.add_argument("--sensitivity", type=float, default=50.0)
+    parser.add_argument("--cache-dir", default=None, help="artifact store root")
     args = parser.parse_args()
 
-    exp = Experiment(ExperimentSpec(scenario="pretrain", scale=args.scale))
+    params = {"drift_monitor": {"sensitivity": args.sensitivity}}
+    specs = [
+        # Same environment: no drift expected.
+        ExperimentSpec(scenario="pretrain", scale=args.scale,
+                       pipeline=("drift_monitor",), stage_params=params),
+        # Cross-traffic appears: the detector watches case 1.
+        ExperimentSpec(scenario="case1", scale=args.scale,
+                       pipeline=("drift_monitor",), stage_params=params),
+    ]
+    store = ArtifactStore(args.cache_dir)
 
-    print("== Deploying a pre-trained NTT")
-    pre = exp.pretrained()
-    pretrain_bundle = exp.bundle("pretrain")
+    print("== Deploy + monitor as one campaign (pretrain is planned once, shared)")
+    result = run_campaign(specs, store=store)
+    print(result.format_summary())
+    if not result.ok:
+        raise SystemExit(1)
 
-    print("== What does the deployed model attend to?")
-    sample = pretrain_bundle.test.subset(np.arange(min(16, len(pretrain_bundle.test))))
+    for spec in specs:
+        for task_id, row in result.results.items():
+            if not task_id.startswith("drift_monitor:"):
+                continue
+            if row["scenario"] != spec.scenario:
+                continue
+            fresh = row["fresh"]
+            print(
+                f"   {row['scenario']:10s} {fresh['windows_seen']} windows, "
+                f"degradation {fresh['degradation_ratio']:.2f}x, statistic "
+                f"{fresh['statistic']:.2e} / threshold {fresh['threshold']:.2e} "
+                f"-> drifted={fresh['drifted']}"
+            )
+            if fresh["drifted"]:
+                print("      -> time to fine-tune on fresh data")
+
+    print("== What does the deployed model attend to? (checkpoint from the store)")
+    exp = Experiment(specs[0], store=store)
+    pre = exp.pretrained()  # cache hit: the campaign already trained it
+    bundle = exp.bundle("pretrain")
+    sample = bundle.test.subset(np.arange(min(16, len(bundle.test))))
     summary = attention_summary(
         pre.model.ntt, pre.pipeline.transform_features(sample), sample.receiver
     )
     print("   " + summary.format().replace("\n", "\n   "))
 
-    print("== Monitoring on in-distribution traffic (no drift expected)")
-    monitor = DriftMonitor(
-        pre.model, pre.pipeline, baseline=pretrain_bundle.val, sensitivity=50.0
-    )
-    report = monitor.observe(pretrain_bundle.test)
-    print(
-        f"   {report.windows_seen} windows, degradation "
-        f"{report.degradation_ratio:.2f}x, statistic {report.statistic:.2e} "
-        f"/ threshold {report.threshold:.2e} -> drifted={report.drifted}"
-    )
-
-    print("== Environment changes: cross-traffic appears (case 1)")
-    case1 = exp.bundle("case1")
-    report = monitor.observe(case1.test)
-    print(
-        f"   {report.windows_seen} windows, degradation "
-        f"{report.degradation_ratio:.2f}x, statistic {report.statistic:.2e} "
-        f"/ threshold {report.threshold:.2e} -> drifted={report.drifted}"
-    )
-    if report.drifted:
-        print("   -> time to fine-tune on fresh data (monitor.reset() afterwards)")
-    else:
-        print("   -> model still healthy at this sensitivity")
+    print(f"== Manifest: {result.manifest_path}")
 
 
 if __name__ == "__main__":

@@ -1,31 +1,31 @@
 #!/usr/bin/env python
 """Collaborative pre-training with federated averaging (§5).
 
-Three "organisations" each simulate their own private traffic (different
-seeds — think different vantage points of similar networks) and never
-share packets.  Each FedAvg round they train locally and share only
-model weights; the server averages them into a collective NTT.
+Several "organisations" each simulate their own private traffic
+(different seeds — think different vantage points of similar networks)
+and never share packets.  Each FedAvg round they train locally and share
+only model weights; the server averages them into a collective NTT.
+
+Since the stage API, the whole loop is the registered
+``federated_pretrain`` pipeline stage, so this example simply submits an
+:class:`ExperimentSpec` through the campaign engine: the run is planned,
+executed, recorded in a JSON manifest and cached — the second invocation
+is served from the artifact store, and the collective model lands in the
+checkpoint store where ``Experiment``/``Predictor`` tooling can load it.
 
 Run::
 
     python examples/federated_pretraining.py
     python examples/federated_pretraining.py --rounds 3 --clients 4
+    repro sweep --stages federated_pretrain --scales smoke   # same stage
 """
 
 from __future__ import annotations
 
 import argparse
-from dataclasses import replace
 
-from repro.api import (
-    Experiment,
-    ExperimentSpec,
-    FeaturePipeline,
-    FederatedTrainer,
-    evaluate_delay,
-    generate_dataset,
-    pretrain,
-)
+from repro.api import ArtifactStore, ExperimentSpec
+from repro.runtime import plan_campaign, run_campaign
 
 
 def main() -> None:
@@ -33,47 +33,43 @@ def main() -> None:
     parser.add_argument("--scale", default="smoke", choices=["smoke", "small"])
     parser.add_argument("--clients", type=int, default=3)
     parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--cache-dir", default=None, help="artifact store root")
     args = parser.parse_args()
 
-    exp = Experiment(ExperimentSpec(scenario="pretrain", scale=args.scale))
-    scale = exp.scale
-
-    print(f"== Simulating {args.clients} private datasets (never shared)")
-    clients = []
-    for index in range(args.clients):
-        scenario = replace(exp.spec.scenario_config(), seed=100 + index)
-        bundle = generate_dataset(
-            scenario, window_config=scale.window, n_runs=1, name=f"org-{index}"
-        )
-        clients.append(bundle)
-        print(f"   org-{index}: {bundle.n_packets} packets, {len(bundle.train)} train windows")
-
-    print(f"== Running {args.rounds} FedAvg rounds (weights cross, packets don't)")
-    trainer = FederatedTrainer(
-        scale.model_config(), clients, settings=scale.pretrain_settings
+    spec = ExperimentSpec(
+        scenario="pretrain",
+        scale=args.scale,
+        pipeline=("federated_pretrain",),
+        stage_params={
+            "federated_pretrain": {"n_clients": args.clients, "rounds": args.rounds}
+        },
     )
-    for outcome in trainer.run(args.rounds):
-        losses = ", ".join(f"{loss:.4f}" for loss in outcome.client_losses)
-        print(
-            f"   round {outcome.round_index}: client losses [{losses}] "
-            f"global test MSE {outcome.global_test_mse * 1e3:.4f} x1e-3"
-        )
+    store = ArtifactStore(args.cache_dir)
 
-    print("== Comparing the collective model against a single-org model")
-    solo_pipeline = FeaturePipeline().fit(clients[0].train)
-    solo = pretrain(
-        scale.model_config(), clients[0],
-        settings=scale.pretrain_settings, pipeline=solo_pipeline,
+    print(f"== Campaign plan ({args.clients} private orgs, {args.rounds} FedAvg rounds)")
+    print(plan_campaign([spec]).describe(store))
+
+    print("== Running through the campaign engine (weights cross, packets don't)")
+    result = run_campaign([spec], store=store)
+    print(result.format_summary())
+    if not result.ok:
+        raise SystemExit(1)
+
+    (task_id,) = list(result.results)
+    row = result.results[task_id]
+    for round_index, mse in enumerate(row["round_test_mse"]):
+        print(f"   round {round_index}: global test MSE {mse * 1e3:.4f} x1e-3 (unseen org)")
+    print(
+        f"   collective model after {row['rounds']} round(s): "
+        f"{row['global_test_mse'] * 1e3:.4f} x1e-3"
     )
-    # Evaluate both on a fresh, unseen organisation's traffic.
-    held_out = generate_dataset(
-        replace(exp.spec.scenario_config(), seed=999),
-        window_config=scale.window, n_runs=1, name="held-out-org",
+
+    print("== Re-submitting the same spec (served from the artifact store)")
+    again = run_campaign([spec], store=store)
+    print(
+        f"   {again.cache_hits}/{again.summary['total']} task(s) were cache hits; "
+        f"manifest: {again.manifest_path}"
     )
-    federated_mse = evaluate_delay(trainer.global_model, trainer.pipeline, held_out.test)
-    solo_mse = evaluate_delay(solo.model, solo.pipeline, held_out.test)
-    print(f"   federated model on unseen org: {federated_mse * 1e3:.4f} x1e-3")
-    print(f"   single-org model on unseen org: {solo_mse * 1e3:.4f} x1e-3")
 
 
 if __name__ == "__main__":

@@ -7,6 +7,10 @@ Everything an experiment needs lives behind four ideas:
 * :data:`SCENARIOS` / :func:`register_scenario` — the pluggable scenario
   registry (new topologies/workloads register themselves; core code
   never changes);
+* :data:`STAGE_REGISTRY` / :func:`register_stage` — the pluggable
+  pipeline-stage registry: registered stages gain content-addressed
+  caching, worker-pool fan-out, campaign manifests and the
+  ``repro sweep --stages`` CLI for free;
 * :class:`ArtifactStore` — the content-addressed on-disk cache that
   turns repeated runs into disk reads;
 * :class:`Experiment` / :class:`Predictor` — the runner and the batched
@@ -76,10 +80,22 @@ from repro.api.hashing import stable_hash
 from repro.api.predictor import Predictor
 from repro.api.registry import SCENARIOS, ScenarioRegistry, register_scenario
 from repro.api.spec import ExperimentSpec
+from repro.api.stages import (
+    STAGE_REGISTRY,
+    Stage,
+    StageRegistry,
+    inputs_by_stage,
+    register_stage,
+)
 from repro.api.store import ArtifactStore
 
 # Importing the module registers the beyond-the-paper scenarios.
 from repro.api import scenarios as _extra_scenarios  # noqa: F401
+
+# Importing the module registers the built-in pipeline stages, so the
+# re-exported STAGE_REGISTRY is complete for repro.api users (extension
+# stages already registered via the repro.extensions imports above).
+from repro.runtime import stages as _builtin_stages  # noqa: F401
 
 __all__ = [
     # the new facade
@@ -90,6 +106,11 @@ __all__ = [
     "ScenarioRegistry",
     "SCENARIOS",
     "register_scenario",
+    "Stage",
+    "StageRegistry",
+    "STAGE_REGISTRY",
+    "register_stage",
+    "inputs_by_stage",
     "stable_hash",
     # scales and runners
     "ExperimentContext",

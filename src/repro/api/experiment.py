@@ -153,15 +153,23 @@ class Experiment:
         base_config = self.scale.model_config(features=features, aggregation=aggregation)
         key = None
         if self.store is not None:
-            base_key = pretrained_key(
-                self.spec.scenario_config(ScenarioKind.PRETRAIN),
-                self.scale.window,
-                self.scale.n_runs,
-                base_config,
-                self.scale.pretrain_settings,
+            from repro.api.stages import versioned_key
+
+            base_key = versioned_key(
+                "pretrain",
+                pretrained_key(
+                    self.spec.scenario_config(ScenarioKind.PRETRAIN),
+                    self.scale.window,
+                    self.scale.n_runs,
+                    base_config,
+                    self.scale.pretrain_settings,
+                ),
             )
-            key = finetuned_key(
-                base_key, self.spec.scenario_config(scenario), task, mode, fraction, settings
+            key = versioned_key(
+                "finetune",
+                finetuned_key(
+                    base_key, self.spec.scenario_config(scenario), task, mode, fraction, settings
+                ),
             )
             cached = self.store.get_finetuned(key)
             if cached is not None:

@@ -58,6 +58,18 @@ class ExperimentSpec:
         pretrain: pre-training settings override.
         finetune: fine-tuning settings override.
         fine_fraction: the paper's "smaller dataset" fraction.
+        pipeline: optional custom stage pipeline — names of registered
+            sweepable stages (see :data:`repro.api.stages.STAGE_REGISTRY`)
+            planned for this spec instead of the standard chain.  Stage
+            names are validated at planning time, when every stage
+            module has been imported.
+        stage_params: optional per-stage parameter dictionaries, e.g.
+            ``{"federated_pretrain": {"n_clients": 4}}``.  Values must
+            be JSON scalars or (nested) lists/dicts thereof; they are
+            frozen internally so the spec stays hashable.
+
+    ``pipeline`` and ``stage_params`` participate in :attr:`spec_hash`
+    only when set, so every pre-existing spec hashes exactly as before.
     """
 
     scenario: str = "pretrain"
@@ -69,6 +81,8 @@ class ExperimentSpec:
     pretrain: TrainSettings | None = None
     finetune: TrainSettings | None = None
     fine_fraction: float | None = None
+    pipeline: tuple[str, ...] | None = None
+    stage_params: tuple | None = None
 
     def __post_init__(self):
         if self.scenario not in SCENARIOS:
@@ -77,6 +91,15 @@ class ExperimentSpec:
             )
         # Validates the scale name eagerly (raises with the choices).
         get_scale(self.scale)
+        # Normalise the stage fields into hashable canonical forms
+        # (the dataclass is frozen, hence object.__setattr__).
+        if self.pipeline is not None:
+            names = tuple(self.pipeline)
+            if not names or not all(isinstance(name, str) for name in names):
+                raise ValueError("pipeline must be a non-empty sequence of stage names")
+            object.__setattr__(self, "pipeline", names)
+        if self.stage_params is not None:
+            object.__setattr__(self, "stage_params", _freeze_params(self.stage_params))
 
     # -- resolution ---------------------------------------------------------------
 
@@ -104,25 +127,45 @@ class ExperimentSpec:
         scale and seed."""
         return SCENARIOS.build(name or self.scenario, scale=self.scale, seed=self.seed)
 
+    # -- stage parameters ---------------------------------------------------------
+
+    def params_for(self, stage: str) -> dict:
+        """This spec's declared parameters for one stage (thawed copy)."""
+        for name, frozen in self.stage_params or ():
+            if name == stage:
+                return _thaw_value(frozen)
+        return {}
+
     # -- identity -----------------------------------------------------------------
 
     @property
     def spec_hash(self) -> str:
-        """Stable content hash over the *resolved* configuration."""
+        """Stable content hash over the *resolved* configuration.
+
+        ``pipeline`` and ``stage_params`` are folded in only when set,
+        so specs written before the stage API hash identically.
+        """
         scale = self.to_scale()
-        return stable_hash(
-            {
-                "scenario": self.scenario,
-                "scenario_config": self.scenario_config(),
-                "seed": self.seed,
-                "n_runs": scale.n_runs,
-                "window": scale.window,
-                "model": scale.model_config(),
-                "pretrain": scale.pretrain_settings,
-                "finetune": scale.finetune_settings,
-                "fine_fraction": scale.fine_fraction,
-            }
-        )
+        payload = {
+            "scenario": self.scenario,
+            "scenario_config": self.scenario_config(),
+            "seed": self.seed,
+            "n_runs": scale.n_runs,
+            "window": scale.window,
+            "model": scale.model_config(),
+            "pretrain": scale.pretrain_settings,
+            "finetune": scale.finetune_settings,
+            "fine_fraction": scale.fine_fraction,
+        }
+        if self.pipeline is not None:
+            payload["pipeline"] = list(self.pipeline)
+        if self.stage_params is not None:
+            payload["stage_params"] = self.stage_params_dict()
+        return stable_hash(payload)
+
+    def stage_params_dict(self) -> dict:
+        """All stage parameters as a plain ``{stage: {param: value}}``."""
+        return {name: _thaw_value(frozen) for name, frozen in self.stage_params or ()}
 
     def with_overrides(self, **changes) -> "ExperimentSpec":
         """A copy with the given fields replaced."""
@@ -177,6 +220,10 @@ class ExperimentSpec:
             payload["finetune"] = train_settings_to_dict(self.finetune)
         if self.fine_fraction is not None:
             payload["fine_fraction"] = self.fine_fraction
+        if self.pipeline is not None:
+            payload["pipeline"] = list(self.pipeline)
+        if self.stage_params is not None:
+            payload["stage_params"] = self.stage_params_dict()
         return payload
 
     @classmethod
@@ -191,6 +238,63 @@ class ExperimentSpec:
         if "finetune" in kwargs:
             kwargs["finetune"] = train_settings_from_dict(kwargs["finetune"])
         return cls(**kwargs)
+
+
+# -- stage-parameter freezing ------------------------------------------------------
+#
+# ExperimentSpec is frozen and hashable, so per-stage parameter
+# dictionaries are canonicalised into nested tuples on construction and
+# thawed back into dicts/lists on access.  *Every* container carries a
+# leading tag — dicts freeze as sorted ``("__dict__", (key, value), ...)``
+# and lists as ``("__list__", item, ...)`` — so the two types never
+# collide, even when a user list's first element is itself a tag string
+# (freezing always prepends, so literal elements stay at position >= 1).
+
+_DICT_TAG = "__dict__"
+_LIST_TAG = "__list__"
+
+
+def _freeze_value(value):
+    if isinstance(value, dict):
+        return (_DICT_TAG,) + tuple(
+            sorted((str(key), _freeze_value(item)) for key, item in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return (_LIST_TAG,) + tuple(_freeze_value(item) for item in value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"stage parameter values must be JSON scalars, lists or dicts, "
+        f"not {type(value).__name__}"
+    )
+
+
+def _thaw_value(value):
+    if isinstance(value, tuple):
+        if value[:1] == (_DICT_TAG,):
+            return {key: _thaw_value(item) for key, item in value[1:]}
+        if value[:1] == (_LIST_TAG,):
+            return [_thaw_value(item) for item in value[1:]]
+        raise ValueError(f"malformed frozen stage-parameter value: {value!r}")
+    return value
+
+
+def _freeze_params(stage_params) -> tuple:
+    """Canonicalise ``{stage: {param: value}}`` (or an already-frozen
+    form) into the hashable tuple representation."""
+    if isinstance(stage_params, dict):
+        items = sorted(stage_params.items())
+    else:
+        items = [(name, _thaw_value(frozen)) for name, frozen in stage_params]
+    frozen = []
+    for name, params in items:
+        if not isinstance(params, dict):
+            raise TypeError(
+                f"stage_params[{name!r}] must be a parameter dictionary, "
+                f"not {type(params).__name__}"
+            )
+        frozen.append((str(name), _freeze_value(params)))
+    return tuple(frozen)
 
 
 # -- config converters -----------------------------------------------------------

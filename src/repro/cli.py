@@ -6,12 +6,14 @@ Commands mirror the ``repro.api`` workflow:
   experiment facade.
 * ``sweep`` — run a campaign of specs (a scenario × scale × seed grid,
   or a JSON sweep file) through the ``repro.runtime`` engine, optionally
-  on a worker pool (``--workers N``); ``--dry-run`` prints the planned,
-  deduplicated task graph.
+  on a worker pool (``--workers N``); ``--stages`` selects any
+  registered pipeline stages (see ``repro stages``) and ``--dry-run``
+  prints the planned, deduplicated task graph.
 * ``predict`` — serve batched predictions from a checkpoint (or the
   cached pre-trained/fine-tuned model).
 * ``cache`` — inspect or clear the on-disk artifact store.
 * ``scenarios`` — list every registered scenario.
+* ``stages`` — list every registered pipeline stage.
 * ``simulate`` — run one scenario and print a trace report (or save
   the trace as ``.npz``).
 * ``pretrain`` — pre-train an NTT and save a self-describing checkpoint.
@@ -91,8 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--stages", default=None,
-        help="comma-separated stage subset (default: traces,bundle,pretrain,"
-             "finetune,evaluate)",
+        help="comma-separated registered stages (see `repro stages`; "
+             "default: the standard traces,bundle,pretrain,finetune,evaluate "
+             "pipeline)",
     )
     sweep.add_argument(
         "--workers", type=int, default=1, help="worker processes (1 = in-process)"
@@ -126,6 +129,8 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", default=None, help="artifact store root")
 
     sub.add_parser("scenarios", help="list registered scenarios")
+
+    sub.add_parser("stages", help="list registered pipeline stages")
 
     simulate = sub.add_parser("simulate", help="run a scenario simulation")
     _add_common(simulate)
@@ -253,7 +258,7 @@ def _sweep_specs(args):
 
 def _cmd_sweep(args) -> int:
     from repro.api import ArtifactStore
-    from repro.runtime import DEFAULT_STAGES, CampaignEngine, plan_campaign
+    from repro.runtime import CampaignEngine, plan_campaign
 
     specs = _sweep_specs(args)
     if args.epochs is not None:
@@ -264,7 +269,10 @@ def _cmd_sweep(args) -> int:
             )
             for spec in specs
         ]
-    stages = tuple(DEFAULT_STAGES)
+    # None → the registry's standard pipeline; anything else is
+    # validated against the registered sweep stages by plan_campaign,
+    # whose error message lists them.
+    stages = None
     if args.stages is not None:
         stages = tuple(name.strip() for name in args.stages.split(",") if name.strip())
     if args.no_cache:
@@ -347,6 +355,22 @@ def _cmd_scenarios(args) -> int:
     return 0
 
 
+def _cmd_stages(args) -> int:
+    import repro.runtime  # noqa: F401 — registers the built-in stages
+    from repro.api.stages import STAGE_REGISTRY
+
+    for name in STAGE_REGISTRY.sweep_stages():
+        stage = STAGE_REGISTRY.get(name)
+        marker = "*" if stage.default else " "
+        deps = ",".join(stage.deps) if stage.deps else "-"
+        print(
+            f"{marker} {stage.name:20s} v{stage.version}  "
+            f"kind={stage.kind or '-':12s} deps={deps:16s} {stage.description}"
+        )
+    print("(* = standard pipeline; table-only stages not shown)")
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     from repro.analysis.reports import trace_report
     from repro.netsim.scenarios import generate_traces
@@ -406,6 +430,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "cache": _cmd_cache,
     "scenarios": _cmd_scenarios,
+    "stages": _cmd_stages,
     "simulate": _cmd_simulate,
     "pretrain": _cmd_pretrain,
     "evaluate": _cmd_evaluate,

@@ -179,9 +179,10 @@ class ExperimentContext:
         scenario = self.scenario_config(kind)
         key = None
         if self.store is not None:
+            from repro.api.stages import versioned_key
             from repro.api.store import traces_key
 
-            key = traces_key(scenario, self.scale.n_runs)
+            key = versioned_key("traces", traces_key(scenario, self.scale.n_runs))
             cached = self.store.get_traces(key, self.scale.n_runs)
             if cached is not None:
                 return cached
@@ -202,10 +203,14 @@ class ExperimentContext:
             scenario = self.scenario_config(kind)
             key = None
             if self.store is not None:
+                from repro.api.stages import versioned_key
                 from repro.api.store import bundle_key
 
-                key = bundle_key(
-                    scenario, self.scale.window, self.scale.n_runs, receiver_index
+                key = versioned_key(
+                    "bundle",
+                    bundle_key(
+                        scenario, self.scale.window, self.scale.n_runs, receiver_index
+                    ),
                 )
                 cached = self.store.get_bundle(key)
                 if cached is not None:
@@ -239,14 +244,18 @@ class ExperimentContext:
             return self._pretrain_variants[memo_key]
         key = None
         if self.store is not None:
+            from repro.api.stages import versioned_key
             from repro.api.store import pretrained_key
 
-            key = pretrained_key(
-                self.scenario_config(ScenarioKind.PRETRAIN),
-                self.scale.window,
-                self.scale.n_runs,
-                config,
-                settings,
+            key = versioned_key(
+                "pretrain",
+                pretrained_key(
+                    self.scenario_config(ScenarioKind.PRETRAIN),
+                    self.scale.window,
+                    self.scale.n_runs,
+                    config,
+                    settings,
+                ),
             )
             cached = self.store.get_pretrained(key)
             if cached is not None:

@@ -5,9 +5,22 @@
   averaging, so organisations share models instead of traces.
 * :mod:`repro.extensions.continual` — "Continual learning": decide when
   a deployed (fine-tuned) NTT has gone stale and should be re-trained.
+
+Both workloads register first-class pipeline stages
+(``federated_pretrain`` and ``drift_monitor``, in
+:mod:`repro.extensions.stages`) in the
+:data:`~repro.api.stages.STAGE_REGISTRY`, so they plan, cache,
+parallelise and manifest through the :mod:`repro.runtime` campaign
+engine — ``repro sweep --stages federated_pretrain`` — exactly like the
+built-in traces→…→evaluate chain.
 """
 
 from repro.extensions.federated import FederatedTrainer, federated_average
 from repro.extensions.continual import DriftMonitor, DriftReport
+
+# Imported last: stage registration pulls in repro.api submodules, which
+# federated/continual must not (repro.api re-exports them — see the
+# repro.extensions.stages docstring).
+from repro.extensions import stages as _stages  # noqa: F401
 
 __all__ = ["FederatedTrainer", "federated_average", "DriftMonitor", "DriftReport"]

@@ -10,6 +10,14 @@ The detector is a Page-Hinkley test over the per-window squared error —
 a standard sequential change-point detector that accumulates deviations
 above the baseline mean and flags when the cumulative excess crosses a
 threshold, robust to isolated outliers.
+
+The monitoring loop is also exposed as the registered ``drift_monitor``
+pipeline stage (see :mod:`repro.extensions.stages`): it deploys the
+spec's pre-trained model (planned as a real ``pretrain`` dependency, so
+the checkpoint comes from the store) and reports whether the spec's
+scenario has drifted away from the pre-training distribution — cached,
+sweepable and manifest-producing like every other stage
+(``repro sweep --scenarios case1 --stages drift_monitor``).
 """
 
 from __future__ import annotations

@@ -13,6 +13,13 @@ loop with FedAvg [McMahan et al. 2017]:
    the next global model.
 
 Only state dicts cross the client boundary — never packets.
+
+The loop is also exposed as the registered ``federated_pretrain``
+pipeline stage (see :mod:`repro.extensions.stages`), so federated
+pre-training plans, caches (the collective model lands in the checkpoint
+store), parallelises and manifests through the :mod:`repro.runtime`
+campaign engine exactly like the built-in pipeline —
+``repro sweep --stages federated_pretrain`` runs it.
 """
 
 from __future__ import annotations

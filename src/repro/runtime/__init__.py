@@ -7,6 +7,12 @@ evaluate, collapsed by artifact-store key so shared stages run once),
 and executes the graph either in-process or on a worker pool, with
 retries, per-task spawned seed sequences and a JSON campaign manifest.
 
+Pipelines are composed of *registered stages*
+(:data:`~repro.api.stages.STAGE_REGISTRY`): the built-in chain, the
+§5 extension stages (``federated_pretrain``, ``drift_monitor``) and any
+stage registered through :func:`~repro.api.stages.register_stage` all
+plan, cache, parallelise and manifest identically.
+
 Quickstart::
 
     from repro.runtime import expand_grid, run_campaign
@@ -18,13 +24,14 @@ Quickstart::
     print(result.manifest_path)             # the JSON manifest
 
 The same engine backs ``repro sweep``, the paper's table runners and
-the benchmark fan-outs.
+the benchmark fan-outs.  The legacy stage tuples (``DEFAULT_STAGES``,
+``SWEEP_STAGES``, ``STAGES``) remain importable as deprecation shims
+derived from the registry.
 """
 
+from repro.api.stages import STAGE_REGISTRY, Stage, register_stage
 from repro.runtime.engine import CampaignEngine, CampaignResult, run_campaign
 from repro.runtime.plan import (
-    DEFAULT_STAGES,
-    STAGES,
     CampaignPlan,
     StageTask,
     plan_campaign,
@@ -47,6 +54,19 @@ __all__ = [
     "specs_from_file",
     "execute_stage",
     "run_task",
+    "Stage",
+    "STAGE_REGISTRY",
+    "register_stage",
     "DEFAULT_STAGES",
+    "SWEEP_STAGES",
     "STAGES",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecation shims: live views of the registry (see repro.runtime.plan).
+    if name in ("DEFAULT_STAGES", "SWEEP_STAGES", "STAGES"):
+        from repro.runtime import plan
+
+        return getattr(plan, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -179,10 +179,24 @@ class CampaignEngine:
     def _attempts(self) -> int:
         return self.retries + 1
 
-    def _execute_with_retry(self, plan, task, store_root, experiment) -> dict:
+    @staticmethod
+    def _dep_inputs(task: StageTask, records: dict) -> dict:
+        """Completed dependency results, keyed by dependency task id
+        (the ``inputs`` argument of the stage contract)."""
+        inputs = {}
+        for dep in task.deps:
+            record = records.get(dep)
+            if record is not None and record["status"] == "done":
+                inputs[dep] = record["result"]
+        return inputs
+
+    def _execute_with_retry(self, plan, task, store_root, experiment, inputs) -> dict:
         record = None
         for attempt in range(self._attempts()):
-            record = run_task(task.payload(store_root, plan.seed, attempt), experiment=experiment)
+            record = run_task(
+                task.payload(store_root, plan.seed, attempt, inputs=inputs),
+                experiment=experiment,
+            )
             record["attempts"] = attempt + 1
             if record["status"] == "done":
                 break
@@ -205,7 +219,8 @@ class CampaignEngine:
                 else:
                     experiments[spec_hash] = Experiment(task.spec, store=self.store)
             records[task.id] = self._execute_with_retry(
-                plan, task, store_root, experiments[spec_hash]
+                plan, task, store_root, experiments[spec_hash],
+                self._dep_inputs(task, records),
             )
         return records
 
@@ -243,8 +258,13 @@ class CampaignEngine:
                         continue
                     attempt = attempts.get(task_id, 0)
                     attempts[task_id] = attempt + 1
+                    task = by_id[task_id]
                     future = pool.submit(
-                        run_task, by_id[task_id].payload(store_root, plan.seed, attempt)
+                        run_task,
+                        task.payload(
+                            store_root, plan.seed, attempt,
+                            inputs=self._dep_inputs(task, records),
+                        ),
                     )
                     in_flight[future] = task_id
                 ready = []
@@ -382,8 +402,6 @@ def run_campaign(
     context=None,
 ) -> CampaignResult:
     """Plan and run the standard pipeline over ``specs`` in one call."""
-    from repro.runtime.plan import DEFAULT_STAGES
-
-    plan = plan_campaign(specs, stages=tuple(stages or DEFAULT_STAGES), seed=seed)
+    plan = plan_campaign(specs, stages=None if stages is None else tuple(stages), seed=seed)
     engine = CampaignEngine(store=store, workers=workers, retries=retries)
     return engine.run(plan, context=context)

@@ -1,9 +1,17 @@
 """Campaign planning: specs → a deduplicated stage-task graph.
 
 A campaign turns a set of :class:`~repro.api.spec.ExperimentSpec`\\ s
-into :class:`StageTask`\\ s along the experiment pipeline::
+into :class:`StageTask`\\ s along the experiment pipeline.  The standard
+pipeline::
 
     traces → bundle → pretrain → finetune → evaluate
+
+is no longer hard-coded: every stage — built-in, extension or
+user-registered — lives in the
+:data:`~repro.api.stages.STAGE_REGISTRY`, and the planner reads stage
+sets, cache kinds, keys and versions from it.  A spec may also carry its
+own ``pipeline`` (any sweepable registered stages) plus per-stage
+``stage_params``; both participate in the spec's content hash.
 
 Tasks are deduplicated by the same content-addressed keys the
 :class:`~repro.api.store.ArtifactStore` uses, so two specs sharing a
@@ -18,6 +26,10 @@ via ``spawn`` at planning time (deterministic in the plan, independent
 of execution order), covering engine-level randomness such as retry
 backoff.  Stage-level randomness always comes from the spec itself —
 that is what keys the cache.
+
+The pre-registry stage tuples (``DEFAULT_STAGES``, ``SWEEP_STAGES``,
+``STAGES``) remain importable as deprecation shims computed from the
+registry at access time; new code should call the registry directly.
 """
 
 from __future__ import annotations
@@ -26,8 +38,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+# Importing the module registers the built-in stages.
+import repro.runtime.stages  # noqa: F401
 from repro.api.hashing import stable_hash
 from repro.api.spec import ExperimentSpec
+from repro.api.stages import STAGE_REGISTRY
 from repro.api.store import (
     evaluation_key,
     finetuned_key,
@@ -35,9 +50,9 @@ from repro.api.store import (
     scratch_key,
     traces_key,
 )
-from repro.core.features import FeatureSpec
 from repro.core.finetune import FinetuneMode
 from repro.netsim.scenarios import ScenarioKind
+from repro.runtime.stages import resolve_variant
 
 __all__ = [
     "StageTask",
@@ -51,49 +66,28 @@ __all__ = [
     "STAGES",
 ]
 
-#: The sweep pipeline, in dependency order.
-DEFAULT_STAGES = ("traces", "bundle", "pretrain", "finetune", "evaluate")
-
-#: Stages :func:`plan_campaign` can plan directly (`scratch` and
-#: `baselines` are planned by the table planners only).
-SWEEP_STAGES = DEFAULT_STAGES + ("trace_stats",)
-
-#: Every stage the worker knows how to execute.
-STAGES = DEFAULT_STAGES + ("scratch", "baselines", "trace_stats")
-
-#: Feature-ablation tokens (kept symbolic so task parameters stay JSON).
-_FEATURE_VARIANTS = {
-    "without_size": FeatureSpec.without_size,
-    "without_delay": FeatureSpec.without_delay,
-    "without_receiver": FeatureSpec.without_receiver,
-}
+#: Stage names whose planning is orchestrated as one chain by
+#: :func:`_plan_spec` (conditional dependencies, ablation coupling);
+#: every other registered stage plans generically via its entry.
+_CHAIN_STAGES = ("traces", "bundle", "pretrain", "finetune", "evaluate", "trace_stats")
 
 
-def resolve_variant(scale, features: str | None, aggregation: str | None):
-    """Symbolic ablation tokens → the concrete config objects.
+def __getattr__(name: str):
+    # Deprecation shims: the pre-registry tuples, now derived from the
+    # registry so late-registered stages (extensions, user plugins)
+    # appear automatically.
+    if name == "DEFAULT_STAGES":
+        return STAGE_REGISTRY.default_pipeline()
+    if name == "SWEEP_STAGES":
+        return STAGE_REGISTRY.sweep_stages()
+    if name == "STAGES":
+        return STAGE_REGISTRY.all_stages()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    ``features`` names a :class:`FeatureSpec` ablation constructor;
-    ``aggregation`` names an entry of ``scale.aggregation_variants``.
-    """
-    feature_spec = None
-    if features is not None:
-        try:
-            feature_spec = _FEATURE_VARIANTS[features]()
-        except KeyError:
-            raise ValueError(
-                f"unknown feature variant {features!r}; "
-                f"choose from {sorted(_FEATURE_VARIANTS)}"
-            ) from None
-    aggregation_spec = None
-    if aggregation is not None:
-        try:
-            aggregation_spec = scale.aggregation_variants[aggregation]
-        except KeyError:
-            raise ValueError(
-                f"unknown aggregation variant {aggregation!r}; "
-                f"choose from {sorted(scale.aggregation_variants)}"
-            ) from None
-    return feature_spec, aggregation_spec
+
+def _versioned(stage_name: str, base: str | None) -> str | None:
+    """A stage's cache key with its registered version folded in."""
+    return STAGE_REGISTRY.get(stage_name).versioned_key(base)
 
 
 def spec_for_scale(scale, seed: int = 0, scenario: str = "pretrain") -> ExperimentSpec:
@@ -133,13 +127,22 @@ class StageTask:
     spec_hashes: tuple[str, ...] = ()
     #: ``SeedSequence`` spawn key assigned at planning time.
     spawn_key: tuple[int, ...] = ()
+    #: module defining the stage's ``run`` (worker-process provenance).
+    module: str = ""
 
-    def payload(self, store_root: str | None, seed: int, attempt: int = 0) -> dict:
+    def payload(
+        self,
+        store_root: str | None,
+        seed: int,
+        attempt: int = 0,
+        inputs: dict | None = None,
+    ) -> dict:
         """The picklable/JSON form handed to workers.
 
         ``attempt`` counts prior failures; workers apply a jittered
         backoff (derived from the task's spawned seed sequence, so it is
-        reproducible) before a retry executes.
+        reproducible) before a retry executes.  ``inputs`` maps this
+        task's dependency ids to their result dictionaries.
         """
         return {
             "id": self.id,
@@ -152,6 +155,8 @@ class StageTask:
             "seed_entropy": seed,
             "spawn_key": list(self.spawn_key),
             "attempt": attempt,
+            "inputs": dict(inputs or {}),
+            "stage_module": self.module,
         }
 
 
@@ -185,12 +190,11 @@ class CampaignPlan:
     ) -> str:
         """Add (or merge into) a task; returns its id.
 
-        Tasks are identified by ``stage`` + cache key — the same key
-        planned from two specs collapses into one task whose
-        ``spec_hashes`` records both.
+        ``stage`` must be registered.  Tasks are identified by ``stage``
+        + cache key — the same key planned from two specs collapses into
+        one task whose ``spec_hashes`` records both.
         """
-        if stage not in STAGES:
-            raise ValueError(f"unknown stage {stage!r}; choose from {STAGES}")
+        entry = STAGE_REGISTRY.get(stage)  # raises with registered names
         params = dict(params or {})
         digest = key if key is not None else stable_hash(
             {"spec": spec.spec_hash, "params": params}
@@ -213,6 +217,7 @@ class CampaignPlan:
             key=key,
             deps=tuple(dict.fromkeys(deps)),
             spec_hashes=(spec_hash,),
+            module=entry.module,
         )
         return task_id
 
@@ -257,21 +262,28 @@ class CampaignPlan:
 
 def plan_campaign(
     specs: list[ExperimentSpec],
-    stages: tuple[str, ...] = DEFAULT_STAGES,
+    stages: tuple[str, ...] | None = None,
     seed: int = 0,
 ) -> CampaignPlan:
-    """Plan the standard pipeline for every spec, deduplicated by key.
+    """Plan the pipeline for every spec, deduplicated by key.
 
     ``stages`` restricts the pipeline (e.g. ``("traces",)`` plans a
-    simulation-only sweep, ``("trace_stats",)`` a statistics fan-out).
+    simulation-only sweep, ``("trace_stats",)`` a statistics fan-out,
+    ``("federated_pretrain",)`` a registered extension stage); the
+    default is the registry's standard pipeline.  A spec carrying its
+    own ``pipeline`` overrides the campaign-level selection for that
+    spec.
     """
-    unknown = set(stages) - set(SWEEP_STAGES)
-    if unknown:
-        raise ValueError(f"unknown stages {sorted(unknown)}; choose from {SWEEP_STAGES}")
+    if stages is None:
+        stages = STAGE_REGISTRY.default_pipeline()
+    _validate_sweep_stages(tuple(stages))
     plan = CampaignPlan(specs, seed=seed)
     for spec in specs:
+        pipeline = tuple(spec.pipeline) if spec.pipeline is not None else tuple(stages)
+        if spec.pipeline is not None:
+            _validate_sweep_stages(pipeline)
         before = len(plan.tasks)
-        _plan_spec(plan, spec, set(stages))
+        _plan_spec(plan, spec, set(pipeline))
         shared = any(
             spec.spec_hash in task.spec_hashes for task in plan.tasks.values()
         )
@@ -279,11 +291,29 @@ def plan_campaign(
             # e.g. stages=("evaluate",) without the model stages: refuse
             # to "succeed" with an empty campaign.
             raise ValueError(
-                f"stages {tuple(stages)} plan no work for spec "
+                f"stages {pipeline} plan no work for spec "
                 f"{spec.scenario!r}; downstream stages need their "
-                f"upstream stages (try the default {DEFAULT_STAGES})"
+                f"upstream stages (try the default "
+                f"{STAGE_REGISTRY.default_pipeline()})"
             )
     return plan.finalise()
+
+
+def _validate_sweep_stages(stages: tuple[str, ...]) -> None:
+    """Reject stage names that are unregistered or table-only, listing
+    the registered sweepable stages."""
+    allowed = STAGE_REGISTRY.sweep_stages()
+    unknown = set(stages) - set(allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown stages {sorted(unknown)}; choose from the registered "
+            f"sweep stages {allowed}"
+        )
+
+
+def _stage_params(spec: ExperimentSpec, name: str) -> dict:
+    """The spec's declared parameters for one stage (may be empty)."""
+    return spec.params_for(name)
 
 
 def _plan_traces(plan: CampaignPlan, spec: ExperimentSpec, scenario: str) -> str:
@@ -293,7 +323,7 @@ def _plan_traces(plan: CampaignPlan, spec: ExperimentSpec, scenario: str) -> str
         spec,
         {"scenario": scenario},
         kind="traces",
-        key=traces_key(spec.scenario_config(scenario), scale.n_runs),
+        key=_versioned("traces", traces_key(spec.scenario_config(scenario), scale.n_runs)),
     )
 
 
@@ -330,7 +360,7 @@ def _plan_bundle(
         spec,
         {"scenario": scenario},
         kind="bundles",
-        key=surrogate,
+        key=_versioned("bundle", surrogate),
         deps=tuple(deps),
     )
 
@@ -338,12 +368,15 @@ def _plan_bundle(
 def _base_pretrained_key(spec: ExperimentSpec, features=None, aggregation=None) -> str:
     scale = spec.to_scale()
     feature_spec, aggregation_spec = resolve_variant(scale, features, aggregation)
-    return pretrained_key(
-        spec.scenario_config(ScenarioKind.PRETRAIN),
-        scale.window,
-        scale.n_runs,
-        scale.model_config(features=feature_spec, aggregation=aggregation_spec),
-        scale.pretrain_settings,
+    return _versioned(
+        "pretrain",
+        pretrained_key(
+            spec.scenario_config(ScenarioKind.PRETRAIN),
+            scale.window,
+            scale.n_runs,
+            scale.model_config(features=feature_spec, aggregation=aggregation_spec),
+            scale.pretrain_settings,
+        ),
     )
 
 
@@ -382,13 +415,16 @@ def _plan_finetune(
     deps = [_plan_pretrain(plan, spec, stages, features, aggregation)]
     if "bundle" in stages:
         deps.append(_plan_bundle(plan, spec, scenario, stages))
-    key = finetuned_key(
-        _base_pretrained_key(spec, features, aggregation),
-        spec.scenario_config(scenario),
-        task,
-        mode,
-        fraction,
-        scale.finetune_settings,
+    key = _versioned(
+        "finetune",
+        finetuned_key(
+            _base_pretrained_key(spec, features, aggregation),
+            spec.scenario_config(scenario),
+            task,
+            mode,
+            fraction,
+            scale.finetune_settings,
+        ),
     )
     return plan.add(
         "finetune",
@@ -408,7 +444,8 @@ def _plan_finetune(
 
 
 def _plan_spec(plan: CampaignPlan, spec: ExperimentSpec, stages: set) -> None:
-    """The standard per-spec chain, honouring the stage filter."""
+    """Plan one spec: the built-in chain for the stages it covers, then
+    every other registered stage generically."""
     scenario = spec.scenario
     if "trace_stats" in stages:
         plan.add("trace_stats", spec, {"scenario": scenario})
@@ -432,9 +469,55 @@ def _plan_spec(plan: CampaignPlan, spec: ExperimentSpec, stages: set) -> None:
             spec,
             {"scenario": scenario, "task": "delay"},
             kind="evaluations",
-            key=evaluation_key(model_key, spec.scenario_config(scenario), "delay"),
+            key=_versioned(
+                "evaluate",
+                evaluation_key(model_key, spec.scenario_config(scenario), "delay"),
+            ),
             deps=(model_task,),
         )
+    # Registered non-chain stages (extensions, user plugins), planned in
+    # registration order for determinism.
+    for name in STAGE_REGISTRY.all_stages():
+        if name in stages and name not in _CHAIN_STAGES:
+            _plan_registered(plan, spec, name)
+
+
+def _plan_registered(plan: CampaignPlan, spec: ExperimentSpec, name: str) -> str:
+    """Generic planning for a registered stage: plan its declared
+    dependencies recursively, then add one task keyed by the stage's
+    versioned content address."""
+    stage = STAGE_REGISTRY.get(name)
+    if stage.plan_fn is not None:
+        return stage.plan_fn(plan, spec, _stage_params(spec, name))
+    deps = tuple(_plan_dep(plan, spec, dep) for dep in stage.deps)
+    params = _stage_params(spec, name)
+    key = stage.task_key(spec, params)
+    return plan.add(name, spec, params, kind=stage.kind, key=key, deps=deps)
+
+
+def _plan_dep(plan: CampaignPlan, spec: ExperimentSpec, name: str) -> str:
+    """Plan one dependency stage for a spec.
+
+    Chain stages route through their bespoke planners with the full
+    standard pipeline active (a custom stage depending on ``pretrain``
+    gets the whole traces→bundle→pretrain chain); other registered
+    stages recurse through :func:`_plan_registered`.
+    """
+    chain = set(STAGE_REGISTRY.default_pipeline())
+    if name == "traces":
+        return _plan_traces(plan, spec, spec.scenario)
+    if name == "bundle":
+        return _plan_bundle(plan, spec, spec.scenario, chain)
+    if name == "pretrain":
+        return _plan_pretrain(plan, spec, chain)
+    if name == "finetune":
+        return _plan_finetune(plan, spec, spec.scenario, chain)
+    if name in _CHAIN_STAGES:
+        raise ValueError(
+            f"stage {name!r} cannot be declared as a dependency; depend on "
+            "'traces', 'bundle', 'pretrain' or 'finetune' instead"
+        )
+    return _plan_registered(plan, spec, name)
 
 
 # -- table planning ---------------------------------------------------------------
@@ -468,13 +551,16 @@ def _plan_scratch(
     scale = spec.to_scale()
     deps = [_plan_pretrain(plan, spec, stages)]  # donates the fitted pipeline
     deps.append(_plan_bundle(plan, spec, scenario, stages))
-    key = scratch_key(
-        _base_pretrained_key(spec),
-        spec.scenario_config(scenario),
-        task,
-        fraction,
-        scale.model_config(),
-        scale.finetune_settings,
+    key = _versioned(
+        "scratch",
+        scratch_key(
+            _base_pretrained_key(spec),
+            spec.scenario_config(scenario),
+            task,
+            fraction,
+            scale.model_config(),
+            scale.finetune_settings,
+        ),
     )
     return plan.add(
         "scratch",
@@ -489,14 +575,17 @@ def _plan_scratch(
 def _plan_baselines(plan: CampaignPlan, spec: ExperimentSpec, scenario: str, stages: set) -> str:
     scale = spec.to_scale()
     deps = (_plan_bundle(plan, spec, scenario, stages),)
-    key = evaluation_key(
+    key = _versioned(
         "baselines",
-        {
-            "scenario": spec.scenario_config(scenario),
-            "window": scale.window,
-            "n_runs": scale.n_runs,
-        },
-        "baselines",
+        evaluation_key(
+            "baselines",
+            {
+                "scenario": spec.scenario_config(scenario),
+                "window": scale.window,
+                "n_runs": scale.n_runs,
+            },
+            "baselines",
+        ),
     )
     return plan.add(
         "baselines",
@@ -518,7 +607,7 @@ TABLE1_VARIANTS = {
 
 
 def _plan_table1(plan: CampaignPlan, spec: ExperimentSpec) -> dict:
-    stages = set(DEFAULT_STAGES)
+    stages = set(STAGE_REGISTRY.default_pipeline())
     fraction = spec.to_scale().fine_fraction
     case1 = ScenarioKind.CASE1
     layout = {
@@ -545,7 +634,7 @@ def _plan_table1(plan: CampaignPlan, spec: ExperimentSpec) -> dict:
 
 
 def _plan_table2(plan: CampaignPlan, spec: ExperimentSpec) -> dict:
-    stages = set(DEFAULT_STAGES)
+    stages = set(STAGE_REGISTRY.default_pipeline())
     fraction = spec.to_scale().fine_fraction
     case1 = ScenarioKind.CASE1
     return {
@@ -558,7 +647,7 @@ def _plan_table2(plan: CampaignPlan, spec: ExperimentSpec) -> dict:
 
 
 def _plan_table3(plan: CampaignPlan, spec: ExperimentSpec) -> dict:
-    stages = set(DEFAULT_STAGES)
+    stages = set(STAGE_REGISTRY.default_pipeline())
     fraction = spec.to_scale().fine_fraction
     case2 = ScenarioKind.CASE2
     full = FinetuneMode.FULL

@@ -1,0 +1,348 @@
+"""Built-in stage implementations, registered in the stage registry.
+
+The eight stages that used to live in a private dictionary inside
+:mod:`repro.runtime.worker` are now first-class
+:class:`~repro.api.stages.Stage` plugins: the planner
+(:mod:`repro.runtime.plan`) reads their kind/key/version from the
+registry, the worker dispatches through it, and custom stages registered
+with :func:`~repro.api.stages.register_stage` ride the exact same rails.
+
+Every stage body has the signature ``run(experiment, inputs, params)``
+and returns ``(cache_hit, result)`` where ``result`` is a flat JSON-able
+dictionary (it crosses process boundaries and lands in the campaign
+manifest).  ``inputs`` maps dependency task ids to their result
+dictionaries; the built-in stages ignore it — heavy artifacts flow
+through the content-addressed store, not the task graph — but custom
+stages are free to consume it (see
+:func:`~repro.api.stages.inputs_by_stage`).
+
+All built-in stages carry ``version=0``: the seed version, which leaves
+their cache keys exactly as before the stage API existed.  Bump a
+stage's version after editing its code to invalidate that stage's
+artifacts (and everything keyed off them) without touching the rest of
+the cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.stages import STAGE_REGISTRY, register_stage, versioned_key
+from repro.api.store import bundle_key
+from repro.core.baselines import evaluate_baselines
+from repro.core.features import FeaturePipeline, FeatureSpec
+from repro.core.finetune import train_delay_from_scratch, train_mct_from_scratch
+from repro.netsim.scenarios import ScenarioKind, build_scenario, run_scenario
+from repro.utils.stats import percentile_summary
+
+__all__ = ["resolve_variant"]
+
+#: Feature-ablation tokens (kept symbolic so task parameters stay JSON).
+_FEATURE_VARIANTS = {
+    "without_size": FeatureSpec.without_size,
+    "without_delay": FeatureSpec.without_delay,
+    "without_receiver": FeatureSpec.without_receiver,
+}
+
+
+def resolve_variant(scale, features: str | None, aggregation: str | None):
+    """Symbolic ablation tokens → the concrete config objects.
+
+    ``features`` names a :class:`FeatureSpec` ablation constructor;
+    ``aggregation`` names an entry of ``scale.aggregation_variants``.
+    """
+    feature_spec = None
+    if features is not None:
+        try:
+            feature_spec = _FEATURE_VARIANTS[features]()
+        except KeyError:
+            raise ValueError(
+                f"unknown feature variant {features!r}; "
+                f"choose from {sorted(_FEATURE_VARIANTS)}"
+            ) from None
+    aggregation_spec = None
+    if aggregation is not None:
+        try:
+            aggregation_spec = scale.aggregation_variants[aggregation]
+        except KeyError:
+            raise ValueError(
+                f"unknown aggregation variant {aggregation!r}; "
+                f"choose from {sorted(scale.aggregation_variants)}"
+            ) from None
+    return feature_spec, aggregation_spec
+
+
+# -- the standard pipeline --------------------------------------------------------
+#
+# Planning for these stages is bespoke (conditional dependencies, the
+# pre-training receiver coupling, ablation variants): repro.runtime.plan
+# orchestrates them as one chain (_plan_spec / _plan_dep) rather than
+# through the generic per-entry planner, and custom stages may declare
+# dependencies on 'traces' / 'bundle' / 'pretrain' / 'finetune' to pull
+# that chain in.  The registry entries below own everything else:
+# dispatch, kind, version, and the stage sets the shims derive from.
+
+
+@register_stage(
+    "traces",
+    kind="traces",
+    default=True,
+    description="raw simulation traces for one scenario",
+)
+def _stage_traces(experiment, inputs, params):
+    store, key = experiment.store, params["key"]
+    n_runs = experiment.scale.n_runs
+    if store is not None and store.has_traces(key, n_runs):
+        # Cache hit: report run-set statistics straight from the
+        # sidecar — no npz is loaded just for manifest bookkeeping.
+        meta = store.trace_run_meta(key) or {}
+        if "total_packets" in meta:
+            return True, {
+                "n_runs": n_runs,
+                "total_packets": int(meta["total_packets"]),
+            }
+        traces = store.get_traces(key, n_runs)
+        return True, {
+            "n_runs": len(traces),
+            "total_packets": int(sum(len(trace) for trace in traces)),
+        }
+    if store is None:
+        traces = experiment.traces(params["scenario"])
+        return False, {
+            "n_runs": len(traces),
+            "total_packets": int(sum(len(trace) for trace in traces)),
+        }
+    # Cache miss with a store: stream each run's columns straight to
+    # disk as it is generated, instead of materialising the whole run
+    # set in memory first.  The sidecar published last keeps partial
+    # writes invisible to readers.
+    config = experiment.spec.scenario_config(params["scenario"])
+    total_packets = 0
+    for run_index in range(n_runs):
+        trace = run_scenario(config, run_index)
+        store.put_trace_run(key, run_index, trace)
+        total_packets += len(trace)
+    store.finalize_trace_runs(key, n_runs, total_packets=total_packets)
+    return False, {"n_runs": n_runs, "total_packets": total_packets}
+
+
+@register_stage(
+    "bundle",
+    deps=("traces",),
+    kind="bundles",
+    default=True,
+    description="windowed dataset bundle for one scenario",
+)
+def _stage_bundle(experiment, inputs, params):
+    scenario = params["scenario"]
+    store = experiment.store
+    hit = False
+    if store is not None:
+        # The real key needs the pre-training receiver index, which the
+        # dependency on the pre-training bundle has already produced.
+        # Versioned exactly like the storage path (ExperimentContext
+        # .bundle), so hit accounting tracks a stage-version bump.
+        receiver_index = None
+        if scenario != ScenarioKind.PRETRAIN:
+            receiver_index = experiment.bundle(ScenarioKind.PRETRAIN).receiver_index
+        key = versioned_key(
+            "bundle",
+            bundle_key(
+                experiment.spec.scenario_config(scenario),
+                experiment.scale.window,
+                experiment.scale.n_runs,
+                receiver_index,
+            ),
+        )
+        hit = store.is_current("bundles", key)
+    bundle = experiment.bundle(scenario)
+    return hit, {
+        "n_windows": bundle.n_windows,
+        "n_packets": bundle.n_packets,
+        "n_receivers": len(bundle.receiver_index),
+    }
+
+
+@register_stage(
+    "pretrain",
+    deps=("bundle",),
+    kind="checkpoints",
+    default=True,
+    description="pre-train the shared NTT (or an ablated variant)",
+)
+def _stage_pretrain(experiment, inputs, params):
+    store, key = experiment.store, params["key"]
+    hit = store is not None and store.is_current("checkpoints", key)
+    features, aggregation = resolve_variant(
+        experiment.scale, params.get("features"), params.get("aggregation")
+    )
+    if features is None and aggregation is None:
+        result = experiment.pretrained()
+    else:
+        result = experiment.pretrain_variant(features=features, aggregation=aggregation)
+    return hit, {
+        "test_mse_seconds2": result.test_mse_seconds2,
+        "epochs_run": result.history.epochs_run,
+        "train_wall_time_s": result.history.wall_time,
+    }
+
+
+def _summarise_finetune(result) -> dict:
+    return {
+        "test_mse": result.test_mse,
+        "training_time_s": result.training_time,
+        "mode": result.mode,
+        "task": result.task,
+    }
+
+
+@register_stage(
+    "finetune",
+    deps=("pretrain", "bundle"),
+    kind="checkpoints",
+    default=True,
+    description="fine-tune the pre-trained NTT on a target scenario",
+)
+def _stage_finetune(experiment, inputs, params):
+    store, key = experiment.store, params["key"]
+    hit = store is not None and store.is_current("checkpoints", key)
+    features, aggregation = resolve_variant(
+        experiment.scale, params.get("features"), params.get("aggregation")
+    )
+    result = experiment.finetuned(
+        scenario=params["scenario"],
+        task=params.get("task", "delay"),
+        mode=params.get("mode", "decoder_only"),
+        fraction=params.get("fraction"),
+        features=features,
+        aggregation=aggregation,
+    )
+    return hit, _summarise_finetune(result)
+
+
+@register_stage(
+    "scratch",
+    deps=("pretrain", "bundle"),
+    kind="checkpoints",
+    sweepable=False,
+    description="the paper's from-scratch rows (table planners only)",
+)
+def _stage_scratch(experiment, inputs, params):
+    """The paper's from-scratch rows: full training, no pre-trained
+    weights, but normalised by the pre-training pipeline."""
+    store, key = experiment.store, params["key"]
+    if store is not None and key is not None:
+        cached = store.get_finetuned(key)
+        if cached is not None:
+            return True, _summarise_finetune(cached[0])
+    task = params.get("task", "delay")
+    pre = experiment.pretrained()
+    bundle = experiment.bundle(params["scenario"])
+    fraction = params.get("fraction")
+    if fraction is not None:
+        bundle = bundle.small_fraction(fraction)
+    config = experiment.scale.model_config()
+    settings = experiment.scale.finetune_settings
+    if task == "delay":
+        pipeline = pre.pipeline
+        result = train_delay_from_scratch(config, pipeline, bundle, settings=settings)
+    else:
+        # Isolated MCT scaler, mirroring Experiment's fine-tune path.
+        pipeline = FeaturePipeline()
+        pipeline.feature_scaler = pre.pipeline.feature_scaler
+        pipeline.message_size_scaler = pre.pipeline.message_size_scaler
+        result = train_mct_from_scratch(config, pipeline, bundle, settings=settings)
+    if store is not None and key is not None:
+        store.put_finetuned(key, result, pipeline)
+    return False, _summarise_finetune(result)
+
+
+@register_stage(
+    "baselines",
+    deps=("bundle",),
+    kind="evaluations",
+    sweepable=False,
+    description="naive baseline evaluations (table planners only)",
+)
+def _stage_baselines(experiment, inputs, params):
+    store, key = experiment.store, params["key"]
+    if store is not None and key is not None:
+        cached = store.get_json("evaluations", key)
+        if cached is not None:
+            return True, cached
+    rows = evaluate_baselines(experiment.bundle(params["scenario"]).test)
+    payload = {"scenario": params["scenario"], "rows": rows}
+    if store is not None and key is not None:
+        store.put_json("evaluations", key, payload)
+    return False, payload
+
+
+@register_stage(
+    "evaluate",
+    deps=("finetune",),
+    kind="evaluations",
+    default=True,
+    description="the spec's model vs. the naive baselines on its test set",
+)
+def _stage_evaluate(experiment, inputs, params):
+    """Terminal sweep stage: the spec's model vs. the naive baselines on
+    its scenario's held-out test set (cached as a JSON evaluation)."""
+    store, key = experiment.store, params["key"]
+    if store is not None and key is not None:
+        cached = store.get_json("evaluations", key)
+        if cached is not None:
+            return True, cached
+    scenario = params["scenario"]
+    task = params.get("task", "delay")
+    if scenario == ScenarioKind.PRETRAIN and task == "delay":
+        predictor = experiment.predictor(scenario=scenario)
+    else:
+        predictor = experiment.predictor(
+            scenario=scenario, task=task, mode=params.get("mode", "decoder_only")
+        )
+    test = experiment.bundle(scenario).test
+    if task == "mct":
+        test = test.with_completed_messages_only()
+    predictions = predictor.predict_dataset(test)
+    actual = np.log(test.mct_target) if task == "mct" else test.delay_target
+    payload = {
+        "scenario": scenario,
+        "task": task,
+        "n_test_windows": int(len(test)),
+        "model_mse": float(np.mean((predictions - actual) ** 2)),
+        "baselines": evaluate_baselines(test),
+    }
+    if store is not None and key is not None:
+        store.put_json("evaluations", key, payload)
+    return False, payload
+
+
+@register_stage(
+    "trace_stats",
+    description="Fig. 4-style per-scenario trace statistics",
+)
+def _stage_trace_stats(experiment, inputs, params):
+    """Fig. 4-style per-scenario trace statistics (always recomputed —
+    this stage exists to measure the simulator itself)."""
+    config = experiment.spec.scenario_config(params["scenario"])
+    handle = build_scenario(config)
+    trace = handle.run()
+    delays = trace.delay
+    summary = percentile_summary(delays * 1e3)
+    per_receiver = {
+        str(receiver): float(delays[trace.receiver_id == receiver].mean() * 1e3)
+        for receiver in sorted(set(trace.receiver_id.tolist()))
+    }
+    return False, {
+        "packets": len(trace),
+        "messages": int(trace.is_message_end.sum()),
+        "delay_mean_ms": summary.mean,
+        "delay_p50_ms": summary.p50,
+        "delay_p99_ms": summary.p99,
+        "delay_p999_ms": summary.p999,
+        # SimStats aggregates drops as they happen (threaded through
+        # every queue), so no topology walk is needed here.
+        "queue_drops": handle.sim.stats.packets_dropped,
+        "per_receiver_mean_delay_ms": per_receiver,
+        "events_processed": handle.sim.events_processed,
+    }

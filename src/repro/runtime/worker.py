@@ -5,265 +5,59 @@ Each campaign task is executed by :func:`run_task`, either in-process
 :class:`~repro.api.experiment.Experiment`) or inside a
 ``ProcessPoolExecutor`` worker, where the module-level function is
 imported by reference and rebuilds the experiment from the task's JSON
-payload.  Heavy artifacts never cross the process boundary — they flow
-through the content-addressed :class:`~repro.api.store.ArtifactStore`;
-task results are small dictionaries of scalars.
+payload.  Dispatch goes through the
+:data:`~repro.api.stages.STAGE_REGISTRY` — built-in, extension and
+user-registered stages all execute the same way.  Heavy artifacts never
+cross the process boundary — they flow through the content-addressed
+:class:`~repro.api.store.ArtifactStore`; task results are small
+dictionaries of scalars.
 """
 
 from __future__ import annotations
 
+import importlib
 import time
 import traceback
 
 import numpy as np
 
+# Importing the module registers the built-in stages (worker processes
+# start from a bare interpreter).
+import repro.runtime.stages  # noqa: F401
 from repro.api.experiment import Experiment
 from repro.api.spec import ExperimentSpec
-from repro.api.store import ArtifactStore, bundle_key
-from repro.core.baselines import evaluate_baselines
-from repro.core.features import FeaturePipeline
-from repro.core.finetune import train_delay_from_scratch, train_mct_from_scratch
-from repro.netsim.scenarios import ScenarioKind, build_scenario, run_scenario
-from repro.runtime.plan import resolve_variant
-from repro.utils.stats import percentile_summary
+from repro.api.stages import STAGE_REGISTRY
+from repro.api.store import ArtifactStore
 
 __all__ = ["run_task", "execute_stage"]
 
 
-# -- stage implementations --------------------------------------------------------
-#
-# Every stage returns ``(cache_hit, result)`` where ``result`` is a flat
-# JSON-able dictionary (it crosses process boundaries and lands in the
-# campaign manifest).
+def execute_stage(
+    stage: str, experiment: Experiment, params: dict, inputs: dict | None = None
+):
+    """Run one registered stage; returns ``(cache_hit, result_dict)``.
+
+    Unknown stages raise a ``ValueError`` listing the registered stage
+    names.  ``inputs`` maps dependency task ids to their results.
+    """
+    entry = STAGE_REGISTRY.get(stage)
+    return entry.run(experiment, dict(inputs or {}), params)
 
 
-def _stage_traces(experiment: Experiment, params: dict):
-    store, key = experiment.store, params["key"]
-    n_runs = experiment.scale.n_runs
-    if store is not None and store.has_traces(key, n_runs):
-        # Cache hit: report run-set statistics straight from the
-        # sidecar — no npz is loaded just for manifest bookkeeping.
-        meta = store.trace_run_meta(key) or {}
-        if "total_packets" in meta:
-            return True, {
-                "n_runs": n_runs,
-                "total_packets": int(meta["total_packets"]),
-            }
-        traces = store.get_traces(key, n_runs)
-        return True, {
-            "n_runs": len(traces),
-            "total_packets": int(sum(len(trace) for trace in traces)),
-        }
-    if store is None:
-        traces = experiment.traces(params["scenario"])
-        return False, {
-            "n_runs": len(traces),
-            "total_packets": int(sum(len(trace) for trace in traces)),
-        }
-    # Cache miss with a store: stream each run's columns straight to
-    # disk as it is generated, instead of materialising the whole run
-    # set in memory first.  The sidecar published last keeps partial
-    # writes invisible to readers.
-    config = experiment.spec.scenario_config(params["scenario"])
-    total_packets = 0
-    for run_index in range(n_runs):
-        trace = run_scenario(config, run_index)
-        store.put_trace_run(key, run_index, trace)
-        total_packets += len(trace)
-    store.finalize_trace_runs(key, n_runs, total_packets=total_packets)
-    return False, {"n_runs": n_runs, "total_packets": total_packets}
+def _ensure_stage_importable(payload: dict) -> None:
+    """Import the module that registered this payload's stage.
 
-
-def _stage_bundle(experiment: Experiment, params: dict):
-    scenario = params["scenario"]
-    store = experiment.store
-    hit = False
-    if store is not None:
-        # The real key needs the pre-training receiver index, which the
-        # dependency on the pre-training bundle has already produced.
-        receiver_index = None
-        if scenario != ScenarioKind.PRETRAIN:
-            receiver_index = experiment.bundle(ScenarioKind.PRETRAIN).receiver_index
-        key = bundle_key(
-            experiment.spec.scenario_config(scenario),
-            experiment.scale.window,
-            experiment.scale.n_runs,
-            receiver_index,
-        )
-        hit = store.is_current("bundles", key)
-    bundle = experiment.bundle(scenario)
-    return hit, {
-        "n_windows": bundle.n_windows,
-        "n_packets": bundle.n_packets,
-        "n_receivers": len(bundle.receiver_index),
-    }
-
-
-def _stage_pretrain(experiment: Experiment, params: dict):
-    store, key = experiment.store, params["key"]
-    hit = store is not None and store.is_current("checkpoints", key)
-    features, aggregation = resolve_variant(
-        experiment.scale, params.get("features"), params.get("aggregation")
-    )
-    if features is None and aggregation is None:
-        result = experiment.pretrained()
-    else:
-        result = experiment.pretrain_variant(features=features, aggregation=aggregation)
-    return hit, {
-        "test_mse_seconds2": result.test_mse_seconds2,
-        "epochs_run": result.history.epochs_run,
-        "train_wall_time_s": result.history.wall_time,
-    }
-
-
-def _stage_finetune(experiment: Experiment, params: dict):
-    store, key = experiment.store, params["key"]
-    hit = store is not None and store.is_current("checkpoints", key)
-    features, aggregation = resolve_variant(
-        experiment.scale, params.get("features"), params.get("aggregation")
-    )
-    result = experiment.finetuned(
-        scenario=params["scenario"],
-        task=params.get("task", "delay"),
-        mode=params.get("mode", "decoder_only"),
-        fraction=params.get("fraction"),
-        features=features,
-        aggregation=aggregation,
-    )
-    return hit, _summarise_finetune(result)
-
-
-def _summarise_finetune(result) -> dict:
-    return {
-        "test_mse": result.test_mse,
-        "training_time_s": result.training_time,
-        "mode": result.mode,
-        "task": result.task,
-    }
-
-
-def _stage_scratch(experiment: Experiment, params: dict):
-    """The paper's from-scratch rows: full training, no pre-trained
-    weights, but normalised by the pre-training pipeline."""
-    store, key = experiment.store, params["key"]
-    if store is not None and key is not None:
-        cached = store.get_finetuned(key)
-        if cached is not None:
-            return True, _summarise_finetune(cached[0])
-    task = params.get("task", "delay")
-    pre = experiment.pretrained()
-    bundle = experiment.bundle(params["scenario"])
-    fraction = params.get("fraction")
-    if fraction is not None:
-        bundle = bundle.small_fraction(fraction)
-    config = experiment.scale.model_config()
-    settings = experiment.scale.finetune_settings
-    if task == "delay":
-        pipeline = pre.pipeline
-        result = train_delay_from_scratch(config, pipeline, bundle, settings=settings)
-    else:
-        # Isolated MCT scaler, mirroring Experiment's fine-tune path.
-        pipeline = FeaturePipeline()
-        pipeline.feature_scaler = pre.pipeline.feature_scaler
-        pipeline.message_size_scaler = pre.pipeline.message_size_scaler
-        result = train_mct_from_scratch(config, pipeline, bundle, settings=settings)
-    if store is not None and key is not None:
-        store.put_finetuned(key, result, pipeline)
-    return False, _summarise_finetune(result)
-
-
-def _stage_baselines(experiment: Experiment, params: dict):
-    store, key = experiment.store, params["key"]
-    if store is not None and key is not None:
-        cached = store.get_json("evaluations", key)
-        if cached is not None:
-            return True, cached
-    rows = evaluate_baselines(experiment.bundle(params["scenario"]).test)
-    payload = {"scenario": params["scenario"], "rows": rows}
-    if store is not None and key is not None:
-        store.put_json("evaluations", key, payload)
-    return False, payload
-
-
-def _stage_evaluate(experiment: Experiment, params: dict):
-    """Terminal sweep stage: the spec's model vs. the naive baselines on
-    its scenario's held-out test set (cached as a JSON evaluation)."""
-    store, key = experiment.store, params["key"]
-    if store is not None and key is not None:
-        cached = store.get_json("evaluations", key)
-        if cached is not None:
-            return True, cached
-    scenario = params["scenario"]
-    task = params.get("task", "delay")
-    if scenario == ScenarioKind.PRETRAIN and task == "delay":
-        predictor = experiment.predictor(scenario=scenario)
-    else:
-        predictor = experiment.predictor(
-            scenario=scenario, task=task, mode=params.get("mode", "decoder_only")
-        )
-    test = experiment.bundle(scenario).test
-    if task == "mct":
-        test = test.with_completed_messages_only()
-    predictions = predictor.predict_dataset(test)
-    actual = np.log(test.mct_target) if task == "mct" else test.delay_target
-    payload = {
-        "scenario": scenario,
-        "task": task,
-        "n_test_windows": int(len(test)),
-        "model_mse": float(np.mean((predictions - actual) ** 2)),
-        "baselines": evaluate_baselines(test),
-    }
-    if store is not None and key is not None:
-        store.put_json("evaluations", key, payload)
-    return False, payload
-
-
-def _stage_trace_stats(experiment: Experiment, params: dict):
-    """Fig. 4-style per-scenario trace statistics (always recomputed —
-    this stage exists to measure the simulator itself)."""
-    config = experiment.spec.scenario_config(params["scenario"])
-    handle = build_scenario(config)
-    trace = handle.run()
-    delays = trace.delay
-    summary = percentile_summary(delays * 1e3)
-    per_receiver = {
-        str(receiver): float(delays[trace.receiver_id == receiver].mean() * 1e3)
-        for receiver in sorted(set(trace.receiver_id.tolist()))
-    }
-    return False, {
-        "packets": len(trace),
-        "messages": int(trace.is_message_end.sum()),
-        "delay_mean_ms": summary.mean,
-        "delay_p50_ms": summary.p50,
-        "delay_p99_ms": summary.p99,
-        "delay_p999_ms": summary.p999,
-        # SimStats aggregates drops as they happen (threaded through
-        # every queue), so no topology walk is needed here.
-        "queue_drops": handle.sim.stats.packets_dropped,
-        "per_receiver_mean_delay_ms": per_receiver,
-        "events_processed": handle.sim.events_processed,
-    }
-
-
-_STAGES = {
-    "traces": _stage_traces,
-    "bundle": _stage_bundle,
-    "pretrain": _stage_pretrain,
-    "finetune": _stage_finetune,
-    "scratch": _stage_scratch,
-    "baselines": _stage_baselines,
-    "evaluate": _stage_evaluate,
-    "trace_stats": _stage_trace_stats,
-}
-
-
-def execute_stage(stage: str, experiment: Experiment, params: dict):
-    """Run one stage; returns ``(cache_hit, result_dict)``."""
-    try:
-        implementation = _STAGES[stage]
-    except KeyError:
-        raise ValueError(f"unknown stage {stage!r}; choose from {sorted(_STAGES)}") from None
-    return implementation(experiment, params)
+    Worker processes start from a bare interpreter: built-in and
+    extension stages register via the imports above, but a custom stage
+    defined in some other module must be imported before dispatch.  The
+    planner records the registering module in the payload (``__main__``
+    cannot be re-imported — there the pool relies on fork inheriting the
+    parent's registry, the default on Linux).
+    """
+    module = payload.get("stage_module")
+    if payload["stage"] in STAGE_REGISTRY or not module or module == "__main__":
+        return
+    importlib.import_module(module)
 
 
 def _retry_backoff(payload: dict) -> float:
@@ -293,12 +87,15 @@ def run_task(payload: dict, experiment: Experiment | None = None) -> dict:
     start = time.perf_counter()
     record = {"id": payload["id"], "stage": payload["stage"], "cache_hit": False}
     try:
+        _ensure_stage_importable(payload)
         if experiment is None:
             spec = ExperimentSpec.from_dict(payload["spec"])
             root = payload.get("store_root")
             store = ArtifactStore(root) if root is not None else None
             experiment = Experiment(spec, store=store)
-        hit, result = execute_stage(payload["stage"], experiment, payload["params"])
+        hit, result = execute_stage(
+            payload["stage"], experiment, payload["params"], payload.get("inputs")
+        )
         record.update(status="done", cache_hit=bool(hit), result=result)
     except Exception:  # noqa: BLE001 — crosses a process boundary
         record.update(status="error", error=traceback.format_exc())

@@ -107,3 +107,72 @@ class TestConfigConverters:
         config = ScenarioConfig.small("case2", seed=3)
         restored = scenario_config_from_dict(scenario_config_to_dict(config))
         assert restored == config
+
+
+class TestStagePipelineFields:
+    def test_defaults_leave_hash_unchanged(self):
+        # pipeline/stage_params default to None and must not perturb
+        # the hash of pre-stage-API specs.
+        assert ExperimentSpec(scale="smoke").pipeline is None
+        assert ExperimentSpec(scale="smoke").stage_params is None
+
+    def test_pipeline_normalised_and_hashed(self):
+        spec = ExperimentSpec(scale="smoke", pipeline=["trace_stats"])
+        assert spec.pipeline == ("trace_stats",)
+        assert spec.spec_hash != ExperimentSpec(scale="smoke").spec_hash
+        hash(spec)  # still usable as a dict key
+
+    def test_empty_pipeline_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="pipeline"):
+            ExperimentSpec(scale="smoke", pipeline=())
+
+    def test_stage_params_frozen_hashable_and_thawed(self):
+        spec = ExperimentSpec(
+            scale="smoke",
+            stage_params={"federated_pretrain": {"n_clients": 4, "tags": ["a", "b"]}},
+        )
+        hash(spec)
+        assert spec.params_for("federated_pretrain") == {
+            "n_clients": 4, "tags": ["a", "b"],
+        }
+        assert spec.params_for("other") == {}
+        assert spec.stage_params_dict() == {
+            "federated_pretrain": {"n_clients": 4, "tags": ["a", "b"]},
+        }
+
+    def test_stage_params_participate_in_hash(self):
+        base = ExperimentSpec(scale="smoke")
+        a = ExperimentSpec(scale="smoke", stage_params={"s": {"x": 1}})
+        b = ExperimentSpec(scale="smoke", stage_params={"s": {"x": 2}})
+        assert len({base.spec_hash, a.spec_hash, b.spec_hash}) == 3
+
+    def test_tag_like_list_elements_round_trip(self):
+        # A list whose first element is a literal tag string must not be
+        # mistaken for a frozen container on thaw.
+        params = {"tags": ["__dict__", ["__list__", 1]], "empty": [], "none": {}}
+        spec = ExperimentSpec(scale="smoke", stage_params={"s": params})
+        assert spec.params_for("s") == params
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_stage_params_order_insensitive(self):
+        a = ExperimentSpec(scale="smoke", stage_params={"s": {"x": 1, "y": 2}})
+        b = ExperimentSpec(scale="smoke", stage_params={"s": {"y": 2, "x": 1}})
+        assert a == b and a.spec_hash == b.spec_hash
+
+    def test_non_json_stage_params_rejected(self):
+        import pytest
+
+        with pytest.raises(TypeError, match="JSON"):
+            ExperimentSpec(scale="smoke", stage_params={"s": {"x": object()}})
+
+    def test_dict_roundtrip_with_stage_fields(self):
+        spec = ExperimentSpec(
+            scale="smoke",
+            pipeline=("trace_stats",),
+            stage_params={"drift_monitor": {"sensitivity": 2.5}},
+        )
+        restored = ExperimentSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.spec_hash == spec.spec_hash

@@ -2,8 +2,8 @@
 
 import pytest
 
-import repro.runtime.worker as worker_module
 from repro.api import ArtifactStore, ExperimentSpec, TrainSettings
+from repro.api.stages import STAGE_REGISTRY
 from repro.runtime import CampaignEngine, expand_grid, plan_campaign, run_campaign
 
 FAST = TrainSettings(epochs=1, batch_size=32, patience=None)
@@ -70,16 +70,17 @@ class TestFailureHandling:
 
         def install(failures: int):
             marker.write_text(str(failures))
-            original = worker_module._STAGES["trace_stats"]
+            entry = STAGE_REGISTRY.get("trace_stats")
+            original = entry.run
 
-            def stage(experiment, params):
+            def stage(experiment, inputs, params):
                 remaining = int(marker.read_text())
                 if remaining > 0:
                     marker.write_text(str(remaining - 1))
                     raise RuntimeError("synthetic stage failure")
-                return original(experiment, params)
+                return original(experiment, inputs, params)
 
-            monkeypatch.setitem(worker_module._STAGES, "trace_stats", stage)
+            monkeypatch.setattr(entry, "run", stage)
 
         return install
 
@@ -100,10 +101,10 @@ class TestFailureHandling:
         assert row["attempts"] == 2
 
     def test_failed_dependency_skips_downstream(self, monkeypatch, store):
-        def broken(experiment, params):
+        def broken(experiment, inputs, params):
             raise RuntimeError("simulator exploded")
 
-        monkeypatch.setitem(worker_module._STAGES, "traces", broken)
+        monkeypatch.setattr(STAGE_REGISTRY.get("traces"), "run", broken)
         result = run_campaign(fast_specs(), store=store, retries=0)
         statuses = {row["id"]: row["status"] for row in result.manifest["tasks"]}
         assert sorted(statuses.values()) == ["error", "skipped", "skipped", "skipped"]
@@ -114,10 +115,10 @@ class TestFailureHandling:
     def test_failed_table_campaign_raises(self, monkeypatch, store):
         from repro.core.pipeline import ExperimentContext, get_scale, run_table2
 
-        def broken(experiment, params):
+        def broken(experiment, inputs, params):
             raise RuntimeError("simulator exploded")
 
-        monkeypatch.setitem(worker_module._STAGES, "traces", broken)
+        monkeypatch.setattr(STAGE_REGISTRY.get("traces"), "run", broken)
         context = ExperimentContext(get_scale("smoke"), store=store)
         with pytest.raises(RuntimeError, match="campaign failed"):
             run_table2(get_scale("smoke"), context)

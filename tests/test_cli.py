@@ -106,6 +106,15 @@ class TestApiCommands:
         for name in ("pretrain", "case1", "case2", "bursty_cross"):
             assert name in out
 
+    def test_stages_lists_registry(self, capsys):
+        assert main(["stages"]) == 0
+        out = capsys.readouterr().out
+        for name in ("traces", "pretrain", "evaluate", "federated_pretrain",
+                     "drift_monitor", "trace_stats"):
+            assert name in out
+        # Table-only stages are not sweepable and stay unlisted.
+        assert "scratch" not in out
+
 
 class TestSweep:
     def test_dry_run_prints_deduplicated_plan(self, tmp_path, capsys):
@@ -163,7 +172,23 @@ class TestSweep:
         assert main([
             "sweep", "--stages", "simulate", "--cache-dir", str(tmp_path / "cache"),
         ]) == 2
-        assert "unknown stages" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown stages" in err
+        # The message lists the registered sweep stages, extensions included.
+        for name in ("traces", "pretrain", "federated_pretrain", "drift_monitor"):
+            assert name in err
+
+    def test_sweep_registered_extension_stage_runs_and_hits_cache(
+        self, tmp_path, capsys
+    ):
+        argv = [
+            "sweep", "--scenarios", "pretrain", "--stages", "federated_pretrain",
+            "--epochs", "1", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        assert "1/1 task(s) done, 0 cache hit(s)" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "1/1 task(s) done, 1 cache hit(s)" in capsys.readouterr().out
 
     def test_parallel_no_cache_rejected(self, capsys):
         assert main(["sweep", "--no-cache", "--workers", "2"]) == 2

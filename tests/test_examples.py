@@ -38,6 +38,7 @@ def test_examples_directory_complete():
         "federated_pretraining.py",
         "continual_monitoring.py",
         "scenario_sweep.py",
+        "custom_stage.py",
     } <= names
 
 
@@ -74,16 +75,35 @@ def test_ablation_study():
     assert "full NTT" in out
 
 
-def test_federated_pretraining():
-    out = run_example("federated_pretraining.py", "--rounds", "1", "--clients", "2")
+def test_federated_pretraining(tmp_path):
+    out = run_example(
+        "federated_pretraining.py", "--rounds", "1", "--clients", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+    )
     assert "FedAvg" in out
     assert "global test MSE" in out
+    # The second submission is served from the artifact store.
+    assert "1/1 task(s) were cache hits" in out
 
 
-def test_continual_monitoring():
-    out = run_example("continual_monitoring.py")
+def test_continual_monitoring(tmp_path):
+    out = run_example(
+        "continual_monitoring.py", "--cache-dir", str(tmp_path / "cache")
+    )
     assert "drifted=" in out
-    assert "attention" in out
+    assert "attend" in out
+    assert "Manifest:" in out
+
+
+def test_custom_stage(tmp_path):
+    out = run_example(
+        "custom_stage.py", "--workers", "2", "--cache-dir", str(tmp_path / "cache"),
+        "--output-dir", str(tmp_path / "out"),
+    )
+    assert "registered in-line" in out
+    assert "0 failed" in out
+    assert "cache hit" in out
+    assert (tmp_path / "out" / "custom_stage.json").exists()
 
 
 def test_scenario_sweep(tmp_path):
