@@ -1,0 +1,198 @@
+"""NN training throughput — steps/sec of the fused training fast path.
+
+Measures the pretrain step (the campaign wall-clock hot loop since the
+netsim fast path landed): the scale's NTT config driven by the same
+wiring as ``core.pretrain`` — Adam, warmup-cosine schedule, gradient
+clipping, dropout, shuffled loader — on synthetic pretrain-shaped
+windows.  Two modes:
+
+* **fused** (the default): single-node kernels for linear/LayerNorm/
+  attention/masked-softmax/MSE, in-place optimizers, pooled gradient
+  buffers and the zero-copy loader.
+* **composite** (``fastpath.composite_ops()``): the pre-change
+  operator-per-node graphs, allocating optimizers and plain loader.
+
+Before any number is reported, both modes train from identical
+initialisation and their per-epoch loss histories are compared: every
+fused kernel is bit-identical to its composite twin except the
+documented 1-ulp GELU cube substitution (``x*x*x`` for ``x**3``), so
+the histories must agree to ~1e-9 relative — the speedup can never come
+from dropping work.  A float32 row reports the additional opt-in
+precision-policy headroom.
+
+Timings use ``time.process_time`` with interleaved best-of rounds, like
+the netsim benchmark.  Results land in ``bench_results/`` via
+``save_results``; smoke output is routed to the gitignored
+``bench_results/smoke/``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import save_results
+from repro.core.model import NTTForDelay
+from repro.nn import fastpath
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.schedule import warmup_cosine
+from repro.nn.trainer import Trainer
+from repro.utils.rng import RngFactory
+
+#: Interleaved rounds per mode, by scale.
+_ROUNDS = {"smoke": 5, "small": 4, "paper": 1}
+
+#: Benchmark gates per scale (fused/float32 steps/sec over composite).
+#:
+#: The bit-compatible float64 fast path measures ~1.7x on a quiet
+#: machine.  Its ceiling is structural, not slack: both paths must
+#: execute the identical BLAS kernels and libm calls (dominated by the
+#: GELU tanh/pow chain and the aggregation-gradient matmuls), so once
+#: the graph/allocation overhead is fused away, that shared math bounds
+#: the ratio — pushing past it requires changing arithmetic, which the
+#: loss-equivalence gate above exists to forbid.  The opt-in
+#: ``precision="float32"`` mode (different arithmetic by design) clears
+#: 2x.  Smoke gates are sanity bounds for shared CI runners, not the
+#: performance claim — that lives in the committed small-scale results.
+_MIN_SPEEDUP = {"smoke": 1.2, "small": 1.5, "paper": 1.5}
+_MIN_FLOAT32_SPEEDUP = {"smoke": 1.4, "small": 1.8, "paper": 1.8}
+
+#: Measured training steps per epoch.
+_STEPS_PER_EPOCH = 4
+
+
+def _forward(model, batch):
+    features, receiver, target = batch
+    return model(features, receiver.astype(np.int64)), target
+
+
+def _make_trainer(scale, precision: str = "float64"):
+    """A fresh pretrain-shaped trainer + loader at this scale.
+
+    Construction is deterministic, so two calls build bit-identical
+    initial states regardless of the active op path.
+    """
+    config = scale.model_config()
+    settings = scale.pretrain_settings
+    batch = settings.batch_size
+    n = batch * _STEPS_PER_EPOCH
+    window_len = scale.window.window_len
+    data_rng = RngFactory(0).derive("nn-bench-data")
+    dataset = ArrayDataset(
+        data_rng.normal(size=(n, window_len, 3)),
+        data_rng.integers(0, config.n_receivers, size=(n, window_len)),
+        data_rng.normal(size=(n,)),
+    )
+    loader = DataLoader(
+        dataset,
+        batch,
+        shuffle=True,
+        rng=RngFactory(0).derive("nn-bench-loader"),
+        # The zero-copy loader is part of the fast path under test; the
+        # composite mode measures the pre-change allocating loader.
+        reuse_buffers=fastpath.fused_ops_enabled(),
+    )
+    with fastpath.precision(precision):
+        model = NTTForDelay(config)
+    total_steps = _STEPS_PER_EPOCH * 100
+    trainer = Trainer(
+        model,
+        Adam(model.parameters(), lr=settings.lr),
+        mse_loss,
+        forward_fn=_forward,
+        grad_clip=settings.grad_clip,
+        schedule=warmup_cosine(
+            max(1, int(total_steps * settings.warmup_fraction)), total_steps
+        ),
+        precision=precision,
+    )
+    return trainer, loader
+
+
+def _epoch_seconds(scale, precision: str = "float64") -> float:
+    """CPU seconds for one warmed-up training epoch."""
+    trainer, loader = _make_trainer(scale, precision)
+    trainer.train_epoch(loader)  # warm caches, buffers and BLAS
+    start = time.process_time()
+    trainer.train_epoch(loader)
+    return time.process_time() - start
+
+
+def _loss_history(scale, epochs=2):
+    trainer, loader = _make_trainer(scale)
+    return [trainer.train_epoch(loader) for _ in range(epochs)], trainer.model
+
+
+def test_pretrain_step_throughput_fused_vs_composite(scale):
+    """Fused >= _MIN_SPEEDUP x composite steps/sec, loss-equivalently."""
+    rounds = _ROUNDS.get(scale.name, 1)
+
+    # Equivalence gate first: identical seeds, both op paths.  All fused
+    # kernels are bit-identical except GELU's 1-ulp cube; after two
+    # epochs the histories must still agree to ~1e-9 relative.
+    fused_losses, fused_model = _loss_history(scale)
+    with fastpath.composite_ops():
+        composite_losses, composite_model = _loss_history(scale)
+    worst = max(
+        abs(a - b) / abs(b) for a, b in zip(fused_losses, composite_losses)
+    )
+    assert worst < 1e-9, (
+        f"fused path diverged from the composite path (rel {worst:.2e}); "
+        "the speedup may not come from dropping work"
+    )
+    for (name, pf), (_, pc) in zip(
+        fused_model.named_parameters(), composite_model.named_parameters()
+    ):
+        assert np.allclose(pf.data, pc.data, rtol=0, atol=1e-9), name
+
+    # Interleave rounds so background load hits all modes symmetrically.
+    fused_s = composite_s = float32_s = None
+    for _ in range(rounds):
+        with fastpath.composite_ops():
+            elapsed = _epoch_seconds(scale)
+        composite_s = elapsed if composite_s is None else min(composite_s, elapsed)
+        elapsed = _epoch_seconds(scale)
+        fused_s = elapsed if fused_s is None else min(fused_s, elapsed)
+        elapsed = _epoch_seconds(scale, precision="float32")
+        float32_s = elapsed if float32_s is None else min(float32_s, elapsed)
+
+    speedup = composite_s / fused_s
+    payload = {
+        "config": "pretrain step (scale model config)",
+        "steps_per_epoch": _STEPS_PER_EPOCH,
+        "batch_size": scale.pretrain_settings.batch_size,
+        "window_len": scale.window.window_len,
+        "composite_cpu_s": composite_s,
+        "fused_cpu_s": fused_s,
+        "float32_cpu_s": float32_s,
+        "composite_steps_per_s": _STEPS_PER_EPOCH / composite_s,
+        "fused_steps_per_s": _STEPS_PER_EPOCH / fused_s,
+        "float32_steps_per_s": _STEPS_PER_EPOCH / float32_s,
+        "speedup": speedup,
+        "float32_speedup": composite_s / float32_s,
+        "max_loss_rel_diff": worst,
+        "rounds": rounds,
+    }
+    save_results("nn_training", payload)
+
+    print(
+        f"\nnn training ({scale.name}): composite "
+        f"{payload['composite_steps_per_s']:.2f} steps/s -> fused "
+        f"{payload['fused_steps_per_s']:.2f} steps/s ({speedup:.2f}x; "
+        f"float32 {payload['float32_steps_per_s']:.2f} steps/s, "
+        f"loss rel diff {worst:.1e})"
+    )
+    minimum = _MIN_SPEEDUP.get(scale.name, 1.2)
+    assert speedup >= minimum, (
+        f"fused path only {speedup:.2f}x over the composite path "
+        f"(expected >= {minimum}x; committed small-scale results show ~1.7x)"
+    )
+    float32_minimum = _MIN_FLOAT32_SPEEDUP.get(scale.name, 1.4)
+    assert payload["float32_speedup"] >= float32_minimum, (
+        f"float32 mode only {payload['float32_speedup']:.2f}x over the "
+        f"composite path (expected >= {float32_minimum}x; committed "
+        "small-scale results show >= 2x)"
+    )

@@ -58,15 +58,25 @@ def attention_summary(model: NTT, features: np.ndarray, receiver: np.ndarray) ->
     then integrated per aggregation level.
     """
     model.eval()
-    with no_grad():
-        model(features, receiver)
-    collected = []
-    for layer in model.encoder.layers:
-        weights = layer.attention.last_attention
-        if weights is None:
-            raise RuntimeError("no attention recorded; forward pass failed?")
-        # (batch, heads, query, key) → attention of the last query.
-        collected.append(weights[:, :, -1, :].mean(axis=(0, 1)))
+    attentions = [layer.attention for layer in model.encoder.layers]
+    # Recording is off during training (the copy is pure introspection
+    # cost); enable it just for this forward pass.
+    saved = [attention.record_attention for attention in attentions]
+    for attention in attentions:
+        attention.record_attention = True
+    try:
+        with no_grad():
+            model(features, receiver)
+        collected = []
+        for attention in attentions:
+            weights = attention.last_attention
+            if weights is None:
+                raise RuntimeError("no attention recorded; forward pass failed?")
+            # (batch, heads, query, key) → attention of the last query.
+            collected.append(weights[:, :, -1, :].mean(axis=(0, 1)))
+    finally:
+        for attention, state in zip(attentions, saved):
+            attention.record_attention = state
     per_element = np.mean(collected, axis=0)
     per_element = per_element / max(per_element.sum(), 1e-12)
 

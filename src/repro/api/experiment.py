@@ -107,9 +107,16 @@ class Experiment:
 
     # -- models -------------------------------------------------------------------
 
-    def pretrained(self) -> PretrainResult:
-        """The shared pre-trained NTT (store-backed)."""
-        return self.context.pretrained()
+    def pretrained(self, precision: str | None = None) -> PretrainResult:
+        """The shared pre-trained NTT (store-backed).
+
+        ``precision`` defaults to the spec's ``stage_params`` knob
+        (``{"pretrain": {"precision": "float32"}}``); float64 keeps the
+        pre-policy behaviour and cache keys exactly.
+        """
+        if precision is None:
+            precision = self.spec.params_for("pretrain").get("precision", "float64")
+        return self.context.pretrained(precision=precision)
 
     def pretrain_variant(self, **overrides) -> PretrainResult:
         """An ablated pre-training variant (see
@@ -124,6 +131,7 @@ class Experiment:
         fraction: float | None = None,
         features=None,
         aggregation=None,
+        precision: str | None = None,
     ) -> FinetuneResult:
         """Fine-tune the shared pre-trained model (store-backed).
 
@@ -136,46 +144,69 @@ class Experiment:
             features: :class:`FeatureSpec` ablation override — the base
                 model becomes the corresponding pre-training variant.
             aggregation: :class:`AggregationSpec` ablation override.
+            precision: compute dtype for the fine-tune (defaults to the
+                spec's ``stage_params["finetune"]["precision"]`` knob,
+                then float64).  Non-default precisions key their own
+                cached checkpoints; float64 keys are untouched.
         """
         result, _pipeline = self._finetuned_with_pipeline(
-            scenario, task, mode, fraction, features=features, aggregation=aggregation
+            scenario, task, mode, fraction,
+            features=features, aggregation=aggregation, precision=precision,
         )
         return result
 
     def _finetuned_with_pipeline(
-        self, scenario, task, mode, fraction, features=None, aggregation=None
+        self, scenario, task, mode, fraction, features=None, aggregation=None,
+        precision=None,
     ):
         """Fine-tune (or restore) a model plus the pipeline that feeds it."""
         if task not in ("delay", "mct"):
             raise ValueError(f"unknown task {task!r}; choose 'delay' or 'mct'")
         scenario = scenario or self.spec.scenario
+        if precision is None:
+            precision = self.spec.params_for("finetune").get("precision", "float64")
+        # Ablation variants always pre-train at the default precision;
+        # the spec-level knob addresses only the shared model (mirrors
+        # repro.runtime.plan._base_pretrained_key).
+        pretrain_precision = "float64"
+        if features is None and aggregation is None:
+            pretrain_precision = self.spec.params_for("pretrain").get(
+                "precision", "float64"
+            )
         settings = self.scale.finetune_settings
         base_config = self.scale.model_config(features=features, aggregation=aggregation)
         key = None
         if self.store is not None:
             from repro.api.stages import versioned_key
+            from repro.api.store import precision_key
 
-            base_key = versioned_key(
-                "pretrain",
-                pretrained_key(
-                    self.spec.scenario_config(ScenarioKind.PRETRAIN),
-                    self.scale.window,
-                    self.scale.n_runs,
-                    base_config,
-                    self.scale.pretrain_settings,
+            base_key = precision_key(
+                versioned_key(
+                    "pretrain",
+                    pretrained_key(
+                        self.spec.scenario_config(ScenarioKind.PRETRAIN),
+                        self.scale.window,
+                        self.scale.n_runs,
+                        base_config,
+                        self.scale.pretrain_settings,
+                    ),
                 ),
+                pretrain_precision,
             )
-            key = versioned_key(
-                "finetune",
-                finetuned_key(
-                    base_key, self.spec.scenario_config(scenario), task, mode, fraction, settings
+            key = precision_key(
+                versioned_key(
+                    "finetune",
+                    finetuned_key(
+                        base_key, self.spec.scenario_config(scenario), task, mode, fraction, settings
+                    ),
                 ),
+                precision,
             )
             cached = self.store.get_finetuned(key)
             if cached is not None:
                 return cached
         if features is None and aggregation is None:
-            pre = self.pretrained()
+            pre = self.pretrained(precision=pretrain_precision)
         else:
             pre = self.pretrain_variant(features=features, aggregation=aggregation)
         bundle = self.bundle(scenario)
@@ -186,7 +217,8 @@ class Experiment:
         if task == "delay":
             pipeline = pre.pipeline
             result = finetune_delay(
-                copy.deepcopy(pre.model), pipeline, bundle, settings=settings, mode=mode
+                copy.deepcopy(pre.model), pipeline, bundle, settings=settings, mode=mode,
+                precision=precision,
             )
         else:
             # A fresh MCT scaler per fine-tune: finetune_mct fits it on
@@ -200,7 +232,7 @@ class Experiment:
             pipeline.message_size_scaler = pre.pipeline.message_size_scaler
             result = finetune_mct(
                 copy.deepcopy(pre.model), pre.model.config, pipeline, bundle,
-                settings=settings, mode=mode,
+                settings=settings, mode=mode, precision=precision,
             )
         if self.store is not None:
             self.store.put_finetuned(key, result, pipeline)

@@ -63,6 +63,7 @@ __all__ = [
     "finetuned_key",
     "scratch_key",
     "evaluation_key",
+    "precision_key",
 ]
 
 #: Environment variable selecting the store root.
@@ -179,6 +180,18 @@ def evaluation_key(model_key: str, scenario, task: str) -> str:
             "task": task,
         }
     )
+
+
+def precision_key(base: str | None, precision: str | None) -> str | None:
+    """Fold a non-default compute precision into a training cache key.
+
+    The default (``float64`` / ``None``) is the identity — exactly like
+    ``Stage.version`` 0 — so every pre-existing float64 key stays
+    byte-identical; float32 artifacts get their own address.
+    """
+    if base is None or precision in (None, "float64"):
+        return base
+    return stable_hash({"base": base, "precision": precision})
 
 
 # -- (de)hydration helpers --------------------------------------------------------

@@ -32,9 +32,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.nn import fastpath
 from repro.nn.layers import Linear
 from repro.nn.module import Module, ModuleList
-from repro.nn.tensor import Tensor, concat
+from repro.nn.tensor import Tensor, _unbroadcast, concat
 
 __all__ = ["AggregationLevel", "AggregationSpec", "Aggregator"]
 
@@ -146,6 +147,8 @@ class Aggregator(Module):
                 f"got {x.shape}"
             )
         batch = x.shape[0]
+        if fastpath.fused_ops_enabled():
+            return self._fused_forward(x, batch)
         outputs = []
         offset = 0
         for level, projection in zip(self.spec.levels, self.projections):
@@ -154,6 +157,73 @@ class Aggregator(Module):
             grouped = chunk.reshape(batch, level.count, level.block * self.d_emb)
             outputs.append(projection(grouped))
         return concat(outputs, axis=1)
+
+    def _fused_forward(self, x: Tensor, batch: int) -> Tensor:
+        """All levels — slice, block-reshape, project, concatenate — as
+        one autograd node.
+
+        Bit-identical to the composite graph: each level performs the
+        same slice-view/reshape-copy/matmul sequence, and the backward
+        writes each level's input gradient into one shared zero buffer —
+        the levels cover disjoint packet ranges, so the single-buffer
+        writes equal the composite engine's sum of per-level sparse
+        gradients exactly.
+        """
+        levels = self.spec.levels
+        saved = []
+        outputs = []
+        offset = 0
+        for level, projection in zip(levels, self.projections):
+            grouped = x.data[:, offset : offset + level.packets, :].reshape(
+                batch, level.count, level.block * self.d_emb
+            )
+            out = grouped @ projection.weight.data
+            if projection.bias is not None:
+                np.add(out, projection.bias.data, out=out)
+            outputs.append(out)
+            saved.append((offset, level.packets, grouped, projection))
+            offset += level.packets
+        data = np.concatenate(outputs, axis=1)
+        boundaries = np.cumsum([level.count for level in levels])[:-1]
+        parents: list[Tensor] = [x]
+        for projection in self.projections:
+            parents.append(projection.weight)
+            if projection.bias is not None:
+                parents.append(projection.bias)
+
+        def backward(grad):
+            pieces = np.split(grad, boundaries, axis=1)
+            gx = np.empty_like(x.data)
+            contributions = [gx]
+            for (offset, packets, grouped, projection), piece in zip(saved, pieces):
+                gbias = None
+                if projection.bias is not None:
+                    gbias = _unbroadcast(piece, projection.bias.data.shape)
+                ggrouped = fastpath.scratch(grouped.shape, grad.dtype)
+                np.matmul(piece, np.swapaxes(projection.weight.data, -1, -2), out=ggrouped)
+                # Per-item dgemm + sequential accumulation: numpy's
+                # axis-0 reduce is sequential, so this equals the
+                # composite batched-matmul-then-sum bit-for-bit while
+                # keeping the (huge) per-item products cache-resident
+                # instead of materialising a (batch, in, out) array.
+                grouped_t = np.swapaxes(grouped, -1, -2)
+                if batch == 0:
+                    gweight = np.zeros(projection.weight.data.shape, dtype=grad.dtype)
+                else:
+                    gweight = np.matmul(grouped_t[0], piece[0])
+                    item = fastpath.scratch(projection.weight.data.shape, grad.dtype, slot=1)
+                    for index in range(1, batch):
+                        np.matmul(grouped_t[index], piece[index], out=item)
+                        np.add(gweight, item, out=gweight)
+                gx[:, offset : offset + packets, :] = ggrouped.reshape(
+                    batch, packets, self.d_emb
+                )
+                contributions.append(gweight)
+                if gbias is not None:
+                    contributions.append(gbias)
+            return tuple(contributions)
+
+        return Tensor._from_op(data, tuple(parents), backward)
 
     def __repr__(self) -> str:
         return f"Aggregator({self.spec.describe()}, d_model={self.d_model})"

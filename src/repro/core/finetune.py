@@ -23,6 +23,7 @@ from repro.core.model import NTTConfig, NTTForDelay, NTTForMCT
 from repro.core.pretrain import TrainSettings, _delay_forward, make_delay_loaders
 from repro.datasets.generation import DatasetBundle
 from repro.datasets.windows import WindowDataset
+from repro.nn import fastpath
 from repro.nn.data import ArrayDataset, DataLoader
 from repro.nn.losses import mse_loss
 from repro.nn.module import freeze_parameters
@@ -97,13 +98,24 @@ def finetune_delay(
     settings: TrainSettings | None = None,
     mode: str = FinetuneMode.DECODER_ONLY,
     verbose: bool = False,
+    precision: str = "float64",
 ) -> FinetuneResult:
     """Fine-tune a (pre-trained) delay model on a new environment.
 
     The encoder's knowledge transfers; the decoder adapts ("update or
     replace the decoder to adapt NTT to a new environment", §3).
+
+    ``precision="float32"`` casts the model and runs the whole
+    fine-tune in float32; the float64 default is bit-compatible with
+    the pre-precision-policy behaviour.
     """
     settings = settings if settings is not None else TrainSettings()
+    # Unconditional cast: the base model may arrive in either dtype (a
+    # float32-pretrained model is float32 in-process but hydrates from
+    # the artifact store as float64 with identical values), so pinning
+    # it to the declared precision keeps the fine-tune trajectory a
+    # function of the cache key alone.
+    model.cast_parameters(fastpath.resolve_dtype(precision))
     train_loader, val_loader = make_delay_loaders(pipeline, bundle.train, bundle.val, settings)
     total_steps = max(len(train_loader) * settings.epochs, 2)
     trainer = Trainer(
@@ -114,9 +126,11 @@ def finetune_delay(
         grad_clip=settings.grad_clip,
         schedule=warmup_cosine(max(1, int(total_steps * settings.warmup_fraction)), total_steps),
         on_epoch_start=_freeze_hook(model, mode),
+        precision=precision,
     )
     history = _fit_with_mode(trainer, model, mode, train_loader, val_loader, settings, verbose)
-    test_mse = evaluate_delay(model, pipeline, bundle.test)
+    with fastpath.precision(precision):
+        test_mse = evaluate_delay(model, pipeline, bundle.test)
     return FinetuneResult(model, history, test_mse, mode=mode, task="delay")
 
 
@@ -141,12 +155,15 @@ def train_delay_from_scratch(
     bundle: DatasetBundle,
     settings: TrainSettings | None = None,
     verbose: bool = False,
+    precision: str = "float64",
 ) -> FinetuneResult:
     """The paper's "from scratch" comparison: a fresh NTT trained only
     on the fine-tuning dataset (full model, no pre-training)."""
-    model = NTTForDelay(config)
+    with fastpath.precision(precision):
+        model = NTTForDelay(config)
     return finetune_delay(
-        model, pipeline, bundle, settings=settings, mode=FinetuneMode.FULL, verbose=verbose
+        model, pipeline, bundle, settings=settings, mode=FinetuneMode.FULL,
+        verbose=verbose, precision=precision,
     )
 
 
@@ -184,8 +201,8 @@ def make_mct_loaders(
         pipeline.transform_mct_target(val),
     )
     return (
-        DataLoader(train_ds, settings.batch_size, shuffle=True, rng=rng),
-        DataLoader(val_ds, max(settings.batch_size, 128)),
+        DataLoader(train_ds, settings.batch_size, shuffle=True, rng=rng, reuse_buffers=True),
+        DataLoader(val_ds, max(settings.batch_size, 128), reuse_buffers=True),
     )
 
 
@@ -197,6 +214,7 @@ def finetune_mct(
     settings: TrainSettings | None = None,
     mode: str = FinetuneMode.DECODER_ONLY,
     verbose: bool = False,
+    precision: str = "float64",
 ) -> FinetuneResult:
     """Fine-tune to the *new task* of MCT prediction.
 
@@ -206,7 +224,11 @@ def finetune_mct(
     """
     settings = settings if settings is not None else TrainSettings()
     encoder = ntt_model.ntt if isinstance(ntt_model, NTTForDelay) else ntt_model
-    model = NTTForMCT(config, encoder, seed=settings.seed)
+    with fastpath.precision(precision):
+        model = NTTForMCT(config, encoder, seed=settings.seed)
+    # Unconditional cast: see finetune_delay — the encoder may arrive in
+    # either dtype for the same cache key.
+    model.cast_parameters(fastpath.resolve_dtype(precision))
     if not pipeline.mct_scaler.fitted:
         pipeline.fit_mct(bundle.train.with_completed_messages_only())
     train_loader, val_loader = make_mct_loaders(pipeline, bundle.train, bundle.val, settings)
@@ -219,9 +241,11 @@ def finetune_mct(
         grad_clip=settings.grad_clip,
         schedule=warmup_cosine(max(1, int(total_steps * settings.warmup_fraction)), total_steps),
         on_epoch_start=_freeze_hook(model, mode),
+        precision=precision,
     )
     history = _fit_with_mode(trainer, model, mode, train_loader, val_loader, settings, verbose)
-    test_mse = evaluate_mct(model, pipeline, bundle.test)
+    with fastpath.precision(precision):
+        test_mse = evaluate_mct(model, pipeline, bundle.test)
     return FinetuneResult(model, history, test_mse, mode=mode, task="mct")
 
 
@@ -231,11 +255,14 @@ def train_mct_from_scratch(
     bundle: DatasetBundle,
     settings: TrainSettings | None = None,
     verbose: bool = False,
+    precision: str = "float64",
 ) -> FinetuneResult:
     """From-scratch MCT model: fresh encoder + MCT decoder, full training."""
     from repro.core.model import NTT
 
-    encoder = NTT(config)
+    with fastpath.precision(precision):
+        encoder = NTT(config)
     return finetune_mct(
-        encoder, config, pipeline, bundle, settings=settings, mode=FinetuneMode.FULL, verbose=verbose
+        encoder, config, pipeline, bundle, settings=settings, mode=FinetuneMode.FULL,
+        verbose=verbose, precision=precision,
     )

@@ -22,14 +22,35 @@ import numpy as np
 from repro.core.aggregation import AggregationSpec, Aggregator
 from repro.core.decoders import DelayDecoder, MCTDecoder
 from repro.core.features import FeatureSpec
+from repro.nn import fastpath
 from repro.nn.layers import Embedding, Linear
 from repro.nn.module import Module, Parameter
 from repro.nn.positional import SinusoidalPositionalEncoding
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, _unbroadcast
 from repro.nn.transformer import TransformerEncoder
 from repro.utils.rng import RngFactory
 
 __all__ = ["NTTConfig", "NTT", "NTTForDelay", "NTTForMCT"]
+
+
+def _fused_add3(a: Tensor, b: Tensor, c: Tensor) -> Tensor:
+    """``(a + b) + c`` as one autograd node (bit-identical).
+
+    The embedding combine adds two full ``(batch, seq, d_emb)`` arrays
+    to the continuous embedding every step; fusing the chain drops one
+    full-size temporary and one graph node.
+    """
+    data = a.data + b.data
+    np.add(data, c.data, out=data)
+
+    def backward(grad):
+        return (
+            grad,
+            _unbroadcast(grad, b.data.shape),
+            _unbroadcast(grad, c.data.shape),
+        )
+
+    return Tensor._from_op(data, (a, b, c), backward)
 
 
 @dataclass(frozen=True)
@@ -149,20 +170,26 @@ class NTT(Module):
                 f"sequence length {seq_len}"
             )
         spec = self.config.features
+        # Fancy indexing already yields a fresh contiguous array, so the
+        # masking below may write into it directly — no second copy.
         selected = features[:, window_len - seq_len :, list(spec.continuous_columns)]
-        selected = np.ascontiguousarray(selected)
         # Mask the most recent packet's delay (the pre-training target).
         delay_position = spec.delay_position
         if delay_position is not None:
-            selected = selected.copy()
             selected[:, -1, delay_position] = 0.0
         embedded = self.embed_continuous(Tensor(selected))
-        if self.embed_receiver is not None:
-            embedded = embedded + self.embed_receiver(receiver[:, window_len - seq_len :])
         # Flag the masked position with the learned mask embedding.
         flag = np.zeros((seq_len, 1), dtype=np.float64)
         flag[-1, 0] = 1.0
-        embedded = embedded + Tensor(flag) * self.mask_embedding
+        flagged = Tensor(flag) * self.mask_embedding
+        if self.embed_receiver is not None:
+            receiver_embedded = self.embed_receiver(receiver[:, window_len - seq_len :])
+            if fastpath.fused_ops_enabled():
+                embedded = _fused_add3(embedded, receiver_embedded, flagged)
+            else:
+                embedded = embedded + receiver_embedded + flagged
+        else:
+            embedded = embedded + flagged
         aggregated = self.aggregator(embedded)
         return self.encoder(self.positional(aggregated))
 

@@ -231,15 +231,25 @@ class ExperimentContext:
 
     # -- models --------------------------------------------------------------------
 
-    def _pretrain_cached(self, config: NTTConfig, settings: TrainSettings) -> PretrainResult:
+    def _pretrain_cached(
+        self,
+        config: NTTConfig,
+        settings: TrainSettings,
+        precision: str = "float64",
+    ) -> PretrainResult:
         """Pre-train one configuration, store-backed when possible.
 
         Results are also memoised in-process, so ablation variants are
         trained once per context even without an artifact store.
+        ``precision`` folds into both cache layers only when non-default
+        (float64 keys stay byte-identical).
         """
         from repro.api.hashing import stable_hash
+        from repro.api.store import precision_key
 
-        memo_key = stable_hash({"config": config, "settings": settings})
+        memo_key = stable_hash(
+            {"config": config, "settings": settings, "precision": precision}
+        )
         if memo_key in self._pretrain_variants:
             return self._pretrain_variants[memo_key]
         key = None
@@ -247,28 +257,37 @@ class ExperimentContext:
             from repro.api.stages import versioned_key
             from repro.api.store import pretrained_key
 
-            key = versioned_key(
-                "pretrain",
-                pretrained_key(
-                    self.scenario_config(ScenarioKind.PRETRAIN),
-                    self.scale.window,
-                    self.scale.n_runs,
-                    config,
-                    settings,
+            key = precision_key(
+                versioned_key(
+                    "pretrain",
+                    pretrained_key(
+                        self.scenario_config(ScenarioKind.PRETRAIN),
+                        self.scale.window,
+                        self.scale.n_runs,
+                        config,
+                        settings,
+                    ),
                 ),
+                precision,
             )
             cached = self.store.get_pretrained(key)
             if cached is not None:
                 self._pretrain_variants[memo_key] = cached
                 return cached
-        result = pretrain(config, self.bundle(ScenarioKind.PRETRAIN), settings=settings)
+        result = pretrain(
+            config, self.bundle(ScenarioKind.PRETRAIN), settings=settings, precision=precision
+        )
         if self.store is not None:
             self.store.put_pretrained(key, result)
         self._pretrain_variants[memo_key] = result
         return result
 
-    def pretrained(self) -> PretrainResult:
+    def pretrained(self, precision: str = "float64") -> PretrainResult:
         """The shared fully-featured pre-trained NTT (cached)."""
+        if precision != "float64":
+            return self._pretrain_cached(
+                self.scale.model_config(), self.scale.pretrain_settings, precision
+            )
         if self._pretrained is None:
             self._pretrained = self._pretrain_cached(
                 self.scale.model_config(), self.scale.pretrain_settings

@@ -17,6 +17,7 @@ from repro.core.features import FeaturePipeline
 from repro.core.model import NTTConfig, NTTForDelay
 from repro.datasets.generation import DatasetBundle
 from repro.datasets.windows import WindowDataset
+from repro.nn import fastpath
 from repro.nn.data import ArrayDataset, DataLoader
 from repro.nn.losses import mse_loss
 from repro.nn.optim import Adam
@@ -84,9 +85,11 @@ def make_delay_loaders(
         val.receiver,
         pipeline.transform_delay_target(val),
     )
+    # The trainer consumes each batch before advancing, so both loaders
+    # take the zero-copy path (``numpy.take`` into reused buffers).
     return (
-        DataLoader(train_ds, settings.batch_size, shuffle=True, rng=rng),
-        DataLoader(val_ds, max(settings.batch_size, 128)),
+        DataLoader(train_ds, settings.batch_size, shuffle=True, rng=rng, reuse_buffers=True),
+        DataLoader(val_ds, max(settings.batch_size, 128), reuse_buffers=True),
     )
 
 
@@ -101,17 +104,23 @@ def pretrain(
     settings: TrainSettings | None = None,
     pipeline: FeaturePipeline | None = None,
     verbose: bool = False,
+    precision: str = "float64",
 ) -> PretrainResult:
     """Pre-train an NTT on a (pre-training) dataset bundle.
 
     A fresh :class:`FeaturePipeline` is fitted on the bundle's training
     split unless one is supplied.  Returns the trained model together
     with its pipeline — fine-tuning must reuse both.
+
+    ``precision="float32"`` builds and trains the model in float32
+    (half the matmul memory bandwidth, for exploratory sweeps); the
+    float64 default keeps results — and cache keys — exactly as before.
     """
     settings = settings if settings is not None else TrainSettings()
     if pipeline is None:
         pipeline = FeaturePipeline().fit(bundle.train)
-    model = NTTForDelay(config)
+    with fastpath.precision(precision):
+        model = NTTForDelay(config)
     train_loader, val_loader = make_delay_loaders(pipeline, bundle.train, bundle.val, settings)
     total_steps = max(len(train_loader) * settings.epochs, 2)
     trainer = Trainer(
@@ -123,6 +132,7 @@ def pretrain(
         schedule=warmup_cosine(
             max(1, int(total_steps * settings.warmup_fraction)), total_steps
         ),
+        precision=precision,
     )
     history = trainer.fit(
         train_loader,
@@ -131,5 +141,6 @@ def pretrain(
         patience=settings.patience,
         verbose=verbose,
     )
-    test_mse = evaluate_delay(model, pipeline, bundle.test)
+    with fastpath.precision(precision):
+        test_mse = evaluate_delay(model, pipeline, bundle.test)
     return PretrainResult(model, pipeline, history, test_mse)

@@ -179,31 +179,45 @@ def windows_from_trace(
             np.zeros((0, window_len), dtype=bool),
         )
     delays = trace.delay
-    receiver_mapped = np.array(
-        [receiver_index[int(r)] for r in trace.receiver_id], dtype=np.int64
+    # Vectorised receiver-id remapping: look raw ids up in the sorted
+    # key table (every id is guaranteed present in ``receiver_index``).
+    keys = np.fromiter(receiver_index.keys(), dtype=np.int64, count=len(receiver_index))
+    values = np.fromiter(
+        receiver_index.values(), dtype=np.int64, count=len(receiver_index)
     )
+    key_order = np.argsort(keys)
+    sorted_keys = keys[key_order]
+    raw_ids = trace.receiver_id.astype(np.int64)
+    if not len(sorted_keys):
+        raise KeyError(int(raw_ids[0]))
+    positions = np.searchsorted(sorted_keys, raw_ids).clip(0, len(sorted_keys) - 1)
+    unknown = sorted_keys[positions] != raw_ids
+    if unknown.any():
+        raise KeyError(int(raw_ids[unknown][0]))
+    receiver_mapped = values[key_order][positions]
     ends = np.arange(window_len - 1, n_packets, config.stride)
     n_windows = len(ends)
-    features = np.zeros((n_windows, window_len, len(RAW_FEATURES)), dtype=np.float64)
-    receiver = np.zeros((n_windows, window_len), dtype=np.int64)
-    delay_target = np.zeros(n_windows, dtype=np.float64)
-    mct_target = np.zeros(n_windows, dtype=np.float64)
-    message_size = np.zeros(n_windows, dtype=np.float64)
-    mct_seq = np.zeros((n_windows, window_len), dtype=np.float64)
-    end_seq = np.zeros((n_windows, window_len), dtype=bool)
-    for row, end in enumerate(ends):
-        start = end - window_len + 1
-        window_slice = slice(start, end + 1)
-        send = trace.send_time[window_slice]
-        features[row, :, 0] = send - send[-1]
-        features[row, :, 1] = trace.size[window_slice]
-        features[row, :, 2] = delays[window_slice]
-        receiver[row] = receiver_mapped[window_slice]
-        delay_target[row] = delays[end]
-        mct_target[row] = trace.mct[end]
-        message_size[row] = trace.message_size[end]
-        mct_seq[row] = trace.mct[window_slice]
-        end_seq[row] = trace.is_message_end[window_slice]
+
+    def window_view(column: np.ndarray) -> np.ndarray:
+        """Zero-copy ``(n_windows, window_len)`` strided view of a trace
+        column (the windows all start ``stride`` packets apart)."""
+        sliding = np.lib.stride_tricks.sliding_window_view(column, window_len)
+        return sliding[:: config.stride][:n_windows]
+
+    features = np.empty((n_windows, window_len, len(RAW_FEATURES)), dtype=np.float64)
+    send = window_view(trace.send_time)
+    features[:, :, 0] = send
+    features[:, :, 0] -= send[:, -1:]
+    features[:, :, 1] = window_view(trace.size)
+    features[:, :, 2] = window_view(delays)
+    receiver = np.ascontiguousarray(window_view(receiver_mapped))
+    # ``astype`` on the strided view materialises a fresh contiguous
+    # array in one copy.
+    mct_seq = window_view(trace.mct).astype(np.float64)
+    end_seq = window_view(trace.is_message_end).astype(bool)
+    delay_target = delays[ends].astype(np.float64)
+    mct_target = trace.mct[ends].astype(np.float64)
+    message_size = trace.message_size[ends].astype(np.float64)
     return WindowDataset(
         features, receiver, delay_target, mct_target, message_size, mct_seq, end_seq
     )

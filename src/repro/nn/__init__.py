@@ -10,14 +10,20 @@ operator's gradient is validated against finite differences in the test
 suite.
 """
 
-from repro.nn.tensor import Tensor, concat, no_grad
+from repro.nn.fastpath import (
+    composite_ops,
+    fused_ops_enabled,
+    precision,
+    set_fused_ops,
+)
+from repro.nn.tensor import Tensor, concat, linear, masked_softmax, no_grad
 from repro.nn.module import Module, Parameter, ModuleList
 from repro.nn.layers import Dropout, Embedding, GELU, Linear, ReLU, Sequential, Tanh
-from repro.nn.norm import LayerNorm
+from repro.nn.norm import LayerNorm, layer_norm
 from repro.nn.attention import MultiHeadAttention
 from repro.nn.transformer import TransformerEncoder, TransformerEncoderLayer
 from repro.nn.positional import LearnedPositionalEncoding, SinusoidalPositionalEncoding
-from repro.nn.losses import huber_loss, l1_loss, mse_loss
+from repro.nn.losses import cross_entropy, huber_loss, l1_loss, mse_loss
 from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm
 from repro.nn.data import ArrayDataset, DataLoader
 from repro.nn.trainer import Trainer, TrainingHistory
@@ -26,6 +32,14 @@ __all__ = [
     "Tensor",
     "concat",
     "no_grad",
+    "linear",
+    "masked_softmax",
+    "layer_norm",
+    "cross_entropy",
+    "composite_ops",
+    "fused_ops_enabled",
+    "set_fused_ops",
+    "precision",
     "Module",
     "Parameter",
     "ModuleList",

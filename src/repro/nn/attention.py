@@ -4,6 +4,13 @@ The mechanism behind Transformers (§2 of the paper): every output
 position encodes its own information *and* its context, computed as a
 weighted sum over all positions.  Cost is quadratic in sequence length —
 the very reason the NTT aggregates packets before the encoder (§3).
+
+The default forward is a fused kernel: head split, scaled scores,
+masked softmax, context matmul and head merge collapse into one
+autograd node whose backward replays the composite graph's arithmetic
+exactly (bit-identical gradients).
+:func:`repro.nn.fastpath.composite_ops` restores the original
+node-per-op graph.
 """
 
 from __future__ import annotations
@@ -12,9 +19,10 @@ import math
 
 import numpy as np
 
+from repro.nn import fastpath
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, masked_softmax
 
 __all__ = ["MultiHeadAttention", "scaled_dot_product_attention"]
 
@@ -38,14 +46,125 @@ def scaled_dot_product_attention(
     """
     d_head = query.shape[-1]
     scores = (query @ key.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_head))
-    if mask is not None:
-        scores = scores.masked_fill(mask, -1e9)
-    weights = scores.softmax(axis=-1)
+    if fastpath.fused_ops_enabled():
+        weights = masked_softmax(scores, mask)
+    else:
+        if mask is not None:
+            scores = scores.masked_fill(mask, -1e9)
+        weights = scores.softmax(axis=-1)
     return weights @ value, weights
 
 
+def _merged_heads(stacked: np.ndarray, batch: int, seq: int, d_model: int) -> np.ndarray:
+    """(batch, heads, seq, d_head) → a *private* (batch, seq, d_model).
+
+    The transpose+reshape normally copies, but for degenerate shapes
+    (one head, or a one-element sequence) the transposed array is still
+    contiguous and ``reshape`` returns a view — of a pooled scratch
+    buffer here, which a later same-shape forward would overwrite.
+    Copy in exactly that case; the normal path keeps the plain reshape
+    result (no extra allocation, identical to the composite graph's).
+    """
+    merged = stacked.transpose(0, 2, 1, 3).reshape(batch, seq, d_model)
+    if merged.base is not None and np.shares_memory(merged, stacked):
+        return merged.copy()
+    return merged
+
+
+def _merged_heads_owned(stacked: np.ndarray, batch: int, seq: int, d_model: int) -> np.ndarray:
+    """Head merge for an array this backward owns: the view (when the
+    reshape is expressible as strides) is safe — the result keeps its
+    base alive — and preserves the composite graph's memory layout,
+    which downstream reductions iterate in."""
+    return stacked.transpose(0, 2, 1, 3).reshape(batch, seq, d_model)
+
+
+def _fused_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    n_heads: int,
+    mask: np.ndarray | None,
+) -> tuple[Tensor, np.ndarray]:
+    """The whole multi-head attention core as one autograd node.
+
+    Input projections of shape ``(batch, seq, d_model)`` go in; the
+    merged context ``(batch, seq, d_model)`` comes out, along with the
+    attention probabilities ``(batch, heads, seq, seq)`` for optional
+    recording.  Forward and backward perform the composite graph's numpy
+    operations in its exact order (head split/merge views included), so
+    results are bit-identical while ~15 graph nodes, their closures and
+    their gradient-dict traffic disappear.
+    """
+    batch, seq, d_model = query.shape
+    d_head = d_model // n_heads
+    scale = 1.0 / math.sqrt(d_head)
+    q4 = query.data.reshape(batch, seq, n_heads, d_head).transpose(0, 2, 1, 3)
+    k4 = key.data.reshape(batch, seq, n_heads, d_head).transpose(0, 2, 1, 3)
+    v4 = value.data.reshape(batch, seq, n_heads, d_head).transpose(0, 2, 1, 3)
+    k_t = np.swapaxes(k4, -1, -2)
+    scores = q4 @ k_t
+    np.multiply(scores, scale, out=scores)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        scores[np.broadcast_to(mask, scores.shape)] = scores.dtype.type(-1e9)
+    np.subtract(scores, scores.max(axis=-1, keepdims=True), out=scores)
+    np.exp(scores, out=scores)
+    weights = scores  # the scores buffer becomes the probabilities
+    np.divide(weights, weights.sum(axis=-1, keepdims=True), out=weights)
+    ctx4 = fastpath.scratch((batch, n_heads, seq, d_head), weights.dtype)
+    np.matmul(weights, v4, out=ctx4)
+    context = _merged_heads(ctx4, batch, seq, d_model)
+
+    def backward(grad):
+        # All batched intermediates live in pooled scratch buffers; only
+        # the three merged gradients handed to the engine are fresh.
+        gctx = grad.reshape(batch, seq, n_heads, d_head).transpose(0, 2, 1, 3)
+        gweights = fastpath.scratch((batch, n_heads, seq, seq), grad.dtype)
+        np.matmul(gctx, np.swapaxes(v4, -1, -2), out=gweights)
+        # slot=3: stays live to the end, and with seq == d_head its shape
+        # collides with ``gweights``/``tmp``/``gq4`` in slots 0-1.
+        gv4 = fastpath.scratch((batch, n_heads, seq, d_head), grad.dtype, slot=3)
+        np.matmul(np.swapaxes(weights, -1, -2), gctx, out=gv4)
+        tmp = fastpath.scratch((batch, n_heads, seq, seq), grad.dtype, slot=1)
+        np.multiply(gweights, weights, out=tmp)
+        dot = tmp.sum(axis=-1, keepdims=True)
+        np.subtract(gweights, dot, out=gweights)
+        np.multiply(weights, gweights, out=gweights)  # softmax backward
+        if mask is not None:
+            # The composite masked_fill backward zeroed hidden scores
+            # (this matters for fully-masked rows, whose probabilities
+            # are uniform rather than zero).
+            gweights[np.broadcast_to(mask, gweights.shape)] = 0.0
+        np.multiply(gweights, scale, out=gweights)  # score-scaling backward
+        gq4 = fastpath.scratch((batch, n_heads, seq, d_head), grad.dtype, slot=1)
+        np.matmul(gweights, np.swapaxes(k_t, -1, -2), out=gq4)
+        # Freshly owned, not pooled: the swapped layout makes the head
+        # merge below a strided *view* for every shape, which must keep
+        # its backing array alive past this backward call.
+        gk_t = np.swapaxes(q4, -1, -2) @ gweights
+        gk4 = np.swapaxes(gk_t, -1, -2)
+        gq = _merged_heads(gq4, batch, seq, d_model)
+        gk = _merged_heads_owned(gk4, batch, seq, d_model)
+        gv = _merged_heads(gv4, batch, seq, d_model)
+        return (gq, gk, gv)
+
+    out = Tensor._from_op(context, (query, key, value), backward)
+    return out, weights
+
+
 class MultiHeadAttention(Module):
-    """Standard multi-head attention with learned Q/K/V/output projections."""
+    """Standard multi-head attention with learned Q/K/V/output projections.
+
+    Args:
+        record_attention: keep a copy of the latest attention
+            probabilities in :attr:`last_attention` after every forward.
+            Off by default — the copy is a full ``(batch, heads, seq,
+            seq)`` array per forward, a pure introspection cost the
+            training loop should not pay.  Interpretability tooling
+            (:mod:`repro.analysis.attention`) flips it on around its
+            forward pass.
+    """
 
     def __init__(
         self,
@@ -53,6 +172,7 @@ class MultiHeadAttention(Module):
         n_heads: int,
         rng: np.random.Generator,
         dropout: float = 0.0,
+        record_attention: bool = False,
     ):
         super().__init__()
         if d_model % n_heads != 0:
@@ -65,8 +185,9 @@ class MultiHeadAttention(Module):
         self.w_value = Linear(d_model, d_model, rng)
         self.w_out = Linear(d_model, d_model, rng)
         self.dropout = Dropout(dropout, rng)
-        #: Attention weights of the latest forward pass (numpy copy), for
-        #: interpretability tooling; not part of the autograd graph.
+        self.record_attention = record_attention
+        #: Attention weights of the latest recorded forward pass (numpy
+        #: copy); ``None`` unless :attr:`record_attention` is enabled.
         self.last_attention: np.ndarray | None = None
 
     def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
@@ -82,11 +203,17 @@ class MultiHeadAttention(Module):
         if x.ndim != 3:
             raise ValueError(f"expected (batch, seq, d_model), got shape {x.shape}")
         batch, seq, _ = x.shape
+        if fastpath.fused_ops_enabled():
+            context, weights = _fused_attention(
+                self.w_query(x), self.w_key(x), self.w_value(x), self.n_heads, mask
+            )
+            self.last_attention = weights.copy() if self.record_attention else None
+            return self.dropout(self.w_out(context))
         query = self._split_heads(self.w_query(x), batch, seq)
         key = self._split_heads(self.w_key(x), batch, seq)
         value = self._split_heads(self.w_value(x), batch, seq)
         context, weights = scaled_dot_product_attention(query, key, value, mask)
-        self.last_attention = weights.data.copy()
+        self.last_attention = weights.data.copy() if self.record_attention else None
         context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
         return self.dropout(self.w_out(context))
 

@@ -57,6 +57,15 @@ class DataLoader:
 
     Shuffling uses the provided RNG so epochs are reproducible.  The
     last short batch is kept (dropping data would bias small datasets).
+
+    With ``reuse_buffers=True`` the loader materialises each batch via
+    ``numpy.take`` into one preallocated buffer per dataset array (the
+    training hot loop's zero-allocation path) instead of allocating a
+    fresh fancy-indexed copy per batch.  Batch *values* are identical;
+    the arrays yielded for one batch are overwritten by the next, so the
+    flag is only safe when batches are consumed before advancing — true
+    for the :class:`~repro.nn.trainer.Trainer` loops — and a loader must
+    not be iterated from two places at once.
     """
 
     def __init__(
@@ -66,6 +75,7 @@ class DataLoader:
         shuffle: bool = False,
         rng: np.random.Generator | None = None,
         drop_last: bool = False,
+        reuse_buffers: bool = False,
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -76,6 +86,8 @@ class DataLoader:
         self.shuffle = shuffle
         self.rng = rng
         self.drop_last = drop_last
+        self.reuse_buffers = reuse_buffers
+        self._buffers: tuple[np.ndarray, ...] | None = None
 
     def __len__(self) -> int:
         count = len(self.dataset)
@@ -83,12 +95,33 @@ class DataLoader:
             return count // self.batch_size
         return (count + self.batch_size - 1) // self.batch_size
 
+    def _batch_buffers(self) -> tuple[np.ndarray, ...]:
+        if self._buffers is None:
+            self._buffers = tuple(
+                np.empty((self.batch_size,) + array.shape[1:], dtype=array.dtype)
+                for array in self.dataset.arrays
+            )
+        return self._buffers
+
     def __iter__(self) -> Iterator[tuple]:
         indices = np.arange(len(self.dataset))
         if self.shuffle:
             self.rng.shuffle(indices)
+        if not self.reuse_buffers:
+            for start in range(0, len(indices), self.batch_size):
+                batch = indices[start : start + self.batch_size]
+                if self.drop_last and len(batch) < self.batch_size:
+                    return
+                yield self.dataset[batch]
+            return
+        buffers = self._batch_buffers()
+        arrays = self.dataset.arrays
         for start in range(0, len(indices), self.batch_size):
             batch = indices[start : start + self.batch_size]
-            if self.drop_last and len(batch) < self.batch_size:
+            count = len(batch)
+            if self.drop_last and count < self.batch_size:
                 return
-            yield self.dataset[batch]
+            yield tuple(
+                np.take(array, batch, axis=0, out=buffer[:count])
+                for array, buffer in zip(arrays, buffers)
+            )

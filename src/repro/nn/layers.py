@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import init
+from repro.nn import fastpath, init
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, linear
 
 __all__ = ["Linear", "ReLU", "GELU", "Tanh", "Dropout", "Embedding", "Sequential", "Identity"]
 
@@ -44,6 +44,9 @@ class Linear(Module):
             raise ValueError(
                 f"Linear expected last dim {self.in_features}, got {x.shape[-1]}"
             )
+        if fastpath.fused_ops_enabled() and x.ndim >= 2:
+            # One graph node for matmul + bias (bit-identical results).
+            return linear(x, self.weight, self.bias)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias

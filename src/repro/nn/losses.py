@@ -1,14 +1,21 @@
-"""Regression losses.
+"""Regression losses (plus a classification head utility).
 
 The paper reports mean squared error for both tasks (§4); the others are
-provided for robustness experiments.
+provided for robustness experiments.  ``mse_loss`` — the training-loop
+loss — runs as one fused autograd node by default (bit-identical to the
+composite graph; see :func:`repro.nn.fastpath.composite_ops` for the
+escape hatch), and :func:`cross_entropy` provides a fused
+log-softmax/NLL op for classification-style probes.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.nn import fastpath
 from repro.nn.tensor import Tensor
 
-__all__ = ["mse_loss", "l1_loss", "huber_loss"]
+__all__ = ["mse_loss", "l1_loss", "huber_loss", "cross_entropy"]
 
 
 def _check_shapes(prediction: Tensor, target: Tensor) -> None:
@@ -23,8 +30,69 @@ def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
     """Mean squared error over all elements."""
     target = Tensor.ensure(target)
     _check_shapes(prediction, target)
+    if fastpath.fused_ops_enabled():
+        return _fused_mse(prediction, target)
     difference = prediction - target
     return (difference * difference).mean()
+
+
+def _fused_mse(prediction: Tensor, target: Tensor) -> Tensor:
+    """MSE as one graph node, bit-identical to the composite chain."""
+    difference = prediction.data - target.data
+    squared = difference * difference
+    count = 1.0 / difference.size
+    loss = squared.sum() * count
+
+    def backward(grad):
+        gdiff = np.broadcast_to(grad * count, difference.shape).copy()
+        np.multiply(gdiff, difference, out=gdiff)
+        # The composite square node contributed ``gdiff`` twice.
+        np.add(gdiff, gdiff, out=gdiff)
+        gtarget = np.negative(gdiff) if target.requires_grad else None
+        return (gdiff, gtarget)
+
+    return Tensor._from_op(loss, (prediction, target), backward)
+
+
+def cross_entropy(logits: Tensor, targets) -> Tensor:
+    """Fused log-softmax + negative log-likelihood over class indices.
+
+    ``logits`` has shape ``(batch, classes)``; ``targets`` is an integer
+    array of shape ``(batch,)``.  One graph node computes the numerically
+    stable log-softmax and the mean NLL; the analytic backward is
+    ``(softmax - onehot) / batch`` — no intermediate log/exp/gather
+    nodes, no one-hot materialisation.
+    """
+    logits = Tensor.ensure(logits)
+    if logits.ndim != 2:
+        raise ValueError(f"cross_entropy expects (batch, classes) logits, got {logits.shape}")
+    targets = np.asarray(targets)
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(
+            f"targets shape {targets.shape} does not match batch size {logits.shape[0]}"
+        )
+    if not np.issubdtype(targets.dtype, np.integer):
+        raise TypeError(f"targets must be integer class indices, got {targets.dtype}")
+    if targets.size and (targets.min() < 0 or targets.max() >= logits.shape[1]):
+        raise IndexError(f"class index out of range [0, {logits.shape[1]})")
+    batch = logits.shape[0]
+    rows = np.arange(batch)
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    denom = exp.sum(axis=1, keepdims=True)
+    log_probs = shifted - np.log(denom)
+    loss = -log_probs[rows, targets].sum() / batch
+
+    def backward(grad):
+        # Fresh buffer: the saved forward intermediates stay intact, so
+        # repeated backward passes (like every composite op supports)
+        # keep returning correct, unaliased gradients.
+        glogits = exp / denom  # softmax probabilities
+        glogits[rows, targets] -= 1.0
+        np.multiply(glogits, grad / batch, out=glogits)
+        return (glogits,)
+
+    return Tensor._from_op(loss, (logits,), backward)
 
 
 def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:

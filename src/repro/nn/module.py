@@ -13,6 +13,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.nn import fastpath
 from repro.nn.tensor import Tensor
 
 __all__ = ["Parameter", "Module", "ModuleList", "freeze_parameters"]
@@ -101,20 +102,36 @@ class Module:
         """Load parameter values saved by :meth:`state_dict`.
 
         Raises ``KeyError`` on missing entries and ``ValueError`` on
-        shape mismatches — silent partial loads hide real bugs.
+        shape mismatches — silent partial loads hide real bugs.  Values
+        are stored in the active compute dtype (float64 unless inside a
+        :func:`repro.nn.fastpath.precision` scope).
         """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         if missing:
             raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
+        dtype = fastpath.default_dtype()
         for name, parameter in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=dtype)
             if value.shape != parameter.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name!r}: "
                     f"checkpoint {value.shape} vs model {parameter.data.shape}"
                 )
             parameter.data = value.copy()
+
+    def cast_parameters(self, dtype) -> "Module":
+        """Convert every parameter's storage to ``dtype`` in place.
+
+        Used when entering a non-default compute precision with an
+        already-built model (e.g. fine-tuning a float64 checkpoint in
+        float32); gradients and optimizer state follow automatically.
+        """
+        dtype = np.dtype(dtype)
+        for parameter in self.parameters():
+            parameter.data = parameter.data.astype(dtype, copy=False)
+            parameter.grad = None
+        return self
 
     # -- forward ----------------------------------------------------------------------
 

@@ -2,19 +2,94 @@
 
 from __future__ import annotations
 
-from repro.nn import init
-from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+import numpy as np
 
-__all__ = ["LayerNorm"]
+from repro.nn import fastpath, init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, _unbroadcast
+
+__all__ = ["LayerNorm", "layer_norm"]
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float) -> Tensor:
+    """Fused LayerNorm forward/backward as one autograd node.
+
+    The composite implementation builds a ~12-node graph (mean, centre,
+    variance, rsqrt, scale, shift); this op performs the same numpy
+    arithmetic in the same order — forward values and gradients are
+    bit-identical — while writing into shared buffers instead of fresh
+    temporaries and skipping the per-node closure/graph overhead.
+
+    The backward hands ``x`` *two* contributions (the centring path and
+    the mean path), in the exact order the composite engine accumulated
+    them, so downstream gradient sums keep their float association.
+    """
+    x = Tensor.ensure(x)
+    count = x.data.shape[-1]
+    c = 1.0 / count
+    mean = x.data.sum(axis=-1, keepdims=True)
+    np.multiply(mean, c, out=mean)
+    centered = x.data - mean
+    # ``norm_buf`` holds centered**2 for the variance, then is reused for
+    # the normalised output.
+    norm_buf = centered * centered
+    var = norm_buf.sum(axis=-1, keepdims=True)
+    np.multiply(var, c, out=var)
+    np.add(var, eps, out=var)
+    sd = np.sqrt(var)
+    normalised = norm_buf
+    np.divide(centered, sd, out=normalised)
+    out = normalised * gamma.data
+    np.add(out, beta.data, out=out)
+
+    def backward(grad):
+        gbeta = _unbroadcast(grad, beta.data.shape)
+        gnorm = grad * gamma.data
+        # Centring-path contribution (the composite division node).
+        gcentered = gnorm / sd
+        # ``gnorm`` is free now; reuse it for the variance-path temps.
+        np.negative(gnorm, out=gnorm)
+        np.multiply(gnorm, centered, out=gnorm)
+        np.divide(gnorm, sd**2, out=gnorm)
+        gsd = _unbroadcast(gnorm, sd.shape)
+        np.multiply(gsd, 0.5, out=gsd)
+        np.divide(gsd, sd, out=gsd)  # sqrt backward
+        np.multiply(gsd, c, out=gsd)  # variance-mean backward
+        # Broadcast-multiply pairs each element with its row's gsd —
+        # identical values to the composite broadcast-copy-then-multiply.
+        gs2 = gnorm
+        np.multiply(gsd, centered, out=gs2)
+        # centered received (div, square, square) contributions in that
+        # order in the composite graph.
+        np.add(gcentered, gs2, out=gcentered)
+        np.add(gcentered, gs2, out=gcentered)
+        # Mean-path contribution to x; handed to the engine as a
+        # broadcast view (accumulating adds broadcast it identically).
+        gmean = _unbroadcast(gcentered, mean.shape)
+        np.negative(gmean, out=gmean)
+        np.multiply(gmean, c, out=gmean)
+        gx_mean = np.broadcast_to(gmean, x.data.shape)
+        if grad.ndim > 1:
+            tmp = fastpath.scratch(x.data.shape, grad.dtype)
+            np.multiply(grad, normalised, out=tmp)
+            ggamma = _unbroadcast(tmp, gamma.data.shape)
+        else:
+            # 1-D input: the reduction is the identity, so the result
+            # must be a fresh array, not a pooled scratch buffer.
+            ggamma = grad * normalised
+        return (gcentered, gx_mean, ggamma, gbeta)
+
+    return Tensor._from_op(out, (x, x, gamma, beta), backward)
 
 
 class LayerNorm(Module):
     """Normalise the last axis to zero mean / unit variance, then scale
     and shift with learned ``gamma`` / ``beta``.
 
-    Built from differentiable primitives, so its gradient is exercised
-    by the same finite-difference checks as every other op.
+    The default forward is the fused single-node kernel
+    (:func:`layer_norm`); :func:`repro.nn.fastpath.composite_ops`
+    restores the original primitive-op graph, whose gradient is
+    exercised by the same finite-difference checks as every other op.
     """
 
     def __init__(self, normalized_dim: int, eps: float = 1e-5):
@@ -32,6 +107,8 @@ class LayerNorm(Module):
             raise ValueError(
                 f"LayerNorm expected last dim {self.normalized_dim}, got {x.shape[-1]}"
             )
+        if fastpath.fused_ops_enabled():
+            return layer_norm(x, self.gamma, self.beta, self.eps)
         mean = x.mean(axis=-1, keepdims=True)
         centered = x - mean
         variance = (centered * centered).mean(axis=-1, keepdims=True)

@@ -1,4 +1,13 @@
-"""Optimizers: SGD (+momentum), Adam and AdamW, plus gradient clipping."""
+"""Optimizers: SGD (+momentum), Adam and AdamW, plus gradient clipping.
+
+The default update path is allocation-free: moment/velocity state lives
+in preallocated buffers updated strictly in place (``np.multiply(...,
+out=...)``), with a small per-optimizer scratch pool for the two
+temporaries an Adam step needs.  Every in-place expression replays the
+composite formula's exact operation order, so parameter trajectories are
+bit-identical to the original allocating implementation (kept callable
+via :func:`repro.nn.fastpath.composite_ops`).
+"""
 
 from __future__ import annotations
 
@@ -6,6 +15,7 @@ import math
 
 import numpy as np
 
+from repro.nn import fastpath
 from repro.nn.module import Parameter
 
 __all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm"]
@@ -23,6 +33,17 @@ class Optimizer:
         self.parameters = parameters
         self.lr = float(lr)
         self.steps = 0
+        #: (shape, dtype, slot) → reusable scratch buffer for in-place
+        #: updates; at most two live per distinct parameter shape.
+        self._scratch: dict[tuple, np.ndarray] = {}
+
+    def _scratch_for(self, array: np.ndarray, slot: int = 0) -> np.ndarray:
+        key = (array.shape, array.dtype.str, slot)
+        buffer = self._scratch.get(key)
+        if buffer is None:
+            buffer = np.empty_like(array)
+            self._scratch[key] = buffer
+        return buffer
 
     def zero_grad(self) -> None:
         """Clear every parameter's gradient."""
@@ -53,14 +74,27 @@ class SGD(Optimizer):
 
     def _update(self, index: int, parameter: Parameter) -> None:
         grad = parameter.grad
+        if not fastpath.fused_ops_enabled():
+            if self.momentum > 0.0:
+                velocity = self._velocity.get(index)
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[index] = velocity
+                grad = velocity
+            parameter.data = parameter.data - self.lr * grad
+            return
         if self.momentum > 0.0:
             velocity = self._velocity.get(index)
             if velocity is None:
                 velocity = np.zeros_like(parameter.data)
-            velocity = self.momentum * velocity + grad
-            self._velocity[index] = velocity
+                self._velocity[index] = velocity
+            np.multiply(velocity, self.momentum, out=velocity)
+            velocity += grad
             grad = velocity
-        parameter.data = parameter.data - self.lr * grad
+        update = self._scratch_for(parameter.data)
+        np.multiply(grad, self.lr, out=update)
+        parameter.data -= update
 
 
 class Adam(Optimizer):
@@ -85,18 +119,46 @@ class Adam(Optimizer):
 
     def _update(self, index: int, parameter: Parameter) -> None:
         grad = parameter.grad
+        if not fastpath.fused_ops_enabled():
+            m = self._m.get(index)
+            v = self._v.get(index)
+            if m is None:
+                m = np.zeros_like(parameter.data)
+                v = np.zeros_like(parameter.data)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            self._m[index] = m
+            self._v[index] = v
+            m_hat = m / (1.0 - self.beta1**self.steps)
+            v_hat = v / (1.0 - self.beta2**self.steps)
+            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            return
         m = self._m.get(index)
-        v = self._v.get(index)
         if m is None:
             m = np.zeros_like(parameter.data)
-            v = np.zeros_like(parameter.data)
-        m = self.beta1 * m + (1.0 - self.beta1) * grad
-        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
-        self._m[index] = m
-        self._v[index] = v
-        m_hat = m / (1.0 - self.beta1**self.steps)
-        v_hat = v / (1.0 - self.beta2**self.steps)
-        parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            self._m[index] = m
+            self._v[index] = np.zeros_like(parameter.data)
+        v = self._v[index]
+        # In-place moment updates; term order mirrors the composite
+        # formula (``(1-b)*grad`` first, then the product with ``grad``)
+        # so every float matches the allocating path bit-for-bit.
+        tmp = self._scratch_for(parameter.data, slot=0)
+        np.multiply(m, self.beta1, out=m)
+        np.multiply(grad, 1.0 - self.beta1, out=tmp)
+        m += tmp
+        np.multiply(v, self.beta2, out=v)
+        np.multiply(grad, 1.0 - self.beta2, out=tmp)
+        np.multiply(tmp, grad, out=tmp)
+        v += tmp
+        update = self._scratch_for(parameter.data, slot=1)
+        np.divide(m, 1.0 - self.beta1**self.steps, out=update)
+        np.multiply(update, self.lr, out=update)
+        denom = tmp
+        np.divide(v, 1.0 - self.beta2**self.steps, out=denom)
+        np.sqrt(denom, out=denom)
+        denom += self.eps
+        np.divide(update, denom, out=update)
+        parameter.data -= update
 
 
 class AdamW(Adam):
@@ -117,7 +179,10 @@ class AdamW(Adam):
 
     def _update(self, index: int, parameter: Parameter) -> None:
         if self.weight_decay:
-            parameter.data = parameter.data * (1.0 - self.lr * self.weight_decay)
+            if fastpath.fused_ops_enabled():
+                parameter.data *= 1.0 - self.lr * self.weight_decay
+            else:
+                parameter.data = parameter.data * (1.0 - self.lr * self.weight_decay)
         super()._update(index, parameter)
 
 
@@ -127,16 +192,37 @@ def clip_grad_norm(parameters, max_norm: float) -> float:
     Returns the pre-clipping norm.  Short transformer training runs on
     heavy-tailed targets occasionally produce gradient spikes; clipping
     keeps Adam's second-moment estimates sane.
+
+    The norm accumulates in a single pass over the parameters (no
+    intermediate gradient list), squaring into a reusable scratch buffer
+    per shape; scaling happens in place.  Accumulation order and every
+    arithmetic step match the original implementation exactly.
     """
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
-    grads = [p.grad for p in parameters if p.grad is not None]
-    if not grads:
+    parameters = list(parameters)
+    total_squared = 0.0
+    any_grad = False
+    for parameter in parameters:
+        grad = parameter.grad
+        if grad is None:
+            continue
+        any_grad = True
+        squared = fastpath.scratch(grad.shape, grad.dtype)
+        np.multiply(grad, grad, out=squared)
+        total_squared += float(squared.sum())
+    if not any_grad:
         return 0.0
-    total = math.sqrt(sum(float((g * g).sum()) for g in grads))
+    total = math.sqrt(total_squared)
     if total > max_norm:
         scale = max_norm / (total + 1e-12)
+        # Guard against the (exotic) case of two parameters sharing one
+        # gradient array — in-place scaling must touch it exactly once.
+        seen: set[int] = set()
         for parameter in parameters:
-            if parameter.grad is not None:
-                parameter.grad = parameter.grad * scale
+            grad = parameter.grad
+            if grad is None or id(grad) in seen:
+                continue
+            seen.add(id(grad))
+            np.multiply(grad, scale, out=grad)
     return total

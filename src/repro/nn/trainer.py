@@ -8,6 +8,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.nn import fastpath
 from repro.nn.data import DataLoader
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer, clip_grad_norm
@@ -18,7 +19,12 @@ __all__ = ["Trainer", "TrainingHistory"]
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch records produced by :meth:`Trainer.fit`."""
+    """Per-epoch records produced by :meth:`Trainer.fit`.
+
+    ``lr`` holds each epoch's mean per-step learning rate (with no
+    schedule every step shares the optimizer's rate, so the mean equals
+    it exactly).
+    """
 
     train_loss: list[float] = field(default_factory=list)
     val_loss: list[float] = field(default_factory=list)
@@ -54,6 +60,12 @@ class Trainer:
             top of every training epoch.  Decoder-only fine-tuning uses
             it to put the frozen encoder back into eval mode so its
             dropout stays off.
+        precision: compute dtype for training and evaluation —
+            ``"float64"`` (the default; cached-artifact bytes depend on
+            it) or ``"float32"`` (half the matmul memory bandwidth, for
+            exploratory sweeps).  Applied as a
+            :func:`repro.nn.fastpath.precision` scope around every
+            epoch/evaluation, so tensors built inside follow it.
     """
 
     def __init__(
@@ -65,6 +77,7 @@ class Trainer:
         grad_clip: float | None = 1.0,
         schedule: Callable | None = None,
         on_epoch_start: Callable | None = None,
+        precision: str = "float64",
     ):
         self.model = model
         self.optimizer = optimizer
@@ -73,8 +86,17 @@ class Trainer:
         self.grad_clip = grad_clip
         self.schedule = schedule
         self.on_epoch_start = on_epoch_start
+        self.precision = precision
+        dtype = fastpath.resolve_dtype(precision)  # validate eagerly
+        if precision != "float64":
+            # A model built outside a precision scope carries float64
+            # parameters; training it with float32 batches would upcast
+            # every matmul (no bandwidth saving, worse numerics).  Pin
+            # the parameters to the declared compute dtype instead.
+            model.cast_parameters(dtype)
         self._base_lr = optimizer.lr
         self._global_step = 0
+        self._epoch_lr = optimizer.lr
 
     @staticmethod
     def _default_forward(model: Module, batch: tuple):
@@ -83,23 +105,36 @@ class Trainer:
         return prediction, target
 
     def train_epoch(self, loader: DataLoader) -> float:
-        """One pass over the training data; returns the mean batch loss."""
+        """One pass over the training data; returns the mean batch loss.
+
+        The schedule (when present) is evaluated exactly once per step;
+        the optimizer's rate is only re-assigned when the multiplier
+        actually moved it, and the per-step rates are recorded once so
+        :meth:`fit` can log the epoch's mean learning rate instead of
+        whatever the last batch happened to use.
+        """
         self.model.train()
         if self.on_epoch_start is not None:
             self.on_epoch_start()
         losses = []
-        for batch in loader:
-            if self.schedule is not None:
-                self.optimizer.lr = self._base_lr * self.schedule(self._global_step)
-            prediction, target = self.forward_fn(self.model, batch)
-            loss = self.loss_fn(prediction, Tensor.ensure(target))
-            self.optimizer.zero_grad()
-            loss.backward()
-            if self.grad_clip is not None:
-                clip_grad_norm(self.optimizer.parameters, self.grad_clip)
-            self.optimizer.step()
-            self._global_step += 1
-            losses.append(loss.item())
+        lr_sum = 0.0
+        with fastpath.precision(self.precision):
+            for batch in loader:
+                if self.schedule is not None:
+                    lr = self._base_lr * self.schedule(self._global_step)
+                    if lr != self.optimizer.lr:
+                        self.optimizer.lr = lr
+                lr_sum += self.optimizer.lr
+                prediction, target = self.forward_fn(self.model, batch)
+                loss = self.loss_fn(prediction, Tensor.ensure(target))
+                self.optimizer.zero_grad()
+                loss.backward()
+                if self.grad_clip is not None:
+                    clip_grad_norm(self.optimizer.parameters, self.grad_clip)
+                self.optimizer.step()
+                self._global_step += 1
+                losses.append(loss.item())
+        self._epoch_lr = lr_sum / len(losses) if losses else self.optimizer.lr
         return float(np.mean(losses)) if losses else float("nan")
 
     def evaluate(self, loader: DataLoader) -> float:
@@ -111,7 +146,7 @@ class Trainer:
         self.model.eval()
         total = 0.0
         count = 0
-        with no_grad():
+        with no_grad(), fastpath.precision(self.precision):
             for batch in loader:
                 prediction, target = self.forward_fn(self.model, batch)
                 loss = self.loss_fn(prediction, Tensor.ensure(target))
@@ -144,7 +179,7 @@ class Trainer:
         for epoch in range(epochs):
             train_loss = self.train_epoch(train_loader)
             history.train_loss.append(train_loss)
-            history.lr.append(self.optimizer.lr)
+            history.lr.append(self._epoch_lr)
             if val_loader is not None:
                 val_loss = self.evaluate(val_loader)
                 history.val_loss.append(val_loss)

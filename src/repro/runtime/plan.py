@@ -46,6 +46,7 @@ from repro.api.stages import STAGE_REGISTRY
 from repro.api.store import (
     evaluation_key,
     finetuned_key,
+    precision_key,
     pretrained_key,
     scratch_key,
     traces_key,
@@ -365,10 +366,15 @@ def _plan_bundle(
     )
 
 
+def _stage_precision(spec: ExperimentSpec, stage: str) -> str:
+    """The spec's compute-precision knob for one training stage."""
+    return spec.params_for(stage).get("precision", "float64")
+
+
 def _base_pretrained_key(spec: ExperimentSpec, features=None, aggregation=None) -> str:
     scale = spec.to_scale()
     feature_spec, aggregation_spec = resolve_variant(scale, features, aggregation)
-    return _versioned(
+    base = _versioned(
         "pretrain",
         pretrained_key(
             spec.scenario_config(ScenarioKind.PRETRAIN),
@@ -378,6 +384,11 @@ def _base_pretrained_key(spec: ExperimentSpec, features=None, aggregation=None) 
             scale.pretrain_settings,
         ),
     )
+    # Ablation variants always train at the default precision — the
+    # spec-level knob addresses only the shared pre-trained model.
+    if features is None and aggregation is None:
+        base = precision_key(base, _stage_precision(spec, "pretrain"))
+    return base
 
 
 def _plan_pretrain(
@@ -390,10 +401,15 @@ def _plan_pretrain(
     deps = []
     if "bundle" in stages:
         deps.append(_plan_bundle(plan, spec, ScenarioKind.PRETRAIN, stages))
+    params = {"features": features, "aggregation": aggregation}
+    if features is None and aggregation is None:
+        precision = _stage_precision(spec, "pretrain")
+        if precision != "float64":
+            params["precision"] = precision
     return plan.add(
         "pretrain",
         spec,
-        {"features": features, "aggregation": aggregation},
+        params,
         kind="checkpoints",
         key=_base_pretrained_key(spec, features, aggregation),
         deps=tuple(deps),
@@ -415,28 +431,35 @@ def _plan_finetune(
     deps = [_plan_pretrain(plan, spec, stages, features, aggregation)]
     if "bundle" in stages:
         deps.append(_plan_bundle(plan, spec, scenario, stages))
-    key = _versioned(
-        "finetune",
-        finetuned_key(
-            _base_pretrained_key(spec, features, aggregation),
-            spec.scenario_config(scenario),
-            task,
-            mode,
-            fraction,
-            scale.finetune_settings,
+    precision = _stage_precision(spec, "finetune")
+    key = precision_key(
+        _versioned(
+            "finetune",
+            finetuned_key(
+                _base_pretrained_key(spec, features, aggregation),
+                spec.scenario_config(scenario),
+                task,
+                mode,
+                fraction,
+                scale.finetune_settings,
+            ),
         ),
+        precision,
     )
+    params = {
+        "scenario": scenario,
+        "task": task,
+        "mode": mode,
+        "fraction": fraction,
+        "features": features,
+        "aggregation": aggregation,
+    }
+    if precision != "float64":
+        params["precision"] = precision
     return plan.add(
         "finetune",
         spec,
-        {
-            "scenario": scenario,
-            "task": task,
-            "mode": mode,
-            "fraction": fraction,
-            "features": features,
-            "aggregation": aggregation,
-        },
+        params,
         kind="checkpoints",
         key=key,
         deps=tuple(deps),

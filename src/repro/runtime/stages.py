@@ -21,6 +21,16 @@ their cache keys exactly as before the stage API existed.  Bump a
 stage's version after editing its code to invalidate that stage's
 artifacts (and everything keyed off them) without touching the rest of
 the cache.
+
+The training stages accept a ``precision`` stage parameter
+(``ExperimentSpec(stage_params={"pretrain": {"precision": "float32"}})``
+and likewise for ``finetune``): the model trains in float32 for half
+the matmul memory bandwidth, and the resulting checkpoints are cached
+under precision-derived keys (:func:`repro.api.store.precision_key`) —
+the float64 default leaves every key byte-identical.  The planner folds
+the knob into task keys and the :class:`~repro.api.experiment.Experiment`
+facade reads it from the spec, so planned and interactive runs stay in
+lockstep.
 """
 
 from __future__ import annotations

@@ -10,6 +10,41 @@ def receiver_index_for(trace):
     return {int(r): i for i, r in enumerate(sorted(set(trace.receiver_id.tolist())))}
 
 
+def windows_reference(trace, config, receiver_index):
+    """The pre-vectorisation per-window loop, kept as the equivalence
+    oracle for the sliding-window fast path."""
+    n_packets = len(trace)
+    window_len = config.window_len
+    delays = trace.delay
+    receiver_mapped = np.array(
+        [receiver_index[int(r)] for r in trace.receiver_id], dtype=np.int64
+    )
+    ends = np.arange(window_len - 1, n_packets, config.stride)
+    n_windows = len(ends)
+    features = np.zeros((n_windows, window_len, 3), dtype=np.float64)
+    receiver = np.zeros((n_windows, window_len), dtype=np.int64)
+    delay_target = np.zeros(n_windows)
+    mct_target = np.zeros(n_windows)
+    message_size = np.zeros(n_windows)
+    mct_seq = np.zeros((n_windows, window_len))
+    end_seq = np.zeros((n_windows, window_len), dtype=bool)
+    for row, end in enumerate(ends):
+        window_slice = slice(end - window_len + 1, end + 1)
+        send = trace.send_time[window_slice]
+        features[row, :, 0] = send - send[-1]
+        features[row, :, 1] = trace.size[window_slice]
+        features[row, :, 2] = delays[window_slice]
+        receiver[row] = receiver_mapped[window_slice]
+        delay_target[row] = delays[end]
+        mct_target[row] = trace.mct[end]
+        message_size[row] = trace.message_size[end]
+        mct_seq[row] = trace.mct[window_slice]
+        end_seq[row] = trace.is_message_end[window_slice]
+    return WindowDataset(
+        features, receiver, delay_target, mct_target, message_size, mct_seq, end_seq
+    )
+
+
 class TestConfig:
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -132,3 +167,33 @@ class TestDatasetOps:
                 np.zeros(3),
                 np.zeros(3),
             )
+
+
+class TestVectorisedEquivalence:
+    """The sliding-window fast path must be byte-identical to the
+    per-window reference loop — bundles are cached artifacts."""
+
+    @pytest.mark.parametrize("window_len,stride", [(16, 1), (32, 4), (33, 7)])
+    def test_bitwise_equal_to_reference(self, smoke_trace, window_len, stride):
+        config = WindowConfig(window_len=window_len, stride=stride)
+        index = receiver_index_for(smoke_trace)
+        fast = windows_from_trace(smoke_trace, config, index)
+        reference = windows_reference(smoke_trace, config, index)
+        for column in (
+            "features",
+            "receiver",
+            "delay_target",
+            "mct_target",
+            "message_size",
+            "mct_seq",
+            "end_seq",
+        ):
+            a, b = getattr(fast, column), getattr(reference, column)
+            assert a.dtype == b.dtype, column
+            assert np.array_equal(a, b, equal_nan=True), column
+
+    def test_unknown_receiver_raises(self, smoke_trace):
+        index = receiver_index_for(smoke_trace)
+        index.pop(int(smoke_trace.receiver_id[0]))
+        with pytest.raises(KeyError):
+            windows_from_trace(smoke_trace, WindowConfig(16, 2), index)

@@ -76,6 +76,43 @@ class TestDataLoader:
         with pytest.raises(ValueError):
             DataLoader(ArrayDataset(np.zeros(4)), 0)
 
+    def test_reuse_buffers_yields_identical_values(self, rng):
+        ds = ArrayDataset(rng.normal(size=(11, 3, 2)), rng.integers(0, 9, size=11))
+        plain = [tuple(a.copy() for a in b) for b in DataLoader(ds, 4)]
+        reused = [
+            tuple(a.copy() for a in b)
+            for b in DataLoader(ds, 4, reuse_buffers=True)
+        ]
+        assert len(plain) == len(reused)
+        for batch_p, batch_r in zip(plain, reused):
+            for a, b in zip(batch_p, batch_r):
+                assert a.dtype == b.dtype
+                assert np.array_equal(a, b)
+
+    def test_reuse_buffers_recycles_storage(self, rng):
+        ds = ArrayDataset(rng.normal(size=(8, 2)))
+        loader = DataLoader(ds, 4, reuse_buffers=True)
+        batches = []
+        for (batch,) in loader:
+            batches.append(batch)
+        # Same backing buffer across batches — the zero-copy contract.
+        assert batches[0].base is batches[1].base or batches[0] is batches[1]
+
+    def test_reuse_buffers_shuffled_matches_plain(self, rng):
+        ds = ArrayDataset(np.arange(20.0))
+        a = np.concatenate(
+            [b[0].copy() for b in DataLoader(ds, 6, shuffle=True, rng=np.random.default_rng(3))]
+        )
+        b = np.concatenate(
+            [
+                b[0].copy()
+                for b in DataLoader(
+                    ds, 6, shuffle=True, rng=np.random.default_rng(3), reuse_buffers=True
+                )
+            ]
+        )
+        assert np.array_equal(a, b)
+
 
 def make_regression(rng, n=256):
     x = rng.normal(size=(n, 6))
@@ -144,6 +181,27 @@ class TestTrainer:
         )
         trainer.fit(DataLoader(ds, 32), epochs=1)
         assert optimizer.lr == pytest.approx(0.5)
+
+    def test_history_lr_is_epoch_mean_of_step_lrs(self, rng):
+        """The logged epoch lr averages the per-step rates instead of
+        reporting whatever the last batch happened to use."""
+        ds = make_regression(rng, n=96)  # 3 batches of 32 per epoch
+        model = Linear(6, 1, rng)
+        optimizer = Adam(model.parameters(), lr=1.0)
+        multipliers = {0: 0.1, 1: 0.2, 2: 0.6, 3: 1.0, 4: 1.0, 5: 1.0}
+        trainer = Trainer(
+            model, optimizer, mse_loss, schedule=lambda step: multipliers[step]
+        )
+        history = trainer.fit(DataLoader(ds, 32), epochs=2)
+        assert history.lr[0] == pytest.approx((0.1 + 0.2 + 0.6) / 3)
+        assert history.lr[1] == pytest.approx(1.0)
+
+    def test_history_lr_without_schedule(self, rng):
+        ds = make_regression(rng, n=32)
+        model = Linear(6, 1, rng)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), mse_loss)
+        history = trainer.fit(DataLoader(ds, 8), epochs=2)
+        assert history.lr == [pytest.approx(0.01)] * 2
 
     def test_on_epoch_start_hook_runs(self, rng):
         ds = make_regression(rng, n=32)

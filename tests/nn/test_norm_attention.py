@@ -122,14 +122,21 @@ class TestMultiHeadAttention:
         with pytest.raises(ValueError):
             MultiHeadAttention(8, 2, rng)(Tensor(np.ones((4, 8))))
 
-    def test_last_attention_recorded(self, rng):
-        mha = MultiHeadAttention(8, 2, rng)
+    def test_last_attention_recorded_when_enabled(self, rng):
+        mha = MultiHeadAttention(8, 2, rng, record_attention=True)
         mha(Tensor(rng.normal(size=(3, 5, 8))))
         assert mha.last_attention.shape == (3, 2, 5, 5)
         assert np.allclose(mha.last_attention.sum(axis=-1), 1.0)
 
-    def test_mask_broadcast(self, rng):
+    def test_last_attention_off_by_default(self, rng):
+        """The train loop must not pay for a (batch, heads, seq, seq)
+        introspection copy it never reads."""
         mha = MultiHeadAttention(8, 2, rng)
+        mha(Tensor(rng.normal(size=(3, 5, 8))))
+        assert mha.last_attention is None
+
+    def test_mask_broadcast(self, rng):
+        mha = MultiHeadAttention(8, 2, rng, record_attention=True)
         mask = np.zeros((3, 1, 5, 5), dtype=bool)
         mask[..., 4] = True
         mha(Tensor(rng.normal(size=(3, 5, 8))), mask=mask)

@@ -62,6 +62,8 @@ def test_invalid_layer_count(rng):
 
 def test_mask_propagates_to_all_layers(rng):
     encoder = TransformerEncoder(2, 8, 2, 16, rng)
+    for layer in encoder.layers:
+        layer.attention.record_attention = True
     encoder.eval()
     x = rng.normal(size=(1, 6, 8))
     mask = np.zeros((1, 1, 6, 6), dtype=bool)
