@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Serving: run the micro-batching prediction service end-to-end.
+
+The deployment story from the roadmap — "one pre-trained model, many
+consumers" — in four steps:
+
+1. pre-train the NTT (served from the artifact cache on repeated runs)
+   and save it as an uncompressed, memory-mappable checkpoint;
+2. start the :class:`~repro.serve.PredictionServer` on a background
+   thread (``ServerHandle``), the same runtime behind ``repro serve``;
+3. hit it with a synchronous client call and then with the in-repo
+   load generator — many concurrent 1-window requests that the
+   :class:`~repro.serve.MicroBatcher` coalesces into fused forwards;
+4. read the server's own ``/metrics`` (throughput, batch occupancy,
+   latency percentiles) and shut down cleanly.
+
+Run::
+
+    python examples/serving.py                  # fast (smoke scale)
+    python examples/serving.py --requests 256   # heavier load
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import Experiment, ExperimentSpec, Predictor
+from repro.serve import (
+    PredictionServer,
+    ServerConfig,
+    ServerHandle,
+    ServingClient,
+    run_load,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
+    parser.add_argument("--no-cache", action="store_true", help="bypass the artifact store")
+    parser.add_argument("--requests", type=int, default=64,
+                        help="load-generator requests (one window each)")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="concurrent keep-alive connections")
+    args = parser.parse_args()
+
+    spec = ExperimentSpec(scenario="pretrain", scale=args.scale)
+    exp = Experiment.uncached(spec) if args.no_cache else Experiment(spec)
+
+    print(f"== 1. Pre-training the NTT ({args.scale} scale) and checkpointing it")
+    result = exp.pretrained()
+    bundle = exp.bundle()
+    checkpoint = Path(tempfile.mkdtemp(prefix="repro-serving-")) / "ntt.npz"
+    # compress=False keeps the parameter payloads stored, so the server
+    # memory-maps them instead of decompressing at load time.
+    Predictor(result.model, result.pipeline).save(checkpoint, compress=False)
+    print(f"   {result.model.num_parameters()} parameters -> {checkpoint}")
+
+    print("== 2. Starting the prediction server on a background thread")
+    config = ServerConfig(models=(str(checkpoint),), port=0)
+    with ServerHandle(PredictionServer(config)) as handle:
+        client = ServingClient(handle.host, handle.port)
+        health = client.wait_ready()
+        print(f"   http://{handle.host}:{handle.port} -> /healthz {health}")
+        for row in client.models()["models"]:
+            print(
+                f"   serving {row['ref']} (task={row['task']}, "
+                f"window>={row['min_window_len']}, {row['parameters']} parameters)"
+            )
+
+        print("== 3a. One synchronous request through the client facade (ms)")
+        sample = bundle.test.subset(np.arange(min(3, len(bundle.test))))
+        served = client.predict(sample.features, sample.receiver)
+        local = Predictor(result.model, result.pipeline).predict(
+            sample.features, sample.receiver
+        )
+        for over_http, direct in zip(served, local):
+            print(f"   served {over_http * 1e3:7.2f} ms   direct {direct * 1e3:7.2f} ms")
+
+        print(
+            f"== 3b. Load generator: {args.requests} concurrent 1-window "
+            f"requests on {args.concurrency} connections"
+        )
+        n = min(args.requests, len(bundle.test))
+        repeats = -(-args.requests // n)
+        features = np.tile(bundle.test.features[:n], (repeats, 1, 1))[: args.requests]
+        receiver = np.tile(bundle.test.receiver[:n], (repeats, 1))[: args.requests]
+        requests = [
+            {
+                "features": features[i:i + 1].tolist(),
+                "receiver": receiver[i:i + 1].tolist(),
+            }
+            for i in range(args.requests)
+        ]
+        load = run_load(handle.host, handle.port, requests, args.concurrency)
+        latency = load.latency_percentiles_ms()
+        print(
+            f"   {load.requests} requests, {load.errors} errors: "
+            f"{load.requests_per_s:.0f} req/s, "
+            f"p50 {latency['p50']:.1f} ms / p99 {latency['p99']:.1f} ms"
+        )
+
+        print("== 4. Server-side metrics (micro-batching at work)")
+        metrics = client.metrics()
+        print(
+            f"   {metrics['predictions_total']} predictions in "
+            f"{metrics['batches_total']} fused batches "
+            f"(mean occupancy {metrics['mean_batch_windows']:.1f} windows/batch)"
+        )
+        occupied = {
+            bucket: count
+            for bucket, count in metrics["batch_occupancy"].items()
+            if count
+        }
+        print(f"   batch-occupancy histogram: {occupied}")
+    print("   server drained and stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

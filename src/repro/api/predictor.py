@@ -19,12 +19,15 @@ import numpy as np
 from repro.core.features import DELAY_COLUMN, FeaturePipeline
 from repro.core.model import NTT, NTTForDelay, NTTForMCT
 from repro.datasets.windows import WindowDataset
-from repro.nn.serialize import load_state, save_checkpoint
+from repro.nn import fastpath
+from repro.nn.serialize import load_state, load_state_mmap, save_checkpoint
 from repro.nn.tensor import no_grad
 
 from repro.api.spec import ntt_config_from_dict, ntt_config_to_dict
 
 __all__ = ["Predictor"]
+
+_TASKS = ("delay", "mct")
 
 
 class Predictor:
@@ -36,6 +39,11 @@ class Predictor:
             with (fine-tuned models reuse the pre-training pipeline).
         task: ``delay`` (seconds) or ``mct`` (natural-log seconds).
         batch_size: internal chunk size for the forward passes.
+        precision: compute dtype for the forward passes (the PR 5
+            policy; see :data:`repro.nn.fastpath.PRECISIONS`).  The
+            model's parameters must already be stored in this dtype —
+            :meth:`from_checkpoint` handles that.  Outputs are always
+            float64 (physical units come from float64 scaler state).
     """
 
     def __init__(
@@ -44,8 +52,9 @@ class Predictor:
         pipeline: FeaturePipeline,
         task: str = "delay",
         batch_size: int = 256,
+        precision: str = "float64",
     ):
-        if task not in ("delay", "mct"):
+        if task not in _TASKS:
             raise ValueError(f"unknown task {task!r}; choose 'delay' or 'mct'")
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -53,6 +62,7 @@ class Predictor:
         self.pipeline = pipeline
         self.task = task
         self.batch_size = batch_size
+        self.precision = fastpath.resolve_dtype(precision).name
         self.model.eval()
 
     def __repr__(self) -> str:
@@ -98,8 +108,15 @@ class Predictor:
                 raise ValueError("features and message_size batch sizes differ")
             sizes = np.maximum(sizes, 1.0)
             sizes = self.pipeline.message_size_scaler.transform(np.log(sizes)[:, None])[:, 0]
+        if len(features) == 0:
+            # The forward loop would produce np.zeros(0) and push it
+            # through _to_physical, whose inverse-transform semantics
+            # are only defined over model outputs; short-circuit to the
+            # documented contract instead: shape (0,), float64, both
+            # tasks (validation above still applies).
+            return np.empty(0, dtype=np.float64)
         outputs = []
-        with no_grad():
+        with no_grad(), fastpath.precision(self.precision):
             for start in range(0, len(features), self.batch_size):
                 stop = start + self.batch_size
                 if self.task == "delay":
@@ -109,7 +126,7 @@ class Predictor:
                         normalised[start:stop], receiver[start:stop], sizes[start:stop]
                     )
                 outputs.append(prediction.data)
-        raw = np.concatenate(outputs) if outputs else np.zeros(0)
+        raw = np.concatenate(outputs).astype(np.float64, copy=False)
         return self._to_physical(raw)
 
     __call__ = predict
@@ -127,8 +144,12 @@ class Predictor:
 
     # -- persistence --------------------------------------------------------------
 
-    def save(self, path) -> None:
-        """Write a self-describing checkpoint for this predictor."""
+    def save(self, path, compress: bool = True) -> None:
+        """Write a self-describing checkpoint for this predictor.
+
+        ``compress=False`` stores the parameters raw so the serving
+        runtime can memory-map them (see
+        :meth:`from_checkpoint`'s ``mmap`` flag)."""
         scalers = {
             "feature_scaler": self.pipeline.feature_scaler.to_dict(),
             "message_size_scaler": (
@@ -151,24 +172,62 @@ class Predictor:
                 "config": ntt_config_to_dict(self.model.config),
                 "pipeline": scalers,
             },
+            compress=compress,
         )
 
     @classmethod
-    def from_checkpoint(cls, path, batch_size: int = 256) -> "Predictor":
-        """Rebuild a predictor from a checkpoint written by :meth:`save`."""
-        state, metadata = load_state(path)
+    def from_checkpoint(
+        cls,
+        path,
+        batch_size: int = 256,
+        precision: str = "float64",
+        mmap: bool = False,
+    ) -> "Predictor":
+        """Rebuild a predictor from a checkpoint written by :meth:`save`.
+
+        Args:
+            path: a checkpoint file (``repro pretrain``, :meth:`save`,
+                or ``Experiment.save_checkpoint``).
+            batch_size: internal forward chunk size.
+            precision: compute dtype the model is *loaded in* (the PR 5
+                policy): ``"float32"`` stores the parameters in float32
+                and runs every forward at that precision.
+            mmap: memory-map the parameter payloads instead of reading
+                them (zero-copy for checkpoints written with
+                ``compress=False``; see
+                :func:`repro.nn.serialize.load_state_mmap`).
+        """
+        loader = load_state_mmap if mmap else load_state
+        state, metadata = loader(path)
         if "config" not in metadata:
             raise ValueError(
                 f"checkpoint {path} has no model config metadata; "
                 "write it with Predictor.save or `repro pretrain`"
             )
-        config = ntt_config_from_dict(metadata["config"])
         task = metadata.get("task", "delay")
-        if task == "mct":
-            model = NTTForMCT(config, NTT(config))
-        else:
-            model = NTTForDelay(config)
-        model.load_state_dict(state)
+        if task not in _TASKS:
+            # Same clean error as the constructor, raised *before* the
+            # state dict is forced into a wrong-shaped model (which
+            # would surface as a confusing missing-parameter KeyError).
+            raise ValueError(
+                f"checkpoint {path} serves unknown task {task!r}; "
+                "choose 'delay' or 'mct'"
+            )
+        if "pipeline" not in metadata:
+            raise ValueError(
+                f"checkpoint {path} has no feature-pipeline metadata; "
+                "write it with Predictor.save or `repro pretrain`"
+            )
+        config = ntt_config_from_dict(metadata["config"])
+        with fastpath.precision(precision):
+            if task == "mct":
+                model = NTTForMCT(config, NTT(config))
+            else:
+                model = NTTForDelay(config)
+            # mmap-loaded float64 parameters alias the checkpoint's
+            # pages read-only — fine for a serving facade, which only
+            # ever runs no-grad forwards.
+            model.load_state_dict(state, copy=not mmap)
         pipeline = FeaturePipeline()
         stored = metadata["pipeline"]
         from repro.datasets.normalize import FeatureScaler
@@ -180,4 +239,6 @@ class Predictor:
             )
         if stored.get("mct_scaler"):
             pipeline.mct_scaler = FeatureScaler.from_dict(stored["mct_scaler"])
-        return cls(model, pipeline, task=task, batch_size=batch_size)
+        return cls(
+            model, pipeline, task=task, batch_size=batch_size, precision=precision
+        )

@@ -10,7 +10,12 @@ Commands mirror the ``repro.api`` workflow:
   registered pipeline stages (see ``repro stages``) and ``--dry-run``
   prints the planned, deduplicated task graph.
 * ``predict`` — serve batched predictions from a checkpoint (or the
-  cached pre-trained/fine-tuned model).
+  cached pre-trained/fine-tuned model); checkpoints load through the
+  serving runtime's ``ModelManager``, so paths and ``store:<key>`` refs
+  both work.
+* ``serve`` — run the ``repro.serve`` prediction service: warm-model
+  LRU, micro-batched fused forwards, asyncio HTTP front
+  (``/predict``, ``/models``, ``/healthz``, ``/metrics``).
 * ``cache`` — inspect or clear the on-disk artifact store.
 * ``scenarios`` — list every registered scenario.
 * ``stages`` — list every registered pipeline stage.
@@ -114,11 +119,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(predict)
     predict.add_argument(
         "--checkpoint", default=None,
-        help="predictor checkpoint; defaults to the cached experiment model",
+        help="predictor checkpoint (a file path or store:<key>); "
+             "defaults to the cached experiment model",
     )
     predict.add_argument("--task", default="delay", choices=["delay", "mct"])
     predict.add_argument("--limit", type=int, default=5, help="sample rows to print")
+    predict.add_argument(
+        "--precision", default="float64", choices=["float64", "float32"],
+        help="compute dtype checkpoints are loaded and served in",
+    )
     _add_cache_options(predict)
+
+    serve = sub.add_parser(
+        "serve", help="run the repro.serve prediction service"
+    )
+    serve.add_argument(
+        "checkpoints", nargs="+", metavar="MODEL",
+        help="model refs to serve: checkpoint paths or store:<key> refs "
+             "(the first is the default model)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    serve.add_argument(
+        "--precision", default="float64", choices=["float64", "float32"],
+        help="compute dtype models are loaded and served in",
+    )
+    serve.add_argument(
+        "--lru-size", type=int, default=4, help="warm models kept in the LRU"
+    )
+    serve.add_argument(
+        "--max-batch-windows", type=int, default=64,
+        help="micro-batch flush size (windows per fused forward)",
+    )
+    serve.add_argument(
+        "--max-wait-us", type=float, default=2000.0,
+        help="micro-batch flush age (max microseconds a request waits)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="forward chunk size of each warm predictor",
+    )
+    _add_cache_options(serve)
 
     cache = sub.add_parser("cache", help="inspect or clear the artifact store")
     cache.add_argument("action", nargs="?", default="list", choices=["list", "clear"])
@@ -181,12 +222,20 @@ def _resolve_scale(name: str):
         raise CLIError(str(error)) from None
 
 
-def _load_predictor(path):
-    from repro.api import Predictor
+def _load_predictor(ref, store=None, precision: str = "float64"):
+    """Load a checkpoint through the serving runtime's ``ModelManager``.
 
+    ``repro predict`` and ``repro serve`` share this path, so both
+    accept file paths and ``store:<key>`` refs, and both turn loader
+    failures (missing file, unknown task metadata, missing pipeline
+    metadata) into a clean exit-code-2 message instead of a traceback.
+    """
+    from repro.serve import ModelManager, ModelNotFound
+
+    manager = ModelManager(store=store, capacity=1, precision=precision)
     try:
-        return Predictor.from_checkpoint(path)
-    except (FileNotFoundError, ValueError) as error:
+        return manager.get(ref)
+    except (ModelNotFound, FileNotFoundError, ValueError) as error:
         raise CLIError(str(error)) from None
 
 
@@ -303,7 +352,9 @@ def _cmd_predict(args) -> int:
 
     experiment = _build_experiment(args)
     if args.checkpoint is not None:
-        predictor = _load_predictor(args.checkpoint)
+        predictor = _load_predictor(
+            args.checkpoint, store=experiment.store, precision=args.precision
+        )
         if predictor.task != args.task:
             raise CLIError(
                 f"checkpoint serves task {predictor.task!r}, requested {args.task!r}"
@@ -416,6 +467,84 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.api import ArtifactStore
+    from repro.serve import (
+        ModelManager,
+        ModelNotFound,
+        PredictionServer,
+        ServerConfig,
+    )
+
+    store = None if args.no_cache else ArtifactStore(args.cache_dir)
+    try:
+        config = ServerConfig(
+            models=tuple(args.checkpoints),
+            host=args.host,
+            port=args.port,
+            precision=args.precision,
+            lru_capacity=args.lru_size,
+            max_batch_windows=args.max_batch_windows,
+            max_wait_us=args.max_wait_us,
+            batch_size=args.batch_size,
+        )
+        manager = ModelManager(
+            store=store,
+            capacity=args.lru_size,
+            precision=args.precision,
+            batch_size=args.batch_size,
+        )
+        # Warm the default model up front: a bad ref or a metadata-less
+        # checkpoint should exit 2 now, not 500 on the first request.
+        manager.get(config.models[0])
+    except (ModelNotFound, FileNotFoundError, ValueError) as error:
+        raise CLIError(str(error)) from None
+
+    server = PredictionServer(config, manager=manager)
+
+    async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                # Explicit handlers (not KeyboardInterrupt): background
+                # jobs inherit SIGINT ignored from non-interactive
+                # shells, and these override that so `kill -INT` still
+                # shuts the service down cleanly (the CI serving job
+                # relies on it).
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, OSError):  # pragma: no cover
+                pass
+        await server.start()
+        print(
+            f"serving {len(config.models)} model(s) on "
+            f"http://{config.host}:{server.port} "
+            f"(precision={config.precision}, lru={config.lru_capacity})",
+            flush=True,
+        )
+        for ref in config.models:
+            print(f"  model: {ref}", flush=True)
+        # start() already accepts connections; wait for a signal, then
+        # drain in-flight micro-batches and release the prediction lane.
+        await stop.wait()
+        await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - ctrl-C fallback
+        pass
+    snapshot = server.metrics.snapshot()
+    print(
+        f"shutdown: served {snapshot['requests_total']} request(s), "
+        f"{snapshot['predictions_total']} prediction(s) in "
+        f"{snapshot['batches_total']} batch(es)"
+    )
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.reports import dataset_report
 
@@ -428,6 +557,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "predict": _cmd_predict,
+    "serve": _cmd_serve,
     "cache": _cmd_cache,
     "scenarios": _cmd_scenarios,
     "stages": _cmd_stages,

@@ -98,13 +98,20 @@ class Module:
             (name, parameter.data.copy()) for name, parameter in self.named_parameters()
         )
 
-    def load_state_dict(self, state: dict) -> None:
+    def load_state_dict(self, state: dict, copy: bool = True) -> None:
         """Load parameter values saved by :meth:`state_dict`.
 
         Raises ``KeyError`` on missing entries and ``ValueError`` on
         shape mismatches — silent partial loads hide real bugs.  Values
         are stored in the active compute dtype (float64 unless inside a
         :func:`repro.nn.fastpath.precision` scope).
+
+        ``copy=False`` lets parameters alias the provided arrays when no
+        dtype conversion is needed — the serving runtime loads
+        memory-mapped checkpoints this way, so warm inference models
+        share the OS page cache instead of private copies.  Aliased
+        read-only arrays are only safe for inference: training writes
+        parameters in place.
         """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
@@ -118,7 +125,7 @@ class Module:
                     f"shape mismatch for {name!r}: "
                     f"checkpoint {value.shape} vs model {parameter.data.shape}"
                 )
-            parameter.data = value.copy()
+            parameter.data = value.copy() if copy else value
 
     def cast_parameters(self, dtype) -> "Module":
         """Convert every parameter's storage to ``dtype`` in place.

@@ -3,27 +3,39 @@
 Sharing a pre-trained model instead of the underlying data is a core
 part of the paper's vision (§5, "Collaborative pre-training") — these
 helpers are the minimal version of that story.
+
+Checkpoints default to deflate compression (small artifacts for the
+content-addressed store).  ``save_checkpoint(..., compress=False)``
+writes the arrays *stored* (uncompressed) instead, which lets
+:func:`load_state_mmap` memory-map the parameter payloads straight out
+of the zip container — the serving runtime's warm-load path.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.nn.module import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint", "load_state"]
+__all__ = ["save_checkpoint", "load_checkpoint", "load_state", "load_state_mmap"]
 
 _META_KEY = "__meta__"
 
 
-def save_checkpoint(module: Module, path, metadata: dict | None = None) -> None:
+def save_checkpoint(
+    module: Module, path, metadata: dict | None = None, compress: bool = True
+) -> None:
     """Write ``module.state_dict()`` (plus JSON metadata) to ``path``.
 
     Metadata must be JSON-serialisable; it typically records the model
-    configuration so checkpoints are self-describing.
+    configuration so checkpoints are self-describing.  ``compress=False``
+    stores the arrays raw so :func:`load_state_mmap` can serve them as
+    zero-copy memory maps.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -33,7 +45,10 @@ def save_checkpoint(module: Module, path, metadata: dict | None = None) -> None:
     payload = dict(state)
     meta_json = json.dumps(metadata if metadata is not None else {})
     payload[_META_KEY] = np.frombuffer(meta_json.encode("utf-8"), dtype=np.uint8)
-    np.savez_compressed(path, **payload)
+    if compress:
+        np.savez_compressed(path, **payload)
+    else:
+        np.savez(path, **payload)
 
 
 def load_state(path) -> tuple[dict, dict]:
@@ -54,3 +69,72 @@ def load_checkpoint(module: Module, path) -> dict:
     state, metadata = load_state(path)
     module.load_state_dict(state)
     return metadata
+
+
+def _stored_member_array(handle, path: Path, info: zipfile.ZipInfo) -> np.ndarray:
+    """Memory-map one *stored* (uncompressed) ``.npy`` zip member.
+
+    The local file header, not the central directory, decides where the
+    member's bytes start (their extra fields may differ), so it is read
+    directly: 30 fixed bytes, then the filename and extra field.
+    """
+    handle.seek(info.header_offset)
+    local = handle.read(30)
+    if len(local) != 30 or local[:4] != b"PK\x03\x04":
+        raise ValueError(f"corrupt local header for {info.filename!r}")
+    name_len, extra_len = struct.unpack("<HH", local[26:30])
+    data_offset = info.header_offset + 30 + name_len + extra_len
+    handle.seek(data_offset)
+    version = np.lib.format.read_magic(handle)
+    if version == (1, 0):
+        shape, fortran_order, dtype = np.lib.format.read_array_header_1_0(handle)
+    elif version == (2, 0):
+        shape, fortran_order, dtype = np.lib.format.read_array_header_2_0(handle)
+    else:
+        raise ValueError(f"unsupported npy format version {version}")
+    if dtype.hasobject:
+        raise ValueError(f"cannot memory-map object array {info.filename!r}")
+    array = np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=handle.tell(),
+        shape=shape,
+        order="F" if fortran_order else "C",
+    )
+    return array
+
+
+def load_state_mmap(path) -> tuple[dict, dict]:
+    """Read ``(state_dict, metadata)``, memory-mapping what it can.
+
+    Checkpoints written with ``save_checkpoint(..., compress=False)``
+    keep their ``.npy`` members *stored*, so every parameter comes back
+    as a read-only :class:`numpy.memmap` view into the checkpoint file —
+    no decompression pass, and pages fault in lazily as the model is
+    actually used.  Deflated members (the compressed default) fall back
+    to a normal read, so this loader is safe on any checkpoint.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    state: dict[str, np.ndarray] = {}
+    metadata: dict = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as handle:
+        for info in archive.infolist():
+            name = info.filename
+            key = name[:-4] if name.endswith(".npy") else name
+            array = None
+            if info.compress_type == zipfile.ZIP_STORED:
+                try:
+                    array = _stored_member_array(handle, path, info)
+                except (ValueError, AttributeError):
+                    array = None  # unexpected layout: read it instead
+            if array is None:
+                with archive.open(name) as member:
+                    array = np.lib.format.read_array(member)
+            if key == _META_KEY:
+                metadata = json.loads(bytes(np.asarray(array).tobytes()).decode("utf-8"))
+            else:
+                state[key] = array
+    return state, metadata

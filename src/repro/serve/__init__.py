@@ -1,0 +1,66 @@
+"""``repro.serve`` — the high-throughput prediction service.
+
+The "millions of users" leg of the roadmap: the training stack produces
+self-describing checkpoints (``repro.api.Predictor``), and this package
+serves them at traffic scale —
+
+* :class:`~repro.serve.manager.ModelManager` — resolves checkpoints by
+  path or artifact-store key, memory-maps their payloads, and keeps an
+  LRU of warm models (per-model load locks, PR 5 precision policy
+  applied at load time);
+* :class:`~repro.serve.batcher.MicroBatcher` — coalesces concurrent
+  prediction requests into single fused no-grad forward passes
+  (asyncio futures; size/age flush rules) and splits results per
+  caller;
+* :class:`~repro.serve.http.PredictionServer` — the stdlib-asyncio
+  HTTP front (``/predict``, ``/models``, ``/healthz``, ``/metrics``)
+  behind ``repro serve``;
+* :class:`~repro.serve.metrics.ServingMetrics` — predictions/sec,
+  batch-occupancy histograms and p50/p95/p99 request latency;
+* :class:`~repro.serve.client.ServingClient` / ``run_load`` — the sync
+  client facade and the in-repo load generator driving the serving
+  benchmark and CI smoke job.
+
+Quickstart::
+
+    from repro.serve import PredictionServer, ServerConfig, ServerHandle
+
+    config = ServerConfig(models=("ntt_checkpoint.npz",), port=0)
+    with ServerHandle(PredictionServer(config)) as handle:
+        from repro.serve import ServingClient
+        client = ServingClient(handle.host, handle.port)
+        delays = client.predict(features, receiver)
+"""
+
+from repro.serve.batcher import BatcherConfig, MicroBatcher
+from repro.serve.http import PredictionServer, ServerConfig, ServerHandle
+from repro.serve.manager import ModelManager, ModelNotFound, STORE_PREFIX
+from repro.serve.metrics import ServingMetrics
+
+# The client exports resolve lazily (PEP 562) so that running the load
+# generator as ``python -m repro.serve.client`` does not import the
+# module twice (runpy warns when the package import already executed it).
+_CLIENT_EXPORTS = ("LoadResult", "ServingClient", "run_load")
+
+
+def __getattr__(name: str):
+    if name in _CLIENT_EXPORTS:
+        from repro.serve import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BatcherConfig",
+    "MicroBatcher",
+    "LoadResult",
+    "ServingClient",
+    "run_load",
+    "PredictionServer",
+    "ServerConfig",
+    "ServerHandle",
+    "ModelManager",
+    "ModelNotFound",
+    "STORE_PREFIX",
+    "ServingMetrics",
+]

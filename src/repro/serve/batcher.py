@@ -1,0 +1,208 @@
+"""Micro-batching: coalesce concurrent requests into fused forwards.
+
+Concurrent ``/predict`` callers each carry a handful of feature
+windows; running one forward pass per caller wastes the model's batch
+dimension.  A :class:`MicroBatcher` parks each request behind an
+:class:`asyncio.Future`, concatenates everything pending into a single
+array, runs **one** fused no-grad forward, and splits the predictions
+back per caller.
+
+Flush rules (whichever fires first):
+
+* **size** — pending windows reach ``max_batch_windows``;
+* **age** — the oldest pending request has waited ``max_wait_us``.
+
+Requests are bucketed by window length (arrays of different window
+lengths cannot share one forward), and the forward itself runs on a
+single dedicated executor thread: numpy releases the GIL inside BLAS,
+the event loop stays responsive, and a lone prediction lane means the
+per-predictor ``precision`` scope is never raced.
+
+Bit-compatibility: a flush of ``n >= 2`` windows is bit-identical,
+row for row, to any other ``>= 2``-window batch containing the same
+window (both run the same gemm kernels).  Single-row forwards go
+through BLAS gemv instead, which may differ in the last ulp — the same
+caveat as ``Predictor`` with ``batch_size=1``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.predictor import Predictor
+from repro.serve.metrics import ServingMetrics
+
+__all__ = ["MicroBatcher", "BatcherConfig"]
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    """Flush rules for one model's micro-batcher."""
+
+    #: Flush as soon as this many windows are pending.
+    max_batch_windows: int = 64
+    #: Flush when the oldest pending request has waited this long.
+    max_wait_us: float = 2000.0
+
+    def __post_init__(self):
+        if self.max_batch_windows <= 0:
+            raise ValueError(
+                f"max_batch_windows must be positive, got {self.max_batch_windows}"
+            )
+        if self.max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {self.max_wait_us}")
+
+
+@dataclass
+class _Pending:
+    features: np.ndarray
+    receiver: np.ndarray
+    message_size: np.ndarray | None
+    future: asyncio.Future = field(repr=False)
+
+
+class MicroBatcher:
+    """Coalesces concurrent prediction requests for one predictor.
+
+    Args:
+        predictor: the warm model served by this batcher.
+        config: flush rules.
+        metrics: shared serving telemetry (flush occupancy is recorded).
+        executor: optional executor for the forward pass; ``None`` uses
+            the event loop's default.  The server passes a 1-thread
+            executor shared by all batchers (one prediction lane).
+    """
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        config: BatcherConfig | None = None,
+        metrics: ServingMetrics | None = None,
+        executor=None,
+    ):
+        self.predictor = predictor
+        self.config = config or BatcherConfig()
+        self.metrics = metrics
+        self.executor = executor
+        # window_len → pending requests (buckets flush independently).
+        self._pending: dict[int, list[_Pending]] = {}
+        self._pending_windows: dict[int, int] = {}
+        self._timers: dict[int, asyncio.TimerHandle] = {}
+
+    # -- request side -------------------------------------------------------------
+
+    async def submit(
+        self,
+        features: np.ndarray,
+        receiver: np.ndarray,
+        message_size: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Predictions for one caller's windows, served micro-batched.
+
+        Validation errors raise immediately (a malformed request must
+        never poison the batch it would have joined); prediction errors
+        propagate to every caller of the failed flush.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        receiver = np.asarray(receiver, dtype=np.int64)
+        if features.ndim != 3:
+            raise ValueError(f"features must be 3-D, got shape {features.shape}")
+        if receiver.shape != features.shape[:2]:
+            raise ValueError(
+                f"receiver shape {receiver.shape} does not match "
+                f"windows {features.shape[:2]}"
+            )
+        if self.predictor.task == "mct":
+            if message_size is None:
+                raise ValueError("the MCT task needs message_size per window")
+            message_size = np.atleast_1d(np.asarray(message_size, dtype=np.float64))
+            if message_size.shape != (len(features),):
+                raise ValueError("features and message_size batch sizes differ")
+        elif message_size is not None:
+            raise ValueError("message_size is only meaningful for the MCT task")
+        if len(features) == 0:
+            return np.empty(0, dtype=np.float64)
+        if len(features) > self.config.max_batch_windows:
+            # Oversized requests would never fit a flush; serve them as
+            # their own batch rather than rejecting them.
+            return await self._run_alone(features, receiver, message_size)
+
+        loop = asyncio.get_running_loop()
+        entry = _Pending(features, receiver, message_size, loop.create_future())
+        window_len = features.shape[1]
+        bucket = self._pending.setdefault(window_len, [])
+        bucket.append(entry)
+        count = self._pending_windows.get(window_len, 0) + len(features)
+        self._pending_windows[window_len] = count
+        if count >= self.config.max_batch_windows:
+            self._flush(window_len)
+        elif window_len not in self._timers:
+            self._timers[window_len] = loop.call_later(
+                self.config.max_wait_us / 1e6, self._flush, window_len
+            )
+        return await entry.future
+
+    # -- flush side ---------------------------------------------------------------
+
+    def _flush(self, window_len: int) -> None:
+        timer = self._timers.pop(window_len, None)
+        if timer is not None:
+            timer.cancel()
+        batch = self._pending.pop(window_len, [])
+        self._pending_windows.pop(window_len, None)
+        if not batch:
+            return
+        asyncio.get_running_loop().create_task(self._run_batch(batch))
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        features = np.concatenate([entry.features for entry in batch])
+        receiver = np.concatenate([entry.receiver for entry in batch])
+        message_size = None
+        if self.predictor.task == "mct":
+            message_size = np.concatenate([entry.message_size for entry in batch])
+        try:
+            predictions = await self._predict(features, receiver, message_size)
+        except Exception as error:  # pragma: no cover - model-level failures
+            for entry in batch:
+                if not entry.future.cancelled():
+                    entry.future.set_exception(error)
+            return
+        if self.metrics is not None:
+            self.metrics.record_batch(len(batch), len(features))
+        start = 0
+        for entry in batch:
+            stop = start + len(entry.features)
+            if not entry.future.cancelled():
+                entry.future.set_result(predictions[start:stop])
+            start = stop
+
+    async def _run_alone(self, features, receiver, message_size) -> np.ndarray:
+        predictions = await self._predict(features, receiver, message_size)
+        if self.metrics is not None:
+            self.metrics.record_batch(1, len(features))
+        return predictions
+
+    async def _predict(self, features, receiver, message_size) -> np.ndarray:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self.executor,
+            self.predictor.predict,
+            features,
+            receiver,
+            message_size,
+        )
+
+    async def drain(self) -> None:
+        """Flush everything pending and wait for the results (shutdown)."""
+        futures = [
+            entry.future
+            for bucket in self._pending.values()
+            for entry in bucket
+        ]
+        for window_len in list(self._pending):
+            self._flush(window_len)
+        if futures:
+            await asyncio.gather(*futures, return_exceptions=True)

@@ -1,0 +1,313 @@
+"""Clients for the serving runtime: a sync facade and a load generator.
+
+Two callers, two tools:
+
+* :class:`ServingClient` — a synchronous ``http.client`` wrapper for
+  scripts and tests: ``healthz()``, ``models()``, ``metrics()``,
+  ``predict()``.
+* :func:`run_load` — the in-repo load generator behind the serving
+  benchmark and the CI smoke job: ``concurrency`` keep-alive
+  connections fire a prepared request list at the server as fast as it
+  answers, measuring per-request latency client-side.  Request bodies
+  are JSON-encoded **before** the clock starts, so the measurement is
+  the serving system (parse + batch + forward + respond), not the
+  generator.
+
+``python -m repro.serve.client --host H --port P --seconds 3`` runs a
+synthetic smoke load against a live server and prints a JSON report —
+the CI serving job greps it for non-empty metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import sys
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ServingClient", "LoadResult", "run_load", "main"]
+
+
+class ServingClient:
+    """Minimal synchronous client for one serving endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            document = json.loads(response.read().decode("utf-8"))
+            if response.status != 200:
+                raise RuntimeError(
+                    f"{method} {path} -> {response.status}: "
+                    f"{document.get('error', document)}"
+                )
+            return document
+        finally:
+            connection.close()
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def models(self) -> dict:
+        return self._request("GET", "/models")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def predict(
+        self,
+        features,
+        receiver,
+        message_size=None,
+        model: str | None = None,
+    ) -> np.ndarray:
+        body = {
+            "features": np.asarray(features).tolist(),
+            "receiver": np.asarray(receiver).tolist(),
+        }
+        if message_size is not None:
+            body["message_size"] = np.asarray(message_size).tolist()
+        if model is not None:
+            body["model"] = model
+        document = self._request("POST", "/predict", body)
+        return np.asarray(document["predictions"], dtype=np.float64)
+
+    def wait_ready(self, timeout: float = 30.0, interval: float = 0.05) -> dict:
+        """Poll ``/healthz`` until the server answers (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (OSError, RuntimeError, json.JSONDecodeError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
+
+@dataclass
+class LoadResult:
+    """What one load-generator run measured."""
+
+    predictions: list  # per request, in request order
+    latencies_s: np.ndarray
+    wall_s: float
+    requests: int
+    windows: int
+    errors: int
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def predictions_per_s(self) -> float:
+        return self.windows / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_percentiles_ms(self) -> dict:
+        if self.latencies_s.size == 0:
+            return {"p50": None, "p95": None, "p99": None}
+        p50, p95, p99 = np.percentile(self.latencies_s, (50.0, 95.0, 99.0))
+        return {"p50": p50 * 1e3, "p95": p95 * 1e3, "p99": p99 * 1e3}
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "windows": self.windows,
+            "errors": self.errors,
+            "wall_s": self.wall_s,
+            "requests_per_s": self.requests_per_s,
+            "predictions_per_s": self.predictions_per_s,
+            "latency_ms": self.latency_percentiles_ms(),
+        }
+
+
+async def _read_http_response(reader) -> tuple[int, bytes]:
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value)
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+async def _load_worker(
+    host: str,
+    port: int,
+    bodies: list[bytes],
+    queue: "asyncio.Queue[int]",
+    results: list,
+    latencies: list,
+    errors: list,
+) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        while True:
+            try:
+                index = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            body = bodies[index]
+            head = (
+                f"POST /predict HTTP/1.1\r\nHost: {host}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode("latin-1")
+            started = time.monotonic()
+            writer.write(head + body)
+            await writer.drain()
+            status, payload = await _read_http_response(reader)
+            latencies.append(time.monotonic() - started)
+            if status == 200:
+                results[index] = json.loads(payload.decode("utf-8"))["predictions"]
+            else:
+                errors.append((index, status))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _run_load_async(
+    host: str, port: int, bodies: list[bytes], concurrency: int
+) -> LoadResult:
+    queue: asyncio.Queue[int] = asyncio.Queue()
+    for index in range(len(bodies)):
+        queue.put_nowait(index)
+    results: list = [None] * len(bodies)
+    latencies: list = []
+    errors: list = []
+    started = time.monotonic()
+    workers = [
+        _load_worker(host, port, bodies, queue, results, latencies, errors)
+        for _ in range(min(concurrency, len(bodies)))
+    ]
+    await asyncio.gather(*workers)
+    wall = time.monotonic() - started
+    windows = sum(len(row) for row in results if row is not None)
+    return LoadResult(
+        predictions=results,
+        latencies_s=np.asarray(latencies, dtype=np.float64),
+        wall_s=wall,
+        requests=len(bodies),
+        windows=windows,
+        errors=len(errors),
+    )
+
+
+def run_load(
+    host: str,
+    port: int,
+    requests: list[dict],
+    concurrency: int = 8,
+) -> LoadResult:
+    """Fire a prepared request list at a server, concurrently.
+
+    Args:
+        host/port: a live serving endpoint.
+        requests: one dict per request — the ``/predict`` JSON schema
+            (``features`` / ``receiver`` lists, optional
+            ``message_size`` / ``model``).
+        concurrency: simultaneous keep-alive connections.
+
+    Returns a :class:`LoadResult`; ``predictions[i]`` answers
+    ``requests[i]`` regardless of completion order.
+    """
+    bodies = [json.dumps(request).encode("utf-8") for request in requests]
+    return asyncio.run(_run_load_async(host, port, bodies, concurrency))
+
+
+def _synthetic_requests(
+    n_requests: int, windows_per_request: int, window_len: int, rng
+) -> list[dict]:
+    """Random pretrain-shaped request bodies (load-smoke traffic)."""
+    requests = []
+    for _ in range(n_requests):
+        requests.append(
+            {
+                "features": np.abs(
+                    rng.normal(0.0, 1.0, size=(windows_per_request, window_len, 3))
+                ).tolist(),
+                "receiver": rng.integers(
+                    0, 4, size=(windows_per_request, window_len)
+                ).tolist(),
+            }
+        )
+    return requests
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI load smoke: hammer a live server, print a JSON report."""
+    parser = argparse.ArgumentParser(description="repro.serve load generator")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--seconds", type=float, default=3.0,
+                        help="keep firing batches of requests for this long")
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=64,
+                        help="requests per firing round")
+    parser.add_argument("--windows", type=int, default=4,
+                        help="feature windows per request")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    client = ServingClient(args.host, args.port)
+    health = client.wait_ready()
+    models = client.models()
+    window_len = models["models"][0].get("min_window_len", 64)
+    rng = np.random.default_rng(args.seed)
+    requests = _synthetic_requests(args.requests, args.windows, window_len, rng)
+
+    rounds = []
+    deadline = time.monotonic() + args.seconds
+    while time.monotonic() < deadline:
+        rounds.append(run_load(args.host, args.port, requests, args.concurrency))
+    total_requests = sum(r.requests for r in rounds)
+    total_windows = sum(r.windows for r in rounds)
+    total_errors = sum(r.errors for r in rounds)
+    wall = sum(r.wall_s for r in rounds)
+    latencies = np.concatenate([r.latencies_s for r in rounds]) if rounds else np.zeros(0)
+    merged = LoadResult(
+        predictions=[],
+        latencies_s=latencies,
+        wall_s=wall,
+        requests=total_requests,
+        windows=total_windows,
+        errors=total_errors,
+    )
+    report = {
+        "health": health,
+        "rounds": len(rounds),
+        "load": merged.summary(),
+        "server_metrics": client.metrics(),
+    }
+    print(json.dumps(report, indent=2))
+    if total_errors or total_windows == 0:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI serving job
+    sys.exit(main())

@@ -1,0 +1,371 @@
+"""Asyncio HTTP front for the serving runtime (stdlib only).
+
+A :class:`PredictionServer` glues the pieces together: the
+:class:`~repro.serve.manager.ModelManager` resolves and warms models,
+one :class:`~repro.serve.batcher.MicroBatcher` per model coalesces
+concurrent requests, and a 1-thread prediction lane runs the fused
+forwards while the event loop keeps accepting traffic.
+
+Endpoints (all JSON):
+
+* ``POST /predict`` — body ``{"model": <ref, optional>, "features":
+  [[[...]]], "receiver": [[...]], "message_size": [...]}``; response
+  ``{"model": ..., "task": ..., "predictions": [...], "windows": n,
+  "served_ms": t}``.
+* ``GET /models`` — configured refs, per-model descriptions, warm-LRU
+  state and load/eviction counters.
+* ``GET /healthz`` — liveness (``{"status": "ok", ...}``).
+* ``GET /metrics`` — the :class:`~repro.serve.metrics.ServingMetrics`
+  snapshot: predictions/sec, batch-occupancy histogram, p50/p95/p99
+  request latency.
+
+The HTTP layer itself is a deliberately small HTTP/1.1 subset —
+request line + headers + ``Content-Length`` body, keep-alive by
+default — implemented on ``asyncio`` streams so the server needs no
+dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.batcher import BatcherConfig, MicroBatcher
+from repro.serve.manager import ModelManager, ModelNotFound
+from repro.serve.metrics import ServingMetrics
+
+__all__ = ["ServerConfig", "PredictionServer", "ServerHandle"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``repro serve`` configures."""
+
+    models: tuple[str, ...]
+    host: str = "127.0.0.1"
+    port: int = 8080
+    precision: str = "float64"
+    lru_capacity: int = 4
+    max_batch_windows: int = 64
+    max_wait_us: float = 2000.0
+    batch_size: int = 1024
+
+    def __post_init__(self):
+        if not self.models:
+            raise ValueError("the server needs at least one model ref")
+
+
+class _RequestError(Exception):
+    """A client-caused failure: reported as an HTTP 4xx JSON body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class PredictionServer:
+    """The long-lived serving runtime behind ``repro serve``."""
+
+    def __init__(self, config: ServerConfig, manager: ModelManager | None = None):
+        self.config = config
+        self.manager = manager or ModelManager(
+            capacity=config.lru_capacity,
+            precision=config.precision,
+            batch_size=config.batch_size,
+        )
+        self.metrics = ServingMetrics()
+        self.batcher_config = BatcherConfig(
+            max_batch_windows=config.max_batch_windows,
+            max_wait_us=config.max_wait_us,
+        )
+        self.executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="predict")
+        self.default_model = config.models[0]
+        self._batchers: dict[str, MicroBatcher] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (port 0 picks a free one)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight micro-batches, release the lane."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for batcher in self._batchers.values():
+            await batcher.drain()
+        self.executor.shutdown(wait=True)
+
+    # -- connection handling ------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, body, keep_alive = request
+                started = time.monotonic()
+                if method == "POST" and target == "/predict":
+                    status, payload = await self._predict(body)
+                    self.metrics.record_request(
+                        time.monotonic() - started, error=status != 200
+                    )
+                else:
+                    status, payload = self._route_get(method, target)
+                self._write_response(writer, status, payload, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            _RequestError,
+        ):
+            pass  # client went away or spoke garbage; drop the connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader):
+        """One parsed request, or ``None`` on a cleanly closed connection."""
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _RequestError(400, "malformed request line")
+        method, target, version = parts
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _RequestError(400, "bad Content-Length") from None
+        if not 0 <= length <= _MAX_BODY_BYTES:
+            raise _RequestError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        keep_alive = headers.get("connection", "").lower() != "close" and (
+            version != "HTTP/1.0"
+        )
+        return method, target, body, keep_alive
+
+    @staticmethod
+    def _write_response(writer, status: int, payload: dict, keep_alive: bool) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 413: "Payload Too Large",
+                  500: "Internal Server Error"}.get(status, "OK")
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+
+    # -- routing ------------------------------------------------------------------
+
+    def _route_get(self, method: str, target: str) -> tuple[int, dict]:
+        if target == "/predict":
+            return 405, {"error": "POST JSON to /predict"}
+        if method != "GET":
+            return 405, {"error": f"unsupported method {method}"}
+        if target == "/healthz":
+            return 200, {
+                "status": "ok",
+                "default_model": self.default_model,
+                "uptime_s": self.metrics.snapshot()["uptime_s"],
+            }
+        if target == "/metrics":
+            snapshot = self.metrics.snapshot()
+            snapshot["model_loads_total"] = self.manager.loads_total
+            snapshot["model_evictions_total"] = self.manager.evictions_total
+            return 200, snapshot
+        if target == "/models":
+            rows = []
+            for ref in self.config.models:
+                try:
+                    rows.append(self.manager.describe(ref))
+                except ModelNotFound as error:
+                    rows.append({"ref": ref, "error": str(error)})
+            return 200, {
+                "models": rows,
+                "default": self.default_model,
+                "warm": self.manager.warm_refs(),
+                "loads_total": self.manager.loads_total,
+                "evictions_total": self.manager.evictions_total,
+            }
+        return 404, {"error": f"no route {target!r}"}
+
+    async def _predict(self, body: bytes) -> tuple[int, dict]:
+        try:
+            payload = self._parse_predict(body)
+        except _RequestError as error:
+            return error.status, {"error": str(error)}
+        ref, features, receiver, message_size = payload
+        started = time.monotonic()
+        try:
+            predictor = self.manager.get(ref)
+            batcher = self._batcher_for(ref, predictor)
+            predictions = await batcher.submit(features, receiver, message_size)
+        except ModelNotFound as error:
+            return 404, {"error": str(error)}
+        except ValueError as error:
+            return 400, {"error": str(error)}
+        return 200, {
+            "model": ref,
+            "task": predictor.task,
+            "precision": predictor.precision,
+            "predictions": predictions.tolist(),
+            "windows": len(predictions),
+            "served_ms": (time.monotonic() - started) * 1e3,
+        }
+
+    def _parse_predict(self, body: bytes):
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise _RequestError(400, "request body is not valid JSON") from None
+        if not isinstance(document, dict):
+            raise _RequestError(400, "request body must be a JSON object")
+        ref = document.get("model", self.default_model)
+        if not isinstance(ref, str):
+            raise _RequestError(400, "'model' must be a string ref")
+        if "features" not in document or "receiver" not in document:
+            raise _RequestError(400, "'features' and 'receiver' are required")
+        try:
+            features = np.asarray(document["features"], dtype=np.float64)
+            receiver = np.asarray(document["receiver"], dtype=np.int64)
+        except (TypeError, ValueError):
+            raise _RequestError(
+                400, "'features'/'receiver' must be rectangular numeric arrays"
+            ) from None
+        if features.size == 0 and receiver.size == 0:
+            # JSON flattens empty arrays to [] and loses their shape;
+            # normalise to the documented empty request.
+            features = features.reshape(0, 0, 3)
+            receiver = receiver.reshape(0, 0)
+        message_size = None
+        if document.get("message_size") is not None:
+            try:
+                message_size = np.asarray(document["message_size"], dtype=np.float64)
+            except (TypeError, ValueError):
+                raise _RequestError(400, "'message_size' must be numeric") from None
+        return ref, features, receiver, message_size
+
+    def _batcher_for(self, ref: str, predictor) -> MicroBatcher:
+        batcher = self._batchers.get(ref)
+        if batcher is None or batcher.predictor is not predictor:
+            # First sight of this model, or the LRU evicted and reloaded
+            # it — either way the batcher follows the warm instance.
+            batcher = MicroBatcher(
+                predictor,
+                config=self.batcher_config,
+                metrics=self.metrics,
+                executor=self.executor,
+            )
+            self._batchers[ref] = batcher
+        return batcher
+
+
+class ServerHandle:
+    """A server running on a background thread (examples, tests, benchmarks).
+
+    The asyncio loop lives on the thread; :meth:`stop` drains the
+    batchers and joins it.  Usable as a context manager.
+    """
+
+    def __init__(self, server: PredictionServer):
+        self.server = server
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._stop_event: asyncio.Event | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    def start(self, timeout: float = 10.0) -> "ServerHandle":
+        self._thread = threading.Thread(target=self._run, daemon=True, name="repro-serve")
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("serving thread failed to start in time")
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def main():
+            # asyncio.start_server begins accepting as soon as it binds;
+            # this coroutine only has to stay alive until stop() flips
+            # the event, then shut down inside the loop (no cross-thread
+            # coroutine scheduling races).
+            self._stop_event = asyncio.Event()
+            await self.server.start()
+            self._started.set()
+            await self._stop_event.wait()
+            await self.server.stop()
+            pending = [
+                task for task in asyncio.all_tasks() if task is not asyncio.current_task()
+            ]
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None or not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=30)
+        if self._thread.is_alive():  # pragma: no cover - diagnostics only
+            raise RuntimeError("serving thread failed to stop in time")
+
+    def __enter__(self) -> "ServerHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

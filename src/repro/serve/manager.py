@@ -1,0 +1,174 @@
+"""Warm-model management: checkpoint resolution, LRU cache, precision.
+
+The serving runtime never rebuilds a model per request.  A
+:class:`ModelManager` resolves model *refs* — filesystem checkpoint
+paths or content-addressed artifact-store keys — into warm
+:class:`~repro.api.predictor.Predictor` instances, keeps the most
+recently used ones alive in a bounded LRU, and guards each ref's load
+with its own lock so a cold model is only ever materialised once even
+under a thundering herd of first requests.
+
+Checkpoint payloads are loaded through
+:func:`repro.nn.serialize.load_state_mmap`: checkpoints written with
+``compress=False`` serve their parameters as read-only memory maps
+(shared page cache, lazy fault-in), and compressed ones transparently
+fall back to a normal read.  The PR 5 ``precision="float32"`` policy is
+applied at load time, so a float32 manager stores and runs every model
+at half the memory bandwidth.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.api.predictor import Predictor
+from repro.api.store import ArtifactStore
+from repro.nn import fastpath
+
+__all__ = ["ModelManager", "ModelNotFound", "STORE_PREFIX"]
+
+#: Ref prefix selecting the artifact store: ``store:<checkpoint-key>``.
+STORE_PREFIX = "store:"
+
+
+class ModelNotFound(Exception):
+    """A model ref that resolves to no checkpoint (HTTP 404 upstream)."""
+
+
+class ModelManager:
+    """Resolves model refs to warm, LRU-cached predictors.
+
+    Args:
+        store: optional :class:`ArtifactStore` backing ``store:<key>``
+            refs (bare refs that are no file on disk are also tried as
+            store keys when a store is configured).
+        capacity: maximum number of warm models kept alive.
+        precision: compute dtype models are loaded in (``float64`` /
+            ``float32``; the PR 5 policy).
+        batch_size: forward chunk size handed to each predictor — the
+            serving default is sized so one micro-batch flush runs as a
+            single fused forward pass.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore | None = None,
+        capacity: int = 4,
+        precision: str = "float64",
+        batch_size: int = 1024,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.store = store
+        self.capacity = capacity
+        self.precision = fastpath.resolve_dtype(precision).name
+        self.batch_size = batch_size
+        self._lock = threading.Lock()
+        self._models: OrderedDict[str, Predictor] = OrderedDict()
+        self._loading: dict[str, threading.Lock] = {}
+        self.loads_total = 0
+        self.evictions_total = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelManager(capacity={self.capacity}, precision={self.precision!r}, "
+            f"warm={len(self._models)})"
+        )
+
+    # -- resolution ---------------------------------------------------------------
+
+    def resolve(self, ref: str) -> Path:
+        """The checkpoint file a ref names, or raise :class:`ModelNotFound`.
+
+        Resolution order: explicit ``store:<key>`` refs hit the artifact
+        store only; anything else is first a filesystem path, then (when
+        a store is configured) a checkpoint key.
+        """
+        if ref.startswith(STORE_PREFIX):
+            key = ref[len(STORE_PREFIX):]
+            if self.store is None:
+                raise ModelNotFound(
+                    f"model ref {ref!r} needs an artifact store, but none is configured"
+                )
+            path = self.store.get("checkpoints", key)
+            if path is None:
+                raise ModelNotFound(f"no checkpoint {key!r} in {self.store.root}")
+            return path
+        path = Path(ref)
+        if path.exists():
+            return path
+        if self.store is not None:
+            stored = self.store.get("checkpoints", ref)
+            if stored is not None:
+                return stored
+        raise ModelNotFound(
+            f"model ref {ref!r} is neither a checkpoint file nor a stored key"
+        )
+
+    # -- warm cache ---------------------------------------------------------------
+
+    def get(self, ref: str) -> Predictor:
+        """The warm predictor for a ref, loading (and evicting) as needed."""
+        with self._lock:
+            predictor = self._models.get(ref)
+            if predictor is not None:
+                self._models.move_to_end(ref)
+                return predictor
+            # One loader per ref: herd followers block on the ref's own
+            # lock, not on other models' loads or the manager lock.
+            ref_lock = self._loading.setdefault(ref, threading.Lock())
+        with ref_lock:
+            with self._lock:
+                predictor = self._models.get(ref)
+                if predictor is not None:
+                    self._models.move_to_end(ref)
+                    return predictor
+            predictor = self._load(ref)
+            with self._lock:
+                self._models[ref] = predictor
+                self._models.move_to_end(ref)
+                self.loads_total += 1
+                while len(self._models) > self.capacity:
+                    self._models.popitem(last=False)
+                    self.evictions_total += 1
+            return predictor
+
+    def _load(self, ref: str) -> Predictor:
+        path = self.resolve(ref)
+        try:
+            return Predictor.from_checkpoint(
+                path,
+                batch_size=self.batch_size,
+                precision=self.precision,
+                mmap=True,
+            )
+        except FileNotFoundError as error:  # raced a concurrent delete
+            raise ModelNotFound(str(error)) from None
+
+    def warm_refs(self) -> list[str]:
+        """Currently warm refs, least → most recently used."""
+        with self._lock:
+            return list(self._models)
+
+    def evict(self, ref: str) -> bool:
+        """Drop one warm model; returns whether it was loaded."""
+        with self._lock:
+            dropped = self._models.pop(ref, None)
+            if dropped is not None:
+                self.evictions_total += 1
+            return dropped is not None
+
+    def describe(self, ref: str) -> dict:
+        """JSON-ready description of one warm model (``/models`` rows)."""
+        predictor = self.get(ref)
+        config = predictor.model.config
+        return {
+            "ref": ref,
+            "task": predictor.task,
+            "precision": predictor.precision,
+            "min_window_len": config.aggregation.seq_len,
+            "parameters": predictor.model.num_parameters(),
+            "batch_size": predictor.batch_size,
+        }

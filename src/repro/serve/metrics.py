@@ -1,0 +1,107 @@
+"""Serving telemetry: throughput, batch occupancy, tail latency.
+
+One :class:`ServingMetrics` instance is shared by the whole serving
+runtime — the HTTP front records request latencies, the
+:class:`~repro.serve.batcher.MicroBatcher` records flush sizes — and a
+thread-safe :meth:`snapshot` backs both the ``/metrics`` endpoint and
+the serving benchmark's reported numbers.
+
+Latencies live in a bounded ring (the most recent
+:data:`LATENCY_WINDOW` requests), so percentiles track current
+behaviour instead of averaging over the process lifetime; counters are
+monotone for the lifetime rates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+__all__ = ["ServingMetrics", "LATENCY_WINDOW", "OCCUPANCY_BUCKETS"]
+
+#: Ring size for the latency percentile window.
+LATENCY_WINDOW = 8192
+
+#: Upper edges (inclusive) of the batch-occupancy histogram, in windows
+#: per fused forward pass.  The last bucket is open-ended.
+OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class ServingMetrics:
+    """Thread-safe counters and reservoirs for the serving runtime."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started = clock()
+        self.requests_total = 0
+        self.predictions_total = 0
+        self.batches_total = 0
+        self.errors_total = 0
+        self._occupancy = [0] * (len(OCCUPANCY_BUCKETS) + 1)
+        self._latencies = deque(maxlen=LATENCY_WINDOW)
+
+    # -- recording ----------------------------------------------------------------
+
+    def record_batch(self, n_requests: int, n_windows: int) -> None:
+        """One coalesced flush: ``n_requests`` callers, ``n_windows`` rows."""
+        bucket = len(OCCUPANCY_BUCKETS)
+        for index, edge in enumerate(OCCUPANCY_BUCKETS):
+            if n_windows <= edge:
+                bucket = index
+                break
+        with self._lock:
+            self.batches_total += 1
+            self.predictions_total += n_windows
+            self._occupancy[bucket] += 1
+
+    def record_request(self, latency_s: float, error: bool = False) -> None:
+        """One served ``/predict`` request (end-to-end seconds)."""
+        with self._lock:
+            self.requests_total += 1
+            if error:
+                self.errors_total += 1
+            else:
+                self._latencies.append(float(latency_s))
+
+    # -- reporting ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of every metric (the ``/metrics`` payload)."""
+        with self._lock:
+            elapsed = max(self._clock() - self._started, 1e-9)
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            occupancy = list(self._occupancy)
+            batches = self.batches_total
+            predictions = self.predictions_total
+            snapshot = {
+                "uptime_s": elapsed,
+                "requests_total": self.requests_total,
+                "predictions_total": predictions,
+                "batches_total": batches,
+                "errors_total": self.errors_total,
+                "predictions_per_s": predictions / elapsed,
+                "requests_per_s": self.requests_total / elapsed,
+            }
+        snapshot["mean_batch_windows"] = predictions / batches if batches else 0.0
+        labels = [f"<={edge}" for edge in OCCUPANCY_BUCKETS] + [
+            f">{OCCUPANCY_BUCKETS[-1]}"
+        ]
+        snapshot["batch_occupancy"] = dict(zip(labels, occupancy))
+        if latencies.size:
+            p50, p95, p99 = np.percentile(latencies, _PERCENTILES)
+            snapshot["latency_ms"] = {
+                "p50": p50 * 1e3,
+                "p95": p95 * 1e3,
+                "p99": p99 * 1e3,
+                "max": float(latencies.max()) * 1e3,
+                "window": int(latencies.size),
+            }
+        else:
+            snapshot["latency_ms"] = {"window": 0}
+        return snapshot

@@ -55,6 +55,57 @@ class TestBatching:
             np.zeros((0, window, 3)), np.zeros((0, window), dtype=np.int64)
         )
         assert out.shape == (0,)
+        assert out.dtype == np.float64
+
+    def test_empty_batch_mct(self, trained, smoke_bundle):
+        # n=0 must honour the same documented contract on the MCT task
+        # (it used to depend on undefined scaler inverse-transform
+        # behaviour over empty arrays).
+        trained.pipeline.fit_mct(smoke_bundle.train.with_completed_messages_only())
+        from repro.core.model import NTT, NTTForMCT
+
+        config = trained.model.config
+        predictor = Predictor(
+            NTTForMCT(config, NTT(config)), trained.pipeline, task="mct"
+        )
+        window = config.aggregation.seq_len
+        out = predictor.predict(
+            np.zeros((0, window, 3)),
+            np.zeros((0, window), dtype=np.int64),
+            np.zeros(0),
+        )
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
+
+    def test_empty_batch_still_validates_shapes(self, trained):
+        predictor = Predictor(trained.model, trained.pipeline)
+        with pytest.raises(ValueError, match="batch sizes"):
+            predictor.predict(
+                np.zeros((0, 64, 3)), np.zeros((2, 64), dtype=np.int64)
+            )
+
+    def test_batch_size_one_matches_per_window_calls(self, trained, smoke_bundle):
+        # batch_size=1 chunks each window into its own forward — the
+        # exact computation a caller gets from n single-window calls, so
+        # the two must agree bit for bit.
+        test = smoke_bundle.test
+        predictor = Predictor(trained.model, trained.pipeline, batch_size=1)
+        chunked = predictor.predict(test.features[:6], test.receiver[:6])
+        loose = np.concatenate(
+            [
+                predictor.predict(test.features[i:i + 1], test.receiver[i:i + 1])
+                for i in range(6)
+            ]
+        )
+        assert np.array_equal(chunked, loose)
+
+    def test_oversized_batch_size_matches_single_forward(self, trained, smoke_bundle):
+        # batch_size > n leaves everything in one chunk: bit-identical
+        # to the unchunked forward pass.
+        test = smoke_bundle.test
+        expected = predict_delay(trained.model, trained.pipeline, test)
+        predictor = Predictor(trained.model, trained.pipeline, batch_size=10 ** 6)
+        assert np.array_equal(predictor.predict_dataset(test), expected)
 
 
 class TestValidation:
@@ -113,3 +164,96 @@ class TestCheckpointRoundTrip:
         save_checkpoint(trained.model, path, metadata={"scale": "smoke"})
         with pytest.raises(ValueError, match="config"):
             Predictor.from_checkpoint(path)
+
+    def test_unknown_task_metadata_rejected(self, trained, tmp_path):
+        # A clean ValueError *before* the state dict is forced into a
+        # wrong model (which would die with a confusing KeyError) — and
+        # never a silent fall-back to the delay task.
+        from repro.api.spec import ntt_config_to_dict
+        from repro.nn.serialize import save_checkpoint
+
+        path = tmp_path / "jitter.npz"
+        save_checkpoint(
+            trained.model, path,
+            metadata={
+                "task": "jitter",
+                "config": ntt_config_to_dict(trained.model.config),
+            },
+        )
+        with pytest.raises(ValueError, match="unknown task 'jitter'"):
+            Predictor.from_checkpoint(path)
+
+    def test_missing_pipeline_metadata_rejected(self, trained, tmp_path):
+        # Used to escape as a raw KeyError('pipeline'), which `repro
+        # predict` printed as a traceback instead of exiting cleanly.
+        from repro.api.spec import ntt_config_to_dict
+        from repro.nn.serialize import save_checkpoint
+
+        path = tmp_path / "nopipe.npz"
+        save_checkpoint(
+            trained.model, path,
+            metadata={
+                "task": "delay",
+                "config": ntt_config_to_dict(trained.model.config),
+            },
+        )
+        with pytest.raises(ValueError, match="pipeline"):
+            Predictor.from_checkpoint(path)
+
+    def test_mct_roundtrip_with_fitted_scalers(self, trained, smoke_bundle, tmp_path):
+        trained.pipeline.fit_mct(smoke_bundle.train.with_completed_messages_only())
+        from repro.core.model import NTT, NTTForMCT
+
+        config = trained.model.config
+        original = Predictor(
+            NTTForMCT(config, NTT(config)), trained.pipeline, task="mct"
+        )
+        path = tmp_path / "mct.npz"
+        original.save(path)
+        restored = Predictor.from_checkpoint(path)
+        assert restored.task == "mct"
+        assert restored.pipeline.message_size_scaler.fitted
+        assert restored.pipeline.mct_scaler.fitted
+        test = smoke_bundle.test.with_completed_messages_only()
+        assert np.array_equal(
+            original.predict_dataset(test), restored.predict_dataset(test)
+        )
+
+    def test_delay_roundtrip_without_mct_scalers(self, trained, tmp_path):
+        # A delay-only pipeline stores None for the unfitted scalers and
+        # restores to the same unfitted state.
+        path = tmp_path / "delay.npz"
+        pipeline = type(trained.pipeline)()
+        pipeline.feature_scaler = trained.pipeline.feature_scaler
+        Predictor(trained.model, pipeline).save(path)
+        restored = Predictor.from_checkpoint(path)
+        assert restored.task == "delay"
+        assert not restored.pipeline.message_size_scaler.fitted
+        assert not restored.pipeline.mct_scaler.fitted
+
+    def test_mmap_load_is_bit_for_bit(self, trained, smoke_bundle, tmp_path):
+        path = tmp_path / "stored.npz"
+        original = Predictor(trained.model, trained.pipeline)
+        original.save(path, compress=False)
+        restored = Predictor.from_checkpoint(path, mmap=True)
+        test = smoke_bundle.test
+        assert np.array_equal(
+            original.predict_dataset(test), restored.predict_dataset(test)
+        )
+
+    def test_float32_load_applies_the_precision_policy(
+        self, trained, smoke_bundle, tmp_path
+    ):
+        path = tmp_path / "predictor.npz"
+        original = Predictor(trained.model, trained.pipeline)
+        original.save(path)
+        restored = Predictor.from_checkpoint(path, precision="float32")
+        assert restored.precision == "float32"
+        parameters = dict(restored.model.named_parameters())
+        assert all(p.data.dtype == np.float32 for p in parameters.values())
+        test = smoke_bundle.test
+        np.testing.assert_allclose(
+            restored.predict_dataset(test),
+            original.predict_dataset(test),
+            rtol=1e-3,
+        )

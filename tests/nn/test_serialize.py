@@ -1,0 +1,77 @@
+"""Tests for checkpoint serialization: stored payloads and mmap loading."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Sequential
+from repro.nn.serialize import load_state, load_state_mmap, save_checkpoint
+
+
+@pytest.fixture
+def model(rng):
+    return Sequential(Linear(3, 5, rng), Linear(5, 2, rng))
+
+
+class TestStoredCheckpoints:
+    def test_uncompressed_roundtrip(self, model, tmp_path):
+        path = tmp_path / "stored.npz"
+        save_checkpoint(model, path, metadata={"task": "delay"}, compress=False)
+        state, metadata = load_state(path)
+        assert metadata == {"task": "delay"}
+        for name, parameter in model.named_parameters():
+            assert np.array_equal(state[name], parameter.data)
+
+    def test_uncompressed_is_larger_but_equal(self, model, tmp_path):
+        stored = tmp_path / "stored.npz"
+        compressed = tmp_path / "compressed.npz"
+        save_checkpoint(model, stored, compress=False)
+        save_checkpoint(model, compressed, compress=True)
+        stored_state, _ = load_state(stored)
+        compressed_state, _ = load_state(compressed)
+        for name in stored_state:
+            assert np.array_equal(stored_state[name], compressed_state[name])
+
+
+class TestMmapLoading:
+    def test_stored_members_come_back_memory_mapped(self, model, tmp_path):
+        path = tmp_path / "stored.npz"
+        save_checkpoint(model, path, metadata={"n": 1}, compress=False)
+        state, metadata = load_state_mmap(path)
+        assert metadata == {"n": 1}
+        for name, parameter in model.named_parameters():
+            assert isinstance(state[name], np.memmap)
+            assert np.array_equal(state[name], parameter.data)
+
+    def test_compressed_members_fall_back_to_a_read(self, model, tmp_path):
+        path = tmp_path / "compressed.npz"
+        save_checkpoint(model, path, compress=True)
+        state, _ = load_state_mmap(path)
+        for name, parameter in model.named_parameters():
+            # Deflated payloads cannot be mapped; the loader degrades to
+            # a normal in-memory read with identical contents.
+            assert not isinstance(state[name], np.memmap)
+            assert np.array_equal(state[name], parameter.data)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state_mmap(tmp_path / "missing.npz")
+
+
+class TestAliasedLoading:
+    def test_copy_false_aliases_the_source_arrays(self, model, rng, tmp_path):
+        path = tmp_path / "stored.npz"
+        save_checkpoint(model, path, compress=False)
+        state, _ = load_state_mmap(path)
+        fresh = Sequential(Linear(3, 5, rng), Linear(5, 2, rng))
+        fresh.load_state_dict(state, copy=False)
+        for name, parameter in fresh.named_parameters():
+            assert np.shares_memory(parameter.data, state[name])
+
+    def test_copy_true_stays_private(self, model, rng, tmp_path):
+        path = tmp_path / "stored.npz"
+        save_checkpoint(model, path, compress=False)
+        state, _ = load_state_mmap(path)
+        fresh = Sequential(Linear(3, 5, rng), Linear(5, 2, rng))
+        fresh.load_state_dict(state)  # the default copies
+        for name, parameter in fresh.named_parameters():
+            assert not np.shares_memory(parameter.data, state[name])

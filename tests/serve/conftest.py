@@ -1,0 +1,42 @@
+"""Shared fixtures for the serving-runtime tests.
+
+One tiny pre-training run and one uncompressed (mmap-able) checkpoint
+are session-scoped: every serving test serves the same model, so the
+expensive bits happen once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Predictor
+from repro.core.model import NTTConfig
+from repro.core.pretrain import TrainSettings, pretrain
+
+FAST = TrainSettings(epochs=1, batch_size=32, patience=None)
+
+
+@pytest.fixture(scope="session")
+def served_training(smoke_bundle):
+    return pretrain(NTTConfig.smoke(), smoke_bundle, settings=FAST)
+
+
+@pytest.fixture(scope="session")
+def served_checkpoint(served_training, tmp_path_factory):
+    """An uncompressed delay checkpoint the serving runtime can mmap."""
+    path = tmp_path_factory.mktemp("serve") / "ckpt.npz"
+    Predictor(served_training.model, served_training.pipeline).save(
+        path, compress=False
+    )
+    return path
+
+
+@pytest.fixture(scope="session")
+def reference_predictor(served_checkpoint):
+    """The ground truth the served predictions are compared against.
+
+    ``batch_size=1024`` matches the serving default, so any >=2-window
+    forward is the same fused gemm as the server's and predictions
+    compare bit-for-bit.
+    """
+    return Predictor.from_checkpoint(served_checkpoint, batch_size=1024)

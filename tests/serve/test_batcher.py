@@ -1,0 +1,185 @@
+"""Tests for micro-batch coalescing.
+
+The asyncio plumbing runs under ``asyncio.run`` inside plain sync
+tests; every wait is bounded by ``asyncio.wait_for`` so a broken flush
+rule fails fast instead of hanging the suite.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import BatcherConfig, MicroBatcher, ServingMetrics
+
+_TIMEOUT = 30.0
+
+
+def _run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, _TIMEOUT))
+
+
+@pytest.fixture()
+def windows(smoke_bundle):
+    test = smoke_bundle.test
+    return test.features[:16], test.receiver[:16]
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = BatcherConfig()
+        assert config.max_batch_windows > 0
+        assert config.max_wait_us >= 0
+
+    def test_bad_flush_size_rejected(self):
+        with pytest.raises(ValueError, match="max_batch_windows"):
+            BatcherConfig(max_batch_windows=0)
+
+    def test_bad_wait_rejected(self):
+        with pytest.raises(ValueError, match="max_wait_us"):
+            BatcherConfig(max_wait_us=-1.0)
+
+
+class TestCoalescing:
+    def test_concurrent_requests_fuse_into_one_forward(
+        self, reference_predictor, windows
+    ):
+        features, receiver = windows
+        metrics = ServingMetrics()
+        config = BatcherConfig(max_batch_windows=64, max_wait_us=5000.0)
+
+        async def scenario():
+            batcher = MicroBatcher(reference_predictor, config, metrics=metrics)
+            # Four callers, four windows each — all pending when the age
+            # timer fires, so they share one fused forward pass.
+            return await asyncio.gather(
+                *(
+                    batcher.submit(
+                        features[start:start + 4], receiver[start:start + 4]
+                    )
+                    for start in range(0, 16, 4)
+                )
+            )
+
+        results = _run(scenario())
+        assert metrics.batches_total == 1
+        assert metrics.predictions_total == 16
+        # Row-for-row bit identity with the full-batch reference: the
+        # flush and the reference run the same >=2-row gemm kernels.
+        expected = reference_predictor.predict(features, receiver)
+        for index, result in enumerate(results):
+            assert np.array_equal(result, expected[index * 4:(index + 1) * 4])
+
+    def test_size_rule_flushes_without_waiting(self, reference_predictor, windows):
+        features, receiver = windows
+        metrics = ServingMetrics()
+        # An hour-long age rule: only the size rule can flush in time.
+        config = BatcherConfig(max_batch_windows=8, max_wait_us=3600e6)
+
+        async def scenario():
+            batcher = MicroBatcher(reference_predictor, config, metrics=metrics)
+            return await asyncio.gather(
+                batcher.submit(features[:4], receiver[:4]),
+                batcher.submit(features[4:8], receiver[4:8]),
+            )
+
+        first, second = _run(scenario())
+        assert metrics.batches_total == 1
+        expected = reference_predictor.predict(features[:8], receiver[:8])
+        assert np.array_equal(np.concatenate([first, second]), expected)
+
+    def test_oversized_request_served_alone(self, reference_predictor, windows):
+        features, receiver = windows
+        metrics = ServingMetrics()
+        config = BatcherConfig(max_batch_windows=4, max_wait_us=3600e6)
+
+        async def scenario():
+            batcher = MicroBatcher(reference_predictor, config, metrics=metrics)
+            return await batcher.submit(features, receiver)
+
+        result = _run(scenario())
+        assert metrics.batches_total == 1
+        assert metrics.predictions_total == 16
+        assert np.array_equal(
+            result, reference_predictor.predict(features, receiver)
+        )
+
+    def test_empty_request_short_circuits(self, reference_predictor):
+        async def scenario():
+            batcher = MicroBatcher(reference_predictor)
+            return await batcher.submit(
+                np.zeros((0, 64, 3)), np.zeros((0, 64), dtype=np.int64)
+            )
+
+        result = _run(scenario())
+        assert result.shape == (0,)
+        assert result.dtype == np.float64
+
+    def test_drain_flushes_pending_requests(self, reference_predictor, windows):
+        features, receiver = windows
+        config = BatcherConfig(max_batch_windows=64, max_wait_us=3600e6)
+
+        async def scenario():
+            batcher = MicroBatcher(reference_predictor, config)
+            pending = asyncio.ensure_future(
+                batcher.submit(features[:4], receiver[:4])
+            )
+            await asyncio.sleep(0)  # let submit() park behind its future
+            await batcher.drain()
+            return await pending
+
+        result = _run(scenario())
+        assert result.shape == (4,)
+
+
+class TestValidation:
+    def test_bad_shapes_fail_fast(self, reference_predictor, windows):
+        features, receiver = windows
+
+        async def scenario():
+            batcher = MicroBatcher(reference_predictor)
+            with pytest.raises(ValueError, match="3-D"):
+                await batcher.submit(features[0], receiver[0])
+            with pytest.raises(ValueError, match="receiver shape"):
+                await batcher.submit(features[:4], receiver[:2])
+            # A malformed request must not leave anything pending that
+            # could poison the next caller's batch.
+            assert batcher._pending == {}
+
+        _run(scenario())
+
+    def test_delay_task_rejects_message_size(self, reference_predictor, windows):
+        features, receiver = windows
+
+        async def scenario():
+            batcher = MicroBatcher(reference_predictor)
+            with pytest.raises(ValueError, match="only meaningful"):
+                await batcher.submit(
+                    features[:2], receiver[:2], np.ones(2)
+                )
+
+        _run(scenario())
+
+
+class _ExplodingPredictor:
+    task = "delay"
+
+    def predict(self, features, receiver, message_size=None):
+        raise RuntimeError("model blew up")
+
+
+class TestFailurePropagation:
+    def test_forward_errors_reach_every_caller(self, windows):
+        features, receiver = windows
+        config = BatcherConfig(max_batch_windows=8, max_wait_us=1000.0)
+
+        async def scenario():
+            batcher = MicroBatcher(_ExplodingPredictor(), config)
+            results = await asyncio.gather(
+                batcher.submit(features[:4], receiver[:4]),
+                batcher.submit(features[4:8], receiver[4:8]),
+                return_exceptions=True,
+            )
+            assert all(isinstance(result, RuntimeError) for result in results)
+
+        _run(scenario())

@@ -1,0 +1,199 @@
+"""End-to-end tests for the HTTP serving front.
+
+A real server runs on a background thread (module scope) and real
+HTTP requests go through the loopback interface — these tests cover
+the whole path the production traffic takes: parse, resolve, batch,
+forward, split, respond.
+"""
+
+import http.client
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    PredictionServer,
+    ServerConfig,
+    ServerHandle,
+    ServingClient,
+    run_load,
+)
+
+
+@pytest.fixture(scope="module")
+def live_server(served_checkpoint):
+    config = ServerConfig(
+        models=(str(served_checkpoint),), port=0, max_wait_us=1000.0
+    )
+    with ServerHandle(PredictionServer(config)) as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def client(live_server):
+    return ServingClient(live_server.host, live_server.port)
+
+
+class TestEndpoints:
+    def test_healthz(self, client, served_checkpoint):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["default_model"] == str(served_checkpoint)
+        assert health["uptime_s"] > 0
+
+    def test_models_describes_configured_refs(self, client, served_checkpoint):
+        payload = client.models()
+        assert payload["default"] == str(served_checkpoint)
+        row = payload["models"][0]
+        assert row["ref"] == str(served_checkpoint)
+        assert row["task"] == "delay"
+        assert row["min_window_len"] == 64
+        assert payload["loads_total"] >= 1
+
+    def test_metrics_populate_after_traffic(
+        self, client, reference_predictor, smoke_bundle
+    ):
+        test = smoke_bundle.test
+        client.predict(test.features[:4], test.receiver[:4])
+        snapshot = client.metrics()
+        assert snapshot["requests_total"] >= 1
+        assert snapshot["predictions_total"] >= 4
+        assert snapshot["batches_total"] >= 1
+        assert snapshot["model_loads_total"] >= 1
+        assert sum(snapshot["batch_occupancy"].values()) == snapshot["batches_total"]
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(RuntimeError, match="404"):
+            client._request("GET", "/nope")
+
+    def test_get_predict_405(self, client):
+        with pytest.raises(RuntimeError, match="405"):
+            client._request("GET", "/predict")
+
+
+class TestPredict:
+    def test_served_predictions_match_reference(
+        self, client, reference_predictor, smoke_bundle
+    ):
+        test = smoke_bundle.test
+        served = client.predict(test.features[:6], test.receiver[:6])
+        expected = reference_predictor.predict(test.features[:6], test.receiver[:6])
+        # JSON round-trips float64 exactly (repr-based), so the served
+        # values are bit-identical to the in-process forward.
+        assert np.array_equal(served, expected)
+
+    def test_empty_request(self, client):
+        served = client.predict(
+            np.zeros((0, 64, 3)), np.zeros((0, 64), dtype=np.int64)
+        )
+        assert served.shape == (0,)
+
+    def test_unknown_model_404(self, client, smoke_bundle):
+        test = smoke_bundle.test
+        with pytest.raises(RuntimeError, match="404"):
+            client.predict(test.features[:2], test.receiver[:2], model="missing.npz")
+
+    def test_message_size_on_delay_model_400(self, client, smoke_bundle):
+        test = smoke_bundle.test
+        with pytest.raises(RuntimeError, match="400"):
+            client.predict(
+                test.features[:2], test.receiver[:2], message_size=np.ones(2)
+            )
+
+    def test_missing_fields_400(self, client):
+        with pytest.raises(RuntimeError, match="required"):
+            client._request("POST", "/predict", {"features": [[[1.0]]]})
+
+    def test_ragged_payload_400(self, client):
+        with pytest.raises(RuntimeError, match="rectangular"):
+            client._request(
+                "POST", "/predict",
+                {"features": [[[1.0], [1.0, 2.0]]], "receiver": [[0, 1]]},
+            )
+
+    def test_invalid_json_400(self, live_server):
+        connection = http.client.HTTPConnection(
+            live_server.host, live_server.port, timeout=10
+        )
+        try:
+            connection.request(
+                "POST", "/predict", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+            assert response.status == 400
+            assert "JSON" in payload["error"]
+        finally:
+            connection.close()
+
+
+class TestConcurrentLoad:
+    def test_load_generator_matches_reference_bit_for_bit(
+        self, live_server, reference_predictor, smoke_bundle
+    ):
+        test = smoke_bundle.test
+        per_request = 4
+        n_requests = 10
+        requests = [
+            {
+                "features": test.features[
+                    i * per_request:(i + 1) * per_request
+                ].tolist(),
+                "receiver": test.receiver[
+                    i * per_request:(i + 1) * per_request
+                ].tolist(),
+            }
+            for i in range(n_requests)
+        ]
+        result = run_load(
+            live_server.host, live_server.port, requests, concurrency=8
+        )
+        assert result.errors == 0
+        assert result.windows == n_requests * per_request
+        expected = reference_predictor.predict(
+            test.features[: n_requests * per_request],
+            test.receiver[: n_requests * per_request],
+        )
+        served = np.asarray(
+            [row for rows in result.predictions for row in rows], dtype=np.float64
+        )
+        assert np.array_equal(served, expected)
+        assert result.latency_percentiles_ms()["p99"] is not None
+
+
+class TestWarmLifecycle:
+    def test_lru_eviction_recreates_batchers(
+        self, served_checkpoint, smoke_bundle, tmp_path
+    ):
+        """With capacity 1, alternating models forces evict + reload,
+        and the per-model batcher follows the fresh warm instance."""
+        second = tmp_path / "second.npz"
+        shutil.copy(served_checkpoint, second)
+        config = ServerConfig(
+            models=(str(served_checkpoint), str(second)),
+            port=0,
+            lru_capacity=1,
+            max_wait_us=500.0,
+        )
+        test = smoke_bundle.test
+        with ServerHandle(PredictionServer(config)) as handle:
+            client = ServingClient(handle.host, handle.port)
+            first_round = client.predict(test.features[:2], test.receiver[:2])
+            client.predict(
+                test.features[:2], test.receiver[:2], model=str(second)
+            )
+            second_round = client.predict(test.features[:2], test.receiver[:2])
+            snapshot = client.metrics()
+        assert np.array_equal(first_round, second_round)
+        # Three loads: default, second, default again after eviction.
+        assert snapshot["model_loads_total"] == 3
+        assert snapshot["model_evictions_total"] == 2
+
+
+class TestConfigValidation:
+    def test_server_needs_a_model(self):
+        with pytest.raises(ValueError, match="at least one model"):
+            ServerConfig(models=())

@@ -1,0 +1,164 @@
+"""Tests for checkpoint resolution and the warm-model LRU."""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.api import ArtifactStore, Predictor
+from repro.serve import STORE_PREFIX, ModelManager, ModelNotFound
+
+
+def _put_checkpoint(store: ArtifactStore, key: str, source) -> None:
+    target = store.path("checkpoints", key)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(source, target)
+
+
+class TestResolution:
+    def test_path_ref(self, served_checkpoint):
+        manager = ModelManager()
+        assert manager.resolve(str(served_checkpoint)) == served_checkpoint
+
+    def test_missing_path_raises(self, tmp_path):
+        manager = ModelManager()
+        with pytest.raises(ModelNotFound, match="neither a checkpoint file"):
+            manager.resolve(str(tmp_path / "nope.npz"))
+
+    def test_store_prefix_requires_store(self):
+        manager = ModelManager(store=None)
+        with pytest.raises(ModelNotFound, match="artifact store"):
+            manager.resolve(f"{STORE_PREFIX}somekey")
+
+    def test_store_prefix_resolves_checkpoint_key(self, served_checkpoint, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        _put_checkpoint(store, "warm", served_checkpoint)
+        manager = ModelManager(store=store)
+        assert manager.resolve(f"{STORE_PREFIX}warm").exists()
+
+    def test_store_prefix_unknown_key_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        manager = ModelManager(store=store)
+        with pytest.raises(ModelNotFound, match="no checkpoint"):
+            manager.resolve(f"{STORE_PREFIX}missing")
+
+    def test_bare_ref_falls_back_to_store_key(self, served_checkpoint, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        _put_checkpoint(store, "bare", served_checkpoint)
+        manager = ModelManager(store=store)
+        assert manager.resolve("bare").exists()
+
+
+class TestWarmCache:
+    def test_get_returns_warm_instance(self, served_checkpoint):
+        manager = ModelManager()
+        ref = str(served_checkpoint)
+        first = manager.get(ref)
+        second = manager.get(ref)
+        assert first is second
+        assert manager.loads_total == 1
+        assert manager.warm_refs() == [ref]
+
+    def test_mmap_load_matches_direct_load(
+        self, served_checkpoint, reference_predictor, smoke_bundle
+    ):
+        manager = ModelManager()
+        served = manager.get(str(served_checkpoint))
+        test = smoke_bundle.test
+        assert np.array_equal(
+            served.predict(test.features[:8], test.receiver[:8]),
+            reference_predictor.predict(test.features[:8], test.receiver[:8]),
+        )
+
+    def test_lru_evicts_least_recently_used(self, served_checkpoint, tmp_path):
+        copies = []
+        for name in ("a", "b", "c"):
+            copy = tmp_path / f"{name}.npz"
+            shutil.copy(served_checkpoint, copy)
+            copies.append(str(copy))
+        manager = ModelManager(capacity=2)
+        manager.get(copies[0])
+        manager.get(copies[1])
+        manager.get(copies[0])  # refresh: copies[1] is now the oldest
+        manager.get(copies[2])
+        assert manager.warm_refs() == [copies[0], copies[2]]
+        assert manager.evictions_total == 1
+        # Re-requesting the evicted model reloads it.
+        manager.get(copies[1])
+        assert manager.loads_total == 4
+
+    def test_explicit_evict(self, served_checkpoint):
+        manager = ModelManager()
+        ref = str(served_checkpoint)
+        manager.get(ref)
+        assert manager.evict(ref)
+        assert not manager.evict(ref)
+        assert manager.warm_refs() == []
+        assert manager.evictions_total == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ModelManager(capacity=0)
+
+    def test_bad_checkpoint_error_propagates(self, tmp_path):
+        # A metadata-less npz is found but rejected with the Predictor's
+        # clean ValueError (the CLI turns this into exit code 2).
+        path = tmp_path / "bare.npz"
+        np.savez(path, weight=np.zeros((2, 2)))
+        manager = ModelManager()
+        with pytest.raises(ValueError, match="config metadata"):
+            manager.get(str(path))
+
+
+class TestPrecisionPolicy:
+    def test_float32_manager_serves_float32_models(
+        self, served_checkpoint, reference_predictor, smoke_bundle
+    ):
+        manager = ModelManager(precision="float32")
+        served = manager.get(str(served_checkpoint))
+        assert served.precision == "float32"
+        parameters = dict(served.model.named_parameters())
+        assert all(p.data.dtype == np.float32 for p in parameters.values())
+        test = smoke_bundle.test
+        np.testing.assert_allclose(
+            served.predict(test.features[:8], test.receiver[:8]),
+            reference_predictor.predict(test.features[:8], test.receiver[:8]),
+            rtol=1e-3,
+        )
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            ModelManager(precision="float16")
+
+
+class TestDescribe:
+    def test_describe_is_json_ready(self, served_checkpoint):
+        manager = ModelManager()
+        row = manager.describe(str(served_checkpoint))
+        assert row["ref"] == str(served_checkpoint)
+        assert row["task"] == "delay"
+        assert row["precision"] == "float64"
+        assert row["min_window_len"] == 64
+        assert row["parameters"] > 0
+        assert row["batch_size"] == manager.batch_size
+
+    def test_describe_reuses_the_warm_model(self, served_checkpoint):
+        manager = ModelManager()
+        manager.describe(str(served_checkpoint))
+        manager.describe(str(served_checkpoint))
+        assert manager.loads_total == 1
+
+
+def test_roundtrip_through_predictor_save(served_checkpoint, tmp_path, smoke_bundle):
+    """A manager-loaded predictor can re-save, and the copy serves the
+    same predictions (mmap aliasing must not leak into the payload)."""
+    manager = ModelManager()
+    served = manager.get(str(served_checkpoint))
+    resaved = tmp_path / "resaved.npz"
+    served.save(resaved)
+    reloaded = Predictor.from_checkpoint(resaved)
+    test = smoke_bundle.test
+    assert np.array_equal(
+        served.predict(test.features[:8], test.receiver[:8]),
+        reloaded.predict(test.features[:8], test.receiver[:8]),
+    )

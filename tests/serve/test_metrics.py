@@ -1,0 +1,93 @@
+"""Tests for the serving telemetry."""
+
+import numpy as np
+
+from repro.serve.metrics import LATENCY_WINDOW, OCCUPANCY_BUCKETS, ServingMetrics
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCounters:
+    def test_empty_snapshot(self):
+        snapshot = ServingMetrics().snapshot()
+        assert snapshot["requests_total"] == 0
+        assert snapshot["predictions_total"] == 0
+        assert snapshot["batches_total"] == 0
+        assert snapshot["errors_total"] == 0
+        assert snapshot["mean_batch_windows"] == 0.0
+        assert snapshot["latency_ms"] == {"window": 0}
+
+    def test_rates_use_elapsed_time(self):
+        clock = FakeClock()
+        metrics = ServingMetrics(clock=clock)
+        metrics.record_batch(n_requests=2, n_windows=10)
+        metrics.record_request(0.01)
+        metrics.record_request(0.02)
+        clock.now += 5.0
+        snapshot = metrics.snapshot()
+        assert snapshot["predictions_per_s"] == 10 / 5.0
+        assert snapshot["requests_per_s"] == 2 / 5.0
+        assert snapshot["uptime_s"] == 5.0
+
+    def test_errors_counted_but_not_timed(self):
+        metrics = ServingMetrics()
+        metrics.record_request(0.5, error=True)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests_total"] == 1
+        assert snapshot["errors_total"] == 1
+        assert snapshot["latency_ms"]["window"] == 0
+
+    def test_mean_batch_windows(self):
+        metrics = ServingMetrics()
+        metrics.record_batch(1, 4)
+        metrics.record_batch(3, 12)
+        assert metrics.snapshot()["mean_batch_windows"] == 8.0
+
+
+class TestOccupancyHistogram:
+    def test_buckets_by_windows_per_flush(self):
+        metrics = ServingMetrics()
+        metrics.record_batch(1, 1)      # <=1
+        metrics.record_batch(1, 3)      # <=4
+        metrics.record_batch(1, 4)      # <=4 (edges are inclusive)
+        metrics.record_batch(1, 200)    # >128 (open-ended tail)
+        histogram = metrics.snapshot()["batch_occupancy"]
+        assert histogram["<=1"] == 1
+        assert histogram["<=4"] == 2
+        assert histogram[f">{OCCUPANCY_BUCKETS[-1]}"] == 1
+        assert sum(histogram.values()) == 4
+
+    def test_labels_cover_every_bucket(self):
+        histogram = ServingMetrics().snapshot()["batch_occupancy"]
+        assert len(histogram) == len(OCCUPANCY_BUCKETS) + 1
+
+
+class TestLatencyPercentiles:
+    def test_percentiles_match_numpy(self):
+        metrics = ServingMetrics()
+        latencies = np.linspace(0.001, 0.1, 100)
+        for value in latencies:
+            metrics.record_request(value)
+        reported = metrics.snapshot()["latency_ms"]
+        p50, p95, p99 = np.percentile(latencies, (50, 95, 99))
+        assert np.isclose(reported["p50"], p50 * 1e3)
+        assert np.isclose(reported["p95"], p95 * 1e3)
+        assert np.isclose(reported["p99"], p99 * 1e3)
+        assert np.isclose(reported["max"], latencies.max() * 1e3)
+        assert reported["window"] == 100
+
+    def test_window_is_bounded(self):
+        metrics = ServingMetrics()
+        for _ in range(LATENCY_WINDOW + 50):
+            metrics.record_request(0.001)
+        snapshot = metrics.snapshot()
+        # The ring keeps only the most recent LATENCY_WINDOW samples...
+        assert snapshot["latency_ms"]["window"] == LATENCY_WINDOW
+        # ...while the lifetime counter keeps counting.
+        assert snapshot["requests_total"] == LATENCY_WINDOW + 50

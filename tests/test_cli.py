@@ -93,6 +93,42 @@ class TestApiCommands:
         ]) == 2
         assert "repro: error" in capsys.readouterr().err
 
+    def test_predict_metadata_less_checkpoint_exits_2(self, tmp_path, capsys):
+        # A checkpoint without config metadata used to escape as a raw
+        # KeyError traceback; it must exit 2 with a clean message.
+        import numpy as np
+
+        bare = tmp_path / "bare.npz"
+        np.savez(bare, weight=np.zeros((2, 2)))
+        assert main([
+            "predict", "--scale", "smoke", "--checkpoint", str(bare), "--no-cache",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error" in err
+        assert "metadata" in err
+        assert "Traceback" not in err
+
+    def test_predict_resolves_store_refs(self, tmp_path, capsys):
+        import shutil
+
+        cache = tmp_path / "cache"
+        checkpoint = tmp_path / "model.npz"
+        assert main([
+            "pretrain", "--scale", "smoke", "--epochs", "1",
+            "--cache-dir", str(cache), "--output", str(checkpoint),
+        ]) == 0
+        capsys.readouterr()
+        from repro.api import ArtifactStore
+
+        target = ArtifactStore(cache).path("checkpoints", "warmkey")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(checkpoint, target)
+        assert main([
+            "predict", "--scale", "smoke", "--scenario", "pretrain",
+            "--checkpoint", "store:warmkey", "--cache-dir", str(cache),
+        ]) == 0
+        assert "test MSE" in capsys.readouterr().out
+
     def test_cache_list_and_clear(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")
         assert main(["cache", "--cache-dir", cache]) == 0
@@ -193,6 +229,42 @@ class TestSweep:
     def test_parallel_no_cache_rejected(self, capsys):
         assert main(["sweep", "--no-cache", "--workers", "2"]) == 2
         assert "artifact store" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "model.npz"])
+        assert args.checkpoints == ["model.npz"]
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.precision == "float64"
+        assert args.lru_size == 4
+        assert args.max_batch_windows == 64
+        assert args.max_wait_us == 2000.0
+
+    def test_parser_accepts_multiple_models(self):
+        args = build_parser().parse_args(["serve", "a.npz", "b.npz", "--port", "0"])
+        assert args.checkpoints == ["a.npz", "b.npz"]
+
+    def test_requires_at_least_one_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_missing_checkpoint_exits_2_before_binding(self, tmp_path, capsys):
+        assert main([
+            "serve", str(tmp_path / "nope.npz"), "--no-cache", "--port", "0",
+        ]) == 2
+        assert "repro: error" in capsys.readouterr().err
+
+    def test_metadata_less_checkpoint_exits_2_before_binding(self, tmp_path, capsys):
+        import numpy as np
+
+        bare = tmp_path / "bare.npz"
+        np.savez(bare, weight=np.zeros((2, 2)))
+        assert main(["serve", str(bare), "--no-cache", "--port", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error" in err
+        assert "metadata" in err
 
 
 class TestCommands:

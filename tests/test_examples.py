@@ -39,6 +39,7 @@ def test_examples_directory_complete():
         "continual_monitoring.py",
         "scenario_sweep.py",
         "custom_stage.py",
+        "serving.py",
     } <= names
 
 
@@ -114,3 +115,11 @@ def test_scenario_sweep(tmp_path):
     assert "0 failed" in out
     assert "no retraining" in out
     assert "Manifest at" in out
+
+
+def test_serving():
+    out = run_example("serving.py", "--requests", "32")
+    assert "Starting the prediction server" in out
+    assert "0 errors" in out
+    assert "fused batches" in out
+    assert "stopped cleanly" in out
