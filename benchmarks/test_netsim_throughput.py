@@ -27,6 +27,7 @@ import time
 
 import numpy as np
 
+import repro.obs as obs
 from benchmarks.conftest import save_results
 from repro.netsim import reference
 from repro.netsim.scenarios import ScenarioKind, build_scenario
@@ -115,6 +116,64 @@ def test_packet_throughput_fast_vs_reference(scale):
     assert speedup >= minimum, (
         f"fast path only {speedup:.2f}x over the reference stack "
         f"(expected >= {minimum}x; committed small-scale results show ~3x)"
+    )
+
+
+#: Observability overhead gate: enabled-mode CPU time over disabled-mode,
+#: per scale.  Netsim's instrumentation runs once per scenario (after the
+#: event loop), so the real ratio is ~1.00; smoke-scale runs are too
+#: short for a tight bound on shared runners, hence the sanity gate.
+_MAX_OBS_OVERHEAD = {"smoke": 1.10, "small": 1.02, "paper": 1.02}
+
+
+def test_observability_overhead(scale):
+    """repro.obs on vs off: bit-identical traces, <=2% CPU at scale."""
+    config = scale.scenario(ScenarioKind.PRETRAIN)
+    rounds = _ROUNDS.get(scale.name, 1)
+
+    obs.reset()
+    off_s = on_s = None
+    try:
+        for _ in range(rounds):
+            with obs.scope(False):
+                elapsed, off_trace, _ = _simulate_once(config)
+            off_s = elapsed if off_s is None else min(off_s, elapsed)
+            with obs.scope(True):
+                elapsed, on_trace, _ = _simulate_once(config)
+            on_s = elapsed if on_s is None else min(on_s, elapsed)
+    finally:
+        obs.reset()  # drop the spans/counters the enabled rounds recorded
+
+    # Telemetry must observe, never perturb: the simulated traces are
+    # asserted bit-identical across modes before any ratio is reported.
+    for column in _TRACE_COLUMNS:
+        assert np.array_equal(
+            getattr(off_trace, column), getattr(on_trace, column)
+        ), f"observability altered trace column {column!r}"
+
+    packets = len(off_trace)
+    ratio = on_s / off_s
+    payload = {
+        "scenario": ScenarioKind.PRETRAIN,
+        "packets": packets,
+        "obs_off_cpu_s": off_s,
+        "obs_on_cpu_s": on_s,
+        "obs_off_pps": packets / off_s,
+        "obs_on_pps": packets / on_s,
+        "enabled_overhead_ratio": ratio,
+        "rounds": rounds,
+    }
+    save_results("netsim_obs_overhead", payload)
+
+    print(
+        f"\nnetsim obs overhead ({scale.name}): off "
+        f"{payload['obs_off_pps']:,.0f} pps, on "
+        f"{payload['obs_on_pps']:,.0f} pps ({ratio:.4f}x)"
+    )
+    maximum = _MAX_OBS_OVERHEAD.get(scale.name, 1.10)
+    assert ratio <= maximum, (
+        f"enabled observability costs {ratio:.3f}x over disabled "
+        f"(expected <= {maximum}x; instrumentation is once-per-run)"
     )
 
 

@@ -32,6 +32,7 @@ import time
 
 import numpy as np
 
+import repro.obs as obs
 from benchmarks.conftest import save_results
 from repro.core.model import NTTForDelay
 from repro.nn import fastpath
@@ -195,4 +196,71 @@ def test_pretrain_step_throughput_fused_vs_composite(scale):
         f"float32 mode only {payload['float32_speedup']:.2f}x over the "
         f"composite path (expected >= {float32_minimum}x; committed "
         "small-scale results show >= 2x)"
+    )
+
+
+#: Observability overhead gate: enabled-mode epoch CPU time over
+#: disabled-mode.  The trainer's hook sites cost one truthiness check
+#: per step when no hooks are installed (the ``REPRO_OBS=0`` path);
+#: enabled mode adds two ``perf_counter`` reads and a handful of
+#: registry updates per step — noise against the step's matmuls at
+#: small scale, but the smoke epoch is only milliseconds, hence its
+#: looser sanity gate.
+_MAX_OBS_OVERHEAD = {"smoke": 1.10, "small": 1.02, "paper": 1.02}
+
+
+def test_observability_overhead(scale):
+    """repro.obs on vs off: bit-identical training, <=2% CPU at scale."""
+    rounds = _ROUNDS.get(scale.name, 1)
+
+    obs.reset()
+    try:
+        # Equivalence gate first: hooks observe, never steer.  The same
+        # seeds must produce bit-identical losses and parameters whether
+        # the observability hook is installed or not.
+        with obs.scope(False):
+            off_losses, off_model = _loss_history(scale)
+        with obs.scope(True):
+            on_losses, on_model = _loss_history(scale)
+        assert off_losses == on_losses, (
+            "observability hooks changed the training trajectory"
+        )
+        for (name, po), (_, pn) in zip(
+            off_model.named_parameters(), on_model.named_parameters()
+        ):
+            assert np.array_equal(po.data, pn.data), name
+
+        off_s = on_s = None
+        for _ in range(rounds):
+            with obs.scope(False):
+                elapsed = _epoch_seconds(scale)
+            off_s = elapsed if off_s is None else min(off_s, elapsed)
+            with obs.scope(True):
+                elapsed = _epoch_seconds(scale)
+            on_s = elapsed if on_s is None else min(on_s, elapsed)
+    finally:
+        obs.reset()  # drop metrics/spans the enabled rounds recorded
+
+    ratio = on_s / off_s
+    payload = {
+        "config": "pretrain step (scale model config)",
+        "steps_per_epoch": _STEPS_PER_EPOCH,
+        "obs_off_cpu_s": off_s,
+        "obs_on_cpu_s": on_s,
+        "obs_off_steps_per_s": _STEPS_PER_EPOCH / off_s,
+        "obs_on_steps_per_s": _STEPS_PER_EPOCH / on_s,
+        "enabled_overhead_ratio": ratio,
+        "rounds": rounds,
+    }
+    save_results("nn_obs_overhead", payload)
+
+    print(
+        f"\nnn obs overhead ({scale.name}): off "
+        f"{payload['obs_off_steps_per_s']:.2f} steps/s, on "
+        f"{payload['obs_on_steps_per_s']:.2f} steps/s ({ratio:.4f}x)"
+    )
+    maximum = _MAX_OBS_OVERHEAD.get(scale.name, 1.10)
+    assert ratio <= maximum, (
+        f"enabled observability costs {ratio:.3f}x over disabled "
+        f"(expected <= {maximum}x; hook sites are per-step, not per-op)"
     )

@@ -20,10 +20,14 @@ Commands mirror the ``repro.api`` workflow:
 * ``scenarios`` — list every registered scenario.
 * ``stages`` — list every registered pipeline stage.
 * ``simulate`` — run one scenario and print a trace report (or save
-  the trace as ``.npz``).
+  the trace as ``.npz``); ``--profile`` attaches the event-loop
+  profiler and prints per-handler accounting.
 * ``pretrain`` — pre-train an NTT and save a self-describing checkpoint.
 * ``evaluate`` — evaluate a checkpoint against the naive baselines.
 * ``report`` — dataset statistics for any scenario/scale.
+* ``trace`` — export a campaign manifest's span tree as Chrome
+  trace-event JSON (loadable in Perfetto / ``chrome://tracing``).
+* ``top`` — tail a live ``repro serve`` instance's ``/metrics``.
 
 Unknown scales or scenario names exit with code 2 and a message listing
 the valid choices (instead of a ``ValueError`` traceback from deep in
@@ -177,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(simulate)
     simulate.add_argument("--output", help="save the trace to this .npz path")
     simulate.add_argument("--runs", type=int, default=1, help="number of runs")
+    simulate.add_argument(
+        "--profile", action="store_true",
+        help="attach the event-loop profiler and print per-handler accounting",
+    )
 
     pretrain = sub.add_parser("pretrain", help="pre-train an NTT and save a checkpoint")
     _add_common(pretrain)
@@ -190,6 +198,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="dataset statistics for a scenario")
     _add_common(report)
+
+    trace = sub.add_parser(
+        "trace", help="export a campaign manifest's spans as Chrome trace JSON"
+    )
+    trace.add_argument(
+        "manifest",
+        help="campaign manifest JSON (the path `repro sweep` prints)",
+    )
+    trace.add_argument(
+        "--output", default=None,
+        help="trace file path (default: <manifest>.trace.json alongside the input)",
+    )
+    trace.add_argument(
+        "--jsonl", action="store_true",
+        help="also write the flattened spans as <output>.spans.jsonl",
+    )
+
+    top = sub.add_parser("top", help="tail a live repro serve /metrics endpoint")
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="base URL of the running server",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between samples"
+    )
+    top.add_argument("--once", action="store_true", help="print one sample and exit")
+    top.add_argument(
+        "--count", type=int, default=None, help="stop after N samples (default: forever)"
+    )
     return parser
 
 
@@ -424,12 +461,30 @@ def _cmd_stages(args) -> int:
 
 def _cmd_simulate(args) -> int:
     from repro.analysis.reports import trace_report
-    from repro.netsim.scenarios import generate_traces
+    from repro.netsim.scenarios import build_scenario, generate_traces
 
     scale = _resolve_scale(args.scale)
-    traces = generate_traces(scale.scenario(args.scenario, seed=args.seed), n_runs=args.runs)
+    config = scale.scenario(args.scenario, seed=args.seed)
+    profiler = None
+    if args.profile:
+        from repro.netsim.profiler import EventLoopProfiler
+
+        profiler = EventLoopProfiler()
+        traces = []
+        for run_index in range(args.runs):
+            handle = build_scenario(config, run_index)
+            if not hasattr(handle.sim, "attach_profiler"):
+                raise CLIError(
+                    "profiling needs the fast simulator; unset the reference-path env"
+                )
+            handle.sim.attach_profiler(profiler)
+            traces.append(handle.run())
+    else:
+        traces = generate_traces(config, n_runs=args.runs)
     for index, trace in enumerate(traces):
         print(trace_report(trace, name=f"{args.scenario} run {index}"))
+    if profiler is not None:
+        print(profiler.format_report())
     if args.output:
         traces[0].save(args.output)
         print(f"saved first run to {args.output}")
@@ -553,6 +608,75 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import chrome_trace, spans_to_jsonl
+
+    path = Path(args.manifest)
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise CLIError(f"cannot read manifest {path}: {error}") from None
+    observability = manifest.get("observability") or {}
+    spans = observability.get("spans")
+    if not spans:
+        raise CLIError(
+            f"manifest {path} has no observability spans; "
+            "re-run the sweep with REPRO_OBS unset or =1"
+        )
+    campaign_id = manifest.get("campaign_id", "campaign")
+    trace = chrome_trace(spans, process_name=f"repro {campaign_id}")
+    output = Path(args.output) if args.output else path.with_suffix(".trace.json")
+    output.write_text(json.dumps(trace))
+    print(f"wrote {len(trace['traceEvents'])} trace event(s) to {output}")
+    if args.jsonl:
+        jsonl_path = output.with_suffix(".spans.jsonl")
+        jsonl_path.write_text(spans_to_jsonl(spans))
+        print(f"wrote flattened spans to {jsonl_path}")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import time
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/metrics"
+    limit = 1 if args.once else args.count
+    samples = 0
+    try:
+        while True:
+            try:
+                with urllib.request.urlopen(url, timeout=5) as response:
+                    snapshot = json.loads(response.read().decode("utf-8"))
+            except (urllib.error.URLError, OSError, json.JSONDecodeError) as error:
+                raise CLIError(f"cannot read {url}: {error}") from None
+            latency = snapshot.get("latency_ms", {})
+            if latency.get("window"):
+                tail = (
+                    f"p50 {latency['p50']:.2f}ms p99 {latency['p99']:.2f}ms "
+                    f"(window {latency['window']})"
+                )
+            else:
+                tail = "no latency samples yet"
+            print(
+                f"up {snapshot['uptime_s']:7.1f}s  "
+                f"req {snapshot['requests_total']} ({snapshot['requests_per_s']:.1f}/s)  "
+                f"pred {snapshot['predictions_total']} "
+                f"({snapshot['predictions_per_s']:.1f}/s)  "
+                f"err {snapshot['errors_total']}  "
+                f"batch {snapshot['mean_batch_windows']:.1f}w  " + tail,
+                flush=True,
+            )
+            samples += 1
+            if limit is not None and samples >= limit:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
@@ -565,6 +689,8 @@ _COMMANDS = {
     "pretrain": _cmd_pretrain,
     "evaluate": _cmd_evaluate,
     "report": _cmd_report,
+    "trace": _cmd_trace,
+    "top": _cmd_top,
 }
 
 

@@ -119,7 +119,10 @@ class Simulator:
         sim.run(until=2.0)
     """
 
-    __slots__ = ("_heap", "_tail", "_seq", "_now", "_processed", "_running", "stats", "_message_ids")
+    __slots__ = (
+        "_heap", "_tail", "_seq", "_now", "_processed", "_running", "stats",
+        "_message_ids", "_profiler",
+    )
 
     def __init__(self):
         # Calendar entries are (time, priority, alloc, seq, callback,
@@ -138,6 +141,7 @@ class Simulator:
         self._running = False
         self.stats = SimStats()
         self._message_ids = itertools.count()
+        self._profiler = None
 
     @property
     def now(self) -> float:
@@ -262,6 +266,17 @@ class Simulator:
             return True
         return False
 
+    def attach_profiler(self, profiler) -> None:
+        """Opt into per-event profiling for subsequent :meth:`run` calls.
+
+        ``profiler`` is an :class:`~repro.netsim.profiler.EventLoopProfiler`
+        (or anything with its ``run_loop`` contract); ``None`` detaches.
+        Profiling swaps in an instrumented copy of the event loop, so
+        the unprofiled hot path carries zero extra work — not even a
+        branch per event.
+        """
+        self._profiler = profiler
+
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run events until the calendar drains, ``until`` is reached, or
         ``max_events`` have executed.
@@ -269,6 +284,8 @@ class Simulator:
         When stopping at ``until``, the clock is advanced to ``until`` so
         subsequent scheduling is relative to the stop time.
         """
+        if self._profiler is not None:
+            return self._profiler.run_loop(self, until, max_events)
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True

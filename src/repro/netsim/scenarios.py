@@ -26,10 +26,12 @@ when the trace budget is small.  ``load_factor`` exposes the knob.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace  # noqa: F401 (replace used by callers)
 
 import numpy as np
 
+import repro.obs as obs
 from repro.netsim import reference
 from repro.netsim.apps import MessageSource, PacketSink
 from repro.netsim.core import Simulator
@@ -185,13 +187,51 @@ class ScenarioHandle:
 
     def run(self) -> Trace:
         """Start all applications, run to the configured duration, and
-        return the finalized trace."""
+        return the finalized trace.
+
+        When ``repro.obs`` is enabled the run publishes its
+        :class:`~repro.netsim.core.SimStats` and event totals to the
+        shared registry and records one completed span — all end-of-run
+        work, so the per-event hot loop carries no instrumentation
+        (attach an :class:`~repro.netsim.profiler.EventLoopProfiler`
+        for per-handler accounting).
+        """
+        started = time.perf_counter()
         for sender in self.senders:
             sender.start()
         for cross in self.cross_senders:
             cross.start()
         self.sim.run(until=self.config.duration)
-        return self.collector.finalize()
+        trace = self.collector.finalize()
+        if obs.enabled():
+            registry = obs.metrics()
+            kind = self.config.kind
+            registry.counter("netsim.runs_total", scenario=kind).inc()
+            registry.counter("netsim.events_total", scenario=kind).inc(
+                self.sim.events_processed
+            )
+            registry.counter("netsim.packets_total", scenario=kind).inc(len(trace))
+            stats = self.sim.stats
+            registry.counter("netsim.packets_dropped_total", scenario=kind).inc(
+                stats.packets_dropped
+            )
+            registry.counter("netsim.bytes_dropped_total", scenario=kind).inc(
+                stats.bytes_dropped
+            )
+            seconds = time.perf_counter() - started
+            registry.histogram("netsim.run_seconds").observe(seconds)
+            tracer = obs.tracer()
+            tracer.add_span(
+                "netsim.run",
+                tracer.now_us() - seconds * 1e6,
+                seconds * 1e6,
+                scenario=kind,
+                seed=self.config.seed,
+                events=self.sim.events_processed,
+                packets=len(trace),
+                packets_dropped=stats.packets_dropped,
+            )
+        return trace
 
 
 def build_scenario(config: ScenarioConfig, run_index: int = 0) -> ScenarioHandle:

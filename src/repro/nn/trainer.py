@@ -1,10 +1,19 @@
-"""A compact training loop with history, validation and early stopping."""
+"""A compact training loop with history, validation and early stopping.
+
+Timing and loss telemetry flow through *hooks*
+(:class:`~repro.obs.hooks.TrainerHook`): the trainer measures each
+step, epoch and evaluation pass on one monotonic clock and reports the
+facts to every registered hook instead of keeping private bookkeeping.
+By default the observability hook is installed when ``repro.obs`` is
+enabled (``REPRO_OBS=0`` leaves the hook list empty, reducing the hot
+loop's instrumentation to one truthiness check per step).
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -66,6 +75,13 @@ class Trainer:
             exploratory sweeps).  Applied as a
             :func:`repro.nn.fastpath.precision` scope around every
             epoch/evaluation, so tensors built inside follow it.
+        hooks: telemetry sinks (:class:`~repro.obs.hooks.TrainerHook`)
+            receiving per-step/per-epoch/per-evaluation timing and loss
+            facts.  ``None`` (the default) installs the observability
+            hook when ``repro.obs`` is enabled; pass ``()`` to opt out
+            explicitly.  Hooks observe — they never touch the model,
+            optimizer or RNG streams, so training stays bit-identical
+            with or without them.
     """
 
     def __init__(
@@ -78,6 +94,7 @@ class Trainer:
         schedule: Callable | None = None,
         on_epoch_start: Callable | None = None,
         precision: str = "float64",
+        hooks: Iterable | None = None,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -94,8 +111,14 @@ class Trainer:
             # every matmul (no bandwidth saving, worse numerics).  Pin
             # the parameters to the declared compute dtype instead.
             model.cast_parameters(dtype)
+        if hooks is None:
+            from repro.obs.hooks import default_trainer_hooks
+
+            hooks = default_trainer_hooks()
+        self.hooks = tuple(hooks)
         self._base_lr = optimizer.lr
         self._global_step = 0
+        self._epochs_run = 0
         self._epoch_lr = optimizer.lr
 
     @staticmethod
@@ -118,8 +141,11 @@ class Trainer:
             self.on_epoch_start()
         losses = []
         lr_sum = 0.0
+        hooks = self.hooks
+        epoch_started = time.perf_counter() if hooks else 0.0
         with fastpath.precision(self.precision):
             for batch in loader:
+                step_started = time.perf_counter() if hooks else 0.0
                 if self.schedule is not None:
                     lr = self._base_lr * self.schedule(self._global_step)
                     if lr != self.optimizer.lr:
@@ -134,8 +160,21 @@ class Trainer:
                 self.optimizer.step()
                 self._global_step += 1
                 losses.append(loss.item())
+                if hooks:
+                    seconds = time.perf_counter() - step_started
+                    for hook in hooks:
+                        hook.on_step(
+                            self._global_step - 1, losses[-1], self.optimizer.lr, seconds
+                        )
         self._epoch_lr = lr_sum / len(losses) if losses else self.optimizer.lr
-        return float(np.mean(losses)) if losses else float("nan")
+        mean_loss = float(np.mean(losses)) if losses else float("nan")
+        epoch = self._epochs_run
+        self._epochs_run += 1
+        if hooks:
+            seconds = time.perf_counter() - epoch_started
+            for hook in hooks:
+                hook.on_epoch_end(epoch, mean_loss, self._epoch_lr, seconds, len(losses))
+        return mean_loss
 
     def evaluate(self, loader: DataLoader) -> float:
         """Mean loss over a dataset without touching gradients.
@@ -146,6 +185,8 @@ class Trainer:
         self.model.eval()
         total = 0.0
         count = 0
+        hooks = self.hooks
+        started = time.perf_counter() if hooks else 0.0
         with no_grad(), fastpath.precision(self.precision):
             for batch in loader:
                 prediction, target = self.forward_fn(self.model, batch)
@@ -153,7 +194,12 @@ class Trainer:
                 batch_count = len(batch[0])
                 total += loss.item() * batch_count
                 count += batch_count
-        return total / count if count else float("nan")
+        mean_loss = total / count if count else float("nan")
+        if hooks:
+            seconds = time.perf_counter() - started
+            for hook in hooks:
+                hook.on_evaluate(mean_loss, count, seconds)
+        return mean_loss
 
     def fit(
         self,

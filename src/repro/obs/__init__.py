@@ -1,0 +1,255 @@
+"""``repro.obs`` — unified tracing, metrics and profiling.
+
+One zero-dependency substrate replaces the subsystems' private
+telemetry: a process-wide :class:`~repro.obs.metrics.MetricsRegistry`
+(counters, gauges, histograms with labels; snapshots merge across pool
+workers) and a :class:`~repro.obs.trace.Tracer` producing nested spans
+exportable as Chrome trace-event JSON and structured JSONL.
+
+The whole subsystem is gated on the ``REPRO_OBS`` environment variable
+(default *on*; ``REPRO_OBS=0`` disables).  Disabled, the accessor
+functions hand out shared no-op singletons, so instrumentation sites
+cost one module-global boolean read — the netsim and nn benchmarks
+assert the overhead is within noise of zero.
+
+Call-site conventions:
+
+* ``obs.enabled()`` — guard for anything beyond a single record call.
+* ``obs.metrics()`` / ``obs.tracer()`` — the *gated* accessors: the
+  live registry/tracer when enabled, no-ops when disabled.  Always use
+  these at instrumentation sites.
+* ``obs.get_registry()`` / ``obs.get_tracer()`` — the live objects
+  regardless of gating, for infrastructure that owns its telemetry
+  (the serving runtime's ``/metrics``, the engine's manifest embed).
+* ``obs.capture_tracer()`` — scope a fresh tracer to the current
+  thread (the campaign worker wraps each task in one, so stage-level
+  spans nest under the task span and travel home in the task record).
+* ``obs.record_event(name, **fields)`` — one structured operational
+  event, mirrored into the registry's event log and the current
+  tracer's instants.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    empty_snapshot,
+    merge_snapshots,
+    prometheus_text,
+    subtract,
+)
+from repro.obs.trace import Span, Tracer, chrome_trace, spans_to_jsonl
+
+__all__ = [
+    "MetricsRegistry",
+    "Tracer",
+    "Span",
+    "DEFAULT_TIME_BUCKETS",
+    "merge_snapshots",
+    "subtract",
+    "empty_snapshot",
+    "prometheus_text",
+    "chrome_trace",
+    "spans_to_jsonl",
+    "enabled",
+    "configure",
+    "scope",
+    "metrics",
+    "tracer",
+    "get_registry",
+    "get_tracer",
+    "capture_tracer",
+    "record_event",
+    "reset",
+]
+
+_FALSY = ("0", "false", "off", "no")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "1").strip().lower() not in _FALSY
+
+
+_ENABLED = _env_enabled()
+_REGISTRY = MetricsRegistry()
+_GLOBAL_TRACER = Tracer()
+_LOCAL = threading.local()
+
+
+def enabled() -> bool:
+    """Whether instrumentation is live in this process."""
+    return _ENABLED
+
+
+def configure(on: bool) -> None:
+    """Flip the global gate (tests and benchmarks; prefer :func:`scope`)."""
+    global _ENABLED
+    _ENABLED = bool(on)
+
+
+@contextmanager
+def scope(on: bool):
+    """Temporarily force the gate on or off."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(on)
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+# -- no-op layer ------------------------------------------------------------------
+
+
+class _NullInstrument:
+    """Absorbs every instrument call; one shared instance per process."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+class _NullTracer:
+    __slots__ = ()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_span(self, name: str, start_us: float, dur_us: float, **attrs):
+        return _NULL_SPAN
+
+    def instant(self, name: str, **attrs) -> dict:
+        return {}
+
+    def now_us(self) -> float:
+        return 0.0
+
+    def finished(self) -> list:
+        return []
+
+    def instants(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+class _NullRegistry:
+    __slots__ = ()
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_TIME_BUCKETS, **labels):
+        return _NULL_INSTRUMENT
+
+    def record_event(self, name: str, **fields) -> dict:
+        return {}
+
+    def snapshot(self) -> dict:
+        return empty_snapshot()
+
+    def merge(self, snapshot: dict) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_SPAN = _NullSpan()
+_NULL_TRACER = _NullTracer()
+_NULL_REGISTRY = _NullRegistry()
+
+
+# -- accessors --------------------------------------------------------------------
+
+
+def get_registry() -> MetricsRegistry:
+    """The live process registry, regardless of the gate."""
+    return _REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The live current tracer: the thread's captured tracer if one is
+    active (see :func:`capture_tracer`), else the process tracer."""
+    captured = getattr(_LOCAL, "tracer", None)
+    return captured if captured is not None else _GLOBAL_TRACER
+
+
+def metrics():
+    """Gated registry: live when enabled, a shared no-op otherwise."""
+    return _REGISTRY if _ENABLED else _NULL_REGISTRY
+
+
+def tracer():
+    """Gated tracer: the current tracer when enabled, a no-op otherwise."""
+    if not _ENABLED:
+        return _NULL_TRACER
+    return get_tracer()
+
+
+@contextmanager
+def capture_tracer():
+    """Route this thread's spans into a fresh tracer; yields it.
+
+    The campaign worker wraps each task in one so stage code recording
+    through :func:`tracer` lands inside the task's own span tree — the
+    serialized result travels home in the task record regardless of
+    which process executed the task.
+    """
+    fresh = Tracer()
+    previous = getattr(_LOCAL, "tracer", None)
+    _LOCAL.tracer = fresh
+    try:
+        yield fresh
+    finally:
+        _LOCAL.tracer = previous
+
+
+def record_event(name: str, **fields) -> dict:
+    """One structured operational event (no-op when disabled)."""
+    if not _ENABLED:
+        return {}
+    event = _REGISTRY.record_event(name, **fields)
+    get_tracer().instant(name, **fields)
+    return event
+
+
+def reset() -> None:
+    """Fresh registry and tracer; re-reads ``REPRO_OBS`` (tests only)."""
+    global _REGISTRY, _GLOBAL_TRACER, _ENABLED
+    _REGISTRY = MetricsRegistry()
+    _GLOBAL_TRACER = Tracer()
+    _LOCAL.tracer = None
+    _ENABLED = _env_enabled()

@@ -1,0 +1,84 @@
+"""Observability hooks for the training loop.
+
+The :class:`~repro.nn.trainer.Trainer` no longer keeps private timing
+bookkeeping — it reports step/epoch/evaluation facts to a list of
+hooks, and this module provides the hook that routes them into the
+``repro.obs`` substrate: counters and histograms into the gated
+registry, one completed span per epoch/evaluation into the current
+tracer (so training inside a campaign task nests under the task span).
+
+The hook resolves :func:`repro.obs.metrics` / :func:`repro.obs.tracer`
+*at call time*, so a trainer constructed before a worker's
+``capture_tracer`` scope still records into the task's tracer.
+"""
+
+from __future__ import annotations
+
+import repro.obs as obs
+
+__all__ = ["TrainerHook", "TrainerObsHook", "default_trainer_hooks"]
+
+
+class TrainerHook:
+    """Base hook: every callback is optional; all default to no-ops.
+
+    ``seconds`` arguments are measured on ``time.perf_counter`` by the
+    trainer itself, so hooks never need their own clocks.
+    """
+
+    def on_step(self, step: int, loss: float, lr: float, seconds: float) -> None:
+        """After one optimizer step (``step`` is the global step index)."""
+
+    def on_epoch_end(
+        self, epoch: int, mean_loss: float, mean_lr: float, seconds: float, steps: int
+    ) -> None:
+        """After one full pass over the training loader."""
+
+    def on_evaluate(self, loss: float, count: int, seconds: float) -> None:
+        """After one full evaluation pass (``count`` samples)."""
+
+
+class TrainerObsHook(TrainerHook):
+    """Routes trainer events into the gated registry and tracer."""
+
+    def on_step(self, step: int, loss: float, lr: float, seconds: float) -> None:
+        registry = obs.metrics()
+        registry.counter("nn.train.steps_total").inc()
+        registry.histogram("nn.train.step_seconds").observe(seconds)
+
+    def on_epoch_end(
+        self, epoch: int, mean_loss: float, mean_lr: float, seconds: float, steps: int
+    ) -> None:
+        registry = obs.metrics()
+        registry.counter("nn.train.epochs_total").inc()
+        registry.gauge("nn.train.loss").set(mean_loss)
+        registry.gauge("nn.train.lr").set(mean_lr)
+        tracer = obs.tracer()
+        tracer.add_span(
+            "nn.train_epoch",
+            tracer.now_us() - seconds * 1e6,
+            seconds * 1e6,
+            epoch=epoch,
+            loss=mean_loss,
+            steps=steps,
+        )
+
+    def on_evaluate(self, loss: float, count: int, seconds: float) -> None:
+        registry = obs.metrics()
+        registry.counter("nn.eval.passes_total").inc()
+        registry.gauge("nn.eval.loss").set(loss)
+        tracer = obs.tracer()
+        tracer.add_span(
+            "nn.evaluate",
+            tracer.now_us() - seconds * 1e6,
+            seconds * 1e6,
+            loss=loss,
+            samples=count,
+        )
+
+
+def default_trainer_hooks() -> tuple:
+    """The trainer's default hook set: obs when enabled, else nothing."""
+    if obs.enabled():
+        return (TrainerObsHook(),)
+    return ()

@@ -1,0 +1,403 @@
+"""Process-wide metrics: counters, gauges and histograms with labels.
+
+One :class:`MetricsRegistry` per process is the substrate every
+subsystem records into — the campaign engine, the Trainer, netsim and
+the serving runtime all share the same three instrument kinds:
+
+* :class:`Counter` — monotone totals (``requests_total``).
+* :class:`Gauge` — last-written values (``last_loss``).
+* :class:`Histogram` — bucketed distributions with per-bin counts,
+  a running sum and a count (``step_seconds``).
+
+Every instrument carries a name plus optional labels, and identical
+``(name, labels)`` pairs resolve to the *same* instrument, so call
+sites never need to hold references.  All mutation happens under one
+registry lock (instrument updates are single dict/float operations —
+contention is negligible at the rates this codebase records at).
+
+Snapshots are plain JSON-ready dictionaries designed to travel across
+process boundaries: a pool worker snapshots its registry before and
+after a task, ships the :func:`subtract` delta home inside the task
+record, and the engine folds deltas together with
+:func:`merge_snapshots` — counters and histogram bins add, gauges take
+the newest value, events concatenate — so a 2-worker campaign reports
+the same merged totals as the serial run.
+
+:func:`prometheus_text` renders any snapshot in the Prometheus text
+exposition format (version 0.0.4): histograms become cumulative
+``_bucket{le=...}`` series, dotted metric names are sanitised to
+underscores, and label values are escaped per the spec.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "merge_snapshots",
+    "subtract",
+    "empty_snapshot",
+    "prometheus_text",
+]
+
+#: Default histogram upper edges (inclusive), in seconds — spans the
+#: microsecond-to-minutes range the subsystems observe.
+DEFAULT_TIME_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _series_key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotone total.  ``inc`` with a negative amount is rejected."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: dict, lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _entry(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self._value}
+
+
+class Gauge:
+    """A last-written value (may go up or down)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: dict, lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _entry(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self._value}
+
+
+class Histogram:
+    """Bucketed observations: per-bin counts, sum and count.
+
+    ``buckets`` are *inclusive* upper edges; values beyond the last
+    edge land in an open-ended overflow bin, so ``counts`` has
+    ``len(buckets) + 1`` entries.  Prometheus rendering converts the
+    per-bin counts to the cumulative ``le`` form.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count", "_lock")
+
+    def __init__(self, name: str, labels: dict, buckets: tuple, lock: threading.Lock):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name!r} needs sorted, non-empty buckets")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(edge) for edge in buckets)
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def _entry(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe home of every instrument in one process (or scope).
+
+    Also keeps a small structured *event log* — one-shot operational
+    facts (``runtime.downgraded_to_serial``) that belong in a manifest
+    rather than a counter.  Events travel inside snapshots like every
+    other series.
+    """
+
+    def __init__(self, clock=time.time):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._events: list[dict] = []
+
+    # -- instruments --------------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = _series_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(
+                    key, Counter(name, labels, self._lock)
+                )
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _series_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(
+                    key, Gauge(name, labels, self._lock)
+                )
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: tuple = DEFAULT_TIME_BUCKETS, **labels
+    ) -> Histogram:
+        key = _series_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    key, Histogram(name, labels, buckets, self._lock)
+                )
+        elif tuple(float(edge) for edge in buckets) != instrument.buckets:
+            raise ValueError(
+                f"histogram {key!r} already registered with different buckets"
+            )
+        return instrument
+
+    def record_event(self, name: str, **fields) -> dict:
+        """Append one structured event; returns the stored record."""
+        event = {"event": name, "time_unix": self._clock(), **fields}
+        with self._lock:
+            self._events.append(event)
+        return event
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-ready, point-in-time copy of every series."""
+        with self._lock:
+            return {
+                "counters": {k: c._entry() for k, c in self._counters.items()},
+                "gauges": {k: g._entry() for k, g in self._gauges.items()},
+                "histograms": {k: h._entry() for k, h in self._histograms.items()},
+                "events": [dict(event) for event in self._events],
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold an external snapshot into the live registry.
+
+        Counters and histogram bins add; gauges take the snapshot's
+        value; events append.  Used by the engine to surface pool
+        workers' metrics in the parent process.
+        """
+        for entry in snapshot.get("counters", {}).values():
+            self.counter(entry["name"], **entry["labels"]).inc(entry["value"])
+        for entry in snapshot.get("gauges", {}).values():
+            self.gauge(entry["name"], **entry["labels"]).set(entry["value"])
+        for entry in snapshot.get("histograms", {}).values():
+            histogram = self.histogram(
+                entry["name"], buckets=tuple(entry["buckets"]), **entry["labels"]
+            )
+            with self._lock:
+                for index, count in enumerate(entry["counts"]):
+                    histogram.counts[index] += count
+                histogram.sum += entry["sum"]
+                histogram.count += entry["count"]
+        with self._lock:
+            self._events.extend(dict(event) for event in snapshot.get("events", ()))
+
+
+def empty_snapshot() -> dict:
+    return {"counters": {}, "gauges": {}, "histograms": {}, "events": []}
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Combine snapshots: counters/histograms add, gauges last-write-wins,
+    events concatenate.  Input snapshots are not mutated."""
+    merged = empty_snapshot()
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for key, entry in snapshot.get("counters", {}).items():
+            present = merged["counters"].get(key)
+            if present is None:
+                merged["counters"][key] = dict(entry)
+            else:
+                present["value"] += entry["value"]
+        for key, entry in snapshot.get("gauges", {}).items():
+            merged["gauges"][key] = dict(entry)
+        for key, entry in snapshot.get("histograms", {}).items():
+            present = merged["histograms"].get(key)
+            if present is None:
+                merged["histograms"][key] = {
+                    **entry,
+                    "buckets": list(entry["buckets"]),
+                    "counts": list(entry["counts"]),
+                }
+            else:
+                if list(present["buckets"]) != list(entry["buckets"]):
+                    raise ValueError(f"histogram {key!r} bucket mismatch in merge")
+                present["counts"] = [
+                    a + b for a, b in zip(present["counts"], entry["counts"])
+                ]
+                present["sum"] += entry["sum"]
+                present["count"] += entry["count"]
+        merged["events"].extend(dict(event) for event in snapshot.get("events", ()))
+    return merged
+
+
+def subtract(after: dict, before: dict) -> dict:
+    """The delta between two snapshots of the *same* registry.
+
+    Counters and histograms subtract (series absent from ``before``
+    pass through); gauges take ``after``'s value; events are the suffix
+    recorded since ``before``.  Zero-valued counter deltas are dropped
+    so per-task records stay small.
+    """
+    delta = empty_snapshot()
+    for key, entry in after.get("counters", {}).items():
+        previous = before.get("counters", {}).get(key)
+        value = entry["value"] - (previous["value"] if previous else 0.0)
+        if value:
+            delta["counters"][key] = {**entry, "value": value}
+    for key, entry in after.get("gauges", {}).items():
+        delta["gauges"][key] = dict(entry)
+    for key, entry in after.get("histograms", {}).items():
+        previous = before.get("histograms", {}).get(key)
+        if previous is None:
+            counts, total, count = list(entry["counts"]), entry["sum"], entry["count"]
+        else:
+            counts = [a - b for a, b in zip(entry["counts"], previous["counts"])]
+            total = entry["sum"] - previous["sum"]
+            count = entry["count"] - previous["count"]
+        if count:
+            delta["histograms"][key] = {
+                **entry,
+                "buckets": list(entry["buckets"]),
+                "counts": counts,
+                "sum": total,
+                "count": count,
+            }
+    n_before = len(before.get("events", ()))
+    delta["events"] = [dict(event) for event in after.get("events", ())[n_before:]]
+    return delta
+
+
+# -- Prometheus text exposition ---------------------------------------------------
+
+_NAME_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    name = _NAME_INVALID.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label_value(value) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def _label_text(labels: dict, extra: dict | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_INVALID.sub("_", key)}="{_escape_label_value(value)}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text format (0.0.4).
+
+    Histogram per-bin counts become cumulative ``_bucket{le="..."}``
+    series ending in ``le="+Inf"``, plus ``_sum``/``_count``.  Events
+    are operational records, not series, and are not rendered.
+    """
+    lines: list[str] = []
+    by_name: dict[str, list] = {}
+    for kind in ("counters", "gauges", "histograms"):
+        for entry in snapshot.get(kind, {}).values():
+            by_name.setdefault((kind, entry["name"]), []).append(entry)
+    for (kind, raw_name), entries in sorted(by_name.items()):
+        name = _metric_name(raw_name)
+        prom_kind = {"counters": "counter", "gauges": "gauge", "histograms": "histogram"}
+        lines.append(f"# TYPE {name} {prom_kind[kind]}")
+        for entry in entries:
+            if kind == "histograms":
+                cumulative = 0
+                for edge, count in zip(entry["buckets"], entry["counts"]):
+                    cumulative += count
+                    labels = _label_text(entry["labels"], {"le": _format_value(edge)})
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                cumulative += entry["counts"][-1]
+                labels = _label_text(entry["labels"], {"le": "+Inf"})
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+                base = _label_text(entry["labels"])
+                lines.append(f"{name}_sum{base} {_format_value(entry['sum'])}")
+                lines.append(f"{name}_count{base} {entry['count']}")
+            else:
+                labels = _label_text(entry["labels"])
+                lines.append(f"{name}{labels} {_format_value(entry['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,272 @@
+"""Tracing: nested spans with microsecond wall-clock timestamps.
+
+A :class:`Tracer` records :class:`Span` trees — a span is opened as a
+context manager, nests under whatever span is open on the same tracer,
+and captures start/duration in microseconds.  Timestamps come from one
+monotonic clock (``time.perf_counter``) anchored once to wall time at
+tracer construction, so spans from different processes land on a
+shared (approximate) wall-clock timeline while durations stay immune
+to wall-clock steps.
+
+Serialized spans are plain nested dictionaries (``name`` /
+``start_us`` / ``dur_us`` / ``attrs`` / ``events`` / ``children``) —
+the form the campaign manifest embeds.  Two exporters turn them into
+files:
+
+* :func:`chrome_trace` — the Chrome trace-event JSON format
+  (``chrome://tracing`` and Perfetto load it directly): one ``"ph":
+  "X"`` complete event per span, ``"ph": "i"`` instants for events.
+* :func:`spans_to_jsonl` — depth-first structured JSONL for ad-hoc
+  ``jq``/pandas analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+__all__ = ["Span", "Tracer", "chrome_trace", "spans_to_jsonl"]
+
+
+class Span:
+    """One timed operation; may carry attributes, instants and children."""
+
+    __slots__ = ("name", "start_us", "end_us", "attrs", "events", "children")
+
+    def __init__(self, name: str, start_us: float, attrs: dict):
+        self.name = name
+        self.start_us = start_us
+        self.end_us = start_us
+        self.attrs = attrs
+        self.events: list[dict] = []
+        self.children: list[Span] = []
+
+    def set(self, **attrs) -> "Span":
+        """Attach or update attributes; returns the span for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def dur_us(self) -> float:
+        return max(self.end_us - self.start_us, 0.0)
+
+    def to_dict(self) -> dict:
+        row = {
+            "name": self.name,
+            "start_us": self.start_us,
+            "dur_us": self.dur_us,
+        }
+        if self.attrs:
+            row["attrs"] = dict(self.attrs)
+        if self.events:
+            row["events"] = [dict(event) for event in self.events]
+        if self.children:
+            row["children"] = [child.to_dict() for child in self.children]
+        return row
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attrs["status"] = "error"
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Builds span trees; thread-safe (one open-span stack per thread)."""
+
+    def __init__(self, clock=time.perf_counter, wall_clock=time.time):
+        self._clock = clock
+        # One-time anchor: monotonic deltas projected onto wall time.
+        self._anchor_wall_us = wall_clock() * 1e6
+        self._anchor_clock = clock()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: list[Span] = []
+        self._instants: list[dict] = []
+
+    def now_us(self) -> float:
+        """Microseconds on the tracer's wall-anchored monotonic timeline."""
+        return self._anchor_wall_us + (self._clock() - self._anchor_clock) * 1e6
+
+    # -- span construction --------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a span: ``with tracer.span("stage:pretrain") as span: ...``"""
+        return _SpanContext(self, Span(name, self.now_us(), attrs))
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        span.start_us = self.now_us()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end_us = self.now_us()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def add_span(self, name: str, start_us: float, dur_us: float, **attrs) -> Span:
+        """Record an already-timed span (hooks that measured elsewhere)."""
+        span = Span(name, start_us, attrs)
+        span.end_us = start_us + max(dur_us, 0.0)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        return span
+
+    def instant(self, name: str, **attrs) -> dict:
+        """A zero-duration event, attached to the open span if any."""
+        event = {"name": name, "ts_us": self.now_us()}
+        if attrs:
+            event["attrs"] = attrs
+        stack = self._stack()
+        if stack:
+            stack[-1].events.append(event)
+        else:
+            with self._lock:
+                self._instants.append(event)
+        return event
+
+    # -- export -------------------------------------------------------------------
+
+    def finished(self) -> list[dict]:
+        """Serialized root spans recorded so far (open spans excluded)."""
+        stack = set(id(span) for span in self._stack())
+        with self._lock:
+            return [
+                span.to_dict() for span in self._roots if id(span) not in stack
+            ]
+
+    def instants(self) -> list[dict]:
+        with self._lock:
+            return [dict(event) for event in self._instants]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+            self._instants.clear()
+
+
+# -- exporters --------------------------------------------------------------------
+
+
+def _walk(span: dict, visit, depth: int = 0) -> None:
+    visit(span, depth)
+    for child in span.get("children", ()):
+        _walk(child, visit, depth + 1)
+
+
+def chrome_trace(
+    spans: list[dict], instants: list[dict] = (), pid: int = 1, process_name: str = "repro"
+) -> dict:
+    """Chrome trace-event JSON from serialized span trees.
+
+    Each span becomes a complete (``"ph": "X"``) event; span instants
+    and top-level instants become ``"ph": "i"`` events.  The ``tid``
+    lane comes from a span's ``worker`` attribute when present (so a
+    pool campaign renders one lane per worker), else lane 0.
+    """
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+
+    def visit(span: dict, depth: int) -> None:
+        attrs = span.get("attrs", {})
+        tid = attrs.get("worker", 0)
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": span["start_us"],
+                "dur": span["dur_us"],
+                "pid": pid,
+                "tid": int(tid) if isinstance(tid, (int, float)) else 0,
+                "args": {key: value for key, value in attrs.items()},
+            }
+        )
+        for event in span.get("events", ()):
+            events.append(
+                {
+                    "name": event["name"],
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event["ts_us"],
+                    "pid": pid,
+                    "tid": int(tid) if isinstance(tid, (int, float)) else 0,
+                    "args": dict(event.get("attrs", {})),
+                }
+            )
+
+    for span in spans:
+        _walk(span, visit)
+    for event in instants:
+        events.append(
+            {
+                "name": event["name"],
+                "cat": "repro",
+                "ph": "i",
+                "s": "p",
+                "ts": event["ts_us"],
+                "pid": pid,
+                "tid": 0,
+                "args": dict(event.get("attrs", {})),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_to_jsonl(spans: list[dict]) -> str:
+    """Depth-first JSONL: one flattened record per span."""
+    lines: list[str] = []
+
+    def visit(span: dict, depth: int) -> None:
+        row = {
+            "name": span["name"],
+            "depth": depth,
+            "start_us": span["start_us"],
+            "dur_us": span["dur_us"],
+            "attrs": span.get("attrs", {}),
+        }
+        lines.append(json.dumps(row, sort_keys=True, default=str))
+
+    for span in spans:
+        _walk(span, visit)
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -20,8 +20,10 @@ import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from pathlib import Path
 
+import repro.obs as obs
 from repro.api.store import ArtifactStore
 from repro.runtime.plan import CampaignPlan, StageTask, plan_campaign
 from repro.runtime.worker import run_task
@@ -138,7 +140,11 @@ class CampaignEngine:
                     f"plan's spec scale {plan.specs[0].scale!r}; a mismatch would "
                     "store artifacts under the wrong cache keys"
                 )
-        started = time.time()
+        # One wall-clock stamp for "when" (ISO-8601 UTC) and one
+        # monotonic origin for every duration and per-task offset —
+        # wall-clock steps (NTP, DST) can never corrupt timings.
+        started_unix = time.time()
+        started_at = datetime.now(timezone.utc).isoformat()
         clock = time.perf_counter()
         tasks = plan.ordered()
         workers = self.effective_workers(tasks)
@@ -146,7 +152,27 @@ class CampaignEngine:
         # effective_workers policy): serial despite a multi-task plan
         # that a pool could otherwise have used.
         downgraded = workers == 1 and self.workers > 1 and len(tasks) > 1
+        engine_events: list[dict] = []
         if downgraded:
+            # Structured event first (registry event log + tracer
+            # instant + manifest), then the warning for compatibility
+            # with callers filtering RuntimeWarning.
+            event = obs.record_event(
+                "runtime.downgraded_to_serial",
+                campaign_id=plan.campaign_id,
+                requested_workers=self.workers,
+                reason="no artifact store shares artifacts across processes",
+            )
+            engine_events.append(
+                event
+                or {
+                    "event": "runtime.downgraded_to_serial",
+                    "time_unix": time.time(),
+                    "campaign_id": plan.campaign_id,
+                    "requested_workers": self.workers,
+                    "reason": "no artifact store shares artifacts across processes",
+                }
+            )
             warnings.warn(
                 f"campaign requested {self.workers} workers but runs serially: "
                 "without an artifact store, processes cannot exchange artifacts "
@@ -157,13 +183,18 @@ class CampaignEngine:
             )
         store_root = None if self.store is None else str(self.store.root)
         if workers <= 1:
-            records = self._run_serial(plan, tasks, store_root, context)
+            records = self._run_serial(plan, tasks, store_root, context, clock)
         else:
-            records = self._run_pool(plan, tasks, store_root, workers)
+            records = self._run_pool(plan, tasks, store_root, workers, clock)
         ordered_records = [records[task.id] for task in tasks]
-        manifest = self._manifest(plan, ordered_records, workers, started)
+        manifest = self._manifest(plan, ordered_records, workers, started_unix, started_at)
         manifest["downgraded_to_serial"] = downgraded
+        manifest["events"] = engine_events
         manifest["wall_time_s"] = time.perf_counter() - clock
+        if obs.enabled():
+            manifest["observability"] = self._observability(
+                plan, ordered_records, workers, started_unix, manifest["wall_time_s"]
+            )
         path = None
         if self.store is not None:
             path = self.store.put_manifest(plan.campaign_id, manifest)
@@ -202,13 +233,13 @@ class CampaignEngine:
                 break
         return record
 
-    def _run_serial(self, plan, tasks, store_root, context) -> dict:
+    def _run_serial(self, plan, tasks, store_root, context, clock) -> dict:
         experiments: dict[str, object] = {}
         records: dict[str, dict] = {}
         for task in self._topological(tasks):
             blocker = self._blocking_dep(task, records)
             if blocker is not None:
-                records[task.id] = _skip_record(task, blocker)
+                records[task.id] = _skip_record(task, blocker, time.perf_counter() - clock)
                 continue
             spec_hash = task.spec.spec_hash
             if spec_hash not in experiments:
@@ -218,13 +249,17 @@ class CampaignEngine:
                     experiments[spec_hash] = Experiment(task.spec, context=context)
                 else:
                     experiments[spec_hash] = Experiment(task.spec, store=self.store)
-            records[task.id] = self._execute_with_retry(
+            started_offset = time.perf_counter() - clock
+            record = self._execute_with_retry(
                 plan, task, store_root, experiments[spec_hash],
                 self._dep_inputs(task, records),
             )
+            record["started_offset_s"] = started_offset
+            record["ended_offset_s"] = time.perf_counter() - clock
+            records[task.id] = record
         return records
 
-    def _run_pool(self, plan, tasks, store_root, workers) -> dict:
+    def _run_pool(self, plan, tasks, store_root, workers, clock) -> dict:
         records: dict[str, dict] = {}
         attempts: dict[str, int] = {}
         waiting = {task.id: set(task.deps) for task in tasks}
@@ -236,9 +271,16 @@ class CampaignEngine:
 
         ready = [task.id for task in tasks if not waiting[task.id]]
         in_flight = {}
+        # Offsets observed on the engine's campaign clock (worker
+        # perf_counters are not comparable across processes): first
+        # submit → started, final settle → ended.
+        submit_offsets: dict[str, float] = {}
 
         def resolve(task_id: str, record: dict) -> list[str]:
             """Record a final status; returns newly ready tasks."""
+            now_offset = time.perf_counter() - clock
+            record.setdefault("started_offset_s", submit_offsets.get(task_id, now_offset))
+            record.setdefault("ended_offset_s", now_offset)
             records[task_id] = record
             newly_ready = []
             for child in dependents[task_id]:
@@ -248,7 +290,9 @@ class CampaignEngine:
                         newly_ready.append(child)
                 elif child not in records:
                     # Cascade the skip through the whole subtree.
-                    newly_ready.extend(resolve(child, _skip_record(by_id[child], task_id)))
+                    newly_ready.extend(
+                        resolve(child, _skip_record(by_id[child], task_id, now_offset))
+                    )
             return newly_ready
 
         with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -259,6 +303,7 @@ class CampaignEngine:
                     attempt = attempts.get(task_id, 0)
                     attempts[task_id] = attempt + 1
                     task = by_id[task_id]
+                    submit_offsets.setdefault(task_id, time.perf_counter() - clock)
                     future = pool.submit(
                         run_task,
                         task.payload(
@@ -315,7 +360,7 @@ class CampaignEngine:
 
     # -- manifest -----------------------------------------------------------------
 
-    def _manifest(self, plan, records, workers, started) -> dict:
+    def _manifest(self, plan, records, workers, started_unix, started_at) -> dict:
         done = sum(1 for record in records if record["status"] == "done")
         failed = sum(1 for record in records if record["status"] == "error")
         skipped = sum(1 for record in records if record["status"] == "skipped")
@@ -334,6 +379,8 @@ class CampaignEngine:
                 "attempts": record.get("attempts", 0),
                 "cache_hit": bool(record.get("cache_hit")),
                 "wall_time_s": record.get("wall_time_s", 0.0),
+                "started_offset_s": record.get("started_offset_s", 0.0),
+                "ended_offset_s": record.get("ended_offset_s", 0.0),
             }
             if record["status"] == "done":
                 row["result"] = record["result"]
@@ -344,7 +391,8 @@ class CampaignEngine:
             task_rows.append(row)
         return {
             "campaign_id": plan.campaign_id,
-            "created_unix": started,
+            "created_unix": started_unix,
+            "started_at": started_at,
             "workers": workers,
             "retries": self.retries,
             "seed": plan.seed,
@@ -361,6 +409,39 @@ class CampaignEngine:
                 "executed": done - hits,
             },
         }
+
+    def _observability(self, plan, records, workers, started_unix, wall_s) -> dict:
+        """The manifest's telemetry block: one campaign root span over
+        every task's span tree, plus the merged worker metrics.
+
+        Task records carry ``spans``/``metrics`` produced inside
+        whichever process executed them (:func:`~repro.runtime.worker.run_task`);
+        merging the per-task registry deltas yields the same counter
+        totals whether the campaign ran serially or on a pool.  Pool
+        deltas are additionally folded into this process's live
+        registry so a long-lived host sees campaign totals too (serial
+        tasks already recorded into it directly).
+        """
+        merged = obs.merge_snapshots(
+            *(record.pop("metrics", None) or {} for record in records)
+        )
+        if workers > 1:
+            obs.get_registry().merge(merged)
+        children = []
+        for record in records:
+            children.extend(record.pop("spans", None) or ())
+        root = {
+            "name": f"campaign:{plan.campaign_id}",
+            "start_us": started_unix * 1e6,
+            "dur_us": wall_s * 1e6,
+            "attrs": {
+                "campaign_id": plan.campaign_id,
+                "workers": workers,
+                "tasks": len(records),
+            },
+            "children": children,
+        }
+        return {"metrics": merged, "spans": [root]}
 
 
 def _scales_agree(spec_scale, context_scale) -> bool:
@@ -380,7 +461,7 @@ def _scales_agree(spec_scale, context_scale) -> bool:
     )
 
 
-def _skip_record(task: StageTask, blocker: str) -> dict:
+def _skip_record(task: StageTask, blocker: str, offset_s: float = 0.0) -> dict:
     return {
         "id": task.id,
         "stage": task.stage,
@@ -389,6 +470,8 @@ def _skip_record(task: StageTask, blocker: str) -> dict:
         "cache_hit": False,
         "attempts": 0,
         "wall_time_s": 0.0,
+        "started_offset_s": offset_s,
+        "ended_offset_s": offset_s,
     }
 
 

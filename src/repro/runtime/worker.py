@@ -15,11 +15,15 @@ dictionaries of scalars.
 
 from __future__ import annotations
 
+import contextlib
 import importlib
+import os
 import time
 import traceback
 
 import numpy as np
+
+import repro.obs as obs
 
 # Importing the module registers the built-in stages (worker processes
 # start from a bare interpreter).
@@ -81,23 +85,50 @@ def run_task(payload: dict, experiment: Experiment | None = None) -> dict:
     Failures come back as structured ``status: "error"`` records so the
     engine can retry and the manifest can record the traceback; retry
     attempts (``payload["attempt"] > 0``) back off with jitter first.
+
+    When observability is enabled the whole execution runs inside a
+    captured tracer span (stage-level spans nest under it) and the
+    record additionally carries ``spans`` (the serialized span tree)
+    and ``metrics`` (this task's registry delta) — both JSON, so they
+    cross the process boundary like everything else and the engine can
+    merge worker telemetry into the campaign manifest.
     """
     if payload.get("attempt", 0) > 0:
         time.sleep(_retry_backoff(payload))
     start = time.perf_counter()
     record = {"id": payload["id"], "stage": payload["stage"], "cache_hit": False}
-    try:
-        _ensure_stage_importable(payload)
-        if experiment is None:
-            spec = ExperimentSpec.from_dict(payload["spec"])
-            root = payload.get("store_root")
-            store = ArtifactStore(root) if root is not None else None
-            experiment = Experiment(spec, store=store)
-        hit, result = execute_stage(
-            payload["stage"], experiment, payload["params"], payload.get("inputs")
-        )
-        record.update(status="done", cache_hit=bool(hit), result=result)
-    except Exception:  # noqa: BLE001 — crosses a process boundary
-        record.update(status="error", error=traceback.format_exc())
+    obs_on = obs.enabled()
+    with contextlib.ExitStack() as stack:
+        if obs_on:
+            registry = obs.get_registry()
+            before = registry.snapshot()
+            tracer = stack.enter_context(obs.capture_tracer())
+            span = stack.enter_context(
+                tracer.span(
+                    "task:" + payload["id"],
+                    task_id=payload["id"],
+                    stage=payload["stage"],
+                    worker=os.getpid(),
+                    attempt=payload.get("attempt", 0),
+                )
+            )
+        try:
+            _ensure_stage_importable(payload)
+            if experiment is None:
+                spec = ExperimentSpec.from_dict(payload["spec"])
+                root = payload.get("store_root")
+                store = ArtifactStore(root) if root is not None else None
+                experiment = Experiment(spec, store=store)
+            hit, result = execute_stage(
+                payload["stage"], experiment, payload["params"], payload.get("inputs")
+            )
+            record.update(status="done", cache_hit=bool(hit), result=result)
+        except Exception:  # noqa: BLE001 — crosses a process boundary
+            record.update(status="error", error=traceback.format_exc())
+        if obs_on:
+            span.set(status=record["status"], cache_hit=record["cache_hit"])
+    if obs_on:
+        record["spans"] = tracer.finished()
+        record["metrics"] = obs.subtract(registry.snapshot(), before)
     record["wall_time_s"] = time.perf_counter() - start
     return record

@@ -17,7 +17,11 @@ Endpoints (all JSON):
 * ``GET /healthz`` — liveness (``{"status": "ok", ...}``).
 * ``GET /metrics`` — the :class:`~repro.serve.metrics.ServingMetrics`
   snapshot: predictions/sec, batch-occupancy histogram, p50/p95/p99
-  request latency.
+  request latency.  JSON by default; the Prometheus text exposition
+  (0.0.4) when the request asks for it via ``?format=prometheus`` or
+  an ``Accept: text/plain`` header — the text form also folds in the
+  process-global ``repro.obs`` registry, so one scrape covers
+  everything the process recorded.
 
 The HTTP layer itself is a deliberately small HTTP/1.1 subset —
 request line + headers + ``Content-Length`` body, keep-alive by
@@ -36,6 +40,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.serve.batcher import BatcherConfig, MicroBatcher
 from repro.serve.manager import ModelManager, ModelNotFound
 from repro.serve.metrics import ServingMetrics
@@ -125,7 +130,7 @@ class PredictionServer:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                method, target, body, keep_alive = request
+                method, target, body, keep_alive, headers = request
                 started = time.monotonic()
                 if method == "POST" and target == "/predict":
                     status, payload = await self._predict(body)
@@ -133,7 +138,7 @@ class PredictionServer:
                         time.monotonic() - started, error=status != 200
                     )
                 else:
-                    status, payload = self._route_get(method, target)
+                    status, payload = self._route_get(method, target, headers)
                 self._write_response(writer, status, payload, keep_alive)
                 await writer.drain()
                 if not keep_alive:
@@ -178,17 +183,24 @@ class PredictionServer:
         keep_alive = headers.get("connection", "").lower() != "close" and (
             version != "HTTP/1.0"
         )
-        return method, target, body, keep_alive
+        return method, target, body, keep_alive, headers
 
     @staticmethod
-    def _write_response(writer, status: int, payload: dict, keep_alive: bool) -> None:
+    def _write_response(writer, status: int, payload, keep_alive: bool) -> None:
+        """``dict`` payloads go out as JSON; ``str`` payloads as the
+        Prometheus text exposition (0.0.4)."""
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 413: "Payload Too Large",
                   500: "Internal Server Error"}.get(status, "OK")
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
@@ -197,18 +209,24 @@ class PredictionServer:
 
     # -- routing ------------------------------------------------------------------
 
-    def _route_get(self, method: str, target: str) -> tuple[int, dict]:
-        if target == "/predict":
+    def _route_get(self, method: str, target: str, headers: dict) -> tuple[int, dict | str]:
+        path, _, query = target.partition("?")
+        if path == "/predict":
             return 405, {"error": "POST JSON to /predict"}
         if method != "GET":
             return 405, {"error": f"unsupported method {method}"}
-        if target == "/healthz":
+        if path == "/healthz":
             return 200, {
                 "status": "ok",
                 "default_model": self.default_model,
                 "uptime_s": self.metrics.snapshot()["uptime_s"],
             }
-        if target == "/metrics":
+        if path == "/metrics":
+            if self._wants_prometheus(query, headers):
+                extras = [self._manager_snapshot()]
+                if obs.enabled():
+                    extras.append(obs.get_registry().snapshot())
+                return 200, self.metrics.to_prometheus(*extras)
             snapshot = self.metrics.snapshot()
             snapshot["model_loads_total"] = self.manager.loads_total
             snapshot["model_evictions_total"] = self.manager.evictions_total
@@ -228,6 +246,28 @@ class PredictionServer:
                 "evictions_total": self.manager.evictions_total,
             }
         return 404, {"error": f"no route {target!r}"}
+
+    @staticmethod
+    def _wants_prometheus(query: str, headers: dict) -> bool:
+        """``?format=prometheus`` wins; else an ``Accept`` preferring
+        plain text (what ``curl -H 'Accept: text/plain'`` and a
+        Prometheus scraper send) selects the text exposition."""
+        if "format=prometheus" in query.split("&"):
+            return True
+        if "format=json" in query.split("&"):
+            return False
+        accept = headers.get("accept", "")
+        return "text/plain" in accept or "openmetrics" in accept
+
+    def _manager_snapshot(self) -> dict:
+        """The model manager's counters as a registry-shaped snapshot."""
+        counters = {}
+        for name, value in (
+            ("serve.model_loads_total", self.manager.loads_total),
+            ("serve.model_evictions_total", self.manager.evictions_total),
+        ):
+            counters[name] = {"name": name, "labels": {}, "value": value}
+        return {"counters": counters}
 
     async def _predict(self, body: bytes) -> tuple[int, dict]:
         try:

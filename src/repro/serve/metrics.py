@@ -6,7 +6,15 @@ runtime — the HTTP front records request latencies, the
 thread-safe :meth:`snapshot` backs both the ``/metrics`` endpoint and
 the serving benchmark's reported numbers.
 
-Latencies live in a bounded ring (the most recent
+Since the observability PR the counters and histograms live in a
+:class:`~repro.obs.metrics.MetricsRegistry` (per-instance by default,
+so parallel servers in one process never collide), which buys the
+serving runtime the shared snapshot/merge machinery and
+:meth:`to_prometheus` — the Prometheus text rendering of ``/metrics``
+— for free.  The JSON :meth:`snapshot` shape is unchanged from the
+pre-registry implementation.
+
+Latencies additionally live in a bounded ring (the most recent
 :data:`LATENCY_WINDOW` requests), so percentiles track current
 behaviour instead of averaging over the process lifetime; counters are
 monotone for the lifetime rates.
@@ -19,6 +27,8 @@ import time
 from collections import deque
 
 import numpy as np
+
+from repro.obs.metrics import MetricsRegistry, merge_snapshots, prometheus_text
 
 __all__ = ["ServingMetrics", "LATENCY_WINDOW", "OCCUPANCY_BUCKETS"]
 
@@ -35,59 +45,77 @@ _PERCENTILES = (50.0, 95.0, 99.0)
 class ServingMetrics:
     """Thread-safe counters and reservoirs for the serving runtime."""
 
-    def __init__(self, clock=time.monotonic):
+    def __init__(self, clock=time.monotonic, registry: MetricsRegistry | None = None):
         self._clock = clock
-        self._lock = threading.Lock()
         self._started = clock()
-        self.requests_total = 0
-        self.predictions_total = 0
-        self.batches_total = 0
-        self.errors_total = 0
-        self._occupancy = [0] * (len(OCCUPANCY_BUCKETS) + 1)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter("serve.requests_total")
+        self._predictions = self.registry.counter("serve.predictions_total")
+        self._batches = self.registry.counter("serve.batches_total")
+        self._errors = self.registry.counter("serve.errors_total")
+        self._occupancy = self.registry.histogram(
+            "serve.batch_windows", buckets=OCCUPANCY_BUCKETS
+        )
+        self._latency = self.registry.histogram("serve.request_latency_seconds")
+        self._lock = threading.Lock()  # guards the percentile ring
         self._latencies = deque(maxlen=LATENCY_WINDOW)
+
+    # -- lifetime counters (read by tests and the serving benchmark) --------------
+
+    @property
+    def requests_total(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def predictions_total(self) -> int:
+        return int(self._predictions.value)
+
+    @property
+    def batches_total(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def errors_total(self) -> int:
+        return int(self._errors.value)
 
     # -- recording ----------------------------------------------------------------
 
     def record_batch(self, n_requests: int, n_windows: int) -> None:
         """One coalesced flush: ``n_requests`` callers, ``n_windows`` rows."""
-        bucket = len(OCCUPANCY_BUCKETS)
-        for index, edge in enumerate(OCCUPANCY_BUCKETS):
-            if n_windows <= edge:
-                bucket = index
-                break
-        with self._lock:
-            self.batches_total += 1
-            self.predictions_total += n_windows
-            self._occupancy[bucket] += 1
+        self._batches.inc()
+        self._predictions.inc(n_windows)
+        self._occupancy.observe(n_windows)
 
     def record_request(self, latency_s: float, error: bool = False) -> None:
         """One served ``/predict`` request (end-to-end seconds)."""
+        self._requests.inc()
+        if error:
+            self._errors.inc()
+            return
+        self._latency.observe(latency_s)
         with self._lock:
-            self.requests_total += 1
-            if error:
-                self.errors_total += 1
-            else:
-                self._latencies.append(float(latency_s))
+            self._latencies.append(float(latency_s))
 
     # -- reporting ----------------------------------------------------------------
 
     def snapshot(self) -> dict:
         """A JSON-ready view of every metric (the ``/metrics`` payload)."""
+        elapsed = max(self._clock() - self._started, 1e-9)
         with self._lock:
-            elapsed = max(self._clock() - self._started, 1e-9)
             latencies = np.asarray(self._latencies, dtype=np.float64)
-            occupancy = list(self._occupancy)
-            batches = self.batches_total
-            predictions = self.predictions_total
-            snapshot = {
-                "uptime_s": elapsed,
-                "requests_total": self.requests_total,
-                "predictions_total": predictions,
-                "batches_total": batches,
-                "errors_total": self.errors_total,
-                "predictions_per_s": predictions / elapsed,
-                "requests_per_s": self.requests_total / elapsed,
-            }
+        occupancy = list(self._occupancy.counts)
+        requests = self.requests_total
+        predictions = self.predictions_total
+        batches = self.batches_total
+        snapshot = {
+            "uptime_s": elapsed,
+            "requests_total": requests,
+            "predictions_total": predictions,
+            "batches_total": batches,
+            "errors_total": self.errors_total,
+            "predictions_per_s": predictions / elapsed,
+            "requests_per_s": requests / elapsed,
+        }
         snapshot["mean_batch_windows"] = predictions / batches if batches else 0.0
         labels = [f"<={edge}" for edge in OCCUPANCY_BUCKETS] + [
             f">{OCCUPANCY_BUCKETS[-1]}"
@@ -105,3 +133,32 @@ class ServingMetrics:
         else:
             snapshot["latency_ms"] = {"window": 0}
         return snapshot
+
+    def to_prometheus(self, *extra_snapshots: dict) -> str:
+        """Render everything in the Prometheus text format (0.0.4).
+
+        ``extra_snapshots`` are additional registry snapshots merged in
+        — the HTTP front passes the model manager's load/eviction
+        counters and, when observability is on, the process-global
+        registry, so one scrape covers the whole process.  Derived
+        values the JSON snapshot reports (rates, windowed percentiles)
+        are refreshed into gauges first so text scrapes see them too.
+        """
+        snapshot = self.snapshot()
+        self.registry.gauge("serve.uptime_seconds").set(snapshot["uptime_s"])
+        self.registry.gauge("serve.predictions_per_second").set(
+            snapshot["predictions_per_s"]
+        )
+        self.registry.gauge("serve.requests_per_second").set(snapshot["requests_per_s"])
+        self.registry.gauge("serve.mean_batch_windows").set(
+            snapshot["mean_batch_windows"]
+        )
+        latency = snapshot["latency_ms"]
+        if latency["window"]:
+            for quantile, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                self.registry.gauge(
+                    "serve.request_latency_window_seconds", quantile=quantile
+                ).set(latency[key] / 1e3)
+        return prometheus_text(
+            merge_snapshots(self.registry.snapshot(), *extra_snapshots)
+        )

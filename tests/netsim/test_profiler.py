@@ -1,0 +1,133 @@
+"""The event-loop profiler: bit-identical execution, useful accounting."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.core import SimulationError, Simulator
+from repro.netsim.profiler import EventLoopProfiler
+from repro.netsim.scenarios import ScenarioConfig, build_scenario
+from repro.obs.metrics import MetricsRegistry
+
+TRACE_COLUMNS = (
+    "send_time", "recv_time", "size", "receiver_id",
+    "flow_id", "message_id", "message_size", "is_message_end",
+)
+
+
+class TestLoopEquivalence:
+    def test_profiled_scenario_trace_is_bit_identical(self):
+        config = ScenarioConfig.smoke(seed=3)
+        plain = build_scenario(config).run()
+        handle = build_scenario(config)
+        profiler = EventLoopProfiler()
+        handle.sim.attach_profiler(profiler)
+        profiled = handle.run()
+        assert len(plain) == len(profiled)
+        for column in TRACE_COLUMNS:
+            assert np.array_equal(
+                getattr(plain, column), getattr(profiled, column)
+            ), column
+        assert profiler.events_total > 0
+
+    def test_profiled_run_honours_until_and_max_events(self):
+        def tick(sim, i):
+            if i < 100:
+                sim.post(0.01, tick, (sim, i + 1))
+
+        plain, profiled = Simulator(), Simulator()
+        plain.schedule(0.0, tick, plain, 0)
+        profiled.schedule(0.0, tick, profiled, 0)
+        profiled.attach_profiler(EventLoopProfiler())
+        plain.run(max_events=10)
+        profiled.run(max_events=10)
+        assert plain.events_processed == profiled.events_processed == 10
+        assert plain.now == profiled.now
+        plain.run(until=5.0)
+        profiled.run(until=5.0)
+        assert plain.now == profiled.now == 5.0
+        assert plain.events_processed == profiled.events_processed
+
+    def test_cancelled_events_are_skipped(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(1.0, fired.append, "keep")
+        cancel = sim.schedule(0.5, fired.append, "cancel")
+        cancel.cancel()
+        profiler = EventLoopProfiler()
+        sim.attach_profiler(profiler)
+        sim.run()
+        assert fired == ["keep"]
+        assert keep.time == 1.0
+        assert profiler.events_total == 1
+
+    def test_reentrant_run_still_rejected(self):
+        sim = Simulator()
+        sim.attach_profiler(EventLoopProfiler())
+        sim.schedule(0.0, sim.run)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            sim.run()
+
+    def test_detach_restores_the_fast_loop(self):
+        sim = Simulator()
+        profiler = EventLoopProfiler()
+        sim.attach_profiler(profiler)
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        sim.attach_profiler(None)
+        sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert profiler.events_total == 1  # second run not profiled
+
+
+class TestAccounting:
+    def _profiled_sim(self, events: int = 50):
+        sim = Simulator()
+        profiler = EventLoopProfiler(sample_every=4)
+        sim.attach_profiler(profiler)
+
+        def tick(i):
+            if i < events - 1:
+                sim.post(0.01, tick, (i + 1,))
+
+        sim.schedule(0.0, tick, 0)
+        sim.run()
+        return profiler
+
+    def test_report_totals_and_handlers(self):
+        profiler = self._profiled_sim(50)
+        report = profiler.report()
+        assert report["events_total"] == 50
+        assert report["cpu_s"] > 0
+        assert report["events_per_s"] > 0
+        (handler,) = report["handlers"].values()
+        assert handler["count"] == 50
+        assert handler["cpu_s"] >= 0
+
+    def test_queue_depth_sampling(self):
+        profiler = self._profiled_sim(50)
+        depth = profiler.report()["queue_depth"]
+        assert depth["sample_every"] == 4
+        assert depth["samples"] == 50 // 4
+        assert depth["max"] >= depth["mean"] >= 0
+
+    def test_publish_into_a_registry(self):
+        profiler = self._profiled_sim(10)
+        registry = MetricsRegistry()
+        profiler.publish(registry)
+        snapshot = registry.snapshot()
+        totals = [
+            entry
+            for entry in snapshot["counters"].values()
+            if entry["name"] == "netsim.profiler.events_total"
+        ]
+        assert sum(entry["value"] for entry in totals) == 10
+        assert "netsim.profiler.queue_depth_max" in snapshot["gauges"]
+
+    def test_format_report_is_printable(self):
+        text = self._profiled_sim(20).format_report()
+        assert "event loop: 20 events" in text
+        assert "calendar depth" in text
+
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError, match="sample_every"):
+            EventLoopProfiler(sample_every=0)

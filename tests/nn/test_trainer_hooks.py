@@ -1,0 +1,121 @@
+"""Trainer telemetry hooks: observation without interference."""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.layers import Linear
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.trainer import Trainer
+from repro.obs.hooks import TrainerHook, TrainerObsHook, default_trainer_hooks
+
+
+class RecordingHook(TrainerHook):
+    def __init__(self):
+        self.steps = []
+        self.epochs = []
+        self.evaluations = []
+
+    def on_step(self, step, loss, lr, seconds):
+        self.steps.append((step, loss, lr, seconds))
+
+    def on_epoch_end(self, epoch, mean_loss, mean_lr, seconds, steps):
+        self.epochs.append((epoch, mean_loss, mean_lr, seconds, steps))
+
+    def on_evaluate(self, loss, count, seconds):
+        self.evaluations.append((loss, count, seconds))
+
+
+def _data(n: int = 32, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    y = x @ rng.normal(size=(4, 1))
+    return DataLoader(ArrayDataset(x, y), batch_size=8)
+
+
+def _trainer(hooks):
+    model = Linear(4, 1, np.random.default_rng(1))
+    return Trainer(
+        model, Adam(model.parameters(), lr=1e-2), mse_loss,
+        grad_clip=None, hooks=hooks,
+    )
+
+
+class TestHookCallbacks:
+    def test_steps_epochs_and_evaluations_are_reported(self):
+        hook = RecordingHook()
+        trainer = _trainer([hook])
+        loader = _data()
+        trainer.train_epoch(loader)
+        trainer.train_epoch(loader)
+        trainer.evaluate(loader)
+        assert [record[0] for record in hook.steps] == list(range(8))
+        assert [record[0] for record in hook.epochs] == [0, 1]
+        epoch, mean_loss, mean_lr, seconds, steps = hook.epochs[0]
+        assert steps == 4
+        assert mean_lr == pytest.approx(1e-2)
+        assert mean_loss == pytest.approx(
+            float(np.mean([record[1] for record in hook.steps[:4]]))
+        )
+        assert seconds > 0
+        ((eval_loss, count, eval_seconds),) = hook.evaluations
+        assert count == 32
+        assert eval_seconds > 0
+        assert np.isfinite(eval_loss)
+
+    def test_training_is_bit_identical_with_and_without_hooks(self):
+        plain = _trainer(())
+        hooked = _trainer([RecordingHook()])
+        loader = _data()
+        losses_plain = [plain.train_epoch(loader) for _ in range(2)]
+        losses_hooked = [hooked.train_epoch(loader) for _ in range(2)]
+        assert losses_plain == losses_hooked
+        for a, b in zip(plain.model.parameters(), hooked.model.parameters()):
+            assert np.array_equal(a.data, b.data)
+
+    def test_explicit_empty_hooks_opt_out(self):
+        trainer = _trainer(())
+        assert trainer.hooks == ()
+
+
+class TestDefaultHooks:
+    def test_enabled_installs_the_obs_hook(self):
+        with obs.scope(True):
+            hooks = default_trainer_hooks()
+        assert len(hooks) == 1
+        assert isinstance(hooks[0], TrainerObsHook)
+
+    def test_disabled_installs_nothing(self):
+        with obs.scope(False):
+            assert default_trainer_hooks() == ()
+
+
+class TestObsHook:
+    def test_metrics_and_spans_flow_to_the_registry(self):
+        obs.reset()
+        with obs.scope(True):
+            trainer = _trainer(None)  # defaults -> TrainerObsHook
+            loader = _data()
+            trainer.train_epoch(loader)
+            trainer.evaluate(loader)
+            snapshot = obs.get_registry().snapshot()
+            spans = obs.get_tracer().finished()
+        obs.reset()
+        counters = {
+            entry["name"]: entry["value"]
+            for entry in snapshot["counters"].values()
+        }
+        assert counters["nn.train.steps_total"] == 4
+        assert counters["nn.train.epochs_total"] == 1
+        assert counters["nn.eval.passes_total"] == 1
+        histograms = {
+            entry["name"]: entry for entry in snapshot["histograms"].values()
+        }
+        assert histograms["nn.train.step_seconds"]["count"] == 4
+        gauges = {entry["name"] for entry in snapshot["gauges"].values()}
+        assert {"nn.train.loss", "nn.train.lr", "nn.eval.loss"} <= gauges
+        names = [span["name"] for span in spans]
+        assert "nn.train_epoch" in names
+        assert "nn.evaluate" in names

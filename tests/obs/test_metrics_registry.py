@@ -1,0 +1,215 @@
+"""Tests for the metrics registry: instruments, snapshots, merge algebra."""
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import (
+    MetricsRegistry,
+    empty_snapshot,
+    merge_snapshots,
+    prometheus_text,
+    subtract,
+)
+
+
+class TestInstruments:
+    def test_same_name_and_labels_resolve_to_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", route="/predict")
+        second = registry.counter("requests_total", route="/predict")
+        assert first is second
+        first.inc()
+        assert second.value == 1
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("g", x=1, y=2)
+        b = registry.gauge("g", y=2, x=1)
+        assert a is b
+
+    def test_different_labels_are_different_series(self):
+        registry = MetricsRegistry()
+        registry.counter("c", k="a").inc()
+        registry.counter("c", k="b").inc(3)
+        counters = registry.snapshot()["counters"]
+        assert counters["c{k=a}"]["value"] == 1
+        assert counters["c{k=b}"]["value"] == 3
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_is_last_write(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5.0)
+        gauge.set(2.0)
+        gauge.inc(1.0)
+        assert gauge.value == 3.0
+
+    def test_histogram_edges_are_inclusive_with_overflow(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 2.0, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 1, 1]  # 1.0 lands in the <=1 bin
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(106.5)
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000
+
+
+class TestSnapshots:
+    def test_snapshot_is_json_ready_and_detached(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snapshot = registry.snapshot()
+        registry.counter("c").inc()
+        assert snapshot["counters"]["c"]["value"] == 1  # detached copy
+
+    def test_events_carry_fields_and_timestamp(self):
+        registry = MetricsRegistry(clock=lambda: 123.0)
+        registry.record_event("downgraded", reason="no store")
+        (event,) = registry.snapshot()["events"]
+        assert event == {"event": "downgraded", "time_unix": 123.0, "reason": "no store"}
+
+    def test_merge_snapshots_adds_counters_and_histograms(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for registry, n in ((a, 2), (b, 3)):
+            registry.counter("c").inc(n)
+            registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+            registry.gauge("g").set(n)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["counters"]["c"]["value"] == 5
+        assert merged["histograms"]["h"]["counts"] == [2, 0, 0]
+        assert merged["gauges"]["g"]["value"] == 3  # last write wins
+
+    def test_merge_snapshots_ignores_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        merged = merge_snapshots({}, registry.snapshot(), empty_snapshot())
+        assert merged["counters"]["c"]["value"] == 1
+
+    def test_subtract_yields_the_delta(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        registry.record_event("before")
+        before = registry.snapshot()
+        registry.counter("c").inc(3)
+        registry.counter("new").inc()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        registry.record_event("after")
+        delta = subtract(registry.snapshot(), before)
+        assert delta["counters"]["c"]["value"] == 3
+        assert delta["counters"]["new"]["value"] == 1
+        assert delta["histograms"]["h"]["count"] == 1
+        assert [event["event"] for event in delta["events"]] == ["after"]
+
+    def test_subtract_drops_zero_deltas(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        before = registry.snapshot()
+        delta = subtract(registry.snapshot(), before)
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+    def test_registry_merge_folds_external_snapshot(self):
+        worker = MetricsRegistry()
+        worker.counter("c", stage="traces").inc(4)
+        worker.record_event("seen")
+        parent = MetricsRegistry()
+        parent.counter("c", stage="traces").inc(1)
+        parent.merge(worker.snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["c{stage=traces}"]["value"] == 5
+        assert [event["event"] for event in snapshot["events"]] == ["seen"]
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges_render_with_types(self):
+        registry = MetricsRegistry()
+        registry.counter("netsim.runs_total", scenario="pretrain").inc(2)
+        registry.gauge("nn.train.loss").set(0.25)
+        text = prometheus_text(registry.snapshot())
+        assert "# TYPE netsim_runs_total counter" in text
+        assert 'netsim_runs_total{scenario="pretrain"} 2' in text
+        assert "# TYPE nn_train_loss gauge" in text
+        assert "nn_train_loss 0.25" in text
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 9.0):
+            histogram.observe(value)
+        text = prometheus_text(registry.snapshot())
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_sum 11" in text
+        assert "h_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c').inc()
+        text = prometheus_text(registry.snapshot())
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert prometheus_text(empty_snapshot()) == ""
+
+
+class TestGating:
+    def test_disabled_accessors_are_noops(self):
+        with obs.scope(False):
+            assert not obs.enabled()
+            registry = obs.metrics()
+            registry.counter("c").inc()
+            assert registry.snapshot() == empty_snapshot()
+            assert obs.record_event("e") == {}
+            with obs.tracer().span("s") as span:
+                span.set(k=1)
+            assert obs.tracer().finished() == []
+
+    def test_enabled_accessors_are_live(self):
+        with obs.scope(True):
+            assert obs.metrics() is obs.get_registry()
+
+    def test_record_event_lands_in_registry_and_tracer(self):
+        obs.reset()
+        with obs.scope(True):
+            obs.record_event("something", detail=1)
+        events = obs.get_registry().snapshot()["events"]
+        assert events and events[-1]["event"] == "something"
+        obs.reset()
+
+    def test_capture_tracer_scopes_spans_to_the_thread(self):
+        obs.reset()
+        with obs.scope(True):
+            with obs.capture_tracer() as captured:
+                with obs.tracer().span("inner"):
+                    pass
+                assert [span["name"] for span in captured.finished()] == ["inner"]
+            # After the capture, spans go back to the global tracer.
+            assert obs.get_tracer() is not captured
+        obs.reset()

@@ -1,0 +1,147 @@
+"""Tests for the tracer: span trees, timestamps, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, chrome_trace, spans_to_jsonl
+
+
+class FakeClock:
+    """A controllable monotonic clock (seconds)."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_tracer():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock, wall_clock=lambda: 1000.0)
+    return tracer, clock
+
+
+class TestSpans:
+    def test_nesting_and_durations(self):
+        tracer, clock = make_tracer()
+        with tracer.span("outer", kind="test"):
+            clock.now += 1.0
+            with tracer.span("inner"):
+                clock.now += 0.5
+            clock.now += 0.25
+        (outer,) = tracer.finished()
+        assert outer["name"] == "outer"
+        assert outer["attrs"] == {"kind": "test"}
+        assert outer["start_us"] == pytest.approx(1000.0 * 1e6)
+        assert outer["dur_us"] == pytest.approx(1.75e6)
+        (inner,) = outer["children"]
+        assert inner["name"] == "inner"
+        assert inner["dur_us"] == pytest.approx(0.5e6)
+
+    def test_exceptions_mark_the_span_and_propagate(self):
+        tracer, _ = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished()
+        assert span["attrs"]["status"] == "error"
+        assert span["attrs"]["error"] == "RuntimeError"
+
+    def test_open_spans_are_excluded_from_finished(self):
+        tracer, _ = make_tracer()
+        with tracer.span("open"):
+            assert tracer.finished() == []
+        assert len(tracer.finished()) == 1
+
+    def test_add_span_records_pre_timed_work(self):
+        tracer, _ = make_tracer()
+        tracer.add_span("measured", 5e6, 2e6, source="hook")
+        (span,) = tracer.finished()
+        assert span["start_us"] == 5e6
+        assert span["dur_us"] == 2e6
+        assert span["attrs"] == {"source": "hook"}
+
+    def test_add_span_nests_under_the_open_span(self):
+        tracer, _ = make_tracer()
+        with tracer.span("parent"):
+            tracer.add_span("child", 0.0, 1.0)
+        (parent,) = tracer.finished()
+        assert [child["name"] for child in parent["children"]] == ["child"]
+
+    def test_instants_attach_to_open_span_or_tracer(self):
+        tracer, _ = make_tracer()
+        tracer.instant("free", level="top")
+        with tracer.span("s"):
+            tracer.instant("bound")
+        assert [event["name"] for event in tracer.instants()] == ["free"]
+        (span,) = tracer.finished()
+        assert [event["name"] for event in span["events"]] == ["bound"]
+
+    def test_timestamps_are_wall_anchored(self):
+        tracer, clock = make_tracer()
+        clock.now = 3.0
+        assert tracer.now_us() == pytest.approx(1000e6 + 3e6)
+
+    def test_clear_empties_the_tracer(self):
+        tracer, _ = make_tracer()
+        with tracer.span("s"):
+            pass
+        tracer.instant("i")
+        tracer.clear()
+        assert tracer.finished() == []
+        assert tracer.instants() == []
+
+
+class TestChromeTrace:
+    def build_spans(self):
+        tracer, clock = make_tracer()
+        with tracer.span("task", worker=7):
+            clock.now += 1.0
+            with tracer.span("stage"):
+                tracer.instant("milestone", note="x")
+                clock.now += 0.5
+        return tracer.finished(), tracer.instants()
+
+    def test_trace_structure(self):
+        spans, instants = self.build_spans()
+        trace = chrome_trace(spans, instants, process_name="unit")
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        events = trace["traceEvents"]
+        metadata = [event for event in events if event["ph"] == "M"]
+        assert metadata[0]["args"]["name"] == "unit"
+        complete = [event for event in events if event["ph"] == "X"]
+        assert [event["name"] for event in complete] == ["task", "stage"]
+        for event in complete:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(event)
+        instant_events = [event for event in events if event["ph"] == "i"]
+        assert [event["name"] for event in instant_events] == ["milestone"]
+
+    def test_worker_attribute_selects_the_tid_lane(self):
+        spans, _ = self.build_spans()
+        events = chrome_trace(spans)["traceEvents"]
+        lanes = {event["name"]: event["tid"] for event in events if event["ph"] == "X"}
+        assert lanes["task"] == 7
+        assert lanes["stage"] == 0  # no worker attr -> lane 0
+
+    def test_trace_is_json_serializable(self):
+        spans, instants = self.build_spans()
+        json.dumps(chrome_trace(spans, instants))
+
+
+class TestJsonl:
+    def test_depth_first_flattening(self):
+        tracer, clock = make_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                clock.now += 0.1
+            with tracer.span("c"):
+                clock.now += 0.1
+        lines = [json.loads(line) for line in spans_to_jsonl(tracer.finished()).splitlines()]
+        assert [(row["name"], row["depth"]) for row in lines] == [
+            ("a", 0), ("b", 1), ("c", 1),
+        ]
+
+    def test_empty_input_renders_empty(self):
+        assert spans_to_jsonl([]) == ""

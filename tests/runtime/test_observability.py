@@ -1,0 +1,208 @@
+"""Observability through the campaign engine.
+
+A 2-worker campaign must tell the same telemetry story as the serial
+one: identical merged counter totals, a span tree covering every
+executed task, and a manifest whose timestamps come from one wall
+stamp plus monotonic offsets.  The exported Chrome trace is validated
+against the trace-event schema field-for-field.
+"""
+
+import datetime
+import json
+import warnings
+
+import pytest
+
+import repro.obs as obs
+from repro.api import ArtifactStore
+from repro.runtime import CampaignEngine, expand_grid, plan_campaign
+
+#: traces + bundle exercise the netsim instrumentation without paying
+#: for training; every task executes (fresh stores, no cache hits).
+STAGES = ("traces", "bundle")
+
+
+def _specs():
+    return expand_grid(scenarios=["pretrain"], scales=["smoke"], seeds=[0, 1])
+
+
+@pytest.fixture(scope="module")
+def observed_pair(tmp_path_factory):
+    """The same campaign run serially and on a 2-worker pool."""
+    outcomes = {}
+    for label, workers in (("serial", 1), ("pool", 2)):
+        obs.reset()
+        store = ArtifactStore(tmp_path_factory.mktemp(label) / "cache")
+        plan = plan_campaign(_specs(), stages=STAGES)
+        result = CampaignEngine(store=store, workers=workers).run(plan)
+        assert not result.failed_tasks(), result.failed_tasks()
+        outcomes[label] = result
+    obs.reset()
+    return outcomes
+
+
+def _counters(manifest) -> dict:
+    return {
+        key: entry["value"]
+        for key, entry in manifest["observability"]["metrics"]["counters"].items()
+    }
+
+
+def _task_spans(manifest) -> dict:
+    """Task-level spans from the campaign root, keyed by task id."""
+    (root,) = manifest["observability"]["spans"]
+    spans = {}
+    for span in root["children"]:
+        if span["name"].startswith("task:"):
+            spans[span["name"][len("task:"):]] = span
+    return spans
+
+
+class TestTimestamps:
+    def test_started_at_is_iso8601_utc(self, observed_pair):
+        for result in observed_pair.values():
+            stamp = datetime.datetime.fromisoformat(result.manifest["started_at"])
+            assert stamp.tzinfo is not None
+            assert abs(stamp.timestamp() - result.manifest["created_unix"]) < 5.0
+
+    def test_task_offsets_are_monotonic_within_the_run(self, observed_pair):
+        for result in observed_pair.values():
+            wall = result.manifest["wall_time_s"]
+            for row in result.manifest["tasks"]:
+                assert 0.0 <= row["started_offset_s"] <= row["ended_offset_s"]
+                assert row["ended_offset_s"] <= wall + 0.25
+                span = row["ended_offset_s"] - row["started_offset_s"]
+                assert span >= row["wall_time_s"] - 0.25  # offsets bracket the work
+
+
+class TestSpanCoverage:
+    def test_every_executed_task_has_a_span(self, observed_pair):
+        for label, result in observed_pair.items():
+            executed = {
+                row["id"]
+                for row in result.manifest["tasks"]
+                if row["status"] == "done"
+            }
+            spans = _task_spans(result.manifest)
+            assert set(spans) == executed, label
+
+    def test_task_spans_carry_stage_status_and_worker(self, observed_pair):
+        for result in observed_pair.values():
+            for task_id, span in _task_spans(result.manifest).items():
+                attrs = span["attrs"]
+                assert attrs["task_id"] == task_id
+                assert attrs["status"] == "done"
+                assert isinstance(attrs["worker"], int)
+                assert span["dur_us"] >= 0
+
+    def test_stage_work_nests_inside_task_spans(self, observed_pair):
+        """netsim runs record spans inside whichever task ran them."""
+        for result in observed_pair.values():
+            spans = _task_spans(result.manifest)
+            nested = [
+                child["name"]
+                for span in spans.values()
+                for child in span.get("children", ())
+            ]
+            assert "netsim.run" in nested
+
+    def test_pool_uses_multiple_worker_lanes(self, observed_pair):
+        workers = {
+            span["attrs"]["worker"]
+            for span in _task_spans(observed_pair["pool"].manifest).values()
+        }
+        assert len(workers) >= 2
+
+
+class TestMergedMetrics:
+    def test_pool_counters_match_serial(self, observed_pair):
+        serial = _counters(observed_pair["serial"].manifest)
+        pool = _counters(observed_pair["pool"].manifest)
+        assert serial, "serial campaign recorded no counters"
+        assert serial == pool
+
+    def test_netsim_counters_are_present(self, observed_pair):
+        counters = _counters(observed_pair["serial"].manifest)
+        assert counters["netsim.runs_total{scenario=pretrain}"] >= 2
+        assert counters["netsim.packets_total{scenario=pretrain}"] > 0
+
+
+class TestChromeTraceExport:
+    @staticmethod
+    def _validate_event(event: dict) -> None:
+        """Field-for-field check against the trace-event format."""
+        assert isinstance(event["name"], str) and event["name"]
+        assert event["ph"] in ("M", "X", "i")
+        assert isinstance(event["pid"], int)
+        if event["ph"] == "M":
+            assert "args" in event
+            return
+        assert isinstance(event["tid"], int)
+        assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+        if event["ph"] == "X":
+            assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+        if event["ph"] == "i":
+            assert event["s"] in ("t", "p", "g")
+
+    def test_exported_trace_validates(self, observed_pair):
+        manifest = observed_pair["pool"].manifest
+        trace = obs.chrome_trace(manifest["observability"]["spans"])
+        payload = json.loads(json.dumps(trace))  # survives serialization
+        assert payload["traceEvents"]
+        for event in payload["traceEvents"]:
+            self._validate_event(event)
+
+    def test_trace_covers_campaign_and_tasks(self, observed_pair):
+        manifest = observed_pair["pool"].manifest
+        names = {
+            event["name"]
+            for event in obs.chrome_trace(manifest["observability"]["spans"])[
+                "traceEvents"
+            ]
+            if event["ph"] == "X"
+        }
+        assert f"campaign:{manifest['campaign_id']}" in names
+        assert any(name.startswith("task:") for name in names)
+
+
+class TestDowngradeEvent:
+    def test_structured_event_and_warning(self, tmp_path):
+        plan = plan_campaign(_specs(), stages=STAGES)
+        engine = CampaignEngine(store=None, workers=2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = engine.run(plan)
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+        assert result.manifest["downgraded_to_serial"] is True
+        (event,) = [
+            event
+            for event in result.manifest["events"]
+            if event["event"] == "runtime.downgraded_to_serial"
+        ]
+        assert event["requested_workers"] == 2
+        assert event["campaign_id"] == plan.campaign_id
+        assert "time_unix" in event
+
+    def test_no_event_when_store_present(self, observed_pair):
+        for result in observed_pair.values():
+            assert result.manifest["downgraded_to_serial"] is False
+            assert result.manifest["events"] == []
+
+
+class TestDisabled:
+    def test_manifest_omits_observability_when_gated_off(self, tmp_path):
+        with obs.scope(False):
+            store = ArtifactStore(tmp_path / "cache")
+            plan = plan_campaign(
+                expand_grid(scenarios=["pretrain"], scales=["smoke"], seeds=[0]),
+                stages=STAGES,
+            )
+            result = CampaignEngine(store=store, workers=1).run(plan)
+        assert not result.failed_tasks()
+        assert "observability" not in result.manifest
+        for row in result.manifest["tasks"]:
+            assert "spans" not in row and "metrics" not in row
+
+    def test_manifest_is_json_serializable(self, observed_pair):
+        for result in observed_pair.values():
+            json.dumps(result.manifest)

@@ -1,0 +1,148 @@
+"""Prometheus exposition from the serving layer.
+
+Unit tests render ``ServingMetrics.to_prometheus`` against a fake
+clock; the end-to-end class negotiates content types against a live
+server over loopback.
+"""
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import PredictionServer, ServerConfig, ServerHandle, ServingClient
+from repro.serve.metrics import ServingMetrics
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRendering:
+    def make_metrics(self):
+        clock = FakeClock()
+        metrics = ServingMetrics(clock=clock)
+        return metrics, clock
+
+    def test_counters_and_histograms_render(self):
+        metrics, clock = self.make_metrics()
+        metrics.record_batch(n_requests=2, n_windows=6)
+        metrics.record_request(0.004)
+        metrics.record_request(0.012, error=True)
+        clock.now += 10.0
+        text = metrics.to_prometheus()
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total 2" in text
+        assert "serve_errors_total 1" in text
+        assert "serve_predictions_total 6" in text
+        assert 'serve_batch_windows_bucket{le="8"} 1' in text
+        assert "serve_batch_windows_count 1" in text
+        assert "# TYPE serve_request_latency_seconds histogram" in text
+
+    def test_derived_gauges_refresh_on_render(self):
+        metrics, clock = self.make_metrics()
+        metrics.record_batch(n_requests=1, n_windows=4)
+        for _ in range(10):
+            metrics.record_request(0.002)
+        clock.now += 2.0
+        text = metrics.to_prometheus()
+        assert "serve_uptime_seconds 2" in text
+        assert "serve_predictions_per_second 2" in text
+        assert 'serve_request_latency_window_seconds{quantile="0.5"} 0.002' in text
+
+    def test_extra_snapshots_are_merged(self):
+        metrics, _ = self.make_metrics()
+        extra = {
+            "counters": {
+                "serve.model_loads_total": {
+                    "name": "serve.model_loads_total",
+                    "labels": {},
+                    "value": 3,
+                }
+            }
+        }
+        text = metrics.to_prometheus(extra)
+        assert "serve_model_loads_total 3" in text
+
+    def test_snapshot_contract_is_untouched(self):
+        """The JSON snapshot keys predate the registry rebuild."""
+        metrics, clock = self.make_metrics()
+        metrics.record_batch(n_requests=1, n_windows=2)
+        metrics.record_request(0.001)
+        clock.now += 1.0
+        snapshot = metrics.snapshot()
+        assert snapshot["requests_total"] == 1
+        assert snapshot["batch_occupancy"]["<=2"] == 1
+        assert snapshot["latency_ms"]["window"] == 1
+        json.dumps(snapshot)
+
+
+@pytest.fixture(scope="module")
+def live_server(served_checkpoint):
+    config = ServerConfig(
+        models=(str(served_checkpoint),), port=0, max_wait_us=1000.0
+    )
+    with ServerHandle(PredictionServer(config)) as handle:
+        yield handle
+
+
+def _get_metrics(handle, path="/metrics", headers=None):
+    conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+    try:
+        conn.request("GET", path, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, response.getheader("Content-Type"), response.read()
+    finally:
+        conn.close()
+
+
+class TestContentNegotiation:
+    @pytest.fixture(scope="class", autouse=True)
+    def traffic(self, live_server, smoke_bundle):
+        client = ServingClient(live_server.host, live_server.port)
+        test = smoke_bundle.test
+        client.predict(test.features[:4], test.receiver[:4])
+
+    def test_default_is_json(self, live_server):
+        status, content_type, body = _get_metrics(live_server)
+        assert status == 200
+        assert content_type == "application/json"
+        snapshot = json.loads(body)
+        assert snapshot["requests_total"] >= 1
+        assert snapshot["model_loads_total"] >= 1
+
+    def test_accept_text_plain_selects_prometheus(self, live_server):
+        status, content_type, body = _get_metrics(
+            live_server, headers={"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        text = body.decode("utf-8")
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_model_loads_total" in text
+
+    def test_format_query_overrides_accept(self, live_server):
+        status, content_type, _ = _get_metrics(
+            live_server, path="/metrics?format=prometheus"
+        )
+        assert content_type.startswith("text/plain")
+        status, content_type, body = _get_metrics(
+            live_server,
+            path="/metrics?format=json",
+            headers={"Accept": "text/plain"},
+        )
+        assert content_type == "application/json"
+        json.loads(body)
+
+    def test_prometheus_lines_are_well_formed(self, live_server):
+        _, _, body = _get_metrics(live_server, headers={"Accept": "text/plain"})
+        for line in body.decode("utf-8").splitlines():
+            assert line.startswith("#") or " " in line
+            if not line.startswith("#"):
+                name_part, value = line.rsplit(" ", 1)
+                float(value)  # every sample value parses

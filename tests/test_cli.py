@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -297,3 +299,81 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "checkpoint delay MSE" in out
         assert "baseline last_observed" in out
+
+
+class TestTrace:
+    def _manifest(self, tmp_path):
+        """A minimal manifest carrying one campaign span tree."""
+        manifest = {
+            "campaign_id": "deadbeef",
+            "observability": {
+                "spans": [
+                    {
+                        "name": "campaign:deadbeef",
+                        "start_us": 1_000.0,
+                        "dur_us": 5_000.0,
+                        "attrs": {},
+                        "children": [
+                            {
+                                "name": "task:abc",
+                                "start_us": 1_500.0,
+                                "dur_us": 2_000.0,
+                                "attrs": {"worker": 3},
+                                "children": [],
+                                "events": [],
+                            }
+                        ],
+                        "events": [],
+                    }
+                ],
+                "metrics": {},
+            },
+        }
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(manifest))
+        return path
+
+    def test_trace_exports_chrome_json(self, tmp_path, capsys):
+        path = self._manifest(tmp_path)
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        output = tmp_path / "manifest.trace.json"
+        assert str(output) in out
+        trace = json.loads(output.read_text())
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert names == {"campaign:deadbeef", "task:abc"}
+
+    def test_trace_jsonl_sidecar(self, tmp_path):
+        path = self._manifest(tmp_path)
+        output = tmp_path / "out.trace.json"
+        assert main(["trace", str(path), "--output", str(output), "--jsonl"]) == 0
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "out.trace.spans.jsonl").read_text().splitlines()
+        ]
+        assert [(row["name"], row["depth"]) for row in lines] == [
+            ("campaign:deadbeef", 0),
+            ("task:abc", 1),
+        ]
+
+    def test_trace_without_spans_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"campaign_id": "x"}))
+        assert main(["trace", str(path)]) == 2
+        assert "no observability spans" in capsys.readouterr().err
+
+    def test_trace_missing_manifest_is_clean_error(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+
+
+class TestTop:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.url == "http://127.0.0.1:8080"
+        assert args.interval == 2.0
+        assert not args.once
+
+    def test_unreachable_server_is_clean_error(self, capsys):
+        assert main(["top", "--url", "http://127.0.0.1:1", "--once"]) == 2
+        assert "cannot read" in capsys.readouterr().err
