@@ -45,11 +45,12 @@ from repro.api.spec import (
 )
 from repro.core.features import FeaturePipeline
 from repro.core.finetune import FinetuneResult
-from repro.core.model import NTT, NTTForDelay, NTTForMCT
-from repro.core.pretrain import PretrainResult
+from repro.core.model import NTT, NTTConfig, NTTForDelay, NTTForMCT
+from repro.core.pretrain import PretrainResult, TrainSettings
 from repro.datasets.generation import DatasetBundle
 from repro.datasets.normalize import FeatureScaler
-from repro.datasets.windows import WindowDataset
+from repro.datasets.windows import WindowConfig, WindowDataset
+from repro.netsim.scenarios import ScenarioConfig
 from repro.netsim.trace import Trace
 from repro.nn.serialize import load_state, save_checkpoint
 from repro.nn.trainer import TrainingHistory
@@ -97,12 +98,17 @@ _SPLIT_ARRAYS = (
 # -- cache keys -------------------------------------------------------------------
 
 
-def traces_key(scenario, n_runs: int) -> str:
+def traces_key(scenario: ScenarioConfig, n_runs: int) -> str:
     """Key for the raw traces of one scenario."""
     return stable_hash({"artifact": "traces", "scenario": scenario, "n_runs": n_runs})
 
 
-def bundle_key(scenario, window, n_runs: int, receiver_index: dict | None = None) -> str:
+def bundle_key(
+    scenario: ScenarioConfig,
+    window: WindowConfig,
+    n_runs: int,
+    receiver_index: dict[int, int] | None = None,
+) -> str:
     """Key for a windowed dataset bundle.
 
     ``receiver_index`` covers the cross-bundle coupling: fine-tuning
@@ -120,7 +126,13 @@ def bundle_key(scenario, window, n_runs: int, receiver_index: dict | None = None
     )
 
 
-def pretrained_key(scenario, window, n_runs: int, model_config, settings) -> str:
+def pretrained_key(
+    scenario: ScenarioConfig,
+    window: WindowConfig,
+    n_runs: int,
+    model_config: NTTConfig,
+    settings: TrainSettings,
+) -> str:
     """Key for a pre-trained checkpoint."""
     return stable_hash(
         {
@@ -135,7 +147,12 @@ def pretrained_key(scenario, window, n_runs: int, model_config, settings) -> str
 
 
 def finetuned_key(
-    base_key: str, scenario, task: str, mode: str, fraction, settings
+    base_key: str,
+    scenario: ScenarioConfig,
+    task: str,
+    mode: str,
+    fraction: float | None,
+    settings: TrainSettings,
 ) -> str:
     """Key for a fine-tuned checkpoint derived from ``base_key``."""
     return stable_hash(
@@ -151,7 +168,14 @@ def finetuned_key(
     )
 
 
-def scratch_key(base_key: str, scenario, task: str, fraction, model_config, settings) -> str:
+def scratch_key(
+    base_key: str,
+    scenario: ScenarioConfig,
+    task: str,
+    fraction: float | None,
+    model_config: NTTConfig,
+    settings: TrainSettings,
+) -> str:
     """Key for a from-scratch model (no pre-training, full training).
 
     ``base_key`` identifies the pre-training run whose fitted feature
@@ -170,7 +194,7 @@ def scratch_key(base_key: str, scenario, task: str, fraction, model_config, sett
     )
 
 
-def evaluation_key(model_key: str, scenario, task: str) -> str:
+def evaluation_key(model_key: str, scenario: ScenarioConfig, task: str) -> str:
     """Key for a cached evaluation of one model on one scenario."""
     return stable_hash(
         {
@@ -197,11 +221,11 @@ def precision_key(base: str | None, precision: str | None) -> str | None:
 # -- (de)hydration helpers --------------------------------------------------------
 
 
-def _scaler_to_dict(scaler: FeatureScaler) -> dict | None:
+def _scaler_to_dict(scaler: FeatureScaler) -> dict[str, object] | None:
     return scaler.to_dict() if scaler.fitted else None
 
 
-def _pipeline_to_dict(pipeline: FeaturePipeline) -> dict:
+def _pipeline_to_dict(pipeline: FeaturePipeline) -> dict[str, object]:
     return {
         "feature_scaler": _scaler_to_dict(pipeline.feature_scaler),
         "message_size_scaler": _scaler_to_dict(pipeline.message_size_scaler),
@@ -209,7 +233,7 @@ def _pipeline_to_dict(pipeline: FeaturePipeline) -> dict:
     }
 
 
-def _pipeline_from_dict(payload: dict) -> FeaturePipeline:
+def _pipeline_from_dict(payload: dict[str, object]) -> FeaturePipeline:
     pipeline = FeaturePipeline()
     for name in ("feature_scaler", "message_size_scaler", "mct_scaler"):
         stored = payload.get(name)
@@ -218,7 +242,7 @@ def _pipeline_from_dict(payload: dict) -> FeaturePipeline:
     return pipeline
 
 
-def _history_to_dict(history: TrainingHistory) -> dict:
+def _history_to_dict(history: TrainingHistory) -> dict[str, object]:
     return {
         "train_loss": history.train_loss,
         "val_loss": history.val_loss,
@@ -229,7 +253,7 @@ def _history_to_dict(history: TrainingHistory) -> dict:
     }
 
 
-def _history_from_dict(payload: dict) -> TrainingHistory:
+def _history_from_dict(payload: dict[str, object]) -> TrainingHistory:
     return TrainingHistory(**payload)
 
 
@@ -318,7 +342,7 @@ class ArtifactStore:
             return []
         return sorted(entry.stem for entry in directory.glob(f"*{path.suffix}"))
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, dict[str, int]]:
         """Per-kind entry counts and byte totals (for ``repro cache``)."""
         report = {}
         for kind in KINDS + JSON_KINDS:
@@ -370,7 +394,7 @@ class ArtifactStore:
             # Non-POSIX semantics; the other writer's artifact serves.
             temp.unlink(missing_ok=True)
 
-    def _write_npz(self, path: Path, payload: dict) -> None:
+    def _write_npz(self, path: Path, payload: dict[str, np.ndarray]) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {**payload, _SCHEMA_KEY: np.int64(ARTIFACT_SCHEMA_VERSION)}
         temp = self._temp_path(path)
@@ -382,7 +406,7 @@ class ArtifactStore:
             temp.unlink(missing_ok=True)
 
     @staticmethod
-    def _schema_matches(data) -> bool:
+    def _schema_matches(data: np.lib.npyio.NpzFile) -> bool:
         """Whether a loaded npz was written by the current schema."""
         if _SCHEMA_KEY not in getattr(data, "files", data):
             return False
@@ -390,7 +414,7 @@ class ArtifactStore:
 
     # -- JSON records (evaluations, campaign manifests) --------------------------
 
-    def put_json(self, kind: str, key: str, payload: dict) -> Path:
+    def put_json(self, kind: str, key: str, payload: dict[str, object]) -> Path:
         """Store a JSON record (``evaluations`` / ``manifests``)."""
         if kind not in JSON_KINDS:
             raise ValueError(f"unknown JSON kind {kind!r}; choose from {JSON_KINDS}")
@@ -406,7 +430,7 @@ class ArtifactStore:
             temp.unlink(missing_ok=True)
         return path
 
-    def get_json(self, kind: str, key: str) -> dict | None:
+    def get_json(self, kind: str, key: str) -> dict[str, object] | None:
         """Load a JSON record; schema mismatches read as cache misses."""
         path = self.get(kind, key)
         if path is None:
@@ -421,11 +445,11 @@ class ArtifactStore:
         document.pop("schema_version", None)
         return document
 
-    def put_manifest(self, name: str, manifest: dict) -> Path:
+    def put_manifest(self, name: str, manifest: dict[str, object]) -> Path:
         """Persist a campaign manifest (see :mod:`repro.runtime`)."""
         return self.put_json("manifests", name, manifest)
 
-    def get_manifest(self, name: str) -> dict | None:
+    def get_manifest(self, name: str) -> dict[str, object] | None:
         return self.get_json("manifests", name)
 
     # -- traces ------------------------------------------------------------------
@@ -512,7 +536,7 @@ class ArtifactStore:
         finally:
             temp.unlink(missing_ok=True)
 
-    def trace_run_meta(self, key: str) -> dict | None:
+    def trace_run_meta(self, key: str) -> dict[str, object] | None:
         """The sidecar of a stored run set, or ``None`` when absent."""
         try:
             with open(self._trace_meta_path(key), "r", encoding="utf-8") as handle:

@@ -227,6 +227,39 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument(
         "--count", type=int, default=None, help="stop after N samples (default: forever)"
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro.lint static invariant checks (exit 0 clean, 1 findings)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--rule", action="append", default=None, metavar="NAME[,NAME...]",
+        help="restrict to specific rules (repeatable or comma-separated)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file (default: nearest lint-baseline.json above the lint root)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    lint.add_argument(
+        "--baseline-update", action="store_true",
+        help="rewrite the baseline from this run (adds new, expires fixed)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
     return parser
 
 
@@ -677,6 +710,47 @@ def _cmd_top(args) -> int:
         return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.lint import LINT_RULES, run_lint
+
+    if args.list_rules:
+        for rule in LINT_RULES.entries():
+            scopes = ", ".join(rule.scopes) if rule.scopes else "all files"
+            print(f"{rule.name} [{rule.severity}] ({scopes})")
+            print(f"    {rule.description}")
+        return 0
+
+    rule_names = None
+    if args.rule:
+        rule_names = [
+            name.strip()
+            for chunk in args.rule
+            for name in chunk.split(",")
+            if name.strip()
+        ]
+    try:
+        report = run_lint(
+            [Path(p) for p in args.paths] or None,
+            rule_names=rule_names,
+            baseline_path=Path(args.baseline) if args.baseline else None,
+            use_baseline=not args.no_baseline,
+            update_baseline=args.baseline_update,
+        )
+    except (FileNotFoundError, ValueError) as error:
+        raise CLIError(str(error)) from None
+
+    if args.format == "json":
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+        if args.baseline_update and report.baseline_path:
+            print(f"baseline written: {report.baseline_path}")
+    return report.exit_code
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
@@ -691,6 +765,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "top": _cmd_top,
+    "lint": _cmd_lint,
 }
 
 

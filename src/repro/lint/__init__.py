@@ -1,0 +1,50 @@
+"""repro.lint — static enforcement of the repo's runtime invariants.
+
+The correctness story of this codebase rests on conventions that tests
+can only probe dynamically: SeedSequence-only randomness, cache-key
+purity of registered stages, allocation-free fused kernels, non-blocking
+serving coroutines, lock-guarded cross-thread state.  This package
+encodes them as AST rules over the source tree, with a pluggable rule
+registry (mirroring the scenario/stage registries), justified inline
+suppressions, and a committed baseline for grandfathered findings.
+
+Entry points::
+
+    repro lint                      # CLI: exit 0 clean / 1 findings / 2 usage
+    from repro.lint import run_lint # library: LintReport
+
+Importing this package registers the built-in rules.
+"""
+
+from .baseline import (
+    BASELINE_FILENAME,
+    apply_baseline,
+    discover_baseline,
+    load_baseline,
+    save_baseline,
+)
+from .context import SourceModule, load_module
+from .engine import LintReport, collect_files, default_root, run_lint
+from .findings import SEVERITIES, Finding
+from .rules import LINT_RULES, LintRule, LintRuleRegistry, register_rule
+
+from . import checks  # noqa: F401  (registers the built-in rules)
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "Finding",
+    "LINT_RULES",
+    "LintReport",
+    "LintRule",
+    "LintRuleRegistry",
+    "SEVERITIES",
+    "SourceModule",
+    "apply_baseline",
+    "collect_files",
+    "default_root",
+    "discover_baseline",
+    "load_baseline",
+    "load_module",
+    "register_rule",
+    "run_lint",
+]

@@ -1,0 +1,115 @@
+"""The lint baseline: grandfathered findings, committed next to the code.
+
+The baseline lets the lint gate turn on strict while pre-existing debt
+is paid down incrementally: a finding listed here is reported as
+*baselined* and does not fail the run; anything new does.  Entries are
+matched by ``(rule, path, snippet)`` — never by line number — so
+unrelated edits to a file do not invalidate its grandfathered entries,
+while editing the offending line itself (even re-indenting it into a
+different statement) surfaces the finding again for a fresh decision.
+
+``repro lint --baseline-update`` rewrites the file from the current
+run: new findings are added, fixed ones expire (pruned), and the entry
+order is sorted so diffs stay reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "BASELINE_VERSION",
+    "load_baseline",
+    "save_baseline",
+    "discover_baseline",
+    "apply_baseline",
+    "baseline_entries",
+]
+
+BASELINE_FILENAME = "lint-baseline.json"
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]  # (rule, path, snippet)
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read a baseline file into a matchable key -> count Counter."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    counts: Counter = Counter()
+    for entry in payload.get("entries", []):
+        key = (entry["rule"], entry["path"], entry["snippet"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def baseline_entries(findings: List[Finding]) -> List[dict]:
+    """Aggregate findings into sorted baseline entries."""
+    counts: Counter = Counter(
+        (f.rule, f.path, f.snippet) for f in findings
+    )
+    return [
+        {"rule": rule, "path": path, "snippet": snippet, "count": count}
+        for (rule, path, snippet), count in sorted(counts.items())
+    ]
+
+
+def save_baseline(path: Path, findings: List[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": baseline_entries(findings),
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def discover_baseline(roots: List[Path]) -> Optional[Path]:
+    """Find the nearest committed baseline above any lint root."""
+    for root in roots:
+        candidates = [root] if root.is_dir() else [root.parent]
+        candidates += list(candidates[0].parents)
+        for candidate in candidates:
+            baseline = candidate / BASELINE_FILENAME
+            if baseline.is_file():
+                return baseline
+    return None
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding], List[dict]]:
+    """Split findings into (active, baselined) and report stale entries.
+
+    Each baseline entry absorbs up to ``count`` matching findings; any
+    remaining capacity after the run means the underlying code was
+    fixed, and the entry is reported as stale so ``--baseline-update``
+    can expire it.
+    """
+    remaining = Counter(baseline)
+    active: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.snippet)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            active.append(finding)
+    stale = [
+        {"rule": rule, "path": path, "snippet": snippet, "count": count}
+        for (rule, path, snippet), count in sorted(remaining.items())
+        if count > 0
+    ]
+    return active, baselined, stale

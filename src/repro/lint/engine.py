@@ -1,0 +1,222 @@
+"""The lint engine: collect files, run rules, apply suppressions and
+baseline, produce a :class:`LintReport`.
+
+Scope paths are computed relative to the nearest non-package ancestor
+(for files inside a package) or the passed directory (for plain trees
+like the test fixtures), so rule scopes like ``serve/`` match both
+``repro/serve/http.py`` in the real tree and ``serve/bad.py`` in a
+fixture tree.  Matching is segment-aware: a scope prefix matches at the
+start of the path or at any ``/`` boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .baseline import apply_baseline, discover_baseline, load_baseline, save_baseline
+from .context import load_module
+from .findings import Finding
+from .rules import LINT_RULES, LintRuleRegistry
+
+__all__ = ["LintReport", "run_lint", "collect_files", "default_root"]
+
+
+def default_root() -> Path:
+    """The repro package itself — what a bare ``repro lint`` scans."""
+    return Path(__file__).resolve().parent.parent
+
+
+def _package_root(directory: Path) -> Path:
+    """Walk up while the directory is a package, returning the first
+    non-package ancestor (files are scoped relative to it)."""
+    current = directory
+    while (current / "__init__.py").is_file():
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    return current
+
+
+def collect_files(paths: Sequence[Path]) -> List[Tuple[Path, str]]:
+    """Expand inputs into sorted (file, scope_path) pairs."""
+    collected: List[Tuple[Path, str]] = []
+    for path in paths:
+        path = Path(path).resolve()
+        if path.is_dir():
+            root = (
+                _package_root(path)
+                if (path / "__init__.py").is_file()
+                else path
+            )
+            files = sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.is_file():
+            root = _package_root(path.parent)
+            files = [path]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for file in files:
+            collected.append((file, file.relative_to(root).as_posix()))
+    # De-duplicate while keeping deterministic order.
+    seen = set()
+    unique = []
+    for file, scope in sorted(collected, key=lambda pair: pair[1]):
+        if file not in seen:
+            seen.add(file)
+            unique.append((file, scope))
+    return unique
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run decided, ready for text or JSON."""
+
+    roots: List[str]
+    findings: List[Finding] = field(default_factory=list)  # active
+    suppressed: List[Tuple[Finding, object]] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[dict] = field(default_factory=list)
+    baseline_path: Optional[str] = None
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "roots": self.roots,
+            "rules": [
+                {
+                    "name": rule.name,
+                    "severity": rule.severity,
+                    "description": rule.description,
+                    "scopes": list(rule.scopes),
+                }
+                for rule in LINT_RULES.entries()
+            ],
+            "findings": [f.to_dict() for f in self.findings],
+            "counts": {
+                "active": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+            },
+            "baseline": self.baseline_path,
+            "stale_baseline": self.stale_baseline,
+        }
+
+    def format_text(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        if self.stale_baseline:
+            lines.append("")
+            lines.append(
+                f"{len(self.stale_baseline)} stale baseline entr"
+                f"{'y' if len(self.stale_baseline) == 1 else 'ies'} "
+                "(fixed code still grandfathered — run --baseline-update):"
+            )
+            for entry in self.stale_baseline:
+                lines.append(
+                    f"  {entry['rule']} {entry['path']}: {entry['snippet']!r}"
+                )
+        summary = (
+            f"{len(self.findings)} finding"
+            f"{'' if len(self.findings) == 1 else 's'}"
+            f" ({len(self.suppressed)} suppressed,"
+            f" {len(self.baselined)} baselined)"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def run_lint(
+    paths: Optional[Sequence[Path]] = None,
+    *,
+    rule_names: Optional[Sequence[str]] = None,
+    baseline_path: Optional[Path] = None,
+    use_baseline: bool = True,
+    update_baseline: bool = False,
+    registry: LintRuleRegistry = LINT_RULES,
+) -> LintReport:
+    """Lint ``paths`` (default: the installed repro package).
+
+    ``rule_names`` restricts to a subset (unknown names raise
+    ``ValueError``).  With ``use_baseline`` the nearest committed
+    ``lint-baseline.json`` above a lint root is honoured unless an
+    explicit ``baseline_path`` is given; ``update_baseline`` rewrites
+    that file from this run and reports everything as baselined.
+    """
+    scan_paths = [Path(p) for p in (paths or [default_root()])]
+    if rule_names:
+        rules = [registry.get(name) for name in rule_names]
+    else:
+        rules = registry.entries()
+    known = tuple(registry.names())
+
+    raw: List[Finding] = []
+    suppressed: List[Tuple[Finding, object]] = []
+    for file, scope in collect_files(scan_paths):
+        try:
+            module = load_module(file, scope, known)
+        except SyntaxError as exc:
+            raw.append(Finding(
+                path=scope,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="parse",
+                message=f"file does not parse: {exc.msg}",
+                severity="error",
+                snippet=(exc.text or "").strip(),
+            ))
+            continue
+        for rule in rules:
+            if not rule.applies_to(scope):
+                continue
+            for finding in rule.check(module):
+                excuse = module.is_suppressed(finding)
+                if excuse is not None:
+                    suppressed.append((finding, excuse))
+                else:
+                    raw.append(finding)
+    raw.sort()
+
+    resolved_baseline: Optional[Path] = None
+    if baseline_path is not None:
+        resolved_baseline = Path(baseline_path)
+    elif use_baseline:
+        resolved_baseline = discover_baseline(scan_paths)
+
+    if update_baseline:
+        if resolved_baseline is None:
+            resolved_baseline = Path.cwd() / "lint-baseline.json"
+        save_baseline(resolved_baseline, raw)
+        return LintReport(
+            roots=[str(p) for p in scan_paths],
+            findings=[],
+            suppressed=suppressed,
+            baselined=raw,
+            stale_baseline=[],
+            baseline_path=str(resolved_baseline),
+        )
+
+    if resolved_baseline is not None and resolved_baseline.is_file():
+        baseline = load_baseline(resolved_baseline)
+        active, baselined, stale = apply_baseline(raw, baseline)
+    else:
+        active, baselined, stale = raw, [], []
+
+    return LintReport(
+        roots=[str(p) for p in scan_paths],
+        findings=active,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+        baseline_path=(
+            str(resolved_baseline)
+            if resolved_baseline is not None and resolved_baseline.is_file()
+            else None
+        ),
+    )

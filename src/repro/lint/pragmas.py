@@ -1,0 +1,224 @@
+"""``# repro:`` pragma comments: suppressions and hot-region markers.
+
+Two pragma verbs exist:
+
+``# repro: allow(<rule>): <justification>``
+    Suppress findings of ``<rule>`` for the statement the comment is
+    attached to.  The justification is **required** — a bare ``allow``
+    is itself reported as a ``pragma`` finding, so every suppression in
+    the tree carries its reason next to the code it excuses.
+
+``# repro: hot``
+    Marks a hot region for the hot-loop-allocation rule.  On a ``def``
+    line (or a standalone line directly above one) it marks that
+    function; standalone anywhere else it marks the whole module.
+
+Attachment follows the statement structure, not just the line: a
+trailing comment on a compound statement (``def``, ``if``, ``for``,
+``with``) covers that statement's entire body, so one justified
+``allow`` on an ``if not fused:`` line excuses the whole composite
+escape hatch beneath it.  A standalone comment attaches to the next
+statement.  Comments are read with :mod:`tokenize` so strings that
+merely *contain* ``# repro:`` are never misparsed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = ["Pragma", "Suppression", "HotRegion", "parse_pragmas", "PragmaError"]
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*(?P<body>.*)$")
+_ALLOW_RE = re.compile(
+    r"allow\(\s*(?P<rule>[A-Za-z0-9_-]+)\s*\)\s*(?::\s*(?P<why>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """A raw ``# repro:`` comment before semantic interpretation."""
+
+    line: int
+    col: int
+    body: str
+    standalone: bool  # True when the comment is alone on its line
+
+
+@dataclass(frozen=True)
+class Suppression:
+    rule: str
+    justification: str
+    line: int  # line the comment sits on
+    start: int  # first source line the suppression covers
+    end: int  # last source line the suppression covers (inclusive)
+
+    def covers(self, line: int) -> bool:
+        return self.start <= line <= self.end
+
+
+@dataclass(frozen=True)
+class HotRegion:
+    start: int
+    end: int  # inclusive; whole-module regions span 1..len(lines)
+
+    def covers(self, line: int) -> bool:
+        return self.start <= line <= self.end
+
+
+@dataclass(frozen=True)
+class PragmaError:
+    line: int
+    col: int
+    message: str
+
+
+def _iter_pragma_comments(source: str):
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    code_lines: set[int] = set()
+    comments: list[tuple[int, int, str]] = []
+    try:
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.start[1], tok.string))
+            elif tok.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+                tokenize.ENCODING,
+            ):
+                for ln in range(tok.start[0], tok.end[0] + 1):
+                    code_lines.add(ln)
+    except tokenize.TokenError:
+        # Unterminated constructs are the parser's problem; report what
+        # was tokenized before the error.
+        pass
+    for line, col, text in comments:
+        match = _PRAGMA_RE.search(text)
+        if match:
+            yield Pragma(
+                line=line,
+                col=col,
+                body=match.group("body").strip(),
+                standalone=line not in code_lines,
+            )
+
+
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """(lineno, end_lineno) for every statement, widest-first per line."""
+    spans = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+def _attached_span(
+    pragma: Pragma, spans: list[tuple[int, int]], next_code_line: int | None
+) -> tuple[int, int]:
+    """The source range a suppression comment covers."""
+    anchor = pragma.line if not pragma.standalone else next_code_line
+    if anchor is not None:
+        starting_here = [s for s in spans if s[0] == anchor]
+        if starting_here:
+            # Widest statement starting on the anchor line: a comment on
+            # an `if`/`def` line excuses the whole block beneath it.
+            return max(starting_here, key=lambda s: s[1] - s[0])
+        if not pragma.standalone:
+            # Trailing comment on a continuation line of a multi-line
+            # statement: cover the statement that spans it.
+            spanning = [s for s in spans if s[0] <= anchor <= s[1]]
+            if spanning:
+                return min(spanning, key=lambda s: s[1] - s[0])
+        return (anchor, anchor)
+    return (pragma.line, pragma.line)
+
+
+def parse_pragmas(
+    source: str, tree: ast.Module, known_rules: tuple[str, ...]
+) -> tuple[list[Suppression], list[HotRegion], list[PragmaError]]:
+    """Interpret every ``# repro:`` comment in ``source``.
+
+    Returns suppressions, hot regions, and errors for malformed pragmas
+    (unknown verb, unknown rule, or an ``allow`` missing its required
+    justification) — the lint engine reports those under the ``pragma``
+    rule so a typo can't silently disable a check.
+    """
+    total_lines = source.count("\n") + 1
+    spans = _statement_spans(tree)
+    function_spans = [
+        (node.lineno, node.end_lineno or node.lineno)
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    code_starts = sorted({s[0] for s in spans})
+
+    suppressions: list[Suppression] = []
+    hot_regions: list[HotRegion] = []
+    errors: list[PragmaError] = []
+
+    for pragma in _iter_pragma_comments(source):
+        next_code = next((ln for ln in code_starts if ln > pragma.line), None)
+        if pragma.body == "hot":
+            anchor = pragma.line if not pragma.standalone else next_code
+            fn = next((s for s in function_spans if s[0] == anchor), None)
+            if fn is not None:
+                hot_regions.append(HotRegion(start=fn[0], end=fn[1]))
+            else:
+                hot_regions.append(HotRegion(start=1, end=total_lines))
+            continue
+        allow = _ALLOW_RE.fullmatch(pragma.body)
+        if allow:
+            rule = allow.group("rule")
+            why = (allow.group("why") or "").strip()
+            if rule not in known_rules:
+                errors.append(
+                    PragmaError(
+                        line=pragma.line,
+                        col=pragma.col,
+                        message=(
+                            f"allow() names unknown rule {rule!r}; "
+                            f"known rules: {', '.join(known_rules)}"
+                        ),
+                    )
+                )
+                continue
+            if not why:
+                errors.append(
+                    PragmaError(
+                        line=pragma.line,
+                        col=pragma.col,
+                        message=(
+                            f"allow({rule}) requires a justification: "
+                            f"write '# repro: allow({rule}): <reason>'"
+                        ),
+                    )
+                )
+                continue
+            start, end = _attached_span(pragma, spans, next_code)
+            suppressions.append(
+                Suppression(
+                    rule=rule,
+                    justification=why,
+                    line=pragma.line,
+                    start=start,
+                    end=end,
+                )
+            )
+            continue
+        errors.append(
+            PragmaError(
+                line=pragma.line,
+                col=pragma.col,
+                message=(
+                    f"unrecognized pragma {pragma.body!r}; expected "
+                    "'hot' or 'allow(<rule>): <justification>'"
+                ),
+            )
+        )
+    return suppressions, hot_regions, errors

@@ -1,0 +1,130 @@
+"""The lint rule registry.
+
+Mirrors the scenario/stage registries (`repro.api.registry`,
+`repro.api.stages`): rules are plain functions registered under a
+unique name via a decorator, the registry is the single source of truth
+the CLI and the engine enumerate, and registering a duplicate name is
+an error unless explicitly replacing.  Adding a rule is therefore the
+same gesture as adding a scenario:
+
+    @register_rule(
+        "my-rule",
+        severity="error",
+        description="what invariant this protects",
+        scopes=("serve/",),
+    )
+    def check_my_rule(module: SourceModule) -> list[Finding]:
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from .context import SourceModule
+from .findings import SEVERITIES, Finding
+
+__all__ = ["LintRule", "LintRuleRegistry", "LINT_RULES", "register_rule"]
+
+RuleCheck = Callable[[SourceModule], List[Finding]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered rule: metadata plus its check function.
+
+    ``scopes`` is a tuple of path prefixes (relative to the lint root,
+    posix separators) the rule applies to; empty means every file.
+    """
+
+    name: str
+    severity: str
+    description: str
+    check: RuleCheck
+    scopes: tuple = field(default=())
+
+    def applies_to(self, scope_path: str) -> bool:
+        if not self.scopes:
+            return True
+        # Segment-aware: "serve/" matches both "serve/http.py" (fixture
+        # trees) and "repro/serve/http.py" (the real package).
+        probe = "/" + scope_path
+        return any(f"/{prefix}" in probe for prefix in self.scopes)
+
+
+class LintRuleRegistry:
+    """Name -> :class:`LintRule` mapping with decorator registration."""
+
+    def __init__(self):
+        self._entries: dict[str, LintRule] = {}
+
+    def register(
+        self,
+        name: str,
+        *,
+        severity: str = "error",
+        description: str = "",
+        scopes: tuple = (),
+        replace_existing: bool = False,
+    ) -> Callable[[RuleCheck], RuleCheck]:
+        if severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {severity!r}; choose from {SEVERITIES}"
+            )
+        if name in self._entries and not replace_existing:
+            raise ValueError(f"lint rule {name!r} is already registered")
+
+        def decorator(check: RuleCheck) -> RuleCheck:
+            self._entries[name] = LintRule(
+                name=name,
+                severity=severity,
+                description=description or (check.__doc__ or "").strip(),
+                check=check,
+                scopes=tuple(scopes),
+            )
+            return check
+
+        return decorator
+
+    def get(self, name: str) -> LintRule:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown lint rule {name!r}; choose from {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def entries(self) -> list[LintRule]:
+        return [self._entries[name] for name in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide registry the CLI and engine consult.
+LINT_RULES = LintRuleRegistry()
+
+
+def register_rule(
+    name: str,
+    *,
+    severity: str = "error",
+    description: str = "",
+    scopes: tuple = (),
+    replace_existing: bool = False,
+):
+    """Register a rule in the shared :data:`LINT_RULES` registry."""
+    return LINT_RULES.register(
+        name,
+        severity=severity,
+        description=description,
+        scopes=scopes,
+        replace_existing=replace_existing,
+    )

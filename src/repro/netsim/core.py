@@ -1,5 +1,10 @@
 """Discrete-event simulation core.
 
+The whole module is a lint-enforced hot region (see the pragma after
+this docstring): per-event work must stay tuple/heap/deque operations —
+a numpy allocation creeping into the dispatch path is a finding, not a
+code-review judgement call.
+
 Events are ``(time, priority, sequence)``-ordered callbacks.  The
 sequence number makes the order of same-time events deterministic (FIFO
 in scheduling order), which keeps whole simulations bit-reproducible for
@@ -39,6 +44,8 @@ fire-and-forget variants of :meth:`Simulator.schedule` /
 callers that never cancel (links, sinks, monitors), avoiding one object
 allocation per event on the hot path.
 """
+
+# repro: hot
 
 from __future__ import annotations
 

@@ -20,6 +20,11 @@ neural-network engine.  Two independent policies live here:
   ``repro.api.store.precision_key``).
 """
 
+# This module runs inside every fused forward/backward step; the
+# hot-loop-alloc lint rule holds the whole file to the no-allocation
+# discipline the scratch pool exists to provide.
+# repro: hot
+
 from __future__ import annotations
 
 import contextlib
@@ -63,7 +68,7 @@ def scratch(shape: tuple, dtype, slot: int = 0) -> np.ndarray:
     key = (shape, np.dtype(dtype).str, slot)
     buffer = _SCRATCH.get(key)
     if buffer is None:
-        buffer = np.empty(shape, dtype=dtype)
+        buffer = np.empty(shape, dtype=dtype)  # repro: allow(hot-loop-alloc): pool miss — the one allocation warm steps exist to avoid
         _SCRATCH[key] = buffer
     return buffer
 

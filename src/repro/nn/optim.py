@@ -9,6 +9,13 @@ bit-identical to the original allocating implementation (kept callable
 via :func:`repro.nn.fastpath.composite_ops`).
 """
 
+# Optimizer updates run once per parameter per training step — the
+# hottest code outside the kernels. Lint enforces the allocation-free
+# contract file-wide; the composite escape hatches below carry
+# justified allow() pragmas because replaying the allocating formulas
+# verbatim is exactly what keeps them bit-identical.
+# repro: hot
+
 from __future__ import annotations
 
 import math
@@ -41,7 +48,7 @@ class Optimizer:
         key = (array.shape, array.dtype.str, slot)
         buffer = self._scratch.get(key)
         if buffer is None:
-            buffer = np.empty_like(array)
+            buffer = np.empty_like(array)  # repro: allow(hot-loop-alloc): pool miss — one-time buffer per (shape, dtype, slot)
             self._scratch[key] = buffer
         return buffer
 
@@ -74,7 +81,7 @@ class SGD(Optimizer):
 
     def _update(self, index: int, parameter: Parameter) -> None:
         grad = parameter.grad
-        if not fastpath.fused_ops_enabled():
+        if not fastpath.fused_ops_enabled():  # repro: allow(hot-loop-alloc): composite escape hatch replays the allocating formulas verbatim for bit-identity
             if self.momentum > 0.0:
                 velocity = self._velocity.get(index)
                 if velocity is None:
@@ -87,7 +94,7 @@ class SGD(Optimizer):
         if self.momentum > 0.0:
             velocity = self._velocity.get(index)
             if velocity is None:
-                velocity = np.zeros_like(parameter.data)
+                velocity = np.zeros_like(parameter.data)  # repro: allow(hot-loop-alloc): one-time momentum state on first sight of a parameter
                 self._velocity[index] = velocity
             np.multiply(velocity, self.momentum, out=velocity)
             velocity += grad
@@ -119,7 +126,7 @@ class Adam(Optimizer):
 
     def _update(self, index: int, parameter: Parameter) -> None:
         grad = parameter.grad
-        if not fastpath.fused_ops_enabled():
+        if not fastpath.fused_ops_enabled():  # repro: allow(hot-loop-alloc): composite escape hatch replays the allocating formulas verbatim for bit-identity
             m = self._m.get(index)
             v = self._v.get(index)
             if m is None:
@@ -134,7 +141,7 @@ class Adam(Optimizer):
             parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
             return
         m = self._m.get(index)
-        if m is None:
+        if m is None:  # repro: allow(hot-loop-alloc): one-time moment state on first sight of a parameter
             m = np.zeros_like(parameter.data)
             self._m[index] = m
             self._v[index] = np.zeros_like(parameter.data)
@@ -182,6 +189,7 @@ class AdamW(Adam):
             if fastpath.fused_ops_enabled():
                 parameter.data *= 1.0 - self.lr * self.weight_decay
             else:
+                # repro: allow(hot-loop-alloc): composite escape hatch keeps the allocating formula bit-exact
                 parameter.data = parameter.data * (1.0 - self.lr * self.weight_decay)
         super()._update(index, parameter)
 

@@ -35,6 +35,13 @@ import re
 import threading
 import time
 from bisect import bisect_left
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+#: JSON-ready snapshot shape: ``counters``/``gauges``/``histograms``
+#: keyed by series, plus an ``events`` list.  Kept loose on purpose —
+#: snapshots cross process boundaries as plain JSON.
+Snapshot = dict[str, Any]
 
 __all__ = [
     "Counter",
@@ -56,7 +63,7 @@ DEFAULT_TIME_BUCKETS = (
 )
 
 
-def _series_key(name: str, labels: dict) -> str:
+def _series_key(name: str, labels: Mapping[str, object]) -> str:
     if not labels:
         return name
     inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
@@ -68,7 +75,9 @@ class Counter:
 
     __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str, labels: dict, lock: threading.Lock):
+    def __init__(
+        self, name: str, labels: dict[str, object], lock: threading.Lock
+    ) -> None:
         self.name = name
         self.labels = labels
         self._value = 0.0
@@ -84,7 +93,7 @@ class Counter:
     def value(self) -> float:
         return self._value
 
-    def _entry(self) -> dict:
+    def _entry(self) -> dict[str, object]:
         return {"name": self.name, "labels": dict(self.labels), "value": self._value}
 
 
@@ -93,7 +102,9 @@ class Gauge:
 
     __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str, labels: dict, lock: threading.Lock):
+    def __init__(
+        self, name: str, labels: dict[str, object], lock: threading.Lock
+    ) -> None:
         self.name = name
         self.labels = labels
         self._value = 0.0
@@ -111,7 +122,7 @@ class Gauge:
     def value(self) -> float:
         return self._value
 
-    def _entry(self) -> dict:
+    def _entry(self) -> dict[str, object]:
         return {"name": self.name, "labels": dict(self.labels), "value": self._value}
 
 
@@ -126,13 +137,19 @@ class Histogram:
 
     __slots__ = ("name", "labels", "buckets", "counts", "sum", "count", "_lock")
 
-    def __init__(self, name: str, labels: dict, buckets: tuple, lock: threading.Lock):
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, object],
+        buckets: Sequence[float],
+        lock: threading.Lock,
+    ) -> None:
         if not buckets or list(buckets) != sorted(buckets):
             raise ValueError(f"histogram {name!r} needs sorted, non-empty buckets")
         self.name = name
         self.labels = labels
-        self.buckets = tuple(float(edge) for edge in buckets)
-        self.counts = [0] * (len(buckets) + 1)
+        self.buckets: tuple[float, ...] = tuple(float(edge) for edge in buckets)
+        self.counts: list[int] = [0] * (len(buckets) + 1)
         self.sum = 0.0
         self.count = 0
         self._lock = lock
@@ -144,7 +161,7 @@ class Histogram:
             self.sum += value
             self.count += 1
 
-    def _entry(self) -> dict:
+    def _entry(self) -> dict[str, object]:
         return {
             "name": self.name,
             "labels": dict(self.labels),
@@ -164,17 +181,17 @@ class MetricsRegistry:
     other series.
     """
 
-    def __init__(self, clock=time.time):
+    def __init__(self, clock: Callable[[], float] = time.time) -> None:
         self._lock = threading.Lock()
         self._clock = clock
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
-        self._events: list[dict] = []
+        self._events: list[dict[str, object]] = []
 
     # -- instruments --------------------------------------------------------------
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         key = _series_key(name, labels)
         instrument = self._counters.get(key)
         if instrument is None:
@@ -184,7 +201,7 @@ class MetricsRegistry:
                 )
         return instrument
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         key = _series_key(name, labels)
         instrument = self._gauges.get(key)
         if instrument is None:
@@ -195,7 +212,10 @@ class MetricsRegistry:
         return instrument
 
     def histogram(
-        self, name: str, buckets: tuple = DEFAULT_TIME_BUCKETS, **labels
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        **labels: object,
     ) -> Histogram:
         key = _series_key(name, labels)
         instrument = self._histograms.get(key)
@@ -210,16 +230,16 @@ class MetricsRegistry:
             )
         return instrument
 
-    def record_event(self, name: str, **fields) -> dict:
+    def record_event(self, name: str, **fields: object) -> dict[str, object]:
         """Append one structured event; returns the stored record."""
-        event = {"event": name, "time_unix": self._clock(), **fields}
+        event: dict[str, object] = {"event": name, "time_unix": self._clock(), **fields}
         with self._lock:
             self._events.append(event)
         return event
 
     # -- snapshots ----------------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Snapshot:
         """A JSON-ready, point-in-time copy of every series."""
         with self._lock:
             return {
@@ -229,7 +249,7 @@ class MetricsRegistry:
                 "events": [dict(event) for event in self._events],
             }
 
-    def merge(self, snapshot: dict) -> None:
+    def merge(self, snapshot: Snapshot) -> None:
         """Fold an external snapshot into the live registry.
 
         Counters and histogram bins add; gauges take the snapshot's
@@ -253,11 +273,11 @@ class MetricsRegistry:
             self._events.extend(dict(event) for event in snapshot.get("events", ()))
 
 
-def empty_snapshot() -> dict:
+def empty_snapshot() -> Snapshot:
     return {"counters": {}, "gauges": {}, "histograms": {}, "events": []}
 
 
-def merge_snapshots(*snapshots: dict) -> dict:
+def merge_snapshots(*snapshots: Snapshot) -> Snapshot:
     """Combine snapshots: counters/histograms add, gauges last-write-wins,
     events concatenate.  Input snapshots are not mutated."""
     merged = empty_snapshot()
@@ -292,7 +312,7 @@ def merge_snapshots(*snapshots: dict) -> dict:
     return merged
 
 
-def subtract(after: dict, before: dict) -> dict:
+def subtract(after: Snapshot, before: Snapshot) -> Snapshot:
     """The delta between two snapshots of the *same* registry.
 
     Counters and histograms subtract (series absent from ``before``
@@ -342,7 +362,7 @@ def _metric_name(name: str) -> str:
     return name
 
 
-def _escape_label_value(value) -> str:
+def _escape_label_value(value: object) -> str:
     return (
         str(value)
         .replace("\\", r"\\")
@@ -351,8 +371,10 @@ def _escape_label_value(value) -> str:
     )
 
 
-def _label_text(labels: dict, extra: dict | None = None) -> str:
-    merged = {**labels, **(extra or {})}
+def _label_text(
+    labels: Mapping[str, object], extra: Mapping[str, object] | None = None
+) -> str:
+    merged: dict[str, object] = {**labels, **(extra or {})}
     if not merged:
         return ""
     inner = ",".join(
@@ -368,7 +390,7 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def prometheus_text(snapshot: dict) -> str:
+def prometheus_text(snapshot: Snapshot) -> str:
     """Render a snapshot in the Prometheus text format (0.0.4).
 
     Histogram per-bin counts become cumulative ``_bucket{le="..."}``
@@ -376,7 +398,7 @@ def prometheus_text(snapshot: dict) -> str:
     are operational records, not series, and are not rendered.
     """
     lines: list[str] = []
-    by_name: dict[str, list] = {}
+    by_name: dict[tuple[str, str], list[dict[str, Any]]] = {}
     for kind in ("counters", "gauges", "histograms"):
         for entry in snapshot.get(kind, {}).values():
             by_name.setdefault((kind, entry["name"]), []).append(entry)

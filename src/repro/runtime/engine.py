@@ -20,13 +20,13 @@ import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from datetime import datetime, timezone
 from pathlib import Path
 
 import repro.obs as obs
 from repro.api.store import ArtifactStore
 from repro.runtime.plan import CampaignPlan, StageTask, plan_campaign
 from repro.runtime.worker import run_task
+from repro.utils.clock import utc_now_iso, wall_time_unix
 
 __all__ = ["CampaignEngine", "CampaignResult", "run_campaign"]
 
@@ -143,8 +143,8 @@ class CampaignEngine:
         # One wall-clock stamp for "when" (ISO-8601 UTC) and one
         # monotonic origin for every duration and per-task offset —
         # wall-clock steps (NTP, DST) can never corrupt timings.
-        started_unix = time.time()
-        started_at = datetime.now(timezone.utc).isoformat()
+        started_unix = wall_time_unix()
+        started_at = utc_now_iso()
         clock = time.perf_counter()
         tasks = plan.ordered()
         workers = self.effective_workers(tasks)
@@ -167,7 +167,7 @@ class CampaignEngine:
                 event
                 or {
                     "event": "runtime.downgraded_to_serial",
-                    "time_unix": time.time(),
+                    "time_unix": wall_time_unix(),
                     "campaign_id": plan.campaign_id,
                     "requested_workers": self.workers,
                     "reason": "no artifact store shares artifacts across processes",

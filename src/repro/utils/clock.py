@@ -1,0 +1,32 @@
+"""The sanctioned wall-clock reads.
+
+Everything in the deterministic core measures durations with
+``time.perf_counter()`` and stamps "when did this happen" metadata —
+manifest timestamps, event logs — through the two helpers below.  That
+split is what lets the ``determinism`` lint rule draw a hard line:
+a raw ``time.time()`` / ``datetime.now()`` anywhere else is a finding,
+because there it can only be feeding something that ought to be a pure
+function of the spec (a cache key, a trace, a training result).
+
+These values are metadata by construction: nothing derived from them
+may flow into a cache key, a stored artifact's content, or a golden
+trace.  New call sites of these helpers are cheap to audit for exactly
+that — which is the point of funnelling them through one module.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+
+__all__ = ["wall_time_unix", "utc_now_iso"]
+
+
+def wall_time_unix() -> float:
+    """Seconds since the epoch, for timestamp *metadata* only."""
+    return time.time()  # repro: allow(determinism): the one sanctioned wall-clock read; callers stamp metadata, never keys
+
+
+def utc_now_iso() -> str:
+    """ISO-8601 UTC timestamp, for manifest/event *metadata* only."""
+    return datetime.now(timezone.utc).isoformat()  # repro: allow(determinism): the one sanctioned ISO stamp; metadata only

@@ -1,0 +1,24 @@
+"""Known-bad determinism fixture: every marked line must be a finding."""
+
+import random
+
+import numpy as np
+import time
+from datetime import datetime
+
+
+def jitter():
+    np.random.seed(7)
+    draw = np.random.random()
+    noise = random.gauss(0.0, 1.0)
+    return draw + noise
+
+
+def stamp():
+    started = time.time()
+    label = datetime.now().isoformat()
+    return started, label
+
+
+def cache_key(items, stable_hash):
+    return stable_hash(set(items))

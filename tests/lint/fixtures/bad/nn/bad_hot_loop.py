@@ -1,0 +1,13 @@
+"""Known-bad hot-loop fixture: allocations inside a hot region."""
+
+# repro: hot
+
+import numpy as np
+
+
+def step(grad: np.ndarray, state: np.ndarray) -> np.ndarray:
+    buffer = np.zeros(grad.shape)
+    np.sqrt(state)
+    update = grad * 0.5
+    buffer[:] = update
+    return buffer

@@ -1,0 +1,5 @@
+"""Known-bad pragma fixture: malformed `# repro:` comments."""
+
+VALUE = 1  # repro: allow(determinism)
+OTHER = 2  # repro: allow(made-up-rule): looks justified but names no rule
+THIRD = 3  # repro: frobnicate

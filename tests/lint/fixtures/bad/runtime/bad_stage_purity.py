@@ -1,0 +1,30 @@
+"""Known-bad stage-purity fixture: an impure registered stage body."""
+
+import os
+import shutil
+
+CACHE = {}
+
+
+def register_stage(name, **kwargs):
+    def wrap(fn):
+        return fn
+
+    return wrap
+
+
+@register_stage("bad_stage")
+def run(spec, store):
+    flag = os.environ.get("REPRO_FLAG")
+    CACHE[spec] = flag
+    with open("/tmp/out.txt", "w") as fh:
+        fh.write("x")
+    shutil.rmtree("/tmp/stuff")
+    return store.put(spec, flag)
+
+
+@register_stage("bad_global_stage")
+def run_global(spec, store):
+    global CACHE
+    CACHE = {}
+    return store.put(spec, None)

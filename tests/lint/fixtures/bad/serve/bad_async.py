@@ -1,0 +1,14 @@
+"""Known-bad asyncio fixture: blocking calls inside async def."""
+
+import socket
+import time
+from pathlib import Path
+
+
+async def handler(path: Path):
+    time.sleep(0.1)
+    with open(path) as fh:
+        data = fh.read()
+    sock = socket.create_connection(("example.com", 80))
+    text = path.read_text()
+    return data, sock, text

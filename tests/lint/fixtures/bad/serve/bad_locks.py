@@ -1,0 +1,18 @@
+"""Known-bad lock fixture: cross-thread writes without the lock."""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._thread = None
+        self.status = "idle"
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run)
+        self.status = "starting"
+        self._thread.start()
+
+    def _run(self):
+        self.status = "running"

@@ -1,0 +1,25 @@
+"""Clean determinism fixture: sanctioned randomness and clocks only."""
+
+import time
+
+import numpy as np
+
+
+def make_rng(seed):
+    root = np.random.SeedSequence(seed)
+    child = root.spawn(1)[0]
+    return np.random.default_rng(child)
+
+
+def draw(rng, shape):
+    return rng.normal(size=shape)
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def cache_key(items, stable_hash):
+    return stable_hash(sorted(set(items)))

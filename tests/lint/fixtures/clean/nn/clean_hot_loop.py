@@ -1,0 +1,18 @@
+"""Clean hot-loop fixture: out= kernels, scalar math, one justified miss."""
+
+# repro: hot
+
+import numpy as np
+
+
+def step(grad: np.ndarray, out: np.ndarray, lr: float) -> float:
+    np.multiply(grad, lr, out=out)
+    decay = 1.0 - lr * 0.5
+    total = float(out.sum())
+    return total * decay
+
+
+def warm(shape, out: np.ndarray) -> np.ndarray:
+    buffer = np.empty(shape)  # repro: allow(hot-loop-alloc): pool miss on cold start; reused afterwards
+    np.multiply(buffer, 2.0, out=out)
+    return out

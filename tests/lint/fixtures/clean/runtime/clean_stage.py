@@ -1,0 +1,20 @@
+"""Clean stage fixture: a pure registered stage body."""
+
+SUPPORTED = ("smoke", "small", "full")
+
+
+def register_stage(name, **kwargs):
+    def wrap(fn):
+        return fn
+
+    return wrap
+
+
+@register_stage("clean_stage")
+def run(spec, store):
+    config = dict(spec.options)
+    scales = [scale for scale in SUPPORTED if scale in config]
+    payload = {"spec": spec.name, "config": config, "scales": scales}
+    key = store.result_key(spec)
+    store.put_json(key, payload)
+    return store.get_json(key)

@@ -1,0 +1,15 @@
+"""Clean asyncio fixture: only non-blocking primitives in async def."""
+
+import asyncio
+
+
+async def handler(reader, writer):
+    await asyncio.sleep(0.01)
+    data = await reader.read(1024)
+    writer.write(data)
+    await writer.drain()
+    return data
+
+
+async def fanout(jobs):
+    return await asyncio.gather(*(asyncio.create_task(job()) for job in jobs))

@@ -1,0 +1,20 @@
+"""Clean lock fixture: every cross-thread write holds the lock."""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._thread = None
+        self.status = "idle"
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run)
+        with self._lock:
+            self.status = "starting"
+        self._thread.start()
+
+    def _run(self):
+        with self._lock:
+            self.status = "running"

@@ -1,0 +1,129 @@
+"""Baseline round-trips: grandfather, match, expire, and re-surface."""
+
+import json
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.baseline import load_baseline
+
+BAD_STAMP = (
+    "import time\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+CLEAN_STAMP = (
+    "import time\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.perf_counter()\n"
+)
+
+
+@pytest.fixture()
+def project(tmp_path):
+    package = tmp_path / "proj" / "netsim"
+    package.mkdir(parents=True)
+    (package / "mod.py").write_text(BAD_STAMP, encoding="utf-8")
+    return tmp_path / "proj", tmp_path / "baseline.json"
+
+
+def test_update_grandfathers_current_findings(project):
+    root, baseline = project
+    report = run_lint(
+        [root], baseline_path=baseline, update_baseline=True
+    )
+    assert report.findings == []
+    assert len(report.baselined) == 1
+    assert report.exit_code == 0
+
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 1
+    (entry,) = payload["entries"]
+    assert entry["rule"] == "determinism"
+    assert entry["path"] == "netsim/mod.py"
+    assert entry["snippet"] == "return time.time()"
+    assert entry["count"] == 1
+
+
+def test_baselined_finding_does_not_fail_the_run(project):
+    root, baseline = project
+    run_lint([root], baseline_path=baseline, update_baseline=True)
+
+    report = run_lint([root], baseline_path=baseline)
+    assert report.findings == []
+    assert len(report.baselined) == 1
+    assert report.stale_baseline == []
+    assert report.exit_code == 0
+
+
+def test_fixed_code_reports_stale_entry_and_update_expires_it(project):
+    root, baseline = project
+    run_lint([root], baseline_path=baseline, update_baseline=True)
+
+    (root / "netsim" / "mod.py").write_text(CLEAN_STAMP, encoding="utf-8")
+    report = run_lint([root], baseline_path=baseline)
+    assert report.findings == []
+    assert report.baselined == []
+    assert len(report.stale_baseline) == 1
+    assert report.stale_baseline[0]["snippet"] == "return time.time()"
+    assert report.exit_code == 0  # stale entries warn, they don't fail
+
+    run_lint([root], baseline_path=baseline, update_baseline=True)
+    assert json.loads(baseline.read_text())["entries"] == []
+    assert load_baseline(baseline) == {}
+
+
+def test_new_finding_is_not_absorbed_by_the_baseline(project):
+    root, baseline = project
+    run_lint([root], baseline_path=baseline, update_baseline=True)
+
+    (root / "netsim" / "other.py").write_text(BAD_STAMP, encoding="utf-8")
+    report = run_lint([root], baseline_path=baseline)
+    assert [f.path for f in report.findings] == ["netsim/other.py"]
+    assert [f.path for f in report.baselined] == ["netsim/mod.py"]
+    assert report.exit_code == 1
+
+
+def test_count_matching_absorbs_only_that_many(project):
+    root, baseline = project
+    duplicated = BAD_STAMP + "\n\ndef stamp2():\n    return time.time()\n"
+    (root / "netsim" / "mod.py").write_text(duplicated, encoding="utf-8")
+    run_lint([root], baseline_path=baseline, update_baseline=True)
+    (entry,) = json.loads(baseline.read_text())["entries"]
+    assert entry["count"] == 2
+
+    # A third identical call on a new line exceeds the grandfathered count.
+    tripled = duplicated + "\n\ndef stamp3():\n    return time.time()\n"
+    (root / "netsim" / "mod.py").write_text(tripled, encoding="utf-8")
+    report = run_lint([root], baseline_path=baseline)
+    assert len(report.baselined) == 2
+    assert len(report.findings) == 1
+    assert report.exit_code == 1
+
+
+def test_discovery_finds_nearest_baseline_above_root(project):
+    root, _ = project
+    committed = root.parent / "lint-baseline.json"
+    run_lint([root], baseline_path=committed, update_baseline=True)
+
+    report = run_lint([root])  # no explicit path: discovery walks up
+    assert report.baseline_path == str(committed)
+    assert report.findings == []
+    assert report.exit_code == 0
+
+
+def test_no_baseline_flag_reports_everything(project):
+    root, baseline = project
+    run_lint([root], baseline_path=baseline, update_baseline=True)
+    report = run_lint([root], use_baseline=False)
+    assert len(report.findings) == 1
+    assert report.exit_code == 1
+
+
+def test_unsupported_baseline_version_is_an_error(project):
+    root, baseline = project
+    baseline.write_text('{"version": 99, "entries": []}', encoding="utf-8")
+    with pytest.raises(ValueError, match="unsupported baseline version"):
+        run_lint([root], baseline_path=baseline)

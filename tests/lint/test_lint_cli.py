@@ -1,0 +1,97 @@
+"""The `repro lint` CLI contract: exit codes, JSON schema, flags."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+FINDING_KEYS = {"rule", "severity", "path", "line", "col", "message", "snippet"}
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", str(FIXTURES / "clean"), "--no-baseline"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", str(FIXTURES / "bad"), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "determinism" in out
+        assert "findings" in out
+
+    def test_usage_error_exits_two(self, capsys):
+        assert main(["lint", "--rule", "nope"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "/nonexistent/path"]) == 2
+        assert "no such file or directory" in capsys.readouterr().err
+
+
+class TestJsonFormat:
+    def test_schema(self, capsys):
+        code = main([
+            "lint", str(FIXTURES / "bad"), "--no-baseline", "--format", "json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert {"active", "suppressed", "baselined"} <= set(payload["counts"])
+        assert payload["counts"]["active"] == len(payload["findings"])
+        for finding in payload["findings"]:
+            assert set(finding) == FINDING_KEYS
+            assert finding["severity"] in ("error", "warning")
+            assert finding["line"] >= 1
+        rule_names = {rule["name"] for rule in payload["rules"]}
+        assert {
+            "determinism", "stage-purity", "hot-loop-alloc",
+            "async-blocking", "lock-discipline", "pragma",
+        } <= rule_names
+
+    def test_clean_json_has_empty_findings(self, capsys):
+        code = main([
+            "lint", str(FIXTURES / "clean"), "--no-baseline", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["counts"]["suppressed"] == 1  # the justified pool miss
+
+
+class TestFlags:
+    def test_rule_filter_comma_and_repeat(self, capsys):
+        code = main([
+            "lint", str(FIXTURES / "bad"), "--no-baseline", "--format", "json",
+            "--rule", "async-blocking,lock-discipline", "--rule", "pragma",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {
+            "async-blocking", "lock-discipline", "pragma",
+        }
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "determinism" in out
+        assert "serve/" in out
+
+    def test_baseline_update_then_clean_run(self, tmp_path, capsys):
+        package = tmp_path / "netsim"
+        package.mkdir()
+        (package / "mod.py").write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        baseline = tmp_path / "bl.json"
+        assert main([
+            "lint", str(tmp_path), "--baseline", str(baseline),
+            "--baseline-update",
+        ]) == 0
+        assert "baseline written" in capsys.readouterr().out
+        assert main([
+            "lint", str(tmp_path), "--baseline", str(baseline),
+        ]) == 0
+        assert "1 baselined" in capsys.readouterr().out
