@@ -20,10 +20,14 @@ fi
 
 STRICT_MODULES=(
     src/repro/api/store.py
+    src/repro/api/stages.py
     src/repro/obs/metrics.py
     src/repro/utils/clock.py
     src/repro/lint/findings.py
     src/repro/lint/baseline.py
+    src/repro/lint/callgraph.py
+    src/repro/lint/fingerprint.py
+    src/repro/lint/taint.py
 )
 
 echo "typecheck: mypy over ${#STRICT_MODULES[@]} strict modules"

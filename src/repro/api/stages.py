@@ -33,6 +33,17 @@ keys planned before the stage API existed stay byte-identical, so no
 existing artifact is invalidated.  Any non-zero version is mixed into
 the key via :func:`~repro.api.hashing.stable_hash`; bump it whenever the
 stage's code changes behaviour.
+
+Forgetting the bump is the silent failure mode — old artifacts keep
+being served under unchanged keys — so it is enforced statically: the
+committed ``stage-fingerprints.json`` pins a normalized-AST fingerprint
+of every registered stage's run function plus its transitive in-repo
+callee closure, and ``repro lint --fingerprints`` (also folded into
+plain ``repro lint`` and tier-1) fails when a stage's code drifts while
+its ``version`` stands still.  After a deliberate change, bump
+``version`` if behaviour changed and re-pin with
+``repro lint --fingerprints-update`` (see :mod:`repro.lint.fingerprint`
+for the full decision guide).
 """
 
 from __future__ import annotations

@@ -260,6 +260,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
+    lint.add_argument(
+        "--changed", action="store_true",
+        help="lint only files differing from the git merge base "
+        "(fingerprints still check the whole tree)",
+    )
+    lint.add_argument(
+        "--fingerprints", action="store_true",
+        help="check every registered stage's normalized-AST fingerprint "
+        "against stage-fingerprints.json (exit 1 on drift)",
+    )
+    lint.add_argument(
+        "--fingerprints-update", action="store_true",
+        help="re-pin stage-fingerprints.json from the current tree",
+    )
     return parser
 
 
@@ -710,6 +724,42 @@ def _cmd_top(args) -> int:
         return 0
 
 
+def _lint_fingerprints(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.lint import LintReport, check_fingerprints, default_root
+    from repro.lint.fingerprint import FINGERPRINT_FILENAME, save_fingerprints
+
+    paths = [Path(p) for p in args.paths] or [default_root()]
+    try:
+        findings, pin_path, current = check_fingerprints(paths)
+    except (FileNotFoundError, ValueError) as error:
+        raise CLIError(str(error)) from None
+
+    if args.fingerprints_update:
+        if pin_path is None:
+            pin_path = Path.cwd() / FINGERPRINT_FILENAME
+        save_fingerprints(pin_path, current)
+        print(f"fingerprints written: {pin_path} ({len(current)} stages)")
+        return 0
+
+    report = LintReport(
+        roots=[str(p) for p in paths],
+        findings=findings,
+        baseline_path=None,
+    )
+    if args.format == "json":
+        payload = report.to_dict()
+        payload["fingerprints"] = str(pin_path) if pin_path else None
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+        if pin_path is not None:
+            print(f"fingerprints: {pin_path} ({len(current)} stages checked)")
+    return report.exit_code
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json as json_module
     from pathlib import Path
@@ -722,6 +772,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"{rule.name} [{rule.severity}] ({scopes})")
             print(f"    {rule.description}")
         return 0
+
+    if args.fingerprints or args.fingerprints_update:
+        return _lint_fingerprints(args)
 
     rule_names = None
     if args.rule:
@@ -738,6 +791,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             baseline_path=Path(args.baseline) if args.baseline else None,
             use_baseline=not args.no_baseline,
             update_baseline=args.baseline_update,
+            changed_only=args.changed,
         )
     except (FileNotFoundError, ValueError) as error:
         raise CLIError(str(error)) from None

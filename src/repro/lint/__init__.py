@@ -23,28 +23,55 @@ from .baseline import (
     load_baseline,
     save_baseline,
 )
+from .callgraph import ProgramIndex, program_index_for_root
 from .context import SourceModule, load_module
-from .engine import LintReport, collect_files, default_root, run_lint
+from .engine import (
+    REPORT_VERSION,
+    LintReport,
+    changed_files,
+    collect_files,
+    default_root,
+    run_lint,
+)
+from .fingerprint import (
+    FINGERPRINT_FILENAME,
+    check_fingerprints,
+    compute_fingerprints,
+    discover_fingerprints,
+    load_fingerprints,
+    save_fingerprints,
+)
 from .findings import SEVERITIES, Finding
 from .rules import LINT_RULES, LintRule, LintRuleRegistry, register_rule
 
 from . import checks  # noqa: F401  (registers the built-in rules)
+from . import taint  # noqa: F401  (registers key-taint)
 
 __all__ = [
     "BASELINE_FILENAME",
+    "FINGERPRINT_FILENAME",
     "Finding",
     "LINT_RULES",
     "LintReport",
     "LintRule",
     "LintRuleRegistry",
+    "ProgramIndex",
+    "REPORT_VERSION",
     "SEVERITIES",
     "SourceModule",
     "apply_baseline",
+    "changed_files",
+    "check_fingerprints",
     "collect_files",
+    "compute_fingerprints",
     "default_root",
     "discover_baseline",
+    "discover_fingerprints",
     "load_baseline",
+    "load_fingerprints",
     "load_module",
+    "program_index_for_root",
     "register_rule",
     "run_lint",
+    "save_fingerprints",
 ]

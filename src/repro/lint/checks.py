@@ -625,12 +625,73 @@ def _lock_guarded_ranges(fn: ast.AST) -> List:
     return ranges
 
 
+def _self_call_lines(method: ast.AST) -> List:
+    """(callee method name, call line) for every ``self.x(...)`` /
+    ``cls.x(...)`` call in ``method``'s own body."""
+    calls = []
+    for node in _iter_own_nodes(method):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _call_chain(node)
+        if chain and len(chain) == 2 and chain[0] in ("self", "cls"):
+            calls.append((chain[1], node.lineno))
+    return calls
+
+
+def _entry_reachable(entries: set, calls_by_method: dict) -> set:
+    """Methods reachable from a thread entry point through ``self.x()``
+    call edges — every one of them runs on the spawned thread."""
+    reachable = set(entries)
+    frontier = list(entries)
+    while frontier:
+        current = frontier.pop()
+        for callee, _ in calls_by_method.get(current, []):
+            if callee not in reachable:
+                reachable.add(callee)
+                frontier.append(callee)
+    return reachable
+
+
+def _guard_covered(
+    methods: dict, calls_by_method: dict, guarded_ranges: dict, entries: set
+) -> set:
+    """Methods whose *every* in-class call site holds the lock, directly
+    (the call is inside ``with ...lock:``) or transitively (the caller
+    is itself guard-covered).  A write in such a method is effectively
+    guarded even though the ``with`` block lives one frame up."""
+    sites: dict = {}
+    for caller, calls in calls_by_method.items():
+        for callee, line in calls:
+            if callee in methods:
+                sites.setdefault(callee, []).append((caller, line))
+    covered = set()
+    for _ in range(len(methods) + 1):
+        next_covered = set()
+        for name in methods:
+            if name in entries or not sites.get(name):
+                continue  # entry points and never-called methods run bare
+            if all(
+                any(
+                    start <= line <= end
+                    for start, end in guarded_ranges.get(caller, [])
+                )
+                or (caller in covered and caller != name)
+                for caller, line in sites[name]
+            ):
+                next_covered.add(name)
+        if next_covered == covered:
+            break
+        covered = next_covered
+    return covered
+
+
 @register_rule(
     "lock-discipline",
     severity="error",
     description=(
-        "attributes written from both a thread entry point and another "
-        "method in serve//obs/ must be written under a lock"
+        "attributes written from both the thread-entry call graph and "
+        "other methods in serve//obs/ must be written under a lock, "
+        "including writes in helpers reached from the entry point"
     ),
     scopes=("serve/", "obs/"),
 )
@@ -642,16 +703,27 @@ def check_lock_discipline(module: SourceModule) -> List[Finding]:
         entries = _thread_entry_targets(cls)
         if not entries:
             continue
-        methods = [
-            node for node in cls.body
+        methods = {
+            node.name: node
+            for node in cls.body
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-        ]
+        }
+        calls_by_method = {
+            name: _self_call_lines(method) for name, method in methods.items()
+        }
+        guarded_ranges = {
+            name: _lock_guarded_ranges(method)
+            for name, method in methods.items()
+        }
+        thread_side = _entry_reachable(entries, calls_by_method)
+        covered = _guard_covered(
+            methods, calls_by_method, guarded_ranges, entries
+        )
         # attr -> method name -> list of (node, guarded)
         writes: dict = {}
-        for method in methods:
-            if method.name == "__init__":
-                continue
-            guarded_ranges = _lock_guarded_ranges(method)
+        for name, method in methods.items():
+            if name == "__init__":
+                continue  # runs before any thread is spawned
             for node in _iter_own_nodes(method):
                 if not isinstance(node, (ast.Assign, ast.AugAssign)):
                     continue
@@ -668,26 +740,35 @@ def check_lock_discipline(module: SourceModule) -> List[Finding]:
                     ):
                         guarded = any(
                             start <= node.lineno <= end
-                            for start, end in guarded_ranges
-                        )
+                            for start, end in guarded_ranges.get(name, [])
+                        ) or name in covered
                         writes.setdefault(target.attr, {}).setdefault(
-                            method.name, []
+                            name, []
                         ).append((node, guarded))
         for attr, by_method in writes.items():
-            from_entry = [m for m in by_method if m in entries]
-            from_other = [m for m in by_method if m not in entries]
+            from_entry = sorted(m for m in by_method if m in thread_side)
+            from_other = sorted(m for m in by_method if m not in thread_side)
             if not from_entry or not from_other:
                 continue
             for method_name, sites in sorted(by_method.items()):
                 for node, guarded in sites:
                     if guarded:
                         continue
+                    via = (
+                        ""
+                        if method_name in entries
+                        or method_name not in thread_side
+                        else (
+                            " (reached from the entry point through "
+                            "self-calls)"
+                        )
+                    )
                     findings.append(module.finding(
                         node, "lock-discipline",
                         f"`self.{attr}` is written from thread entry point "
-                        f"`{'/'.join(sorted(from_entry))}` and from "
-                        f"`{'/'.join(sorted(from_other))}`; this write in "
-                        f"`{method_name}` must hold a lock",
+                        f"`{'/'.join(from_entry)}` and from "
+                        f"`{'/'.join(from_other)}`; this write in "
+                        f"`{method_name}`{via} must hold a lock",
                     ))
     return findings
 

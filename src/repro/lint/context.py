@@ -37,12 +37,21 @@ class SourceModule:
             return self.lines[line - 1].strip()
         return ""
 
+    @property
+    def root(self) -> Path:
+        """The lint root this module was collected under — the absolute
+        path minus the scope path.  Whole-program rules index every file
+        under it, regardless of which files were selected for linting."""
+        depth = len(Path(self.scope_path).parts)
+        return self.path.parents[depth - 1]
+
     def finding(
         self,
         node,
         rule: str,
         message: str,
         severity: str = "error",
+        chain: tuple = (),
     ) -> Finding:
         """Build a finding anchored at ``node`` (or a (line, col) pair)."""
         if isinstance(node, tuple):
@@ -57,6 +66,7 @@ class SourceModule:
             message=message,
             severity=severity,
             snippet=self.line_text(line),
+            chain=tuple(chain),
         )
 
     def in_hot_region(self, line: int) -> bool:

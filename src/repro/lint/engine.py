@@ -11,16 +11,29 @@ start of the path or at any ``/`` boundary.
 
 from __future__ import annotations
 
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from .baseline import apply_baseline, discover_baseline, load_baseline, save_baseline
 from .context import load_module
 from .findings import Finding
 from .rules import LINT_RULES, LintRuleRegistry
 
-__all__ = ["LintReport", "run_lint", "collect_files", "default_root"]
+__all__ = [
+    "LintReport",
+    "REPORT_VERSION",
+    "changed_files",
+    "collect_files",
+    "default_root",
+    "run_lint",
+]
+
+#: JSON report schema version.  v2 added per-finding ``chain`` (the
+#: interprocedural source→sink witness) and guarantees ``stale_baseline``
+#: is present in JSON output, not only rendered in text mode.
+REPORT_VERSION = 2
 
 
 def default_root() -> Path:
@@ -71,6 +84,58 @@ def collect_files(paths: Sequence[Path]) -> List[Tuple[Path, str]]:
     return unique
 
 
+def _git(args: List[str], cwd: Path) -> Optional[str]:
+    try:
+        result = subprocess.run(
+            ["git"] + args,
+            cwd=str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout
+
+
+def changed_files(anchor: Path) -> Optional[Set[Path]]:
+    """Files differing from the merge base, for ``repro lint --changed``.
+
+    Resolved against the repository containing ``anchor``: the diff of
+    the working tree against ``merge-base HEAD <main>`` (first of
+    origin/main, origin/master, main, master that exists; bare HEAD as
+    the fallback, which reduces to uncommitted changes), plus untracked
+    files.  Returns None when ``anchor`` is not inside a git work tree.
+    """
+    cwd = anchor if anchor.is_dir() else anchor.parent
+    toplevel = _git(["rev-parse", "--show-toplevel"], cwd)
+    if toplevel is None:
+        return None
+    repo = Path(toplevel.strip())
+    base = "HEAD"
+    for ref in ("origin/main", "origin/master", "main", "master"):
+        merge_base = _git(["merge-base", "HEAD", ref], cwd)
+        if merge_base is not None:
+            base = merge_base.strip()
+            break
+    changed: Set[Path] = set()
+    diff = _git(["diff", "--name-only", "-z", base], cwd)
+    untracked = _git(
+        ["ls-files", "--others", "--exclude-standard", "-z"], cwd
+    )
+    for listing in (diff, untracked):
+        if listing is None:
+            continue
+        for name in listing.split("\0"):
+            if name:
+                path = (repo / name).resolve()
+                if path.is_file():
+                    changed.add(path)
+    return changed
+
+
 @dataclass
 class LintReport:
     """Everything one lint run decided, ready for text or JSON."""
@@ -88,7 +153,7 @@ class LintReport:
 
     def to_dict(self) -> dict:
         return {
-            "version": 1,
+            "version": REPORT_VERSION,
             "roots": self.roots,
             "rules": [
                 {
@@ -139,6 +204,7 @@ def run_lint(
     baseline_path: Optional[Path] = None,
     use_baseline: bool = True,
     update_baseline: bool = False,
+    changed_only: bool = False,
     registry: LintRuleRegistry = LINT_RULES,
 ) -> LintReport:
     """Lint ``paths`` (default: the installed repro package).
@@ -148,6 +214,12 @@ def run_lint(
     ``lint-baseline.json`` above a lint root is honoured unless an
     explicit ``baseline_path`` is given; ``update_baseline`` rewrites
     that file from this run and reports everything as baselined.
+
+    ``changed_only`` restricts per-file rules to files differing from
+    the git merge base (the pre-commit fast path); stage fingerprints
+    are still checked repo-wide, because an edit to an unchanged-file
+    helper cannot invalidate a pin but an edit anywhere in a stage's
+    callee closure can — and that closure is only visible globally.
     """
     scan_paths = [Path(p) for p in (paths or [default_root()])]
     if rule_names:
@@ -156,9 +228,17 @@ def run_lint(
         rules = registry.entries()
     known = tuple(registry.names())
 
+    collected = collect_files(scan_paths)
+    if changed_only:
+        changed = changed_files(scan_paths[0])
+        if changed is not None:
+            collected = [
+                (file, scope) for file, scope in collected if file in changed
+            ]
+
     raw: List[Finding] = []
     suppressed: List[Tuple[Finding, object]] = []
-    for file, scope in collect_files(scan_paths):
+    for file, scope in collected:
         try:
             module = load_module(file, scope, known)
         except SyntaxError as exc:
@@ -181,7 +261,17 @@ def run_lint(
                     suppressed.append((finding, excuse))
                 else:
                     raw.append(finding)
+    if changed_only:
+        # Fingerprints stay repo-wide: run the whole-tree check (which
+        # also sees unpinned stages) when a pin file is committed, and
+        # drop the per-module findings it duplicates.
+        from .fingerprint import check_fingerprints, discover_fingerprints
+
+        if discover_fingerprints(scan_paths) is not None:
+            fp_findings, _, _ = check_fingerprints(scan_paths)
+            raw.extend(fp_findings)
     raw.sort()
+    raw = list(dict.fromkeys(raw))
 
     resolved_baseline: Optional[Path] = None
     if baseline_path is not None:

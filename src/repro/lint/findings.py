@@ -36,6 +36,9 @@ class Finding:
     message: str = field(compare=False)
     severity: str = field(default="error", compare=False)
     snippet: str = field(default="", compare=False)
+    #: Interprocedural rules attach the source→sink witness here, one
+    #: rendered step per element; empty for single-site findings.
+    chain: tuple = field(default=(), compare=False)
 
     def __post_init__(self):
         if self.severity not in SEVERITIES:
@@ -52,6 +55,7 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "snippet": self.snippet,
+            "chain": list(self.chain),
         }
 
     def format(self) -> str:

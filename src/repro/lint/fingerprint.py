@@ -1,0 +1,364 @@
+"""Stage fingerprint drift: stage code must not change behind its keys.
+
+The worst cache bug this repo can ship is silent: edit a registered
+stage's body without bumping ``Stage.version``, and every campaign that
+already ran keeps serving the *old* artifact under the *same* key —
+stale results presented as reproductions.  No test catches it, because
+the cached path never re-executes the changed code.
+
+This module pins a **fingerprint** per registered stage into the
+committed ``stage-fingerprints.json``: a sha256 over the normalized AST
+(docstrings stripped, formatting/comments irrelevant by construction)
+of the stage's run function *plus its transitive in-repo callee
+closure* from the :mod:`.callgraph` edges.  A stage's behaviour lives
+as much in helpers as in its own body, so the closure is part of the
+identity — editing ``stable_hash`` or a shared kernel drifts every
+stage that reaches it, on purpose.
+
+Enforcement has two layers:
+
+* the ``stage-fingerprint`` lint rule — per module, for stages pinned
+  under that module's dotted name — fires on any drift, so the tier-1
+  "repo lints clean" gate automatically requires the committed pins to
+  match HEAD;
+* ``repro lint --fingerprints`` checks the whole tree (also reporting
+  unpinned stages and orphaned pins) and exits 1 on any mismatch;
+  ``--fingerprints-update`` re-pins after a deliberate change.
+
+Drift taxonomy: fingerprint changed while ``Stage.version`` stayed →
+**drift** (bump the version if behaviour changed, or re-pin if the edit
+is provably behaviour-preserving, e.g. a pure refactor gated by golden
+tests); fingerprint and/or version changed with a version bump → the
+pin is **stale**, just re-pin.  Either way the committed file must
+match HEAD before the gate goes green again.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .callgraph import (
+    MODULE_BODY,
+    FunctionInfo,
+    ProgramIndex,
+    program_index_for_root,
+)
+from .context import SourceModule
+from .findings import Finding
+from .rules import register_rule
+
+__all__ = [
+    "FINGERPRINT_FILENAME",
+    "FINGERPRINT_VERSION",
+    "check_fingerprints",
+    "compute_fingerprints",
+    "discover_fingerprints",
+    "load_fingerprints",
+    "save_fingerprints",
+    "stage_fingerprint",
+]
+
+FINGERPRINT_FILENAME = "stage-fingerprints.json"
+FINGERPRINT_VERSION = 1
+
+
+# -- normalization -----------------------------------------------------------
+
+
+def _strip_docstrings(node: ast.AST) -> None:
+    """Remove docstring expressions in place, recursively."""
+    for child in ast.walk(node):
+        if not isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Module),
+        ):
+            continue
+        body = child.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            del body[0]
+            if not body:
+                body.append(ast.Pass())
+
+
+def normalized_dump(node: ast.AST) -> str:
+    """The formatting-insensitive identity of a code object: its AST
+    with docstrings removed and no location attributes.  Comments and
+    whitespace never reach the AST, so they cannot move a fingerprint;
+    any semantic edit does."""
+    clone = copy.deepcopy(node)
+    _strip_docstrings(clone)
+    return ast.dump(clone, include_attributes=False)
+
+
+# -- stage discovery ---------------------------------------------------------
+
+
+def _registration_of(fn: ast.AST) -> Optional[Tuple[str, int]]:
+    """(stage name, declared version) if ``fn`` carries a
+    ``@register_stage(...)`` decorator with a literal name."""
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    for decorator in fn.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        is_registration = (
+            isinstance(func, ast.Name) and func.id == "register_stage"
+        ) or (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("register_stage", "register")
+        )
+        if not is_registration:
+            continue
+        if not decorator.args:
+            continue
+        name_node = decorator.args[0]
+        if not (
+            isinstance(name_node, ast.Constant)
+            and isinstance(name_node.value, str)
+        ):
+            continue
+        version = 0
+        for kw in decorator.keywords:
+            if (
+                kw.arg == "version"
+                and isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, int)
+            ):
+                version = kw.value.value
+        return name_node.value, version
+    return None
+
+
+def stage_fingerprint(index: ProgramIndex, info: FunctionInfo) -> str:
+    """Fingerprint of one stage: its run function plus every in-tree
+    function transitively reachable from it, each under its qualified
+    name (so moving a helper between modules is a visible change)."""
+    parts = [("<stage>", normalized_dump(info.node))]
+    for qname in index.transitive_callees(info.qname):
+        callee = index.functions.get(qname)
+        if callee is None or callee.local == MODULE_BODY:
+            continue
+        parts.append((qname, normalized_dump(callee.node)))
+    blob = "\x00".join(f"{name}\x1f{dump}" for name, dump in parts)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def compute_fingerprints(index: ProgramIndex) -> Dict[str, dict]:
+    """Every registered stage in the program: name → pin entry (plus
+    the defining node's location for findings).  Cached on the index."""
+    if index.fingerprint_cache is not None:
+        return index.fingerprint_cache
+    stages: Dict[str, dict] = {}
+    for qname in sorted(index.functions):
+        info = index.functions[qname]
+        registration = _registration_of(info.node)
+        if registration is None:
+            continue
+        name, version = registration
+        stages[name] = {
+            "fingerprint": stage_fingerprint(index, info),
+            "module": info.module,
+            "stage_version": version,
+            "scope_path": info.scope_path,
+            "line": info.node.lineno,
+        }
+    index.fingerprint_cache = stages
+    return stages
+
+
+# -- pin file ----------------------------------------------------------------
+
+
+def load_fingerprints(path: Path) -> Dict[str, dict]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != FINGERPRINT_VERSION:
+        raise ValueError(
+            f"unsupported fingerprint file version {version!r} in {path} "
+            f"(expected {FINGERPRINT_VERSION})"
+        )
+    return dict(payload.get("stages", {}))
+
+
+def save_fingerprints(path: Path, stages: Dict[str, dict]) -> None:
+    payload = {
+        "version": FINGERPRINT_VERSION,
+        "stages": {
+            name: {
+                "fingerprint": entry["fingerprint"],
+                "module": entry["module"],
+                "stage_version": entry["stage_version"],
+            }
+            for name, entry in sorted(stages.items())
+        },
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def discover_fingerprints(roots: Sequence[Path]) -> Optional[Path]:
+    """Find the nearest committed pin file above any lint root."""
+    for root in roots:
+        candidates = [root] if root.is_dir() else [root.parent]
+        candidates += list(candidates[0].parents)
+        for candidate in candidates:
+            pins = candidate / FINGERPRINT_FILENAME
+            if pins.is_file():
+                return pins
+    return None
+
+
+# -- comparison --------------------------------------------------------------
+
+
+def _compare_entry(name: str, pinned: dict, current: dict) -> Optional[Tuple[str, str]]:
+    """(kind, message) for one pinned stage, or None if in sync."""
+    fp_same = pinned.get("fingerprint") == current["fingerprint"]
+    version_same = pinned.get("stage_version") == current["stage_version"]
+    if fp_same and version_same:
+        return None
+    if fp_same:
+        return (
+            "stale-pin",
+            f"stage `{name}` bumped Stage.version "
+            f"{pinned.get('stage_version')} → {current['stage_version']} "
+            "without code changes; re-pin with "
+            "`repro lint --fingerprints-update`",
+        )
+    if version_same:
+        return (
+            "drift",
+            f"stage `{name}` (version {current['stage_version']}) changed "
+            "behind its cache keys: the normalized AST of its run function "
+            "or a transitive callee no longer matches "
+            f"{FINGERPRINT_FILENAME}; bump Stage.version if behaviour "
+            "changed (cached artifacts are stale otherwise), or re-pin "
+            "with `repro lint --fingerprints-update` if the edit is "
+            "provably behaviour-preserving",
+        )
+    return (
+        "stale-pin",
+        f"stage `{name}` changed with a Stage.version bump "
+        f"({pinned.get('stage_version')} → {current['stage_version']}); "
+        f"re-pin with `repro lint --fingerprints-update` so "
+        f"{FINGERPRINT_FILENAME} matches HEAD",
+    )
+
+
+def check_fingerprints(
+    paths: Sequence[Path],
+    pin_path: Optional[Path] = None,
+) -> Tuple[List[Finding], Optional[Path], Dict[str, dict]]:
+    """Whole-tree fingerprint check for ``repro lint --fingerprints``.
+
+    Returns (findings, pin file path, current stage entries).  Unlike
+    the per-module rule this also reports stages missing from the pin
+    file and pins whose stage no longer exists.
+    """
+    from .engine import collect_files  # local import: engine imports us
+
+    files = collect_files(paths)
+    index = ProgramIndex.build(files)
+    current = compute_fingerprints(index)
+    if pin_path is None:
+        pin_path = discover_fingerprints([Path(p) for p in paths])
+    pinned: Dict[str, dict] = {}
+    if pin_path is not None and pin_path.is_file():
+        pinned = load_fingerprints(pin_path)
+
+    findings: List[Finding] = []
+    for name in sorted(current):
+        entry = current[name]
+        if name not in pinned:
+            findings.append(Finding(
+                path=entry["scope_path"],
+                line=entry["line"],
+                col=0,
+                rule="stage-fingerprint",
+                message=(
+                    f"stage `{name}` is not pinned in "
+                    f"{FINGERPRINT_FILENAME}; run "
+                    "`repro lint --fingerprints-update`"
+                ),
+                snippet=f"stage {name}",
+            ))
+            continue
+        verdict = _compare_entry(name, pinned[name], entry)
+        if verdict is not None:
+            findings.append(Finding(
+                path=entry["scope_path"],
+                line=entry["line"],
+                col=0,
+                rule="stage-fingerprint",
+                message=verdict[1],
+                snippet=f"stage {name}",
+            ))
+    for name in sorted(set(pinned) - set(current)):
+        findings.append(Finding(
+            path=FINGERPRINT_FILENAME,
+            line=1,
+            col=0,
+            rule="stage-fingerprint",
+            message=(
+                f"pinned stage `{name}` no longer exists in the tree; "
+                "run `repro lint --fingerprints-update` to prune it"
+            ),
+            snippet=f"stage {name}",
+        ))
+    return findings, pin_path, current
+
+
+# -- the per-module rule -----------------------------------------------------
+
+
+@register_rule(
+    "stage-fingerprint",
+    severity="error",
+    description=(
+        "a registered stage's normalized AST (run body + transitive callee "
+        "closure) must match the committed stage-fingerprints.json unless "
+        "Stage.version was bumped and the file re-pinned"
+    ),
+)
+def check_stage_fingerprint(module: SourceModule) -> List[Finding]:
+    """Drift findings for stages defined in this module.
+
+    Only stages pinned under this module's dotted name are compared, so
+    fixture trees and scratch packages with their own ``register_stage``
+    shims stay silent; unpinned/orphaned enforcement lives in the
+    whole-tree ``--fingerprints`` check and its tier-1/CI gates.
+    """
+    pin_path = discover_fingerprints([module.root])
+    if pin_path is None:
+        return []
+    try:
+        pinned = load_fingerprints(pin_path)
+    except (ValueError, OSError, json.JSONDecodeError):
+        return []
+    index = program_index_for_root(module.root)
+    current = compute_fingerprints(index)
+    findings = []
+    for name, entry in sorted(current.items()):
+        if entry["scope_path"] != module.scope_path:
+            continue
+        pin = pinned.get(name)
+        if pin is None or pin.get("module") != entry["module"]:
+            continue
+        verdict = _compare_entry(name, pin, entry)
+        if verdict is not None:
+            findings.append(module.finding(
+                (entry["line"], 0), "stage-fingerprint", verdict[1]
+            ))
+    return findings

@@ -1,0 +1,524 @@
+"""Interprocedural key-taint: nondeterminism must not reach cache keys.
+
+The per-file ``determinism`` rule bans wall-clock and stateful-RNG
+*calls* in key-relevant scopes, and sets *lexically inside* a key
+expression.  What it cannot see is propagation: a helper that returns
+``time.time()``, assigned to a local, passed through two more calls,
+and finally hashed.  Content-addressed caching breaks silently the
+moment that happens — the same spec hashes differently per host or per
+process, so every campaign re-runs (best case) or two hosts disagree
+about what a key names (worst case).
+
+This rule tracks taint from nondeterministic **sources**
+
+* wall clock — ``time.time``/``monotonic``/``perf_counter`` (+ ``_ns``
+  variants), ``datetime.now``/``utcnow``/``today``, and the sanctioned
+  ``repro.utils.clock`` helpers (fine for *metadata*, never for keys);
+* stateful RNG — ``random.*``, ``np.random.<stateful>``, ``uuid.uuid4``;
+* environment — ``os.environ`` / ``os.getenv``;
+* process identity — ``os.getpid``/``getppid``/``uname``,
+  ``socket.gethostname``, ``platform.node``, ``uuid.uuid1``;
+* set iteration order — set literals/comprehensions, ``set()`` /
+  ``frozenset()`` calls (salted per process);
+
+through local assignments, returns of in-tree functions (via the
+:mod:`.callgraph` call edges), and argument→parameter forwarding into
+key **sinks**: ``stable_hash``, ``spec_hash``, ``key_fn``, and any
+``*_key`` call.  Each finding carries the full source→sink chain so the
+fix site is obvious from the report alone.
+
+Precision notes (deliberate, matching the other rules' trade): tracking
+is name-based and first-witness — one chain per sink argument, no alias
+or attribute-field sensitivity, and a call whose argument is tainted is
+assumed to return a tainted value unless it is a known cleanser
+(``sorted`` erases set order; ``len``/``bool``/friends erase value
+taint).  Sources appearing *lexically inside* a sink argument stay the
+``determinism`` rule's findings; this rule only reports flows with at
+least one propagation step, so the two never double-report one line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .callgraph import (
+    MODULE_BODY,
+    FunctionInfo,
+    ProgramIndex,
+    attr_chain,
+    program_index_for_root,
+)
+from .context import SourceModule
+from .findings import Finding
+from .rules import register_rule
+
+__all__ = ["analyze_index", "check_key_taint"]
+
+_NP_ROOTS = {"np", "numpy"}
+_NP_RANDOM_STATEFUL = {
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "bytes", "uniform", "normal", "standard_normal", "choice",
+    "shuffle", "permutation", "get_state", "set_state",
+}
+_WALL_CLOCK_TAILS = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+}
+_DATETIME_TAILS = {"now", "utcnow", "today"}
+_CLOCK_HELPERS = {"wall_time_unix", "utc_now_iso"}
+
+#: Callables whose result is order- and value-independent of the input.
+_FULL_CLEANSERS = {"len", "bool", "isinstance", "type", "callable", "id"}
+#: Callables that erase set-iteration-order taint but keep value taint.
+_ORDER_CLEANSERS = {"sorted", "min", "max", "sum", "any", "all"}
+
+_SINK_TAILS = {"stable_hash", "spec_hash", "key_fn"}
+_SINK_SUFFIX = "_key"
+
+#: Direct (zero-hop) findings of these kinds are the per-file
+#: ``determinism`` rule's territory — skipping them here keeps one
+#: violation one finding.
+_LEXICAL_KINDS = {"wall-clock", "rng", "set-order"}
+
+_KIND_LABEL = {
+    "wall-clock": "wall-clock",
+    "rng": "stateful-RNG",
+    "environment": "environment",
+    "process-identity": "process-identity",
+    "set-order": "set-iteration-order",
+}
+
+_PARAM_KIND = "<param>"
+_MAX_ROUNDS = 10
+
+
+def _source_kind(chain: List[str]) -> Optional[str]:
+    tail = chain[-1]
+    if chain[0] == "time" and tail in _WALL_CLOCK_TAILS:
+        return "wall-clock"
+    if tail in _DATETIME_TAILS and (
+        "datetime" in chain[:-1] or "date" in chain[:-1]
+    ):
+        return "wall-clock"
+    if tail in _CLOCK_HELPERS:
+        return "wall-clock"
+    if chain[0] == "random" and len(chain) == 2:
+        return "rng"
+    if (
+        len(chain) == 3
+        and chain[0] in _NP_ROOTS
+        and chain[1] == "random"
+        and chain[2] in _NP_RANDOM_STATEFUL
+    ):
+        return "rng"
+    if chain[0] == "uuid" and tail == "uuid4":
+        return "rng"
+    if chain[0] == "uuid" and tail == "uuid1":
+        return "process-identity"
+    if chain[0] == "os" and ("environ" in chain or tail == "getenv"):
+        return "environment"
+    if chain[0] == "os" and tail in ("getpid", "getppid", "uname"):
+        return "process-identity"
+    if tail == "gethostname" or chain == ["platform", "node"]:
+        return "process-identity"
+    return None
+
+
+def _is_sink_tail(tail: str) -> bool:
+    return tail in _SINK_TAILS or tail.endswith(_SINK_SUFFIX)
+
+
+@dataclass(frozen=True)
+class Taint:
+    """A tracked value: what kind of nondeterminism, and the witness
+    chain of steps that carried it here."""
+
+    kind: str
+    steps: Tuple[str, ...]
+    direct: bool  # True while no name binding / call edge was crossed
+
+    def via(self, step: str) -> "Taint":
+        return Taint(self.kind, self.steps + (step,), False)
+
+    def indirect(self) -> "Taint":
+        return self if not self.direct else Taint(self.kind, self.steps, False)
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    """A taint finding before it is bound to a SourceModule."""
+
+    scope_path: str
+    line: int
+    col: int
+    message: str
+    chain: Tuple[str, ...]
+
+
+def _ordered_stmts(root: ast.AST) -> List[ast.stmt]:
+    """Statements of ``root``'s own body in source order, not descending
+    into nested function definitions (classes are transparent)."""
+    out: List[ast.stmt] = []
+
+    def rec(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(child, ast.stmt):
+                out.append(child)
+            rec(child)
+
+    rec(root)
+    return out
+
+
+class _Flow:
+    """One pass of name-based taint flow over one function body."""
+
+    def __init__(
+        self,
+        index: ProgramIndex,
+        info: FunctionInfo,
+        return_taints: Dict[str, Taint],
+        summaries: Dict[str, Dict[str, Tuple[str, ...]]],
+        mark_params: bool,
+    ) -> None:
+        self.index = index
+        self.info = info
+        self.return_taints = return_taints
+        self.summaries = summaries
+        self.tainted: Dict[str, Taint] = {}
+        self.return_taint: Optional[Taint] = None
+        self.findings: List[RawFinding] = []
+        self.param_summary: Dict[str, Tuple[str, ...]] = {}
+        self.sites = {
+            (site.line, site.col, site.raw): site for site in info.calls
+        }
+        if mark_params:
+            for param in info.params:
+                if param in ("self", "cls"):
+                    continue
+                self.tainted[param] = Taint(f"{_PARAM_KIND}{param}", (), False)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _step(self, text: str, node: ast.AST) -> str:
+        return f"{text} ({self.info.scope_path}:{node.lineno})"
+
+    def _site_for(self, call: ast.Call):
+        chain = attr_chain(call.func)
+        if chain is None:
+            return None
+        return self.sites.get((call.lineno, call.col_offset, ".".join(chain)))
+
+    def _arg_param_pairs(self, call: ast.Call, callee: FunctionInfo, implicit_self: bool):
+        """(param name, argument expr) pairs for a resolved call."""
+        offset = 1 if implicit_self and callee.params[:1] in (("self",), ("cls",)) else 0
+        pairs = []
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            idx = offset + i
+            if idx < len(callee.params):
+                pairs.append((callee.params[idx], arg))
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in callee.params:
+                pairs.append((kw.arg, kw.value))
+        return pairs
+
+    # -- expression taint ---------------------------------------------------
+
+    def expr_taint(self, expr: ast.AST) -> Optional[Taint]:
+        if isinstance(expr, ast.Call):
+            return self._call_taint(expr)
+        if isinstance(expr, ast.Name):
+            return self.tainted.get(expr.id)
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return Taint("set-order", (self._step("set literal", expr),), True)
+        if isinstance(expr, ast.Attribute):
+            chain = attr_chain(expr)
+            if chain and chain[0] == "os" and chain[-1] == "environ":
+                return Taint(
+                    "environment", (self._step("`os.environ`", expr),), True
+                )
+            return self.expr_taint(expr.value)
+        if isinstance(expr, ast.Lambda):
+            return None
+        for child in ast.iter_child_nodes(expr):
+            taint = self.expr_taint(child)
+            if taint is not None:
+                return taint
+        return None
+
+    def arg_taints(self, arg: ast.AST) -> List[Taint]:
+        """All taints reaching one sink/forwarded argument, one witness
+        per kind.  ``expr_taint`` is first-witness, so a dict mixing a
+        clean spec and a tainted salt would otherwise report whichever
+        the traversal met first; here every subexpression gets a look."""
+        taints: List[Taint] = []
+        seen = set()
+        stack: List[ast.AST] = [arg]
+        while stack:
+            node = stack.pop(0)
+            taint = self.expr_taint(node)
+            if taint is not None and taint.kind not in seen:
+                seen.add(taint.kind)
+                taints.append(taint)
+            if not isinstance(node, ast.Lambda):
+                stack.extend(
+                    child
+                    for child in ast.iter_child_nodes(node)
+                    if isinstance(child, ast.expr)
+                )
+        return taints
+
+    def _call_taint(self, call: ast.Call) -> Optional[Taint]:
+        chain = attr_chain(call.func)
+        args = list(call.args) + [kw.value for kw in call.keywords]
+        if chain is not None and len(chain) == 1:
+            if chain[0] in _FULL_CLEANSERS:
+                return None
+            if chain[0] in _ORDER_CLEANSERS:
+                for arg in args:
+                    taint = self.expr_taint(arg)
+                    if taint is not None and taint.kind != "set-order":
+                        return taint.indirect()
+                return None
+            if chain[0] in ("set", "frozenset"):
+                return Taint(
+                    "set-order", (self._step(f"`{chain[0]}(...)`", call),), True
+                )
+        if chain is not None:
+            kind = _source_kind(chain)
+            if kind is not None:
+                dotted = ".".join(chain)
+                return Taint(kind, (self._step(f"`{dotted}()`", call),), True)
+        site = self._site_for(call)
+        if site is not None and site.callee in self.return_taints:
+            callee = self.index.functions[site.callee]
+            base = self.return_taints[site.callee]
+            return base.via(self._step(f"returned by `{callee.display}()`", call))
+        # Unknown or un-summarized callee: a tainted argument is assumed
+        # to taint the result (str(), json.dumps(), wrappers, ...).
+        for arg in args:
+            taint = self.expr_taint(arg)
+            if taint is not None:
+                return taint.indirect()
+        return None
+
+    # -- statement flow -----------------------------------------------------
+
+    def _taint_targets(self, targets: List[ast.expr], taint: Taint) -> None:
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.tainted[target.id] = taint
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                self._taint_targets(list(target.elts), taint)
+            elif isinstance(target, ast.Starred):
+                self._taint_targets([target.value], taint)
+
+    def bind(self) -> None:
+        stmts = _ordered_stmts(self.info.node)
+        for _ in range(2):  # second pass stabilizes loop-carried flows
+            for stmt in stmts:
+                self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self.expr_taint(stmt.value)
+            if taint is not None:
+                self._taint_targets(stmt.targets, taint.indirect())
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            taint = self.expr_taint(stmt.value)
+            if taint is not None:
+                self._taint_targets([stmt.target], taint.indirect())
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.expr_taint(stmt.value)
+            if taint is not None:
+                self._taint_targets([stmt.target], taint.indirect())
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = self.expr_taint(stmt.iter)
+            if taint is not None:
+                # Iterating a salted-order container makes the loop
+                # variable's *sequence* nondeterministic too.
+                self._taint_targets([stmt.target], taint.indirect())
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    taint = self.expr_taint(item.context_expr)
+                    if taint is not None:
+                        self._taint_targets(
+                            [item.optional_vars], taint.indirect()
+                        )
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            taint = self.expr_taint(stmt.value)
+            if taint is not None and self.return_taint is None:
+                self.return_taint = taint.indirect()
+
+    # -- sinks --------------------------------------------------------------
+
+    def scan_sinks(self) -> None:
+        from .callgraph import _own_statements_and_exprs
+
+        for node in _own_statements_and_exprs(self.info.node):
+            if isinstance(node, ast.Call):
+                self._check_call(node)
+
+    def _check_call(self, call: ast.Call) -> None:
+        chain = attr_chain(call.func)
+        tail = chain[-1] if chain else None
+        args = list(call.args) + [kw.value for kw in call.keywords]
+        if tail is not None and _is_sink_tail(tail):
+            for arg in args:
+                for taint in self.arg_taints(arg):
+                    if taint.kind.startswith(_PARAM_KIND):
+                        # Records a summary hop, not a local finding:
+                        # the real source lives in some caller.
+                        param = taint.kind[len(_PARAM_KIND):]
+                        if param not in self.param_summary:
+                            self.param_summary[param] = taint.steps + (
+                                self._step(f"feeds `{tail}(...)`", call),
+                            )
+                        continue
+                    if taint.direct and taint.kind in _LEXICAL_KINDS:
+                        continue  # the determinism rule owns zero-hop cases
+                    self._emit(call, tail, taint)
+            return
+        site = self._site_for(call)
+        if site is None or site.callee is None:
+            return
+        summary = self.summaries.get(site.callee)
+        if not summary:
+            return
+        callee = self.index.functions[site.callee]
+        for param, arg in self._arg_param_pairs(call, callee, site.implicit_self):
+            hops = summary.get(param)
+            if hops is None:
+                continue
+            forward = self._step(
+                f"passed to `{callee.display}({param}=…)`", call
+            )
+            for taint in self.arg_taints(arg):
+                if taint.kind.startswith(_PARAM_KIND):
+                    own = taint.kind[len(_PARAM_KIND):]
+                    if own not in self.param_summary:
+                        self.param_summary[own] = (
+                            taint.steps + (forward,) + hops
+                        )
+                    continue
+                sink_tail = (
+                    hops[-1].split("`")[1].split("(")[0] if hops else "key"
+                )
+                chained = Taint(
+                    taint.kind, taint.steps + (forward,) + hops, False
+                )
+                self._emit(call, sink_tail, chained, steps_complete=True)
+
+    def _emit(
+        self,
+        call: ast.Call,
+        tail: str,
+        taint: Taint,
+        steps_complete: bool = False,
+    ) -> None:
+        steps = taint.steps
+        if not steps_complete:
+            steps = steps + (self._step(f"feeds `{tail}(...)`", call),)
+        label = _KIND_LABEL.get(taint.kind, taint.kind)
+        message = (
+            f"{label} value flows into cache key `{tail}(...)`: "
+            + " → ".join(steps)
+            + "; keys must be pure functions of the spec — carry runtime "
+            "state in artifacts/metadata and bump Stage.version for "
+            "behaviour changes"
+        )
+        self.findings.append(
+            RawFinding(
+                scope_path=self.info.scope_path,
+                line=call.lineno,
+                col=call.col_offset,
+                message=message,
+                chain=steps,
+            )
+        )
+
+
+def _run_flow(
+    index: ProgramIndex,
+    info: FunctionInfo,
+    return_taints: Dict[str, Taint],
+    summaries: Dict[str, Dict[str, Tuple[str, ...]]],
+) -> _Flow:
+    flow = _Flow(index, info, return_taints, summaries, mark_params=True)
+    flow.bind()
+    flow.scan_sinks()
+    return flow
+
+
+def analyze_index(index: ProgramIndex) -> Dict[str, List[RawFinding]]:
+    """All key-taint findings for one program, grouped by scope path.
+
+    Runs two interleaved fixpoints — which functions *return* taint, and
+    which function *parameters* reach a sink — then a final pass that
+    reports real source→sink flows.  Cached on the index, so N linted
+    files cost one analysis.
+    """
+    if index.taint_cache is not None:
+        return index.taint_cache
+
+    return_taints: Dict[str, Taint] = {}
+    summaries: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+    functions = sorted(index.functions.values(), key=lambda f: f.qname)
+
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for info in functions:
+            flow = _run_flow(index, info, return_taints, summaries)
+            rt = flow.return_taint
+            if rt is not None and rt.kind.startswith(_PARAM_KIND):
+                rt = None  # identity-ish returns are handled as passthrough
+            if rt is not None and return_taints.get(info.qname) != rt:
+                return_taints[info.qname] = rt
+                changed = True
+            if flow.param_summary and summaries.get(info.qname) != flow.param_summary:
+                summaries[info.qname] = dict(flow.param_summary)
+                changed = True
+        if not changed:
+            break
+
+    findings: Dict[str, List[RawFinding]] = {}
+    for info in functions:
+        flow = _run_flow(index, info, return_taints, summaries)
+        for raw in flow.findings:
+            findings.setdefault(raw.scope_path, []).append(raw)
+    index.taint_cache = findings
+    return findings
+
+
+_TAINT_SCOPES = (
+    "analysis/", "api/", "core/", "datasets/", "extensions/",
+    "netsim/", "nn/", "obs/", "runtime/", "utils/", "lint/",
+)
+
+
+@register_rule(
+    "key-taint",
+    severity="error",
+    description=(
+        "interprocedural flow of wall-clock/RNG/environment/host/set-order "
+        "values into stable_hash/key functions, with the full source→sink "
+        "call chain"
+    ),
+    scopes=_TAINT_SCOPES,
+)
+def check_key_taint(module: SourceModule) -> List[Finding]:
+    index = program_index_for_root(module.root)
+    per_scope = analyze_index(index)
+    return [
+        module.finding(
+            (raw.line, raw.col), "key-taint", raw.message, chain=raw.chain
+        )
+        for raw in per_scope.get(module.scope_path, [])
+    ]

@@ -1,0 +1,22 @@
+"""Known-bad: the racing write hides one self-call hop away from the
+thread entry point, where the per-method rule used to be blind."""
+
+import threading
+
+
+class Pump:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._thread = None
+        self.level = 0
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run)
+        self.level = 1
+        self._thread.start()
+
+    def _run(self):
+        self._step()
+
+    def _step(self):
+        self.level = 2

@@ -1,0 +1,24 @@
+"""Clean mirror: the helper write is guard-covered — its only call
+site holds the lock one frame up — and the direct write is guarded."""
+
+import threading
+
+
+class Pump:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._thread = None
+        self.level = 0
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run)
+        with self._lock:
+            self.level = 1
+        self._thread.start()
+
+    def _run(self):
+        with self._lock:
+            self._step()
+
+    def _step(self):
+        self.level = 2

@@ -1,0 +1,29 @@
+"""Known-bad interprocedural flows into cache keys."""
+
+import os
+import time
+
+from api.hashing import stable_hash
+
+
+def _stamp():
+    return time.time()
+
+
+def stamped_key(spec):
+    salt = _stamp()
+    return stable_hash({"spec": spec, "salt": salt})
+
+
+def env_key(spec):
+    mode = os.environ.get("REPRO_MODE", "fast")
+    return _digest({"spec": spec, "mode": mode})
+
+
+def _digest(payload):
+    return stable_hash(payload)
+
+
+def order_key(items):
+    unique = set(items)
+    return stable_hash(list(unique))

@@ -1,0 +1,9 @@
+"""Known-bad: host identity crossing modules into a task key."""
+
+from api.hashing import stable_hash
+from runtime.ident import host_tag
+
+
+def task_key(spec):
+    tag = host_tag()
+    return stable_hash({"spec": spec, "host": tag})

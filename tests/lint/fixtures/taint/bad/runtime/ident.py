@@ -1,0 +1,7 @@
+"""Fixture helper module: a process-identity source behind a function."""
+
+import socket
+
+
+def host_tag():
+    return socket.gethostname()

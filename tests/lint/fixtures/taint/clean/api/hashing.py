@@ -1,0 +1,9 @@
+"""Fixture sink: the local stand-in for repro.api.hashing."""
+
+import hashlib
+import json
+
+
+def stable_hash(obj, length=16):
+    payload = json.dumps(obj, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:length]

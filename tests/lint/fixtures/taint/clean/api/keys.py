@@ -1,0 +1,21 @@
+"""Clean mirrors: wall time may flow into metadata, never into keys."""
+
+import time
+
+from api.hashing import stable_hash
+
+
+def _stamp():
+    return time.time()  # repro: allow(determinism): fixture mirror of the sanctioned clock helper
+
+
+def spec_key(spec):
+    return stable_hash({"spec": spec})
+
+
+def result_with_metadata(spec):
+    return {"key": spec_key(spec), "wall_time": _stamp()}
+
+
+def order_key(items):
+    return stable_hash(sorted(set(items)))

@@ -1,0 +1,12 @@
+"""Clean mirror: host identity stays in run metadata, not in keys."""
+
+from api.hashing import stable_hash
+from runtime.ident import host_tag
+
+
+def task_key(spec):
+    return stable_hash({"spec": spec})
+
+
+def manifest_row(spec):
+    return {"key": task_key(spec), "host": host_tag()}

@@ -1,0 +1,133 @@
+"""``repro lint --changed``: the git-aware pre-commit fast path.
+
+Per-file rules shrink to the files differing from the merge base (plus
+untracked files); stage fingerprints stay repo-wide, because a helper
+edit in an unchanged stage module can still drift a pinned closure.
+Outside a git work tree the flag degrades to a full scan.
+"""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import changed_files, run_lint
+from repro.lint.fingerprint import (
+    FINGERPRINT_FILENAME,
+    check_fingerprints,
+    save_fingerprints,
+)
+
+BAD = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def _git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", *args], cwd=repo, check=True, capture_output=True
+    )
+
+
+@pytest.fixture
+def repo(tmp_path):
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "config", "user.email", "lint@test")
+    _git(tmp_path, "config", "user.name", "lint")
+    netsim = tmp_path / "netsim"
+    netsim.mkdir()
+    (netsim / "stale.py").write_text(BAD, encoding="utf-8")
+    (netsim / "edited.py").write_text(
+        "def stamp():\n    return 0.0\n", encoding="utf-8"
+    )
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-qm", "seed")
+    return tmp_path
+
+
+class TestChangedFiles:
+    def test_modified_and_untracked_are_listed(self, repo):
+        (repo / "netsim" / "edited.py").write_text(BAD, encoding="utf-8")
+        (repo / "netsim" / "fresh.py").write_text(BAD, encoding="utf-8")
+        changed = changed_files(repo)
+        assert changed == {
+            (repo / "netsim" / "edited.py").resolve(),
+            (repo / "netsim" / "fresh.py").resolve(),
+        }
+
+    def test_outside_git_returns_none(self, tmp_path):
+        outside = tmp_path / "plain"
+        outside.mkdir()
+        assert changed_files(outside) is None
+
+
+class TestChangedLint:
+    def test_only_changed_files_are_linted(self, repo):
+        # stale.py was committed bad; only the post-commit edit should
+        # surface, which is exactly what makes the mode a fast path.
+        (repo / "netsim" / "edited.py").write_text(BAD, encoding="utf-8")
+        report = run_lint([repo], use_baseline=False, changed_only=True)
+        assert {f.path for f in report.findings} == {"netsim/edited.py"}
+
+    def test_untracked_file_is_linted(self, repo):
+        (repo / "netsim" / "fresh.py").write_text(BAD, encoding="utf-8")
+        report = run_lint([repo], use_baseline=False, changed_only=True)
+        assert {f.path for f in report.findings} == {"netsim/fresh.py"}
+
+    def test_clean_worktree_lints_nothing(self, repo):
+        report = run_lint([repo], use_baseline=False, changed_only=True)
+        assert report.findings == []
+
+    def test_no_git_falls_back_to_full_scan(self, tmp_path):
+        netsim = tmp_path / "netsim"
+        netsim.mkdir()
+        (netsim / "a.py").write_text(BAD, encoding="utf-8")
+        report = run_lint([tmp_path], use_baseline=False, changed_only=True)
+        assert {f.path for f in report.findings} == {"netsim/a.py"}
+
+    def test_cli_flag(self, repo, capsys):
+        (repo / "netsim" / "edited.py").write_text(BAD, encoding="utf-8")
+        assert main(["lint", str(repo), "--no-baseline", "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "edited.py" in out
+        assert "stale.py" not in out
+
+    def test_fingerprints_stay_repo_wide(self, repo):
+        # A committed pin + a helper edit in a file the per-file pass
+        # *does* see, drifting a stage module it does *not* see: the
+        # drift must still be reported.
+        pkg = repo / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "registry.py").write_text(
+            "def register_stage(name, version=0):\n"
+            "    def wrap(fn):\n"
+            "        return fn\n"
+            "    return wrap\n",
+            encoding="utf-8",
+        )
+        (pkg / "util.py").write_text(
+            "def scale(x):\n    return x * 2\n", encoding="utf-8"
+        )
+        (pkg / "stages.py").write_text(
+            "from .registry import register_stage\n"
+            "from .util import scale\n"
+            "\n"
+            "\n"
+            '@register_stage("alpha", version=0)\n'
+            "def _stage_alpha(ctx):\n"
+            "    return scale(ctx)\n",
+            encoding="utf-8",
+        )
+        pin_path = repo / FINGERPRINT_FILENAME
+        _, _, current = check_fingerprints([repo], pin_path=pin_path)
+        save_fingerprints(pin_path, current)
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "-qm", "pin stages")
+
+        (pkg / "util.py").write_text(
+            "def scale(x):\n    return x * 3\n", encoding="utf-8"
+        )
+        report = run_lint([repo], use_baseline=False, changed_only=True)
+        fp = [f for f in report.findings if f.rule == "stage-fingerprint"]
+        assert [f.snippet for f in fp] == ["stage alpha"]
+        assert fp[0].path == "pkg/stages.py"

@@ -1,0 +1,200 @@
+"""Stage fingerprints: what moves them, what must not, and the pin
+file's full lifecycle (update → check → drift → re-pin) through the CLI.
+
+The contract under test is the one the cache depends on: a fingerprint
+is a pure function of stage *behaviour* — run body plus transitive
+callee closure, normalized AST — so cosmetic edits (comments,
+docstrings, formatting) keep it byte-identical while any semantic edit,
+including one buried in a helper, changes it.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint.callgraph import program_index_for_root
+from repro.lint.fingerprint import (
+    FINGERPRINT_FILENAME,
+    check_fingerprints,
+    compute_fingerprints,
+    load_fingerprints,
+    save_fingerprints,
+)
+
+REGISTRY = (
+    "def register_stage(name, version=0):\n"
+    "    def wrap(fn):\n"
+    "        return fn\n"
+    "    return wrap\n"
+)
+
+UTIL = "def scale(x):\n    return x * 2\n"
+
+STAGES = (
+    "from .registry import register_stage\n"
+    "from .util import scale\n"
+    "\n"
+    "\n"
+    '@register_stage("alpha", version=0)\n'
+    "def _stage_alpha(ctx):\n"
+    '    """Docstring, first take."""\n'
+    "    # a comment the fingerprint must not see\n"
+    "    value = scale(ctx)\n"
+    "    return value\n"
+    "\n"
+    "\n"
+    '@register_stage("beta", version=0)\n'
+    "def _stage_beta(ctx):\n"
+    "    return 2\n"
+)
+
+# Same AST as STAGES: docstring reworded, comment dropped, blank lines
+# and argument spacing shuffled.
+STAGES_COSMETIC = (
+    "from .registry import register_stage\n"
+    "from .util import scale\n"
+    "\n"
+    '@register_stage("alpha", version=0)\n'
+    "def _stage_alpha(ctx):\n"
+    '    "Docstring, reworded and reformatted."\n'
+    "    value = scale( ctx )\n"
+    "\n"
+    "    return value\n"
+    "\n"
+    "\n"
+    "\n"
+    '@register_stage("beta", version=0)\n'
+    "def _stage_beta(ctx):\n"
+    "    return 2\n"
+)
+
+
+def _write_pkg(root: Path, stages_src: str = STAGES, util_src: str = UTIL):
+    pkg = root / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "registry.py").write_text(REGISTRY, encoding="utf-8")
+    (pkg / "util.py").write_text(util_src, encoding="utf-8")
+    (pkg / "stages.py").write_text(stages_src, encoding="utf-8")
+    return pkg
+
+
+def _fingerprints(root: Path):
+    return {
+        name: entry["fingerprint"]
+        for name, entry in compute_fingerprints(
+            program_index_for_root(root)
+        ).items()
+    }
+
+
+class TestStability:
+    def test_cosmetic_edits_keep_fingerprints_byte_identical(self, tmp_path):
+        _write_pkg(tmp_path)
+        before = _fingerprints(tmp_path)
+        assert set(before) == {"alpha", "beta"}
+        _write_pkg(tmp_path, stages_src=STAGES_COSMETIC)
+        assert _fingerprints(tmp_path) == before
+
+    def test_body_edit_changes_only_that_stage(self, tmp_path):
+        _write_pkg(tmp_path)
+        before = _fingerprints(tmp_path)
+        edited = STAGES.replace("return value\n", "return value + 1\n")
+        _write_pkg(tmp_path, stages_src=edited)
+        after = _fingerprints(tmp_path)
+        assert after["alpha"] != before["alpha"]
+        assert after["beta"] == before["beta"]
+
+    def test_helper_edit_drifts_the_callee_closure(self, tmp_path):
+        # alpha reaches scale(); beta does not.  Editing the helper is a
+        # behaviour change for alpha alone.
+        _write_pkg(tmp_path)
+        before = _fingerprints(tmp_path)
+        _write_pkg(tmp_path, util_src="def scale(x):\n    return x * 3\n")
+        after = _fingerprints(tmp_path)
+        assert after["alpha"] != before["alpha"]
+        assert after["beta"] == before["beta"]
+
+
+class TestCheck:
+    def _pin(self, tmp_path):
+        _write_pkg(tmp_path)
+        pin_path = tmp_path / FINGERPRINT_FILENAME
+        _, _, current = check_fingerprints([tmp_path], pin_path=pin_path)
+        save_fingerprints(pin_path, current)
+        return pin_path
+
+    def test_in_sync_tree_is_clean(self, tmp_path):
+        pin_path = self._pin(tmp_path)
+        findings, found_path, _ = check_fingerprints([tmp_path])
+        assert findings == []
+        assert found_path == pin_path
+
+    def test_unversioned_body_edit_is_drift(self, tmp_path):
+        self._pin(tmp_path)
+        edited = STAGES.replace("return value\n", "return value + 1\n")
+        _write_pkg(tmp_path, stages_src=edited)
+        findings, _, _ = check_fingerprints([tmp_path])
+        assert [f.snippet for f in findings] == ["stage alpha"]
+        assert "bump Stage.version" in findings[0].message
+        assert findings[0].path == "pkg/stages.py"
+
+    def test_version_bump_without_repin_is_stale(self, tmp_path):
+        self._pin(tmp_path)
+        edited = STAGES.replace(
+            '"alpha", version=0', '"alpha", version=1'
+        ).replace("return value\n", "return value + 1\n")
+        _write_pkg(tmp_path, stages_src=edited)
+        findings, _, _ = check_fingerprints([tmp_path])
+        assert [f.snippet for f in findings] == ["stage alpha"]
+        assert "re-pin" in findings[0].message
+        assert "0 → 1" in findings[0].message
+
+    def test_unpinned_and_orphaned_stages_are_reported(self, tmp_path):
+        pin_path = self._pin(tmp_path)
+        pins = load_fingerprints(pin_path)
+        pins["ghost"] = dict(pins["beta"])
+        del pins["beta"]
+        save_fingerprints(pin_path, pins)
+        findings, _, _ = check_fingerprints([tmp_path])
+        by_snippet = {f.snippet: f for f in findings}
+        assert set(by_snippet) == {"stage beta", "stage ghost"}
+        assert "not pinned" in by_snippet["stage beta"].message
+        assert "no longer exists" in by_snippet["stage ghost"].message
+        assert by_snippet["stage ghost"].path == FINGERPRINT_FILENAME
+
+
+class TestCLIRoundTrip:
+    def test_update_check_drift_repin(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        _write_pkg(tmp_path)
+
+        assert main(["lint", str(tmp_path), "--fingerprints-update"]) == 0
+        pin_path = tmp_path / FINGERPRINT_FILENAME
+        assert pin_path.is_file()
+        assert "2 stages" in capsys.readouterr().out
+
+        assert main(["lint", str(tmp_path), "--fingerprints"]) == 0
+        capsys.readouterr()
+
+        edited = STAGES.replace("return value\n", "return value + 1\n")
+        _write_pkg(tmp_path, stages_src=edited)
+        assert main(["lint", str(tmp_path), "--fingerprints"]) == 1
+        assert "alpha" in capsys.readouterr().out
+
+        assert main(["lint", str(tmp_path), "--fingerprints-update"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path), "--fingerprints"]) == 0
+
+    def test_json_payload_names_the_pin_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        _write_pkg(tmp_path)
+        assert main(["lint", str(tmp_path), "--fingerprints-update"]) == 0
+        capsys.readouterr()
+        code = main(
+            ["lint", str(tmp_path), "--fingerprints", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fingerprints"] == str(tmp_path / FINGERPRINT_FILENAME)
+        assert payload["findings"] == []

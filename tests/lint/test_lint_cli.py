@@ -7,7 +7,9 @@ from repro.cli import main
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-FINDING_KEYS = {"rule", "severity", "path", "line", "col", "message", "snippet"}
+FINDING_KEYS = {
+    "rule", "severity", "path", "line", "col", "message", "snippet", "chain",
+}
 
 
 class TestExitCodes:
@@ -37,18 +39,50 @@ class TestJsonFormat:
         ])
         assert code == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert {"active", "suppressed", "baselined"} <= set(payload["counts"])
         assert payload["counts"]["active"] == len(payload["findings"])
+        assert payload["stale_baseline"] == []
         for finding in payload["findings"]:
             assert set(finding) == FINDING_KEYS
             assert finding["severity"] in ("error", "warning")
             assert finding["line"] >= 1
+            assert isinstance(finding["chain"], list)
         rule_names = {rule["name"] for rule in payload["rules"]}
         assert {
             "determinism", "stage-purity", "hot-loop-alloc",
             "async-blocking", "lock-discipline", "pragma",
+            "key-taint", "stage-fingerprint",
         } <= rule_names
+
+    def test_stale_baseline_entries_surface_in_json(self, tmp_path, capsys):
+        # Fixed code whose grandfather entry lingers must be visible to
+        # JSON consumers (CI dashboards), not only in text mode.
+        package = tmp_path / "netsim"
+        package.mkdir()
+        mod = package / "mod.py"
+        mod.write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        baseline = tmp_path / "bl.json"
+        assert main([
+            "lint", str(tmp_path), "--baseline", str(baseline),
+            "--baseline-update",
+        ]) == 0
+        capsys.readouterr()
+        mod.write_text(
+            "def stamp():\n    return 0.0\n", encoding="utf-8"
+        )
+        assert main([
+            "lint", str(tmp_path), "--baseline", str(baseline),
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["stale_baseline"]) == 1
+        entry = payload["stale_baseline"][0]
+        assert entry["rule"] == "determinism"
+        assert entry["path"] == "netsim/mod.py"
 
     def test_clean_json_has_empty_findings(self, capsys):
         code = main([

@@ -6,7 +6,14 @@ fixed, carries a justified inline suppression, or sits in the committed
 any PR must keep green, exactly like the golden bit-identity gates.
 """
 
-from repro.lint import LINT_RULES, default_root, discover_baseline, run_lint
+from repro.lint import (
+    LINT_RULES,
+    check_fingerprints,
+    default_root,
+    discover_baseline,
+    discover_fingerprints,
+    run_lint,
+)
 
 
 def test_repo_lints_clean_at_head():
@@ -35,7 +42,26 @@ def test_the_required_rules_are_registered():
     assert {
         "determinism", "stage-purity", "hot-loop-alloc",
         "async-blocking", "lock-discipline",
+        "key-taint", "stage-fingerprint",
     } <= names
+
+
+def test_committed_fingerprints_match_head():
+    # The pin file is part of the tree's identity: any stage-body or
+    # callee-closure edit must land together with a re-pin (and a
+    # Stage.version bump when behaviour changed), never on its own.
+    findings, pin_path, current = check_fingerprints([default_root()])
+    details = "\n".join(f.format() for f in findings)
+    assert findings == [], f"stage fingerprint drift:\n{details}"
+    assert pin_path is not None
+    assert pin_path.name == "stage-fingerprints.json"
+    assert len(current) >= 10  # every registered stage is pinned
+
+
+def test_fingerprint_discovery_finds_the_committed_file():
+    pins = discover_fingerprints([default_root()])
+    assert pins is not None
+    assert pins.name == "stage-fingerprints.json"
 
 
 def test_baseline_discovery_finds_the_committed_file():

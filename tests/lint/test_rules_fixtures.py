@@ -69,6 +69,21 @@ class TestBadFixtures:
             ("lock-discipline", 18),  # unguarded write in _run()
         ]
 
+    def test_lock_discipline_reaches_helper_methods(self, bad_report):
+        # The write in _step is only reachable through _run (the thread
+        # entry); the call-graph closure must still attribute it to the
+        # spawned thread and flag both racing writes.
+        locations = _locations(bad_report, "serve/bad_lock_helper.py")
+        assert locations == [
+            ("lock-discipline", 15),  # unguarded write in start()
+            ("lock-discipline", 22),  # unguarded write in helper _step()
+        ]
+        helper = [
+            f for f in bad_report.findings
+            if f.path == "serve/bad_lock_helper.py" and f.line == 22
+        ][0]
+        assert "reached from the entry point" in helper.message
+
     def test_pragma_findings(self, bad_report):
         assert _locations(bad_report, "obs/bad_pragma.py") == [
             ("pragma", 3),  # bare allow, no justification
@@ -83,6 +98,7 @@ class TestBadFixtures:
             "nn/bad_hot_loop.py",
             "serve/bad_async.py",
             "serve/bad_locks.py",
+            "serve/bad_lock_helper.py",
             "obs/bad_pragma.py",
         }
         assert {f.path for f in bad_report.findings} == expected_paths

@@ -1,0 +1,143 @@
+"""Key-taint: interprocedural source→sink flows, with exact chains.
+
+The fixture trees under ``fixtures/taint/`` hold flows the per-file
+``determinism`` rule cannot see — a wall-clock read behind a helper
+return, an environment read forwarded through a parameter, host
+identity crossing modules — plus clean mirrors proving the metadata
+path (runtime state in artifacts, never in keys) stays silent.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+TAINT = Path(__file__).parent / "fixtures" / "taint"
+
+
+@pytest.fixture(scope="module")
+def bad_report():
+    return run_lint(
+        [TAINT / "bad"], rule_names=["key-taint"], use_baseline=False
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_report():
+    return run_lint([TAINT / "clean"], use_baseline=False)
+
+
+def _finding(report, path, line):
+    matches = [
+        f for f in report.findings if f.path == path and f.line == line
+    ]
+    assert len(matches) == 1, [f.format() for f in report.findings]
+    return matches[0]
+
+
+class TestBadFlows:
+    def test_every_bad_flow_is_flagged(self, bad_report):
+        assert [(f.path, f.line) for f in bad_report.findings] == [
+            ("api/keys.py", 15),
+            ("api/keys.py", 20),
+            ("api/keys.py", 29),
+            ("runtime/campaign.py", 9),
+        ]
+        assert bad_report.exit_code == 1
+
+    def test_return_chain_through_helper(self, bad_report):
+        finding = _finding(bad_report, "api/keys.py", 15)
+        assert finding.chain == (
+            "`time.time()` (api/keys.py:10)",
+            "returned by `_stamp()` (api/keys.py:14)",
+            "feeds `stable_hash(...)` (api/keys.py:15)",
+        )
+        assert "wall-clock" in finding.message
+
+    def test_param_forwarding_into_sink(self, bad_report):
+        # The environment read never touches stable_hash lexically: it
+        # rides a dict through _digest's parameter.  The finding sits at
+        # the call that injects the taint, and the chain ends at the
+        # real sink inside the callee.
+        finding = _finding(bad_report, "api/keys.py", 20)
+        assert finding.chain == (
+            "`os.environ.get()` (api/keys.py:19)",
+            "passed to `_digest(payload=…)` (api/keys.py:20)",
+            "feeds `stable_hash(...)` (api/keys.py:24)",
+        )
+        assert "environment" in finding.message
+
+    def test_set_order_through_a_variable(self, bad_report):
+        # One assignment hop: lexical set-in-key stays the determinism
+        # rule's finding, the variable-laundered version is ours.
+        finding = _finding(bad_report, "api/keys.py", 29)
+        assert finding.chain == (
+            "`set(...)` (api/keys.py:28)",
+            "feeds `stable_hash(...)` (api/keys.py:29)",
+        )
+
+    def test_cross_module_chain(self, bad_report):
+        finding = _finding(bad_report, "runtime/campaign.py", 9)
+        assert finding.chain == (
+            "`socket.gethostname()` (runtime/ident.py:7)",
+            "returned by `host_tag()` (runtime/campaign.py:8)",
+            "feeds `stable_hash(...)` (runtime/campaign.py:9)",
+        )
+        assert "process-identity" in finding.message
+
+    def test_chain_travels_to_json(self, bad_report):
+        payload = bad_report.to_dict()
+        assert payload["version"] == 2
+        chains = [f["chain"] for f in payload["findings"]]
+        assert all(isinstance(c, list) and c for c in chains)
+
+
+class TestCleanMirrors:
+    def test_zero_false_positives(self, clean_report):
+        # Wall time into metadata, sorted(set(...)) into keys, host tag
+        # into a manifest row: all sanctioned, all silent — under every
+        # rule, not just key-taint.
+        assert clean_report.findings == []
+        assert clean_report.exit_code == 0
+
+
+def test_single_file_scan_still_sees_whole_program(tmp_path):
+    # Linting ONE file must not shrink the call-graph: the program
+    # index is built per lint root, so a chain whose source lives in a
+    # file that was *not* selected for linting still resolves.
+    pkg = tmp_path / "runtime"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "ident.py").write_text(
+        "import socket\n"
+        "\n"
+        "\n"
+        "def host_tag():\n"
+        "    return socket.gethostname()\n",
+        encoding="utf-8",
+    )
+    (pkg / "keys.py").write_text(
+        "from .ident import host_tag\n"
+        "\n"
+        "\n"
+        "def stable_hash(obj):\n"
+        "    return repr(obj)\n"
+        "\n"
+        "\n"
+        "def task_key(spec):\n"
+        "    tag = host_tag()\n"
+        '    return stable_hash({"spec": spec, "host": tag})\n',
+        encoding="utf-8",
+    )
+    report = run_lint(
+        [pkg / "keys.py"], rule_names=["key-taint"], use_baseline=False
+    )
+    assert [(f.path, f.line) for f in report.findings] == [
+        ("runtime/keys.py", 10),
+    ]
+    assert report.findings[0].chain == (
+        "`socket.gethostname()` (runtime/ident.py:5)",
+        "returned by `host_tag()` (runtime/keys.py:9)",
+        "feeds `stable_hash(...)` (runtime/keys.py:10)",
+    )
