@@ -373,6 +373,10 @@ class ArtifactStore:
             for path in directory.glob("*.json"):
                 path.unlink()
                 removed += 1
+            # Campaign journals ride alongside manifests as .jsonl.
+            for path in directory.glob("*.jsonl"):
+                path.unlink()
+                removed += 1
         return removed
 
     @staticmethod
@@ -401,6 +405,8 @@ class ArtifactStore:
         try:
             with open(temp, "wb") as handle:
                 np.savez_compressed(handle, **payload)
+                handle.flush()
+                os.fsync(handle.fileno())
             self._publish(temp, path)
         finally:
             temp.unlink(missing_ok=True)
@@ -425,6 +431,11 @@ class ArtifactStore:
         try:
             with open(temp, "w", encoding="utf-8") as handle:
                 json.dump(document, handle, indent=2, sort_keys=True, default=str)
+                # Durability, not just atomicity: without the fsync a
+                # crash shortly after os.replace can surface a complete
+                # rename pointing at never-flushed data blocks.
+                handle.flush()
+                os.fsync(handle.fileno())
             self._publish(temp, path)
         finally:
             temp.unlink(missing_ok=True)
@@ -451,6 +462,25 @@ class ArtifactStore:
 
     def get_manifest(self, name: str) -> dict[str, object] | None:
         return self.get_json("manifests", name)
+
+    def journal_path(self, campaign_id: str) -> Path:
+        """Where a campaign's append-only journal lives (see
+        :mod:`repro.runtime.journal`); the directory is created.
+
+        ``.jsonl`` keeps journals out of the ``.json`` manifest globs —
+        a journal is a write-ahead log, not a servable JSON record.
+        """
+        path = self.root / "manifests" / f"{campaign_id}.journal.jsonl"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def scratch_dir(self, *parts: str) -> Path:
+        """A created directory under ``<root>/scratch`` for transient
+        coordination state (worker heartbeats, locks) that is neither
+        content-addressed nor schema-stamped."""
+        path = self.root.joinpath("scratch", *parts)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
 
     # -- traces ------------------------------------------------------------------
 
@@ -532,6 +562,8 @@ class ArtifactStore:
         try:
             with open(temp, "w", encoding="utf-8") as handle:
                 json.dump(meta, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             self._publish(temp, meta_path)
         finally:
             temp.unlink(missing_ok=True)

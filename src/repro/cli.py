@@ -112,12 +112,42 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--retries", type=int, default=1, help="re-attempts per failed task"
     )
+    sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock timeout on pool runs (hung workers are "
+             "reaped and the task retried); a spec's per-stage 'timeout_s' "
+             "in stage_params overrides it per task",
+    )
     sweep.add_argument("--epochs", type=int, default=None, help="override training epochs")
     sweep.add_argument(
         "--dry-run", action="store_true",
         help="print the planned task graph and exit without executing",
     )
     _add_cache_options(sweep)
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume a crashed or failed sweep campaign from its journal",
+    )
+    resume.add_argument(
+        "campaign_id",
+        help="the campaign id `repro sweep` printed (its journal lives at "
+             "<store>/manifests/<id>.journal.jsonl)",
+    )
+    resume.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    resume.add_argument(
+        "--retries", type=int, default=1, help="re-attempts per failed task"
+    )
+    resume.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock timeout on pool runs",
+    )
+    resume.add_argument(
+        "--cache-dir", default=None,
+        help="artifact store root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
 
     predict = sub.add_parser("predict", help="serve batched predictions")
     _add_common(predict)
@@ -162,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--batch-size", type=int, default=1024,
         help="forward chunk size of each warm predictor",
+    )
+    serve.add_argument(
+        "--max-pending-windows", type=int, default=4096,
+        help="saturation cap: windows queued per model before requests "
+             "are shed with HTTP 503 + Retry-After",
     )
     _add_cache_options(serve)
 
@@ -425,8 +460,32 @@ def _cmd_sweep(args) -> int:
         return 0
     if store is not None:
         print(f"artifact store: {store.root}")
-    engine = CampaignEngine(store=store, workers=args.workers, retries=args.retries)
+    engine = CampaignEngine(
+        store=store,
+        workers=args.workers,
+        retries=args.retries,
+        task_timeout_s=args.timeout,
+    )
     result = engine.run(plan)
+    print(result.format_summary())
+    return 0 if result.ok else 1
+
+
+def _cmd_resume(args) -> int:
+    from repro.api import ArtifactStore
+    from repro.runtime import CampaignEngine
+
+    store = ArtifactStore(args.cache_dir)
+    engine = CampaignEngine(
+        store=store,
+        workers=args.workers,
+        retries=args.retries,
+        task_timeout_s=args.timeout,
+    )
+    try:
+        result = engine.resume(args.campaign_id)
+    except ValueError as error:
+        raise CLIError(str(error)) from None
     print(result.format_summary())
     return 0 if result.ok else 1
 
@@ -592,6 +651,7 @@ def _cmd_serve(args) -> int:
             max_batch_windows=args.max_batch_windows,
             max_wait_us=args.max_wait_us,
             batch_size=args.batch_size,
+            max_pending_windows=args.max_pending_windows,
         )
         manager = ModelManager(
             store=store,
@@ -808,6 +868,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "resume": _cmd_resume,
     "predict": _cmd_predict,
     "serve": _cmd_serve,
     "cache": _cmd_cache,

@@ -92,7 +92,7 @@ _KEY_FUNC_SUFFIX = "_key"
 
 _DETERMINISM_SCOPES = (
     "analysis/", "api/", "core/", "datasets/", "extensions/",
-    "netsim/", "nn/", "obs/", "runtime/", "utils/", "lint/",
+    "netsim/", "nn/", "obs/", "runtime/", "testing/", "utils/", "lint/",
 )
 
 
@@ -690,10 +690,10 @@ def _guard_covered(
     severity="error",
     description=(
         "attributes written from both the thread-entry call graph and "
-        "other methods in serve//obs/ must be written under a lock, "
-        "including writes in helpers reached from the entry point"
+        "other methods in serve//obs//runtime/ must be written under a "
+        "lock, including writes in helpers reached from the entry point"
     ),
-    scopes=("serve/", "obs/"),
+    scopes=("serve/", "obs/", "runtime/"),
 )
 def check_lock_discipline(module: SourceModule) -> List[Finding]:
     findings = []

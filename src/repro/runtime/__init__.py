@@ -31,6 +31,7 @@ derived from the registry.
 
 from repro.api.stages import STAGE_REGISTRY, Stage, register_stage
 from repro.runtime.engine import CampaignEngine, CampaignResult, run_campaign
+from repro.runtime.journal import CampaignJournal, JournalState, read_journal
 from repro.runtime.plan import (
     CampaignPlan,
     StageTask,
@@ -38,6 +39,7 @@ from repro.runtime.plan import (
     plan_table,
     spec_for_scale,
 )
+from repro.runtime.policy import RetryPolicy
 from repro.runtime.sweep import expand_grid, specs_from_file
 from repro.runtime.worker import execute_stage, run_task
 
@@ -45,6 +47,10 @@ __all__ = [
     "CampaignEngine",
     "CampaignResult",
     "run_campaign",
+    "RetryPolicy",
+    "CampaignJournal",
+    "JournalState",
+    "read_journal",
     "CampaignPlan",
     "StageTask",
     "plan_campaign",

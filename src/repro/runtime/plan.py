@@ -168,6 +168,11 @@ class CampaignPlan:
         self.specs = list(specs)
         self.seed = seed
         self.tasks: dict[str, StageTask] = {}
+        #: the campaign-level stage selection, recorded by
+        #: :func:`plan_campaign` so journals can re-plan the identical
+        #: graph on resume; ``None`` for bespoke plans (tables, tests),
+        #: which journal records but are not resumable.
+        self.stages: tuple[str, ...] | None = None
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -279,6 +284,7 @@ def plan_campaign(
         stages = STAGE_REGISTRY.default_pipeline()
     _validate_sweep_stages(tuple(stages))
     plan = CampaignPlan(specs, seed=seed)
+    plan.stages = tuple(stages)
     for spec in specs:
         pipeline = tuple(spec.pipeline) if spec.pipeline is not None else tuple(stages)
         if spec.pipeline is not None:

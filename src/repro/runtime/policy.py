@@ -1,0 +1,136 @@
+"""Retry policy: which failures are worth another attempt, and when.
+
+The engine used to retry *every* failure a fixed number of times with a
+hard-coded backoff.  :class:`RetryPolicy` makes the decision explicit
+and classifies errors first:
+
+- ``transient`` — worth retrying (runtime errors, I/O hiccups, injected
+  chaos faults).  Retried with exponential backoff plus seeded jitter.
+- ``timeout`` / ``worker-lost`` — engine-assigned classes for reaped
+  hung tasks and tasks whose pool worker died; retryable (the retry
+  lands on a fresh worker).
+- ``fatal`` — programming/contract errors (``ValueError``, ``TypeError``
+  …) that will fail identically on every attempt; retrying them only
+  delays the failure report, so the policy stops immediately.
+
+Backoff jitter is drawn from the task's spawned
+:class:`~numpy.random.SeedSequence` keyed by *attempt number*, never by
+wall time or execution order — the same campaign replays the same
+delays, which is what keeps resumed runs bit-identical to uninterrupted
+ones.  The default policy reproduces the engine's historical backoff
+byte-for-byte (base 0.25 s doubling to a 2 s cap, jitter in [0, 0.25)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "FATAL_ERROR_TYPES"]
+
+#: Exception type names whose failures repeat deterministically: a bad
+#: argument or a missing attribute fails the same way on every attempt,
+#: so retrying is pure waste.  Everything else is presumed transient.
+FATAL_ERROR_TYPES = frozenset(
+    {
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "AttributeError",
+        "IndexError",
+        "AssertionError",
+        "NotImplementedError",
+        "ImportError",
+        "ModuleNotFoundError",
+    }
+)
+
+#: Engine-assigned error classes (no exception object exists for these).
+ENGINE_ERROR_CLASSES = ("timeout", "worker-lost")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how failed tasks are re-attempted.
+
+    Args:
+        retries: additional attempts after the first (``0`` disables
+            retrying entirely).
+        backoff_base_s: delay before the first retry; doubles each
+            subsequent attempt.
+        backoff_cap_s: ceiling on the exponential part of the delay.
+        jitter_cap_s: upper bound of the uniform seeded jitter added to
+            every backoff.
+        fatal_error_types: exception type names never worth retrying.
+    """
+
+    retries: int = 1
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 2.0
+    jitter_cap_s: float = 0.25
+    fatal_error_types: frozenset = field(default=FATAL_ERROR_TYPES)
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0 or self.jitter_cap_s < 0:
+            raise ValueError("backoff parameters must be >= 0")
+
+    def classify(self, error_type: str | None) -> str:
+        """Map a failure's exception type name to an error class.
+
+        Engine-assigned classes (``timeout``, ``worker-lost``) pass
+        through unchanged so records re-classified on resume keep their
+        original class.
+        """
+        if error_type in ENGINE_ERROR_CLASSES:
+            return error_type
+        if error_type in self.fatal_error_types:
+            return "fatal"
+        return "transient"
+
+    def should_retry(self, error_class: str, attempts: int) -> bool:
+        """Whether a task with ``attempts`` spent attempts gets another."""
+        return error_class != "fatal" and attempts <= self.retries
+
+    def backoff_s(
+        self, seed_entropy: int, spawn_key: tuple[int, ...], attempt: int
+    ) -> float:
+        """The delay before retry ``attempt`` (>= 1) of one task.
+
+        Deterministic in (campaign seed, task spawn key, attempt): the
+        jitter for attempt *n* is the *n*-th draw from the task's own
+        spawned sequence, so it does not depend on how many other tasks
+        retried first — resumed campaigns replay identical delays.
+        """
+        sequence = np.random.SeedSequence(
+            entropy=seed_entropy, spawn_key=tuple(spawn_key)
+        )
+        jitter = float(
+            np.random.default_rng(sequence).uniform(0.0, self.jitter_cap_s, size=attempt)[-1]
+        )
+        return min(self.backoff_base_s * (2 ** (attempt - 1)), self.backoff_cap_s) + jitter
+
+    def to_payload(self) -> dict:
+        """The JSON-safe form shipped inside task payloads (workers only
+        need the backoff numbers; classification is the engine's job)."""
+        return {
+            "retries": self.retries,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_cap_s": self.backoff_cap_s,
+            "jitter_cap_s": self.jitter_cap_s,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict | None) -> "RetryPolicy":
+        """Rebuild from :meth:`to_payload`; ``None`` gives the default
+        policy (payloads from pre-policy plans keep working)."""
+        if not payload:
+            return cls()
+        return cls(
+            retries=int(payload.get("retries", 1)),
+            backoff_base_s=float(payload.get("backoff_base_s", 0.25)),
+            backoff_cap_s=float(payload.get("backoff_cap_s", 2.0)),
+            jitter_cap_s=float(payload.get("jitter_cap_s", 0.25)),
+        )

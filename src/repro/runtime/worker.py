@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import contextlib
 import importlib
+import json
 import os
+import threading
 import time
 import traceback
-
-import numpy as np
+from pathlib import Path
 
 import repro.obs as obs
 
@@ -32,8 +33,11 @@ from repro.api.experiment import Experiment
 from repro.api.spec import ExperimentSpec
 from repro.api.stages import STAGE_REGISTRY
 from repro.api.store import ArtifactStore
+from repro.runtime.policy import RetryPolicy
+from repro.testing.faults import maybe_inject
+from repro.utils.clock import wall_time_unix
 
-__all__ = ["run_task", "execute_stage"]
+__all__ = ["run_task", "execute_stage", "heartbeat_path"]
 
 
 def execute_stage(
@@ -66,14 +70,93 @@ def _ensure_stage_importable(payload: dict) -> None:
 
 def _retry_backoff(payload: dict) -> float:
     """Jittered backoff before a retry attempt, drawn from the task's
-    spawned seed sequence so campaign behaviour is reproducible."""
-    attempt = payload.get("attempt", 0)
-    sequence = np.random.SeedSequence(
-        entropy=payload.get("seed_entropy", 0),
-        spawn_key=tuple(payload.get("spawn_key", ())),
+    spawned seed sequence so campaign behaviour is reproducible.
+
+    The numbers come from the engine's :class:`RetryPolicy` riding in
+    the payload; payloads without one (older planners, direct callers)
+    get the default policy, which reproduces the historical backoff
+    byte-for-byte.
+    """
+    policy = RetryPolicy.from_payload(payload.get("retry_policy"))
+    return policy.backoff_s(
+        payload.get("seed_entropy", 0),
+        tuple(payload.get("spawn_key", ())),
+        payload.get("attempt", 0),
     )
-    jitter = float(np.random.default_rng(sequence).uniform(0.0, 0.25, size=attempt)[-1])
-    return min(0.25 * (2 ** (attempt - 1)), 2.0) + jitter
+
+
+def heartbeat_path(directory: str | os.PathLike, task_id: str) -> Path:
+    """Where one task's heartbeat file lives (task ids hold ``:``,
+    which stays filesystem-safe on Linux but reads badly — flatten)."""
+    return Path(directory) / f"{task_id.replace(':', '_')}.json"
+
+
+class _Heartbeat:
+    """Liveness beacon for one pool task attempt.
+
+    While the task executes, a daemon thread refreshes a small JSON file
+    (``{pid, task_id, attempt, started_unix, updated_unix}``) under the
+    engine-provided scratch directory.  The engine's reaper uses
+    ``started_unix`` to tell a *hung* task from one still queued behind
+    a busy pool, and ``pid`` to kill the right worker.  Writes go
+    through a temp file + ``os.replace`` so the reaper never reads a
+    torn beat.  The beat thread only reads attributes set before it
+    starts and touches no shared state — all mutation is file-level.
+    """
+
+    def __init__(self, payload: dict):
+        directory = payload.get("heartbeat_dir")
+        self._path = (
+            heartbeat_path(directory, payload["id"]) if directory is not None else None
+        )
+        self._task_id = payload["id"]
+        self._attempt = payload.get("attempt", 0)
+        self._interval = float(payload.get("heartbeat_interval_s", 1.0))
+        self._started = 0.0
+        self._stop = threading.Event()
+        self._thread = None
+
+    def __enter__(self) -> "_Heartbeat":
+        if self._path is None:
+            return self
+        self._started = wall_time_unix()
+        self._write()  # first beat lands before the stage runs
+        self._thread = threading.Thread(
+            target=self._beat, name=f"heartbeat:{self._task_id}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._write()
+
+    def _write(self) -> None:
+        doc = {
+            "pid": os.getpid(),
+            "task_id": self._task_id,
+            "attempt": self._attempt,
+            "started_unix": self._started,
+            "updated_unix": wall_time_unix(),
+        }
+        temp = self._path.with_name(f".tmp-{os.getpid()}-{self._path.name}")
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle)
+            os.replace(temp, self._path)
+        except OSError:
+            # Heartbeats are advisory; a full disk must not fail the task.
+            with contextlib.suppress(OSError):
+                temp.unlink()
+
+    def __exit__(self, *exc_info) -> None:
+        if self._path is None:
+            return
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self._interval + 1.0)
+        with contextlib.suppress(OSError):
+            self._path.unlink()
 
 
 def run_task(payload: dict, experiment: Experiment | None = None) -> dict:
@@ -99,6 +182,7 @@ def run_task(payload: dict, experiment: Experiment | None = None) -> dict:
     record = {"id": payload["id"], "stage": payload["stage"], "cache_hit": False}
     obs_on = obs.enabled()
     with contextlib.ExitStack() as stack:
+        stack.enter_context(_Heartbeat(payload))
         if obs_on:
             registry = obs.get_registry()
             before = registry.snapshot()
@@ -113,6 +197,7 @@ def run_task(payload: dict, experiment: Experiment | None = None) -> dict:
                 )
             )
         try:
+            maybe_inject(payload["stage"], payload.get("attempt", 0))
             _ensure_stage_importable(payload)
             if experiment is None:
                 spec = ExperimentSpec.from_dict(payload["spec"])
@@ -123,8 +208,12 @@ def run_task(payload: dict, experiment: Experiment | None = None) -> dict:
                 payload["stage"], experiment, payload["params"], payload.get("inputs")
             )
             record.update(status="done", cache_hit=bool(hit), result=result)
-        except Exception:  # noqa: BLE001 — crosses a process boundary
-            record.update(status="error", error=traceback.format_exc())
+        except Exception as exc:  # noqa: BLE001 — crosses a process boundary
+            record.update(
+                status="error",
+                error=traceback.format_exc(),
+                error_type=type(exc).__name__,
+            )
         if obs_on:
             span.set(status=record["status"], cache_hit=record["cache_hit"])
     if obs_on:

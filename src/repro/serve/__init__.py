@@ -32,7 +32,7 @@ Quickstart::
         delays = client.predict(features, receiver)
 """
 
-from repro.serve.batcher import BatcherConfig, MicroBatcher
+from repro.serve.batcher import BatcherConfig, BatcherSaturated, MicroBatcher
 from repro.serve.http import PredictionServer, ServerConfig, ServerHandle
 from repro.serve.manager import ModelManager, ModelNotFound, STORE_PREFIX
 from repro.serve.metrics import ServingMetrics
@@ -52,6 +52,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "BatcherConfig",
+    "BatcherSaturated",
     "MicroBatcher",
     "LoadResult",
     "ServingClient",

@@ -35,17 +35,21 @@ import numpy as np
 from repro.api.predictor import Predictor
 from repro.serve.metrics import ServingMetrics
 
-__all__ = ["MicroBatcher", "BatcherConfig"]
+__all__ = ["MicroBatcher", "BatcherConfig", "BatcherSaturated"]
 
 
 @dataclass(frozen=True)
 class BatcherConfig:
-    """Flush rules for one model's micro-batcher."""
+    """Flush rules and overload cap for one model's micro-batcher."""
 
     #: Flush as soon as this many windows are pending.
     max_batch_windows: int = 64
     #: Flush when the oldest pending request has waited this long.
     max_wait_us: float = 2000.0
+    #: Shed load once this many windows are queued or in flight —
+    #: :meth:`MicroBatcher.submit` raises :class:`BatcherSaturated`
+    #: (HTTP 503 at the front) instead of growing the queue unboundedly.
+    max_pending_windows: int = 4096
 
     def __post_init__(self):
         if self.max_batch_windows <= 0:
@@ -54,6 +58,19 @@ class BatcherConfig:
             )
         if self.max_wait_us < 0:
             raise ValueError(f"max_wait_us must be >= 0, got {self.max_wait_us}")
+        if self.max_pending_windows < self.max_batch_windows:
+            raise ValueError(
+                f"max_pending_windows ({self.max_pending_windows}) must be >= "
+                f"max_batch_windows ({self.max_batch_windows})"
+            )
+
+
+class BatcherSaturated(RuntimeError):
+    """The batcher's pending queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 @dataclass
@@ -91,6 +108,9 @@ class MicroBatcher:
         self._pending: dict[int, list[_Pending]] = {}
         self._pending_windows: dict[int, int] = {}
         self._timers: dict[int, asyncio.TimerHandle] = {}
+        # Windows accepted but not yet answered (queued + in forward).
+        # Touched only on the event-loop thread, so no lock is needed.
+        self._inflight_windows = 0
 
     # -- request side -------------------------------------------------------------
 
@@ -125,16 +145,36 @@ class MicroBatcher:
             raise ValueError("message_size is only meaningful for the MCT task")
         if len(features) == 0:
             return np.empty(0, dtype=np.float64)
+        if self._inflight_windows + len(features) > self.config.max_pending_windows:
+            # Shed load instead of queueing unboundedly: the caller gets
+            # an explicit 503 + Retry-After rather than a latency cliff.
+            if self.metrics is not None:
+                self.metrics.record_rejected()
+            retry_after_s = max(
+                0.1,
+                (self._inflight_windows / self.config.max_batch_windows)
+                * (self.config.max_wait_us / 1e6),
+            )
+            raise BatcherSaturated(
+                f"batcher saturated: {self._inflight_windows} windows in flight "
+                f"(cap {self.config.max_pending_windows})",
+                retry_after_s=retry_after_s,
+            )
         if len(features) > self.config.max_batch_windows:
             # Oversized requests would never fit a flush; serve them as
             # their own batch rather than rejecting them.
-            return await self._run_alone(features, receiver, message_size)
+            self._inflight_windows += len(features)
+            try:
+                return await self._run_alone(features, receiver, message_size)
+            finally:
+                self._inflight_windows -= len(features)
 
         loop = asyncio.get_running_loop()
         entry = _Pending(features, receiver, message_size, loop.create_future())
         window_len = features.shape[1]
         bucket = self._pending.setdefault(window_len, [])
         bucket.append(entry)
+        self._inflight_windows += len(features)
         count = self._pending_windows.get(window_len, 0) + len(features)
         self._pending_windows[window_len] = count
         if count >= self.config.max_batch_windows:
@@ -164,20 +204,23 @@ class MicroBatcher:
         if self.predictor.task == "mct":
             message_size = np.concatenate([entry.message_size for entry in batch])
         try:
-            predictions = await self._predict(features, receiver, message_size)
-        except Exception as error:  # pragma: no cover - model-level failures
+            try:
+                predictions = await self._predict(features, receiver, message_size)
+            except Exception as error:  # pragma: no cover - model-level failures
+                for entry in batch:
+                    if not entry.future.cancelled():
+                        entry.future.set_exception(error)
+                return
+            if self.metrics is not None:
+                self.metrics.record_batch(len(batch), len(features))
+            start = 0
             for entry in batch:
+                stop = start + len(entry.features)
                 if not entry.future.cancelled():
-                    entry.future.set_exception(error)
-            return
-        if self.metrics is not None:
-            self.metrics.record_batch(len(batch), len(features))
-        start = 0
-        for entry in batch:
-            stop = start + len(entry.features)
-            if not entry.future.cancelled():
-                entry.future.set_result(predictions[start:stop])
-            start = stop
+                    entry.future.set_result(predictions[start:stop])
+                start = stop
+        finally:
+            self._inflight_windows -= len(features)
 
     async def _run_alone(self, features, receiver, message_size) -> np.ndarray:
         predictions = await self._predict(features, receiver, message_size)

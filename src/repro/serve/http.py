@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -41,7 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 import repro.obs as obs
-from repro.serve.batcher import BatcherConfig, MicroBatcher
+from repro.serve.batcher import BatcherConfig, BatcherSaturated, MicroBatcher
 from repro.serve.manager import ModelManager, ModelNotFound
 from repro.serve.metrics import ServingMetrics
 
@@ -62,6 +63,7 @@ class ServerConfig:
     max_batch_windows: int = 64
     max_wait_us: float = 2000.0
     batch_size: int = 1024
+    max_pending_windows: int = 4096
 
     def __post_init__(self):
         if not self.models:
@@ -90,6 +92,7 @@ class PredictionServer:
         self.batcher_config = BatcherConfig(
             max_batch_windows=config.max_batch_windows,
             max_wait_us=config.max_wait_us,
+            max_pending_windows=config.max_pending_windows,
         )
         self.executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="predict")
         self.default_model = config.models[0]
@@ -133,13 +136,14 @@ class PredictionServer:
                 method, target, body, keep_alive, headers = request
                 started = time.monotonic()
                 if method == "POST" and target == "/predict":
-                    status, payload = await self._predict(body)
+                    status, payload, extra_headers = await self._predict(body)
                     self.metrics.record_request(
                         time.monotonic() - started, error=status != 200
                     )
                 else:
                     status, payload = self._route_get(method, target, headers)
-                self._write_response(writer, status, payload, keep_alive)
+                    extra_headers = None
+                self._write_response(writer, status, payload, keep_alive, extra_headers)
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -186,23 +190,30 @@ class PredictionServer:
         return method, target, body, keep_alive, headers
 
     @staticmethod
-    def _write_response(writer, status: int, payload, keep_alive: bool) -> None:
+    def _write_response(
+        writer, status: int, payload, keep_alive: bool, extra_headers: dict | None = None
+    ) -> None:
         """``dict`` payloads go out as JSON; ``str`` payloads as the
         Prometheus text exposition (0.0.4)."""
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 413: "Payload Too Large",
-                  500: "Internal Server Error"}.get(status, "OK")
+                  500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
         if isinstance(payload, str):
             body = payload.encode("utf-8")
             content_type = "text/plain; version=0.0.4; charset=utf-8"
         else:
             body = json.dumps(payload).encode("utf-8")
             content_type = "application/json"
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extras}"
             f"\r\n"
         ).encode("latin-1")
         writer.write(head + body)
@@ -269,11 +280,11 @@ class PredictionServer:
             counters[name] = {"name": name, "labels": {}, "value": value}
         return {"counters": counters}
 
-    async def _predict(self, body: bytes) -> tuple[int, dict]:
+    async def _predict(self, body: bytes) -> tuple[int, dict, dict | None]:
         try:
             payload = self._parse_predict(body)
         except _RequestError as error:
-            return error.status, {"error": str(error)}
+            return error.status, {"error": str(error)}, None
         ref, features, receiver, message_size = payload
         started = time.monotonic()
         try:
@@ -281,9 +292,16 @@ class PredictionServer:
             batcher = self._batcher_for(ref, predictor)
             predictions = await batcher.submit(features, receiver, message_size)
         except ModelNotFound as error:
-            return 404, {"error": str(error)}
+            return 404, {"error": str(error)}, None
+        except BatcherSaturated as error:
+            retry_after = max(1, math.ceil(error.retry_after_s))
+            return (
+                503,
+                {"error": str(error), "retry_after_s": error.retry_after_s},
+                {"Retry-After": str(retry_after)},
+            )
         except ValueError as error:
-            return 400, {"error": str(error)}
+            return 400, {"error": str(error)}, None
         return 200, {
             "model": ref,
             "task": predictor.task,
@@ -291,7 +309,7 @@ class PredictionServer:
             "predictions": predictions.tolist(),
             "windows": len(predictions),
             "served_ms": (time.monotonic() - started) * 1e3,
-        }
+        }, None
 
     def _parse_predict(self, body: bytes):
         try:

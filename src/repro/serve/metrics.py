@@ -53,6 +53,7 @@ class ServingMetrics:
         self._predictions = self.registry.counter("serve.predictions_total")
         self._batches = self.registry.counter("serve.batches_total")
         self._errors = self.registry.counter("serve.errors_total")
+        self._rejected = self.registry.counter("serve.rejected_total")
         self._occupancy = self.registry.histogram(
             "serve.batch_windows", buckets=OCCUPANCY_BUCKETS
         )
@@ -78,6 +79,10 @@ class ServingMetrics:
     def errors_total(self) -> int:
         return int(self._errors.value)
 
+    @property
+    def rejected_total(self) -> int:
+        return int(self._rejected.value)
+
     # -- recording ----------------------------------------------------------------
 
     def record_batch(self, n_requests: int, n_windows: int) -> None:
@@ -85,6 +90,10 @@ class ServingMetrics:
         self._batches.inc()
         self._predictions.inc(n_windows)
         self._occupancy.observe(n_windows)
+
+    def record_rejected(self) -> None:
+        """One request shed at the saturation cap (HTTP 503)."""
+        self._rejected.inc()
 
     def record_request(self, latency_s: float, error: bool = False) -> None:
         """One served ``/predict`` request (end-to-end seconds)."""
@@ -113,6 +122,7 @@ class ServingMetrics:
             "predictions_total": predictions,
             "batches_total": batches,
             "errors_total": self.errors_total,
+            "rejected_total": self.rejected_total,
             "predictions_per_s": predictions / elapsed,
             "requests_per_s": requests / elapsed,
         }

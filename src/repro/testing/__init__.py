@@ -1,0 +1,21 @@
+"""Test-support utilities: deterministic fault injection for chaos tests.
+
+Nothing in this package runs in production paths unless explicitly armed
+through environment variables (see :mod:`repro.testing.faults`).
+"""
+
+from repro.testing.faults import (
+    FAULT_SPEC_ENV,
+    FaultInjected,
+    FaultRule,
+    maybe_inject,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FAULT_SPEC_ENV",
+    "FaultInjected",
+    "FaultRule",
+    "maybe_inject",
+    "parse_fault_spec",
+]

@@ -1,0 +1,145 @@
+"""Deterministic fault injection for campaign chaos tests.
+
+Armed through one environment variable so the faults reach pool worker
+processes without any plumbing (workers inherit the environment):
+
+    REPRO_FAULT_SPEC="pretrain@0:raise,traces:hang:30,bundle@1:exit:17"
+
+Grammar — comma-separated rules of the form ``stage[@attempt]:action[:arg]``:
+
+``stage``
+    the registered stage name the rule targets.
+``@attempt``
+    optional 0-based attempt filter; without it the rule fires on
+    *every* attempt (useful for testing retry exhaustion).
+``action``
+    ``raise`` — raise :class:`FaultInjected` (a transient error under
+    the default :class:`~repro.runtime.policy.RetryPolicy`);
+    ``hang`` — sleep ``arg`` seconds (default 3600) then raise, standing
+    in for a wedged stage the engine must reap at its timeout;
+    ``exit`` — ``os._exit(arg or 17)``, killing the worker process
+    without cleanup, standing in for OOM kills and segfaults.
+
+The hook (:func:`maybe_inject`) sits at the top of
+:func:`~repro.runtime.worker.run_task`'s stage execution and costs one
+``os.environ`` lookup when unarmed.  Matching is purely a function of
+``(stage, attempt)`` — no randomness, no clocks — so chaos tests are as
+reproducible as everything else in the repo.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULT_SPEC_ENV",
+    "FaultInjected",
+    "FaultRule",
+    "parse_fault_spec",
+    "active_rules",
+    "maybe_inject",
+]
+
+#: Environment variable arming the harness.
+FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+
+_ACTIONS = ("raise", "hang", "exit")
+
+#: Default sleep for ``hang`` (long enough that any sane task timeout
+#: fires first) and default ``os._exit`` status for ``exit``.
+_DEFAULT_HANG_S = 3600.0
+_DEFAULT_EXIT_STATUS = 17
+
+
+class FaultInjected(RuntimeError):
+    """The error raised by ``raise`` (and post-sleep ``hang``) faults."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed injection rule."""
+
+    stage: str
+    action: str
+    attempt: int | None = None
+    arg: float | None = None
+
+    def matches(self, stage: str, attempt: int) -> bool:
+        return stage == self.stage and (self.attempt is None or attempt == self.attempt)
+
+
+def parse_fault_spec(text: str) -> tuple[FaultRule, ...]:
+    """Parse a fault spec; raises ``ValueError`` on bad grammar."""
+    rules = []
+    for raw in text.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        parts = raw.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"bad fault rule {raw!r}: expected 'stage[@attempt]:action[:arg]'"
+            )
+        target, action = parts[0].strip(), parts[1].strip()
+        if action not in _ACTIONS:
+            raise ValueError(
+                f"bad fault rule {raw!r}: unknown action {action!r} "
+                f"(choose from {_ACTIONS})"
+            )
+        attempt = None
+        stage = target
+        if "@" in target:
+            stage, _, attempt_text = target.partition("@")
+            try:
+                attempt = int(attempt_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad fault rule {raw!r}: attempt {attempt_text!r} is not an integer"
+                ) from None
+            if attempt < 0:
+                raise ValueError(f"bad fault rule {raw!r}: attempt must be >= 0")
+        if not stage:
+            raise ValueError(f"bad fault rule {raw!r}: empty stage name")
+        arg = None
+        if len(parts) == 3:
+            try:
+                arg = float(parts[2])
+            except ValueError:
+                raise ValueError(
+                    f"bad fault rule {raw!r}: arg {parts[2]!r} is not a number"
+                ) from None
+        rules.append(FaultRule(stage=stage, action=action, attempt=attempt, arg=arg))
+    return tuple(rules)
+
+
+def active_rules() -> tuple[FaultRule, ...]:
+    """The rules currently armed via the environment (empty when unarmed)."""
+    spec = os.environ.get(FAULT_SPEC_ENV)
+    return parse_fault_spec(spec) if spec else ()
+
+
+def maybe_inject(stage: str, attempt: int) -> None:
+    """Fire the first armed rule matching this stage attempt, if any.
+
+    Called inside ``run_task``'s try block, so ``raise`` surfaces as a
+    normal transient task error; ``hang`` occupies the worker until the
+    engine's timeout reaps it (the post-sleep raise keeps short
+    explicit ``arg`` hangs from "succeeding"); ``exit`` kills the
+    worker process outright.
+    """
+    spec = os.environ.get(FAULT_SPEC_ENV)
+    if not spec:
+        return
+    for rule in parse_fault_spec(spec):
+        if not rule.matches(stage, attempt):
+            continue
+        if rule.action == "raise":
+            raise FaultInjected(f"injected raise: {stage} attempt {attempt}")
+        if rule.action == "hang":
+            time.sleep(rule.arg if rule.arg is not None else _DEFAULT_HANG_S)
+            raise FaultInjected(f"injected hang elapsed: {stage} attempt {attempt}")
+        if rule.action == "exit":
+            status = int(rule.arg) if rule.arg is not None else _DEFAULT_EXIT_STATUS
+            os._exit(status)

@@ -183,3 +183,63 @@ class TestFailurePropagation:
             assert all(isinstance(result, RuntimeError) for result in results)
 
         _run(scenario())
+
+
+class TestSaturation:
+    def test_pending_cap_below_flush_size_rejected(self):
+        with pytest.raises(ValueError, match="max_pending_windows"):
+            BatcherConfig(max_batch_windows=64, max_pending_windows=8)
+
+    def test_saturated_batcher_sheds_load(self, reference_predictor, windows):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.serve import BatcherSaturated
+
+        features, receiver = windows
+        metrics = ServingMetrics()
+        config = BatcherConfig(
+            max_batch_windows=4, max_wait_us=0.0, max_pending_windows=4
+        )
+
+        async def scenario():
+            gate = threading.Event()
+            lane = ThreadPoolExecutor(max_workers=1)
+            lane.submit(gate.wait)  # jam the prediction lane
+            try:
+                batcher = MicroBatcher(
+                    reference_predictor, config, metrics=metrics, executor=lane
+                )
+                first = asyncio.ensure_future(
+                    batcher.submit(features[:4], receiver[:4])
+                )
+                await asyncio.sleep(0.05)  # the flush is queued behind the jam
+                with pytest.raises(BatcherSaturated) as info:
+                    await batcher.submit(features[4:8], receiver[4:8])
+                assert info.value.retry_after_s > 0
+                gate.set()
+                return await first
+            finally:
+                gate.set()
+                lane.shutdown(wait=True)
+
+        result = _run(scenario())
+        assert result.shape == (4,)
+        assert metrics.rejected_total == 1
+        assert metrics.snapshot()["rejected_total"] == 1
+
+    def test_inflight_accounting_returns_to_zero(self, reference_predictor, windows):
+        features, receiver = windows
+        config = BatcherConfig(max_batch_windows=4, max_wait_us=500.0,
+                               max_pending_windows=16)
+
+        async def scenario():
+            batcher = MicroBatcher(reference_predictor, config)
+            await asyncio.gather(
+                batcher.submit(features[:4], receiver[:4]),
+                batcher.submit(features[4:12], receiver[4:12]),  # oversized lane
+            )
+            await batcher.drain()
+            return batcher._inflight_windows
+
+        assert _run(scenario()) == 0

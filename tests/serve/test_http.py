@@ -197,3 +197,68 @@ class TestConfigValidation:
     def test_server_needs_a_model(self):
         with pytest.raises(ValueError, match="at least one model"):
             ServerConfig(models=())
+
+
+class TestSaturation:
+    def test_saturated_server_returns_503_with_retry_after(
+        self, served_checkpoint, smoke_bundle
+    ):
+        import threading
+        import time
+
+        config = ServerConfig(
+            models=(str(served_checkpoint),), port=0,
+            max_batch_windows=4, max_wait_us=0.0, max_pending_windows=4,
+        )
+        server = PredictionServer(config)
+        test = smoke_bundle.test
+        body = json.dumps({
+            "features": test.features[:4].tolist(),
+            "receiver": test.receiver[:4].tolist(),
+        })
+        headers = {"Content-Type": "application/json"}
+        gate = threading.Event()
+        with ServerHandle(server) as handle:
+            try:
+                # Jam the single prediction lane so the first request's
+                # flush stays in flight while the second arrives.
+                server.executor.submit(gate.wait)
+                first_status = {}
+
+                def first_request():
+                    conn = http.client.HTTPConnection(
+                        handle.host, handle.port, timeout=30
+                    )
+                    conn.request("POST", "/predict", body, headers)
+                    first_status["status"] = conn.getresponse().status
+                    conn.close()
+
+                thread = threading.Thread(target=first_request)
+                thread.start()
+                # Wait until the first request's windows are in flight —
+                # only then is a second request guaranteed to be shed.
+                deadline = time.monotonic() + 10
+                while not any(
+                    batcher._inflight_windows
+                    for batcher in server._batchers.values()
+                ):
+                    assert time.monotonic() < deadline, "first request never queued"
+                    time.sleep(0.01)
+
+                conn = http.client.HTTPConnection(
+                    handle.host, handle.port, timeout=30
+                )
+                conn.request("POST", "/predict", body, headers)
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                conn.close()
+                assert response.status == 503
+                assert int(response.getheader("Retry-After")) >= 1
+                assert "saturated" in payload["error"]
+                assert payload["retry_after_s"] > 0
+            finally:
+                gate.set()
+            thread.join(timeout=30)
+            assert first_status["status"] == 200
+            assert server.metrics.rejected_total == 1
+            assert server.metrics.snapshot()["rejected_total"] == 1
